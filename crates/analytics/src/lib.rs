@@ -1,0 +1,133 @@
+//! # fdiam-analytics
+//!
+//! Eccentricity analytics built on the same CSR/BFS substrate as
+//! F-Diam. The diameter is one point of the eccentricity distribution;
+//! this crate computes the rest of it exactly:
+//!
+//! * [`bounding_ecc`] — the eccentricity-bounding algorithm of Takes &
+//!   Kosters (*Algorithms*, 2013/2014): exact eccentricity of **every**
+//!   vertex with far fewer than `n` BFS traversals, by maintaining
+//!   per-vertex lower/upper bounds that every finished BFS tightens.
+//! * [`sum_sweep`] — ExactSumSweep (Borassi et al.), the
+//!   radius-and-diameter tool the F-Diam paper's lineage is usually
+//!   compared against: alternating farthest/closest sweeps that certify
+//!   the diameter *and* the radius.
+//! * Convenience wrappers: [`radius`], [`center`], [`periphery`],
+//!   [`eccentricities`].
+//!
+//! Everything is exact; every function is validated against the naive
+//! APSP oracle in the test suite. Disconnected graphs follow the same
+//! convention as the rest of the workspace: per-component
+//! eccentricities (the distance to the farthest *reachable* vertex).
+
+pub mod bounding_ecc;
+pub mod sum_sweep;
+
+use fdiam_graph::{CsrGraph, VertexId};
+
+/// Exact eccentricity of every vertex (within its component), via
+/// [`bounding_ecc::bounding_eccentricities`].
+///
+/// ```
+/// use fdiam_analytics::eccentricities;
+/// use fdiam_graph::generators::path;
+/// assert_eq!(eccentricities(&path(5)), vec![4, 3, 2, 3, 4]);
+/// ```
+pub fn eccentricities(g: &CsrGraph) -> Vec<u32> {
+    bounding_ecc::bounding_eccentricities(g).eccentricities
+}
+
+/// The radius: smallest eccentricity over all non-isolated vertices of
+/// the largest sense — here, the global minimum over all vertices
+/// (0 for a graph with an isolated vertex, matching the convention
+/// that isolated vertices have eccentricity 0). Returns `None` for an
+/// empty graph.
+pub fn radius(g: &CsrGraph) -> Option<u32> {
+    let e = eccentricities(g);
+    e.iter().copied().min()
+}
+
+/// The center: all vertices of minimum eccentricity.
+///
+/// ```
+/// use fdiam_analytics::center;
+/// use fdiam_graph::generators::star;
+/// assert_eq!(center(&star(9)), vec![0]); // the hub
+/// ```
+pub fn center(g: &CsrGraph) -> Vec<VertexId> {
+    let e = eccentricities(g);
+    let Some(&r) = e.iter().min() else {
+        return Vec::new();
+    };
+    (0..e.len() as VertexId)
+        .filter(|&v| e[v as usize] == r)
+        .collect()
+}
+
+/// The periphery: all vertices of maximum eccentricity.
+pub fn periphery(g: &CsrGraph) -> Vec<VertexId> {
+    let e = eccentricities(g);
+    let Some(&d) = e.iter().max() else {
+        return Vec::new();
+    };
+    (0..e.len() as VertexId)
+        .filter(|&v| e[v as usize] == d)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdiam_baselines::naive;
+    use fdiam_graph::generators::*;
+
+    #[test]
+    fn wrappers_match_oracle() {
+        for g in [
+            path(15),
+            cycle(9),
+            star(12),
+            grid2d(5, 8),
+            barabasi_albert(150, 3, 2),
+            lollipop(5, 6),
+        ] {
+            let oracle = naive::all_eccentricities(&g);
+            assert_eq!(eccentricities(&g), oracle);
+            assert_eq!(radius(&g), oracle.iter().copied().min());
+            let r = *oracle.iter().min().unwrap();
+            let d = *oracle.iter().max().unwrap();
+            assert!(center(&g).iter().all(|&v| oracle[v as usize] == r));
+            assert!(periphery(&g).iter().all(|&v| oracle[v as usize] == d));
+            assert!(!center(&g).is_empty());
+            assert!(!periphery(&g).is_empty());
+        }
+    }
+
+    #[test]
+    fn center_of_path_and_star() {
+        assert_eq!(center(&path(7)), vec![3]);
+        assert_eq!(center(&path(8)), vec![3, 4]);
+        assert_eq!(center(&star(9)), vec![0]);
+        let p = periphery(&path(7));
+        assert_eq!(p, vec![0, 6]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = fdiam_graph::CsrGraph::empty(0);
+        assert_eq!(radius(&g), None);
+        assert!(center(&g).is_empty());
+        assert!(periphery(&g).is_empty());
+    }
+
+    #[test]
+    fn theorem3_on_connected_graphs() {
+        for seed in 0..3 {
+            let g = barabasi_albert(120, 2, seed);
+            let e = eccentricities(&g);
+            let r = *e.iter().min().unwrap();
+            let d = *e.iter().max().unwrap();
+            assert!(2 * r >= d, "radius {r} < diameter {d} / 2");
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Property tests for the analytics crate: both algorithms must agree
+//! with the naive oracle on arbitrary graphs, and the classical
+//! radius/diameter relations must hold.
+
+use fdiam_analytics::bounding_ecc::bounding_eccentricities;
+use fdiam_analytics::sum_sweep::exact_sum_sweep;
+use fdiam_baselines::naive;
+use fdiam_graph::EdgeList;
+use proptest::prelude::*;
+
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = fdiam_graph::CsrGraph> {
+    (1..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_m)
+            .prop_map(move |edges| EdgeList::from_undirected(n, &edges).to_undirected_csr())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bounding_ecc_matches_oracle(g in arb_graph(50, 90)) {
+        let oracle = naive::all_eccentricities(&g);
+        let r = bounding_eccentricities(&g);
+        prop_assert_eq!(r.eccentricities, oracle);
+    }
+
+    #[test]
+    fn sum_sweep_matches_oracle(g in arb_graph(50, 90)) {
+        let oracle = naive::all_eccentricities(&g);
+        let r = exact_sum_sweep(&g).unwrap();
+        prop_assert_eq!(r.diameter, oracle.iter().copied().max().unwrap_or(0));
+        prop_assert_eq!(r.radius, oracle.iter().copied().min().unwrap_or(0));
+        prop_assert_eq!(oracle[r.diametral_vertex as usize], r.diameter);
+        prop_assert_eq!(oracle[r.central_vertex as usize], r.radius);
+    }
+
+    /// SumSweep, bounding eccentricities, and F-Diam must agree on the
+    /// diameter of any graph.
+    #[test]
+    fn three_way_diameter_agreement(g in arb_graph(50, 90)) {
+        let ss = exact_sum_sweep(&g).unwrap();
+        let be = bounding_eccentricities(&g);
+        let fd = fdiam_core::diameter(&g);
+        let be_diam = be.eccentricities.iter().copied().max().unwrap_or(0);
+        prop_assert_eq!(ss.diameter, be_diam);
+        prop_assert_eq!(ss.diameter, fd.largest_cc_diameter);
+    }
+
+    /// SumSweep never does more BFS than the naive algorithm would.
+    #[test]
+    fn sum_sweep_bfs_bounded(g in arb_graph(50, 90)) {
+        let r = exact_sum_sweep(&g).unwrap();
+        prop_assert!(r.bfs_calls <= g.num_vertices());
+    }
+}

@@ -1,0 +1,146 @@
+//! Korf's partial-BFS diameter algorithm — Richard E. Korf, *"Finding
+//! the Exact Diameter of a Graph with Partial Breadth-First Searches"*,
+//! SoCS 2021 (related work, §2 of the F-Diam paper).
+//!
+//! Observation: after vertex `s` has been a BFS start, every pair
+//! involving `s` is measured, so a larger distance can only arise
+//! between two vertices that have *not* yet been starts. Maintaining
+//! the set `S` of not-yet-started vertices, each BFS may terminate as
+//! soon as all of `S` has been visited. The diameter is the maximum,
+//! over all starts, of the deepest level at which a member of `S` was
+//! seen.
+//!
+//! This performs `n − 1` (partial) traversals, so it is only practical
+//! for small graphs; the F-Diam paper cites up to 5× speedup over full
+//! traversals but does not adopt the technique (early termination
+//! conflicts with Winnow/Eliminate). It is included here as a
+//! reference implementation and cross-check.
+
+use crate::BaselineResult;
+use fdiam_bfs::VisitMarks;
+use fdiam_graph::{CsrGraph, VertexId};
+
+/// Exact diameter via Korf's shrinking-active-set partial BFS.
+pub fn korf_diameter(g: &CsrGraph) -> BaselineResult {
+    let n = g.num_vertices();
+    if n == 0 {
+        return BaselineResult {
+            largest_cc_diameter: 0,
+            connected: true,
+            bfs_calls: 0,
+        };
+    }
+    let mut in_s = vec![true; n];
+    let mut s_size = n;
+    let mut marks = VisitMarks::new(n);
+    let mut diameter = 0u32;
+    let mut bfs_calls = 0usize;
+    let mut connected = n == 1;
+
+    for s in 0..n as VertexId {
+        if s_size <= 1 {
+            break;
+        }
+        // Partial BFS from s: stop once every member of S has been seen.
+        let epoch = marks.next_epoch();
+        marks.mark(s, epoch);
+        let mut frontier = vec![s];
+        let mut unseen_s = s_size - usize::from(in_s[s as usize]);
+        let mut level = 0u32;
+        let mut deepest_s = 0u32;
+        let mut total_visited = 1usize;
+        while unseen_s > 0 && !frontier.is_empty() {
+            level += 1;
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for &nb in g.neighbors(v) {
+                    if !marks.is_visited(nb, epoch) {
+                        marks.mark(nb, epoch);
+                        next.push(nb);
+                        total_visited += 1;
+                        if in_s[nb as usize] {
+                            unseen_s -= 1;
+                            deepest_s = level;
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        bfs_calls += 1;
+        if s == 0 {
+            // the first BFS runs until S (= everything else) is seen or
+            // the component is exhausted, so it decides connectivity
+            connected = total_visited == n;
+        }
+        if unseen_s > 0 {
+            connected = false;
+        }
+        diameter = diameter.max(deepest_s);
+        in_s[s as usize] = false;
+        s_size -= 1;
+    }
+
+    BaselineResult {
+        largest_cc_diameter: diameter,
+        connected,
+        bfs_calls,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_diameter;
+    use fdiam_graph::generators::*;
+    use fdiam_graph::transform::{disjoint_union, with_isolated_vertices};
+    use fdiam_graph::CsrGraph;
+
+    fn check(g: &CsrGraph) {
+        let expect = naive_diameter(g);
+        let r = korf_diameter(g);
+        assert_eq!(
+            r.largest_cc_diameter, expect.largest_cc_diameter,
+            "korf wrong on n={} m={}",
+            g.num_vertices(),
+            g.num_undirected_edges()
+        );
+        assert_eq!(r.connected, expect.connected);
+    }
+
+    #[test]
+    fn shapes() {
+        check(&path(9));
+        check(&cycle(7));
+        check(&star(6));
+        check(&complete(5));
+        check(&grid2d(4, 5));
+        check(&lollipop(4, 3));
+        check(&balanced_tree(2, 3));
+    }
+
+    #[test]
+    fn random_graphs() {
+        for seed in 0..3 {
+            check(&erdos_renyi_gnm(50, 80, seed));
+            check(&barabasi_albert(60, 2, seed));
+            check(&road_like(64, 0.2, seed));
+        }
+    }
+
+    #[test]
+    fn disconnected() {
+        check(&disjoint_union(&path(5), &cycle(4)));
+        check(&with_isolated_vertices(&path(4), 2));
+        check(&CsrGraph::empty(3));
+        check(&CsrGraph::empty(0));
+        check(&path(1));
+        check(&path(2));
+    }
+
+    #[test]
+    fn uses_n_minus_one_traversals() {
+        let g = cycle(30);
+        assert_eq!(korf_diameter(&g).bfs_calls, 29);
+    }
+}

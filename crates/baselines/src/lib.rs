@@ -1,0 +1,46 @@
+//! # fdiam-baselines
+//!
+//! The diameter algorithms F-Diam is evaluated against (§5), all
+//! reimplemented from their publications on the same CSR/BFS substrate
+//! so that the comparison isolates algorithmic differences:
+//!
+//! * [`naive`] — textbook APSP-by-BFS diameter; the test oracle.
+//! * [`ifub`] — iFUB (Crescenzi et al., TCS 2013): 4-SWEEP start
+//!   vertex plus fringe-set processing; serial and parallel-BFS
+//!   variants, like the two iFUB columns of the paper's Table 2.
+//! * [`graph_diameter`] — "Graph-Diameter" (Akiba, Iwata & Kawata,
+//!   SEA 2015): double-sweep lower bound plus per-vertex eccentricity
+//!   upper bounds maintained with the triangle inequality.
+//! * [`korf`] — Korf (SoCS 2021): exact diameter via partial BFS
+//!   traversals over a shrinking active set (related work, §2).
+//! * [`sweep`] — 2-sweep / 4-sweep lower-bound machinery shared by the
+//!   above.
+//!
+//! Every algorithm reports the same [`BaselineResult`]: the largest
+//! eccentricity over all connected components, a connectivity flag
+//! (disconnected ⇒ infinite true diameter), and the number of BFS
+//! traversals performed (the paper's Table 3 metric).
+
+pub mod graph_diameter;
+pub mod ifub;
+pub mod korf;
+pub mod naive;
+pub mod sweep;
+
+/// Result of a baseline diameter computation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BaselineResult {
+    /// Largest eccentricity over all connected components.
+    pub largest_cc_diameter: u32,
+    /// Whether the graph is connected.
+    pub connected: bool,
+    /// Number of BFS traversals performed (Table 3 metric).
+    pub bfs_calls: usize,
+}
+
+impl BaselineResult {
+    /// The finite diameter, `None` when disconnected.
+    pub fn diameter(&self) -> Option<u32> {
+        self.connected.then_some(self.largest_cc_diameter)
+    }
+}

@@ -1,0 +1,88 @@
+//! Naive APSP-by-BFS diameter — `O(nm)` and exact.
+//!
+//! This is the "traditional approach" of the paper's introduction and
+//! the oracle every other algorithm in this workspace is tested
+//! against.
+
+use crate::BaselineResult;
+use fdiam_bfs::{bfs_eccentricity_serial, VisitMarks};
+use fdiam_graph::CsrGraph;
+
+/// Largest eccentricity over all components by BFS from every vertex.
+pub fn naive_diameter(g: &CsrGraph) -> BaselineResult {
+    let n = g.num_vertices();
+    if n == 0 {
+        return BaselineResult {
+            largest_cc_diameter: 0,
+            connected: true,
+            bfs_calls: 0,
+        };
+    }
+    let mut marks = VisitMarks::new(n);
+    let mut max_ecc = 0u32;
+    let mut connected = true;
+    for v in g.vertices() {
+        let r = bfs_eccentricity_serial(g, v, &mut marks);
+        max_ecc = max_ecc.max(r.eccentricity);
+        if r.visited != n {
+            connected = false;
+        }
+    }
+    BaselineResult {
+        largest_cc_diameter: max_ecc,
+        connected,
+        bfs_calls: n,
+    }
+}
+
+/// Exact eccentricity of every vertex (within its component).
+pub fn all_eccentricities(g: &CsrGraph) -> Vec<u32> {
+    let mut marks = VisitMarks::new(g.num_vertices());
+    g.vertices()
+        .map(|v| bfs_eccentricity_serial(g, v, &mut marks).eccentricity)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdiam_graph::generators::{cycle, path, star};
+    use fdiam_graph::transform::disjoint_union;
+    use fdiam_graph::CsrGraph;
+
+    #[test]
+    fn known_diameters() {
+        assert_eq!(naive_diameter(&path(7)).diameter(), Some(6));
+        assert_eq!(naive_diameter(&cycle(9)).diameter(), Some(4));
+        assert_eq!(naive_diameter(&star(5)).diameter(), Some(2));
+    }
+
+    #[test]
+    fn disconnected() {
+        let g = disjoint_union(&path(4), &cycle(8));
+        let r = naive_diameter(&g);
+        assert!(!r.connected);
+        assert_eq!(r.largest_cc_diameter, 4);
+        assert_eq!(r.bfs_calls, 12);
+    }
+
+    #[test]
+    fn empty_and_trivial() {
+        assert_eq!(naive_diameter(&CsrGraph::empty(0)).diameter(), Some(0));
+        let one = naive_diameter(&CsrGraph::empty(1));
+        assert_eq!(one.diameter(), Some(0));
+        assert!(one.connected);
+    }
+
+    #[test]
+    fn eccentricity_vector() {
+        assert_eq!(all_eccentricities(&path(5)), vec![4, 3, 2, 3, 4]);
+        // figure 1 of the paper: K4 minus edge B-C has eccs A=1, D=1, B=2, C=2
+        let g = fdiam_graph::EdgeList::from_undirected(
+            4,
+            &[(0, 1), (0, 2), (0, 3), (3, 1), (3, 2)],
+        )
+        .to_undirected_csr();
+        assert_eq!(all_eccentricities(&g), vec![1, 2, 2, 1]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Microbenchmark of the BFS kernels underlying every diameter code:
+//! serial top-down vs parallel direction-optimized (hybrid), on a
+//! high-diameter grid and a low-diameter power-law graph — the two
+//! regimes §6.2 identifies as the extremes for BFS parallelism.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fdiam_bfs::{bfs_eccentricity_hybrid, bfs_eccentricity_serial, BfsConfig, VisitMarks};
+use fdiam_graph::generators::{barabasi_albert, grid2d};
+use std::hint::black_box;
+
+fn bench_bfs(c: &mut Criterion) {
+    let grid = grid2d(100, 100);
+    let ba = barabasi_albert(10_000, 8, 7);
+    let cfg = BfsConfig::default();
+    let top_down_only = BfsConfig {
+        direction_optimized: false,
+        ..cfg
+    };
+
+    let mut group = c.benchmark_group("bfs_kernel");
+    for (name, g) in [("grid_100x100", &grid), ("ba_10k_m8", &ba)] {
+        let mut marks = VisitMarks::new(g.num_vertices());
+        group.bench_function(format!("{name}/serial"), |b| {
+            b.iter(|| black_box(bfs_eccentricity_serial(g, 0, &mut marks).eccentricity))
+        });
+        let mut marks = VisitMarks::new(g.num_vertices());
+        group.bench_function(format!("{name}/hybrid"), |b| {
+            b.iter(|| black_box(bfs_eccentricity_hybrid(g, 0, &mut marks, &cfg).eccentricity))
+        });
+        let mut marks = VisitMarks::new(g.num_vertices());
+        group.bench_function(format!("{name}/parallel_top_down"), |b| {
+            b.iter(|| {
+                black_box(bfs_eccentricity_hybrid(g, 0, &mut marks, &top_down_only).eccentricity)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_bfs
+}
+criterion_main!(benches);

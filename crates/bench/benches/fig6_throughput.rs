@@ -1,0 +1,42 @@
+//! Criterion version of Figure 6 / Table 2: all five diameter codes on
+//! one representative input per topology class (scaled down so the full
+//! bench completes in minutes). The *ordering* of the codes per input
+//! is the paper's headline claim: F-Diam ≥ everything, often by orders
+//! of magnitude.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fdiam_baselines::{graph_diameter, ifub};
+use fdiam_core::FdiamConfig;
+use fdiam_graph::generators::{barabasi_albert, grid2d, kronecker_graph500, road_like};
+use std::hint::black_box;
+
+fn bench_codes(c: &mut Criterion) {
+    let inputs = [
+        ("grid_48x48", grid2d(48, 48)),
+        ("ba_4k_m6", barabasi_albert(4_000, 6, 1)),
+        ("road_4k", road_like(4_000, 0.1, 2)),
+        ("kron_s11", kronecker_graph500(11, 12, 3)),
+    ];
+    for (name, g) in &inputs {
+        let mut group = c.benchmark_group(format!("fig6/{name}"));
+        group.bench_function("fdiam_ser", |b| {
+            b.iter(|| black_box(fdiam_core::diameter_with(g, &FdiamConfig::serial()).result))
+        });
+        group.bench_function("fdiam_par", |b| {
+            b.iter(|| black_box(fdiam_core::diameter_with(g, &FdiamConfig::parallel()).result))
+        });
+        group.bench_function("ifub_ser", |b| b.iter(|| black_box(ifub::ifub(g))));
+        group.bench_function("ifub_par", |b| b.iter(|| black_box(ifub::ifub_parallel(g))));
+        group.bench_function("graph_diameter", |b| {
+            b.iter(|| black_box(graph_diameter::graph_diameter(g)))
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_codes
+}
+criterion_main!(benches);

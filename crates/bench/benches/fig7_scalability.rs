@@ -1,0 +1,44 @@
+//! Criterion version of Figure 7: parallel F-Diam across thread-pool
+//! sizes. On the paper's 32-core machine throughput rises to 32
+//! threads; on fewer cores the curve flattens at the physical core
+//! count (§6.2 discusses both the memory-bandwidth and frontier-size
+//! limits).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fdiam_core::FdiamConfig;
+use fdiam_graph::generators::barabasi_albert;
+use std::hint::black_box;
+
+fn bench_threads(c: &mut Criterion) {
+    let g = barabasi_albert(20_000, 8, 5);
+    let host = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut threads = vec![1usize];
+    while *threads.last().unwrap() * 2 <= host.max(4) {
+        threads.push(threads.last().unwrap() * 2);
+    }
+
+    let mut group = c.benchmark_group("fig7/ba_20k_m8");
+    for &t in &threads {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build()
+            .expect("pool");
+        group.bench_function(format!("threads_{t}"), |b| {
+            b.iter(|| {
+                pool.install(|| {
+                    black_box(fdiam_core::diameter_with(&g, &FdiamConfig::parallel()).result)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_threads
+}
+criterion_main!(benches);

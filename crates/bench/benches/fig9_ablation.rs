@@ -1,0 +1,38 @@
+//! Criterion version of Figure 9 / Table 5: F-Diam with each
+//! optimization disabled in turn. Expected shape (§6.5): "no Winnow"
+//! is the most damaging ablation, then "no 'u'", then "no Eliminate"
+//! (whose cost concentrates on high-diameter inputs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fdiam_core::FdiamConfig;
+use fdiam_graph::generators::{barabasi_albert, road_like};
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let inputs = [
+        ("ba_6k_m5", barabasi_albert(6_000, 5, 4)),
+        ("road_6k", road_like(6_000, 0.12, 9)),
+    ];
+    let configs = [
+        ("full", FdiamConfig::parallel()),
+        ("no_winnow", FdiamConfig::parallel().without_winnow()),
+        ("no_eliminate", FdiamConfig::parallel().without_eliminate()),
+        ("no_u", FdiamConfig::parallel().without_max_degree_start()),
+    ];
+    for (name, g) in &inputs {
+        let mut group = c.benchmark_group(format!("fig9/{name}"));
+        for (cname, cfg) in &configs {
+            group.bench_function(*cname, |b| {
+                b.iter(|| black_box(fdiam_core::diameter_with(g, cfg).result))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablations
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Design-choice ablation (§4.6): the paper "also tried running
+//! multiple BFS traversals in parallel. However, this did not yield a
+//! speedup because it resulted in too much redundant work". This bench
+//! reproduces that negative result: `run_concurrent` with growing batch
+//! sizes against the adopted design (each BFS internally parallel).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fdiam_core::FdiamConfig;
+use fdiam_graph::generators::{barabasi_albert, road_like};
+use std::hint::black_box;
+
+fn bench_multi_bfs(c: &mut Criterion) {
+    let inputs = [
+        ("ba_6k", barabasi_albert(6_000, 5, 1)),
+        ("road_6k", road_like(6_000, 0.15, 2)),
+    ];
+    for (name, g) in &inputs {
+        let mut group = c.benchmark_group(format!("multi_bfs/{name}"));
+        group.bench_function("adopted_parallel_bfs", |b| {
+            b.iter(|| black_box(fdiam_core::run(g, &FdiamConfig::parallel()).result))
+        });
+        for batch in [2usize, 8, 32] {
+            group.bench_function(format!("concurrent_batch_{batch}"), |b| {
+                b.iter(|| {
+                    black_box(fdiam_core::run_concurrent(g, &FdiamConfig::serial(), batch).result)
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_multi_bfs
+}
+criterion_main!(benches);

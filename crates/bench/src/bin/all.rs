@@ -1,0 +1,39 @@
+//! Runs every experiment in sequence — the one-command reproduction of
+//! the paper's whole evaluation section at the current `SCALE`.
+//!
+//! ```text
+//! SCALE=medium cargo run -p fdiam-bench --release --bin all
+//! ```
+
+use std::process::Command;
+
+const BINARIES: [&str; 7] = [
+    "table1",
+    "table2_fig6",
+    "table3",
+    "table4",
+    "fig8",
+    "table5_fig9",
+    "fig7",
+];
+
+fn main() {
+    let self_path = std::env::current_exe().expect("current_exe");
+    let dir = self_path.parent().expect("binary directory");
+    let mut failures = Vec::new();
+    for bin in BINARIES {
+        println!("\n======== {bin} ========\n");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            failures.push(bin);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall experiments completed");
+    } else {
+        eprintln!("\nfailed: {failures:?}");
+        std::process::exit(1);
+    }
+}

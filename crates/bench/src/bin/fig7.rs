@@ -1,0 +1,79 @@
+//! Regenerates the paper's **Figure 7**: geometric-mean F-Diam
+//! throughput over all inputs as a function of thread count.
+//!
+//! Thread counts sweep powers of two up to `FDIAM_MAX_THREADS` (default:
+//! the host's logical CPU count). On a single-core host the curve is
+//! necessarily flat — the sweep still exercises the thread-pool
+//! machinery and records the measured numbers.
+//!
+//! ```text
+//! SCALE=small FDIAM_MAX_THREADS=8 cargo run -p fdiam-bench --release --bin fig7
+//! ```
+
+use fdiam_bench::format::Table;
+use fdiam_bench::runner::{geomean, measure, runs_from_env, throughput, timeout_from_env};
+use fdiam_bench::suite::{filtered_suite, Scale};
+use fdiam_core::FdiamConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    let runs = runs_from_env();
+    let budget = timeout_from_env();
+    let max_threads: usize = std::env::var("FDIAM_MAX_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        });
+    let mut thread_counts = vec![1usize];
+    while *thread_counts.last().unwrap() * 2 <= max_threads {
+        thread_counts.push(thread_counts.last().unwrap() * 2);
+    }
+
+    println!(
+        "Figure 7 — F-Diam geomean throughput vs thread count at scale {scale:?} \
+         (host parallelism: {})\n",
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    );
+
+    let graphs: Vec<_> = filtered_suite()
+        .into_iter()
+        .map(|e| (e.name, e.build(scale)))
+        .collect();
+
+    let mut t = Table::new(vec!["threads", "geomean throughput (v/s)", "speedup vs 1T"]);
+    let mut base: Option<f64> = None;
+    for &threads in &thread_counts {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool");
+        let mut tputs = Vec::new();
+        for (_, g) in &graphs {
+            let m = pool.install(|| {
+                measure(runs, budget, || {
+                    fdiam_core::diameter_with(g, &FdiamConfig::parallel()).result
+                })
+            });
+            if let Some(d) = m.median() {
+                tputs.push(throughput(g.num_vertices(), d));
+            }
+        }
+        let gm = geomean(&tputs);
+        let speedup = match base {
+            None => {
+                base = Some(gm);
+                1.0
+            }
+            Some(b) => gm / b,
+        };
+        t.row(vec![
+            threads.to_string(),
+            format!("{gm:.3e}"),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+    print!("{}", t.render());
+}

@@ -1,0 +1,41 @@
+//! Regenerates the paper's **Figure 8**: the fraction of F-Diam's
+//! runtime spent in each stage (eccentricity BFS, Winnow, Chain
+//! Processing, Eliminate, other).
+//!
+//! ```text
+//! SCALE=small cargo run -p fdiam-bench --release --bin fig8
+//! ```
+
+use fdiam_bench::format::Table;
+use fdiam_bench::suite::{filtered_suite, Scale};
+use fdiam_core::FdiamConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Figure 8 — % of F-Diam runtime per stage at scale {scale:?}\n");
+    let mut t = Table::new(vec![
+        "Graphs",
+        "ecc BFS",
+        "Winnow",
+        "Chain",
+        "Eliminate",
+        "other",
+        "total (s)",
+    ]);
+    for e in filtered_suite() {
+        let g = e.build(scale);
+        let out = fdiam_core::diameter_with(&g, &FdiamConfig::parallel());
+        let f = out.stats.timings.fractions();
+        t.row(vec![
+            e.name.to_string(),
+            format!("{:.1}%", 100.0 * f[0]),
+            format!("{:.1}%", 100.0 * f[1]),
+            format!("{:.1}%", 100.0 * f[2]),
+            format!("{:.1}%", 100.0 * f[3]),
+            format!("{:.1}%", 100.0 * f[4]),
+            format!("{:.3}", out.stats.timings.total.as_secs_f64()),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\nThe few eccentricity BFS calls dominate the runtime; Winnow is cheap (§6.4).");
+}

@@ -1,0 +1,48 @@
+//! Regenerates the paper's **Table 1**: the input-graph inventory
+//! (name, type, vertices, edges incl. back edges, average degree,
+//! maximum degree, largest CC diameter).
+//!
+//! ```text
+//! SCALE=small|large cargo run -p fdiam-bench --release --bin table1
+//! ```
+
+use fdiam_bench::format::Table;
+use fdiam_bench::suite::{filtered_suite, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Table 1 analogue — input graphs at scale {scale:?}\n");
+    let mut t = Table::new(vec![
+        "name",
+        "stands for",
+        "type",
+        "vertices",
+        "edges",
+        "avg degree",
+        "max degree",
+        "CC diameter",
+        "(paper's)",
+    ]);
+    for e in filtered_suite() {
+        let g = e.build(scale);
+        let r = fdiam_core::diameter(&g);
+        t.row(vec![
+            e.name.to_string(),
+            e.paper_name.to_string(),
+            e.class.to_string(),
+            g.num_vertices().to_string(),
+            g.num_arcs().to_string(),
+            format!("{:.1}", g.avg_degree()),
+            g.max_degree().to_string(),
+            format!(
+                "{}{}",
+                r.largest_cc_diameter,
+                if r.connected { "" } else { " (disconnected)" }
+            ),
+            e.paper_cc_diameter.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\nNote: synthetic analogues reproduce each paper input's topology class;");
+    println!("absolute sizes and diameters scale with SCALE (see DESIGN.md §3–4).");
+}

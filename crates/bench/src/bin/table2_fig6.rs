@@ -1,0 +1,143 @@
+//! Regenerates the paper's **Table 2** (median runtimes in seconds) and
+//! **Figure 6** (throughput in vertices/second, log scale) for the five
+//! codes: F-Diam (ser), F-Diam (par), iFUB (ser), iFUB (par), and
+//! Graph-Diameter — plus the geometric-mean speedup summary quoted in
+//! §6.1.
+//!
+//! ```text
+//! SCALE=small FDIAM_RUNS=3 FDIAM_TIMEOUT_SECS=120 \
+//!   cargo run -p fdiam-bench --release --bin table2_fig6
+//! ```
+
+use fdiam_baselines::{graph_diameter, ifub};
+use fdiam_bench::format::{secs, tput, Table};
+use fdiam_bench::runner::{geomean, measure, runs_from_env, throughput, timeout_from_env, Measurement};
+use fdiam_bench::suite::{filtered_suite, Scale};
+use fdiam_core::FdiamConfig;
+use std::time::Duration;
+
+const CODES: [&str; 5] = [
+    "F-Diam (ser)",
+    "F-Diam (par)",
+    "iFUB (ser)",
+    "iFUB (par)",
+    "Graph-Diam.",
+];
+
+fn main() {
+    let scale = Scale::from_env();
+    let runs = runs_from_env();
+    let budget = timeout_from_env();
+    println!(
+        "Table 2 / Figure 6 — runtimes and throughput at scale {scale:?} (median of {runs}, {budget:?} budget)\n"
+    );
+
+    let mut time_table = Table::new(vec![
+        "Graphs",
+        CODES[0],
+        CODES[1],
+        CODES[2],
+        CODES[3],
+        CODES[4],
+    ]);
+    let mut tput_table = Table::new(vec![
+        "Graphs",
+        CODES[0],
+        CODES[1],
+        CODES[2],
+        CODES[3],
+        CODES[4],
+    ]);
+    // throughput[code][input]
+    let mut tputs: [Vec<Option<f64>>; 5] = Default::default();
+
+    for e in filtered_suite() {
+        let g = e.build(scale);
+        let n = g.num_vertices();
+
+        let fd_ser = measure(runs, budget, || {
+            fdiam_core::diameter_with(&g, &FdiamConfig::serial()).result
+        });
+        let fd_par = measure(runs, budget, || {
+            fdiam_core::diameter_with(&g, &FdiamConfig::parallel()).result
+        });
+        let ifub_ser = measure(runs, budget, || ifub::ifub(&g));
+        let ifub_par = measure(runs, budget, || ifub::ifub_parallel(&g));
+        let gd = measure(runs, budget, || graph_diameter::graph_diameter(&g));
+
+        // cross-check: every code that finished must agree
+        let reference = fd_par
+            .result()
+            .map(|r| r.largest_cc_diameter)
+            .expect("F-Diam must finish");
+        for (name, got) in [
+            (CODES[0], fd_ser.result().map(|r| r.largest_cc_diameter)),
+            (CODES[2], ifub_ser.result().map(|r| r.largest_cc_diameter)),
+            (CODES[3], ifub_par.result().map(|r| r.largest_cc_diameter)),
+            (CODES[4], gd.result().map(|r| r.largest_cc_diameter)),
+        ] {
+            if let Some(d) = got {
+                assert_eq!(d, reference, "{name} disagrees on {}", e.name);
+            }
+        }
+
+        let medians: [Option<Duration>; 5] = [
+            fd_ser.median(),
+            fd_par.median(),
+            ifub_ser.median(),
+            ifub_par.median(),
+            gd.median(),
+        ];
+        time_table.row(vec![
+            e.name.to_string(),
+            secs(medians[0]),
+            secs(medians[1]),
+            secs(medians[2]),
+            secs(medians[3]),
+            secs(medians[4]),
+        ]);
+        let mut tput_row = vec![e.name.to_string()];
+        for (i, m) in medians.iter().enumerate() {
+            let tp = m.map(|d| throughput(n, d));
+            tput_row.push(tput(tp));
+            tputs[i].push(tp);
+        }
+        tput_table.row(tput_row);
+        let _ = matches!(fd_par, Measurement::Done { .. });
+    }
+
+    println!("Table 2 — median runtimes in seconds (T/O = over budget):\n");
+    print!("{}", time_table.render());
+    println!("\nFigure 6 — throughput in vertices/second (plot on a log axis):\n");
+    print!("{}", tput_table.render());
+
+    // Geometric-mean speedups over commonly-finished inputs (§6.1
+    // footnote 2: "speedups are computed based on the geometric-mean
+    // throughput over only the inputs on which neither code times out").
+    println!("\nGeometric-mean throughput and speedups vs F-Diam:");
+    let fd_ser_t = &tputs[0];
+    let fd_par_t = &tputs[1];
+    for (i, code) in CODES.iter().enumerate() {
+        let xs: Vec<f64> = tputs[i].iter().flatten().copied().collect();
+        println!("  {code:13}: geomean {:.3e} v/s over {} inputs", geomean(&xs), xs.len());
+    }
+    for (base_name, base) in [(CODES[0], fd_ser_t), (CODES[1], fd_par_t)] {
+        for (i, code) in CODES.iter().enumerate().skip(2) {
+            let pairs: Vec<(f64, f64)> = base
+                .iter()
+                .zip(&tputs[i])
+                .filter_map(|(a, b)| Some(((*a)?, (*b)?)))
+                .collect();
+            if pairs.is_empty() {
+                continue;
+            }
+            let ours = geomean(&pairs.iter().map(|p| p.0).collect::<Vec<_>>());
+            let theirs = geomean(&pairs.iter().map(|p| p.1).collect::<Vec<_>>());
+            println!(
+                "  {base_name} is {:>8.1}x faster than {code} (over {} common inputs)",
+                ours / theirs,
+                pairs.len()
+            );
+        }
+    }
+}

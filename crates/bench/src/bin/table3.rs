@@ -1,0 +1,46 @@
+//! Regenerates the paper's **Table 3**: number of BFS traversals
+//! performed by F-Diam, iFUB, and Graph-Diameter on each input.
+//!
+//! Counting convention (§6.3): for F-Diam a traversal is an
+//! eccentricity computation *or* a Winnow invocation; Eliminate is not
+//! counted. The baselines count every BFS they launch.
+//!
+//! ```text
+//! SCALE=small cargo run -p fdiam-bench --release --bin table3
+//! ```
+
+use fdiam_baselines::{graph_diameter, ifub};
+use fdiam_bench::format::Table;
+use fdiam_bench::suite::{filtered_suite, Scale};
+use fdiam_core::FdiamConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Table 3 — number of BFS traversals at scale {scale:?}\n");
+    let mut t = Table::new(vec!["Graphs", "F-Diam", "iFUB", "Graph-Diameter", "n"]);
+    for e in filtered_suite() {
+        let g = e.build(scale);
+        let fd = fdiam_core::diameter_with(&g, &FdiamConfig::parallel());
+        let ifub_r = ifub::ifub(&g);
+        let gd = graph_diameter::graph_diameter(&g);
+        assert_eq!(
+            fd.result.largest_cc_diameter, ifub_r.largest_cc_diameter,
+            "disagreement on {}",
+            e.name
+        );
+        assert_eq!(
+            fd.result.largest_cc_diameter, gd.largest_cc_diameter,
+            "disagreement on {}",
+            e.name
+        );
+        t.row(vec![
+            e.name.to_string(),
+            fd.stats.bfs_traversals().to_string(),
+            ifub_r.bfs_calls.to_string(),
+            gd.bfs_calls.to_string(),
+            g.num_vertices().to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\nAll three codes traverse orders of magnitude fewer than n BFS (§6.3).");
+}

@@ -1,0 +1,93 @@
+//! Regenerates the paper's **Table 5** (BFS calls per ablated F-Diam
+//! version) and **Figure 9** (throughput of each version): the full
+//! code vs "no Winnow", "no Eliminate", and "no 'u'" (start from vertex
+//! 0 instead of the max-degree vertex).
+//!
+//! ```text
+//! SCALE=small cargo run -p fdiam-bench --release --bin table5_fig9
+//! ```
+
+use fdiam_bench::format::{tput, Table};
+use fdiam_bench::runner::{geomean, measure, runs_from_env, throughput, timeout_from_env};
+use fdiam_bench::suite::{filtered_suite, Scale};
+use fdiam_core::{FdiamConfig, FdiamOutcome};
+
+fn configs() -> [(&'static str, FdiamConfig); 4] {
+    [
+        ("F-Diam", FdiamConfig::parallel()),
+        ("no Winnow", FdiamConfig::parallel().without_winnow()),
+        ("no Elim.", FdiamConfig::parallel().without_eliminate()),
+        ("no 'u'", FdiamConfig::parallel().without_max_degree_start()),
+    ]
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let runs = runs_from_env();
+    let budget = timeout_from_env();
+    println!(
+        "Table 5 / Figure 9 — F-Diam ablations at scale {scale:?} (median of {runs})\n"
+    );
+
+    let mut calls_table = Table::new(vec!["Graphs", "F-Diam", "no Winnow", "no Elim.", "no 'u'"]);
+    let mut tput_table = Table::new(vec!["Graphs", "F-Diam", "no Winnow", "no Elim.", "no 'u'"]);
+    let mut tputs: [Vec<Option<f64>>; 4] = Default::default();
+
+    for e in filtered_suite() {
+        let g = e.build(scale);
+        let n = g.num_vertices();
+        let mut calls_row = vec![e.name.to_string()];
+        let mut tput_row = vec![e.name.to_string()];
+        let mut reference: Option<u32> = None;
+        for (i, (name, cfg)) in configs().iter().enumerate() {
+            let m = measure(runs, budget, || -> FdiamOutcome {
+                fdiam_core::diameter_with(&g, cfg)
+            });
+            match (m.median(), m.result()) {
+                (Some(d), Some(out)) => {
+                    let diam = out.result.largest_cc_diameter;
+                    match reference {
+                        None => reference = Some(diam),
+                        Some(r) => assert_eq!(r, diam, "{name} disagrees on {}", e.name),
+                    }
+                    calls_row.push(out.stats.bfs_traversals().to_string());
+                    let tp = throughput(n, d);
+                    tput_row.push(tput(Some(tp)));
+                    tputs[i].push(Some(tp));
+                }
+                _ => {
+                    calls_row.push("T/O".to_string());
+                    tput_row.push("T/O".to_string());
+                    tputs[i].push(None);
+                }
+            }
+        }
+        calls_table.row(calls_row);
+        tput_table.row(tput_row);
+    }
+
+    println!("Table 5 — number of BFS calls per version:\n");
+    print!("{}", calls_table.render());
+    println!("\nFigure 9 — throughput (vertices/s) per version:\n");
+    print!("{}", tput_table.render());
+
+    println!("\nRelative geomean throughput vs full F-Diam (common inputs):");
+    let full = &tputs[0];
+    for (i, (name, _)) in configs().iter().enumerate().skip(1) {
+        let pairs: Vec<(f64, f64)> = full
+            .iter()
+            .zip(&tputs[i])
+            .filter_map(|(a, b)| Some(((*a)?, (*b)?)))
+            .collect();
+        if pairs.is_empty() {
+            println!("  {name:10}: no common finishes");
+            continue;
+        }
+        let f = geomean(&pairs.iter().map(|p| p.0).collect::<Vec<_>>());
+        let a = geomean(&pairs.iter().map(|p| p.1).collect::<Vec<_>>());
+        println!(
+            "  {name:10}: runs at {:.0}% of full speed (paper: no Winnow 2%, no 'u' 17%, no Elim. 22%)",
+            100.0 * a / f
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// A simple left-padded text table.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                line.push(' ');
+                line.push_str(c);
+                line.extend(std::iter::repeat(' ').take(w - c.chars().count()));
+                line.push_str(" |");
+            }
+            line
+        };
+        out.push_str(&render_row(&self.header, &widths));
+        out.push('\n');
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&"-".repeat(w + 2));
+            sep.push('|');
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a duration in seconds with 3 decimals, like the paper's
+/// Table 2, or "T/O" for a timeout.
+pub fn secs(d: Option<std::time::Duration>) -> String {
+    match d {
+        Some(d) => format!("{:.3}", d.as_secs_f64()),
+        None => "T/O".to_string(),
+    }
+}
+
+/// Formats a throughput value compactly (e.g. `3.1e6`).
+pub fn tput(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.3e}"),
+        None => "T/O".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new(vec!["graph", "n"]);
+        t.row(vec!["a", "10"]);
+        t.row(vec!["long-name", "7"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.chars().count() == lines[0].chars().count()));
+        assert!(lines[0].contains("graph"));
+        assert!(lines[3].contains("long-name"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(Some(Duration::from_millis(1234))), "1.234");
+        assert_eq!(secs(None), "T/O");
+        assert_eq!(tput(Some(1234.5)), "1.234e3");
+        assert_eq!(tput(None), "T/O");
+    }
+}

@@ -1,0 +1,31 @@
+//! # fdiam-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation section (§5–6) on synthetic analogues of the 17
+//! inputs of Table 1.
+//!
+//! * [`suite`] — the input suite: one deterministic generator
+//!   configuration per paper input, at an environment-selected scale
+//!   (`SCALE=small|large`, default `small` for laptop runs).
+//! * [`runner`] — median-of-N timing, soft timeouts, throughput
+//!   (vertices/second, the paper's metric), and geometric means.
+//! * [`format`] — plain-text table rendering for the binaries.
+//!
+//! Each experiment has a binary (see `src/bin/`):
+//!
+//! | binary        | regenerates                                   |
+//! |---------------|-----------------------------------------------|
+//! | `table1`      | Table 1 (input inventory)                     |
+//! | `table2_fig6` | Table 2 + Figure 6 (runtimes / throughput)    |
+//! | `fig7`        | Figure 7 (throughput vs thread count)         |
+//! | `table3`      | Table 3 (BFS traversal counts)                |
+//! | `table4`      | Table 4 (% removed per stage)                 |
+//! | `fig8`        | Figure 8 (% runtime per stage)                |
+//! | `table5_fig9` | Table 5 + Figure 9 (ablations)                |
+//!
+//! Criterion benches (`benches/`) cover the same comparisons in
+//! statistically robust micro form.
+
+pub mod format;
+pub mod runner;
+pub mod suite;

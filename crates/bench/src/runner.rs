@@ -1,0 +1,159 @@
+//! Measurement utilities: median-of-N timing with a soft wall-clock
+//! budget, throughput, and geometric means — the paper's methodology
+//! (§5: 9 runs, median, 2.5 h timeout per input, throughput =
+//! vertices/second).
+
+use std::time::{Duration, Instant};
+
+/// Number of repetitions per measurement (`FDIAM_RUNS`, default 3; the
+/// paper uses 9).
+pub fn runs_from_env() -> usize {
+    std::env::var("FDIAM_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&r| r > 0)
+        .unwrap_or(3)
+}
+
+/// Per-measurement wall-clock budget (`FDIAM_TIMEOUT_SECS`, default
+/// 120 s; the paper's budget is 2.5 h). The budget is *soft*: it is
+/// checked between runs, and a first run longer than the budget marks
+/// the measurement as timed out.
+pub fn timeout_from_env() -> Duration {
+    let secs = std::env::var("FDIAM_TIMEOUT_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120u64);
+    Duration::from_secs(secs)
+}
+
+/// A timed measurement: the median runtime and the last result, or a
+/// timeout marker.
+#[derive(Clone, Debug)]
+pub enum Measurement<R> {
+    Done { median: Duration, result: R },
+    TimedOut,
+}
+
+impl<R> Measurement<R> {
+    pub fn median(&self) -> Option<Duration> {
+        match self {
+            Measurement::Done { median, .. } => Some(*median),
+            Measurement::TimedOut => None,
+        }
+    }
+
+    pub fn result(&self) -> Option<&R> {
+        match self {
+            Measurement::Done { result, .. } => Some(result),
+            Measurement::TimedOut => None,
+        }
+    }
+}
+
+/// Runs `f` up to `runs` times within the soft `budget`, returning the
+/// median runtime. The first run always executes; if it alone exceeds
+/// the budget the measurement is reported as timed out (matching the
+/// paper's T/O entries).
+pub fn measure<R>(runs: usize, budget: Duration, mut f: impl FnMut() -> R) -> Measurement<R> {
+    assert!(runs > 0);
+    let start = Instant::now();
+    let mut times = Vec::with_capacity(runs);
+    let mut last = None;
+    for i in 0..runs {
+        if i > 0 && start.elapsed() + times[0] > budget {
+            break; // keep what we have rather than blow the budget
+        }
+        let t = Instant::now();
+        let r = f();
+        times.push(t.elapsed());
+        last = Some(r);
+        if i == 0 && times[0] > budget {
+            return Measurement::TimedOut;
+        }
+    }
+    times.sort_unstable();
+    Measurement::Done {
+        median: times[times.len() / 2],
+        result: last.expect("at least one run"),
+    }
+}
+
+/// The paper's throughput metric: vertices per second.
+pub fn throughput(vertices: usize, time: Duration) -> f64 {
+    let s = time.as_secs_f64();
+    if s == 0.0 {
+        f64::INFINITY
+    } else {
+        vertices as f64 / s
+    }
+}
+
+/// Geometric mean of positive values; 0 for an empty slice.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs.iter().map(|&x| x.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_returns_median_and_result() {
+        let mut calls = 0;
+        let m = measure(3, Duration::from_secs(60), || {
+            calls += 1;
+            calls
+        });
+        match m {
+            Measurement::Done { result, median } => {
+                assert_eq!(result, 3);
+                assert!(median < Duration::from_secs(1));
+            }
+            Measurement::TimedOut => panic!("should not time out"),
+        }
+    }
+
+    #[test]
+    fn measure_times_out_on_slow_first_run() {
+        let m = measure(3, Duration::from_millis(1), || {
+            std::thread::sleep(Duration::from_millis(10));
+        });
+        assert!(matches!(m, Measurement::TimedOut));
+        assert!(m.median().is_none());
+    }
+
+    #[test]
+    fn measure_stops_early_when_budget_spent() {
+        let mut calls = 0;
+        let m = measure(100, Duration::from_millis(30), || {
+            calls += 1;
+            std::thread::sleep(Duration::from_millis(10));
+        });
+        assert!(matches!(m, Measurement::Done { .. }));
+        assert!(calls < 100, "should stop well before 100 runs");
+    }
+
+    #[test]
+    fn throughput_metric() {
+        assert_eq!(throughput(1000, Duration::from_secs(2)), 500.0);
+        assert!(throughput(5, Duration::ZERO).is_infinite());
+    }
+
+    #[test]
+    fn geomean_values() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[4.0, 9.0]) - 6.0).abs() < 1e-12);
+        assert!((geomean(&[10.0, 10.0, 10.0]) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn env_defaults() {
+        assert!(runs_from_env() >= 1);
+        assert!(timeout_from_env() >= Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,143 @@
+//! Full single-source distance computation.
+//!
+//! The baselines need more than the eccentricity: iFUB partitions
+//! vertices into fringe sets by their distance from the start vertex,
+//! and Graph-Diameter updates per-vertex eccentricity upper bounds with
+//! `ecc(x) ≤ d(x, y) + ecc(y)` — both require the whole distance array
+//! of a BFS. `u32::MAX` denotes "unreachable".
+
+use crate::visited::VisitMarks;
+use fdiam_graph::{CsrGraph, VertexId};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Distance from a BFS, `u32::MAX` for unreachable vertices.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Serial BFS filling `dist` (resized and reset to [`UNREACHABLE`]).
+/// Returns the eccentricity of `source` within its component.
+pub fn bfs_distances_serial(g: &CsrGraph, source: VertexId, dist: &mut Vec<u32>) -> u32 {
+    dist.clear();
+    dist.resize(g.num_vertices(), UNREACHABLE);
+    dist[source as usize] = 0;
+    let mut frontier = vec![source];
+    let mut level = 0u32;
+    let mut next = Vec::new();
+    while !frontier.is_empty() {
+        level += 1;
+        next.clear();
+        for &v in &frontier {
+            for &n in g.neighbors(v) {
+                let d = &mut dist[n as usize];
+                if *d == UNREACHABLE {
+                    *d = level;
+                    next.push(n);
+                }
+            }
+        }
+        if next.is_empty() {
+            return level - 1;
+        }
+        std::mem::swap(&mut frontier, &mut next);
+    }
+    0
+}
+
+/// Parallel BFS returning a fresh distance vector and the eccentricity.
+/// Uses atomic claims on a shared [`VisitMarks`]; distances are written
+/// only by claim winners, so plain atomic stores suffice.
+pub fn bfs_distances_parallel(
+    g: &CsrGraph,
+    source: VertexId,
+    marks: &mut VisitMarks,
+) -> (Vec<u32>, u32) {
+    let n = g.num_vertices();
+    let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHABLE)).collect();
+    let epoch = marks.next_epoch();
+    marks.mark(source, epoch);
+    dist[source as usize].store(0, Ordering::Relaxed);
+    let mut frontier = vec![source];
+    let mut level = 0u32;
+    loop {
+        level += 1;
+        let next: Vec<VertexId> = frontier
+            .par_iter()
+            .fold(Vec::new, |mut acc, &v| {
+                for &nb in g.neighbors(v) {
+                    if marks.try_claim(nb, epoch) {
+                        dist[nb as usize].store(level, Ordering::Relaxed);
+                        acc.push(nb);
+                    }
+                }
+                acc
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            });
+        if next.is_empty() {
+            let dist_out: Vec<u32> = dist.into_iter().map(AtomicU32::into_inner).collect();
+            return (dist_out, level - 1);
+        }
+        frontier = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdiam_graph::generators::{cycle, grid2d, path, star};
+    use fdiam_graph::transform::disjoint_union;
+
+    #[test]
+    fn path_distances() {
+        let g = path(5);
+        let mut dist = Vec::new();
+        let ecc = bfs_distances_serial(&g, 0, &mut dist);
+        assert_eq!(dist, vec![0, 1, 2, 3, 4]);
+        assert_eq!(ecc, 4);
+    }
+
+    #[test]
+    fn unreachable_marked() {
+        let g = disjoint_union(&path(3), &path(2));
+        let mut dist = Vec::new();
+        let ecc = bfs_distances_serial(&g, 0, &mut dist);
+        assert_eq!(dist, vec![0, 1, 2, UNREACHABLE, UNREACHABLE]);
+        assert_eq!(ecc, 2);
+    }
+
+    #[test]
+    fn isolated_source_distance() {
+        let g = fdiam_graph::CsrGraph::empty(2);
+        let mut dist = Vec::new();
+        let ecc = bfs_distances_serial(&g, 0, &mut dist);
+        assert_eq!(ecc, 0);
+        assert_eq!(dist, vec![0, UNREACHABLE]);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        for g in [path(20), cycle(13), star(30), grid2d(6, 8)] {
+            let mut marks = VisitMarks::new(g.num_vertices());
+            for src in [0u32, (g.num_vertices() / 2) as u32] {
+                let mut d1 = Vec::new();
+                let e1 = bfs_distances_serial(&g, src, &mut d1);
+                let (d2, e2) = bfs_distances_parallel(&g, src, &mut marks);
+                assert_eq!(d1, d2);
+                assert_eq!(e1, e2);
+            }
+        }
+    }
+
+    #[test]
+    fn distances_respect_triangle_inequality() {
+        let g = grid2d(5, 5);
+        let mut dist = Vec::new();
+        bfs_distances_serial(&g, 12, &mut dist);
+        for (u, v) in g.arcs() {
+            let (du, dv) = (dist[u as usize] as i64, dist[v as usize] as i64);
+            assert!((du - dv).abs() <= 1, "adjacent distance gap > 1");
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Frontier expansion steps shared by the BFS drivers.
+//!
+//! A level-synchronous BFS alternates between two worklists (`wl1`,
+//! `wl2` in the paper's pseudocode). These helpers produce the next
+//! worklist from the current one:
+//!
+//! * [`expand_top_down_serial`] / [`expand_top_down_parallel`] — scan
+//!   the out-edges of the frontier, claiming unvisited neighbors
+//!   (Algorithm 2 lines 10–14).
+//! * [`expand_bottom_up`] — scan all *unvisited* vertices and add those
+//!   with a visited neighbor (Algorithm 2 lines 16–23). Because each
+//!   vertex only adds itself, no atomic claims are needed; new vertices
+//!   are marked afterwards to keep the step level-synchronous.
+
+use crate::visited::VisitMarks;
+use fdiam_graph::{CsrGraph, VertexId};
+use rayon::prelude::*;
+
+/// Sequential top-down step: returns the next frontier.
+pub fn expand_top_down_serial(
+    g: &CsrGraph,
+    frontier: &[VertexId],
+    marks: &VisitMarks,
+    epoch: u64,
+) -> Vec<VertexId> {
+    let mut next = Vec::new();
+    for &v in frontier {
+        for &n in g.neighbors(v) {
+            if !marks.is_visited(n, epoch) {
+                marks.mark(n, epoch);
+                next.push(n);
+            }
+        }
+    }
+    next
+}
+
+/// Parallel top-down step: the frontier is processed with rayon and
+/// neighbors are claimed atomically, matching the paper's description
+/// of threads that "atomically check if these neighbors have already
+/// been visited" (§4.6).
+pub fn expand_top_down_parallel(
+    g: &CsrGraph,
+    frontier: &[VertexId],
+    marks: &VisitMarks,
+    epoch: u64,
+) -> Vec<VertexId> {
+    frontier
+        .par_iter()
+        .fold(Vec::new, |mut acc, &v| {
+            for &n in g.neighbors(v) {
+                if marks.try_claim(n, epoch) {
+                    acc.push(n);
+                }
+            }
+            acc
+        })
+        .reduce(Vec::new, |mut a, mut b| {
+            a.append(&mut b);
+            a
+        })
+}
+
+/// Parallel bottom-up step: every unvisited vertex checks whether any
+/// neighbor is already visited. In a level-synchronous BFS, "visited"
+/// implies "at distance ≤ current level", so an unvisited vertex with a
+/// visited neighbor is at exactly the next level — which is why the
+/// paper's Algorithm 2 tests the counter rather than frontier
+/// membership. Newly found vertices are marked in a second pass
+/// (Algorithm 2 lines 22–23) so the scan itself needs no atomics.
+pub fn expand_bottom_up(g: &CsrGraph, marks: &VisitMarks, epoch: u64) -> Vec<VertexId> {
+    let n = g.num_vertices() as VertexId;
+    let next: Vec<VertexId> = (0..n)
+        .into_par_iter()
+        .filter(|&v| {
+            !marks.is_visited(v, epoch)
+                && g.neighbors(v).iter().any(|&w| marks.is_visited(w, epoch))
+        })
+        .collect();
+    next.par_iter().for_each(|&v| marks.mark(v, epoch));
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdiam_graph::generators::{path, star};
+
+    #[test]
+    fn serial_and_parallel_top_down_agree() {
+        let g = star(10);
+        let mut m1 = VisitMarks::new(10);
+        let e1 = m1.next_epoch();
+        m1.mark(0, e1);
+        let mut a = expand_top_down_serial(&g, &[0], &m1, e1);
+
+        let mut m2 = VisitMarks::new(10);
+        let e2 = m2.next_epoch();
+        m2.mark(0, e2);
+        let mut b = expand_top_down_parallel(&g, &[0], &m2, e2);
+
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 9);
+    }
+
+    #[test]
+    fn bottom_up_matches_top_down() {
+        let g = path(6);
+        // visit {0,1}; next level must be {2} under both schemes
+        let mut m = VisitMarks::new(6);
+        let e = m.next_epoch();
+        m.mark(0, e);
+        m.mark(1, e);
+        let bu = expand_bottom_up(&g, &m, e);
+        assert_eq!(bu, vec![2]);
+        assert!(m.is_visited(2, e), "bottom-up must mark its finds");
+    }
+
+    #[test]
+    fn no_duplicates_in_parallel_expansion() {
+        // diamond: 0-1, 0-2, 1-3, 2-3 → from {1,2}, vertex 3 found once
+        let g = fdiam_graph::EdgeList::from_undirected(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+            .to_undirected_csr();
+        let mut m = VisitMarks::new(4);
+        let e = m.next_epoch();
+        for v in [0, 1, 2] {
+            m.mark(v, e);
+        }
+        let next = expand_top_down_parallel(&g, &[1, 2], &m, e);
+        assert_eq!(next, vec![3]);
+    }
+}

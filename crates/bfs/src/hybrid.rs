@@ -1,0 +1,165 @@
+//! Direction-optimized parallel eccentricity BFS (Algorithm 2).
+//!
+//! Implements the paper's hybrid scheme (§4.6): a data-driven top-down
+//! expansion while the frontier is small, switching to a
+//! topology-driven bottom-up scan once the frontier exceeds
+//! `alpha · |V|` (the paper determined `alpha = 0.1` experimentally),
+//! and switching back when the frontier shrinks below the threshold
+//! again — "in line with the latest direction-optimized BFS
+//! implementations".
+
+use crate::frontier::{expand_bottom_up, expand_top_down_parallel};
+use crate::visited::VisitMarks;
+use crate::BfsResult;
+use fdiam_graph::{CsrGraph, VertexId};
+
+/// Tuning knobs for the hybrid BFS.
+#[derive(Clone, Copy, Debug)]
+pub struct BfsConfig {
+    /// Frontier-size fraction of `|V|` above which the bottom-up step
+    /// is used. The paper's value is 0.1.
+    pub alpha: f64,
+    /// Disable the bottom-up path entirely (pure parallel top-down).
+    pub direction_optimized: bool,
+    /// Frontiers smaller than this are expanded serially: on
+    /// high-diameter inputs (road maps with 30k+ levels) nearly every
+    /// frontier holds a handful of vertices, where fork-join overhead
+    /// dwarfs the work. The paper observes the same regime ("the BFS
+    /// traversals start out with little parallelism", §6.2).
+    pub serial_cutoff: usize,
+}
+
+impl Default for BfsConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 0.1,
+            direction_optimized: true,
+            serial_cutoff: 1024,
+        }
+    }
+}
+
+/// Parallel direction-optimized BFS from `source`.
+pub fn bfs_eccentricity_hybrid(
+    g: &CsrGraph,
+    source: VertexId,
+    marks: &mut VisitMarks,
+    config: &BfsConfig,
+) -> BfsResult {
+    let epoch = marks.next_epoch();
+    marks.mark(source, epoch);
+    let threshold = ((g.num_vertices() as f64) * config.alpha) as usize;
+    let mut frontier = vec![source];
+    let mut visited = 1usize;
+    let mut level = 0u32;
+    loop {
+        let bottom_up = config.direction_optimized && frontier.len() > threshold;
+        let next = if bottom_up {
+            expand_bottom_up(g, marks, epoch)
+        } else if frontier.len() < config.serial_cutoff {
+            crate::frontier::expand_top_down_serial(g, &frontier, marks, epoch)
+        } else {
+            expand_top_down_parallel(g, &frontier, marks, epoch)
+        };
+        if next.is_empty() {
+            return BfsResult {
+                eccentricity: level,
+                visited,
+                last_frontier: frontier,
+            };
+        }
+        visited += next.len();
+        level += 1;
+        frontier = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::bfs_eccentricity_serial;
+    use fdiam_graph::generators::*;
+    use fdiam_graph::transform::disjoint_union;
+    use fdiam_graph::CsrGraph;
+
+    fn check_matches_serial(g: &CsrGraph, config: &BfsConfig) {
+        let mut ms = VisitMarks::new(g.num_vertices());
+        let mut mh = VisitMarks::new(g.num_vertices());
+        for v in g.vertices() {
+            let s = bfs_eccentricity_serial(g, v, &mut ms);
+            let h = bfs_eccentricity_hybrid(g, v, &mut mh, config);
+            assert_eq!(s.eccentricity, h.eccentricity, "ecc mismatch at {v}");
+            assert_eq!(s.visited, h.visited, "visit count mismatch at {v}");
+            let mut sf = s.last_frontier;
+            let mut hf = h.last_frontier;
+            sf.sort_unstable();
+            hf.sort_unstable();
+            assert_eq!(sf, hf, "frontier mismatch at {v}");
+        }
+    }
+
+    #[test]
+    fn matches_serial_on_shapes() {
+        let cfg = BfsConfig::default();
+        for g in [
+            path(17),
+            cycle(12),
+            star(20),
+            complete(9),
+            grid2d(5, 7),
+            balanced_tree(3, 3),
+            lollipop(6, 5),
+        ] {
+            check_matches_serial(&g, &cfg);
+        }
+    }
+
+    #[test]
+    fn matches_serial_on_random_graphs() {
+        let cfg = BfsConfig::default();
+        for seed in 0..4 {
+            check_matches_serial(&erdos_renyi_gnm(120, 200, seed), &cfg);
+            check_matches_serial(&barabasi_albert(150, 3, seed), &cfg);
+        }
+    }
+
+    #[test]
+    fn matches_serial_when_bottom_up_forced() {
+        // alpha = 0 forces bottom-up from the very first level
+        let cfg = BfsConfig {
+            alpha: 0.0,
+            serial_cutoff: 0,
+            ..BfsConfig::default()
+        };
+        check_matches_serial(&grid2d(6, 6), &cfg);
+        check_matches_serial(&barabasi_albert(100, 4, 1), &cfg);
+    }
+
+    #[test]
+    fn matches_serial_with_direction_opt_disabled() {
+        let cfg = BfsConfig {
+            direction_optimized: false,
+            ..BfsConfig::default()
+        };
+        check_matches_serial(&cycle(15), &cfg);
+    }
+
+    #[test]
+    fn disconnected_graph() {
+        let g = disjoint_union(&star(5), &path(4));
+        let mut m = VisitMarks::new(9);
+        let r = bfs_eccentricity_hybrid(&g, 0, &mut m, &BfsConfig::default());
+        assert_eq!(r.eccentricity, 1);
+        assert_eq!(r.visited, 5);
+    }
+
+    #[test]
+    fn isolated_source() {
+        let g = CsrGraph::empty(2);
+        let mut m = VisitMarks::new(2);
+        let r = bfs_eccentricity_hybrid(&g, 1, &mut m, &BfsConfig::default());
+        assert_eq!(r.eccentricity, 0);
+        assert_eq!(r.visited, 1);
+        assert_eq!(r.last_frontier, vec![1]);
+    }
+}

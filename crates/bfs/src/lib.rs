@@ -1,0 +1,51 @@
+//! # fdiam-bfs
+//!
+//! BFS substrate for the F-Diam diameter library.
+//!
+//! The paper computes eccentricities with a *level-synchronous* BFS
+//! (Algorithm 2) and relies on three ingredients reproduced here:
+//!
+//! * [`VisitMarks`] — per-vertex visit *epochs* instead of boolean
+//!   flags, so no O(n) reset is needed between the thousands of
+//!   (partial) traversals F-Diam performs.
+//! * [`hybrid`] — direction-optimized BFS (Beamer et al.): top-down
+//!   frontier expansion switches to bottom-up scanning when the
+//!   frontier exceeds 10 % of the vertices (the paper's experimentally
+//!   determined threshold, §4.6), and back again when it shrinks.
+//! * [`multisource`] — partial, optionally multi-source BFS with a
+//!   per-visit callback; this is the engine behind Winnow, Eliminate,
+//!   and their incremental extensions (§4.2, §4.4, §4.5).
+//!
+//! Parallel variants use rayon with atomic claims
+//! (`compare_exchange`) exactly as the paper's OpenMP code uses atomic
+//! operations on the worklists.
+
+pub mod distances;
+pub mod frontier;
+pub mod hybrid;
+pub mod multisource;
+pub mod serial;
+pub mod serial_hybrid;
+pub mod visited;
+
+pub use hybrid::{bfs_eccentricity_hybrid, BfsConfig};
+pub use serial::bfs_eccentricity_serial;
+pub use serial_hybrid::bfs_eccentricity_serial_hybrid;
+pub use visited::VisitMarks;
+
+use fdiam_graph::VertexId;
+
+/// Outcome of an eccentricity BFS.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BfsResult {
+    /// Largest BFS level reached = eccentricity of the source *within
+    /// its connected component* (0 for an isolated vertex).
+    pub eccentricity: u32,
+    /// Number of vertices visited (including the source). Less than
+    /// `n` exactly when the graph is disconnected.
+    pub visited: usize,
+    /// The final non-empty frontier: all vertices at distance
+    /// `eccentricity` from the source. The 2-sweep (§4.1) picks its
+    /// next source from here (`wl1[0]` in Algorithm 1).
+    pub last_frontier: Vec<VertexId>,
+}

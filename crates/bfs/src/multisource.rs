@@ -1,0 +1,260 @@
+//! Partial, multi-source, level-synchronous BFS with a per-visit
+//! callback.
+//!
+//! This is the workhorse behind three of F-Diam's stages:
+//!
+//! * **Winnow** (Algorithm 3) — single-source partial BFS of
+//!   `⌊bound/2⌋` levels that marks every reached vertex as winnowed.
+//! * **Eliminate** (Algorithm 5) — single-source partial BFS of
+//!   `bound − ecc` levels recording eccentricity upper bounds.
+//! * **Extension** (§4.5) — when the diameter bound rises, one
+//!   *multi-source* partial BFS from all frontier vertices of prior
+//!   eliminations (and from the saved Winnow frontier) extends the
+//!   removed regions.
+//!
+//! The callback fires exactly once per newly visited vertex (the claim
+//! winner), with the level (1-based from the seeds) at which it was
+//! reached. Seeds themselves are marked visited but do not trigger the
+//! callback — in every use above, the seeds are already removed from
+//! consideration.
+
+use crate::frontier::{expand_top_down_parallel, expand_top_down_serial};
+use crate::visited::VisitMarks;
+use fdiam_graph::{CsrGraph, VertexId};
+use rayon::prelude::*;
+
+/// Result of a partial BFS: the final frontier (vertices at exactly
+/// `levels_run` from the seed set) and how many levels actually ran
+/// (less than `max_levels` if the traversal died out early).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartialBfs {
+    pub frontier: Vec<VertexId>,
+    pub levels_run: u32,
+    pub visited: usize,
+}
+
+/// Serial partial BFS. `on_visit(level, v)` is called once per newly
+/// reached vertex; levels start at 1 for direct neighbors of seeds.
+pub fn partial_bfs_serial(
+    g: &CsrGraph,
+    seeds: &[VertexId],
+    marks: &mut VisitMarks,
+    max_levels: u32,
+    mut on_visit: impl FnMut(u32, VertexId),
+) -> PartialBfs {
+    let epoch = marks.next_epoch();
+    for &s in seeds {
+        marks.mark(s, epoch);
+    }
+    let mut frontier = seeds.to_vec();
+    let mut level = 0u32;
+    let mut visited = 0usize;
+    while level < max_levels && !frontier.is_empty() {
+        level += 1;
+        let next = expand_top_down_serial(g, &frontier, marks, epoch);
+        if next.is_empty() {
+            return PartialBfs {
+                frontier,
+                levels_run: level - 1,
+                visited,
+            };
+        }
+        for &v in &next {
+            on_visit(level, v);
+        }
+        visited += next.len();
+        frontier = next;
+    }
+    PartialBfs {
+        frontier,
+        levels_run: level,
+        visited,
+    }
+}
+
+/// Frontiers below this size are expanded serially even in the
+/// "parallel" partial BFS — same rationale as
+/// [`crate::BfsConfig::serial_cutoff`].
+const SERIAL_CUTOFF: usize = 1024;
+
+/// Parallel partial BFS; `on_visit` must be thread-safe. The outer
+/// frontier loop is parallelized with atomic claims, matching the
+/// paper's parallel Winnow ("we parallelize the outer *for each* loop
+/// using atomic operations", §4.2). Small frontiers fall back to the
+/// serial step.
+pub fn partial_bfs_parallel(
+    g: &CsrGraph,
+    seeds: &[VertexId],
+    marks: &mut VisitMarks,
+    max_levels: u32,
+    on_visit: impl Fn(u32, VertexId) + Sync,
+) -> PartialBfs {
+    let epoch = marks.next_epoch();
+    seeds.par_iter().for_each(|&s| marks.mark(s, epoch));
+    let mut frontier = seeds.to_vec();
+    let mut level = 0u32;
+    let mut visited = 0usize;
+    while level < max_levels && !frontier.is_empty() {
+        level += 1;
+        let next = if frontier.len() < SERIAL_CUTOFF {
+            crate::frontier::expand_top_down_serial(g, &frontier, marks, epoch)
+        } else {
+            expand_top_down_parallel(g, &frontier, marks, epoch)
+        };
+        if next.is_empty() {
+            return PartialBfs {
+                frontier,
+                levels_run: level - 1,
+                visited,
+            };
+        }
+        if next.len() < SERIAL_CUTOFF {
+            next.iter().for_each(|&v| on_visit(level, v));
+        } else {
+            next.par_iter().for_each(|&v| on_visit(level, v));
+        }
+        visited += next.len();
+        frontier = next;
+    }
+    PartialBfs {
+        frontier,
+        levels_run: level,
+        visited,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdiam_graph::generators::{grid2d, path, star};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn levels_are_distances() {
+        let g = path(6);
+        let mut marks = VisitMarks::new(6);
+        let mut seen = Vec::new();
+        partial_bfs_serial(&g, &[0], &mut marks, 3, |lvl, v| seen.push((lvl, v)));
+        assert_eq!(seen, vec![(1, 1), (2, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn respects_level_cap() {
+        let g = path(10);
+        let mut marks = VisitMarks::new(10);
+        let r = partial_bfs_serial(&g, &[0], &mut marks, 4, |_, _| {});
+        assert_eq!(r.levels_run, 4);
+        assert_eq!(r.frontier, vec![4]);
+        assert_eq!(r.visited, 4);
+    }
+
+    #[test]
+    fn early_exhaustion_keeps_last_frontier() {
+        let g = path(3);
+        let mut marks = VisitMarks::new(3);
+        let r = partial_bfs_serial(&g, &[0], &mut marks, 10, |_, _| {});
+        assert_eq!(r.levels_run, 2);
+        assert_eq!(r.frontier, vec![2]);
+    }
+
+    #[test]
+    fn zero_levels_is_noop() {
+        let g = star(4);
+        let mut marks = VisitMarks::new(4);
+        let mut count = 0;
+        let r = partial_bfs_serial(&g, &[0], &mut marks, 0, |_, _| count += 1);
+        assert_eq!(count, 0);
+        assert_eq!(r.frontier, vec![0]);
+        assert_eq!(r.levels_run, 0);
+    }
+
+    #[test]
+    fn multi_source_meets_in_middle() {
+        let g = path(7);
+        let mut marks = VisitMarks::new(7);
+        let mut seen = Vec::new();
+        partial_bfs_serial(&g, &[0, 6], &mut marks, 10, |lvl, v| seen.push((lvl, v)));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(1, 1), (1, 5), (2, 2), (2, 4), (3, 3)]);
+    }
+
+    #[test]
+    fn seeds_do_not_fire_callback() {
+        let g = path(4);
+        let mut marks = VisitMarks::new(4);
+        let mut seen = Vec::new();
+        partial_bfs_serial(&g, &[1, 2], &mut marks, 10, |_, v| seen.push(v));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 3]);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let g = grid2d(7, 9);
+        let mut m1 = VisitMarks::new(g.num_vertices());
+        let mut m2 = VisitMarks::new(g.num_vertices());
+        let mut serial_seen: Vec<(u32, u32)> = Vec::new();
+        let r1 = partial_bfs_serial(&g, &[0, 62], &mut m1, 5, |l, v| serial_seen.push((l, v)));
+        let par_seen = parking_lot_free_collect(&g, &mut m2);
+        let mut r2_frontier = par_seen.1.frontier.clone();
+        serial_seen.sort_unstable();
+        let mut par_list = par_seen.0;
+        par_list.sort_unstable();
+        assert_eq!(serial_seen, par_list);
+        let mut f1 = r1.frontier.clone();
+        f1.sort_unstable();
+        r2_frontier.sort_unstable();
+        assert_eq!(f1, r2_frontier);
+        assert_eq!(r1.visited, par_seen.1.visited);
+    }
+
+    // helper: run the parallel variant collecting (level, v) pairs via a mutex-free vec
+    fn parallel_collect_impl(
+        g: &fdiam_graph::CsrGraph,
+        marks: &mut VisitMarks,
+        seeds: &[u32],
+        max_levels: u32,
+    ) -> (Vec<(u32, u32)>, PartialBfs) {
+        let n = g.num_vertices();
+        let level_of: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(usize::MAX)).collect();
+        let r = partial_bfs_parallel(g, seeds, marks, max_levels, |lvl, v| {
+            level_of[v as usize].store(lvl as usize, Ordering::Relaxed);
+        });
+        let pairs = level_of
+            .iter()
+            .enumerate()
+            .filter_map(|(v, l)| {
+                let l = l.load(Ordering::Relaxed);
+                (l != usize::MAX).then_some((l as u32, v as u32))
+            })
+            .collect();
+        (pairs, r)
+    }
+
+    fn parking_lot_free_collect(
+        g: &fdiam_graph::CsrGraph,
+        marks: &mut VisitMarks,
+    ) -> (Vec<(u32, u32)>, PartialBfs) {
+        parallel_collect_impl(g, marks, &[0, 62], 5)
+    }
+
+    #[test]
+    fn parallel_callback_fires_once_per_vertex() {
+        let g = star(100);
+        let mut marks = VisitMarks::new(100);
+        let count = AtomicUsize::new(0);
+        partial_bfs_parallel(&g, &[0], &mut marks, 2, |_, _| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 99);
+    }
+
+    #[test]
+    fn empty_seed_set() {
+        let g = path(3);
+        let mut marks = VisitMarks::new(3);
+        let r = partial_bfs_serial(&g, &[], &mut marks, 5, |_, _| {});
+        assert_eq!(r.levels_run, 0);
+        assert!(r.frontier.is_empty());
+    }
+}

@@ -1,0 +1,109 @@
+//! Sequential eccentricity BFS — the kernel of "F-Diam (ser)" in the
+//! paper's Tables 2–3.
+
+use crate::frontier::expand_top_down_serial;
+use crate::visited::VisitMarks;
+use crate::BfsResult;
+use fdiam_graph::{CsrGraph, VertexId};
+
+/// Level-synchronous sequential BFS from `source`; returns the
+/// eccentricity (within the source's component), the visit count, and
+/// the last non-empty frontier.
+pub fn bfs_eccentricity_serial(g: &CsrGraph, source: VertexId, marks: &mut VisitMarks) -> BfsResult {
+    let epoch = marks.next_epoch();
+    marks.mark(source, epoch);
+    let mut frontier = vec![source];
+    let mut visited = 1usize;
+    let mut level = 0u32;
+    loop {
+        let next = expand_top_down_serial(g, &frontier, marks, epoch);
+        if next.is_empty() {
+            return BfsResult {
+                eccentricity: level,
+                visited,
+                last_frontier: frontier,
+            };
+        }
+        visited += next.len();
+        level += 1;
+        frontier = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdiam_graph::generators::{complete, cycle, grid2d, path, star};
+    use fdiam_graph::transform::disjoint_union;
+    use fdiam_graph::CsrGraph;
+
+    fn ecc(g: &CsrGraph, v: VertexId) -> u32 {
+        let mut marks = VisitMarks::new(g.num_vertices());
+        bfs_eccentricity_serial(g, v, &mut marks).eccentricity
+    }
+
+    #[test]
+    fn path_eccentricities() {
+        let g = path(5);
+        assert_eq!(ecc(&g, 0), 4);
+        assert_eq!(ecc(&g, 2), 2);
+        assert_eq!(ecc(&g, 4), 4);
+    }
+
+    #[test]
+    fn cycle_eccentricities() {
+        let g = cycle(8);
+        for v in g.vertices() {
+            assert_eq!(ecc(&g, v), 4);
+        }
+    }
+
+    #[test]
+    fn star_and_complete() {
+        assert_eq!(ecc(&star(6), 0), 1);
+        assert_eq!(ecc(&star(6), 3), 2);
+        assert_eq!(ecc(&complete(5), 2), 1);
+    }
+
+    #[test]
+    fn grid_corner_to_corner() {
+        let g = grid2d(4, 6);
+        assert_eq!(ecc(&g, 0), 3 + 5);
+    }
+
+    #[test]
+    fn isolated_vertex_has_zero_ecc() {
+        let g = CsrGraph::empty(3);
+        assert_eq!(ecc(&g, 1), 0);
+    }
+
+    #[test]
+    fn disconnected_visits_only_component() {
+        let g = disjoint_union(&path(4), &path(3));
+        let mut marks = VisitMarks::new(7);
+        let r = bfs_eccentricity_serial(&g, 0, &mut marks);
+        assert_eq!(r.eccentricity, 3);
+        assert_eq!(r.visited, 4);
+    }
+
+    #[test]
+    fn last_frontier_is_farthest_set() {
+        let g = path(5);
+        let mut marks = VisitMarks::new(5);
+        let r = bfs_eccentricity_serial(&g, 2, &mut marks);
+        let mut lf = r.last_frontier.clone();
+        lf.sort_unstable();
+        assert_eq!(lf, vec![0, 4]);
+    }
+
+    #[test]
+    fn reusing_marks_across_traversals() {
+        let g = path(4);
+        let mut marks = VisitMarks::new(4);
+        for v in g.vertices() {
+            // no reset between calls — epochs isolate them
+            let r = bfs_eccentricity_serial(&g, v, &mut marks);
+            assert_eq!(r.visited, 4);
+        }
+    }
+}

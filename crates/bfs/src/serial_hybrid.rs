@@ -1,0 +1,115 @@
+//! Sequential *direction-optimized* eccentricity BFS.
+//!
+//! The paper's serial F-Diam also "incorporates state-of-the-art
+//! direction-optimized BFS" (§7) — the top-down/bottom-up switch is an
+//! edge-examination optimization orthogonal to parallelism (Beamer et
+//! al.). This is the serial analogue of
+//! [`crate::hybrid::bfs_eccentricity_hybrid`]: identical switching
+//! logic, no atomics, no thread pool.
+
+use crate::hybrid::BfsConfig;
+use crate::visited::VisitMarks;
+use crate::BfsResult;
+use fdiam_graph::{CsrGraph, VertexId};
+
+/// Serial BFS with the same 10 %-threshold direction switching as the
+/// parallel hybrid.
+pub fn bfs_eccentricity_serial_hybrid(
+    g: &CsrGraph,
+    source: VertexId,
+    marks: &mut VisitMarks,
+    config: &BfsConfig,
+) -> BfsResult {
+    let epoch = marks.next_epoch();
+    marks.mark(source, epoch);
+    let threshold = ((g.num_vertices() as f64) * config.alpha) as usize;
+    let mut frontier = vec![source];
+    let mut visited = 1usize;
+    let mut level = 0u32;
+    loop {
+        let next = if config.direction_optimized && frontier.len() > threshold {
+            bottom_up_serial(g, marks, epoch)
+        } else {
+            crate::frontier::expand_top_down_serial(g, &frontier, marks, epoch)
+        };
+        if next.is_empty() {
+            return BfsResult {
+                eccentricity: level,
+                visited,
+                last_frontier: frontier,
+            };
+        }
+        visited += next.len();
+        level += 1;
+        frontier = next;
+    }
+}
+
+/// Serial bottom-up step: every unvisited vertex joins the next
+/// frontier if any neighbor is visited (early exit on the first hit —
+/// the "wasted work" of bottom-up shrinks as the visited set grows).
+fn bottom_up_serial(g: &CsrGraph, marks: &VisitMarks, epoch: u64) -> Vec<VertexId> {
+    let n = g.num_vertices() as VertexId;
+    let mut next = Vec::new();
+    for v in 0..n {
+        if !marks.is_visited(v, epoch)
+            && g.neighbors(v).iter().any(|&w| marks.is_visited(w, epoch))
+        {
+            next.push(v);
+        }
+    }
+    for &v in &next {
+        marks.mark(v, epoch);
+    }
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::bfs_eccentricity_serial;
+    use fdiam_graph::generators::*;
+
+    #[test]
+    fn matches_plain_serial() {
+        for g in [
+            path(20),
+            cycle(11),
+            star(40),
+            grid2d(6, 9),
+            barabasi_albert(300, 4, 1),
+            kronecker_graph500(8, 8, 2),
+        ] {
+            let mut m1 = VisitMarks::new(g.num_vertices());
+            let mut m2 = VisitMarks::new(g.num_vertices());
+            let cfg = BfsConfig::default();
+            for v in g.vertices() {
+                let a = bfs_eccentricity_serial(&g, v, &mut m1);
+                let b = bfs_eccentricity_serial_hybrid(&g, v, &mut m2, &cfg);
+                assert_eq!(a.eccentricity, b.eccentricity);
+                assert_eq!(a.visited, b.visited);
+                let mut fa = a.last_frontier;
+                let mut fb = b.last_frontier;
+                fa.sort_unstable();
+                fb.sort_unstable();
+                assert_eq!(fa, fb);
+            }
+        }
+    }
+
+    #[test]
+    fn forced_bottom_up_matches() {
+        let g = barabasi_albert(200, 3, 7);
+        let cfg = BfsConfig {
+            alpha: 0.0,
+            ..BfsConfig::default()
+        };
+        let mut m1 = VisitMarks::new(g.num_vertices());
+        let mut m2 = VisitMarks::new(g.num_vertices());
+        for v in g.vertices() {
+            let a = bfs_eccentricity_serial(&g, v, &mut m1);
+            let b = bfs_eccentricity_serial_hybrid(&g, v, &mut m2, &cfg);
+            assert_eq!(a.eccentricity, b.eccentricity);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Epoch-based visited marks.
+//!
+//! The paper uses "a *counter* value to check whether a vertex has
+//! already been visited in the current iteration … rather than a flag
+//! to avoid a costly reset procedure after each BFS traversal" (§4).
+//! [`VisitMarks`] is that counter array: each traversal bumps the
+//! epoch, and a vertex is visited iff its mark equals the current
+//! epoch. Parallel traversals claim vertices with a relaxed
+//! `compare_exchange`; the level-synchronous barrier (rayon joining
+//! each parallel loop) provides the necessary ordering between levels.
+
+use fdiam_graph::VertexId;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-vertex visit epochs.
+pub struct VisitMarks {
+    marks: Vec<AtomicU64>,
+    epoch: u64,
+}
+
+impl VisitMarks {
+    /// Fresh marks for an `n`-vertex graph. Epoch starts at 0 and every
+    /// mark at 0, so vertices read as "visited" for epoch 0; always call
+    /// [`Self::next_epoch`] before a traversal.
+    pub fn new(n: usize) -> Self {
+        Self {
+            marks: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            epoch: 0,
+        }
+    }
+
+    /// Number of vertices covered.
+    pub fn len(&self) -> usize {
+        self.marks.len()
+    }
+
+    /// True if no vertices are covered.
+    pub fn is_empty(&self) -> bool {
+        self.marks.is_empty()
+    }
+
+    /// Starts a new traversal: bumps and returns the fresh epoch.
+    /// Requires `&mut self`, so a traversal has exclusive use of the
+    /// epoch it was handed.
+    pub fn next_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// The epoch most recently handed out.
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Atomically claims `v` for `epoch`. Returns `true` iff this call
+    /// was the first to visit `v` in this epoch.
+    #[inline]
+    pub fn try_claim(&self, v: VertexId, epoch: u64) -> bool {
+        let m = &self.marks[v as usize];
+        // Fast path: already visited.
+        if m.load(Ordering::Relaxed) == epoch {
+            return false;
+        }
+        m.swap(epoch, Ordering::Relaxed) != epoch
+    }
+
+    /// Non-atomic-claim mark (used by bottom-up steps where each vertex
+    /// is written only by itself, and by serial code).
+    #[inline]
+    pub fn mark(&self, v: VertexId, epoch: u64) {
+        self.marks[v as usize].store(epoch, Ordering::Relaxed);
+    }
+
+    /// True iff `v` has been visited in `epoch`.
+    #[inline]
+    pub fn is_visited(&self, v: VertexId, epoch: u64) -> bool {
+        self.marks[v as usize].load(Ordering::Relaxed) == epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_epoch_unvisited() {
+        let mut m = VisitMarks::new(4);
+        let e = m.next_epoch();
+        assert!(!m.is_visited(0, e));
+        assert!(m.try_claim(0, e));
+        assert!(m.is_visited(0, e));
+        assert!(!m.try_claim(0, e), "second claim must fail");
+    }
+
+    #[test]
+    fn epochs_isolate_traversals() {
+        let mut m = VisitMarks::new(2);
+        let e1 = m.next_epoch();
+        m.mark(0, e1);
+        let e2 = m.next_epoch();
+        assert!(!m.is_visited(0, e2), "new epoch resets visibility");
+        assert!(m.is_visited(0, e1), "old epoch still readable");
+    }
+
+    #[test]
+    fn parallel_claim_unique_winner() {
+        use rayon::prelude::*;
+        let mut m = VisitMarks::new(1);
+        let e = m.next_epoch();
+        let winners: usize = (0..1000)
+            .into_par_iter()
+            .map(|_| usize::from(m.try_claim(0, e)))
+            .sum();
+        assert_eq!(winners, 1);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(VisitMarks::new(7).len(), 7);
+        assert!(VisitMarks::new(0).is_empty());
+    }
+}

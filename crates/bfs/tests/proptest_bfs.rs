@@ -1,0 +1,102 @@
+//! Property tests for the BFS substrate on arbitrary graphs: all
+//! kernels must agree with each other and with first-principles
+//! shortest-path properties.
+
+use fdiam_bfs::distances::{bfs_distances_parallel, bfs_distances_serial, UNREACHABLE};
+use fdiam_bfs::multisource::partial_bfs_serial;
+use fdiam_bfs::{
+    bfs_eccentricity_hybrid, bfs_eccentricity_serial, bfs_eccentricity_serial_hybrid, BfsConfig,
+    VisitMarks,
+};
+use fdiam_graph::EdgeList;
+use proptest::prelude::*;
+
+fn arb_graph_and_source() -> impl Strategy<Value = (fdiam_graph::CsrGraph, u32)> {
+    (1usize..50).prop_flat_map(|n| {
+        (
+            proptest::collection::vec((0..n as u32, 0..n as u32), 0..100),
+            0..n as u32,
+        )
+            .prop_map(move |(edges, src)| {
+                (EdgeList::from_undirected(n, &edges).to_undirected_csr(), src)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The four eccentricity kernels agree on arbitrary graphs.
+    #[test]
+    fn all_kernels_agree((g, src) in arb_graph_and_source()) {
+        let n = g.num_vertices();
+        let cfg = BfsConfig::default();
+        let aggressive = BfsConfig { alpha: 0.0, serial_cutoff: 0, ..cfg };
+        let mut m = VisitMarks::new(n);
+        let a = bfs_eccentricity_serial(&g, src, &mut m);
+        let b = bfs_eccentricity_hybrid(&g, src, &mut m, &cfg);
+        let c = bfs_eccentricity_serial_hybrid(&g, src, &mut m, &cfg);
+        let d = bfs_eccentricity_hybrid(&g, src, &mut m, &aggressive);
+        prop_assert_eq!(a.eccentricity, b.eccentricity);
+        prop_assert_eq!(a.eccentricity, c.eccentricity);
+        prop_assert_eq!(a.eccentricity, d.eccentricity);
+        prop_assert_eq!(a.visited, b.visited);
+        prop_assert_eq!(a.visited, c.visited);
+        prop_assert_eq!(a.visited, d.visited);
+    }
+
+    /// Distances satisfy the BFS defining property: d(src) = 0 and a
+    /// vertex has distance k iff it has a neighbor at k−1 and none
+    /// nearer.
+    #[test]
+    fn distances_are_shortest((g, src) in arb_graph_and_source()) {
+        let mut dist = Vec::new();
+        bfs_distances_serial(&g, src, &mut dist);
+        prop_assert_eq!(dist[src as usize], 0);
+        for v in g.vertices() {
+            let d = dist[v as usize];
+            if v == src { continue; }
+            let neighbor_min = g
+                .neighbors(v)
+                .iter()
+                .map(|&w| dist[w as usize])
+                .min()
+                .unwrap_or(UNREACHABLE);
+            if d == UNREACHABLE {
+                prop_assert_eq!(neighbor_min, UNREACHABLE);
+            } else {
+                prop_assert_eq!(d, neighbor_min.saturating_add(1));
+            }
+        }
+    }
+
+    /// Parallel distances equal serial distances.
+    #[test]
+    fn parallel_distances_agree((g, src) in arb_graph_and_source()) {
+        let mut dist = Vec::new();
+        let e1 = bfs_distances_serial(&g, src, &mut dist);
+        let mut marks = VisitMarks::new(g.num_vertices());
+        let (dist2, e2) = bfs_distances_parallel(&g, src, &mut marks);
+        prop_assert_eq!(e1, e2);
+        prop_assert_eq!(dist, dist2);
+    }
+
+    /// A partial BFS capped at `k` levels visits exactly the vertices
+    /// with 1 ≤ d(src, ·) ≤ k.
+    #[test]
+    fn partial_bfs_visits_ball((g, src) in arb_graph_and_source(), k in 0u32..8) {
+        let mut dist = Vec::new();
+        bfs_distances_serial(&g, src, &mut dist);
+        let mut marks = VisitMarks::new(g.num_vertices());
+        let mut seen = Vec::new();
+        partial_bfs_serial(&g, &[src], &mut marks, k, |lvl, v| seen.push((lvl, v)));
+        let mut expected: Vec<(u32, u32)> = g
+            .vertices()
+            .filter(|&v| dist[v as usize] != UNREACHABLE && (1..=k).contains(&dist[v as usize]))
+            .map(|v| (dist[v as usize], v))
+            .collect();
+        expected.sort_unstable();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, expected);
+    }
+}

@@ -1,0 +1,560 @@
+//! Implementation of the `fdiam` command-line tool.
+//!
+//! ```text
+//! fdiam diameter [--algorithm NAME] [--serial] [--stats] [--threads N] INPUT
+//! fdiam ecc INPUT                     # radius / center / periphery
+//! fdiam info INPUT                    # Table-1-style summary
+//! fdiam convert INPUT OUTPUT          # formats inferred from extensions
+//! fdiam generate SPEC OUTPUT          # e.g. grid:100x100, ba:10000,5
+//! ```
+//!
+//! Formats by extension: `.txt`/`.el` SNAP edge list, `.gr` DIMACS-9,
+//! `.mtx` Matrix Market, `.fdia` binary CSR.
+//!
+//! The argument parsing and command execution live here (unit-testable);
+//! `main.rs` is a thin shim.
+
+use fdiam_graph::io::{binfmt, dimacs, edgelist, mtx};
+use fdiam_graph::CsrGraph;
+use std::path::Path;
+
+/// A parsed command line.
+#[derive(Debug, PartialEq)]
+pub enum Command {
+    Diameter {
+        input: String,
+        algorithm: Algorithm,
+        stats: bool,
+        threads: Option<usize>,
+    },
+    Ecc {
+        input: String,
+    },
+    Info {
+        input: String,
+    },
+    Convert {
+        input: String,
+        output: String,
+    },
+    Generate {
+        spec: String,
+        output: String,
+    },
+    Help,
+}
+
+/// Diameter algorithm selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    FdiamParallel,
+    FdiamSerial,
+    Ifub,
+    GraphDiameter,
+    SumSweep,
+    Naive,
+}
+
+impl Algorithm {
+    fn parse(s: &str) -> Result<Self, String> {
+        Ok(match s {
+            "fdiam" => Algorithm::FdiamParallel,
+            "fdiam-serial" => Algorithm::FdiamSerial,
+            "ifub" => Algorithm::Ifub,
+            "graph-diameter" => Algorithm::GraphDiameter,
+            "sumsweep" => Algorithm::SumSweep,
+            "naive" => Algorithm::Naive,
+            other => {
+                return Err(format!(
+                    "unknown algorithm '{other}' (expected fdiam, fdiam-serial, ifub, graph-diameter, sumsweep, naive)"
+                ))
+            }
+        })
+    }
+}
+
+pub const USAGE: &str = "\
+fdiam — fast exact graph diameter (F-Diam, ICPP'25 reproduction)
+
+USAGE:
+  fdiam diameter [--algorithm NAME] [--serial] [--stats] [--threads N] INPUT
+  fdiam ecc INPUT                    radius / center / periphery
+  fdiam info INPUT                   graph summary (n, m, degrees, components)
+  fdiam convert INPUT OUTPUT         convert between formats
+  fdiam generate SPEC OUTPUT         write a synthetic graph
+  fdiam help
+
+ALGORITHMS: fdiam (default), fdiam-serial, ifub, graph-diameter, sumsweep, naive
+FORMATS (by extension): .txt/.el edge list | .gr DIMACS-9 | .mtx MatrixMarket | .fdia binary
+GENERATE SPECS:
+  grid:ROWSxCOLS           e.g. grid:512x512
+  ba:N,M[,SEED]            Barabasi-Albert
+  rmat:SCALE,EF[,SEED]     RMAT (GTgraph parameters)
+  road:N,EXTRA,K[,SEED]    road network (polyline chains)
+  geometric:N,R[,SEED]     random geometric
+";
+
+/// Parses a command line (excluding argv[0]).
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "diameter" => {
+            let mut algorithm = Algorithm::FdiamParallel;
+            let mut stats = false;
+            let mut threads = None;
+            let mut input = None;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--algorithm" | "-a" => {
+                        let v = it.next().ok_or("--algorithm needs a value")?;
+                        algorithm = Algorithm::parse(v)?;
+                    }
+                    "--serial" => algorithm = Algorithm::FdiamSerial,
+                    "--stats" => stats = true,
+                    "--threads" | "-t" => {
+                        let v = it.next().ok_or("--threads needs a value")?;
+                        threads = Some(v.parse().map_err(|e| format!("bad thread count: {e}"))?);
+                    }
+                    other if !other.starts_with('-') && input.is_none() => {
+                        input = Some(other.to_string())
+                    }
+                    other => return Err(format!("unexpected argument '{other}'")),
+                }
+            }
+            Ok(Command::Diameter {
+                input: input.ok_or("missing INPUT file")?,
+                algorithm,
+                stats,
+                threads,
+            })
+        }
+        "ecc" => Ok(Command::Ecc {
+            input: one_positional(&mut it, "INPUT")?,
+        }),
+        "info" => Ok(Command::Info {
+            input: one_positional(&mut it, "INPUT")?,
+        }),
+        "convert" => {
+            let input = one_positional(&mut it, "INPUT")?;
+            let output = one_positional(&mut it, "OUTPUT")?;
+            reject_extra(&mut it)?;
+            Ok(Command::Convert { input, output })
+        }
+        "generate" => {
+            let spec = one_positional(&mut it, "SPEC")?;
+            let output = one_positional(&mut it, "OUTPUT")?;
+            reject_extra(&mut it)?;
+            Ok(Command::Generate { spec, output })
+        }
+        other => Err(format!("unknown command '{other}' (try 'fdiam help')")),
+    }
+}
+
+fn one_positional<'a>(
+    it: &mut impl Iterator<Item = &'a String>,
+    name: &str,
+) -> Result<String, String> {
+    it.next()
+        .map(|s| s.to_string())
+        .ok_or_else(|| format!("missing {name}"))
+}
+
+fn reject_extra<'a>(it: &mut impl Iterator<Item = &'a String>) -> Result<(), String> {
+    match it.next() {
+        Some(a) => Err(format!("unexpected argument '{a}'")),
+        None => Ok(()),
+    }
+}
+
+/// Reads a graph, inferring the format from the file extension.
+pub fn read_graph(path: &str) -> Result<CsrGraph, String> {
+    let ext = Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("");
+    let g = match ext {
+        "txt" | "el" | "edges" => {
+            edgelist::read_edge_list_file(path, 0).map_err(|e| e.to_string())?
+        }
+        "gr" => dimacs::read_dimacs_file(path).map_err(|e| e.to_string())?,
+        "mtx" => mtx::read_mtx_file(path).map_err(|e| e.to_string())?,
+        "fdia" => binfmt::read_binary_file(path).map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown input extension '.{other}' for {path}")),
+    };
+    Ok(g)
+}
+
+/// Writes a graph, inferring the format from the file extension.
+pub fn write_graph(g: &CsrGraph, path: &str) -> Result<(), String> {
+    let ext = Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("");
+    match ext {
+        "txt" | "el" | "edges" => {
+            edgelist::write_edge_list_file(g, path).map_err(|e| e.to_string())
+        }
+        "gr" => {
+            let f = std::fs::File::create(path).map_err(|e| e.to_string())?;
+            dimacs::write_dimacs(g, std::io::BufWriter::new(f)).map_err(|e| e.to_string())
+        }
+        "mtx" => {
+            let f = std::fs::File::create(path).map_err(|e| e.to_string())?;
+            mtx::write_mtx(g, std::io::BufWriter::new(f)).map_err(|e| e.to_string())
+        }
+        "fdia" => binfmt::write_binary_file(g, path).map_err(|e| e.to_string()),
+        other => Err(format!("unknown output extension '.{other}' for {path}")),
+    }
+}
+
+/// Builds a graph from a `generate` spec string.
+pub fn generate_graph(spec: &str) -> Result<CsrGraph, String> {
+    use fdiam_graph::generators::*;
+    let (kind, rest) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("bad spec '{spec}' (expected KIND:PARAMS)"))?;
+    let nums = |s: &str| -> Result<Vec<f64>, String> {
+        s.split(',')
+            .map(|p| p.trim().parse::<f64>().map_err(|e| format!("bad number in spec: {e}")))
+            .collect()
+    };
+    match kind {
+        "grid" => {
+            let (r, c) = rest
+                .split_once('x')
+                .ok_or_else(|| format!("bad grid spec '{rest}' (expected ROWSxCOLS)"))?;
+            let r: usize = r.parse().map_err(|e| format!("bad rows: {e}"))?;
+            let c: usize = c.parse().map_err(|e| format!("bad cols: {e}"))?;
+            Ok(grid2d(r, c))
+        }
+        "ba" => {
+            let v = nums(rest)?;
+            if v.len() < 2 || v.len() > 3 {
+                return Err("ba spec needs N,M[,SEED]".into());
+            }
+            Ok(barabasi_albert(v[0] as usize, v[1] as usize, v.get(2).copied().unwrap_or(1.0) as u64))
+        }
+        "rmat" => {
+            let v = nums(rest)?;
+            if v.len() < 2 || v.len() > 3 {
+                return Err("rmat spec needs SCALE,EF[,SEED]".into());
+            }
+            Ok(rmat(
+                v[0] as u32,
+                v[1] as usize,
+                RmatProbabilities::GTGRAPH,
+                v.get(2).copied().unwrap_or(1.0) as u64,
+            ))
+        }
+        "road" => {
+            let v = nums(rest)?;
+            if v.len() < 3 || v.len() > 4 {
+                return Err("road spec needs N,EXTRA,K[,SEED]".into());
+            }
+            Ok(road_network(
+                v[0] as usize,
+                v[1],
+                v[2] as usize,
+                v.get(3).copied().unwrap_or(1.0) as u64,
+            ))
+        }
+        "geometric" => {
+            let v = nums(rest)?;
+            if v.len() < 2 || v.len() > 3 {
+                return Err("geometric spec needs N,R[,SEED]".into());
+            }
+            Ok(random_geometric(
+                v[0] as usize,
+                v[1],
+                v.get(2).copied().unwrap_or(1.0) as u64,
+            ))
+        }
+        other => Err(format!("unknown generator '{other}'")),
+    }
+}
+
+/// Executes a command, writing human-readable output to `out`.
+pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
+    let w = |e: std::io::Error| e.to_string();
+    match cmd {
+        Command::Help => write!(out, "{USAGE}").map_err(w),
+        Command::Info { input } => {
+            let g = read_graph(&input)?;
+            let s = fdiam_graph::analysis::GraphSummary::compute(&g);
+            writeln!(out, "file              : {input}").map_err(w)?;
+            writeln!(out, "vertices          : {}", s.vertices).map_err(w)?;
+            writeln!(out, "arcs (2m)         : {}", s.arcs).map_err(w)?;
+            writeln!(out, "avg degree        : {:.2}", s.avg_degree).map_err(w)?;
+            writeln!(out, "max degree        : {}", s.max_degree).map_err(w)?;
+            writeln!(out, "isolated vertices : {}", s.isolated_vertices).map_err(w)?;
+            writeln!(out, "components        : {}", s.num_components).map_err(w)
+        }
+        Command::Convert { input, output } => {
+            let g = read_graph(&input)?;
+            write_graph(&g, &output)?;
+            writeln!(
+                out,
+                "wrote {} vertices / {} edges to {output}",
+                g.num_vertices(),
+                g.num_undirected_edges()
+            )
+            .map_err(w)
+        }
+        Command::Generate { spec, output } => {
+            let g = generate_graph(&spec)?;
+            write_graph(&g, &output)?;
+            writeln!(
+                out,
+                "generated '{spec}': {} vertices / {} edges → {output}",
+                g.num_vertices(),
+                g.num_undirected_edges()
+            )
+            .map_err(w)
+        }
+        Command::Ecc { input } => {
+            let g = read_graph(&input)?;
+            let r = fdiam_analytics::bounding_ecc::bounding_eccentricities(&g);
+            let e = &r.eccentricities;
+            let radius = e.iter().min().copied().unwrap_or(0);
+            let diam = e.iter().max().copied().unwrap_or(0);
+            let center = e.iter().filter(|&&x| x == radius).count();
+            let periphery = e.iter().filter(|&&x| x == diam).count();
+            writeln!(out, "radius     : {radius}").map_err(w)?;
+            writeln!(out, "diameter   : {diam}").map_err(w)?;
+            writeln!(out, "|center|   : {center}").map_err(w)?;
+            writeln!(out, "|periphery|: {periphery}").map_err(w)?;
+            writeln!(out, "bfs calls  : {} (n = {})", r.bfs_calls, g.num_vertices()).map_err(w)
+        }
+        Command::Diameter {
+            input,
+            algorithm,
+            stats,
+            threads,
+        } => {
+            let g = read_graph(&input)?;
+            if let Some(t) = threads {
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(t)
+                    .build_global()
+                    .map_err(|e| e.to_string())?;
+            }
+            let t0 = std::time::Instant::now();
+            let (diam, connected, bfs, detail) = match algorithm {
+                Algorithm::FdiamParallel | Algorithm::FdiamSerial => {
+                    let cfg = if algorithm == Algorithm::FdiamParallel {
+                        fdiam_core::FdiamConfig::parallel()
+                    } else {
+                        fdiam_core::FdiamConfig::serial()
+                    };
+                    let o = fdiam_core::diameter_with(&g, &cfg);
+                    let detail = stats.then(|| {
+                        let p = o.stats.removed.percentages(g.num_vertices());
+                        format!(
+                            "removed: winnow {:.2}% | eliminate {:.2}% | chain {:.2}% | degree-0 {:.2}%\nchains processed: {}",
+                            p[0], p[1], p[2], p[3], o.stats.chains_processed
+                        )
+                    });
+                    (
+                        o.result.largest_cc_diameter,
+                        o.result.connected,
+                        o.stats.bfs_traversals(),
+                        detail,
+                    )
+                }
+                Algorithm::Ifub => {
+                    let r = fdiam_baselines::ifub::ifub(&g);
+                    (r.largest_cc_diameter, r.connected, r.bfs_calls, None)
+                }
+                Algorithm::GraphDiameter => {
+                    let r = fdiam_baselines::graph_diameter::graph_diameter(&g);
+                    (r.largest_cc_diameter, r.connected, r.bfs_calls, None)
+                }
+                Algorithm::SumSweep => {
+                    let r = fdiam_analytics::sum_sweep::exact_sum_sweep(&g)
+                        .ok_or("empty graph")?;
+                    let detail = stats.then(|| format!("radius: {}", r.radius));
+                    (r.diameter, r.connected, r.bfs_calls, detail)
+                }
+                Algorithm::Naive => {
+                    let r = fdiam_baselines::naive::naive_diameter(&g);
+                    (r.largest_cc_diameter, r.connected, r.bfs_calls, None)
+                }
+            };
+            let elapsed = t0.elapsed();
+            if connected {
+                writeln!(out, "diameter : {diam}").map_err(w)?;
+            } else {
+                writeln!(out, "diameter : infinite (disconnected)").map_err(w)?;
+                writeln!(out, "largest connected-component diameter: {diam}").map_err(w)?;
+            }
+            writeln!(out, "time     : {:.3}s", elapsed.as_secs_f64()).map_err(w)?;
+            writeln!(out, "bfs calls: {bfs}").map_err(w)?;
+            if let Some(d) = detail {
+                writeln!(out, "{d}").map_err(w)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_help_and_empty() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&args(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&args(&["--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parse_diameter_variants() {
+        let c = parse_args(&args(&["diameter", "g.txt"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Diameter {
+                input: "g.txt".into(),
+                algorithm: Algorithm::FdiamParallel,
+                stats: false,
+                threads: None,
+            }
+        );
+        let c = parse_args(&args(&[
+            "diameter", "--algorithm", "ifub", "--stats", "--threads", "4", "g.gr",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Diameter {
+                input: "g.gr".into(),
+                algorithm: Algorithm::Ifub,
+                stats: true,
+                threads: Some(4),
+            }
+        );
+        let c = parse_args(&args(&["diameter", "--serial", "g.mtx"])).unwrap();
+        assert!(matches!(
+            c,
+            Command::Diameter { algorithm: Algorithm::FdiamSerial, .. }
+        ));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_args(&args(&["diameter"])).is_err());
+        assert!(parse_args(&args(&["diameter", "--algorithm"])).is_err());
+        assert!(parse_args(&args(&["diameter", "--algorithm", "bogus", "g.txt"])).is_err());
+        assert!(parse_args(&args(&["frobnicate"])).is_err());
+        assert!(parse_args(&args(&["convert", "a.txt"])).is_err());
+        assert!(parse_args(&args(&["convert", "a.txt", "b.gr", "c"])).is_err());
+    }
+
+    #[test]
+    fn generate_specs() {
+        assert_eq!(generate_graph("grid:4x5").unwrap().num_vertices(), 20);
+        assert_eq!(generate_graph("ba:100,3").unwrap().num_vertices(), 100);
+        assert_eq!(generate_graph("rmat:8,4,7").unwrap().num_vertices(), 256);
+        assert!(generate_graph("road:500,0.3,2").unwrap().num_vertices() > 300);
+        assert!(generate_graph("geometric:200,0.2").unwrap().num_vertices() == 200);
+        assert!(generate_graph("grid:4").is_err());
+        assert!(generate_graph("nope:1,2").is_err());
+        assert!(generate_graph("ba:1").is_err());
+    }
+
+    #[test]
+    fn end_to_end_generate_convert_diameter() {
+        let dir = std::env::temp_dir().join("fdiam_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let el = dir.join("g.txt").to_string_lossy().into_owned();
+        let bin = dir.join("g.fdia").to_string_lossy().into_owned();
+
+        let mut out = Vec::new();
+        run(
+            Command::Generate {
+                spec: "grid:10x10".into(),
+                output: el.clone(),
+            },
+            &mut out,
+        )
+        .unwrap();
+        run(
+            Command::Convert {
+                input: el.clone(),
+                output: bin.clone(),
+            },
+            &mut out,
+        )
+        .unwrap();
+        out.clear();
+        run(
+            Command::Diameter {
+                input: bin.clone(),
+                algorithm: Algorithm::FdiamSerial,
+                stats: true,
+                threads: None,
+            },
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("diameter : 18"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ecc_command_output() {
+        let dir = std::env::temp_dir().join("fdiam_cli_ecc_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("p.txt").to_string_lossy().into_owned();
+        run(
+            Command::Generate {
+                spec: "grid:1x9".into(),
+                output: p.clone(),
+            },
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        run(Command::Ecc { input: p }, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("radius     : 4"), "{text}");
+        assert!(text.contains("diameter   : 8"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn info_command_output() {
+        let dir = std::env::temp_dir().join("fdiam_cli_info_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("s.mtx").to_string_lossy().into_owned();
+        run(
+            Command::Generate {
+                spec: "grid:3x3".into(),
+                output: p.clone(),
+            },
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        run(Command::Info { input: p }, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("vertices          : 9"), "{text}");
+        assert!(text.contains("components        : 1"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_extension_rejected() {
+        assert!(read_graph("graph.xyz").is_err());
+        assert!(write_graph(&fdiam_graph::CsrGraph::empty(1), "out.xyz").is_err());
+    }
+}

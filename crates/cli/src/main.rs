@@ -1,0 +1,18 @@
+//! `fdiam` binary: thin shim over [`fdiam_cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match fdiam_cli::parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", fdiam_cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let mut out = std::io::stdout().lock();
+    if let Err(e) = fdiam_cli::run(cmd, &mut out) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

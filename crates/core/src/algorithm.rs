@@ -1,0 +1,443 @@
+//! The F-Diam driver (Algorithm 1).
+//!
+//! Orchestration, in the paper's order:
+//!
+//! 1. Remove degree-0 vertices (eccentricity 0, Table 4's last column).
+//! 2. 2-sweep initial bound (§4.1): BFS from the max-degree vertex `u`,
+//!    then BFS from a farthest vertex `w`; `ecc(w)` is the initial
+//!    lower bound of the diameter.
+//! 3. Winnow a ball of radius `⌊bound/2⌋` around `u` (§4.2).
+//! 4. Chain Processing (§4.3).
+//! 5. Loop over the remaining active vertices: compute the
+//!    eccentricity by BFS; on a new bound, extend the winnowed region
+//!    and all eliminated regions (§4.5); otherwise Eliminate around the
+//!    vertex (§4.4).
+//!
+//! The final bound is the exact largest eccentricity over all connected
+//! components — the true diameter when the graph is connected.
+//!
+//! [`run_concurrent`] replays the design alternative the paper
+//! evaluated and rejected (§4.6): computing several eccentricities
+//! concurrently instead of parallelizing each BFS. It exists to
+//! reproduce that negative result (see the `multi_bfs` bench).
+
+use crate::chain::chain_processing;
+use crate::config::FdiamConfig;
+use crate::eliminate::{eliminate, extend_eliminated};
+use crate::result::DiameterResult;
+use crate::state::{EccState, Stage};
+use crate::stats::FdiamStats;
+use crate::winnow::WinnowRegion;
+use fdiam_bfs::{bfs_eccentricity_hybrid, bfs_eccentricity_serial_hybrid, BfsResult, VisitMarks};
+use fdiam_graph::{CsrGraph, VertexId};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// A diameter result together with the run's statistics.
+#[derive(Clone, Debug)]
+pub struct FdiamOutcome {
+    pub result: DiameterResult,
+    pub stats: FdiamStats,
+    /// A pair of vertices realizing the reported diameter: the source
+    /// of the BFS that established the final bound and a vertex from
+    /// that BFS's last frontier. `None` only for the empty graph.
+    pub diametral_pair: Option<(VertexId, VertexId)>,
+}
+
+/// Runs F-Diam with the given configuration.
+pub fn run(g: &CsrGraph, config: &FdiamConfig) -> FdiamOutcome {
+    let t_total = Instant::now();
+    let Some(mut driver) = Driver::prelude(g, config) else {
+        return empty_outcome(t_total);
+    };
+    driver.main_loop();
+    driver.finish(t_total)
+}
+
+/// Runs F-Diam computing up to `batch` eccentricities concurrently in
+/// the main loop (each BFS sequential with private visited storage).
+/// The paper tried this and found "too much redundant work, as
+/// concurrent Eliminate operations would overlap in removing vertices
+/// from consideration" (§4.6) — the same effect shows here as wasted
+/// BFS on vertices that a batch-mate's Eliminate would have removed.
+pub fn run_concurrent(g: &CsrGraph, config: &FdiamConfig, batch: usize) -> FdiamOutcome {
+    assert!(batch >= 1);
+    let t_total = Instant::now();
+    let Some(mut driver) = Driver::prelude(g, config) else {
+        return empty_outcome(t_total);
+    };
+    driver.main_loop_concurrent(batch);
+    driver.finish(t_total)
+}
+
+/// Shared driver state across the stages of Algorithm 1.
+struct Driver<'g> {
+    g: &'g CsrGraph,
+    config: &'g FdiamConfig,
+    state: EccState,
+    marks: VisitMarks,
+    winnow: WinnowRegion,
+    bound: u32,
+    connected: bool,
+    stats: FdiamStats,
+    order: Vec<VertexId>,
+    diametral_pair: (VertexId, VertexId),
+}
+
+impl<'g> Driver<'g> {
+    /// Stages 0–3: degree-0 removal, 2-sweep, Winnow, Chain Processing.
+    /// Returns `None` for the empty graph.
+    fn prelude(g: &'g CsrGraph, config: &'g FdiamConfig) -> Option<Self> {
+        let n = g.num_vertices();
+        if n == 0 {
+            return None;
+        }
+        let mut stats = FdiamStats::default();
+        let state = EccState::new(n);
+        let mut marks = VisitMarks::new(n);
+
+        // Stage 0: degree-0 vertices need no computation (ecc = 0).
+        for v in g.vertices() {
+            if g.degree(v) == 0 {
+                state.record(v, 0, Stage::Degree0);
+            }
+        }
+
+        // Start vertex: max-degree `u`, or vertex 0 under the "no 'u'"
+        // ablation (§6.5).
+        let u = if config.use_max_degree_start {
+            g.max_degree_vertex().expect("n > 0")
+        } else {
+            0
+        };
+
+        // Stage 1: 2-sweep initial bound (§4.1).
+        let mut bound = 0u32;
+        let mut connected = n == 1;
+        let mut diametral_pair = (u, u);
+        if state.is_active(u) {
+            let t = Instant::now();
+            let r1 = ecc_bfs(g, u, &mut marks, config);
+            stats.timings.ecc_bfs += t.elapsed();
+            stats.ecc_computations += 1;
+            state.record(u, r1.eccentricity, Stage::Computed);
+            connected = r1.visited == n;
+            bound = r1.eccentricity;
+            let w = r1.last_frontier[0];
+            diametral_pair = (u, w);
+            if state.is_active(w) {
+                let t = Instant::now();
+                let r2 = ecc_bfs(g, w, &mut marks, config);
+                stats.timings.ecc_bfs += t.elapsed();
+                stats.ecc_computations += 1;
+                state.record(w, r2.eccentricity, Stage::Computed);
+                if r2.eccentricity > bound {
+                    bound = r2.eccentricity;
+                    diametral_pair = (w, r2.last_frontier[0]);
+                }
+            }
+        }
+
+        // Stage 2: Winnow a ball of radius ⌊bound/2⌋ around u (§4.2).
+        let mut winnow = WinnowRegion::new(u, n);
+        if config.use_winnow {
+            let t = Instant::now();
+            if grow_winnow(g, config, &mut winnow, &state, bound / 2) {
+                stats.winnow_calls += 1;
+            }
+            stats.timings.winnow += t.elapsed();
+        }
+
+        // Stage 3: Chain Processing (§4.3).
+        if config.use_chain {
+            let t = Instant::now();
+            stats.chains_processed = chain_processing(g, &state, &mut marks);
+            stats.timings.chain += t.elapsed();
+        }
+
+        // Visit order of the main loop.
+        let order: Vec<VertexId> = match config.visit_order_seed {
+            None => (0..n as VertexId).collect(),
+            Some(seed) => {
+                let mut v: Vec<VertexId> = (0..n as VertexId).collect();
+                v.shuffle(&mut rand_chacha::ChaCha8Rng::seed_from_u64(seed));
+                v
+            }
+        };
+
+        Some(Self {
+            g,
+            config,
+            state,
+            marks,
+            winnow,
+            bound,
+            connected,
+            stats,
+            order,
+            diametral_pair,
+        })
+    }
+
+    /// Stage 4, as published: one eccentricity BFS at a time.
+    fn main_loop(&mut self) {
+        let order = std::mem::take(&mut self.order);
+        for &v in &order {
+            if !self.state.is_active(v) {
+                continue;
+            }
+            let t = Instant::now();
+            let r = ecc_bfs(self.g, v, &mut self.marks, self.config);
+            self.stats.timings.ecc_bfs += t.elapsed();
+            self.stats.ecc_computations += 1;
+            self.state.record(v, r.eccentricity, Stage::Computed);
+            if r.eccentricity > self.bound {
+                self.diametral_pair = (v, r.last_frontier[0]);
+            }
+            self.apply_bounds(v, r.eccentricity);
+        }
+    }
+
+    /// Stage 4, the rejected alternative: compute up to `batch`
+    /// eccentricities concurrently, then apply Winnow/Eliminate updates
+    /// sequentially. Batch-mates that a fresh Eliminate would have
+    /// removed have already burned a full BFS — the redundant work the
+    /// paper observed.
+    fn main_loop_concurrent(&mut self, batch: usize) {
+        use rayon::prelude::*;
+        let order = std::mem::take(&mut self.order);
+        let mut cursor = 0usize;
+        while cursor < order.len() {
+            // Collect the next batch of active vertices.
+            let mut todo: Vec<VertexId> = Vec::with_capacity(batch);
+            while cursor < order.len() && todo.len() < batch {
+                let v = order[cursor];
+                cursor += 1;
+                if self.state.is_active(v) {
+                    todo.push(v);
+                }
+            }
+            if todo.is_empty() {
+                continue;
+            }
+            let t = Instant::now();
+            let results: Vec<(VertexId, u32, VertexId)> = todo
+                .par_iter()
+                .map(|&v| {
+                    let (e, far) = local_bfs_eccentricity(self.g, v);
+                    (v, e, far)
+                })
+                .collect();
+            self.stats.timings.ecc_bfs += t.elapsed();
+            self.stats.ecc_computations += results.len();
+            for (v, e, far) in results {
+                self.state.record(v, e, Stage::Computed);
+                if e > self.bound {
+                    self.diametral_pair = (v, far);
+                }
+                self.apply_bounds(v, e);
+            }
+        }
+    }
+
+    /// Bound bookkeeping after `ecc(v) = e` (Algorithm 1 lines 13–21).
+    fn apply_bounds(&mut self, v: VertexId, e: u32) {
+        if e > self.bound {
+            let old = self.bound;
+            self.bound = e;
+            if self.config.use_winnow {
+                let t = Instant::now();
+                if grow_winnow(self.g, self.config, &mut self.winnow, &self.state, e / 2) {
+                    self.stats.winnow_calls += 1;
+                }
+                self.stats.timings.winnow += t.elapsed();
+            }
+            if self.config.use_eliminate {
+                let t = Instant::now();
+                extend_eliminated(self.g, &self.state, &mut self.marks, old, self.bound);
+                self.stats.eliminate_calls += 1;
+                self.stats.timings.eliminate += t.elapsed();
+            }
+        } else if e < self.bound && self.config.use_eliminate {
+            let t = Instant::now();
+            eliminate(
+                self.g,
+                &self.state,
+                &mut self.marks,
+                v,
+                e,
+                self.bound,
+                Stage::Eliminate,
+            );
+            self.stats.eliminate_calls += 1;
+            self.stats.timings.eliminate += t.elapsed();
+        }
+        // e == bound: the ecc write already removed v.
+    }
+}
+
+fn grow_winnow(
+    g: &CsrGraph,
+    config: &FdiamConfig,
+    winnow: &mut WinnowRegion,
+    state: &EccState,
+    radius: u32,
+) -> bool {
+    if config.full_rewinnow {
+        winnow.rewinnow_to(g, state, radius, config.parallel)
+    } else {
+        winnow.extend_to(g, state, radius, config.parallel)
+    }
+}
+
+fn ecc_bfs(g: &CsrGraph, v: VertexId, marks: &mut VisitMarks, config: &FdiamConfig) -> BfsResult {
+    if config.parallel {
+        bfs_eccentricity_hybrid(g, v, marks, &config.bfs)
+    } else {
+        // The paper's serial code is also direction-optimized (§7) —
+        // the top-down/bottom-up switch is orthogonal to parallelism.
+        bfs_eccentricity_serial_hybrid(g, v, marks, &config.bfs)
+    }
+}
+
+/// Self-contained sequential eccentricity BFS with private visited
+/// storage — used by the concurrent main loop, where tasks cannot share
+/// the epoch-based [`VisitMarks`]. Returns the eccentricity and one
+/// farthest vertex.
+fn local_bfs_eccentricity(g: &CsrGraph, source: VertexId) -> (u32, VertexId) {
+    let mut visited = vec![false; g.num_vertices()];
+    visited[source as usize] = true;
+    let mut frontier = vec![source];
+    let mut next = Vec::new();
+    let mut level = 0u32;
+    loop {
+        next.clear();
+        for &v in &frontier {
+            for &n in g.neighbors(v) {
+                if !visited[n as usize] {
+                    visited[n as usize] = true;
+                    next.push(n);
+                }
+            }
+        }
+        if next.is_empty() {
+            return (level, frontier[0]);
+        }
+        level += 1;
+        std::mem::swap(&mut frontier, &mut next);
+    }
+}
+
+fn empty_outcome(t_total: Instant) -> FdiamOutcome {
+    let mut stats = FdiamStats::default();
+    stats.timings.total = t_total.elapsed();
+    FdiamOutcome {
+        result: DiameterResult {
+            largest_cc_diameter: 0,
+            connected: true,
+        },
+        stats,
+        diametral_pair: None,
+    }
+}
+
+impl Driver<'_> {
+    fn finish(mut self, t_total: Instant) -> FdiamOutcome {
+        let counts = self.state.stage_counts();
+        debug_assert_eq!(
+            counts[Stage::None as usize],
+            0,
+            "every vertex must be removed or computed by termination"
+        );
+        self.stats.removed.winnow = counts[Stage::Winnow as usize];
+        self.stats.removed.eliminate = counts[Stage::Eliminate as usize];
+        self.stats.removed.chain = counts[Stage::Chain as usize];
+        self.stats.removed.degree0 = counts[Stage::Degree0 as usize];
+        self.stats.removed.computed = counts[Stage::Computed as usize];
+        self.stats.timings.total = t_total.elapsed();
+
+        FdiamOutcome {
+            result: DiameterResult {
+                largest_cc_diameter: self.bound,
+                connected: self.connected,
+            },
+            stats: self.stats,
+            diametral_pair: Some(self.diametral_pair),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdiam_bfs::bfs_eccentricity_serial;
+    use fdiam_graph::generators::*;
+    use fdiam_graph::transform::disjoint_union;
+
+    fn oracle(g: &CsrGraph) -> u32 {
+        let mut marks = VisitMarks::new(g.num_vertices());
+        g.vertices()
+            .map(|v| bfs_eccentricity_serial(g, v, &mut marks).eccentricity)
+            .max()
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn concurrent_matches_sequential() {
+        for g in [
+            path(30),
+            grid2d(6, 7),
+            barabasi_albert(150, 3, 2),
+            road_like(120, 0.1, 3),
+            disjoint_union(&cycle(9), &star(7)),
+        ] {
+            let expect = oracle(&g);
+            for batch in [1, 2, 4, 16] {
+                let out = run_concurrent(&g, &FdiamConfig::serial(), batch);
+                assert_eq!(
+                    out.result.largest_cc_diameter, expect,
+                    "batch {batch} on n={}",
+                    g.num_vertices()
+                );
+                assert_eq!(out.stats.removed.total(), g.num_vertices());
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_does_redundant_work() {
+        // On an input where Eliminate prunes aggressively, large batches
+        // must compute at least as many (typically more) eccentricities:
+        // batch-mates can no longer benefit from each other's Eliminate.
+        let g = road_like(900, 0.15, 5);
+        let solo = run(&g, &FdiamConfig::serial());
+        let batched = run_concurrent(&g, &FdiamConfig::serial(), 32);
+        assert_eq!(
+            solo.result.largest_cc_diameter,
+            batched.result.largest_cc_diameter
+        );
+        assert!(
+            batched.stats.ecc_computations >= solo.stats.ecc_computations,
+            "batched {} < solo {}",
+            batched.stats.ecc_computations,
+            solo.stats.ecc_computations
+        );
+    }
+
+    #[test]
+    fn batch_one_equals_run() {
+        let g = barabasi_albert(200, 4, 9);
+        let a = run(&g, &FdiamConfig::serial());
+        let b = run_concurrent(&g, &FdiamConfig::serial(), 1);
+        assert_eq!(a.result, b.result);
+        assert_eq!(a.stats.ecc_computations, b.stats.ecc_computations);
+        assert_eq!(a.stats.removed, b.stats.removed);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_batch_rejected() {
+        run_concurrent(&path(3), &FdiamConfig::serial(), 0);
+    }
+}

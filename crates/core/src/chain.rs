@@ -1,0 +1,208 @@
+//! Chain Processing (Algorithm 4) — the paper's second novelty.
+//!
+//! Every shortest path leaving a degree-1 vertex `x` passes through its
+//! single neighbor, so `ecc(x)` strictly dominates the eccentricities
+//! along the chain of degree-2 vertices hanging off it. Following the
+//! chain of length `s` to its end vertex `w` (the first vertex with
+//! degree ≠ 2), §4.3 shows it is safe to remove *all* vertices within
+//! `s` steps of `w` from consideration — keeping only `x` active —
+//! without computing a single eccentricity. This targets exactly the
+//! high-eccentricity periphery that is out of reach of Winnow (which
+//! covers the core) and thus complements it.
+//!
+//! Implementation detail from the paper: the removal reuses Eliminate
+//! with the pseudo-bounds `MAX − len .. MAX` where `MAX = INT_MAX − 1`
+//! ([`crate::state::PSEUDO_MAX`] here), so chain-removed vertices can
+//! never collide with real diameter bounds and never seed an Eliminate
+//! extension.
+
+use crate::eliminate::eliminate;
+use crate::state::{EccState, Stage, PSEUDO_MAX};
+use fdiam_bfs::VisitMarks;
+use fdiam_graph::{CsrGraph, VertexId};
+
+/// Runs Chain Processing over the whole graph. Returns the number of
+/// degree-1 chains processed.
+pub fn chain_processing(g: &CsrGraph, state: &EccState, marks: &mut VisitMarks) -> usize {
+    let mut chains = 0usize;
+    for v in g.vertices() {
+        if g.degree(v) != 1 {
+            continue;
+        }
+        chains += 1;
+        let (end, len) = walk_chain(g, v);
+        eliminate(g, state, marks, end, PSEUDO_MAX - len, PSEUDO_MAX, Stage::Chain);
+        // The chain tip stays active — its eccentricity dominates the
+        // whole removed region (Algorithm 4 line 9).
+        state.reactivate(v);
+    }
+    chains
+}
+
+/// Follows the chain of degree-2 vertices from the degree-1 vertex `v`
+/// to the first vertex of degree ≠ 2; returns that end vertex and the
+/// chain length in edges.
+fn walk_chain(g: &CsrGraph, v: VertexId) -> (VertexId, u32) {
+    debug_assert_eq!(g.degree(v), 1);
+    let mut prev = v;
+    let mut cur = g.neighbors(v)[0];
+    let mut len = 1u32;
+    while g.degree(cur) == 2 {
+        let nb = g.neighbors(cur);
+        let next = if nb[0] == prev { nb[1] } else { nb[0] };
+        prev = cur;
+        cur = next;
+        len += 1;
+    }
+    (cur, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::ACTIVE;
+    use fdiam_graph::generators::{caterpillar, lollipop, path, star};
+    use fdiam_graph::EdgeList;
+
+    fn active_set(state: &EccState) -> Vec<u32> {
+        (0..state.len() as u32)
+            .filter(|&v| state.is_active(v))
+            .collect()
+    }
+
+    #[test]
+    fn walk_simple_chain() {
+        // 0 - 1 - 2 - 3(hub) - 4, 3 - 5
+        let g = EdgeList::from_undirected(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (3, 5)])
+            .to_undirected_csr();
+        assert_eq!(walk_chain(&g, 0), (3, 3));
+        assert_eq!(walk_chain(&g, 4), (3, 1));
+    }
+
+    #[test]
+    fn walk_chain_on_two_vertex_component() {
+        let g = path(2);
+        assert_eq!(walk_chain(&g, 0), (1, 1));
+        assert_eq!(walk_chain(&g, 1), (0, 1));
+    }
+
+    #[test]
+    fn walk_full_path_reaches_other_tip() {
+        let g = path(5);
+        assert_eq!(walk_chain(&g, 0), (4, 4));
+    }
+
+    #[test]
+    fn star_leaves_keep_one_leaf_equivalent() {
+        // star: every leaf is a chain of length 1 ending at the hub.
+        let g = star(5);
+        let state = EccState::new(5);
+        let mut marks = VisitMarks::new(5);
+        let chains = chain_processing(&g, &state, &mut marks);
+        assert_eq!(chains, 4);
+        // hub removed; last-processed leaf reactivated
+        assert!(!state.is_active(0));
+        let act = active_set(&state);
+        assert_eq!(act, vec![4], "only the last chain tip stays active");
+        assert_eq!(state.stage(0), Stage::Chain);
+    }
+
+    #[test]
+    fn figure4_example() {
+        // Paper Figure 4: chain e(=0)-1-2 ends at hub c(=2)... build the
+        // analogous shape: tip 0, chain 0-1-2, hub 3 with branches 4,5; and
+        // a second chain tip 6 attached to hub 7 adjacent to 3.
+        //   0 - 1 - 2 - 3(deg 4) - 4
+        //                |  \
+        //                5   7 - 6
+        let g = EdgeList::from_undirected(
+            8,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (3, 5), (3, 7), (7, 6)],
+        )
+        .to_undirected_csr();
+        let state = EccState::new(8);
+        let mut marks = VisitMarks::new(8);
+        chain_processing(&g, &state, &mut marks);
+        // Tips processed in id order 0, 4, 5, 6. Chain from 0 (len 3, end 3)
+        // removes everything within 3 of the hub — the whole component —
+        // then reactivates 0. Chains from 4 and 5 (len 1, end 3) each knock
+        // out the previous tip (dist(3, ·) = 1) and reactivate themselves.
+        // Chain from 6 runs through degree-2 vertex 7 (len 2, end 3), whose
+        // radius-2 elimination removes tip 5 again. Vertex 0 sits at
+        // distance 3 from the hub, outside every later radius, so it
+        // survives: the final active set is exactly the two deepest tips.
+        assert_eq!(active_set(&state), vec![0, 6]);
+        assert_eq!(state.stage(3), Stage::Chain);
+        assert!(!state.is_active(1));
+        assert!(!state.is_active(2));
+        assert!(!state.is_active(7));
+    }
+
+    #[test]
+    fn pure_path_keeps_exactly_one_tip_active() {
+        let g = path(6);
+        let state = EccState::new(6);
+        let mut marks = VisitMarks::new(6);
+        let chains = chain_processing(&g, &state, &mut marks);
+        assert_eq!(chains, 2);
+        // processing tip 0 removes everything within 5 of vertex 5 (all),
+        // reactivates 0; processing tip 5 removes all within 5 of 0
+        // (including 0's reactivation is later... order: tip 5 processed
+        // second: eliminate around 0 removes 5? no — eliminate around end
+        // vertex of *5's* chain, which is 0; radius 5 covers vertex 5;
+        // then 5 reactivated. Final: only 5 active.
+        assert_eq!(active_set(&state), vec![5]);
+    }
+
+    #[test]
+    fn caterpillar_removes_spine_keeps_extremal_legs() {
+        let g = caterpillar(5, 1); // spine 0..4, legs 5..9 (leg 5+s on spine s)
+        let state = EccState::new(10);
+        let mut marks = VisitMarks::new(10);
+        chain_processing(&g, &state, &mut marks);
+        // The whole spine is covered by chain eliminations.
+        for s in 0..5u32 {
+            assert!(!state.is_active(s), "spine {s} should be removed");
+        }
+        // Later chains may knock out earlier tips, but every removal is
+        // dominated by a still-active tip, so the two maximum-eccentricity
+        // legs (on the spine ends) must survive.
+        let act = active_set(&state);
+        assert!(act.iter().all(|&v| v >= 5), "only legs may stay active");
+        assert!(act.contains(&5), "end leg 5 has max eccentricity");
+        assert!(act.contains(&9), "end leg 9 has max eccentricity");
+    }
+
+    #[test]
+    fn no_degree1_vertices_is_noop() {
+        let g = fdiam_graph::generators::cycle(6);
+        let state = EccState::new(6);
+        let mut marks = VisitMarks::new(6);
+        assert_eq!(chain_processing(&g, &state, &mut marks), 0);
+        assert_eq!(active_set(&state).len(), 6);
+    }
+
+    #[test]
+    fn lollipop_chain_removes_clique_neighborhood() {
+        let g = lollipop(4, 3); // clique 0..3, tail 4,5,6 (tip 6)
+        let state = EccState::new(7);
+        let mut marks = VisitMarks::new(7);
+        chain_processing(&g, &state, &mut marks);
+        // chain from 6: len 3, ends at clique vertex 0 → radius 3 covers
+        // the whole lollipop; tip 6 reactivated
+        assert_eq!(active_set(&state), vec![6]);
+        assert_eq!(state.value(0), PSEUDO_MAX - 3);
+    }
+
+    #[test]
+    fn chain_values_use_pseudo_bounds() {
+        let g = path(3);
+        let state = EccState::new(3);
+        let mut marks = VisitMarks::new(3);
+        chain_processing(&g, &state, &mut marks);
+        for v in 0..3u32 {
+            let val = state.value(v);
+            assert!(val == ACTIVE || val > PSEUDO_MAX - 10);
+        }
+    }
+}

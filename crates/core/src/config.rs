@@ -1,0 +1,115 @@
+//! Configuration of the F-Diam runner, including the ablation switches
+//! evaluated in the paper's §6.5 (Table 5 / Figure 9).
+
+use fdiam_bfs::BfsConfig;
+
+/// Tunable behaviour of [`crate::diameter_with`].
+#[derive(Clone, Debug)]
+pub struct FdiamConfig {
+    /// Run BFS traversals (eccentricity, Winnow) in parallel. The
+    /// paper's "F-Diam (ser)" vs "F-Diam (par)".
+    pub parallel: bool,
+    /// Direction-optimized BFS tuning (threshold etc.).
+    pub bfs: BfsConfig,
+    /// Enable Winnow (§4.2). Disabling reproduces the paper's
+    /// "no Winnow" ablation — by far the most damaging one (§6.5).
+    pub use_winnow: bool,
+    /// Enable Eliminate (§4.4) including incremental extension (§4.5).
+    pub use_eliminate: bool,
+    /// Enable Chain Processing (§4.3).
+    pub use_chain: bool,
+    /// Start from the maximum-degree vertex `u` (§3). Disabling starts
+    /// from vertex 0 — the paper's "no 'u'" ablation.
+    pub use_max_degree_start: bool,
+    /// Re-run Winnow from scratch instead of extending it from the
+    /// saved frontier when the bound grows. Slower; exists to
+    /// cross-check the incremental extension (tests assert identical
+    /// diameters).
+    pub full_rewinnow: bool,
+    /// Visit remaining vertices in a seeded random order instead of id
+    /// order. The paper mentions random order (§4.5); id order keeps
+    /// runs deterministic, which the test suite relies on.
+    pub visit_order_seed: Option<u64>,
+}
+
+impl Default for FdiamConfig {
+    fn default() -> Self {
+        Self {
+            parallel: true,
+            bfs: BfsConfig::default(),
+            use_winnow: true,
+            use_eliminate: true,
+            use_chain: true,
+            use_max_degree_start: true,
+            full_rewinnow: false,
+            visit_order_seed: None,
+        }
+    }
+}
+
+impl FdiamConfig {
+    /// The paper's parallel configuration (default).
+    pub fn parallel() -> Self {
+        Self::default()
+    }
+
+    /// The paper's serial configuration ("F-Diam (ser)").
+    pub fn serial() -> Self {
+        Self {
+            parallel: false,
+            ..Self::default()
+        }
+    }
+
+    /// Ablation: Winnow disabled (Table 5 column "no Winnow").
+    pub fn without_winnow(mut self) -> Self {
+        self.use_winnow = false;
+        self
+    }
+
+    /// Ablation: Eliminate disabled (Table 5 column "no Elim.").
+    pub fn without_eliminate(mut self) -> Self {
+        self.use_eliminate = false;
+        self
+    }
+
+    /// Ablation: start vertex 0 instead of the max-degree vertex
+    /// (Table 5 column "no 'u'").
+    pub fn without_max_degree_start(mut self) -> Self {
+        self.use_max_degree_start = false;
+        self
+    }
+
+    /// Disable Chain Processing (not ablated in the paper, but useful
+    /// for attribution experiments).
+    pub fn without_chain(mut self) -> Self {
+        self.use_chain = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_enables_everything() {
+        let c = FdiamConfig::default();
+        assert!(c.parallel && c.use_winnow && c.use_eliminate && c.use_chain);
+        assert!(c.use_max_degree_start);
+        assert!(!c.full_rewinnow);
+    }
+
+    #[test]
+    fn ablation_builders() {
+        assert!(!FdiamConfig::serial().parallel);
+        assert!(!FdiamConfig::parallel().without_winnow().use_winnow);
+        assert!(!FdiamConfig::parallel().without_eliminate().use_eliminate);
+        assert!(
+            !FdiamConfig::parallel()
+                .without_max_degree_start()
+                .use_max_degree_start
+        );
+        assert!(!FdiamConfig::parallel().without_chain().use_chain);
+    }
+}

@@ -1,0 +1,170 @@
+//! The Eliminate operation (Algorithm 5) and its incremental extension
+//! (§4.5).
+//!
+//! After computing `ecc(v) < bound`, Theorem 1 implies every vertex
+//! within `s = bound − ecc(v)` steps of `v` has eccentricity ≤ `bound`
+//! and can never raise the diameter. Eliminate records the upper bound
+//! `ecc(v) + k` in every vertex at distance `k ≤ s` from `v` with a
+//! serial partial BFS — serial because "there is typically not enough
+//! work to warrant parallelization" (§4.4).
+//!
+//! The recorded bounds are load-bearing: when the diameter bound later
+//! rises from `old` to `new`, the vertices whose recorded bound equals
+//! `old` are exactly the frontiers of *all* prior Eliminate calls, and
+//! one multi-source partial BFS of `new − old` levels from them extends
+//! every eliminated region at once — "efficient and independent of the
+//! number of prior evaluated vertices" (§4.5).
+
+use crate::state::{EccState, Stage};
+use fdiam_bfs::multisource::partial_bfs_serial;
+use fdiam_bfs::VisitMarks;
+use fdiam_graph::{CsrGraph, VertexId};
+
+/// Algorithm 5: eliminates all vertices within `bound − start` steps of
+/// `source`, recording the upper bound `start + level` in each. The
+/// source itself is recorded with `start` (for a plain Eliminate call
+/// that is its just-computed exact eccentricity; for Chain Processing
+/// it is the pseudo-bound of the chain's end vertex).
+///
+/// Returns the number of vertices reached (excluding the source).
+pub fn eliminate(
+    g: &CsrGraph,
+    state: &EccState,
+    marks: &mut VisitMarks,
+    source: VertexId,
+    start: u32,
+    bound: u32,
+    stage: Stage,
+) -> usize {
+    state.record(source, start, stage);
+    if start >= bound {
+        return 0;
+    }
+    let levels = bound - start;
+    let r = partial_bfs_serial(g, &[source], marks, levels, |level, v| {
+        state.record(v, start + level, stage);
+    });
+    r.visited
+}
+
+/// §4.5 extension: seeds every vertex whose recorded bound equals
+/// `old_bound` and runs one multi-source partial BFS of
+/// `new_bound − old_bound` levels, recording `old_bound + level` in the
+/// vertices reached.
+///
+/// Returns the number of vertices reached.
+pub fn extend_eliminated(
+    g: &CsrGraph,
+    state: &EccState,
+    marks: &mut VisitMarks,
+    old_bound: u32,
+    new_bound: u32,
+) -> usize {
+    debug_assert!(new_bound > old_bound);
+    let seeds = state.vertices_with_value(old_bound);
+    if seeds.is_empty() {
+        return 0;
+    }
+    let r = partial_bfs_serial(g, &seeds, marks, new_bound - old_bound, |level, v| {
+        state.record(v, old_bound + level, Stage::Eliminate);
+    });
+    r.visited
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::ACTIVE;
+    use fdiam_graph::generators::{path, star};
+
+    #[test]
+    fn eliminates_ring_around_source() {
+        // Figure 5 scenario: bound 5, ecc(source) 4 → direct neighbors only.
+        let g = star(6);
+        let state = EccState::new(6);
+        let mut marks = VisitMarks::new(6);
+        let removed = eliminate(&g, &state, &mut marks, 0, 4, 5, Stage::Eliminate);
+        assert_eq!(removed, 5);
+        assert_eq!(state.value(0), 4);
+        for v in 1..6 {
+            assert_eq!(state.value(v), 5, "neighbor {v} gets bound value");
+            assert_eq!(state.stage(v), Stage::Eliminate);
+        }
+    }
+
+    #[test]
+    fn records_increasing_bounds_by_level() {
+        let g = path(6);
+        let state = EccState::new(6);
+        let mut marks = VisitMarks::new(6);
+        eliminate(&g, &state, &mut marks, 0, 2, 5, Stage::Eliminate);
+        assert_eq!(state.value(0), 2);
+        assert_eq!(state.value(1), 3);
+        assert_eq!(state.value(2), 4);
+        assert_eq!(state.value(3), 5);
+        assert_eq!(state.value(4), ACTIVE, "beyond bound − start stays active");
+    }
+
+    #[test]
+    fn noop_when_ecc_equals_bound() {
+        let g = path(4);
+        let state = EccState::new(4);
+        let mut marks = VisitMarks::new(4);
+        let removed = eliminate(&g, &state, &mut marks, 1, 3, 3, Stage::Eliminate);
+        assert_eq!(removed, 0);
+        assert_eq!(state.value(1), 3, "source still recorded");
+        assert!(state.is_active(0));
+    }
+
+    #[test]
+    fn extension_continues_from_frontier() {
+        let g = path(8);
+        let state = EccState::new(8);
+        let mut marks = VisitMarks::new(8);
+        // first eliminate reaches vertices 1 (value 4) and 2 (value 5)
+        eliminate(&g, &state, &mut marks, 0, 3, 5, Stage::Eliminate);
+        assert_eq!(state.value(2), 5);
+        assert!(state.is_active(3));
+        // bound rises 5 → 7: seeds are the value-5 vertices ({2})
+        let reached = extend_eliminated(&g, &state, &mut marks, 5, 7);
+        assert!(reached >= 2);
+        assert_eq!(state.value(3), 6);
+        assert_eq!(state.value(4), 7);
+        assert!(state.is_active(5), "past the new bound stays active");
+    }
+
+    #[test]
+    fn extension_with_no_seeds_is_noop() {
+        let g = path(4);
+        let state = EccState::new(4);
+        let mut marks = VisitMarks::new(4);
+        assert_eq!(extend_eliminated(&g, &state, &mut marks, 9, 11), 0);
+        assert!(state.is_active(0));
+    }
+
+    #[test]
+    fn extension_walks_back_over_eliminated_region_without_harm() {
+        let g = path(6);
+        let state = EccState::new(6);
+        let mut marks = VisitMarks::new(6);
+        eliminate(&g, &state, &mut marks, 0, 4, 5, Stage::Eliminate); // v1 ← 5
+        extend_eliminated(&g, &state, &mut marks, 5, 6);
+        // the extension BFS from v1 reaches v0 (backwards) and v2
+        assert_eq!(state.value(2), 6);
+        // v0's value may be overwritten with 6 — still a valid upper bound,
+        // still inactive, attribution unchanged
+        assert!(!state.is_active(0));
+        assert_eq!(state.stage(0), Stage::Eliminate);
+    }
+
+    #[test]
+    fn attribution_goes_to_first_remover() {
+        let g = path(3);
+        let state = EccState::new(3);
+        let mut marks = VisitMarks::new(3);
+        eliminate(&g, &state, &mut marks, 0, 1, 2, Stage::Chain);
+        assert_eq!(state.stage(1), Stage::Chain);
+        eliminate(&g, &state, &mut marks, 2, 1, 2, Stage::Eliminate);
+        assert_eq!(state.stage(1), Stage::Chain, "first remover wins");
+    }
+}

@@ -1,0 +1,354 @@
+//! # fdiam-core
+//!
+//! **F-Diam**: fast exact diameter computation of sparse graphs —
+//! a Rust reproduction of Bradley, Akathoott & Burtscher, *"Fast Exact
+//! Diameter Computation of Sparse Graphs"*, ICPP 2025.
+//!
+//! The traditional diameter algorithm solves all-pairs shortest paths
+//! in `O(nm)`; F-Diam instead performs a small number of BFS
+//! traversals, removing almost all vertices from consideration with
+//! three techniques:
+//!
+//! * **Winnow** (§4.2, [`winnow`]) — after a 2-sweep lower bound
+//!   `bound`, all vertices within `⌊bound/2⌋` of the max-degree vertex
+//!   are discarded; Theorems 2 and 3 guarantee a vertex of maximum
+//!   eccentricity survives outside the ball. This removes > 70 % (often
+//!   > 99 %) of the vertices on the paper's inputs.
+//! * **Chain Processing** (§4.3, [`chain`]) — degree-1 chains dominate
+//!   their surroundings; the region around each chain's end is removed
+//!   without computing any eccentricity.
+//! * **Eliminate** (§4.4–4.5, [`eliminate`]) — Theorem 1 bounds the
+//!   eccentricity of everything near a computed vertex; recorded bounds
+//!   double as seeds for incremental extension when the diameter bound
+//!   rises.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fdiam_core::{diameter, diameter_with, FdiamConfig};
+//! use fdiam_graph::generators::grid2d;
+//!
+//! let g = grid2d(20, 30);
+//! let result = diameter(&g);
+//! assert_eq!(result.diameter(), Some(48)); // (20-1) + (30-1)
+//!
+//! // Full control + statistics:
+//! let outcome = diameter_with(&g, &FdiamConfig::serial());
+//! assert_eq!(outcome.result.largest_cc_diameter, 48);
+//! assert!(outcome.stats.bfs_traversals() < g.num_vertices());
+//! ```
+
+pub mod algorithm;
+pub mod chain;
+pub mod config;
+pub mod eliminate;
+pub mod result;
+pub mod state;
+pub mod stats;
+pub mod winnow;
+
+pub use algorithm::{run, run_concurrent, FdiamOutcome};
+pub use config::FdiamConfig;
+pub use result::DiameterResult;
+pub use stats::{FdiamStats, RemovalBreakdown, StageTimings};
+
+use fdiam_graph::CsrGraph;
+
+/// Computes the exact diameter with the default (parallel) F-Diam
+/// configuration.
+///
+/// For a disconnected graph the diameter is infinite
+/// ([`DiameterResult::diameter`] returns `None`) and
+/// [`DiameterResult::largest_cc_diameter`] carries the largest
+/// eccentricity over all connected components, matching the paper's
+/// output convention.
+pub fn diameter(g: &CsrGraph) -> DiameterResult {
+    run(g, &FdiamConfig::default()).result
+}
+
+/// Computes the exact diameter with an explicit configuration,
+/// returning the per-stage statistics used by the benchmark harness
+/// (Tables 3–5, Figure 8).
+pub fn diameter_with(g: &CsrGraph, config: &FdiamConfig) -> FdiamOutcome {
+    run(g, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdiam_bfs::{bfs_eccentricity_serial, VisitMarks};
+    use fdiam_graph::generators::*;
+    use fdiam_graph::transform::{disjoint_union, with_isolated_vertices};
+    use fdiam_graph::CsrGraph;
+
+    /// Oracle: largest eccentricity over all vertices, by BFS from each.
+    fn oracle_cc_diameter(g: &CsrGraph) -> u32 {
+        let mut marks = VisitMarks::new(g.num_vertices());
+        g.vertices()
+            .map(|v| bfs_eccentricity_serial(g, v, &mut marks).eccentricity)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn all_configs() -> Vec<FdiamConfig> {
+        vec![
+            FdiamConfig::parallel(),
+            FdiamConfig::serial(),
+            FdiamConfig::parallel().without_winnow(),
+            FdiamConfig::parallel().without_eliminate(),
+            FdiamConfig::parallel().without_max_degree_start(),
+            FdiamConfig::serial().without_chain(),
+            FdiamConfig {
+                full_rewinnow: true,
+                ..FdiamConfig::serial()
+            },
+            FdiamConfig {
+                visit_order_seed: Some(42),
+                ..FdiamConfig::parallel()
+            },
+        ]
+    }
+
+    fn check(g: &CsrGraph) {
+        let expect = oracle_cc_diameter(g);
+        for (i, cfg) in all_configs().iter().enumerate() {
+            let out = diameter_with(g, cfg);
+            assert_eq!(
+                out.result.largest_cc_diameter, expect,
+                "config #{i} wrong on graph with n={} m={}",
+                g.num_vertices(),
+                g.num_undirected_edges()
+            );
+            assert_eq!(
+                out.stats.removed.total(),
+                g.num_vertices(),
+                "config #{i}: every vertex must be accounted for"
+            );
+        }
+    }
+
+    #[test]
+    fn known_shapes() {
+        check(&path(1));
+        check(&path(2));
+        check(&path(17));
+        check(&cycle(3));
+        check(&cycle(10));
+        check(&cycle(11));
+        check(&star(2));
+        check(&star(9));
+        check(&complete(6));
+        check(&grid2d(4, 9));
+        check(&balanced_tree(2, 4));
+        check(&balanced_tree(3, 3));
+        check(&caterpillar(6, 2));
+        check(&lollipop(5, 7));
+        check(&barbell(4, 3));
+        check(&grid2d_torus(4, 5));
+    }
+
+    #[test]
+    fn exact_diameters_of_closed_forms() {
+        assert_eq!(diameter(&path(25)).diameter(), Some(24));
+        assert_eq!(diameter(&cycle(24)).diameter(), Some(12));
+        assert_eq!(diameter(&cycle(25)).diameter(), Some(12));
+        assert_eq!(diameter(&star(40)).diameter(), Some(2));
+        assert_eq!(diameter(&complete(12)).diameter(), Some(1));
+        assert_eq!(diameter(&grid2d(7, 11)).diameter(), Some(16));
+        assert_eq!(diameter(&balanced_tree(2, 5)).diameter(), Some(10));
+        assert_eq!(diameter(&lollipop(6, 4)).diameter(), Some(5));
+        assert_eq!(diameter(&barbell(5, 2)).diameter(), Some(5));
+    }
+
+    #[test]
+    fn random_graphs_match_oracle() {
+        for seed in 0..5 {
+            check(&erdos_renyi_gnm(80, 120, seed));
+            check(&barabasi_albert(90, 2, seed));
+            check(&watts_strogatz(64, 4, 0.2, seed));
+            check(&random_geometric(70, 0.2, seed));
+            check(&road_like(100, 0.15, seed));
+            check(&rmat(7, 3, RmatProbabilities::LONESTAR, seed));
+            check(&kronecker_graph500(7, 6, seed));
+        }
+    }
+
+    #[test]
+    fn degenerate_graphs() {
+        let r = diameter(&CsrGraph::empty(0));
+        assert_eq!(r.diameter(), Some(0));
+
+        let r = diameter(&CsrGraph::empty(1));
+        assert_eq!(r.diameter(), Some(0));
+
+        let r = diameter(&CsrGraph::empty(5));
+        assert!(r.is_infinite());
+        assert_eq!(r.largest_cc_diameter, 0);
+    }
+
+    #[test]
+    fn disconnected_reports_infinite_and_largest_cc() {
+        let g = disjoint_union(&path(9), &cycle(6));
+        let r = diameter(&g);
+        assert!(r.is_infinite());
+        assert_eq!(r.diameter(), None);
+        assert_eq!(r.largest_cc_diameter, 8);
+        check(&g);
+
+        // largest diameter in the *smaller-id* component too
+        let g2 = disjoint_union(&cycle(6), &path(9));
+        let r2 = diameter(&g2);
+        assert!(r2.is_infinite());
+        assert_eq!(r2.largest_cc_diameter, 8);
+        check(&g2);
+    }
+
+    #[test]
+    fn isolated_vertices_flag_disconnection() {
+        let g = with_isolated_vertices(&complete(4), 3);
+        let r = diameter(&g);
+        assert!(r.is_infinite());
+        assert_eq!(r.largest_cc_diameter, 1);
+        check(&g);
+    }
+
+    #[test]
+    fn many_components() {
+        let mut g = path(5);
+        for k in [3usize, 7, 2] {
+            g = disjoint_union(&g, &path(k));
+        }
+        let r = diameter(&g);
+        assert!(r.is_infinite());
+        assert_eq!(r.largest_cc_diameter, 6);
+        check(&g);
+    }
+
+    #[test]
+    fn connected_flag_correct() {
+        assert!(diameter(&grid2d(5, 5)).connected);
+        assert!(!diameter(&disjoint_union(&path(2), &path(2))).connected);
+        assert!(diameter(&path(1)).connected);
+    }
+
+    #[test]
+    fn stats_traversals_far_below_n_with_winnow() {
+        let g = barabasi_albert(3000, 4, 7);
+        let out = diameter_with(&g, &FdiamConfig::parallel());
+        assert!(
+            out.stats.bfs_traversals() * 10 < g.num_vertices(),
+            "winnow should eliminate the vast majority: {} traversals on n={}",
+            out.stats.bfs_traversals(),
+            g.num_vertices()
+        );
+    }
+
+    #[test]
+    fn no_winnow_needs_more_traversals() {
+        let g = barabasi_albert(800, 3, 3);
+        let with = diameter_with(&g, &FdiamConfig::parallel());
+        let without = diameter_with(&g, &FdiamConfig::parallel().without_winnow());
+        assert_eq!(
+            with.result.largest_cc_diameter,
+            without.result.largest_cc_diameter
+        );
+        assert!(
+            without.stats.bfs_traversals() >= with.stats.bfs_traversals(),
+            "disabling winnow must not reduce traversals"
+        );
+    }
+
+    #[test]
+    fn winnow_dominates_removal_on_small_world(){
+        let g = barabasi_albert(5000, 5, 11);
+        let out = diameter_with(&g, &FdiamConfig::parallel());
+        let r = &out.stats.removed;
+        let pct = r.percentages(g.num_vertices());
+        // Paper Table 4 reports >70 % on the full-size inputs; on this
+        // scaled-down analogue the ⌊bound/2⌋ ball is proportionally
+        // smaller, so assert the structural property instead: Winnow is
+        // by far the biggest remover and covers the majority.
+        assert!(
+            pct[0] > 50.0,
+            "winnow should remove the majority; got {:.2}%",
+            pct[0]
+        );
+        assert!(r.winnow > r.eliminate && r.winnow > r.chain && r.winnow > r.computed);
+    }
+
+    #[test]
+    fn degree0_percentage_on_kron() {
+        let g = kronecker_graph500(10, 8, 3);
+        let out = diameter_with(&g, &FdiamConfig::parallel());
+        assert_eq!(out.stats.removed.degree0, g.num_isolated_vertices());
+        assert!(out.stats.removed.degree0 > 0, "kron analogue has isolated vertices");
+    }
+
+    #[test]
+    fn chain_removal_on_road_like_topology() {
+        let g = road_like(400, 0.0, 5); // pure tree: plenty of degree-1
+        let out = diameter_with(&g, &FdiamConfig::parallel());
+        assert!(out.stats.chains_processed > 0);
+        check(&g);
+    }
+
+    #[test]
+    fn full_rewinnow_cross_check() {
+        for seed in 0..3 {
+            let g = road_like(250, 0.1, seed);
+            let a = diameter_with(&g, &FdiamConfig::serial());
+            let b = diameter_with(
+                &g,
+                &FdiamConfig {
+                    full_rewinnow: true,
+                    ..FdiamConfig::serial()
+                },
+            );
+            assert_eq!(a.result, b.result);
+        }
+    }
+
+    #[test]
+    fn diametral_pair_realizes_diameter() {
+        use fdiam_bfs::distances::bfs_distances_serial;
+        for g in [
+            path(21),
+            grid2d(5, 9),
+            barabasi_albert(300, 3, 4),
+            road_like(250, 0.1, 6),
+            fdiam_graph::transform::disjoint_union(&cycle(9), &path(14)),
+        ] {
+            for cfg in [FdiamConfig::parallel(), FdiamConfig::serial()] {
+                let out = diameter_with(&g, &cfg);
+                let (a, b) = out.diametral_pair.expect("non-empty graph");
+                let mut dist = Vec::new();
+                bfs_distances_serial(&g, a, &mut dist);
+                assert_eq!(
+                    dist[b as usize], out.result.largest_cc_diameter,
+                    "pair ({a}, {b}) does not realize the diameter"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diametral_pair_none_only_for_empty() {
+        let out = diameter_with(&CsrGraph::empty(0), &FdiamConfig::serial());
+        assert!(out.diametral_pair.is_none());
+        let out = diameter_with(&CsrGraph::empty(3), &FdiamConfig::serial());
+        let (a, b) = out.diametral_pair.unwrap();
+        assert_eq!(a, b, "isolated graph: degenerate pair");
+    }
+
+    #[test]
+    fn torus_worst_case_still_exact() {
+        // all vertices share the same eccentricity — the paper's worst
+        // case (§4.6): Chain/Eliminate do not apply and Winnow removes
+        // fewer than half the vertices.
+        let g = grid2d_torus(6, 8);
+        let out = diameter_with(&g, &FdiamConfig::parallel());
+        assert_eq!(out.result.diameter(), Some(3 + 4));
+        let out_ser = diameter_with(&g, &FdiamConfig::serial());
+        assert_eq!(out_ser.result.diameter(), Some(7));
+    }
+}

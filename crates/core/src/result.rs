@@ -1,0 +1,70 @@
+//! Result type of a diameter computation.
+
+/// Outcome of a diameter computation.
+///
+/// For a disconnected graph the diameter is infinite; like the paper's
+/// implementation, we flag that and still report the largest
+/// eccentricity over all connected components (§1: "our implementation
+/// outputs infinity as well as the diameter of the largest connected
+/// component").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DiameterResult {
+    /// Largest eccentricity found in any connected component — the
+    /// paper's "CC diameter" column of Table 1. Equals the true
+    /// diameter when the graph is connected.
+    pub largest_cc_diameter: u32,
+    /// Whether the graph is connected (graphs with ≤ 1 vertex count as
+    /// connected).
+    pub connected: bool,
+}
+
+impl DiameterResult {
+    /// The finite diameter, or `None` when the graph is disconnected
+    /// (diameter ∞).
+    pub fn diameter(&self) -> Option<u32> {
+        self.connected.then_some(self.largest_cc_diameter)
+    }
+
+    /// True when the diameter is infinite (disconnected input).
+    pub fn is_infinite(&self) -> bool {
+        !self.connected
+    }
+}
+
+impl std::fmt::Display for DiameterResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.connected {
+            write!(f, "{}", self.largest_cc_diameter)
+        } else {
+            write!(f, "∞ (largest CC diameter: {})", self.largest_cc_diameter)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connected_result() {
+        let r = DiameterResult {
+            largest_cc_diameter: 7,
+            connected: true,
+        };
+        assert_eq!(r.diameter(), Some(7));
+        assert!(!r.is_infinite());
+        assert_eq!(r.to_string(), "7");
+    }
+
+    #[test]
+    fn disconnected_result() {
+        let r = DiameterResult {
+            largest_cc_diameter: 3,
+            connected: false,
+        };
+        assert_eq!(r.diameter(), None);
+        assert!(r.is_infinite());
+        assert!(r.to_string().contains('∞'));
+        assert!(r.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,252 @@
+//! Per-vertex eccentricity state.
+//!
+//! F-Diam encodes "removed from consideration" directly in the
+//! eccentricity array: "any write to a vertex's eccentricity not only
+//! sets the eccentricity but also removes the vertex from
+//! consideration" (§4). A vertex is *active* while its entry is
+//! [`ACTIVE`]; any smaller value is a valid eccentricity upper bound
+//! (exact when written by a BFS). Chain Processing uses pseudo-bounds
+//! just below [`PSEUDO_MAX`] — the paper's `INT_MAX − 1` — and Winnow
+//! marks vertices with [`WINNOWED`].
+//!
+//! Alongside the value, each vertex carries a [`Stage`] tag recording
+//! which stage *first* removed it; this feeds the paper's Table 4
+//! breakdown.
+
+use fdiam_graph::VertexId;
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+
+/// Sentinel: vertex still active (eccentricity not yet bounded).
+pub const ACTIVE: u32 = u32::MAX;
+/// Pseudo-bound base used by Chain Processing (the paper's `INT_MAX − 1`).
+pub const PSEUDO_MAX: u32 = u32::MAX - 1;
+/// Marker written by Winnow. Winnowed vertices need no meaningful upper
+/// bound — Theorem 2 guarantees a still-active twin for any of them
+/// that has maximum eccentricity.
+pub const WINNOWED: u32 = u32::MAX - 2;
+
+/// Which stage removed a vertex from consideration (Table 4 columns).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Stage {
+    /// Still active, or never removed (graph fully processed only when
+    /// no vertex carries this tag).
+    None = 0,
+    Winnow = 1,
+    Eliminate = 2,
+    Chain = 3,
+    /// Degree-0 vertex: eccentricity 0, no computation needed.
+    Degree0 = 4,
+    /// Eccentricity computed exactly by a BFS.
+    Computed = 5,
+}
+
+impl Stage {
+    fn from_u8(x: u8) -> Stage {
+        match x {
+            1 => Stage::Winnow,
+            2 => Stage::Eliminate,
+            3 => Stage::Chain,
+            4 => Stage::Degree0,
+            5 => Stage::Computed,
+            _ => Stage::None,
+        }
+    }
+}
+
+/// The eccentricity/state array shared by all F-Diam stages.
+pub struct EccState {
+    ecc: Vec<AtomicU32>,
+    tag: Vec<AtomicU8>,
+}
+
+impl EccState {
+    /// All vertices start active.
+    pub fn new(n: usize) -> Self {
+        Self {
+            ecc: (0..n).map(|_| AtomicU32::new(ACTIVE)).collect(),
+            tag: (0..n).map(|_| AtomicU8::new(Stage::None as u8)).collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.ecc.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ecc.is_empty()
+    }
+
+    /// Current recorded value ([`ACTIVE`] if none).
+    #[inline]
+    pub fn value(&self, v: VertexId) -> u32 {
+        self.ecc[v as usize].load(Ordering::Relaxed)
+    }
+
+    /// True while the vertex still needs its eccentricity computed.
+    #[inline]
+    pub fn is_active(&self, v: VertexId) -> bool {
+        self.value(v) == ACTIVE
+    }
+
+    /// Unconditionally records `value` for `v` with stage attribution
+    /// going to the *first* remover. Used by Eliminate (the paper
+    /// writes eliminated bounds unconditionally so that the frontier of
+    /// every eliminated region carries exactly the bound it was
+    /// eliminated with — the seeds for later incremental extension,
+    /// §4.5).
+    #[inline]
+    pub fn record(&self, v: VertexId, value: u32, stage: Stage) {
+        let old = self.ecc[v as usize].swap(value, Ordering::Relaxed);
+        if old == ACTIVE {
+            self.tag[v as usize].store(stage as u8, Ordering::Relaxed);
+        }
+    }
+
+    /// Removes `v` only if still active; returns whether this call did
+    /// the removal. Used by Winnow: winnowing carries no bound
+    /// information, so overwriting an exact eccentricity or an
+    /// Eliminate frontier value would only destroy extension seeds.
+    #[inline]
+    pub fn record_if_active(&self, v: VertexId, value: u32, stage: Stage) -> bool {
+        let won = self.ecc[v as usize]
+            .compare_exchange(ACTIVE, value, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok();
+        if won {
+            self.tag[v as usize].store(stage as u8, Ordering::Relaxed);
+        }
+        won
+    }
+
+    /// Re-activates a vertex (Chain Processing keeps the chain tip
+    /// active after eliminating the region around the chain's end,
+    /// Algorithm 4 line 9).
+    #[inline]
+    pub fn reactivate(&self, v: VertexId) {
+        self.ecc[v as usize].store(ACTIVE, Ordering::Relaxed);
+        self.tag[v as usize].store(Stage::None as u8, Ordering::Relaxed);
+    }
+
+    /// Stage that first removed `v`.
+    #[inline]
+    pub fn stage(&self, v: VertexId) -> Stage {
+        Stage::from_u8(self.tag[v as usize].load(Ordering::Relaxed))
+    }
+
+    /// All vertices whose recorded value equals `value` — the seed scan
+    /// of the incremental Eliminate extension (§4.5: "place all
+    /// vertices with an eccentricity bound that is equal to the old
+    /// bound value onto a worklist").
+    pub fn vertices_with_value(&self, value: u32) -> Vec<VertexId> {
+        (0..self.ecc.len() as VertexId)
+            .filter(|&v| self.value(v) == value)
+            .collect()
+    }
+
+    /// First active vertex with id ≥ `from`, if any (Algorithm 1
+    /// lines 7–11).
+    pub fn next_active(&self, from: VertexId) -> Option<VertexId> {
+        (from..self.ecc.len() as VertexId).find(|&v| self.is_active(v))
+    }
+
+    /// Counts per removal stage, indexed by [`Stage`] discriminant
+    /// (length 6).
+    pub fn stage_counts(&self) -> [usize; 6] {
+        let mut counts = [0usize; 6];
+        for t in &self.tag {
+            counts[t.load(Ordering::Relaxed) as usize] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_active() {
+        let s = EccState::new(3);
+        assert!(s.is_active(0));
+        assert_eq!(s.value(2), ACTIVE);
+        assert_eq!(s.stage(1), Stage::None);
+    }
+
+    #[test]
+    fn record_sets_value_and_first_stage() {
+        let s = EccState::new(2);
+        s.record(0, 5, Stage::Eliminate);
+        assert!(!s.is_active(0));
+        assert_eq!(s.value(0), 5);
+        assert_eq!(s.stage(0), Stage::Eliminate);
+        // overwrite keeps first attribution
+        s.record(0, 7, Stage::Chain);
+        assert_eq!(s.value(0), 7);
+        assert_eq!(s.stage(0), Stage::Eliminate);
+    }
+
+    #[test]
+    fn record_if_active_only_once() {
+        let s = EccState::new(1);
+        assert!(s.record_if_active(0, WINNOWED, Stage::Winnow));
+        assert!(!s.record_if_active(0, WINNOWED, Stage::Winnow));
+        assert_eq!(s.stage(0), Stage::Winnow);
+    }
+
+    #[test]
+    fn record_if_active_preserves_existing_value() {
+        let s = EccState::new(1);
+        s.record(0, 4, Stage::Computed);
+        assert!(!s.record_if_active(0, WINNOWED, Stage::Winnow));
+        assert_eq!(s.value(0), 4);
+    }
+
+    #[test]
+    fn reactivate_clears() {
+        let s = EccState::new(1);
+        s.record(0, 9, Stage::Chain);
+        s.reactivate(0);
+        assert!(s.is_active(0));
+        assert_eq!(s.stage(0), Stage::None);
+    }
+
+    #[test]
+    fn seed_scan_finds_exact_values() {
+        let s = EccState::new(5);
+        s.record(1, 7, Stage::Eliminate);
+        s.record(3, 7, Stage::Computed);
+        s.record(4, 6, Stage::Eliminate);
+        assert_eq!(s.vertices_with_value(7), vec![1, 3]);
+    }
+
+    #[test]
+    fn next_active_skips_removed() {
+        let s = EccState::new(4);
+        s.record(0, 1, Stage::Computed);
+        s.record(1, 1, Stage::Eliminate);
+        assert_eq!(s.next_active(0), Some(2));
+        assert_eq!(s.next_active(3), Some(3));
+        s.record(2, 1, Stage::Eliminate);
+        s.record(3, 1, Stage::Eliminate);
+        assert_eq!(s.next_active(0), None);
+    }
+
+    #[test]
+    fn stage_counts_tally() {
+        let s = EccState::new(4);
+        s.record(0, 0, Stage::Degree0);
+        s.record(1, 3, Stage::Computed);
+        s.record_if_active(2, WINNOWED, Stage::Winnow);
+        let c = s.stage_counts();
+        assert_eq!(c[Stage::None as usize], 1);
+        assert_eq!(c[Stage::Degree0 as usize], 1);
+        assert_eq!(c[Stage::Computed as usize], 1);
+        assert_eq!(c[Stage::Winnow as usize], 1);
+    }
+
+    #[test]
+    fn sentinels_are_distinct_and_ordered() {
+        assert!(WINNOWED < PSEUDO_MAX);
+        assert!(PSEUDO_MAX < ACTIVE);
+    }
+}

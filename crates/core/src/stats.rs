@@ -1,0 +1,161 @@
+//! Execution statistics: everything needed to regenerate the paper's
+//! Table 3 (BFS traversal counts), Table 4 (per-stage removal
+//! percentages), and Figure 8 (per-stage runtime fractions).
+
+use std::time::Duration;
+
+/// How many vertices each stage removed from consideration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RemovalBreakdown {
+    pub winnow: usize,
+    pub eliminate: usize,
+    pub chain: usize,
+    pub degree0: usize,
+    /// Vertices whose eccentricity was computed exactly by a BFS.
+    pub computed: usize,
+}
+
+impl RemovalBreakdown {
+    pub fn total(&self) -> usize {
+        self.winnow + self.eliminate + self.chain + self.degree0 + self.computed
+    }
+
+    /// Percentage of `n` removed by each stage, in Table 4 column order
+    /// (winnow, eliminate, chain, degree-0).
+    pub fn percentages(&self, n: usize) -> [f64; 4] {
+        let pct = |x: usize| {
+            if n == 0 {
+                0.0
+            } else {
+                100.0 * x as f64 / n as f64
+            }
+        };
+        [
+            pct(self.winnow),
+            pct(self.eliminate),
+            pct(self.chain),
+            pct(self.degree0),
+        ]
+    }
+}
+
+/// Wall-clock spent per stage (Figure 8 series).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageTimings {
+    /// The eccentricity BFS calls — dominate runtime on every input
+    /// in the paper's Figure 8.
+    pub ecc_bfs: Duration,
+    pub winnow: Duration,
+    pub chain: Duration,
+    pub eliminate: Duration,
+    /// Total runtime of the diameter computation.
+    pub total: Duration,
+}
+
+impl StageTimings {
+    /// Everything not attributed to a named stage (setup, scans, sweeps
+    /// bookkeeping) — Figure 8's "other".
+    pub fn other(&self) -> Duration {
+        self.total
+            .saturating_sub(self.ecc_bfs)
+            .saturating_sub(self.winnow)
+            .saturating_sub(self.chain)
+            .saturating_sub(self.eliminate)
+    }
+
+    /// Fractions of total per stage: `[ecc_bfs, winnow, chain,
+    /// eliminate, other]`, summing to 1 (all zeros for a zero total).
+    pub fn fractions(&self) -> [f64; 5] {
+        let t = self.total.as_secs_f64();
+        if t == 0.0 {
+            return [0.0; 5];
+        }
+        [
+            self.ecc_bfs.as_secs_f64() / t,
+            self.winnow.as_secs_f64() / t,
+            self.chain.as_secs_f64() / t,
+            self.eliminate.as_secs_f64() / t,
+            self.other().as_secs_f64() / t,
+        ]
+    }
+}
+
+/// Full statistics of one F-Diam run.
+#[derive(Clone, Debug, Default)]
+pub struct FdiamStats {
+    /// Eccentricity computations performed (one BFS each).
+    pub ecc_computations: usize,
+    /// Winnow invocations (initial + incremental extensions).
+    pub winnow_calls: usize,
+    /// Eliminate invocations, counting each bound-rise extension once
+    /// (chain-triggered eliminations are *not* counted here).
+    pub eliminate_calls: usize,
+    /// Degree-1 chains processed.
+    pub chains_processed: usize,
+    pub removed: RemovalBreakdown,
+    pub timings: StageTimings,
+}
+
+impl FdiamStats {
+    /// The paper's Table 3 metric: "a BFS traversal [is] either the
+    /// computation of the eccentricity of a vertex or the use of the
+    /// Winnow function" — Eliminate is not counted (§6.3).
+    pub fn bfs_traversals(&self) -> usize {
+        self.ecc_computations + self.winnow_calls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_percentages() {
+        let b = RemovalBreakdown {
+            winnow: 70,
+            eliminate: 20,
+            chain: 5,
+            degree0: 3,
+            computed: 2,
+        };
+        assert_eq!(b.total(), 100);
+        let p = b.percentages(100);
+        assert_eq!(p, [70.0, 20.0, 5.0, 3.0]);
+    }
+
+    #[test]
+    fn percentages_of_empty_graph() {
+        assert_eq!(RemovalBreakdown::default().percentages(0), [0.0; 4]);
+    }
+
+    #[test]
+    fn timings_other_and_fractions() {
+        let t = StageTimings {
+            ecc_bfs: Duration::from_millis(60),
+            winnow: Duration::from_millis(20),
+            chain: Duration::from_millis(5),
+            eliminate: Duration::from_millis(5),
+            total: Duration::from_millis(100),
+        };
+        assert_eq!(t.other(), Duration::from_millis(10));
+        let f = t.fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((f[0] - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_total_fractions() {
+        assert_eq!(StageTimings::default().fractions(), [0.0; 5]);
+    }
+
+    #[test]
+    fn traversal_count_convention() {
+        let s = FdiamStats {
+            ecc_computations: 5,
+            winnow_calls: 2,
+            eliminate_calls: 99,
+            ..Default::default()
+        };
+        assert_eq!(s.bfs_traversals(), 7);
+    }
+}

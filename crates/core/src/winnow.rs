@@ -1,0 +1,304 @@
+//! The Winnow operation (Algorithm 3) — the paper's key novelty.
+//!
+//! By Theorem 3, every eccentricity is at least half the diameter, and
+//! by Theorem 2 the maximum eccentricity is attained by at least two
+//! vertices that are `diam` apart. Hence all vertices within
+//! `⌊bound/2⌋` of an arbitrary vertex `u` can reach each other within
+//! `bound` steps, so any pair realizing a distance `> bound` has at
+//! least one endpoint *outside* that ball — winnowing the whole ball is
+//! safe even though it may contain vertices with eccentricity *higher*
+//! than the current bound. Winnowing must only ever be done around one
+//! single vertex (§4.2), which is why [`WinnowRegion`] owns the source.
+//!
+//! The region grows monotonically: [`WinnowRegion`] keeps the exact
+//! distance-from-`u` of every vertex reached so far, so when the bound
+//! rises enough for `⌊bound/2⌋` to increase, the saved frontier (all
+//! vertices at exactly the old radius) seeds a partial BFS for just the
+//! extra levels — the incremental extension the paper calls "trivial as
+//! it is centered around one starting vertex" (§4.5). The distance
+//! array doubles as the visited set, preventing the extension from
+//! re-expanding inward.
+
+use crate::state::{EccState, Stage, WINNOWED};
+use fdiam_graph::{CsrGraph, VertexId};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+const UNSEEN: u32 = u32::MAX;
+
+/// The (single) winnowed ball around the start vertex.
+pub struct WinnowRegion {
+    source: VertexId,
+    radius: u32,
+    /// All vertices at exactly `radius` from `source` (empty once the
+    /// source's whole component is inside the ball).
+    frontier: Vec<VertexId>,
+    /// Exact distance from `source` for every vertex reached so far;
+    /// [`UNSEEN`] elsewhere. Doubles as the BFS visited set.
+    dist: Vec<AtomicU32>,
+}
+
+impl WinnowRegion {
+    /// Empty region centered on `source` (radius 0).
+    pub fn new(source: VertexId, n: usize) -> Self {
+        let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNSEEN)).collect();
+        dist[source as usize].store(0, Ordering::Relaxed);
+        Self {
+            source,
+            radius: 0,
+            frontier: vec![source],
+            dist,
+        }
+    }
+
+    /// The winnow start vertex `u`.
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+
+    /// Current winnow radius (`⌊bound/2⌋` after the last extension).
+    pub fn radius(&self) -> u32 {
+        self.radius
+    }
+
+    /// Vertices at exactly `radius` from the source.
+    pub fn frontier(&self) -> &[VertexId] {
+        &self.frontier
+    }
+
+    /// Grows the region to `new_radius`, marking every newly reached
+    /// vertex as winnowed — but only if still active: winnowing carries
+    /// no bound information, so it must not destroy the Eliminate
+    /// frontier values that seed §4.5 extensions, nor exact
+    /// eccentricities.
+    ///
+    /// Returns `true` iff a partial BFS actually ran, which is what the
+    /// paper counts as a BFS traversal in Table 3.
+    pub fn extend_to(
+        &mut self,
+        g: &CsrGraph,
+        state: &EccState,
+        new_radius: u32,
+        parallel: bool,
+    ) -> bool {
+        if new_radius <= self.radius || self.frontier.is_empty() {
+            return false;
+        }
+        // Small frontiers are stepped serially even in parallel mode —
+        // fork-join overhead exceeds the work (cf. `BfsConfig::serial_cutoff`).
+        const SERIAL_CUTOFF: usize = 1024;
+        let mut frontier = std::mem::take(&mut self.frontier);
+        for level in (self.radius + 1)..=new_radius {
+            let next = if parallel && frontier.len() >= SERIAL_CUTOFF {
+                self.step_parallel(g, &frontier, level)
+            } else {
+                self.step_serial(g, &frontier, level)
+            };
+            next.iter()
+                .for_each(|&v| _ = state.record_if_active(v, WINNOWED, Stage::Winnow));
+            frontier = next;
+            if frontier.is_empty() {
+                break; // whole component inside the ball
+            }
+        }
+        self.radius = new_radius;
+        self.frontier = frontier;
+        true
+    }
+
+    /// Re-runs Winnow from scratch out to `new_radius` (the
+    /// `full_rewinnow` cross-check mode). Equivalent end state to
+    /// [`Self::extend_to`]; costlier.
+    pub fn rewinnow_to(
+        &mut self,
+        g: &CsrGraph,
+        state: &EccState,
+        new_radius: u32,
+        parallel: bool,
+    ) -> bool {
+        if new_radius <= self.radius {
+            return false;
+        }
+        for d in self.dist.iter() {
+            d.store(UNSEEN, Ordering::Relaxed);
+        }
+        self.dist[self.source as usize].store(0, Ordering::Relaxed);
+        self.radius = 0;
+        self.frontier = vec![self.source];
+        self.extend_to(g, state, new_radius, parallel)
+    }
+
+    fn step_serial(&self, g: &CsrGraph, frontier: &[VertexId], level: u32) -> Vec<VertexId> {
+        let mut next = Vec::new();
+        for &v in frontier {
+            for &n in g.neighbors(v) {
+                let d = &self.dist[n as usize];
+                if d.load(Ordering::Relaxed) == UNSEEN {
+                    d.store(level, Ordering::Relaxed);
+                    next.push(n);
+                }
+            }
+        }
+        next
+    }
+
+    fn step_parallel(&self, g: &CsrGraph, frontier: &[VertexId], level: u32) -> Vec<VertexId> {
+        frontier
+            .par_iter()
+            .fold(Vec::new, |mut acc, &v| {
+                for &n in g.neighbors(v) {
+                    if self.dist[n as usize]
+                        .compare_exchange(UNSEEN, level, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        acc.push(n);
+                    }
+                }
+                acc
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::ACTIVE;
+    use fdiam_graph::generators::{grid2d, path, star};
+
+    fn winnowed_set(state: &EccState) -> Vec<u32> {
+        (0..state.len() as u32)
+            .filter(|&v| state.value(v) == WINNOWED)
+            .collect()
+    }
+
+    fn sorted(mut v: Vec<u32>) -> Vec<u32> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn marks_ball_around_source() {
+        let g = path(9);
+        let state = EccState::new(9);
+        let mut w = WinnowRegion::new(4, 9);
+        assert!(w.extend_to(&g, &state, 2, false));
+        assert_eq!(winnowed_set(&state), vec![2, 3, 5, 6]);
+        assert_eq!(state.value(4), ACTIVE, "source not marked by winnow");
+        assert_eq!(state.value(0), ACTIVE);
+        assert_eq!(sorted(w.frontier().to_vec()), vec![2, 6]);
+    }
+
+    #[test]
+    fn radius_zero_is_noop() {
+        let g = star(5);
+        let state = EccState::new(5);
+        let mut w = WinnowRegion::new(0, 5);
+        assert!(!w.extend_to(&g, &state, 0, false));
+        assert!(winnowed_set(&state).is_empty());
+    }
+
+    #[test]
+    fn incremental_extension_matches_one_shot() {
+        let g = grid2d(9, 9);
+        let n = g.num_vertices();
+
+        let s1 = EccState::new(n);
+        let mut w1 = WinnowRegion::new(40, n);
+        w1.extend_to(&g, &s1, 2, false);
+        w1.extend_to(&g, &s1, 4, false);
+
+        let s2 = EccState::new(n);
+        let mut w2 = WinnowRegion::new(40, n);
+        w2.extend_to(&g, &s2, 4, false);
+
+        assert_eq!(winnowed_set(&s1), winnowed_set(&s2));
+        assert_eq!(
+            sorted(w1.frontier().to_vec()),
+            sorted(w2.frontier().to_vec()),
+            "extension frontier must match one-shot frontier"
+        );
+    }
+
+    #[test]
+    fn rewinnow_matches_extension() {
+        let g = grid2d(7, 7);
+        let n = g.num_vertices();
+        let s1 = EccState::new(n);
+        let mut w1 = WinnowRegion::new(24, n);
+        w1.extend_to(&g, &s1, 1, false);
+        w1.extend_to(&g, &s1, 3, false);
+
+        let s2 = EccState::new(n);
+        let mut w2 = WinnowRegion::new(24, n);
+        w2.extend_to(&g, &s2, 1, false);
+        w2.rewinnow_to(&g, &s2, 3, false);
+
+        assert_eq!(winnowed_set(&s1), winnowed_set(&s2));
+        assert_eq!(
+            sorted(w1.frontier().to_vec()),
+            sorted(w2.frontier().to_vec())
+        );
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let g = grid2d(8, 8);
+        let n = g.num_vertices();
+        let s1 = EccState::new(n);
+        let mut w1 = WinnowRegion::new(27, n);
+        w1.extend_to(&g, &s1, 3, false);
+        let s2 = EccState::new(n);
+        let mut w2 = WinnowRegion::new(27, n);
+        w2.extend_to(&g, &s2, 3, true);
+        assert_eq!(winnowed_set(&s1), winnowed_set(&s2));
+        assert_eq!(
+            sorted(w1.frontier().to_vec()),
+            sorted(w2.frontier().to_vec())
+        );
+    }
+
+    #[test]
+    fn does_not_overwrite_inactive_vertices() {
+        let g = path(5);
+        let state = EccState::new(5);
+        state.record(1, 4, Stage::Computed); // pretend v1's ecc is known
+        let mut w = WinnowRegion::new(2, 5);
+        w.extend_to(&g, &state, 2, false);
+        assert_eq!(state.value(1), 4, "computed ecc preserved");
+        assert_eq!(state.stage(1), Stage::Computed);
+        assert_eq!(state.value(3), WINNOWED);
+    }
+
+    #[test]
+    fn exhausted_component_stops_future_extensions() {
+        let g = path(3);
+        let state = EccState::new(3);
+        let mut w = WinnowRegion::new(1, 3);
+        assert!(w.extend_to(&g, &state, 5, false));
+        assert!(w.frontier().is_empty());
+        assert!(!w.extend_to(&g, &state, 9, false));
+    }
+
+    #[test]
+    fn shrinking_is_rejected() {
+        let g = path(5);
+        let state = EccState::new(5);
+        let mut w = WinnowRegion::new(2, 5);
+        w.extend_to(&g, &state, 2, false);
+        assert!(!w.extend_to(&g, &state, 1, false));
+        assert_eq!(w.radius(), 2);
+    }
+
+    #[test]
+    fn winnow_confined_to_source_component() {
+        let g = fdiam_graph::transform::disjoint_union(&star(5), &path(4));
+        let state = EccState::new(9);
+        let mut w = WinnowRegion::new(0, 9);
+        w.extend_to(&g, &state, 3, false);
+        assert!(winnowed_set(&state).iter().all(|&v| v < 5));
+    }
+}

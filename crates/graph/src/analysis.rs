@@ -1,0 +1,94 @@
+//! Cheap topology statistics: degree histograms and the summary row
+//! printed for each input in the paper's Table 1.
+
+use crate::csr::CsrGraph;
+
+/// Summary statistics matching the columns of the paper's Table 1.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphSummary {
+    pub vertices: usize,
+    /// Directed arc count (Table 1 counts "edges (including back edges)").
+    pub arcs: usize,
+    pub avg_degree: f64,
+    pub max_degree: usize,
+    pub isolated_vertices: usize,
+    pub num_components: usize,
+}
+
+impl GraphSummary {
+    pub fn compute(g: &CsrGraph) -> Self {
+        let cc = crate::components::ConnectedComponents::compute(g);
+        Self {
+            vertices: g.num_vertices(),
+            arcs: g.num_arcs(),
+            avg_degree: g.avg_degree(),
+            max_degree: g.max_degree(),
+            isolated_vertices: g.num_isolated_vertices(),
+            num_components: cc.num_components(),
+        }
+    }
+}
+
+/// Histogram of vertex degrees: `hist[d]` = number of vertices of
+/// degree `d` (length `max_degree + 1`; empty for the empty graph).
+pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+    if g.num_vertices() == 0 {
+        return Vec::new();
+    }
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.vertices() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Count of degree-1 vertices — the entry points for the paper's Chain
+/// Processing stage (§4.3).
+pub fn num_degree1_vertices(g: &CsrGraph) -> usize {
+    g.vertices().filter(|&v| g.degree(v) == 1).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{caterpillar, path, star};
+    use crate::transform::with_isolated_vertices;
+
+    #[test]
+    fn summary_of_star() {
+        let s = GraphSummary::compute(&star(5));
+        assert_eq!(s.vertices, 5);
+        assert_eq!(s.arcs, 8);
+        assert_eq!(s.max_degree, 4);
+        assert_eq!(s.isolated_vertices, 0);
+        assert_eq!(s.num_components, 1);
+        assert!((s.avg_degree - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_of_path() {
+        let h = degree_histogram(&path(5));
+        assert_eq!(h, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn histogram_empty_graph() {
+        assert!(degree_histogram(&CsrGraph::empty(0)).is_empty());
+        assert_eq!(degree_histogram(&CsrGraph::empty(3)), vec![3]);
+    }
+
+    #[test]
+    fn degree1_count() {
+        assert_eq!(num_degree1_vertices(&path(6)), 2);
+        // caterpillar(3, 2): all 6 legs have degree 1, spine vertices ≥ 3
+        assert_eq!(num_degree1_vertices(&caterpillar(3, 2)), 6);
+    }
+
+    #[test]
+    fn summary_counts_isolated() {
+        let g = with_isolated_vertices(&path(3), 2);
+        let s = GraphSummary::compute(&g);
+        assert_eq!(s.isolated_vertices, 2);
+        assert_eq!(s.num_components, 3);
+    }
+}

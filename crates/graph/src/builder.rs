@@ -1,0 +1,268 @@
+//! Edge-list accumulation and O(n + m) CSR construction.
+//!
+//! All generators and readers funnel through [`EdgeList`], which
+//! symmetrizes, deduplicates, and counting-sorts the edges into a
+//! [`CsrGraph`]. Neighbor lists come out sorted by vertex id, which the
+//! bottom-up BFS exploits for early exit and which makes graph equality
+//! canonical.
+
+use crate::csr::{CsrGraph, VertexId};
+
+/// Options controlling [`EdgeList::to_csr_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct BuildOptions {
+    /// Add the reverse of every arc before building (undirected
+    /// semantics, the default for this library).
+    pub symmetrize: bool,
+    /// Remove duplicate arcs.
+    pub dedup: bool,
+    /// Remove self-loops `v → v`.
+    pub remove_self_loops: bool,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        Self {
+            symmetrize: true,
+            dedup: true,
+            remove_self_loops: true,
+        }
+    }
+}
+
+/// A growable list of arcs plus a vertex count.
+///
+/// The vertex count may exceed the largest endpoint (trailing isolated
+/// vertices are legal — the paper's Kronecker inputs have up to 26 % of
+/// them, see Table 4).
+#[derive(Clone, Debug, Default)]
+pub struct EdgeList {
+    num_vertices: usize,
+    arcs: Vec<(VertexId, VertexId)>,
+}
+
+impl EdgeList {
+    /// New empty list over `n` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        Self {
+            num_vertices,
+            arcs: Vec::new(),
+        }
+    }
+
+    /// New empty list over `n` vertices with room for `cap` arcs.
+    pub fn with_capacity(num_vertices: usize, cap: usize) -> Self {
+        Self {
+            num_vertices,
+            arcs: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Builds a list from undirected edges (each pair added once; the
+    /// reverse direction is added during CSR construction).
+    pub fn from_undirected(num_vertices: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        let mut el = Self::with_capacity(num_vertices, edges.len());
+        for &(u, v) in edges {
+            el.push(u, v);
+        }
+        el
+    }
+
+    /// Adds an arc `u → v`.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    #[inline]
+    pub fn push(&mut self, u: VertexId, v: VertexId) {
+        assert!(
+            (u as usize) < self.num_vertices && (v as usize) < self.num_vertices,
+            "edge ({u}, {v}) out of range (n = {})",
+            self.num_vertices
+        );
+        self.arcs.push((u, v));
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of arcs currently stored.
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Grows the vertex count (never shrinks).
+    pub fn ensure_vertices(&mut self, n: usize) {
+        self.num_vertices = self.num_vertices.max(n);
+    }
+
+    /// Builds an undirected CSR graph: symmetrized, deduplicated, and
+    /// with self-loops removed. This is the construction used by every
+    /// generator and reader in this library.
+    pub fn to_undirected_csr(&self) -> CsrGraph {
+        self.to_csr_with(BuildOptions::default())
+    }
+
+    /// Builds a CSR graph with explicit options.
+    pub fn to_csr_with(&self, opts: BuildOptions) -> CsrGraph {
+        let n = self.num_vertices;
+        let mut work: Vec<(VertexId, VertexId)> =
+            Vec::with_capacity(self.arcs.len() * if opts.symmetrize { 2 } else { 1 });
+        for &(u, v) in &self.arcs {
+            if opts.remove_self_loops && u == v {
+                continue;
+            }
+            work.push((u, v));
+            if opts.symmetrize && u != v {
+                work.push((v, u));
+            }
+        }
+
+        // Counting sort by source vertex. After the prefix sum,
+        // `offsets[v]` is the start of row `v` and `offsets[n]` the total,
+        // i.e. `offsets` is exactly the CSR row-offset array.
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, _) in &work {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 1..=n {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cols = vec![0 as VertexId; work.len()];
+        let mut cursor = offsets.clone();
+        for &(u, v) in &work {
+            let c = &mut cursor[u as usize];
+            cols[*c] = v;
+            *c += 1;
+        }
+        drop(work);
+
+        // Per-row sort (+ optional dedup), rebuilding offsets if dedup
+        // shrinks rows.
+        if opts.dedup {
+            let mut new_cols = Vec::with_capacity(cols.len());
+            let mut new_offsets = Vec::with_capacity(n + 1);
+            new_offsets.push(0usize);
+            for v in 0..n {
+                let row = &mut cols[offsets[v]..offsets[v + 1]];
+                row.sort_unstable();
+                let mut prev: Option<VertexId> = None;
+                for &x in row.iter() {
+                    if prev != Some(x) {
+                        new_cols.push(x);
+                        prev = Some(x);
+                    }
+                }
+                new_offsets.push(new_cols.len());
+            }
+            CsrGraph::from_parts_unchecked(new_offsets, new_cols)
+        } else {
+            for v in 0..n {
+                cols[offsets[v]..offsets[v + 1]].sort_unstable();
+            }
+            CsrGraph::from_parts_unchecked(offsets, cols)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_undirected_build() {
+        let g = EdgeList::from_undirected(4, &[(0, 1), (1, 2), (2, 3)]).to_undirected_csr();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_arcs(), 6);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn duplicate_edges_are_removed() {
+        let g = EdgeList::from_undirected(3, &[(0, 1), (0, 1), (1, 0), (1, 2)]).to_undirected_csr();
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.num_undirected_edges(), 2);
+    }
+
+    #[test]
+    fn self_loops_removed_by_default() {
+        let g = EdgeList::from_undirected(2, &[(0, 0), (0, 1), (1, 1)]).to_undirected_csr();
+        assert!(!g.has_self_loops());
+        assert_eq!(g.num_undirected_edges(), 1);
+    }
+
+    #[test]
+    fn self_loops_kept_when_requested() {
+        let el = EdgeList::from_undirected(2, &[(0, 0), (0, 1)]);
+        let g = el.to_csr_with(BuildOptions {
+            remove_self_loops: false,
+            ..Default::default()
+        });
+        assert!(g.has_self_loops());
+        // loop stored once (symmetrize skips u == v), edge stored twice
+        assert_eq!(g.num_arcs(), 3);
+    }
+
+    #[test]
+    fn directed_build_without_symmetrize() {
+        let el = EdgeList::from_undirected(3, &[(0, 1), (1, 2)]);
+        let g = el.to_csr_with(BuildOptions {
+            symmetrize: false,
+            ..Default::default()
+        });
+        assert_eq!(g.neighbors(0), &[1]);
+        assert!(g.neighbors(1) == [2]);
+        assert!(g.neighbors(2).is_empty());
+        assert!(!g.is_symmetric());
+    }
+
+    #[test]
+    fn no_dedup_keeps_parallel_edges() {
+        let el = EdgeList::from_undirected(2, &[(0, 1), (0, 1)]);
+        let g = el.to_csr_with(BuildOptions {
+            dedup: false,
+            ..Default::default()
+        });
+        assert_eq!(g.neighbors(0), &[1, 1]);
+        assert_eq!(g.num_arcs(), 4);
+    }
+
+    #[test]
+    fn trailing_isolated_vertices_preserved() {
+        let g = EdgeList::from_undirected(10, &[(0, 1)]).to_undirected_csr();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.num_isolated_vertices(), 8);
+    }
+
+    #[test]
+    fn neighbor_lists_sorted() {
+        let g = EdgeList::from_undirected(5, &[(0, 4), (0, 2), (0, 3), (0, 1)]).to_undirected_csr();
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn push_rejects_out_of_range() {
+        let mut el = EdgeList::new(2);
+        el.push(0, 2);
+    }
+
+    #[test]
+    fn ensure_vertices_grows_only() {
+        let mut el = EdgeList::new(3);
+        el.ensure_vertices(10);
+        assert_eq!(el.num_vertices(), 10);
+        el.ensure_vertices(5);
+        assert_eq!(el.num_vertices(), 10);
+    }
+
+    #[test]
+    fn empty_edge_list_builds_empty_graph() {
+        let g = EdgeList::new(4).to_undirected_csr();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_arcs(), 0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Connected components.
+//!
+//! The diameter of a disconnected graph is infinite; the paper's code
+//! flags this and reports the largest eccentricity over all connected
+//! components (§1, §5). This module provides a serial union-find and a
+//! rayon label-propagation implementation, plus largest-component
+//! extraction used by examples and the harness.
+
+use crate::csr::{CsrGraph, VertexId};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Component labelling of a graph.
+#[derive(Clone, Debug)]
+pub struct ConnectedComponents {
+    /// `comp[v]` = component id of `v` (ids are the smallest vertex id
+    /// in the component, then compacted to `0..num_components`).
+    comp: Vec<u32>,
+    /// `sizes[c]` = number of vertices in component `c`.
+    sizes: Vec<usize>,
+}
+
+impl ConnectedComponents {
+    /// Serial union-find with path halving and union by attachment to
+    /// the smaller root id (canonical labels).
+    pub fn compute(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+
+        for u in g.vertices() {
+            for &v in g.neighbors(u) {
+                let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+                if ru != rv {
+                    // attach the larger root id under the smaller one so the
+                    // final label of each component is its minimum vertex id
+                    let (lo, hi) = if ru < rv { (ru, rv) } else { (rv, ru) };
+                    parent[hi as usize] = lo;
+                }
+            }
+        }
+        let mut comp: Vec<u32> = (0..n as u32).map(|v| find(&mut parent, v)).collect();
+        Self::compact(&mut comp)
+    }
+
+    /// Parallel label propagation: every vertex repeatedly adopts the
+    /// minimum label in its closed neighborhood until a fixed point.
+    /// Produces the identical labelling to [`Self::compute`].
+    pub fn compute_parallel(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+        loop {
+            let changed = (0..n as u32)
+                .into_par_iter()
+                .map(|u| {
+                    let mut min = labels[u as usize].load(Ordering::Relaxed);
+                    for &v in g.neighbors(u) {
+                        min = min.min(labels[v as usize].load(Ordering::Relaxed));
+                    }
+                    if min < labels[u as usize].load(Ordering::Relaxed) {
+                        labels[u as usize].store(min, Ordering::Relaxed);
+                        true
+                    } else {
+                        false
+                    }
+                })
+                .reduce(|| false, |a, b| a || b);
+            if !changed {
+                break;
+            }
+        }
+        // Pointer-jump to the label root: label propagation converges to
+        // labels that are themselves fixed points, i.e. label[l] == l for
+        // every used label, so one pass suffices; keep jumping defensively.
+        let mut comp: Vec<u32> = labels.into_iter().map(AtomicU32::into_inner).collect();
+        for v in 0..n {
+            let mut l = comp[v];
+            while comp[l as usize] != l {
+                l = comp[l as usize];
+            }
+            comp[v] = l;
+        }
+        Self::compact(&mut comp)
+    }
+
+    /// Renumbers raw root labels to `0..k` (ordered by first occurrence,
+    /// i.e. by smallest member id) and tallies sizes.
+    fn compact(comp: &mut [u32]) -> Self {
+        let mut remap: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        let mut sizes: Vec<usize> = Vec::new();
+        for label in comp.iter_mut() {
+            let next = remap.len() as u32;
+            let c = *remap.entry(*label).or_insert_with(|| {
+                sizes.push(0);
+                next
+            });
+            sizes[c as usize] += 1;
+            *label = c;
+        }
+        Self {
+            comp: comp.to_vec(),
+            sizes,
+        }
+    }
+
+    /// Number of connected components (isolated vertices count).
+    pub fn num_components(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Component id of vertex `v`.
+    #[inline]
+    pub fn component_of(&self, v: VertexId) -> u32 {
+        self.comp[v as usize]
+    }
+
+    /// Sizes of all components, indexed by component id.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Id of the largest component (ties → lowest id).
+    pub fn largest_component(&self) -> Option<u32> {
+        (0..self.sizes.len() as u32).max_by_key(|&c| (self.sizes[c as usize], std::cmp::Reverse(c)))
+    }
+
+    /// True if the graph is connected (and non-empty).
+    pub fn is_connected(&self) -> bool {
+        self.num_components() == 1
+    }
+
+    /// Full labelling slice.
+    pub fn labels(&self) -> &[u32] {
+        &self.comp
+    }
+}
+
+/// Extracts the subgraph induced by the largest connected component.
+/// Returns the subgraph and the mapping `new id → original id`.
+pub fn largest_component_subgraph(g: &CsrGraph) -> (CsrGraph, Vec<VertexId>) {
+    let cc = ConnectedComponents::compute(g);
+    let Some(target) = cc.largest_component() else {
+        return (CsrGraph::empty(0), Vec::new());
+    };
+    let members: Vec<VertexId> = g.vertices().filter(|&v| cc.component_of(v) == target).collect();
+    let sub = crate::transform::induced_subgraph(g, &members);
+    (sub, members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::EdgeList;
+    use crate::generators::{cycle, path};
+
+    fn two_triangles_and_isolated() -> CsrGraph {
+        // {0,1,2} triangle, {3,4,5} triangle, {6} isolated
+        EdgeList::from_undirected(7, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+            .to_undirected_csr()
+    }
+
+    #[test]
+    fn single_component() {
+        let g = path(10);
+        let cc = ConnectedComponents::compute(&g);
+        assert_eq!(cc.num_components(), 1);
+        assert!(cc.is_connected());
+        assert_eq!(cc.sizes(), &[10]);
+    }
+
+    #[test]
+    fn multiple_components() {
+        let g = two_triangles_and_isolated();
+        let cc = ConnectedComponents::compute(&g);
+        assert_eq!(cc.num_components(), 3);
+        assert_eq!(cc.component_of(0), cc.component_of(2));
+        assert_ne!(cc.component_of(0), cc.component_of(3));
+        assert_eq!(cc.sizes(), &[3, 3, 1]);
+    }
+
+    #[test]
+    fn empty_graph_components() {
+        let cc = ConnectedComponents::compute(&CsrGraph::empty(0));
+        assert_eq!(cc.num_components(), 0);
+        assert!(!cc.is_connected());
+        assert_eq!(cc.largest_component(), None);
+    }
+
+    #[test]
+    fn isolated_vertices_are_singletons() {
+        let cc = ConnectedComponents::compute(&CsrGraph::empty(4));
+        assert_eq!(cc.num_components(), 4);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        for g in [
+            two_triangles_and_isolated(),
+            path(50),
+            cycle(17),
+            crate::generators::erdos_renyi_gnm(200, 150, 3),
+            crate::generators::rmat(8, 2, crate::generators::RmatProbabilities::LONESTAR, 5),
+        ] {
+            let a = ConnectedComponents::compute(&g);
+            let b = ConnectedComponents::compute_parallel(&g);
+            assert_eq!(a.labels(), b.labels());
+            assert_eq!(a.sizes(), b.sizes());
+        }
+    }
+
+    #[test]
+    fn largest_component_selection() {
+        // component {0..4} path (5 vertices) vs triangle {5,6,7}
+        let g = EdgeList::from_undirected(
+            8,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (5, 6), (6, 7), (5, 7)],
+        )
+        .to_undirected_csr();
+        let cc = ConnectedComponents::compute(&g);
+        assert_eq!(cc.largest_component(), Some(0));
+        let (sub, map) = largest_component_subgraph(&g);
+        assert_eq!(sub.num_vertices(), 5);
+        assert_eq!(map, vec![0, 1, 2, 3, 4]);
+        assert_eq!(sub.num_undirected_edges(), 4);
+    }
+
+    #[test]
+    fn largest_component_of_empty() {
+        let (sub, map) = largest_component_subgraph(&CsrGraph::empty(0));
+        assert_eq!(sub.num_vertices(), 0);
+        assert!(map.is_empty());
+    }
+}

@@ -1,0 +1,343 @@
+//! Compressed sparse row (CSR) graph representation.
+//!
+//! The paper targets undirected, unweighted, sparse graphs and stores
+//! them in CSR form (§2): every undirected edge `{u, v}` appears as the
+//! two directed arcs `u → v` and `v → u`. `row_offsets` has `n + 1`
+//! entries; the neighbors of vertex `v` are
+//! `col_indices[row_offsets[v] .. row_offsets[v + 1]]`.
+
+use serde::{Deserialize, Serialize};
+
+/// Vertex identifier. `u32` comfortably covers the paper's largest
+/// input (50.9 M vertices) while halving memory traffic versus `usize`.
+pub type VertexId = u32;
+
+/// An undirected, unweighted graph in compressed sparse row form.
+///
+/// Invariants (checked by [`CsrGraph::validate`]):
+/// * `row_offsets.len() == num_vertices() + 1`
+/// * `row_offsets` is non-decreasing and ends at `col_indices.len()`
+/// * every entry of `col_indices` is `< num_vertices()`
+///
+/// Symmetry (every arc having a reverse arc) is an invariant of graphs
+/// built through [`crate::builder::EdgeList::to_undirected_csr`] and all
+/// generators; [`CsrGraph::is_symmetric`] checks it explicitly.
+///
+/// ```
+/// use fdiam_graph::EdgeList;
+/// let g = EdgeList::from_undirected(3, &[(0, 1), (1, 2)]).to_undirected_csr();
+/// assert_eq!(g.num_vertices(), 3);
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// assert_eq!(g.degree(1), 2);
+/// assert!(g.is_symmetric());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsrGraph {
+    row_offsets: Vec<usize>,
+    col_indices: Vec<VertexId>,
+}
+
+impl CsrGraph {
+    /// Builds a graph directly from CSR arrays.
+    ///
+    /// # Panics
+    /// Panics if the arrays violate the CSR invariants.
+    pub fn from_parts(row_offsets: Vec<usize>, col_indices: Vec<VertexId>) -> Self {
+        let g = Self {
+            row_offsets,
+            col_indices,
+        };
+        g.validate().expect("invalid CSR arrays");
+        g
+    }
+
+    /// Builds a graph from CSR arrays without checking invariants.
+    ///
+    /// Intended for trusted construction paths (the builder and the
+    /// binary reader validate separately). Unlike `unsafe` memory
+    /// tricks, a violated invariant here only causes panics later, not
+    /// UB, so this is a plain function.
+    pub(crate) fn from_parts_unchecked(row_offsets: Vec<usize>, col_indices: Vec<VertexId>) -> Self {
+        Self {
+            row_offsets,
+            col_indices,
+        }
+    }
+
+    /// The empty graph on `n` vertices (no edges).
+    pub fn empty(n: usize) -> Self {
+        Self {
+            row_offsets: vec![0; n + 1],
+            col_indices: Vec::new(),
+        }
+    }
+
+    /// Number of vertices `n = |V|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.row_offsets.len() - 1
+    }
+
+    /// Number of directed arcs stored. For an undirected graph this is
+    /// `2m`; it matches the "edges (including back edges)" column of the
+    /// paper's Table 1.
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.col_indices.len()
+    }
+
+    /// Number of undirected edges `m` (arc count halved; self-loops, if
+    /// present, count once).
+    pub fn num_undirected_edges(&self) -> usize {
+        let self_loops = (0..self.num_vertices() as VertexId)
+            .map(|v| self.neighbors(v).iter().filter(|&&n| n == v).count())
+            .sum::<usize>();
+        (self.num_arcs() - self_loops) / 2 + self_loops
+    }
+
+    /// Average degree (arcs per vertex), the metric reported in Table 1.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            return 0.0;
+        }
+        self.num_arcs() as f64 / self.num_vertices() as f64
+    }
+
+    /// Out-degree of `v` (== degree, since the graph is symmetric).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.row_offsets[v + 1] - self.row_offsets[v]
+    }
+
+    /// Neighbor slice of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.col_indices[self.row_offsets[v]..self.row_offsets[v + 1]]
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// Iterator over all directed arcs `(u, v)`.
+    pub fn arcs(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices()
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// The vertex with the largest degree, ties broken by lowest id.
+    /// This is the paper's starting vertex `u` (§3): high-degree
+    /// vertices tend to be centrally located, which maximizes the
+    /// effectiveness of the first Winnow call.
+    ///
+    /// Returns `None` for a graph with no vertices.
+    pub fn max_degree_vertex(&self) -> Option<VertexId> {
+        (0..self.num_vertices() as VertexId).max_by_key(|&v| (self.degree(v), std::cmp::Reverse(v)))
+    }
+
+    /// Largest degree in the graph (Table 1's "max degree").
+    pub fn max_degree(&self) -> usize {
+        self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Raw CSR row offsets (`n + 1` entries).
+    #[inline]
+    pub fn row_offsets(&self) -> &[usize] {
+        &self.row_offsets
+    }
+
+    /// Raw CSR column indices (`2m` entries).
+    #[inline]
+    pub fn col_indices(&self) -> &[VertexId] {
+        &self.col_indices
+    }
+
+    /// Checks the structural CSR invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.row_offsets.is_empty() {
+            return Err("row_offsets must have at least one entry".into());
+        }
+        if self.row_offsets[0] != 0 {
+            return Err("row_offsets must start at 0".into());
+        }
+        if *self.row_offsets.last().unwrap() != self.col_indices.len() {
+            return Err(format!(
+                "row_offsets must end at col_indices.len() = {}, got {}",
+                self.col_indices.len(),
+                self.row_offsets.last().unwrap()
+            ));
+        }
+        if self.row_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("row_offsets must be non-decreasing".into());
+        }
+        let n = self.num_vertices() as VertexId;
+        if let Some(&bad) = self.col_indices.iter().find(|&&c| c >= n) {
+            return Err(format!("col index {bad} out of range (n = {n})"));
+        }
+        Ok(())
+    }
+
+    /// True if every arc `u → v` has a matching reverse arc `v → u`,
+    /// i.e. the CSR encodes an undirected graph.
+    pub fn is_symmetric(&self) -> bool {
+        self.arcs().all(|(u, v)| self.has_arc(v, u))
+    }
+
+    /// True if an arc `u → v` exists. Linear scan of `u`'s neighbor
+    /// list; intended for tests and validation, not hot paths.
+    pub fn has_arc(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).contains(&v)
+    }
+
+    /// True if any self-loop `v → v` exists.
+    pub fn has_self_loops(&self) -> bool {
+        self.vertices().any(|v| self.neighbors(v).contains(&v))
+    }
+
+    /// Number of vertices with degree zero. Such vertices have
+    /// eccentricity 0 and are reported separately in the paper's
+    /// Table 4 ("Degree-0 Vertices").
+    pub fn num_isolated_vertices(&self) -> usize {
+        self.vertices().filter(|&v| self.degree(v) == 0).count()
+    }
+
+    /// Estimated heap memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.row_offsets.len() * std::mem::size_of::<usize>()
+            + self.col_indices.len() * std::mem::size_of::<VertexId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::EdgeList;
+
+    fn triangle() -> CsrGraph {
+        EdgeList::from_undirected(3, &[(0, 1), (1, 2), (0, 2)]).to_undirected_csr()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_arcs(), 0);
+        assert_eq!(g.num_undirected_edges(), 0);
+        assert_eq!(g.degree(3), 0);
+        assert!(g.neighbors(0).is_empty());
+        assert_eq!(g.num_isolated_vertices(), 5);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_vertex_graph() {
+        let g = CsrGraph::empty(0);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.max_degree_vertex(), None);
+        assert_eq!(g.avg_degree(), 0.0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn triangle_basic_properties() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_arcs(), 6);
+        assert_eq!(g.num_undirected_edges(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert!(g.is_symmetric());
+        assert!(!g.has_self_loops());
+        assert_eq!(g.avg_degree(), 2.0);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn neighbors_sorted_and_correct() {
+        let g = triangle();
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[0, 1]);
+    }
+
+    #[test]
+    fn max_degree_vertex_prefers_lowest_id_on_tie() {
+        let g = triangle();
+        assert_eq!(g.max_degree_vertex(), Some(0));
+    }
+
+    #[test]
+    fn max_degree_vertex_finds_hub() {
+        // star: center 0 with 4 leaves
+        let g = EdgeList::from_undirected(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]).to_undirected_csr();
+        assert_eq!(g.max_degree_vertex(), Some(0));
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn arcs_iterator_yields_both_directions() {
+        let g = EdgeList::from_undirected(2, &[(0, 1)]).to_undirected_csr();
+        let arcs: Vec<_> = g.arcs().collect();
+        assert_eq!(arcs, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn validate_rejects_bad_offsets() {
+        let g = CsrGraph {
+            row_offsets: vec![0, 2, 1],
+            col_indices: vec![0],
+        };
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_index() {
+        let g = CsrGraph {
+            row_offsets: vec![0, 1],
+            col_indices: vec![7],
+        };
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_wrong_tail() {
+        let g = CsrGraph {
+            row_offsets: vec![0, 0],
+            col_indices: vec![0],
+        };
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid CSR")]
+    fn from_parts_panics_on_invalid() {
+        CsrGraph::from_parts(vec![0, 3], vec![0]);
+    }
+
+    #[test]
+    fn has_arc_and_symmetry() {
+        let g = triangle();
+        assert!(g.has_arc(0, 1));
+        assert!(g.has_arc(1, 0));
+        assert!(!g.has_arc(0, 0));
+    }
+
+    #[test]
+    fn self_loop_counted_once_in_undirected_edges() {
+        // one self loop stored as a single arc by from_parts
+        let g = CsrGraph::from_parts(vec![0, 1], vec![0]);
+        assert!(g.has_self_loops());
+        assert_eq!(g.num_undirected_edges(), 1);
+    }
+
+    #[test]
+    fn memory_bytes_reasonable() {
+        let g = triangle();
+        assert_eq!(
+            g.memory_bytes(),
+            4 * std::mem::size_of::<usize>() + 6 * std::mem::size_of::<VertexId>()
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Barabási–Albert preferential attachment.
+//!
+//! Produces connected power-law graphs — the analogue class for the
+//! paper's social / citation / co-purchase / web inputs (`amazon0601`,
+//! `as-skitter`, `citationCiteSeer`, `cit-Patents`, `coPapersDBLP`,
+//! `in-2004`, `soc-LiveJournal1`, `internet`). These are the "small
+//! world" graphs with low diameters and high maximum degrees on which
+//! the paper reports Winnow to be most effective (§6.1).
+
+use crate::builder::EdgeList;
+use crate::csr::{CsrGraph, VertexId};
+use rand::Rng;
+
+/// Barabási–Albert graph: starts from a small clique of `m + 1`
+/// vertices, then each new vertex attaches to `m` existing vertices
+/// chosen with probability proportional to their current degree
+/// (implemented with the classic repeated-endpoint urn).
+///
+/// The result is connected, has `≈ m·n` edges, a power-law degree
+/// distribution, and a small diameter (`O(log n / log log n)`).
+///
+/// # Panics
+/// Panics if `m == 0` or `n < m + 1`.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(m >= 1, "attachment count m must be ≥ 1");
+    assert!(n >= m + 1, "need at least m + 1 vertices");
+    let mut rng = super::rng(seed);
+    let mut el = EdgeList::with_capacity(n, n * m);
+    // Urn of edge endpoints: picking a uniform element is equivalent to
+    // degree-proportional vertex sampling.
+    let mut urn: Vec<VertexId> = Vec::with_capacity(2 * n * m);
+
+    // Seed clique on vertices 0..=m.
+    for u in 0..=m {
+        for v in (u + 1)..=m {
+            el.push(u as VertexId, v as VertexId);
+            urn.push(u as VertexId);
+            urn.push(v as VertexId);
+        }
+    }
+
+    let mut targets: Vec<VertexId> = Vec::with_capacity(m);
+    for v in (m + 1)..n {
+        targets.clear();
+        // sample m distinct targets from the urn
+        while targets.len() < m {
+            let t = urn[rng.gen_range(0..urn.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            el.push(v as VertexId, t);
+            urn.push(v as VertexId);
+            urn.push(t);
+        }
+    }
+    el.to_undirected_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::ConnectedComponents;
+
+    #[test]
+    fn ba_shape() {
+        let g = barabasi_albert(1000, 3, 42);
+        assert_eq!(g.num_vertices(), 1000);
+        // m(n - m - 1) + clique edges
+        assert_eq!(g.num_undirected_edges(), 3 * (1000 - 4) + 6);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn ba_connected() {
+        let g = barabasi_albert(500, 2, 7);
+        let cc = ConnectedComponents::compute(&g);
+        assert_eq!(cc.num_components(), 1);
+    }
+
+    #[test]
+    fn ba_power_law_hub() {
+        let g = barabasi_albert(5000, 4, 1);
+        // hub should strongly exceed the average degree
+        assert!(g.max_degree() > 8 * g.avg_degree() as usize);
+    }
+
+    #[test]
+    fn ba_deterministic() {
+        assert_eq!(barabasi_albert(300, 2, 5), barabasi_albert(300, 2, 5));
+        assert_ne!(barabasi_albert(300, 2, 5), barabasi_albert(300, 2, 6));
+    }
+
+    #[test]
+    fn ba_minimum_size() {
+        let g = barabasi_albert(2, 1, 0);
+        assert_eq!(g.num_undirected_edges(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ba_rejects_zero_m() {
+        barabasi_albert(10, 0, 0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Elementary graph shapes with analytically known diameters.
+//!
+//! These are the primary correctness fixtures: a path of `n` vertices
+//! has diameter `n − 1`, a cycle has `⌊n/2⌋`, a star has 2, and so on.
+//! They also exercise the corner cases of F-Diam's stages (Chain
+//! Processing on paths and caterpillars, Winnow on stars, Eliminate on
+//! lollipops).
+
+use crate::builder::EdgeList;
+use crate::csr::{CsrGraph, VertexId};
+
+/// Path graph `0 − 1 − … − (n−1)`. Diameter `n − 1` (0 for `n ≤ 1`).
+pub fn path(n: usize) -> CsrGraph {
+    let mut el = EdgeList::with_capacity(n, n.saturating_sub(1));
+    for v in 1..n {
+        el.push(v as VertexId - 1, v as VertexId);
+    }
+    el.to_undirected_csr()
+}
+
+/// Cycle graph on `n ≥ 3` vertices. Diameter `⌊n/2⌋`.
+///
+/// # Panics
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> CsrGraph {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut el = EdgeList::with_capacity(n, n);
+    for v in 0..n {
+        el.push(v as VertexId, ((v + 1) % n) as VertexId);
+    }
+    el.to_undirected_csr()
+}
+
+/// Star graph: vertex 0 joined to `n − 1` leaves. Diameter 2 for
+/// `n ≥ 3`, 1 for `n == 2`, 0 otherwise.
+pub fn star(n: usize) -> CsrGraph {
+    let mut el = EdgeList::with_capacity(n, n.saturating_sub(1));
+    for v in 1..n {
+        el.push(0, v as VertexId);
+    }
+    el.to_undirected_csr()
+}
+
+/// Complete graph `K_n`. Diameter 1 for `n ≥ 2`.
+pub fn complete(n: usize) -> CsrGraph {
+    let mut el = EdgeList::with_capacity(n, n * n.saturating_sub(1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            el.push(u as VertexId, v as VertexId);
+        }
+    }
+    el.to_undirected_csr()
+}
+
+/// Complete `branch`-ary tree of the given `depth` (root at depth 0).
+/// Diameter `2 · depth`.
+///
+/// # Panics
+/// Panics if `branch == 0`.
+pub fn balanced_tree(branch: usize, depth: usize) -> CsrGraph {
+    assert!(branch > 0, "branching factor must be positive");
+    // number of vertices: sum_{i=0..=depth} branch^i
+    let mut n = 1usize;
+    let mut level = 1usize;
+    for _ in 0..depth {
+        level *= branch;
+        n += level;
+    }
+    let mut el = EdgeList::with_capacity(n, n - 1);
+    // children of vertex v are branch*v + 1 ..= branch*v + branch
+    for v in 1..n {
+        let parent = (v - 1) / branch;
+        el.push(parent as VertexId, v as VertexId);
+    }
+    el.to_undirected_csr()
+}
+
+/// Complete binary tree of the given depth. Diameter `2 · depth`.
+pub fn binary_tree(depth: usize) -> CsrGraph {
+    balanced_tree(2, depth)
+}
+
+/// Caterpillar: a spine path of `spine` vertices with `legs` degree-1
+/// leaves attached to every spine vertex. Diameter `spine + 1` for
+/// `spine ≥ 2, legs ≥ 1`. A stress test for Chain Processing, which
+/// targets exactly such degree-1 periphery.
+pub fn caterpillar(spine: usize, legs: usize) -> CsrGraph {
+    let n = spine + spine * legs;
+    let mut el = EdgeList::with_capacity(n, n.saturating_sub(1));
+    for v in 1..spine {
+        el.push(v as VertexId - 1, v as VertexId);
+    }
+    let mut next = spine;
+    for s in 0..spine {
+        for _ in 0..legs {
+            el.push(s as VertexId, next as VertexId);
+            next += 1;
+        }
+    }
+    el.to_undirected_csr()
+}
+
+/// Lollipop: clique `K_{clique}` joined by a bridge to a path of
+/// `tail` vertices. Diameter `tail + 1` for `clique ≥ 2, tail ≥ 1`
+/// (clique vertex → far end of tail). Exercises the interaction of a
+/// dense core (where Winnow thrives) with a long chain.
+pub fn lollipop(clique: usize, tail: usize) -> CsrGraph {
+    assert!(clique >= 1);
+    let n = clique + tail;
+    let mut el = EdgeList::with_capacity(n, clique * clique / 2 + tail);
+    for u in 0..clique {
+        for v in (u + 1)..clique {
+            el.push(u as VertexId, v as VertexId);
+        }
+    }
+    // attach tail to clique vertex 0
+    let mut prev = 0 as VertexId;
+    for t in 0..tail {
+        let v = (clique + t) as VertexId;
+        el.push(prev, v);
+        prev = v;
+    }
+    el.to_undirected_csr()
+}
+
+/// Barbell: two cliques `K_k` joined by a path of `bridge` intermediate
+/// vertices. Diameter `bridge + 3` for `k ≥ 2` (leaf of one clique to
+/// leaf of the other).
+pub fn barbell(k: usize, bridge: usize) -> CsrGraph {
+    assert!(k >= 2);
+    let n = 2 * k + bridge;
+    let mut el = EdgeList::with_capacity(n, k * k + bridge + 1);
+    for u in 0..k {
+        for v in (u + 1)..k {
+            el.push(u as VertexId, v as VertexId);
+            el.push((k + u) as VertexId, (k + v) as VertexId);
+        }
+    }
+    // path from clique-A vertex 0 through bridge vertices to clique-B vertex k
+    let mut prev = 0 as VertexId;
+    for b in 0..bridge {
+        let v = (2 * k + b) as VertexId;
+        el.push(prev, v);
+        prev = v;
+    }
+    el.push(prev, k as VertexId);
+    el.to_undirected_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_undirected_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn path_degenerate() {
+        assert_eq!(path(0).num_vertices(), 0);
+        assert_eq!(path(1).num_arcs(), 0);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6);
+        assert_eq!(g.num_undirected_edges(), 6);
+        assert!(g.vertices().all(|v| g.degree(v) == 2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn cycle_too_small() {
+        cycle(2);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(10);
+        assert_eq!(g.degree(0), 9);
+        assert!((1..10).all(|v| g.degree(v) == 1));
+        assert_eq!(g.max_degree_vertex(), Some(0));
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(6);
+        assert_eq!(g.num_undirected_edges(), 15);
+        assert!(g.vertices().all(|v| g.degree(v) == 5));
+    }
+
+    #[test]
+    fn balanced_tree_counts() {
+        let g = balanced_tree(3, 2); // 1 + 3 + 9 = 13 vertices
+        assert_eq!(g.num_vertices(), 13);
+        assert_eq!(g.num_undirected_edges(), 12);
+        assert_eq!(g.degree(0), 3);
+    }
+
+    #[test]
+    fn binary_tree_counts() {
+        let g = binary_tree(3); // 15 vertices
+        assert_eq!(g.num_vertices(), 15);
+        assert_eq!(g.num_undirected_edges(), 14);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(4, 2);
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_undirected_edges(), 11);
+        // spine interior vertex: 2 spine + 2 legs
+        assert_eq!(g.degree(1), 4);
+    }
+
+    #[test]
+    fn lollipop_shape() {
+        let g = lollipop(4, 3);
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_undirected_edges(), 6 + 3);
+        assert_eq!(g.degree(4), 2); // first tail vertex
+        assert_eq!(g.degree(6), 1); // tail tip
+    }
+
+    #[test]
+    fn barbell_shape() {
+        let g = barbell(3, 2);
+        assert_eq!(g.num_vertices(), 8);
+        // 2 triangles (3 edges each) + 3 bridge edges
+        assert_eq!(g.num_undirected_edges(), 9);
+    }
+
+    #[test]
+    fn all_basic_generators_symmetric() {
+        for g in [
+            path(6),
+            cycle(5),
+            star(7),
+            complete(4),
+            balanced_tree(2, 3),
+            caterpillar(3, 2),
+            lollipop(3, 2),
+            barbell(3, 1),
+        ] {
+            assert!(g.is_symmetric());
+            assert!(!g.has_self_loops());
+            assert!(g.validate().is_ok());
+        }
+    }
+}

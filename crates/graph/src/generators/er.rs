@@ -1,0 +1,84 @@
+//! Erdős–Rényi random graphs (`G(n, m)` and `G(n, p)`).
+//!
+//! Used as neutral random baselines in tests and property checks; not a
+//! direct analogue of any paper input but invaluable as an unbiased
+//! correctness workload.
+
+use crate::builder::EdgeList;
+use crate::csr::{CsrGraph, VertexId};
+use rand::Rng;
+
+/// `G(n, m)`: exactly `m` distinct undirected edges chosen uniformly
+/// (rejection sampling; requires `m` ≤ the number of possible edges).
+pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> CsrGraph {
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= max_edges, "too many edges requested: {m} > {max_edges}");
+    let mut rng = super::rng(seed);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut el = EdgeList::with_capacity(n, m);
+    while seen.len() < m {
+        let u = rng.gen_range(0..n) as VertexId;
+        let v = rng.gen_range(0..n) as VertexId;
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            el.push(key.0, key.1);
+        }
+    }
+    el.to_undirected_csr()
+}
+
+/// `G(n, p)`: every possible edge included independently with
+/// probability `p`. O(n²) sampling — intended for small test graphs.
+pub fn erdos_renyi_gnp(n: usize, p: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+    let mut rng = super::rng(seed);
+    let mut el = EdgeList::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen::<f64>() < p {
+                el.push(u as VertexId, v as VertexId);
+            }
+        }
+    }
+    el.to_undirected_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = erdos_renyi_gnm(100, 250, 3);
+        assert_eq!(g.num_undirected_edges(), 250);
+        assert!(g.is_symmetric());
+        assert!(!g.has_self_loops());
+    }
+
+    #[test]
+    fn gnm_full_graph() {
+        let g = erdos_renyi_gnm(5, 10, 0);
+        assert_eq!(g.num_undirected_edges(), 10);
+        assert!(g.vertices().all(|v| g.degree(v) == 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "too many edges")]
+    fn gnm_rejects_overfull() {
+        erdos_renyi_gnm(4, 7, 0);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(erdos_renyi_gnp(10, 0.0, 1).num_arcs(), 0);
+        assert_eq!(erdos_renyi_gnp(10, 1.0, 1).num_undirected_edges(), 45);
+    }
+
+    #[test]
+    fn gnp_deterministic() {
+        assert_eq!(erdos_renyi_gnp(50, 0.1, 9), erdos_renyi_gnp(50, 0.1, 9));
+    }
+}

@@ -1,0 +1,134 @@
+//! Random geometric graphs (unit-square disk graphs).
+//!
+//! Analogue of the paper's `delaunay_n24` triangulation input: planar-ish,
+//! bounded degree, moderate-to-large diameter (`Θ(1/r)`). Uses a uniform
+//! cell grid so neighbor search is O(n) expected rather than O(n²).
+
+use crate::builder::EdgeList;
+use crate::csr::{CsrGraph, VertexId};
+use rand::Rng;
+
+/// Random geometric graph: `n` points uniform in the unit square,
+/// edges between pairs at Euclidean distance ≤ `radius`.
+///
+/// For connectivity with high probability choose
+/// `radius ≳ √(ln n / (π n))`; the `delaunay` analogue in the benchmark
+/// suite uses `1.8 · √(1/n)` which gives average degree ≈ π·1.8² ≈ 10
+/// before boundary effects.
+pub fn random_geometric(n: usize, radius: f64, seed: u64) -> CsrGraph {
+    assert!(radius > 0.0 && radius <= 1.0, "radius must be in (0, 1]");
+    let mut rng = super::rng(seed);
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+
+    // Cell grid with cell side ≥ radius: all neighbors of a point lie in
+    // its own or the 8 adjacent cells.
+    let cells_per_side = ((1.0 / radius).floor() as usize).max(1);
+    let cell_of = |p: (f64, f64)| {
+        let cx = ((p.0 * cells_per_side as f64) as usize).min(cells_per_side - 1);
+        let cy = ((p.1 * cells_per_side as f64) as usize).min(cells_per_side - 1);
+        cy * cells_per_side + cx
+    };
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); cells_per_side * cells_per_side];
+    for (i, &p) in pts.iter().enumerate() {
+        buckets[cell_of(p)].push(i as u32);
+    }
+
+    let r2 = radius * radius;
+    let mut el = EdgeList::new(n);
+    for cy in 0..cells_per_side {
+        for cx in 0..cells_per_side {
+            let here = &buckets[cy * cells_per_side + cx];
+            // pairs within the cell
+            for (a, &i) in here.iter().enumerate() {
+                for &j in &here[a + 1..] {
+                    if dist2(pts[i as usize], pts[j as usize]) <= r2 {
+                        el.push(i as VertexId, j as VertexId);
+                    }
+                }
+            }
+            // pairs with forward-adjacent cells (avoid double visits)
+            for (dx, dy) in [(1isize, 0isize), (-1, 1), (0, 1), (1, 1)] {
+                let nx = cx as isize + dx;
+                let ny = cy as isize + dy;
+                if nx < 0 || ny < 0 || nx as usize >= cells_per_side || ny as usize >= cells_per_side
+                {
+                    continue;
+                }
+                let there = &buckets[ny as usize * cells_per_side + nx as usize];
+                for &i in here {
+                    for &j in there {
+                        if dist2(pts[i as usize], pts[j as usize]) <= r2 {
+                            el.push(i as VertexId, j as VertexId);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    el.to_undirected_csr()
+}
+
+#[inline]
+fn dist2(a: (f64, f64), b: (f64, f64)) -> f64 {
+    let dx = a.0 - b.0;
+    let dy = a.1 - b.1;
+    dx * dx + dy * dy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force O(n²) reference for the cell-grid implementation.
+    fn reference(n: usize, radius: f64, seed: u64) -> CsrGraph {
+        let mut rng = crate::generators::rng(seed);
+        let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+        let mut el = EdgeList::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if dist2(pts[i], pts[j]) <= radius * radius {
+                    el.push(i as VertexId, j as VertexId);
+                }
+            }
+        }
+        el.to_undirected_csr()
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        for seed in 0..3 {
+            let fast = random_geometric(200, 0.15, seed);
+            let slow = reference(200, 0.15, seed);
+            assert_eq!(fast, slow, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn large_radius_near_complete() {
+        let g = random_geometric(30, 1.0, 0);
+        // unit square diagonal is √2 > 1, so not guaranteed complete,
+        // but it must be dense
+        assert!(g.num_undirected_edges() > 30 * 20 / 2 / 2);
+    }
+
+    #[test]
+    fn small_radius_sparse() {
+        let g = random_geometric(1000, 0.01, 0);
+        assert!(g.avg_degree() < 2.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            random_geometric(300, 0.1, 4),
+            random_geometric(300, 0.1, 4)
+        );
+    }
+
+    #[test]
+    fn moderate_radius_mostly_connected_and_bounded_degree() {
+        let g = random_geometric(2000, 0.06, 2);
+        assert!(g.max_degree() < 60);
+        assert!(g.num_undirected_edges() > 2000);
+    }
+}

@@ -1,0 +1,89 @@
+//! Regular 2-D grid graphs (analogue of the paper's `2d-2e20.sym`
+//! Lonestar input: 4-regular interior, diameter `rows + cols − 2`).
+
+use crate::builder::EdgeList;
+use crate::csr::{CsrGraph, VertexId};
+
+/// `rows × cols` 4-neighbor grid. Diameter `rows + cols − 2`.
+pub fn grid2d(rows: usize, cols: usize) -> CsrGraph {
+    let n = rows * cols;
+    let mut el = EdgeList::with_capacity(n, 2 * n);
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                el.push(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                el.push(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    el.to_undirected_csr()
+}
+
+/// `rows × cols` grid with wrap-around (torus). Diameter
+/// `⌊rows/2⌋ + ⌊cols/2⌋`. All vertices have equal eccentricity — the
+/// paper's worst case for F-Diam (§4.6), useful for adversarial tests.
+///
+/// # Panics
+/// Panics if either dimension is < 3 (wrap edges would duplicate).
+pub fn grid2d_torus(rows: usize, cols: usize) -> CsrGraph {
+    assert!(rows >= 3 && cols >= 3, "torus needs both dimensions ≥ 3");
+    let n = rows * cols;
+    let mut el = EdgeList::with_capacity(n, 2 * n);
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    for r in 0..rows {
+        for c in 0..cols {
+            el.push(id(r, c), id(r, (c + 1) % cols));
+            el.push(id(r, c), id((r + 1) % rows, c));
+        }
+    }
+    el.to_undirected_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_shape() {
+        let g = grid2d(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        // edges: 3*3 horizontal + 2*4 vertical = 17
+        assert_eq!(g.num_undirected_edges(), 17);
+        // corner degree 2, edge degree 3, interior degree 4
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 3);
+        assert_eq!(g.degree(5), 4);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn grid_single_row_is_path() {
+        let g = grid2d(1, 5);
+        assert_eq!(g.num_undirected_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn grid_single_cell() {
+        let g = grid2d(1, 1);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_arcs(), 0);
+    }
+
+    #[test]
+    fn torus_is_regular() {
+        let g = grid2d_torus(4, 5);
+        assert!(g.vertices().all(|v| g.degree(v) == 4));
+        assert_eq!(g.num_undirected_edges(), 2 * 20);
+    }
+
+    #[test]
+    #[should_panic]
+    fn torus_rejects_small_dims() {
+        grid2d_torus(2, 5);
+    }
+}

@@ -1,0 +1,41 @@
+//! Deterministic synthetic graph generators.
+//!
+//! The paper evaluates on 17 graphs spanning five topology classes:
+//! regular grids, road networks, triangulations, power-law "small
+//! world" graphs (social / citation / web), and RMAT / Kronecker
+//! graphs. Each class has a generator here; the benchmark suite
+//! (`fdiam-bench::suite`) instantiates scaled analogues of every paper
+//! input from them.
+//!
+//! All generators are deterministic given their seed (ChaCha8 RNG) and
+//! produce undirected, deduplicated, loop-free [`crate::CsrGraph`]s.
+
+mod ba;
+mod basic;
+mod er;
+mod geometric;
+mod grid;
+mod rmat;
+mod road;
+mod whiskers;
+mod ws;
+
+pub use ba::barabasi_albert;
+pub use basic::{
+    balanced_tree, barbell, binary_tree, caterpillar, complete, cycle, lollipop, path, star,
+};
+pub use er::{erdos_renyi_gnm, erdos_renyi_gnp};
+pub use geometric::random_geometric;
+pub use grid::{grid2d, grid2d_torus};
+pub use rmat::{kronecker_graph500, rmat, RmatProbabilities};
+pub use road::{road_like, road_network};
+pub use whiskers::{attach_tendrils, attach_whiskers};
+pub use ws::watts_strogatz;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Constructs the deterministic RNG used by every generator.
+pub(crate) fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}

@@ -1,0 +1,173 @@
+//! RMAT / Kronecker recursive-matrix graph generator.
+//!
+//! Analogue of the paper's `rmat16.sym`, `rmat22.sym` (Lonestar) and
+//! `kron_g500-logn21` inputs. Edges are placed by recursively choosing
+//! a quadrant of the adjacency matrix with probabilities `(a, b, c, d)`
+//! and then symmetrized. Kronecker/Graph500 uses the standard
+//! `(0.57, 0.19, 0.19, 0.05)` parameters and leaves isolated vertices
+//! in place — the paper's kron input has 26 % degree-0 vertices
+//! (Table 4), which Table 4's "Degree-0 Vertices" column depends on.
+
+use crate::builder::EdgeList;
+use crate::csr::{CsrGraph, VertexId};
+use rand::Rng;
+
+/// Quadrant probabilities for the recursive descent. Must sum to ≈ 1.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatProbabilities {
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    pub d: f64,
+}
+
+impl RmatProbabilities {
+    /// Classic RMAT parameters used by the Lonestar generator family.
+    pub const LONESTAR: Self = Self {
+        a: 0.45,
+        b: 0.22,
+        c: 0.22,
+        d: 0.11,
+    };
+
+    /// GTgraph R-MAT defaults (a=0.45, b=c=0.15, d=0.25) — the
+    /// generator behind many published `rmat*.sym` inputs. The heavier
+    /// far-corner block `d` produces a sparser deep periphery and a
+    /// larger diameter than the Lonestar parameters.
+    pub const GTGRAPH: Self = Self {
+        a: 0.45,
+        b: 0.15,
+        c: 0.15,
+        d: 0.25,
+    };
+
+    /// Graph500 Kronecker parameters.
+    pub const GRAPH500: Self = Self {
+        a: 0.57,
+        b: 0.19,
+        c: 0.19,
+        d: 0.05,
+    };
+
+    fn validate(&self) {
+        let s = self.a + self.b + self.c + self.d;
+        assert!(
+            (s - 1.0).abs() < 1e-6,
+            "RMAT probabilities must sum to 1 (got {s})"
+        );
+        assert!(self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d >= 0.0);
+    }
+}
+
+/// Generates an undirected RMAT graph with `2^scale` vertices and
+/// `edge_factor · 2^scale` edge attempts (duplicates and self-loops are
+/// dropped, so the final count is somewhat lower — same behaviour as
+/// the reference generators).
+pub fn rmat(scale: u32, edge_factor: usize, probs: RmatProbabilities, seed: u64) -> CsrGraph {
+    probs.validate();
+    assert!(scale < 31, "scale too large for u32 vertex ids");
+    let n = 1usize << scale;
+    let attempts = edge_factor * n;
+    let mut rng = super::rng(seed);
+    let mut el = EdgeList::with_capacity(n, attempts);
+
+    // Noise on the quadrant probabilities per level (±10 %), as in the
+    // Graph500 reference implementation, to avoid strict self-similarity.
+    for _ in 0..attempts {
+        let (mut u, mut v) = (0usize, 0usize);
+        for level in 0..scale {
+            let bit = 1usize << (scale - 1 - level);
+            let noise = |p: f64, r: &mut rand_chacha::ChaCha8Rng| {
+                p * (0.9 + 0.2 * r.gen::<f64>())
+            };
+            let (a, b, c, d) = (
+                noise(probs.a, &mut rng),
+                noise(probs.b, &mut rng),
+                noise(probs.c, &mut rng),
+                noise(probs.d, &mut rng),
+            );
+            let total = a + b + c + d;
+            let x = rng.gen::<f64>() * total;
+            if x < a {
+                // top-left: no bits set
+            } else if x < a + b {
+                v |= bit;
+            } else if x < a + b + c {
+                u |= bit;
+            } else {
+                u |= bit;
+                v |= bit;
+            }
+        }
+        if u != v {
+            el.push(u as VertexId, v as VertexId);
+        }
+    }
+    el.to_undirected_csr()
+}
+
+/// Graph500 Kronecker graph: `2^scale` vertices, `edge_factor · 2^scale`
+/// edge attempts with the Graph500 quadrant probabilities. The analogue
+/// of `kron_g500-logn21` (scale 21, edge factor ≈ 43 after
+/// symmetrization in the paper's Table 1).
+pub fn kronecker_graph500(scale: u32, edge_factor: usize, seed: u64) -> CsrGraph {
+    rmat(scale, edge_factor, RmatProbabilities::GRAPH500, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_basic_shape() {
+        let g = rmat(10, 8, RmatProbabilities::LONESTAR, 42);
+        assert_eq!(g.num_vertices(), 1024);
+        assert!(g.num_undirected_edges() > 2000);
+        assert!(g.is_symmetric());
+        assert!(!g.has_self_loops());
+    }
+
+    #[test]
+    fn rmat_deterministic() {
+        let a = rmat(8, 4, RmatProbabilities::LONESTAR, 7);
+        let b = rmat(8, 4, RmatProbabilities::LONESTAR, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rmat_seed_changes_graph() {
+        let a = rmat(8, 4, RmatProbabilities::LONESTAR, 7);
+        let b = rmat(8, 4, RmatProbabilities::LONESTAR, 8);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn kronecker_has_isolated_vertices_and_hubs() {
+        let g = kronecker_graph500(12, 16, 1);
+        // Kronecker graphs are famously skewed: isolated vertices and
+        // high-degree hubs must both appear (Table 4 / Table 1 shape).
+        assert!(g.num_isolated_vertices() > 0, "expected isolated vertices");
+        assert!(
+            g.max_degree() > 20 * g.avg_degree() as usize,
+            "expected a hub: max {} avg {}",
+            g.max_degree(),
+            g.avg_degree()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_bad_probabilities() {
+        rmat(
+            4,
+            2,
+            RmatProbabilities {
+                a: 0.5,
+                b: 0.5,
+                c: 0.5,
+                d: 0.5,
+            },
+            0,
+        );
+    }
+}

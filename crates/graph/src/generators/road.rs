@@ -1,0 +1,201 @@
+//! Road-network-like graphs.
+//!
+//! Analogue of the paper's `europe_osm`, `USA-road-d.NY`, and
+//! `USA-road-d.USA` DIMACS inputs: average degree ≈ 2–3, tiny maximum
+//! degree, and an enormous diameter (up to 30 102 in Table 1). Road
+//! maps are essentially noisy planar grids, so we build a random
+//! spanning tree of a √n × √n grid (guaranteeing connectivity and a
+//! long, winding diameter) and then add back a fraction of the
+//! remaining grid edges as cross streets.
+
+use crate::builder::EdgeList;
+use crate::csr::{CsrGraph, VertexId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Road-like graph on ~`n` vertices (rounded to a full grid).
+///
+/// `extra` ∈ [0, 1] is the fraction of non-tree grid edges added back:
+/// `0.0` gives a pure random spanning tree (avg degree < 2, maximal
+/// diameter), `1.0` gives the full grid. The paper's road inputs sit
+/// around avg degree 2.1–2.8, i.e. `extra` ≈ 0.05–0.2.
+pub fn road_like(n: usize, extra: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&extra), "extra must be in [0, 1]");
+    let side = (n as f64).sqrt().round().max(1.0) as usize;
+    let (rows, cols) = (side, side.max(n / side.max(1)));
+    let nv = rows * cols;
+    let mut rng = super::rng(seed);
+
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    // All grid edges.
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(2 * nv);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+    edges.shuffle(&mut rng);
+
+    // Kruskal-style random spanning tree over the shuffled grid edges.
+    let mut parent: Vec<u32> = (0..nv as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    let mut el = EdgeList::with_capacity(nv, nv);
+    let mut leftover: Vec<(u32, u32)> = Vec::new();
+    for (u, v) in edges {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            parent[ru as usize] = rv;
+            el.push(u as VertexId, v as VertexId);
+        } else {
+            leftover.push((u, v));
+        }
+    }
+
+    // Add back a fraction of the non-tree edges ("cross streets").
+    let keep = (leftover.len() as f64 * extra).round() as usize;
+    // `leftover` inherits the shuffle order, so a prefix is a uniform sample.
+    for &(u, v) in leftover.iter().take(keep) {
+        el.push(u as VertexId, v as VertexId);
+    }
+    el.to_undirected_csr()
+}
+
+/// Road network with polyline chains, the structure of real road data:
+/// a connected sub-grid of *intersections* whose edges are subdivided
+/// into chains of degree-2 vertices (road segments between
+/// intersections are polylines in OSM/DIMACS data — that is why
+/// `europe_osm` averages degree 2.1 while being anything but a tree).
+///
+/// Hop distances stay proportional to geometric distances, so the
+/// `⌊diam/2⌋` Winnow ball is a round Manhattan diamond exactly as on
+/// the paper's road inputs, instead of the skinny ball a random
+/// spanning tree produces.
+///
+/// * `n` — approximate final vertex count.
+/// * `extra` — fraction of non-tree grid edges kept (road-grid density;
+///   0 = tree of roads, 1 = full grid of roads).
+/// * `avg_subdiv` — average number of segments per road (≥ 1); each
+///   road is split into `1..=2·avg_subdiv − 1` segments uniformly.
+pub fn road_network(n: usize, extra: f64, avg_subdiv: usize, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&extra));
+    assert!(avg_subdiv >= 1);
+    // Final count ≈ base² + kept_edges·(avg_subdiv − 1), with
+    // kept_edges ≈ base²·(1 + extra). Solve for the base side.
+    let per_vertex = 1.0 + (1.0 + extra) * (avg_subdiv as f64 - 1.0);
+    let side = ((n as f64 / per_vertex).sqrt().round() as usize).max(2);
+    let base = road_like(side * side, extra, seed);
+    if avg_subdiv == 1 {
+        return base;
+    }
+    let mut rng = super::rng(seed ^ 0x5EED);
+    let nb = base.num_vertices();
+    let mut el = EdgeList::new(nb);
+    let mut next = nb as u32;
+    let mut chains: Vec<(VertexId, VertexId, usize)> = Vec::new();
+    for (u, v) in base.arcs() {
+        if u < v {
+            let segments = rng.gen_range(1..=(2 * avg_subdiv - 1));
+            chains.push((u, v, segments));
+        }
+    }
+    let total_new: usize = chains.iter().map(|&(_, _, s)| s - 1).sum();
+    el.ensure_vertices(nb + total_new);
+    for (u, v, segments) in chains {
+        let mut prev = u;
+        for _ in 0..(segments - 1) {
+            el.push(prev, next);
+            prev = next;
+            next += 1;
+        }
+        el.push(prev, v);
+    }
+    el.to_undirected_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::ConnectedComponents;
+
+    #[test]
+    fn road_connected() {
+        let g = road_like(900, 0.1, 11);
+        assert_eq!(ConnectedComponents::compute(&g).num_components(), 1);
+    }
+
+    #[test]
+    fn road_low_degree() {
+        let g = road_like(2500, 0.1, 3);
+        assert!(g.avg_degree() < 3.0, "avg degree {}", g.avg_degree());
+        assert!(g.max_degree() <= 4);
+    }
+
+    #[test]
+    fn pure_tree_has_n_minus_1_edges() {
+        let g = road_like(400, 0.0, 5);
+        assert_eq!(g.num_undirected_edges(), g.num_vertices() - 1);
+    }
+
+    #[test]
+    fn full_extra_gives_full_grid() {
+        let g = road_like(100, 1.0, 5);
+        // 10×10 grid: 2·10·9 = 180 edges
+        assert_eq!(g.num_undirected_edges(), 180);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(road_like(500, 0.2, 9), road_like(500, 0.2, 9));
+        assert_ne!(road_like(500, 0.2, 9), road_like(500, 0.2, 10));
+    }
+
+    #[test]
+    fn road_network_connected_and_low_degree() {
+        let g = road_network(3000, 0.3, 3, 5);
+        assert_eq!(ConnectedComponents::compute(&g).num_components(), 1);
+        assert!(g.avg_degree() < 3.0, "avg degree {}", g.avg_degree());
+        assert!(g.max_degree() <= 4);
+    }
+
+    #[test]
+    fn road_network_hits_target_size() {
+        for (n, extra, k) in [(2000, 0.2, 2), (5000, 0.4, 4)] {
+            let g = road_network(n, extra, k, 1);
+            let ratio = g.num_vertices() as f64 / n as f64;
+            assert!((0.6..1.5).contains(&ratio), "n={} got {}", n, g.num_vertices());
+        }
+    }
+
+    #[test]
+    fn road_network_mostly_degree2_when_heavily_subdivided() {
+        let g = road_network(4000, 0.3, 4, 2);
+        let deg2 = g.vertices().filter(|&v| g.degree(v) == 2).count();
+        assert!(
+            deg2 * 10 > g.num_vertices() * 6,
+            "expected most vertices on polylines: {} of {}",
+            deg2,
+            g.num_vertices()
+        );
+    }
+
+    #[test]
+    fn road_network_subdiv1_is_road_like() {
+        assert_eq!(road_network(900, 0.1, 1, 7), road_like(900, 0.1, 7));
+    }
+
+    #[test]
+    fn road_network_deterministic() {
+        assert_eq!(road_network(1500, 0.3, 3, 4), road_network(1500, 0.3, 3, 4));
+    }
+}

@@ -1,0 +1,244 @@
+//! Peripheral "whiskers": degree-1 tendrils attached to a core graph.
+//!
+//! Pure preferential-attachment graphs have diameter barely above their
+//! average distance, but real-world networks (co-purchase, citation,
+//! web) carry long thin tendrils on their periphery — their diameter
+//! (25–45 in the paper's Table 1) is several times the typical
+//! distance, realized between tendril tips. Those tendrils are also
+//! exactly the degree-1/degree-2 structure the paper's Chain Processing
+//! targets, and they make the `⌊diam/2⌋` Winnow ball swallow the entire
+//! core (Table 4's >99 % rows). [`attach_whiskers`] grafts that
+//! structure onto any core graph.
+
+use crate::builder::EdgeList;
+use crate::csr::{CsrGraph, VertexId};
+use rand::Rng;
+
+/// Attaches `count` path-shaped whiskers to distinct random non-isolated
+/// vertices of `g`. The first two whiskers get exactly `max_len` (so
+/// the resulting diameter reliably lands near `2·max_len + core
+/// distance`); the rest follow the skew of real networks — 80 % are
+/// stubs of length 1–2, 20 % uniform in `3..=max_len`. New vertices are
+/// appended after the existing id range.
+///
+/// # Panics
+/// Panics if `count > 0` and the core has no edges, or `max_len == 0`
+/// while `count > 0`.
+pub fn attach_whiskers(g: &CsrGraph, count: usize, max_len: usize, seed: u64) -> CsrGraph {
+    if count == 0 {
+        return g.clone();
+    }
+    assert!(max_len >= 1, "whiskers need positive length");
+    let candidates: Vec<VertexId> = g.vertices().filter(|&v| g.degree(v) > 0).collect();
+    assert!(
+        !candidates.is_empty(),
+        "cannot attach whiskers to an edgeless core"
+    );
+    let mut rng = super::rng(seed);
+
+    // Plan the whiskers first to know the final vertex count.
+    let lengths: Vec<usize> = (0..count)
+        .map(|i| {
+            if i < 2 {
+                max_len
+            } else if max_len <= 2 || rng.gen::<f64>() < 0.8 {
+                rng.gen_range(1..=2.min(max_len))
+            } else {
+                rng.gen_range(3..=max_len)
+            }
+        })
+        .collect();
+    let extra: usize = lengths.iter().sum();
+    let n = g.num_vertices();
+
+    let mut el = EdgeList::with_capacity(n + extra, g.num_arcs() / 2 + extra);
+    for (u, v) in g.arcs() {
+        if u <= v {
+            el.push(u, v);
+        }
+    }
+    let mut next = n as VertexId;
+    for &len in &lengths {
+        let mut attach = candidates[rng.gen_range(0..candidates.len())];
+        for _ in 0..len {
+            el.push(attach, next);
+            attach = next;
+            next += 1;
+        }
+    }
+    el.to_undirected_csr()
+}
+
+/// Attaches `count` peripheral *tendrils* to distinct random
+/// non-isolated vertices of `g` — the periphery model behind the
+/// benchmark suite's power-law analogues.
+///
+/// 80 % of the tendrils are single pendant vertices (the degree-1
+/// stubs real networks have in abundance; their length-1 chains cost
+/// Chain Processing one radius-1 Eliminate each). The rest — including
+/// the first two, which always get the full `max_depth` — are *diamond
+/// chains*: `k ≤ max_depth` diamonds `prev → {xᵢ, yᵢ} → tᵢ`, adding
+/// `2k` hops of distance with every internal vertex of degree ≥ 2, so
+/// they stretch the diameter to ≈ `4·max_depth + core distance` without
+/// creating the long degree-2 chains that would make Chain Processing
+/// eliminate half the graph per tendril.
+pub fn attach_tendrils(g: &CsrGraph, count: usize, max_depth: usize, seed: u64) -> CsrGraph {
+    if count == 0 {
+        return g.clone();
+    }
+    assert!(max_depth >= 1, "tendrils need positive depth");
+    let candidates: Vec<VertexId> = g.vertices().filter(|&v| g.degree(v) > 0).collect();
+    assert!(
+        !candidates.is_empty(),
+        "cannot attach tendrils to an edgeless core"
+    );
+    let mut rng = super::rng(seed);
+
+    // Plan: depth 0 = pendant stub; depth k ≥ 1 = diamond chain.
+    let depths: Vec<usize> = (0..count)
+        .map(|i| {
+            if i < 2 {
+                max_depth
+            } else if rng.gen::<f64>() < 0.8 {
+                0
+            } else {
+                rng.gen_range(1..=max_depth)
+            }
+        })
+        .collect();
+    let extra: usize = depths.iter().map(|&k| if k == 0 { 1 } else { 3 * k }).sum();
+    let n = g.num_vertices();
+
+    let mut el = EdgeList::with_capacity(n + extra, g.num_arcs() / 2 + 2 * extra);
+    for (u, v) in g.arcs() {
+        if u <= v {
+            el.push(u, v);
+        }
+    }
+    let mut next = n as VertexId;
+    for &depth in &depths {
+        let attach = candidates[rng.gen_range(0..candidates.len())];
+        if depth == 0 {
+            el.push(attach, next);
+            next += 1;
+            continue;
+        }
+        let mut prev = attach;
+        for _ in 0..depth {
+            let (x, y, t) = (next, next + 1, next + 2);
+            next += 3;
+            el.push(prev, x);
+            el.push(prev, y);
+            el.push(x, t);
+            el.push(y, t);
+            prev = t;
+        }
+    }
+    el.to_undirected_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::num_degree1_vertices;
+    use crate::components::ConnectedComponents;
+    use crate::generators::{barabasi_albert, complete};
+
+    #[test]
+    fn counts_add_up() {
+        let core = complete(10);
+        let g = attach_whiskers(&core, 4, 3, 1);
+        assert!(g.num_vertices() > 10 && g.num_vertices() <= 10 + 12);
+        assert_eq!(
+            g.num_undirected_edges(),
+            45 + (g.num_vertices() - 10),
+            "each whisker vertex adds exactly one edge"
+        );
+    }
+
+    #[test]
+    fn zero_whiskers_is_identity() {
+        let core = complete(5);
+        assert_eq!(attach_whiskers(&core, 0, 7, 3), core);
+    }
+
+    #[test]
+    fn stays_connected() {
+        let core = barabasi_albert(200, 3, 2);
+        let g = attach_whiskers(&core, 10, 5, 7);
+        assert!(ConnectedComponents::compute(&g).is_connected());
+    }
+
+    #[test]
+    fn creates_degree1_periphery() {
+        let core = complete(20); // no degree-1 vertices
+        let g = attach_whiskers(&core, 6, 4, 5);
+        assert_eq!(num_degree1_vertices(&core), 0);
+        assert_eq!(num_degree1_vertices(&g), 6, "one tip per whisker");
+    }
+
+    #[test]
+    fn stretches_diameter_to_about_twice_max_len() {
+        let core = complete(50); // core diameter 1
+        let g = attach_whiskers(&core, 8, 10, 11);
+        let d = crate::test_oracle_diameter(&g);
+        // two full-length whiskers → diameter within [2·10, 2·10 + 3]
+        assert!((20..=23).contains(&d), "diameter {d}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let core = barabasi_albert(100, 2, 0);
+        assert_eq!(
+            attach_whiskers(&core, 5, 6, 9),
+            attach_whiskers(&core, 5, 6, 9)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "edgeless")]
+    fn rejects_edgeless_core() {
+        attach_whiskers(&crate::CsrGraph::empty(5), 2, 3, 0);
+    }
+
+    #[test]
+    fn tendrils_stretch_diameter_without_degree2_chains() {
+        let core = complete(40); // core diameter 1
+        let g = attach_tendrils(&core, 10, 5, 3);
+        let d = crate::test_oracle_diameter(&g);
+        // two depth-5 diamond chains: 10 + 10 + core ∈ [20, 23]
+        assert!((20..=23).contains(&d), "diameter {d}");
+        // a diamond tendril's tip has degree 2; walking from any
+        // degree-1 stub must stop immediately at its junction — assert
+        // that no degree-1 vertex sits on a chain longer than 1
+        for v in g.vertices().filter(|&v| g.degree(v) == 1) {
+            let junction = g.neighbors(v)[0];
+            assert_ne!(g.degree(junction), 2, "stub {v} starts a long chain");
+        }
+    }
+
+    #[test]
+    fn tendrils_connected_and_deterministic() {
+        let core = barabasi_albert(300, 4, 1);
+        let g = attach_tendrils(&core, 12, 4, 9);
+        assert!(ConnectedComponents::compute(&g).is_connected());
+        assert_eq!(g, attach_tendrils(&core, 12, 4, 9));
+    }
+
+    #[test]
+    fn tendrils_mostly_stubs() {
+        let core = complete(30);
+        let g = attach_tendrils(&core, 100, 6, 4);
+        let stubs = num_degree1_vertices(&g);
+        assert!(
+            (60..=95).contains(&stubs),
+            "expected ~80% stubs, got {stubs}"
+        );
+    }
+
+    #[test]
+    fn zero_tendrils_is_identity() {
+        let core = complete(5);
+        assert_eq!(attach_tendrils(&core, 0, 7, 3), core);
+    }
+}

@@ -1,0 +1,74 @@
+//! Watts–Strogatz small-world graphs.
+//!
+//! A ring lattice with random rewiring — interpolates between the
+//! high-diameter regular regime and the low-diameter random regime.
+//! Used in tests to probe the crossover behaviour of the diameter
+//! algorithms between the paper's road-map-like and small-world-like
+//! input classes.
+
+use crate::builder::EdgeList;
+use crate::csr::{CsrGraph, VertexId};
+use rand::Rng;
+
+/// Watts–Strogatz graph: ring of `n` vertices, each joined to its `k`
+/// nearest neighbors (`k` even), every edge rewired to a uniform random
+/// endpoint with probability `beta`.
+///
+/// # Panics
+/// Panics if `k` is odd, `k < 2`, or `k ≥ n`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
+    assert!(k >= 2 && k % 2 == 0, "k must be even and ≥ 2");
+    assert!(k < n, "k must be < n");
+    assert!((0.0..=1.0).contains(&beta));
+    let mut rng = super::rng(seed);
+    let mut el = EdgeList::with_capacity(n, n * k / 2);
+    for u in 0..n {
+        for j in 1..=(k / 2) {
+            let v = (u + j) % n;
+            if rng.gen::<f64>() < beta {
+                // rewire: keep u, choose a random new endpoint ≠ u
+                let mut w = rng.gen_range(0..n);
+                while w == u {
+                    w = rng.gen_range(0..n);
+                }
+                el.push(u as VertexId, w as VertexId);
+            } else {
+                el.push(u as VertexId, v as VertexId);
+            }
+        }
+    }
+    el.to_undirected_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_rewiring_is_ring_lattice() {
+        let g = watts_strogatz(20, 4, 0.0, 0);
+        assert!(g.vertices().all(|v| g.degree(v) == 4));
+        assert_eq!(g.num_undirected_edges(), 40);
+    }
+
+    #[test]
+    fn rewiring_changes_structure() {
+        let regular = watts_strogatz(100, 4, 0.0, 1);
+        let rewired = watts_strogatz(100, 4, 0.5, 1);
+        assert_ne!(regular, rewired);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            watts_strogatz(50, 6, 0.3, 2),
+            watts_strogatz(50, 6, 0.3, 2)
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_odd_k() {
+        watts_strogatz(10, 3, 0.1, 0);
+    }
+}

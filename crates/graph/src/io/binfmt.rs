@@ -1,0 +1,187 @@
+//! Compact binary CSR format for fast reload of generated inputs.
+//!
+//! Layout (all little-endian, via the `bytes` crate):
+//!
+//! ```text
+//! magic   "FDIA"            4 bytes
+//! version u32               currently 1
+//! n       u64               vertex count
+//! arcs    u64               directed arc count
+//! offsets (n + 1) × u64
+//! cols    arcs × u32
+//! ```
+
+use super::GraphIoError;
+use crate::csr::{CsrGraph, VertexId};
+use bytes::{Buf, BufMut};
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 4] = b"FDIA";
+const VERSION: u32 = 1;
+
+/// Serializes a graph to the binary CSR format.
+pub fn write_binary<W: Write>(g: &CsrGraph, mut writer: W) -> std::io::Result<()> {
+    let mut header = Vec::with_capacity(4 + 4 + 8 + 8);
+    header.put_slice(MAGIC);
+    header.put_u32_le(VERSION);
+    header.put_u64_le(g.num_vertices() as u64);
+    header.put_u64_le(g.num_arcs() as u64);
+    writer.write_all(&header)?;
+
+    let mut buf = Vec::with_capacity(8 * 1024);
+    for &off in g.row_offsets() {
+        buf.put_u64_le(off as u64);
+        if buf.len() >= 8 * 1024 {
+            writer.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    for &c in g.col_indices() {
+        buf.put_u32_le(c);
+        if buf.len() >= 8 * 1024 {
+            writer.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    writer.write_all(&buf)?;
+    Ok(())
+}
+
+/// Deserializes a graph from the binary CSR format, validating all
+/// structural invariants.
+pub fn read_binary<R: Read>(mut reader: R) -> Result<CsrGraph, GraphIoError> {
+    let mut header = [0u8; 4 + 4 + 8 + 8];
+    reader.read_exact(&mut header)?;
+    let mut h = &header[..];
+    let mut magic = [0u8; 4];
+    h.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(super::parse_err(0, "bad magic (not an FDIA file)"));
+    }
+    let version = h.get_u32_le();
+    if version != VERSION {
+        return Err(super::parse_err(0, format!("unsupported version {version}")));
+    }
+    let n = h.get_u64_le() as usize;
+    let arcs = h.get_u64_le() as usize;
+    // Vertex ids are u32, so any valid file satisfies these; a corrupt
+    // header fails here instead of in an oversized multiplication below.
+    if n > u32::MAX as usize || arcs > 1usize << 40 {
+        return Err(super::parse_err(
+            0,
+            format!("implausible header: n={n} arcs={arcs}"),
+        ));
+    }
+
+    // Read in bounded chunks so a corrupt header cannot trigger a huge
+    // up-front allocation: a truncated stream fails with an I/O error
+    // after at most one chunk of over-allocation.
+    let offsets_raw = read_exactly(&mut reader, (n + 1) * 8)?;
+    let mut o = &offsets_raw[..];
+    let row_offsets: Vec<usize> = (0..=n).map(|_| o.get_u64_le() as usize).collect();
+    drop(offsets_raw);
+
+    let cols_raw = read_exactly(&mut reader, arcs * 4)?;
+    let mut c = &cols_raw[..];
+    let col_indices: Vec<VertexId> = (0..arcs).map(|_| c.get_u32_le()).collect();
+    drop(cols_raw);
+
+    let g = CsrGraph::from_parts_unchecked(row_offsets, col_indices);
+    g.validate().map_err(|m| super::parse_err(0, m))?;
+    Ok(g)
+}
+
+/// Reads exactly `total` bytes in 1 MiB chunks; errors (instead of
+/// aborting on allocation failure) when the stream is shorter than a
+/// corrupt header claims.
+fn read_exactly<R: Read>(reader: &mut R, total: usize) -> Result<Vec<u8>, GraphIoError> {
+    const CHUNK: usize = 1 << 20;
+    let mut buf = Vec::new();
+    let mut remaining = total;
+    while remaining > 0 {
+        let step = remaining.min(CHUNK);
+        let start = buf.len();
+        buf.resize(start + step, 0);
+        reader.read_exact(&mut buf[start..])?;
+        remaining -= step;
+    }
+    Ok(buf)
+}
+
+/// Convenience: write to a file path.
+pub fn write_binary_file(g: &CsrGraph, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_binary(g, std::io::BufWriter::new(f))
+}
+
+/// Convenience: read from a file path.
+pub fn read_binary_file(path: impl AsRef<std::path::Path>) -> Result<CsrGraph, GraphIoError> {
+    let f = std::fs::File::open(path)?;
+    read_binary(std::io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{barabasi_albert, grid2d, path};
+    use crate::csr::CsrGraph;
+
+    #[test]
+    fn roundtrip() {
+        for g in [
+            path(10),
+            grid2d(4, 7),
+            barabasi_albert(200, 3, 1),
+            CsrGraph::empty(5),
+            CsrGraph::empty(0),
+        ] {
+            let mut buf = Vec::new();
+            write_binary(&g, &mut buf).unwrap();
+            assert_eq!(read_binary(&buf[..]).unwrap(), g);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut buf = Vec::new();
+        write_binary(&path(3), &mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut buf = Vec::new();
+        write_binary(&path(3), &mut buf).unwrap();
+        buf[4] = 99;
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let mut buf = Vec::new();
+        write_binary(&path(5), &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_corrupt_offsets() {
+        let mut buf = Vec::new();
+        write_binary(&path(3), &mut buf).unwrap();
+        // corrupt the first offset (must be 0)
+        buf[24] = 0xFF;
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("fdiam_binfmt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("g.fdia");
+        let g = grid2d(5, 5);
+        write_binary_file(&g, &p).unwrap();
+        assert_eq!(read_binary_file(&p).unwrap(), g);
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -1,0 +1,139 @@
+//! SNAP-style whitespace-separated edge lists.
+//!
+//! Format: one `u v` pair per line; lines starting with `#` (or `%`)
+//! are comments; blank lines are ignored. Vertex ids need not be
+//! contiguous — the vertex count is `max id + 1` unless a larger count
+//! is supplied.
+
+use super::{parse_err, GraphIoError};
+use crate::builder::EdgeList;
+use crate::csr::{CsrGraph, VertexId};
+use std::io::{BufRead, Write};
+
+/// Reads an edge list, producing an undirected graph on
+/// `max(max id + 1, min_vertices)` vertices.
+pub fn read_edge_list<R: BufRead>(reader: R, min_vertices: usize) -> Result<CsrGraph, GraphIoError> {
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut max_id: i64 = -1;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let u: VertexId = it
+            .next()
+            .ok_or_else(|| parse_err(idx + 1, "missing source vertex"))?
+            .parse()
+            .map_err(|e| parse_err(idx + 1, format!("bad source vertex: {e}")))?;
+        let v: VertexId = it
+            .next()
+            .ok_or_else(|| parse_err(idx + 1, "missing target vertex"))?
+            .parse()
+            .map_err(|e| parse_err(idx + 1, format!("bad target vertex: {e}")))?;
+        max_id = max_id.max(u as i64).max(v as i64);
+        edges.push((u, v));
+    }
+    let n = ((max_id + 1) as usize).max(min_vertices);
+    let mut el = EdgeList::with_capacity(n, edges.len());
+    for (u, v) in edges {
+        el.push(u, v);
+    }
+    Ok(el.to_undirected_csr())
+}
+
+/// Writes the graph as an edge list (each undirected edge once, from
+/// the lower id, preceded by a `#` header recording n and m).
+pub fn write_edge_list<W: Write>(g: &CsrGraph, mut writer: W) -> std::io::Result<()> {
+    writeln!(
+        writer,
+        "# undirected graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_undirected_edges()
+    )?;
+    for (u, v) in g.arcs() {
+        if u <= v {
+            writeln!(writer, "{u} {v}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Convenience: read from a file path.
+pub fn read_edge_list_file(
+    path: impl AsRef<std::path::Path>,
+    min_vertices: usize,
+) -> Result<CsrGraph, GraphIoError> {
+    let f = std::fs::File::open(path)?;
+    read_edge_list(std::io::BufReader::new(f), min_vertices)
+}
+
+/// Convenience: write to a file path.
+pub fn write_edge_list_file(
+    g: &CsrGraph,
+    path: impl AsRef<std::path::Path>,
+) -> std::io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_edge_list(g, std::io::BufWriter::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{path, star};
+
+    #[test]
+    fn roundtrip() {
+        let g = star(6);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let h = read_edge_list(&buf[..], 0).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# comment\n% also comment\n\n0 1\n1 2\n";
+        let g = read_edge_list(text.as_bytes(), 0).unwrap();
+        assert_eq!(g, path(3));
+    }
+
+    #[test]
+    fn min_vertices_pads_isolated() {
+        let g = read_edge_list("0 1\n".as_bytes(), 5).unwrap();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_isolated_vertices(), 3);
+    }
+
+    #[test]
+    fn duplicate_and_reverse_edges_collapse() {
+        let g = read_edge_list("0 1\n1 0\n0 1\n".as_bytes(), 0).unwrap();
+        assert_eq!(g.num_undirected_edges(), 1);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = read_edge_list("0 x\n".as_bytes(), 0).unwrap_err();
+        assert!(matches!(err, GraphIoError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_missing_endpoint() {
+        let err = read_edge_list("42\n".as_bytes(), 0).unwrap_err();
+        assert!(matches!(err, GraphIoError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_edge_list("# nothing\n".as_bytes(), 0).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+    }
+
+    #[test]
+    fn extra_columns_ignored() {
+        // some SNAP files carry weights/timestamps in extra columns
+        let g = read_edge_list("0 1 17 2020\n".as_bytes(), 0).unwrap();
+        assert_eq!(g.num_undirected_edges(), 1);
+    }
+}

@@ -1,0 +1,58 @@
+//! Graph readers and writers.
+//!
+//! The paper's inputs come from four collections in three text formats
+//! plus binary CSR dumps:
+//!
+//! * [`edgelist`] — SNAP-style whitespace edge lists (`# comments`).
+//! * [`dimacs`] — DIMACS-9 shortest-path format (`p sp n m` / `a u v w`),
+//!   the format of the `USA-road-d.*` inputs.
+//! * [`mtx`] — Matrix Market coordinate patterns, the SuiteSparse format.
+//! * [`binfmt`] — a compact little-endian binary CSR dump for fast
+//!   reloading of generated benchmark inputs.
+//!
+//! All readers produce symmetrized, deduplicated, loop-free
+//! [`crate::CsrGraph`]s, matching the paper's treatment of every input
+//! as undirected ("each undirected edge is represented by two directed
+//! edges", §5).
+
+pub mod binfmt;
+pub mod dimacs;
+pub mod edgelist;
+pub mod mtx;
+
+use std::fmt;
+
+/// Errors produced by the text readers.
+#[derive(Debug)]
+pub enum GraphIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed content, with a line number (1-based) where known.
+    Parse { line: usize, message: String },
+}
+
+impl fmt::Display for GraphIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphIoError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphIoError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphIoError {}
+
+impl From<std::io::Error> for GraphIoError {
+    fn from(e: std::io::Error) -> Self {
+        GraphIoError::Io(e)
+    }
+}
+
+pub(crate) fn parse_err(line: usize, message: impl Into<String>) -> GraphIoError {
+    GraphIoError::Parse {
+        line,
+        message: message.into(),
+    }
+}

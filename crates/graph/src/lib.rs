@@ -1,0 +1,72 @@
+//! # fdiam-graph
+//!
+//! Graph substrate for the F-Diam diameter library.
+//!
+//! This crate provides everything the diameter algorithms need from a
+//! graph library:
+//!
+//! * [`CsrGraph`] — an undirected, unweighted graph in compressed
+//!   sparse row (CSR) form, the representation used by the paper
+//!   (each undirected edge is stored as two directed arcs).
+//! * [`builder`] — edge-list accumulation and O(n + m) CSR
+//!   construction with symmetrization / deduplication options.
+//! * [`generators`] — deterministic synthetic graph generators covering
+//!   every topology class in the paper's Table 1 (grids, RMAT /
+//!   Kronecker, power-law preferential attachment, small-world,
+//!   road-like, random geometric, and a zoo of elementary shapes).
+//! * [`io`] — readers/writers for SNAP edge lists, DIMACS-9 `.gr`,
+//!   Matrix Market `.mtx`, and a compact binary CSR format.
+//! * [`components`] — connected components (serial union-find and
+//!   parallel label propagation) plus largest-component extraction.
+//! * [`transform`] — subgraph extraction, vertex relabeling,
+//!   isolated-vertex removal.
+//! * [`analysis`] — degree statistics and other cheap topology probes.
+//!
+//! All generators take explicit seeds and are fully deterministic so
+//! that every experiment in the benchmark harness is reproducible.
+
+pub mod analysis;
+pub mod builder;
+pub mod components;
+pub mod csr;
+pub mod generators;
+pub mod io;
+pub mod transform;
+
+pub use builder::{BuildOptions, EdgeList};
+pub use components::ConnectedComponents;
+pub use csr::{CsrGraph, VertexId};
+
+/// Test-only diameter oracle (largest eccentricity over all
+/// components) by plain BFS from every vertex. Quadratic; fixtures only.
+#[cfg(test)]
+pub(crate) fn test_oracle_diameter(g: &CsrGraph) -> u32 {
+    let n = g.num_vertices();
+    let mut best = 0u32;
+    let mut dist = vec![u32::MAX; n];
+    let mut frontier = Vec::new();
+    for s in g.vertices() {
+        dist.iter_mut().for_each(|d| *d = u32::MAX);
+        dist[s as usize] = 0;
+        frontier.clear();
+        frontier.push(s);
+        let mut level = 0;
+        while !frontier.is_empty() {
+            level += 1;
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for &nb in g.neighbors(v) {
+                    if dist[nb as usize] == u32::MAX {
+                        dist[nb as usize] = level;
+                        next.push(nb);
+                    }
+                }
+            }
+            if !next.is_empty() {
+                best = best.max(level);
+            }
+            frontier = next;
+        }
+    }
+    best
+}

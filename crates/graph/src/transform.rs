@@ -1,0 +1,141 @@
+//! Graph transformations: induced subgraphs, relabeling, isolated-vertex
+//! removal, and disjoint union (used to build disconnected test inputs).
+
+use crate::builder::EdgeList;
+use crate::csr::{CsrGraph, VertexId};
+
+/// Subgraph induced by `members` (which must contain distinct, valid
+/// ids). Vertex `members[i]` becomes new vertex `i`.
+pub fn induced_subgraph(g: &CsrGraph, members: &[VertexId]) -> CsrGraph {
+    let mut new_id: Vec<u32> = vec![u32::MAX; g.num_vertices()];
+    for (i, &v) in members.iter().enumerate() {
+        assert!(
+            new_id[v as usize] == u32::MAX,
+            "duplicate member vertex {v}"
+        );
+        new_id[v as usize] = i as u32;
+    }
+    let mut el = EdgeList::new(members.len());
+    for (i, &v) in members.iter().enumerate() {
+        for &w in g.neighbors(v) {
+            let nw = new_id[w as usize];
+            // add each retained edge once (from the lower new id)
+            if nw != u32::MAX && (i as u32) < nw {
+                el.push(i as VertexId, nw);
+            }
+        }
+    }
+    el.to_undirected_csr()
+}
+
+/// Relabels vertices: new vertex `i` is old vertex `perm[i]`
+/// (`perm` must be a permutation of `0..n`).
+pub fn permute(g: &CsrGraph, perm: &[VertexId]) -> CsrGraph {
+    assert_eq!(perm.len(), g.num_vertices(), "perm length must equal n");
+    induced_subgraph(g, perm)
+}
+
+/// Removes all degree-0 vertices, compacting ids. Returns the new graph
+/// and the mapping `new id → original id`.
+pub fn remove_isolated(g: &CsrGraph) -> (CsrGraph, Vec<VertexId>) {
+    let members: Vec<VertexId> = g.vertices().filter(|&v| g.degree(v) > 0).collect();
+    (induced_subgraph(g, &members), members)
+}
+
+/// Disjoint union of two graphs; the second graph's ids are shifted by
+/// `a.num_vertices()`. Useful for constructing disconnected inputs.
+pub fn disjoint_union(a: &CsrGraph, b: &CsrGraph) -> CsrGraph {
+    let shift = a.num_vertices() as VertexId;
+    let mut el = EdgeList::with_capacity(
+        a.num_vertices() + b.num_vertices(),
+        (a.num_arcs() + b.num_arcs()) / 2,
+    );
+    for (u, v) in a.arcs() {
+        if u < v {
+            el.push(u, v);
+        }
+    }
+    for (u, v) in b.arcs() {
+        if u < v {
+            el.push(u + shift, v + shift);
+        }
+    }
+    el.to_undirected_csr()
+}
+
+/// Adds `k` isolated vertices to the end of the id space.
+pub fn with_isolated_vertices(g: &CsrGraph, k: usize) -> CsrGraph {
+    let mut el = EdgeList::with_capacity(g.num_vertices() + k, g.num_arcs() / 2);
+    for (u, v) in g.arcs() {
+        if u < v {
+            el.push(u, v);
+        }
+    }
+    el.to_undirected_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{cycle, path, star};
+
+    #[test]
+    fn induced_subgraph_of_path() {
+        let g = path(5);
+        // keep 1-2-3 → path of 3
+        let sub = induced_subgraph(&g, &[1, 2, 3]);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_undirected_edges(), 2);
+        assert_eq!(sub.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn induced_subgraph_drops_external_edges() {
+        let g = star(5);
+        let sub = induced_subgraph(&g, &[1, 2, 3]); // leaves only
+        assert_eq!(sub.num_arcs(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn induced_subgraph_rejects_duplicates() {
+        induced_subgraph(&path(4), &[0, 0]);
+    }
+
+    #[test]
+    fn permute_preserves_structure() {
+        let g = path(4);
+        let p = permute(&g, &[3, 2, 1, 0]);
+        assert_eq!(p.num_undirected_edges(), 3);
+        // reversed path is still a path: endpoints have degree 1
+        assert_eq!(p.degree(0), 1);
+        assert_eq!(p.degree(3), 1);
+        assert_eq!(p.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn remove_isolated_works() {
+        let g = with_isolated_vertices(&path(3), 4);
+        assert_eq!(g.num_vertices(), 7);
+        let (h, map) = remove_isolated(&g);
+        assert_eq!(h.num_vertices(), 3);
+        assert_eq!(map, vec![0, 1, 2]);
+        assert_eq!(h.num_undirected_edges(), 2);
+    }
+
+    #[test]
+    fn disjoint_union_counts() {
+        let g = disjoint_union(&path(3), &cycle(4));
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_undirected_edges(), 2 + 4);
+        assert!(g.has_arc(3, 4));
+        assert!(!g.has_arc(2, 3));
+    }
+
+    #[test]
+    fn union_with_empty() {
+        let g = disjoint_union(&path(3), &CsrGraph::empty(2));
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_isolated_vertices(), 2);
+    }
+}

@@ -1,0 +1,65 @@
+//! Fuzz-style robustness: every reader must return `Err` (never panic,
+//! never allocate unboundedly) on arbitrary byte soup, and round-trip
+//! any graph the builder can produce.
+
+use fdiam_graph::io::{binfmt, dimacs, edgelist, mtx};
+use fdiam_graph::EdgeList;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary bytes never panic any reader.
+    #[test]
+    fn readers_never_panic_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = edgelist::read_edge_list(&bytes[..], 0);
+        let _ = dimacs::read_dimacs(&bytes[..]);
+        let _ = mtx::read_mtx(&bytes[..]);
+        let _ = binfmt::read_binary(&bytes[..]);
+    }
+
+    /// Corrupting any single byte of a valid binary file either still
+    /// yields a structurally valid graph or a clean error — no panic.
+    #[test]
+    fn binfmt_single_byte_corruption(pos_seed in any::<u64>(), flip in 1u8..=255) {
+        let g = EdgeList::from_undirected(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5)])
+            .to_undirected_csr();
+        let mut buf = Vec::new();
+        binfmt::write_binary(&g, &mut buf).unwrap();
+        let pos = (pos_seed as usize) % buf.len();
+        buf[pos] ^= flip;
+        if let Ok(h) = binfmt::read_binary(&buf[..]) {
+            prop_assert!(h.validate().is_ok());
+        }
+    }
+
+    /// Any graph the builder produces round-trips through every text
+    /// format (given the vertex-count hint for edge lists).
+    #[test]
+    fn all_formats_roundtrip_arbitrary_graphs(
+        n in 1usize..40,
+        edges in proptest::collection::vec((0u32..40, 0u32..40), 0..80),
+    ) {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(a, b)| (a % n as u32, b % n as u32))
+            .collect();
+        let g = EdgeList::from_undirected(n, &edges).to_undirected_csr();
+
+        let mut buf = Vec::new();
+        edgelist::write_edge_list(&g, &mut buf).unwrap();
+        prop_assert_eq!(edgelist::read_edge_list(&buf[..], n).unwrap(), g.clone());
+
+        buf.clear();
+        dimacs::write_dimacs(&g, &mut buf).unwrap();
+        prop_assert_eq!(dimacs::read_dimacs(&buf[..]).unwrap(), g.clone());
+
+        buf.clear();
+        mtx::write_mtx(&g, &mut buf).unwrap();
+        prop_assert_eq!(mtx::read_mtx(&buf[..]).unwrap(), g.clone());
+
+        buf.clear();
+        binfmt::write_binary(&g, &mut buf).unwrap();
+        prop_assert_eq!(binfmt::read_binary(&buf[..]).unwrap(), g);
+    }
+}

@@ -1,0 +1,70 @@
+//! Graph I/O tour: write and read every supported format (SNAP edge
+//! list, DIMACS-9 `.gr`, Matrix Market `.mtx`, binary CSR), verifying
+//! that the diameter is preserved across round trips.
+//!
+//! This is how you would feed the *real* paper inputs (downloaded from
+//! SNAP / SuiteSparse / DIMACS) into the library.
+//!
+//! ```text
+//! cargo run --release --example graph_io
+//! ```
+
+use f_diam::fdiam::diameter;
+use f_diam::graph::generators::{grid2d, kronecker_graph500};
+use f_diam::graph::io::{binfmt, dimacs, edgelist, mtx};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join("fdiam_io_example");
+    std::fs::create_dir_all(&dir)?;
+
+    let g = grid2d(50, 80);
+    let d = diameter(&g);
+    println!(
+        "source graph: 50x80 grid, n = {}, diameter = {d}",
+        g.num_vertices()
+    );
+
+    // SNAP-style edge list.
+    let p = dir.join("grid.txt");
+    edgelist::write_edge_list_file(&g, &p)?;
+    let g2 = edgelist::read_edge_list_file(&p, 0)?;
+    assert_eq!(g2, g);
+    println!("edge list  roundtrip ok: {} ({} bytes)", p.display(), std::fs::metadata(&p)?.len());
+
+    // DIMACS-9 (the USA-road-d format).
+    let p = dir.join("grid.gr");
+    let mut buf = Vec::new();
+    dimacs::write_dimacs(&g, &mut buf)?;
+    std::fs::write(&p, &buf)?;
+    let g2 = dimacs::read_dimacs_file(&p)?;
+    assert_eq!(g2, g);
+    println!("DIMACS     roundtrip ok: {} ({} bytes)", p.display(), buf.len());
+
+    // Matrix Market (the SuiteSparse format).
+    let p = dir.join("grid.mtx");
+    let mut buf = Vec::new();
+    mtx::write_mtx(&g, &mut buf)?;
+    std::fs::write(&p, &buf)?;
+    let g2 = mtx::read_mtx_file(&p)?;
+    assert_eq!(g2, g);
+    println!("MatrixMkt  roundtrip ok: {} ({} bytes)", p.display(), buf.len());
+
+    // Binary CSR — the fast path for large generated inputs.
+    let big = kronecker_graph500(14, 16, 9);
+    let p = dir.join("kron.fdia");
+    binfmt::write_binary_file(&big, &p)?;
+    let big2 = binfmt::read_binary_file(&p)?;
+    assert_eq!(big2, big);
+    println!(
+        "binary CSR roundtrip ok: {} ({} bytes for n = {})",
+        p.display(),
+        std::fs::metadata(&p)?.len(),
+        big.num_vertices()
+    );
+
+    // And the diameter survives every round trip.
+    assert_eq!(diameter(&g2).diameter(), Some(128));
+    println!("\ndiameter preserved across all formats ✓");
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Full eccentricity analytics beyond the diameter: radius, center,
+//! periphery, and the whole eccentricity distribution — plus
+//! ExactSumSweep, which certifies radius and diameter together.
+//!
+//! This is the §1 use case "vertices with eccentricities close to the
+//! diameter represent the graph's periphery" turned into a runnable
+//! analysis.
+//!
+//! ```text
+//! cargo run --release --example network_analytics
+//! ```
+
+use f_diam::analytics::bounding_ecc::bounding_eccentricities;
+use f_diam::analytics::sum_sweep::exact_sum_sweep;
+use f_diam::fdiam::diameter;
+use f_diam::graph::generators::road_network;
+
+fn main() {
+    // A mid-size road network: the high-diameter regime where the
+    // eccentricity distribution is wide and the center is meaningful.
+    let g = road_network(20_000, 0.6, 3, 11);
+    println!(
+        "road network: {} junctions, {} segments",
+        g.num_vertices(),
+        g.num_undirected_edges()
+    );
+
+    // ExactSumSweep: radius + diameter in one certified run.
+    let ss = exact_sum_sweep(&g).expect("non-empty");
+    println!(
+        "\nExactSumSweep: diameter = {} (vertex {}), radius = {} (vertex {}), {} BFS",
+        ss.diameter, ss.diametral_vertex, ss.radius, ss.central_vertex, ss.bfs_calls
+    );
+
+    // Cross-check the diameter against F-Diam.
+    let d = diameter(&g);
+    assert_eq!(d.diameter(), Some(ss.diameter));
+    println!("F-Diam agrees: diameter = {d}");
+
+    // Full eccentricity distribution (Takes–Kosters bounding).
+    let r = bounding_eccentricities(&g);
+    let eccs = &r.eccentricities;
+    println!(
+        "\nall {} eccentricities computed with {} BFS ({:.1}% of n)",
+        eccs.len(),
+        r.bfs_calls,
+        100.0 * r.bfs_calls as f64 / g.num_vertices() as f64
+    );
+
+    let center = eccs.iter().filter(|&&e| e == ss.radius).count();
+    let periphery = eccs.iter().filter(|&&e| e == ss.diameter).count();
+    println!("|center| = {center}, |periphery| = {periphery}");
+
+    // Coarse histogram in ten buckets between radius and diameter.
+    println!("\neccentricity distribution:");
+    let span = (ss.diameter - ss.radius).max(1);
+    let buckets = 10u32.min(span);
+    let mut hist = vec![0usize; buckets as usize];
+    for &e in eccs {
+        let b = ((e - ss.radius) * (buckets - 1) / span).min(buckets - 1);
+        hist[b as usize] += 1;
+    }
+    for (i, count) in hist.iter().enumerate() {
+        let lo = ss.radius + span * i as u32 / buckets;
+        let hi = ss.radius + span * (i as u32 + 1) / buckets;
+        println!(
+            "  [{lo:4}..{hi:4}) {count:7} {}",
+            "#".repeat(count * 50 / eccs.len().max(1))
+        );
+    }
+
+    // Theorem 3 sanity: radius ≥ diameter / 2.
+    assert!(2 * ss.radius >= ss.diameter);
+    println!("\nTheorem 3 holds: radius {} ≥ diameter {} / 2 ✓", ss.radius, ss.diameter);
+}

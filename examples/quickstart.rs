@@ -1,0 +1,49 @@
+//! Quickstart: build a graph, compute its exact diameter, inspect the
+//! run statistics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use f_diam::fdiam::{diameter, diameter_with, FdiamConfig};
+use f_diam::graph::generators::{barabasi_albert, grid2d};
+use f_diam::graph::EdgeList;
+
+fn main() {
+    // 1. A small hand-made graph (the paper's Figure 1: K4 minus one
+    //    edge — diameter 2).
+    let g = EdgeList::from_undirected(4, &[(0, 1), (0, 2), (0, 3), (3, 1), (3, 2)])
+        .to_undirected_csr();
+    let r = diameter(&g);
+    println!("figure-1 graph: diameter = {r}");
+    assert_eq!(r.diameter(), Some(2));
+
+    // 2. A 200×300 grid — diameter (200-1) + (300-1) = 498.
+    let g = grid2d(200, 300);
+    let r = diameter(&g);
+    println!(
+        "200x300 grid  : n = {}, m = {}, diameter = {r}",
+        g.num_vertices(),
+        g.num_undirected_edges()
+    );
+    assert_eq!(r.diameter(), Some(498));
+
+    // 3. A power-law graph with full statistics: how much work did each
+    //    F-Diam stage save?
+    let g = barabasi_albert(100_000, 6, 42);
+    let out = diameter_with(&g, &FdiamConfig::parallel());
+    println!(
+        "BA(100k, m=6) : diameter = {}, BFS traversals = {} (vs n = {})",
+        out.result,
+        out.stats.bfs_traversals(),
+        g.num_vertices()
+    );
+    let [w, e, c, d0] = out.stats.removed.percentages(g.num_vertices());
+    println!(
+        "               removed by Winnow {w:.2}% | Eliminate {e:.2}% | Chain {c:.2}% | degree-0 {d0:.2}%"
+    );
+    println!(
+        "               total runtime {:.3}s",
+        out.stats.timings.total.as_secs_f64()
+    );
+}

@@ -1,0 +1,75 @@
+//! Social-network analysis scenario (the paper's §1 motivation: "in
+//! social networks, [the diameter] shows how closely connected the
+//! individuals are").
+//!
+//! Builds a LiveJournal-like power-law community graph, computes its
+//! diameter with F-Diam and the exact eccentricity distribution with
+//! the naive oracle on a subsample, and reports the small-world
+//! statistics an analyst would ask for.
+//!
+//! ```text
+//! cargo run --release --example social_network
+//! ```
+
+use f_diam::baselines::naive::all_eccentricities;
+use f_diam::bfs::{bfs_eccentricity_serial, VisitMarks};
+use f_diam::fdiam::{diameter_with, FdiamConfig};
+use f_diam::graph::components::ConnectedComponents;
+use f_diam::graph::generators::{attach_whiskers, barabasi_albert};
+
+fn main() {
+    // ~50k members: a preferential-attachment core (heavy-tailed
+    // follower counts) plus peripheral whiskers — the thin chains of
+    // barely-connected members that give real social graphs their
+    // diameter (and that F-Diam's Chain Processing targets).
+    let core = barabasi_albert(50_000, 8, 7);
+    let g = attach_whiskers(&core, 250, 8, 7);
+    println!(
+        "community graph: {} members, {} friendships, max degree {}",
+        g.num_vertices(),
+        g.num_undirected_edges(),
+        g.max_degree()
+    );
+
+    let cc = ConnectedComponents::compute(&g);
+    println!("connected: {}", cc.is_connected());
+
+    // Exact diameter via F-Diam.
+    let out = diameter_with(&g, &FdiamConfig::parallel());
+    println!(
+        "diameter = {} (found with {} BFS traversals instead of {})",
+        out.result,
+        out.stats.bfs_traversals(),
+        g.num_vertices()
+    );
+
+    // Periphery: who realizes the diameter? Vertices whose eccentricity
+    // equals the diameter are the farthest-apart members.
+    let mut marks = VisitMarks::new(g.num_vertices());
+    let sample: Vec<u32> = (0..g.num_vertices() as u32).step_by(500).collect();
+    let peripheral = sample
+        .iter()
+        .filter(|&&v| {
+            bfs_eccentricity_serial(&g, v, &mut marks).eccentricity
+                == out.result.largest_cc_diameter
+        })
+        .count();
+    println!(
+        "of a {}-member sample, {} sit on the periphery (ecc = diameter)",
+        sample.len(),
+        peripheral
+    );
+
+    // Full eccentricity histogram on a smaller community — by Theorem 3
+    // every eccentricity lies in [diam/2, diam].
+    let small = barabasi_albert(2_000, 8, 7);
+    let eccs = all_eccentricities(&small);
+    let diam = *eccs.iter().max().unwrap();
+    let radius = *eccs.iter().min().unwrap();
+    println!("\n2k-member community: radius = {radius}, diameter = {diam}");
+    assert!(radius * 2 >= diam, "Theorem 3: radius >= diameter/2");
+    for d in radius..=diam {
+        let count = eccs.iter().filter(|&&e| e == d).count();
+        println!("  ecc {d}: {count:6} members {}", "#".repeat(count * 60 / eccs.len()));
+    }
+}

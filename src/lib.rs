@@ -1,0 +1,14 @@
+//! # f-diam
+//!
+//! Umbrella crate re-exporting the F-Diam workspace: the graph
+//! substrate, BFS kernels, the F-Diam diameter algorithm, and the
+//! baseline algorithms it is evaluated against.
+//!
+//! See the crate-level docs of each member for details:
+//! [`graph`], [`bfs`], [`fdiam`], [`baselines`].
+
+pub use fdiam_analytics as analytics;
+pub use fdiam_baselines as baselines;
+pub use fdiam_bfs as bfs;
+pub use fdiam_core as fdiam;
+pub use fdiam_graph as graph;

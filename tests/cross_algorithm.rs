@@ -1,0 +1,128 @@
+//! Cross-crate integration: every diameter algorithm in the workspace
+//! (F-Diam in all configurations, iFUB serial/parallel, Graph-Diameter,
+//! Korf) must agree with the naive APSP oracle on every topology class
+//! of the paper's Table 1.
+
+use f_diam::baselines::{graph_diameter, ifub, korf, naive};
+use f_diam::fdiam::{diameter_with, FdiamConfig};
+use f_diam::graph::generators::*;
+use f_diam::graph::transform::{disjoint_union, with_isolated_vertices};
+use f_diam::graph::CsrGraph;
+
+fn check_all(g: &CsrGraph, ctx: &str) {
+    let oracle = naive::naive_diameter(g);
+    let d = oracle.largest_cc_diameter;
+    let conn = oracle.connected;
+
+    for (name, cfg) in [
+        ("fdiam-par", FdiamConfig::parallel()),
+        ("fdiam-ser", FdiamConfig::serial()),
+        ("fdiam-no-winnow", FdiamConfig::parallel().without_winnow()),
+        ("fdiam-no-elim", FdiamConfig::parallel().without_eliminate()),
+        ("fdiam-no-u", FdiamConfig::parallel().without_max_degree_start()),
+        ("fdiam-no-chain", FdiamConfig::serial().without_chain()),
+    ] {
+        let out = diameter_with(g, &cfg);
+        assert_eq!(out.result.largest_cc_diameter, d, "{name} on {ctx}");
+        assert_eq!(out.result.connected, conn, "{name} connectivity on {ctx}");
+    }
+    for (name, r) in [
+        ("ifub", ifub::ifub(g)),
+        ("ifub-par", ifub::ifub_parallel(g)),
+        ("graph-diameter", graph_diameter::graph_diameter(g)),
+        ("korf", korf::korf_diameter(g)),
+    ] {
+        assert_eq!(r.largest_cc_diameter, d, "{name} on {ctx}");
+        assert_eq!(r.connected, conn, "{name} connectivity on {ctx}");
+    }
+}
+
+#[test]
+fn grid_class() {
+    check_all(&grid2d(12, 17), "grid 12x17");
+    check_all(&grid2d(1, 40), "degenerate 1-row grid");
+    check_all(&grid2d_torus(5, 7), "torus 5x7 (uniform eccentricity)");
+}
+
+#[test]
+fn power_law_class() {
+    for seed in 0..3 {
+        check_all(&barabasi_albert(200, 3, seed), &format!("ba seed {seed}"));
+        check_all(&barabasi_albert(150, 1, seed), &format!("ba m=1 (tree) seed {seed}"));
+    }
+}
+
+#[test]
+fn road_class() {
+    for seed in 0..3 {
+        check_all(&road_like(180, 0.1, seed), &format!("road seed {seed}"));
+        check_all(&road_like(150, 0.0, seed), &format!("road tree seed {seed}"));
+    }
+}
+
+#[test]
+fn rmat_kron_class() {
+    for seed in 0..3 {
+        check_all(
+            &rmat(7, 4, RmatProbabilities::LONESTAR, seed),
+            &format!("rmat seed {seed}"),
+        );
+        check_all(
+            &kronecker_graph500(7, 8, seed),
+            &format!("kron seed {seed}"),
+        );
+    }
+}
+
+#[test]
+fn geometric_class() {
+    for seed in 0..3 {
+        check_all(
+            &random_geometric(150, 0.15, seed),
+            &format!("geometric seed {seed}"),
+        );
+    }
+}
+
+#[test]
+fn small_world_class() {
+    for seed in 0..3 {
+        check_all(
+            &watts_strogatz(120, 4, 0.1, seed),
+            &format!("ws seed {seed}"),
+        );
+    }
+}
+
+#[test]
+fn chain_heavy_shapes() {
+    check_all(&caterpillar(10, 3), "caterpillar");
+    check_all(&lollipop(8, 12), "lollipop");
+    check_all(&barbell(6, 9), "barbell");
+    check_all(&balanced_tree(2, 6), "binary tree depth 6");
+    check_all(&path(101), "long path");
+    check_all(&star(64), "star");
+}
+
+#[test]
+fn disconnected_inputs() {
+    check_all(&disjoint_union(&path(20), &cycle(9)), "path+cycle");
+    check_all(
+        &disjoint_union(&barabasi_albert(80, 2, 1), &grid2d(5, 5)),
+        "ba+grid",
+    );
+    check_all(&with_isolated_vertices(&star(10), 5), "star+isolated");
+    check_all(&CsrGraph::empty(7), "all isolated");
+    check_all(&CsrGraph::empty(1), "single vertex");
+    check_all(&CsrGraph::empty(0), "empty");
+    check_all(&path(2), "single edge");
+}
+
+#[test]
+fn many_small_components() {
+    let mut g = path(3);
+    for k in 3..12usize {
+        g = disjoint_union(&g, &cycle(k));
+    }
+    check_all(&g, "9 cycles + path");
+}

@@ -1,0 +1,83 @@
+//! Integration: graphs survive round trips through every supported
+//! format, and the computed diameter is identical before and after.
+
+use f_diam::fdiam::diameter;
+use f_diam::graph::generators::*;
+use f_diam::graph::io::{binfmt, dimacs, edgelist, mtx};
+use f_diam::graph::CsrGraph;
+
+fn zoo() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("path", path(23)),
+        ("grid", grid2d(6, 9)),
+        ("ba", barabasi_albert(300, 3, 1)),
+        ("road", road_like(250, 0.1, 2)),
+        ("kron", kronecker_graph500(8, 6, 3)), // has isolated vertices
+        ("empty5", CsrGraph::empty(5)),
+    ]
+}
+
+#[test]
+fn edge_list_preserves_diameter() {
+    for (name, g) in zoo() {
+        // edge lists cannot express trailing isolated vertices without
+        // the min_vertices hint — pass the true count
+        let mut buf = Vec::new();
+        edgelist::write_edge_list(&g, &mut buf).unwrap();
+        let h = edgelist::read_edge_list(&buf[..], g.num_vertices()).unwrap();
+        assert_eq!(g, h, "{name}");
+        assert_eq!(diameter(&g), diameter(&h), "{name}");
+    }
+}
+
+#[test]
+fn dimacs_preserves_diameter() {
+    for (name, g) in zoo() {
+        let mut buf = Vec::new();
+        dimacs::write_dimacs(&g, &mut buf).unwrap();
+        let h = dimacs::read_dimacs(&buf[..]).unwrap();
+        assert_eq!(g, h, "{name}");
+        assert_eq!(diameter(&g), diameter(&h), "{name}");
+    }
+}
+
+#[test]
+fn mtx_preserves_diameter() {
+    for (name, g) in zoo() {
+        let mut buf = Vec::new();
+        mtx::write_mtx(&g, &mut buf).unwrap();
+        let h = mtx::read_mtx(&buf[..]).unwrap();
+        assert_eq!(g, h, "{name}");
+        assert_eq!(diameter(&g), diameter(&h), "{name}");
+    }
+}
+
+#[test]
+fn binary_preserves_diameter() {
+    for (name, g) in zoo() {
+        let mut buf = Vec::new();
+        binfmt::write_binary(&g, &mut buf).unwrap();
+        let h = binfmt::read_binary(&buf[..]).unwrap();
+        assert_eq!(g, h, "{name}");
+        assert_eq!(diameter(&g), diameter(&h), "{name}");
+    }
+}
+
+#[test]
+fn formats_chain_into_each_other() {
+    // edge list → mtx → dimacs → binary → original
+    let g = barabasi_albert(200, 4, 9);
+    let mut b1 = Vec::new();
+    edgelist::write_edge_list(&g, &mut b1).unwrap();
+    let g1 = edgelist::read_edge_list(&b1[..], 0).unwrap();
+    let mut b2 = Vec::new();
+    mtx::write_mtx(&g1, &mut b2).unwrap();
+    let g2 = mtx::read_mtx(&b2[..]).unwrap();
+    let mut b3 = Vec::new();
+    dimacs::write_dimacs(&g2, &mut b3).unwrap();
+    let g3 = dimacs::read_dimacs(&b3[..]).unwrap();
+    let mut b4 = Vec::new();
+    binfmt::write_binary(&g3, &mut b4).unwrap();
+    let g4 = binfmt::read_binary(&b4[..]).unwrap();
+    assert_eq!(g, g4);
+}

@@ -1,0 +1,157 @@
+//! Property-based tests on the core invariants of the paper's §3
+//! theorems and on agreement between all diameter implementations,
+//! over arbitrary random graphs.
+
+use f_diam::baselines::{graph_diameter, ifub, korf, naive};
+use f_diam::bfs::{bfs_eccentricity_serial, VisitMarks};
+use f_diam::fdiam::{diameter_with, FdiamConfig};
+use f_diam::graph::{CsrGraph, EdgeList};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary undirected graph with up to `max_n` vertices
+/// and a sprinkling of random edges (possibly disconnected, possibly
+/// with isolated vertices).
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = CsrGraph> {
+    (1..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_m)
+            .prop_map(move |edges| EdgeList::from_undirected(n, &edges).to_undirected_csr())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// F-Diam (serial and parallel) equals the naive oracle.
+    #[test]
+    fn fdiam_matches_oracle(g in arb_graph(60, 120)) {
+        let oracle = naive::naive_diameter(&g);
+        for cfg in [FdiamConfig::parallel(), FdiamConfig::serial()] {
+            let out = diameter_with(&g, &cfg);
+            prop_assert_eq!(out.result.largest_cc_diameter, oracle.largest_cc_diameter);
+            prop_assert_eq!(out.result.connected, oracle.connected);
+            // every vertex accounted for by exactly one stage
+            prop_assert_eq!(out.stats.removed.total(), g.num_vertices());
+        }
+    }
+
+    /// All baselines equal the oracle.
+    #[test]
+    fn baselines_match_oracle(g in arb_graph(50, 90)) {
+        let oracle = naive::naive_diameter(&g);
+        prop_assert_eq!(ifub::ifub(&g).largest_cc_diameter, oracle.largest_cc_diameter);
+        prop_assert_eq!(
+            graph_diameter::graph_diameter(&g).largest_cc_diameter,
+            oracle.largest_cc_diameter
+        );
+        prop_assert_eq!(korf::korf_diameter(&g).largest_cc_diameter, oracle.largest_cc_diameter);
+    }
+
+    /// Theorem 1: adjacent vertices' eccentricities differ by at most 1.
+    #[test]
+    fn theorem1_adjacent_ecc_gap(g in arb_graph(40, 80)) {
+        let eccs = naive::all_eccentricities(&g);
+        for (u, v) in g.arcs() {
+            let (a, b) = (eccs[u as usize] as i64, eccs[v as usize] as i64);
+            prop_assert!((a - b).abs() <= 1, "ecc({u})={a} vs ecc({v})={b}");
+        }
+    }
+
+    /// Theorem 2: in any component with ≥ 2 vertices, the component's
+    /// diameter is attained by at least two vertices.
+    #[test]
+    fn theorem2_two_witnesses(g in arb_graph(40, 80)) {
+        use f_diam::graph::components::ConnectedComponents;
+        let eccs = naive::all_eccentricities(&g);
+        let cc = ConnectedComponents::compute(&g);
+        for c in 0..cc.num_components() as u32 {
+            let members: Vec<u32> =
+                g.vertices().filter(|&v| cc.component_of(v) == c).collect();
+            if members.len() < 2 { continue; }
+            let diam = members.iter().map(|&v| eccs[v as usize]).max().unwrap();
+            let witnesses = members.iter().filter(|&&v| eccs[v as usize] == diam).count();
+            prop_assert!(witnesses >= 2, "component {c} has {witnesses} witnesses for diam {diam}");
+        }
+    }
+
+    /// Theorem 3: within a component, min eccentricity ≥ diameter / 2.
+    #[test]
+    fn theorem3_radius_bound(g in arb_graph(40, 80)) {
+        use f_diam::graph::components::ConnectedComponents;
+        let eccs = naive::all_eccentricities(&g);
+        let cc = ConnectedComponents::compute(&g);
+        for c in 0..cc.num_components() as u32 {
+            let comp_eccs: Vec<u32> = g
+                .vertices()
+                .filter(|&v| cc.component_of(v) == c)
+                .map(|v| eccs[v as usize])
+                .collect();
+            let diam = *comp_eccs.iter().max().unwrap();
+            let radius = *comp_eccs.iter().min().unwrap();
+            prop_assert!(2 * radius >= diam, "radius {radius} < diam {diam} / 2");
+        }
+    }
+
+    /// BFS sanity: the last frontier really holds the farthest vertices.
+    #[test]
+    fn bfs_last_frontier_is_argmax(g in arb_graph(40, 70), src_raw in 0u32..40) {
+        let n = g.num_vertices() as u32;
+        let src = src_raw % n;
+        let mut marks = VisitMarks::new(n as usize);
+        let r = bfs_eccentricity_serial(&g, src, &mut marks);
+        let mut dist = Vec::new();
+        let ecc = f_diam::bfs::distances::bfs_distances_serial(&g, src, &mut dist);
+        prop_assert_eq!(r.eccentricity, ecc);
+        let mut expect: Vec<u32> = (0..n).filter(|&v| dist[v as usize] == ecc).collect();
+        let mut got = r.last_frontier;
+        expect.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Work bound: F-Diam's traversal count stays O(n) — each vertex is
+    /// computed at most once, except chain tips that Chain Processing
+    /// re-activates, plus one Winnow call per diameter-bound increase.
+    #[test]
+    fn fdiam_traversals_linear_in_n(g in arb_graph(60, 120)) {
+        let out = diameter_with(&g, &FdiamConfig::serial());
+        prop_assert!(out.stats.bfs_traversals() <= 2 * g.num_vertices().max(2));
+    }
+
+    /// The diameter is invariant under vertex relabeling, even though
+    /// F-Diam's start vertex, winnow ball, and visit order all change.
+    #[test]
+    fn diameter_invariant_under_permutation(g in arb_graph(50, 100), seed in 0u64..1000) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let n = g.num_vertices();
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.shuffle(&mut rand_chacha::ChaCha8Rng::seed_from_u64(seed));
+        let h = f_diam::graph::transform::permute(&g, &perm);
+        let a = diameter_with(&g, &FdiamConfig::parallel()).result;
+        let b = diameter_with(&h, &FdiamConfig::parallel()).result;
+        prop_assert_eq!(a, b);
+    }
+
+    /// Winnow cross-check: incremental extension and full re-winnow
+    /// agree end-to-end on arbitrary graphs.
+    #[test]
+    fn rewinnow_mode_agrees(g in arb_graph(50, 100)) {
+        let a = diameter_with(&g, &FdiamConfig::serial());
+        let b = diameter_with(
+            &g,
+            &FdiamConfig { full_rewinnow: true, ..FdiamConfig::serial() },
+        );
+        prop_assert_eq!(a.result, b.result);
+    }
+
+    /// Randomized visit order never changes the answer.
+    #[test]
+    fn visit_order_irrelevant(g in arb_graph(50, 100), seed in 0u64..1000) {
+        let a = diameter_with(&g, &FdiamConfig::serial());
+        let b = diameter_with(
+            &g,
+            &FdiamConfig { visit_order_seed: Some(seed), ..FdiamConfig::serial() },
+        );
+        prop_assert_eq!(a.result, b.result);
+    }
+}
