@@ -66,12 +66,12 @@ pub fn exact_sum_sweep(g: &CsrGraph) -> Option<SumSweepResult> {
     }
 
     let process = |v: usize,
-                       lower: &mut [u32],
-                       upper: &mut [u32],
-                       ecc: &mut [Option<u32>],
-                       sum_dist: &mut [u64],
-                       bfs_calls: &mut usize,
-                       dist: &mut Vec<u32>|
+                   lower: &mut [u32],
+                   upper: &mut [u32],
+                   ecc: &mut [Option<u32>],
+                   sum_dist: &mut [u64],
+                   bfs_calls: &mut usize,
+                   dist: &mut Vec<u32>|
      -> u32 {
         let e = bfs_distances_serial(g, v as VertexId, dist);
         *bfs_calls += 1;
@@ -169,8 +169,8 @@ pub fn exact_sum_sweep(g: &CsrGraph) -> Option<SumSweepResult> {
     let mut radius = u32::MAX;
     let mut diametral_vertex = 0 as VertexId;
     let mut central_vertex = 0 as VertexId;
-    for v in 0..n {
-        if let Some(e) = ecc[v] {
+    for (v, slot) in ecc.iter().enumerate() {
+        if let Some(e) = *slot {
             if e > diameter {
                 diameter = e;
                 diametral_vertex = v as VertexId;

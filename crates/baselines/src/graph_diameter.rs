@@ -62,12 +62,7 @@ fn run(g: &CsrGraph, directed_faithful: bool) -> BaselineResult {
     // round of upper bounds.
     let start = g.max_degree_vertex().expect("n > 0");
     state.process(g, start);
-    let connected = state
-        .dist
-        .iter()
-        .filter(|&&d| d != UNREACHABLE)
-        .count()
-        == n;
+    let connected = state.dist.iter().filter(|&&d| d != UNREACHABLE).count() == n;
     let a = state
         .dist
         .iter()
@@ -162,7 +157,8 @@ mod tests {
         let expect = naive_diameter(g);
         for r in [graph_diameter(g), graph_diameter_undirected(g)] {
             assert_eq!(
-                r.largest_cc_diameter, expect.largest_cc_diameter,
+                r.largest_cc_diameter,
+                expect.largest_cc_diameter,
                 "graph-diameter wrong on n={} m={}",
                 g.num_vertices(),
                 g.num_undirected_edges()

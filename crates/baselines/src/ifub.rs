@@ -132,7 +132,8 @@ mod tests {
         let expect = naive_diameter(g);
         for r in [ifub(g), ifub_parallel(g)] {
             assert_eq!(
-                r.largest_cc_diameter, expect.largest_cc_diameter,
+                r.largest_cc_diameter,
+                expect.largest_cc_diameter,
                 "iFUB wrong on n={} m={}",
                 g.num_vertices(),
                 g.num_undirected_edges()

@@ -100,7 +100,8 @@ mod tests {
         let expect = naive_diameter(g);
         let r = korf_diameter(g);
         assert_eq!(
-            r.largest_cc_diameter, expect.largest_cc_diameter,
+            r.largest_cc_diameter,
+            expect.largest_cc_diameter,
             "korf wrong on n={} m={}",
             g.num_vertices(),
             g.num_undirected_edges()

@@ -78,11 +78,9 @@ mod tests {
     fn eccentricity_vector() {
         assert_eq!(all_eccentricities(&path(5)), vec![4, 3, 2, 3, 4]);
         // figure 1 of the paper: K4 minus edge B-C has eccs A=1, D=1, B=2, C=2
-        let g = fdiam_graph::EdgeList::from_undirected(
-            4,
-            &[(0, 1), (0, 2), (0, 3), (3, 1), (3, 2)],
-        )
-        .to_undirected_csr();
+        let g =
+            fdiam_graph::EdgeList::from_undirected(4, &[(0, 1), (0, 2), (0, 3), (3, 1), (3, 2)])
+                .to_undirected_csr();
         assert_eq!(all_eccentricities(&g), vec![1, 2, 2, 1]);
     }
 }

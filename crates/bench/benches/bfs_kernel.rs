@@ -4,8 +4,12 @@
 //! regimes §6.2 identifies as the extremes for BFS parallelism.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use fdiam_bfs::{bfs_eccentricity_hybrid, bfs_eccentricity_serial, BfsConfig, VisitMarks};
+use fdiam_bfs::{
+    bfs_eccentricity_hybrid, bfs_eccentricity_hybrid_observed, bfs_eccentricity_serial, BfsConfig,
+    VisitMarks,
+};
 use fdiam_graph::generators::{barabasi_albert, grid2d};
+use fdiam_obs::noop;
 use std::hint::black_box;
 
 fn bench_bfs(c: &mut Criterion) {
@@ -31,6 +35,17 @@ fn bench_bfs(c: &mut Criterion) {
         group.bench_function(format!("{name}/parallel_top_down"), |b| {
             b.iter(|| {
                 black_box(bfs_eccentricity_hybrid(g, 0, &mut marks, &top_down_only).eccentricity)
+            })
+        });
+        // Same kernel through the instrumented entry point with the
+        // no-op observer: regression guard for the "no measurable
+        // overhead when disabled" requirement.
+        let mut marks = VisitMarks::new(g.num_vertices());
+        group.bench_function(format!("{name}/hybrid_observed_noop"), |b| {
+            b.iter(|| {
+                black_box(
+                    bfs_eccentricity_hybrid_observed(g, 0, &mut marks, &cfg, noop()).eccentricity,
+                )
             })
         });
     }

@@ -35,7 +35,9 @@ fn main() {
     println!(
         "Figure 7 — F-Diam geomean throughput vs thread count at scale {scale:?} \
          (host parallelism: {})\n",
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
     );
 
     let graphs: Vec<_> = filtered_suite()

@@ -7,11 +7,13 @@
 //! ```
 
 use fdiam_bench::format::Table;
+use fdiam_bench::record::{RecordWriter, RunRecord};
 use fdiam_bench::suite::{filtered_suite, Scale};
 use fdiam_core::FdiamConfig;
 
 fn main() {
     let scale = Scale::from_env();
+    let scale_name = format!("{scale:?}").to_lowercase();
     println!("Figure 8 — % of F-Diam runtime per stage at scale {scale:?}\n");
     let mut t = Table::new(vec![
         "Graphs",
@@ -22,6 +24,7 @@ fn main() {
         "other",
         "total (s)",
     ]);
+    let mut records = RecordWriter::for_table("fig8", &scale_name);
     for e in filtered_suite() {
         let g = e.build(scale);
         let out = fdiam_core::diameter_with(&g, &FdiamConfig::parallel());
@@ -35,7 +38,30 @@ fn main() {
             format!("{:.1}%", 100.0 * f[4]),
             format!("{:.3}", out.stats.timings.total.as_secs_f64()),
         ]);
+        records.push(RunRecord {
+            table: "fig8",
+            code: "fdiam",
+            graph: e.name.to_string(),
+            paper_name: e.paper_name.to_string(),
+            scale: scale_name.clone(),
+            n: g.num_vertices(),
+            m: g.num_undirected_edges(),
+            runs: 1,
+            median_secs: Some(out.stats.timings.total.as_secs_f64()),
+            diameter: Some(out.result.largest_cc_diameter),
+            stage_fractions: Some(f),
+            counters: vec![
+                ("driver.ecc_computations", out.stats.ecc_computations as u64),
+                ("driver.winnow_calls", out.stats.winnow_calls as u64),
+                ("driver.eliminate_calls", out.stats.eliminate_calls as u64),
+                ("driver.chains_processed", out.stats.chains_processed as u64),
+            ],
+        });
     }
     print!("{}", t.render());
+    match records.flush() {
+        Ok(path) => println!("\nrecords: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write run records: {e}"),
+    }
     println!("\nThe few eccentricity BFS calls dominate the runtime; Winnow is cheap (§6.4).");
 }

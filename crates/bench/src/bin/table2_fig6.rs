@@ -11,10 +11,22 @@
 
 use fdiam_baselines::{graph_diameter, ifub};
 use fdiam_bench::format::{secs, tput, Table};
-use fdiam_bench::runner::{geomean, measure, runs_from_env, throughput, timeout_from_env, Measurement};
+use fdiam_bench::record::{RecordWriter, RunRecord};
+use fdiam_bench::runner::{
+    geomean, measure, runs_from_env, throughput, timeout_from_env, Measurement,
+};
 use fdiam_bench::suite::{filtered_suite, Scale};
 use fdiam_core::FdiamConfig;
 use std::time::Duration;
+
+/// Machine-readable code names matching `CODES` order.
+const CODE_IDS: [&str; 5] = [
+    "fdiam-serial",
+    "fdiam",
+    "ifub",
+    "ifub-parallel",
+    "graph-diameter",
+];
 
 const CODES: [&str; 5] = [
     "F-Diam (ser)",
@@ -33,23 +45,15 @@ fn main() {
     );
 
     let mut time_table = Table::new(vec![
-        "Graphs",
-        CODES[0],
-        CODES[1],
-        CODES[2],
-        CODES[3],
-        CODES[4],
+        "Graphs", CODES[0], CODES[1], CODES[2], CODES[3], CODES[4],
     ]);
     let mut tput_table = Table::new(vec![
-        "Graphs",
-        CODES[0],
-        CODES[1],
-        CODES[2],
-        CODES[3],
-        CODES[4],
+        "Graphs", CODES[0], CODES[1], CODES[2], CODES[3], CODES[4],
     ]);
     // throughput[code][input]
     let mut tputs: [Vec<Option<f64>>; 5] = Default::default();
+    let scale_name = format!("{scale:?}").to_lowercase();
+    let mut records = RecordWriter::for_table("table2_fig6", &scale_name);
 
     for e in filtered_suite() {
         let g = e.build(scale);
@@ -104,12 +108,40 @@ fn main() {
         }
         tput_table.row(tput_row);
         let _ = matches!(fd_par, Measurement::Done { .. });
+
+        let diameters = [
+            fd_ser.result().map(|r| r.largest_cc_diameter),
+            fd_par.result().map(|r| r.largest_cc_diameter),
+            ifub_ser.result().map(|r| r.largest_cc_diameter),
+            ifub_par.result().map(|r| r.largest_cc_diameter),
+            gd.result().map(|r| r.largest_cc_diameter),
+        ];
+        for i in 0..CODE_IDS.len() {
+            records.push(RunRecord {
+                table: "table2_fig6",
+                code: CODE_IDS[i],
+                graph: e.name.to_string(),
+                paper_name: e.paper_name.to_string(),
+                scale: scale_name.clone(),
+                n,
+                m: g.num_undirected_edges(),
+                runs,
+                median_secs: medians[i].map(|d| d.as_secs_f64()),
+                diameter: diameters[i],
+                stage_fractions: None,
+                counters: Vec::new(),
+            });
+        }
     }
 
     println!("Table 2 — median runtimes in seconds (T/O = over budget):\n");
     print!("{}", time_table.render());
     println!("\nFigure 6 — throughput in vertices/second (plot on a log axis):\n");
     print!("{}", tput_table.render());
+    match records.flush() {
+        Ok(path) => println!("\nrecords: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write run records: {e}"),
+    }
 
     // Geometric-mean speedups over commonly-finished inputs (§6.1
     // footnote 2: "speedups are computed based on the geometric-mean
@@ -119,7 +151,11 @@ fn main() {
     let fd_par_t = &tputs[1];
     for (i, code) in CODES.iter().enumerate() {
         let xs: Vec<f64> = tputs[i].iter().flatten().copied().collect();
-        println!("  {code:13}: geomean {:.3e} v/s over {} inputs", geomean(&xs), xs.len());
+        println!(
+            "  {code:13}: geomean {:.3e} v/s over {} inputs",
+            geomean(&xs),
+            xs.len()
+        );
     }
     for (base_name, base) in [(CODES[0], fd_ser_t), (CODES[1], fd_par_t)] {
         for (i, code) in CODES.iter().enumerate().skip(2) {

@@ -11,13 +11,16 @@
 
 use fdiam_baselines::{graph_diameter, ifub};
 use fdiam_bench::format::Table;
+use fdiam_bench::record::{RecordWriter, RunRecord};
 use fdiam_bench::suite::{filtered_suite, Scale};
 use fdiam_core::FdiamConfig;
 
 fn main() {
     let scale = Scale::from_env();
+    let scale_name = format!("{scale:?}").to_lowercase();
     println!("Table 3 — number of BFS traversals at scale {scale:?}\n");
     let mut t = Table::new(vec!["Graphs", "F-Diam", "iFUB", "Graph-Diameter", "n"]);
+    let mut records = RecordWriter::for_table("table3", &scale_name);
     for e in filtered_suite() {
         let g = e.build(scale);
         let fd = fdiam_core::diameter_with(&g, &FdiamConfig::parallel());
@@ -40,7 +43,43 @@ fn main() {
             gd.bfs_calls.to_string(),
             g.num_vertices().to_string(),
         ]);
+        let base = |code: &'static str| RunRecord {
+            table: "table3",
+            code,
+            graph: e.name.to_string(),
+            paper_name: e.paper_name.to_string(),
+            scale: scale_name.clone(),
+            n: g.num_vertices(),
+            m: g.num_undirected_edges(),
+            runs: 0,
+            median_secs: None,
+            diameter: Some(fd.result.largest_cc_diameter),
+            stage_fractions: None,
+            counters: Vec::new(),
+        };
+        records.push(RunRecord {
+            counters: vec![
+                ("bfs.traversals", fd.stats.bfs_traversals() as u64),
+                ("driver.ecc_computations", fd.stats.ecc_computations as u64),
+                ("driver.winnow_calls", fd.stats.winnow_calls as u64),
+                ("driver.eliminate_calls", fd.stats.eliminate_calls as u64),
+                ("driver.chains_processed", fd.stats.chains_processed as u64),
+            ],
+            ..base("fdiam")
+        });
+        records.push(RunRecord {
+            counters: vec![("bfs.traversals", ifub_r.bfs_calls as u64)],
+            ..base("ifub")
+        });
+        records.push(RunRecord {
+            counters: vec![("bfs.traversals", gd.bfs_calls as u64)],
+            ..base("graph-diameter")
+        });
     }
     print!("{}", t.render());
+    match records.flush() {
+        Ok(path) => println!("\nrecords: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write run records: {e}"),
+    }
     println!("\nAll three codes traverse orders of magnitude fewer than n BFS (§6.3).");
 }

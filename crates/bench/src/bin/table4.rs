@@ -7,11 +7,13 @@
 //! ```
 
 use fdiam_bench::format::Table;
+use fdiam_bench::record::{RecordWriter, RunRecord};
 use fdiam_bench::suite::{filtered_suite, Scale};
 use fdiam_core::FdiamConfig;
 
 fn main() {
     let scale = Scale::from_env();
+    let scale_name = format!("{scale:?}").to_lowercase();
     println!("Table 4 — % of vertices removed per stage at scale {scale:?}\n");
     let mut t = Table::new(vec![
         "Graphs",
@@ -21,6 +23,7 @@ fn main() {
         "Degree-0",
         "computed (BFS)",
     ]);
+    let mut records = RecordWriter::for_table("table4", &scale_name);
     for e in filtered_suite() {
         let g = e.build(scale);
         let out = fdiam_core::diameter_with(&g, &FdiamConfig::parallel());
@@ -35,7 +38,31 @@ fn main() {
             format!("{d0:.2}%"),
             format!("{computed:.2}%"),
         ]);
+        records.push(RunRecord {
+            table: "table4",
+            code: "fdiam",
+            graph: e.name.to_string(),
+            paper_name: e.paper_name.to_string(),
+            scale: scale_name.clone(),
+            n,
+            m: g.num_undirected_edges(),
+            runs: 0,
+            median_secs: None,
+            diameter: Some(out.result.largest_cc_diameter),
+            stage_fractions: None,
+            counters: vec![
+                ("removed.winnow", out.stats.removed.winnow as u64),
+                ("removed.eliminate", out.stats.removed.eliminate as u64),
+                ("removed.chain", out.stats.removed.chain as u64),
+                ("removed.degree0", out.stats.removed.degree0 as u64),
+                ("removed.computed", out.stats.removed.computed as u64),
+            ],
+        });
     }
     print!("{}", t.render());
+    match records.flush() {
+        Ok(path) => println!("\nrecords: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write run records: {e}"),
+    }
     println!("\nWinnow is the dominant remover on every input (§6.4).");
 }

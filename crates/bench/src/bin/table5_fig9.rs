@@ -25,9 +25,7 @@ fn main() {
     let scale = Scale::from_env();
     let runs = runs_from_env();
     let budget = timeout_from_env();
-    println!(
-        "Table 5 / Figure 9 — F-Diam ablations at scale {scale:?} (median of {runs})\n"
-    );
+    println!("Table 5 / Figure 9 — F-Diam ablations at scale {scale:?} (median of {runs})\n");
 
     let mut calls_table = Table::new(vec!["Graphs", "F-Diam", "no Winnow", "no Elim.", "no 'u'"]);
     let mut tput_table = Table::new(vec!["Graphs", "F-Diam", "no Winnow", "no Elim.", "no 'u'"]);

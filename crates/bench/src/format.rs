@@ -37,7 +37,7 @@ impl Table {
             for (c, w) in cells.iter().zip(widths) {
                 line.push(' ');
                 line.push_str(c);
-                line.extend(std::iter::repeat(' ').take(w - c.chars().count()));
+                line.extend(std::iter::repeat_n(' ', w - c.chars().count()));
                 line.push_str(" |");
             }
             line
@@ -89,7 +89,9 @@ mod tests {
         let s = t.render();
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);
-        assert!(lines.iter().all(|l| l.chars().count() == lines[0].chars().count()));
+        assert!(lines
+            .iter()
+            .all(|l| l.chars().count() == lines[0].chars().count()));
         assert!(lines[0].contains("graph"));
         assert!(lines[3].contains("long-name"));
     }

@@ -10,6 +10,9 @@
 //! * [`runner`] — median-of-N timing, soft timeouts, throughput
 //!   (vertices/second, the paper's metric), and geometric means.
 //! * [`format`] — plain-text table rendering for the binaries.
+//! * [`record`] — JSONL run records written next to each rendered
+//!   table (`results/<table>_<scale>.jsonl`) for plots and regression
+//!   checks.
 //!
 //! Each experiment has a binary (see `src/bin/`):
 //!
@@ -27,5 +30,6 @@
 //! statistically robust micro form.
 
 pub mod format;
+pub mod record;
 pub mod runner;
 pub mod suite;

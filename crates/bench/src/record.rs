@@ -1,0 +1,203 @@
+//! Machine-readable run records.
+//!
+//! Every table/figure binary renders a human-readable table on stdout
+//! *and* appends one JSONL record per (input, code) cell to
+//! `results/<table>_<scale>.jsonl`, so plots and regression checks can
+//! consume the raw numbers without scraping the rendered text. The
+//! encoding reuses `fdiam-obs`'s dependency-free JSON builder — records
+//! interleave cleanly with `--trace` event streams in downstream
+//! tooling.
+
+use fdiam_obs::json::JsonObject;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// One measured cell of a paper table or figure.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// Which experiment produced this record (`"table3"`, `"fig8"`, …).
+    pub table: &'static str,
+    /// Which code was measured (`"fdiam"`, `"ifub"`, …).
+    pub code: &'static str,
+    /// Suite entry name (synthetic analogue).
+    pub graph: String,
+    /// The paper input this entry stands in for.
+    pub paper_name: String,
+    /// `small` or `large`.
+    pub scale: String,
+    pub n: usize,
+    pub m: usize,
+    /// Repetitions behind `median_secs` (0 when untimed).
+    pub runs: usize,
+    /// Median wall-clock seconds; `None` = timed out (paper's "T/O").
+    pub median_secs: Option<f64>,
+    /// Largest-connected-component diameter, when the code finished.
+    pub diameter: Option<u32>,
+    /// Figure-8 stage fractions `[ecc_bfs, winnow, chain, eliminate,
+    /// other]`, when the experiment collects timings.
+    pub stage_fractions: Option<[f64; 5]>,
+    /// Observer counters (Table 3 traversal counts etc.), name → value.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+impl RunRecord {
+    /// Encodes the record as a single JSON line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut o = JsonObject::new()
+            .str("table", self.table)
+            .str("code", self.code)
+            .str("graph", &self.graph)
+            .str("paper_name", &self.paper_name)
+            .str("scale", &self.scale)
+            .usize("n", self.n)
+            .usize("m", self.m)
+            .usize("runs", self.runs);
+        // `median_secs: None` means "timed out" for timed experiments
+        // (runs > 0) and simply "untimed" for counting experiments.
+        o = match self.median_secs {
+            Some(s) => o.f64("median_secs", s),
+            None if self.runs > 0 => o.raw("median_secs", "null").bool("timed_out", true),
+            None => o.raw("median_secs", "null"),
+        };
+        if let Some(d) = self.diameter {
+            o = o.u64("diameter", d as u64);
+        }
+        if let Some(f) = self.stage_fractions {
+            let arr = format!(
+                "[{:.6},{:.6},{:.6},{:.6},{:.6}]",
+                f[0], f[1], f[2], f[3], f[4]
+            );
+            o = o.raw("stage_fractions", &arr);
+        }
+        if !self.counters.is_empty() {
+            let mut c = JsonObject::new();
+            for (name, value) in &self.counters {
+                c = c.u64(name, *value);
+            }
+            o = o.raw("counters", &c.finish());
+        }
+        o.finish()
+    }
+}
+
+/// Accumulates records and writes them to `results/<table>_<scale>.jsonl`.
+pub struct RecordWriter {
+    path: PathBuf,
+    records: Vec<RunRecord>,
+}
+
+impl RecordWriter {
+    /// A writer targeting `<dir>/<table>_<scale>.jsonl`.
+    pub fn new(dir: impl AsRef<Path>, table: &str, scale: &str) -> Self {
+        Self {
+            path: dir.as_ref().join(format!("{table}_{scale}.jsonl")),
+            records: Vec::new(),
+        }
+    }
+
+    /// The conventional output directory, `results/` under the CWD.
+    pub fn for_table(table: &str, scale: &str) -> Self {
+        Self::new("results", table, scale)
+    }
+
+    pub fn push(&mut self, r: RunRecord) {
+        self.records.push(r);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Writes all records (one JSON object per line), creating the
+    /// directory if needed. Returns the output path.
+    pub fn flush(&self) -> std::io::Result<PathBuf> {
+        if let Some(dir) = self.path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&self.path)?);
+        for r in &self.records {
+            writeln!(f, "{}", r.to_jsonl())?;
+        }
+        f.flush()?;
+        Ok(self.path.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdiam_obs::json::parse;
+
+    fn sample() -> RunRecord {
+        RunRecord {
+            table: "table3",
+            code: "fdiam",
+            graph: "grid-small".into(),
+            paper_name: "USA-road".into(),
+            scale: "small".into(),
+            n: 100,
+            m: 180,
+            runs: 3,
+            median_secs: Some(0.125),
+            diameter: Some(18),
+            stage_fractions: Some([0.7, 0.1, 0.05, 0.05, 0.1]),
+            counters: vec![("bfs.traversals", 12), ("driver.winnow_calls", 2)],
+        }
+    }
+
+    #[test]
+    fn record_roundtrips_through_json() {
+        let line = sample().to_jsonl();
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("table").unwrap().as_str().unwrap(), "table3");
+        assert_eq!(v.get("graph").unwrap().as_str().unwrap(), "grid-small");
+        assert_eq!(v.get("n").unwrap().as_u64().unwrap(), 100);
+        assert_eq!(v.get("diameter").unwrap().as_u64().unwrap(), 18);
+        assert!((v.get("median_secs").unwrap().as_f64().unwrap() - 0.125).abs() < 1e-12);
+        let counters = v.get("counters").unwrap();
+        assert_eq!(
+            counters.get("bfs.traversals").unwrap().as_u64().unwrap(),
+            12
+        );
+    }
+
+    #[test]
+    fn timeout_encodes_null_median() {
+        let mut r = sample();
+        r.median_secs = None;
+        r.diameter = None;
+        let line = r.to_jsonl();
+        let v = parse(&line).unwrap();
+        assert!(v.get("median_secs").unwrap().as_f64().is_none());
+        assert_eq!(v.get("timed_out").unwrap().as_bool(), Some(true));
+        assert!(v.get("diameter").is_none());
+    }
+
+    #[test]
+    fn untimed_record_is_not_a_timeout() {
+        let mut r = sample();
+        r.runs = 0;
+        r.median_secs = None;
+        let v = parse(&r.to_jsonl()).unwrap();
+        assert!(v.get("median_secs").unwrap().as_f64().is_none());
+        assert!(v.get("timed_out").is_none(), "untimed ≠ timed out");
+    }
+
+    #[test]
+    fn writer_emits_one_line_per_record() {
+        let dir = std::env::temp_dir().join("fdiam_record_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut w = RecordWriter::new(&dir, "table3", "small");
+        assert!(w.is_empty());
+        w.push(sample());
+        w.push(sample());
+        let path = w.flush().unwrap();
+        assert!(path.ends_with("table3_small.jsonl"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body.lines().count(), 2);
+        for line in body.lines() {
+            assert!(parse(line).is_ok(), "{line}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -6,25 +6,67 @@
 use std::time::{Duration, Instant};
 
 /// Number of repetitions per measurement (`FDIAM_RUNS`, default 3; the
-/// paper uses 9).
+/// paper uses 9). An unparsable or non-positive value warns on stderr
+/// and falls back to the default instead of being silently ignored.
 pub fn runs_from_env() -> usize {
-    std::env::var("FDIAM_RUNS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&r| r > 0)
-        .unwrap_or(3)
+    let (runs, warning) = parse_runs(std::env::var("FDIAM_RUNS").ok().as_deref());
+    if let Some(w) = warning {
+        eprintln!("warning: {w}");
+    }
+    runs
+}
+
+fn parse_runs(raw: Option<&str>) -> (usize, Option<String>) {
+    const DEFAULT: usize = 3;
+    match raw {
+        None => (DEFAULT, None),
+        Some(s) => match s.trim().parse::<usize>() {
+            Ok(r) if r > 0 => (r, None),
+            Ok(_) => (
+                DEFAULT,
+                Some(format!(
+                    "FDIAM_RUNS must be positive, got '{s}'; using default {DEFAULT}"
+                )),
+            ),
+            Err(_) => (
+                DEFAULT,
+                Some(format!(
+                    "FDIAM_RUNS is not a valid run count: '{s}'; using default {DEFAULT}"
+                )),
+            ),
+        },
+    }
 }
 
 /// Per-measurement wall-clock budget (`FDIAM_TIMEOUT_SECS`, default
 /// 120 s; the paper's budget is 2.5 h). The budget is *soft*: it is
 /// checked between runs, and a first run longer than the budget marks
-/// the measurement as timed out.
+/// the measurement as timed out. An unparsable value warns on stderr
+/// and falls back to the default instead of being silently ignored.
 pub fn timeout_from_env() -> Duration {
-    let secs = std::env::var("FDIAM_TIMEOUT_SECS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(120u64);
-    Duration::from_secs(secs)
+    let (budget, warning) = parse_timeout(std::env::var("FDIAM_TIMEOUT_SECS").ok().as_deref());
+    if let Some(w) = warning {
+        eprintln!("warning: {w}");
+    }
+    budget
+}
+
+fn parse_timeout(raw: Option<&str>) -> (Duration, Option<String>) {
+    const DEFAULT_SECS: u64 = 120;
+    let fallback = Duration::from_secs(DEFAULT_SECS);
+    match raw {
+        None => (fallback, None),
+        Some(s) => match s.trim().parse::<u64>() {
+            Ok(secs) => (Duration::from_secs(secs), None),
+            Err(_) => (
+                fallback,
+                Some(format!(
+                    "FDIAM_TIMEOUT_SECS is not a valid number of seconds: '{s}'; \
+                     using default {DEFAULT_SECS}"
+                )),
+            ),
+        },
+    }
 }
 
 /// A timed measurement: the median runtime and the last result, or a
@@ -155,5 +197,50 @@ mod tests {
     fn env_defaults() {
         assert!(runs_from_env() >= 1);
         assert!(timeout_from_env() >= Duration::from_secs(1));
+    }
+
+    #[test]
+    fn parse_runs_accepts_valid_and_absent() {
+        assert_eq!(parse_runs(None), (3, None));
+        assert_eq!(parse_runs(Some("9")), (9, None));
+        assert_eq!(parse_runs(Some(" 5 ")), (5, None));
+    }
+
+    #[test]
+    fn parse_runs_warns_on_garbage() {
+        for bad in ["zero", "3.5", "-1", ""] {
+            let (runs, warning) = parse_runs(Some(bad));
+            assert_eq!(runs, 3, "fallback for {bad:?}");
+            assert!(
+                warning.unwrap().contains("FDIAM_RUNS"),
+                "warning for {bad:?}"
+            );
+        }
+        let (runs, warning) = parse_runs(Some("0"));
+        assert_eq!(runs, 3);
+        assert!(warning.unwrap().contains("positive"));
+    }
+
+    #[test]
+    fn parse_timeout_accepts_valid_and_absent() {
+        assert_eq!(parse_timeout(None), (Duration::from_secs(120), None));
+        assert_eq!(
+            parse_timeout(Some("9000")),
+            (Duration::from_secs(9000), None)
+        );
+        // 0 is a legal (if punishing) soft budget
+        assert_eq!(parse_timeout(Some("0")), (Duration::ZERO, None));
+    }
+
+    #[test]
+    fn parse_timeout_warns_on_garbage() {
+        for bad in ["two-hours", "1.5", "-3", ""] {
+            let (budget, warning) = parse_timeout(Some(bad));
+            assert_eq!(budget, Duration::from_secs(120), "fallback for {bad:?}");
+            assert!(
+                warning.unwrap().contains("FDIAM_TIMEOUT_SECS"),
+                "warning for {bad:?}"
+            );
+        }
     }
 }

@@ -71,7 +71,6 @@ pub fn filtered_suite() -> Vec<SuiteEntry> {
     }
 }
 
-
 /// Power-law analogue: a preferential-attachment core plus peripheral
 /// whiskers (0.5 % of n, max length tuned per input) — real co-purchase
 /// / citation / web graphs owe their Table 1 diameters (20–45) to such
@@ -81,7 +80,12 @@ fn whiskered_ba(n: usize, m: usize, max_whisker: usize, seed: u64) -> CsrGraph {
     let core = barabasi_albert(n, m, seed);
     // diamond tendrils of depth ⌈L/2⌉ add ≈ L hops each (see
     // `attach_tendrils`); 0.5 % of n tendrils, mostly pendant stubs
-    attach_tendrils(&core, (n / 200).max(2), max_whisker.div_ceil(2), seed ^ 0x57)
+    attach_tendrils(
+        &core,
+        (n / 200).max(2),
+        max_whisker.div_ceil(2),
+        seed ^ 0x57,
+    )
 }
 
 /// Seed base so every entry is deterministic yet distinct.

@@ -81,6 +81,51 @@ pub fn expand_bottom_up(g: &CsrGraph, marks: &VisitMarks, epoch: u64) -> Vec<Ver
     next
 }
 
+/// Edges a top-down expansion of `frontier` will scan: the sum of the
+/// frontier's out-degrees (top-down examines every incident edge).
+pub fn frontier_edge_count(g: &CsrGraph, frontier: &[VertexId]) -> u64 {
+    frontier.iter().map(|&v| g.neighbors(v).len() as u64).sum()
+}
+
+/// [`expand_bottom_up`] that also reports how many edges it examined.
+/// Each unvisited vertex scans neighbors only until its first visited
+/// hit, so the count captures the early-exit saving that motivates the
+/// bottom-up direction (Beamer et al.).
+pub fn expand_bottom_up_counted(
+    g: &CsrGraph,
+    marks: &VisitMarks,
+    epoch: u64,
+) -> (Vec<VertexId>, u64) {
+    let n = g.num_vertices() as VertexId;
+    let (next, edges) = (0..n)
+        .into_par_iter()
+        .fold(
+            || (Vec::new(), 0u64),
+            |(mut acc, mut edges), v| {
+                if !marks.is_visited(v, epoch) {
+                    for (i, &w) in g.neighbors(v).iter().enumerate() {
+                        if marks.is_visited(w, epoch) {
+                            edges += i as u64 + 1;
+                            acc.push(v);
+                            return (acc, edges);
+                        }
+                    }
+                    edges += g.neighbors(v).len() as u64;
+                }
+                (acc, edges)
+            },
+        )
+        .reduce(
+            || (Vec::new(), 0u64),
+            |(mut a, ea), (mut b, eb)| {
+                a.append(&mut b);
+                (a, ea + eb)
+            },
+        );
+    next.par_iter().for_each(|&v| marks.mark(v, epoch));
+    (next, edges)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +161,34 @@ mod tests {
         let bu = expand_bottom_up(&g, &m, e);
         assert_eq!(bu, vec![2]);
         assert!(m.is_visited(2, e), "bottom-up must mark its finds");
+    }
+
+    #[test]
+    fn counted_bottom_up_matches_uncounted() {
+        let g = path(6);
+        let mut m1 = VisitMarks::new(6);
+        let mut m2 = VisitMarks::new(6);
+        let e1 = m1.next_epoch();
+        let e2 = m2.next_epoch();
+        for v in [0, 1] {
+            m1.mark(v, e1);
+            m2.mark(v, e2);
+        }
+        let plain = expand_bottom_up(&g, &m1, e1);
+        let (counted, edges) = expand_bottom_up_counted(&g, &m2, e2);
+        assert_eq!(plain, counted);
+        // Unvisited 2..=5 each scan until first visited hit or
+        // exhaustion: vertex 2 hits neighbor 1 immediately (1 edge);
+        // 3, 4 scan both neighbors; 5 scans its single neighbor.
+        assert_eq!(edges, 1 + 2 + 2 + 1);
+    }
+
+    #[test]
+    fn frontier_edge_count_sums_degrees() {
+        let g = star(5); // center 0 has degree 4, leaves degree 1
+        assert_eq!(frontier_edge_count(&g, &[0]), 4);
+        assert_eq!(frontier_edge_count(&g, &[1, 2, 3]), 3);
+        assert_eq!(frontier_edge_count(&g, &[]), 0);
     }
 
     #[test]

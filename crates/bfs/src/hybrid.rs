@@ -8,10 +8,13 @@
 //! again — "in line with the latest direction-optimized BFS
 //! implementations".
 
-use crate::frontier::{expand_bottom_up, expand_top_down_parallel};
+use crate::frontier::{
+    expand_bottom_up, expand_bottom_up_counted, expand_top_down_parallel, frontier_edge_count,
+};
 use crate::visited::VisitMarks;
 use crate::BfsResult;
 use fdiam_graph::{CsrGraph, VertexId};
+use fdiam_obs::{noop, Event, Observer};
 
 /// Tuning knobs for the hybrid BFS.
 #[derive(Clone, Copy, Debug)]
@@ -46,22 +49,85 @@ pub fn bfs_eccentricity_hybrid(
     marks: &mut VisitMarks,
     config: &BfsConfig,
 ) -> BfsResult {
+    bfs_eccentricity_hybrid_observed(g, source, marks, config, noop())
+}
+
+/// [`bfs_eccentricity_hybrid`] emitting telemetry to `obs`: lifecycle
+/// ([`Event::BfsStart`]/[`Event::BfsEnd`]), epoch rollovers, and — only
+/// when [`Observer::wants_bfs_detail`] — per-level frontier sizes,
+/// edge-scan counts and direction switches. With the no-op observer the
+/// uninstrumented expansion paths run and no events are constructed.
+pub fn bfs_eccentricity_hybrid_observed(
+    g: &CsrGraph,
+    source: VertexId,
+    marks: &mut VisitMarks,
+    config: &BfsConfig,
+    obs: &dyn Observer,
+) -> BfsResult {
+    let rollovers_before = marks.rollovers();
     let epoch = marks.next_epoch();
+    let enabled = obs.enabled();
+    if enabled {
+        if marks.rollovers() != rollovers_before {
+            obs.event(&Event::EpochRollover {
+                rollovers: marks.rollovers(),
+            });
+        }
+        obs.event(&Event::BfsStart { source });
+    }
+    let detail = obs.wants_bfs_detail();
     marks.mark(source, epoch);
     let threshold = ((g.num_vertices() as f64) * config.alpha) as usize;
     let mut frontier = vec![source];
     let mut visited = 1usize;
     let mut level = 0u32;
+    let mut was_bottom_up = false;
     loop {
         let bottom_up = config.direction_optimized && frontier.len() > threshold;
-        let next = if bottom_up {
-            expand_bottom_up(g, marks, epoch)
-        } else if frontier.len() < config.serial_cutoff {
-            crate::frontier::expand_top_down_serial(g, &frontier, marks, epoch)
+        if detail && bottom_up != was_bottom_up {
+            obs.event(&Event::DirectionSwitch {
+                level: level + 1,
+                bottom_up,
+            });
+        }
+        was_bottom_up = bottom_up;
+        let (next, edges_scanned) = if bottom_up {
+            if detail {
+                expand_bottom_up_counted(g, marks, epoch)
+            } else {
+                (expand_bottom_up(g, marks, epoch), 0)
+            }
         } else {
-            expand_top_down_parallel(g, &frontier, marks, epoch)
+            // Top-down scans exactly the frontier's incident edges, so
+            // the count is free — no counted expansion variant needed.
+            let edges = if detail {
+                frontier_edge_count(g, &frontier)
+            } else {
+                0
+            };
+            let next = if frontier.len() < config.serial_cutoff {
+                crate::frontier::expand_top_down_serial(g, &frontier, marks, epoch)
+            } else {
+                expand_top_down_parallel(g, &frontier, marks, epoch)
+            };
+            (next, edges)
         };
+        if detail {
+            obs.event(&Event::BfsLevel {
+                level: level + 1,
+                frontier: next.len(),
+                edges_scanned,
+                bottom_up,
+            });
+        }
         if next.is_empty() {
+            if enabled {
+                obs.event(&Event::BfsEnd {
+                    source,
+                    eccentricity: level,
+                    visited,
+                });
+            }
             return BfsResult {
                 eccentricity: level,
                 visited,
@@ -161,5 +227,96 @@ mod tests {
         assert_eq!(r.eccentricity, 0);
         assert_eq!(r.visited, 1);
         assert_eq!(r.last_frontier, vec![1]);
+    }
+
+    use std::sync::Mutex;
+
+    struct Recorder(Mutex<Vec<String>>);
+
+    impl Recorder {
+        fn new() -> Self {
+            Recorder(Mutex::new(Vec::new()))
+        }
+        fn names(&self) -> Vec<String> {
+            self.0.lock().unwrap().clone()
+        }
+    }
+
+    impl Observer for Recorder {
+        fn event(&self, e: &Event<'_>) {
+            let tag = match *e {
+                Event::BfsLevel {
+                    level,
+                    frontier,
+                    edges_scanned,
+                    bottom_up,
+                } => format!("level {level} f={frontier} e={edges_scanned} bu={bottom_up}"),
+                Event::DirectionSwitch { level, bottom_up } => {
+                    format!("switch {level} bu={bottom_up}")
+                }
+                _ => e.name().to_string(),
+            };
+            self.0.lock().unwrap().push(tag);
+        }
+    }
+
+    #[test]
+    fn observed_emits_lifecycle_and_levels() {
+        let g = path(4); // 0-1-2-3
+        let mut m = VisitMarks::new(4);
+        let r = Recorder::new();
+        // Pure top-down so the per-level edge counts are the frontier
+        // degree sums (on 4 vertices the 10 % threshold is 0 and the
+        // default config would go bottom-up immediately).
+        let cfg = BfsConfig {
+            direction_optimized: false,
+            ..BfsConfig::default()
+        };
+        let res = bfs_eccentricity_hybrid_observed(&g, 0, &mut m, &cfg, &r);
+        assert_eq!(res.eccentricity, 3);
+        assert_eq!(
+            r.names(),
+            vec![
+                "bfs_start",
+                "level 1 f=1 e=1 bu=false", // {0} scans 1 edge → {1}
+                "level 2 f=1 e=2 bu=false", // {1} scans 2 edges → {2}
+                "level 3 f=1 e=2 bu=false",
+                "level 4 f=0 e=1 bu=false", // final empty expansion
+                "bfs_end",
+            ]
+        );
+    }
+
+    #[test]
+    fn observed_reports_direction_switch_on_star() {
+        // From the center of star(200): level 1 is all 199 leaves,
+        // far above the 10 % threshold, so the final (empty) expansion
+        // runs bottom-up — one direction switch.
+        let g = star(200);
+        let mut m = VisitMarks::new(200);
+        let r = Recorder::new();
+        let res = bfs_eccentricity_hybrid_observed(&g, 0, &mut m, &BfsConfig::default(), &r);
+        assert_eq!(res.eccentricity, 1);
+        let names = r.names();
+        assert!(
+            names
+                .iter()
+                .any(|n| n.starts_with("switch ") && n.ends_with("bu=true")),
+            "expected a bottom-up switch, got {names:?}"
+        );
+    }
+
+    #[test]
+    fn observed_with_noop_matches_unobserved() {
+        let g = barabasi_albert(150, 3, 2);
+        let mut m1 = VisitMarks::new(150);
+        let mut m2 = VisitMarks::new(150);
+        let cfg = BfsConfig::default();
+        for v in g.vertices() {
+            let a = bfs_eccentricity_hybrid(&g, v, &mut m1, &cfg);
+            let b = bfs_eccentricity_hybrid_observed(&g, v, &mut m2, &cfg, fdiam_obs::noop());
+            assert_eq!(a.eccentricity, b.eccentricity);
+            assert_eq!(a.visited, b.visited);
+        }
     }
 }

@@ -28,9 +28,9 @@ pub mod serial;
 pub mod serial_hybrid;
 pub mod visited;
 
-pub use hybrid::{bfs_eccentricity_hybrid, BfsConfig};
+pub use hybrid::{bfs_eccentricity_hybrid, bfs_eccentricity_hybrid_observed, BfsConfig};
 pub use serial::bfs_eccentricity_serial;
-pub use serial_hybrid::bfs_eccentricity_serial_hybrid;
+pub use serial_hybrid::{bfs_eccentricity_serial_hybrid, bfs_eccentricity_serial_hybrid_observed};
 pub use visited::VisitMarks;
 
 use fdiam_graph::VertexId;

@@ -9,7 +9,11 @@ use fdiam_graph::{CsrGraph, VertexId};
 /// Level-synchronous sequential BFS from `source`; returns the
 /// eccentricity (within the source's component), the visit count, and
 /// the last non-empty frontier.
-pub fn bfs_eccentricity_serial(g: &CsrGraph, source: VertexId, marks: &mut VisitMarks) -> BfsResult {
+pub fn bfs_eccentricity_serial(
+    g: &CsrGraph,
+    source: VertexId,
+    marks: &mut VisitMarks,
+) -> BfsResult {
     let epoch = marks.next_epoch();
     marks.mark(source, epoch);
     let mut frontier = vec![source];

@@ -7,10 +7,12 @@
 //! [`crate::hybrid::bfs_eccentricity_hybrid`]: identical switching
 //! logic, no atomics, no thread pool.
 
+use crate::frontier::frontier_edge_count;
 use crate::hybrid::BfsConfig;
 use crate::visited::VisitMarks;
 use crate::BfsResult;
 use fdiam_graph::{CsrGraph, VertexId};
+use fdiam_obs::{noop, Event, Observer};
 
 /// Serial BFS with the same 10 %-threshold direction switching as the
 /// parallel hybrid.
@@ -20,19 +22,79 @@ pub fn bfs_eccentricity_serial_hybrid(
     marks: &mut VisitMarks,
     config: &BfsConfig,
 ) -> BfsResult {
+    bfs_eccentricity_serial_hybrid_observed(g, source, marks, config, noop())
+}
+
+/// [`bfs_eccentricity_serial_hybrid`] emitting telemetry to `obs` —
+/// the serial analogue of
+/// [`crate::hybrid::bfs_eccentricity_hybrid_observed`].
+pub fn bfs_eccentricity_serial_hybrid_observed(
+    g: &CsrGraph,
+    source: VertexId,
+    marks: &mut VisitMarks,
+    config: &BfsConfig,
+    obs: &dyn Observer,
+) -> BfsResult {
+    let rollovers_before = marks.rollovers();
     let epoch = marks.next_epoch();
+    let enabled = obs.enabled();
+    if enabled {
+        if marks.rollovers() != rollovers_before {
+            obs.event(&Event::EpochRollover {
+                rollovers: marks.rollovers(),
+            });
+        }
+        obs.event(&Event::BfsStart { source });
+    }
+    let detail = obs.wants_bfs_detail();
     marks.mark(source, epoch);
     let threshold = ((g.num_vertices() as f64) * config.alpha) as usize;
     let mut frontier = vec![source];
     let mut visited = 1usize;
     let mut level = 0u32;
+    let mut was_bottom_up = false;
     loop {
-        let next = if config.direction_optimized && frontier.len() > threshold {
-            bottom_up_serial(g, marks, epoch)
+        let bottom_up = config.direction_optimized && frontier.len() > threshold;
+        if detail && bottom_up != was_bottom_up {
+            obs.event(&Event::DirectionSwitch {
+                level: level + 1,
+                bottom_up,
+            });
+        }
+        was_bottom_up = bottom_up;
+        let (next, edges_scanned) = if bottom_up {
+            if detail {
+                bottom_up_serial_counted(g, marks, epoch)
+            } else {
+                (bottom_up_serial(g, marks, epoch), 0)
+            }
         } else {
-            crate::frontier::expand_top_down_serial(g, &frontier, marks, epoch)
+            let edges = if detail {
+                frontier_edge_count(g, &frontier)
+            } else {
+                0
+            };
+            (
+                crate::frontier::expand_top_down_serial(g, &frontier, marks, epoch),
+                edges,
+            )
         };
+        if detail {
+            obs.event(&Event::BfsLevel {
+                level: level + 1,
+                frontier: next.len(),
+                edges_scanned,
+                bottom_up,
+            });
+        }
         if next.is_empty() {
+            if enabled {
+                obs.event(&Event::BfsEnd {
+                    source,
+                    eccentricity: level,
+                    visited,
+                });
+            }
             return BfsResult {
                 eccentricity: level,
                 visited,
@@ -52,8 +114,7 @@ fn bottom_up_serial(g: &CsrGraph, marks: &VisitMarks, epoch: u64) -> Vec<VertexI
     let n = g.num_vertices() as VertexId;
     let mut next = Vec::new();
     for v in 0..n {
-        if !marks.is_visited(v, epoch)
-            && g.neighbors(v).iter().any(|&w| marks.is_visited(w, epoch))
+        if !marks.is_visited(v, epoch) && g.neighbors(v).iter().any(|&w| marks.is_visited(w, epoch))
         {
             next.push(v);
         }
@@ -62,6 +123,34 @@ fn bottom_up_serial(g: &CsrGraph, marks: &VisitMarks, epoch: u64) -> Vec<VertexI
         marks.mark(v, epoch);
     }
     next
+}
+
+/// [`bottom_up_serial`] that also counts the edges examined (neighbors
+/// scanned until the first visited hit).
+fn bottom_up_serial_counted(g: &CsrGraph, marks: &VisitMarks, epoch: u64) -> (Vec<VertexId>, u64) {
+    let n = g.num_vertices() as VertexId;
+    let mut next = Vec::new();
+    let mut edges = 0u64;
+    for v in 0..n {
+        if marks.is_visited(v, epoch) {
+            continue;
+        }
+        let mut hit = false;
+        for &w in g.neighbors(v) {
+            edges += 1;
+            if marks.is_visited(w, epoch) {
+                hit = true;
+                break;
+            }
+        }
+        if hit {
+            next.push(v);
+        }
+    }
+    for &v in &next {
+        marks.mark(v, epoch);
+    }
+    (next, edges)
 }
 
 #[cfg(test)]
@@ -111,5 +200,43 @@ mod tests {
             let b = bfs_eccentricity_serial_hybrid(&g, v, &mut m2, &cfg);
             assert_eq!(a.eccentricity, b.eccentricity);
         }
+    }
+
+    #[test]
+    fn observed_matches_and_emits_detail() {
+        use fdiam_obs::{Event, Observer};
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct Counts {
+            levels: Mutex<u64>,
+            switches: Mutex<u64>,
+            ends: Mutex<u64>,
+        }
+        impl Observer for Counts {
+            fn event(&self, e: &Event<'_>) {
+                match e {
+                    Event::BfsLevel { .. } => *self.levels.lock().unwrap() += 1,
+                    Event::DirectionSwitch { .. } => *self.switches.lock().unwrap() += 1,
+                    Event::BfsEnd { .. } => *self.ends.lock().unwrap() += 1,
+                    _ => {}
+                }
+            }
+        }
+
+        let g = star(100);
+        let cfg = BfsConfig::default();
+        let mut m1 = VisitMarks::new(100);
+        let mut m2 = VisitMarks::new(100);
+        let c = Counts::default();
+        let a = bfs_eccentricity_serial_hybrid(&g, 0, &mut m1, &cfg);
+        let b = bfs_eccentricity_serial_hybrid_observed(&g, 0, &mut m2, &cfg, &c);
+        assert_eq!(a.eccentricity, b.eccentricity);
+        assert_eq!(a.visited, b.visited);
+        // From the center: level 1 (99 leaves, top-down) then the
+        // empty final expansion runs bottom-up → 2 levels, 1 switch.
+        assert_eq!(*c.levels.lock().unwrap(), 2);
+        assert_eq!(*c.switches.lock().unwrap(), 1);
+        assert_eq!(*c.ends.lock().unwrap(), 1);
     }
 }

@@ -16,6 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct VisitMarks {
     marks: Vec<AtomicU64>,
     epoch: u64,
+    rollovers: u64,
 }
 
 impl VisitMarks {
@@ -26,6 +27,7 @@ impl VisitMarks {
         Self {
             marks: (0..n).map(|_| AtomicU64::new(0)).collect(),
             epoch: 0,
+            rollovers: 0,
         }
     }
 
@@ -42,7 +44,20 @@ impl VisitMarks {
     /// Starts a new traversal: bumps and returns the fresh epoch.
     /// Requires `&mut self`, so a traversal has exclusive use of the
     /// epoch it was handed.
+    ///
+    /// If the epoch counter would wrap, every mark is reset to 0 first
+    /// and counting restarts at 1 — the one O(n) reset the epoch scheme
+    /// amortizes away (after 2⁶⁴−1 traversals). Wraps are counted and
+    /// reported via [`Self::rollovers`] so instrumentation can surface
+    /// them.
     pub fn next_epoch(&mut self) -> u64 {
+        if self.epoch == u64::MAX {
+            for m in &mut self.marks {
+                *m.get_mut() = 0;
+            }
+            self.epoch = 0;
+            self.rollovers += 1;
+        }
         self.epoch += 1;
         self.epoch
     }
@@ -50,6 +65,12 @@ impl VisitMarks {
     /// The epoch most recently handed out.
     pub fn current_epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Number of times the epoch counter wrapped (each wrap performs
+    /// the O(n) mark reset that epochs normally avoid).
+    pub fn rollovers(&self) -> u64 {
+        self.rollovers
     }
 
     /// Atomically claims `v` for `epoch`. Returns `true` iff this call
@@ -118,5 +139,23 @@ mod tests {
     fn len_and_empty() {
         assert_eq!(VisitMarks::new(7).len(), 7);
         assert!(VisitMarks::new(0).is_empty());
+    }
+
+    #[test]
+    fn epoch_rollover_resets_marks() {
+        let mut m = VisitMarks::new(3);
+        let e = m.next_epoch();
+        m.mark(1, e);
+        assert_eq!(m.rollovers(), 0);
+
+        m.epoch = u64::MAX; // simulate 2⁶⁴−1 traversals
+        m.mark(2, u64::MAX);
+        let e2 = m.next_epoch();
+        assert_eq!(e2, 1, "counting restarts after the wrap");
+        assert_eq!(m.rollovers(), 1);
+        for v in 0..3 {
+            assert!(!m.is_visited(v, e2), "wrap must reset all marks");
+        }
+        assert!(m.try_claim(2, e2), "vertex marked pre-wrap is claimable");
     }
 }

@@ -18,7 +18,10 @@ fn arb_graph_and_source() -> impl Strategy<Value = (fdiam_graph::CsrGraph, u32)>
             0..n as u32,
         )
             .prop_map(move |(edges, src)| {
-                (EdgeList::from_undirected(n, &edges).to_undirected_csr(), src)
+                (
+                    EdgeList::from_undirected(n, &edges).to_undirected_csr(),
+                    src,
+                )
             })
     })
 }

@@ -16,7 +16,9 @@
 
 use fdiam_graph::io::{binfmt, dimacs, edgelist, mtx};
 use fdiam_graph::CsrGraph;
+use fdiam_obs::{Fanout, JsonlTraceSink, MetricsObserver, MetricsRegistry, Observer, ProgressSink};
 use std::path::Path;
+use std::sync::Arc;
 
 /// A parsed command line.
 #[derive(Debug, PartialEq)]
@@ -26,6 +28,12 @@ pub enum Command {
         algorithm: Algorithm,
         stats: bool,
         threads: Option<usize>,
+        /// Rate-limited progress lines on stderr.
+        progress: bool,
+        /// Write a JSONL event trace to this path.
+        trace: Option<String>,
+        /// Print aggregated observer counters after the run.
+        metrics: bool,
     },
     Ecc {
         input: String,
@@ -77,7 +85,8 @@ pub const USAGE: &str = "\
 fdiam — fast exact graph diameter (F-Diam, ICPP'25 reproduction)
 
 USAGE:
-  fdiam diameter [--algorithm NAME] [--serial] [--stats] [--threads N] INPUT
+  fdiam diameter [--algorithm NAME] [--serial] [--stats] [--threads N]
+                 [--progress] [--trace FILE] [--metrics] INPUT
   fdiam ecc INPUT                    radius / center / periphery
   fdiam info INPUT                   graph summary (n, m, degrees, components)
   fdiam convert INPUT OUTPUT         convert between formats
@@ -85,6 +94,10 @@ USAGE:
   fdiam help
 
 ALGORITHMS: fdiam (default), fdiam-serial, ifub, graph-diameter, sumsweep, naive
+OBSERVABILITY (fdiam / fdiam-serial only):
+  --progress      rate-limited progress lines on stderr
+  --trace FILE    structured JSONL event trace (see DESIGN.md §7)
+  --metrics       aggregated counters and phase timings after the run
 FORMATS (by extension): .txt/.el edge list | .gr DIMACS-9 | .mtx MatrixMarket | .fdia binary
 GENERATE SPECS:
   grid:ROWSxCOLS           e.g. grid:512x512
@@ -107,6 +120,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut stats = false;
             let mut threads = None;
             let mut input = None;
+            let mut progress = false;
+            let mut trace = None;
+            let mut metrics = false;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--algorithm" | "-a" => {
@@ -119,17 +135,38 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         let v = it.next().ok_or("--threads needs a value")?;
                         threads = Some(v.parse().map_err(|e| format!("bad thread count: {e}"))?);
                     }
+                    "--progress" => progress = true,
+                    "--metrics" => metrics = true,
+                    "--trace" => {
+                        let v = it.next().ok_or("--trace needs a file path")?;
+                        if v.starts_with('-') {
+                            return Err(format!("--trace needs a file path, got '{v}'"));
+                        }
+                        trace = Some(v.to_string());
+                    }
                     other if !other.starts_with('-') && input.is_none() => {
                         input = Some(other.to_string())
                     }
                     other => return Err(format!("unexpected argument '{other}'")),
                 }
             }
+            if (progress || trace.is_some() || metrics)
+                && !matches!(algorithm, Algorithm::FdiamParallel | Algorithm::FdiamSerial)
+            {
+                return Err(
+                    "--progress/--trace/--metrics are only instrumented for the fdiam and \
+                     fdiam-serial algorithms"
+                        .into(),
+                );
+            }
             Ok(Command::Diameter {
                 input: input.ok_or("missing INPUT file")?,
                 algorithm,
                 stats,
                 threads,
+                progress,
+                trace,
+                metrics,
             })
         }
         "ecc" => Ok(Command::Ecc {
@@ -219,7 +256,11 @@ pub fn generate_graph(spec: &str) -> Result<CsrGraph, String> {
         .ok_or_else(|| format!("bad spec '{spec}' (expected KIND:PARAMS)"))?;
     let nums = |s: &str| -> Result<Vec<f64>, String> {
         s.split(',')
-            .map(|p| p.trim().parse::<f64>().map_err(|e| format!("bad number in spec: {e}")))
+            .map(|p| {
+                p.trim()
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad number in spec: {e}"))
+            })
             .collect()
     };
     match kind {
@@ -236,7 +277,11 @@ pub fn generate_graph(spec: &str) -> Result<CsrGraph, String> {
             if v.len() < 2 || v.len() > 3 {
                 return Err("ba spec needs N,M[,SEED]".into());
             }
-            Ok(barabasi_albert(v[0] as usize, v[1] as usize, v.get(2).copied().unwrap_or(1.0) as u64))
+            Ok(barabasi_albert(
+                v[0] as usize,
+                v[1] as usize,
+                v.get(2).copied().unwrap_or(1.0) as u64,
+            ))
         }
         "rmat" => {
             let v = nums(rest)?;
@@ -327,13 +372,22 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
             writeln!(out, "diameter   : {diam}").map_err(w)?;
             writeln!(out, "|center|   : {center}").map_err(w)?;
             writeln!(out, "|periphery|: {periphery}").map_err(w)?;
-            writeln!(out, "bfs calls  : {} (n = {})", r.bfs_calls, g.num_vertices()).map_err(w)
+            writeln!(
+                out,
+                "bfs calls  : {} (n = {})",
+                r.bfs_calls,
+                g.num_vertices()
+            )
+            .map_err(w)
         }
         Command::Diameter {
             input,
             algorithm,
             stats,
             threads,
+            progress,
+            trace,
+            metrics,
         } => {
             let g = read_graph(&input)?;
             if let Some(t) = threads {
@@ -343,6 +397,7 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
                     .map_err(|e| e.to_string())?;
             }
             let t0 = std::time::Instant::now();
+            let mut metrics_registry = None;
             let (diam, connected, bfs, detail) = match algorithm {
                 Algorithm::FdiamParallel | Algorithm::FdiamSerial => {
                     let cfg = if algorithm == Algorithm::FdiamParallel {
@@ -350,7 +405,26 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
                     } else {
                         fdiam_core::FdiamConfig::serial()
                     };
-                    let o = fdiam_core::diameter_with(&g, &cfg);
+                    let mut sinks: Vec<Box<dyn Observer + Send>> = Vec::new();
+                    if progress {
+                        sinks.push(Box::new(ProgressSink::stderr()));
+                    }
+                    if let Some(path) = &trace {
+                        let sink = JsonlTraceSink::create(path)
+                            .map_err(|e| format!("cannot create trace file '{path}': {e}"))?;
+                        sinks.push(Box::new(sink));
+                    }
+                    if metrics {
+                        let registry = Arc::new(MetricsRegistry::new());
+                        sinks.push(Box::new(MetricsObserver::new(Arc::clone(&registry))));
+                        metrics_registry = Some(registry);
+                    }
+                    let o = if sinks.is_empty() {
+                        fdiam_core::diameter_with(&g, &cfg)
+                    } else {
+                        let fanout = Fanout::new(sinks);
+                        fdiam_core::diameter_with_observer(&g, &cfg, &fanout)
+                    };
                     let detail = stats.then(|| {
                         let p = o.stats.removed.percentages(g.num_vertices());
                         format!(
@@ -374,8 +448,7 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
                     (r.largest_cc_diameter, r.connected, r.bfs_calls, None)
                 }
                 Algorithm::SumSweep => {
-                    let r = fdiam_analytics::sum_sweep::exact_sum_sweep(&g)
-                        .ok_or("empty graph")?;
+                    let r = fdiam_analytics::sum_sweep::exact_sum_sweep(&g).ok_or("empty graph")?;
                     let detail = stats.then(|| format!("radius: {}", r.radius));
                     (r.diameter, r.connected, r.bfs_calls, detail)
                 }
@@ -395,6 +468,12 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
             writeln!(out, "bfs calls: {bfs}").map_err(w)?;
             if let Some(d) = detail {
                 writeln!(out, "{d}").map_err(w)?;
+            }
+            if let Some(registry) = metrics_registry {
+                writeln!(out, "metrics:").map_err(w)?;
+                for line in registry.render_summary().lines() {
+                    writeln!(out, "  {line}").map_err(w)?;
+                }
             }
             Ok(())
         }
@@ -426,10 +505,19 @@ mod tests {
                 algorithm: Algorithm::FdiamParallel,
                 stats: false,
                 threads: None,
+                progress: false,
+                trace: None,
+                metrics: false,
             }
         );
         let c = parse_args(&args(&[
-            "diameter", "--algorithm", "ifub", "--stats", "--threads", "4", "g.gr",
+            "diameter",
+            "--algorithm",
+            "ifub",
+            "--stats",
+            "--threads",
+            "4",
+            "g.gr",
         ]))
         .unwrap();
         assert_eq!(
@@ -439,12 +527,18 @@ mod tests {
                 algorithm: Algorithm::Ifub,
                 stats: true,
                 threads: Some(4),
+                progress: false,
+                trace: None,
+                metrics: false,
             }
         );
         let c = parse_args(&args(&["diameter", "--serial", "g.mtx"])).unwrap();
         assert!(matches!(
             c,
-            Command::Diameter { algorithm: Algorithm::FdiamSerial, .. }
+            Command::Diameter {
+                algorithm: Algorithm::FdiamSerial,
+                ..
+            }
         ));
     }
 
@@ -456,6 +550,54 @@ mod tests {
         assert!(parse_args(&args(&["frobnicate"])).is_err());
         assert!(parse_args(&args(&["convert", "a.txt"])).is_err());
         assert!(parse_args(&args(&["convert", "a.txt", "b.gr", "c"])).is_err());
+    }
+
+    #[test]
+    fn parse_observability_flags() {
+        let c = parse_args(&args(&[
+            "diameter",
+            "--progress",
+            "--metrics",
+            "--trace",
+            "run.jsonl",
+            "g.txt",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Diameter {
+                input: "g.txt".into(),
+                algorithm: Algorithm::FdiamParallel,
+                stats: false,
+                threads: None,
+                progress: true,
+                trace: Some("run.jsonl".into()),
+                metrics: true,
+            }
+        );
+    }
+
+    #[test]
+    fn trace_flag_requires_a_path() {
+        // missing value entirely
+        assert!(parse_args(&args(&["diameter", "g.txt", "--trace"])).is_err());
+        // next token is another flag, not a path
+        let e = parse_args(&args(&["diameter", "--trace", "--stats", "g.txt"])).unwrap_err();
+        assert!(e.contains("--trace needs a file path"), "{e}");
+    }
+
+    #[test]
+    fn observability_flags_require_fdiam() {
+        for flag in [&["--progress"][..], &["--metrics"], &["--trace", "t.jsonl"]] {
+            let mut a = vec!["diameter".to_string(), "-a".into(), "ifub".into()];
+            a.extend(flag.iter().map(|s| s.to_string()));
+            a.push("g.txt".into());
+            let e = parse_args(&a).unwrap_err();
+            assert!(e.contains("fdiam"), "{e}");
+        }
+        // ...but both fdiam variants accept them
+        assert!(parse_args(&args(&["diameter", "--serial", "--metrics", "g.txt"])).is_ok());
+        assert!(parse_args(&args(&["diameter", "--progress", "g.txt"])).is_ok());
     }
 
     #[test]
@@ -501,12 +643,67 @@ mod tests {
                 algorithm: Algorithm::FdiamSerial,
                 stats: true,
                 threads: None,
+                progress: false,
+                trace: None,
+                metrics: false,
             },
             &mut out,
         )
         .unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("diameter : 18"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn diameter_with_trace_and_metrics() {
+        let dir = std::env::temp_dir().join("fdiam_cli_obs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let el = dir.join("g.txt").to_string_lossy().into_owned();
+        let trace = dir.join("run.jsonl").to_string_lossy().into_owned();
+        run(
+            Command::Generate {
+                spec: "grid:10x10".into(),
+                output: el.clone(),
+            },
+            &mut Vec::new(),
+        )
+        .unwrap();
+
+        let mut out = Vec::new();
+        run(
+            Command::Diameter {
+                input: el,
+                algorithm: Algorithm::FdiamSerial,
+                stats: false,
+                threads: None,
+                progress: false,
+                trace: Some(trace.clone()),
+                metrics: true,
+            },
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("diameter : 18"), "{text}");
+        assert!(text.contains("metrics:"), "{text}");
+        assert!(text.contains("bfs.traversals"), "{text}");
+        assert!(text.contains("phase.ecc_bfs.duration"), "{text}");
+
+        let body = std::fs::read_to_string(&trace).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert!(lines.len() >= 3, "trace too short:\n{body}");
+        for line in &lines {
+            let v = fdiam_obs::json::parse(line)
+                .unwrap_or_else(|e| panic!("trace line is not valid JSON ({e}): {line}"));
+            assert!(v.get("type").and_then(|t| t.as_str()).is_some(), "{line}");
+        }
+        assert!(lines[0].contains("\"type\":\"run_start\""), "{}", lines[0]);
+        assert!(
+            lines.last().unwrap().contains("\"type\":\"run_end\""),
+            "{}",
+            lines.last().unwrap()
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

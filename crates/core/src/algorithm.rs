@@ -16,20 +16,35 @@
 //! The final bound is the exact largest eccentricity over all connected
 //! components — the true diameter when the graph is connected.
 //!
+//! Every stage reports to an [`Observer`]: phase spans
+//! ([`Phase::TwoSweep`], [`Phase::Winnow`], [`Phase::Chain`],
+//! [`Phase::Eliminate`], [`Phase::EccBfs`]) plus structured events for
+//! bound convergence, winnow growth, eliminations, and chains. The
+//! driver's own [`StatsCollector`](crate::observe::StatsCollector) is
+//! always attached (via [`Tee`]) and folds the stream back into
+//! [`FdiamStats`], so [`run`] with no external observer produces the
+//! same statistics it always did.
+//!
 //! [`run_concurrent`] replays the design alternative the paper
 //! evaluated and rejected (§4.6): computing several eccentricities
 //! concurrently instead of parallelizing each BFS. It exists to
-//! reproduce that negative result (see the `multi_bfs` bench).
+//! reproduce that negative result (see the `multi_bfs` bench) and
+//! emits the same observer events as [`run`].
 
 use crate::chain::chain_processing;
 use crate::config::FdiamConfig;
 use crate::eliminate::{eliminate, extend_eliminated};
+use crate::observe::StatsCollector;
 use crate::result::DiameterResult;
 use crate::state::{EccState, Stage};
 use crate::stats::FdiamStats;
 use crate::winnow::WinnowRegion;
-use fdiam_bfs::{bfs_eccentricity_hybrid, bfs_eccentricity_serial_hybrid, BfsResult, VisitMarks};
+use fdiam_bfs::{
+    bfs_eccentricity_hybrid_observed, bfs_eccentricity_serial_hybrid_observed, BfsResult,
+    VisitMarks,
+};
 use fdiam_graph::{CsrGraph, VertexId};
+use fdiam_obs::{noop, Event, Observer, Phase, PhaseSpan, Tee};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -47,12 +62,28 @@ pub struct FdiamOutcome {
 
 /// Runs F-Diam with the given configuration.
 pub fn run(g: &CsrGraph, config: &FdiamConfig) -> FdiamOutcome {
+    run_with_observer(g, config, noop())
+}
+
+/// [`run`] with an external [`Observer`] attached. The observer
+/// receives the full event stream (run lifecycle, phase spans, BFS
+/// lifecycle, bound updates, per-stage removals); per-level BFS detail
+/// is emitted only if the observer asks for it
+/// ([`Observer::wants_bfs_detail`]).
+pub fn run_with_observer(
+    g: &CsrGraph,
+    config: &FdiamConfig,
+    observer: &dyn Observer,
+) -> FdiamOutcome {
+    let collector = StatsCollector::default();
+    let tee = Tee(&collector, observer);
     let t_total = Instant::now();
-    let Some(mut driver) = Driver::prelude(g, config) else {
-        return empty_outcome(t_total);
+    emit_run_start(&tee, g, config);
+    let Some(mut driver) = Driver::prelude(g, config, &tee) else {
+        return empty_outcome(t_total, &tee);
     };
     driver.main_loop();
-    driver.finish(t_total)
+    driver.finish(t_total, &collector)
 }
 
 /// Runs F-Diam computing up to `batch` eccentricities concurrently in
@@ -62,38 +93,64 @@ pub fn run(g: &CsrGraph, config: &FdiamConfig) -> FdiamOutcome {
 /// from consideration" (§4.6) — the same effect shows here as wasted
 /// BFS on vertices that a batch-mate's Eliminate would have removed.
 pub fn run_concurrent(g: &CsrGraph, config: &FdiamConfig, batch: usize) -> FdiamOutcome {
+    run_concurrent_with_observer(g, config, batch, noop())
+}
+
+/// [`run_concurrent`] with an external [`Observer`] attached; the
+/// multi-BFS main loop emits the same events as the published loop
+/// (BFS lifecycle events arrive from rayon worker threads).
+pub fn run_concurrent_with_observer(
+    g: &CsrGraph,
+    config: &FdiamConfig,
+    batch: usize,
+    observer: &dyn Observer,
+) -> FdiamOutcome {
     assert!(batch >= 1);
+    let collector = StatsCollector::default();
+    let tee = Tee(&collector, observer);
     let t_total = Instant::now();
-    let Some(mut driver) = Driver::prelude(g, config) else {
-        return empty_outcome(t_total);
+    emit_run_start(&tee, g, config);
+    let Some(mut driver) = Driver::prelude(g, config, &tee) else {
+        return empty_outcome(t_total, &tee);
     };
     driver.main_loop_concurrent(batch);
-    driver.finish(t_total)
+    driver.finish(t_total, &collector)
+}
+
+fn emit_run_start(obs: &dyn Observer, g: &CsrGraph, config: &FdiamConfig) {
+    obs.event(&Event::RunStart {
+        algorithm: if config.parallel {
+            "fdiam"
+        } else {
+            "fdiam-serial"
+        },
+        n: g.num_vertices(),
+        m: g.num_undirected_edges(),
+    });
 }
 
 /// Shared driver state across the stages of Algorithm 1.
-struct Driver<'g> {
-    g: &'g CsrGraph,
-    config: &'g FdiamConfig,
+struct Driver<'a> {
+    g: &'a CsrGraph,
+    config: &'a FdiamConfig,
+    obs: &'a dyn Observer,
     state: EccState,
     marks: VisitMarks,
     winnow: WinnowRegion,
     bound: u32,
     connected: bool,
-    stats: FdiamStats,
     order: Vec<VertexId>,
     diametral_pair: (VertexId, VertexId),
 }
 
-impl<'g> Driver<'g> {
+impl<'a> Driver<'a> {
     /// Stages 0–3: degree-0 removal, 2-sweep, Winnow, Chain Processing.
     /// Returns `None` for the empty graph.
-    fn prelude(g: &'g CsrGraph, config: &'g FdiamConfig) -> Option<Self> {
+    fn prelude(g: &'a CsrGraph, config: &'a FdiamConfig, obs: &'a dyn Observer) -> Option<Self> {
         let n = g.num_vertices();
         if n == 0 {
             return None;
         }
-        let mut stats = FdiamStats::default();
         let state = EccState::new(n);
         let mut marks = VisitMarks::new(n);
 
@@ -117,22 +174,29 @@ impl<'g> Driver<'g> {
         let mut connected = n == 1;
         let mut diametral_pair = (u, u);
         if state.is_active(u) {
-            let t = Instant::now();
-            let r1 = ecc_bfs(g, u, &mut marks, config);
-            stats.timings.ecc_bfs += t.elapsed();
-            stats.ecc_computations += 1;
+            let _sweep = PhaseSpan::enter(obs, Phase::TwoSweep);
+            let r1 = ecc_bfs(g, u, &mut marks, config, obs);
             state.record(u, r1.eccentricity, Stage::Computed);
             connected = r1.visited == n;
             bound = r1.eccentricity;
             let w = r1.last_frontier[0];
             diametral_pair = (u, w);
+            if bound > 0 {
+                obs.event(&Event::BoundUpdate {
+                    old: 0,
+                    new: bound,
+                    source: u,
+                });
+            }
             if state.is_active(w) {
-                let t = Instant::now();
-                let r2 = ecc_bfs(g, w, &mut marks, config);
-                stats.timings.ecc_bfs += t.elapsed();
-                stats.ecc_computations += 1;
+                let r2 = ecc_bfs(g, w, &mut marks, config, obs);
                 state.record(w, r2.eccentricity, Stage::Computed);
                 if r2.eccentricity > bound {
+                    obs.event(&Event::BoundUpdate {
+                        old: bound,
+                        new: r2.eccentricity,
+                        source: w,
+                    });
                     bound = r2.eccentricity;
                     diametral_pair = (w, r2.last_frontier[0]);
                 }
@@ -142,18 +206,17 @@ impl<'g> Driver<'g> {
         // Stage 2: Winnow a ball of radius ⌊bound/2⌋ around u (§4.2).
         let mut winnow = WinnowRegion::new(u, n);
         if config.use_winnow {
-            let t = Instant::now();
+            let _span = PhaseSpan::enter(obs, Phase::Winnow);
             if grow_winnow(g, config, &mut winnow, &state, bound / 2) {
-                stats.winnow_calls += 1;
+                obs.event(&Event::WinnowGrown { radius: bound / 2 });
             }
-            stats.timings.winnow += t.elapsed();
         }
 
         // Stage 3: Chain Processing (§4.3).
         if config.use_chain {
-            let t = Instant::now();
-            stats.chains_processed = chain_processing(g, &state, &mut marks);
-            stats.timings.chain += t.elapsed();
+            let _span = PhaseSpan::enter(obs, Phase::Chain);
+            let count = chain_processing(g, &state, &mut marks);
+            obs.event(&Event::ChainsProcessed { count });
         }
 
         // Visit order of the main loop.
@@ -169,12 +232,12 @@ impl<'g> Driver<'g> {
         Some(Self {
             g,
             config,
+            obs,
             state,
             marks,
             winnow,
             bound,
             connected,
-            stats,
             order,
             diametral_pair,
         })
@@ -187,15 +250,16 @@ impl<'g> Driver<'g> {
             if !self.state.is_active(v) {
                 continue;
             }
-            let t = Instant::now();
-            let r = ecc_bfs(self.g, v, &mut self.marks, self.config);
-            self.stats.timings.ecc_bfs += t.elapsed();
-            self.stats.ecc_computations += 1;
+            let r = ecc_bfs(self.g, v, &mut self.marks, self.config, self.obs);
             self.state.record(v, r.eccentricity, Stage::Computed);
             if r.eccentricity > self.bound {
                 self.diametral_pair = (v, r.last_frontier[0]);
             }
             self.apply_bounds(v, r.eccentricity);
+            self.obs.event(&Event::Progress {
+                active: self.state.active_count(),
+                bound: self.bound,
+            });
         }
     }
 
@@ -221,16 +285,18 @@ impl<'g> Driver<'g> {
             if todo.is_empty() {
                 continue;
             }
-            let t = Instant::now();
-            let results: Vec<(VertexId, u32, VertexId)> = todo
-                .par_iter()
-                .map(|&v| {
-                    let (e, far) = local_bfs_eccentricity(self.g, v);
-                    (v, e, far)
-                })
-                .collect();
-            self.stats.timings.ecc_bfs += t.elapsed();
-            self.stats.ecc_computations += results.len();
+            let results: Vec<(VertexId, u32, VertexId)> = {
+                // One span around the whole batch: the stage timing
+                // stays wall-clock (not summed across workers), exactly
+                // as the pre-observer driver measured it.
+                let _span = PhaseSpan::enter(self.obs, Phase::EccBfs);
+                todo.par_iter()
+                    .map(|&v| {
+                        let (e, far) = local_bfs_eccentricity(self.g, v, self.obs);
+                        (v, e, far)
+                    })
+                    .collect()
+            };
             for (v, e, far) in results {
                 self.state.record(v, e, Stage::Computed);
                 if e > self.bound {
@@ -238,30 +304,42 @@ impl<'g> Driver<'g> {
                 }
                 self.apply_bounds(v, e);
             }
+            self.obs.event(&Event::Progress {
+                active: self.state.active_count(),
+                bound: self.bound,
+            });
         }
     }
 
     /// Bound bookkeeping after `ecc(v) = e` (Algorithm 1 lines 13–21).
     fn apply_bounds(&mut self, v: VertexId, e: u32) {
+        let obs = self.obs;
         if e > self.bound {
             let old = self.bound;
             self.bound = e;
+            obs.event(&Event::BoundUpdate {
+                old,
+                new: e,
+                source: v,
+            });
             if self.config.use_winnow {
-                let t = Instant::now();
+                let _span = PhaseSpan::enter(obs, Phase::Winnow);
                 if grow_winnow(self.g, self.config, &mut self.winnow, &self.state, e / 2) {
-                    self.stats.winnow_calls += 1;
+                    obs.event(&Event::WinnowGrown { radius: e / 2 });
                 }
-                self.stats.timings.winnow += t.elapsed();
             }
             if self.config.use_eliminate {
-                let t = Instant::now();
-                extend_eliminated(self.g, &self.state, &mut self.marks, old, self.bound);
-                self.stats.eliminate_calls += 1;
-                self.stats.timings.eliminate += t.elapsed();
+                let _span = PhaseSpan::enter(obs, Phase::Eliminate);
+                let removed =
+                    extend_eliminated(self.g, &self.state, &mut self.marks, old, self.bound);
+                obs.event(&Event::EliminateRun {
+                    removed,
+                    extension: true,
+                });
             }
         } else if e < self.bound && self.config.use_eliminate {
-            let t = Instant::now();
-            eliminate(
+            let _span = PhaseSpan::enter(obs, Phase::Eliminate);
+            let removed = eliminate(
                 self.g,
                 &self.state,
                 &mut self.marks,
@@ -270,8 +348,10 @@ impl<'g> Driver<'g> {
                 self.bound,
                 Stage::Eliminate,
             );
-            self.stats.eliminate_calls += 1;
-            self.stats.timings.eliminate += t.elapsed();
+            obs.event(&Event::EliminateRun {
+                removed,
+                extension: false,
+            });
         }
         // e == bound: the ecc write already removed v.
     }
@@ -291,47 +371,83 @@ fn grow_winnow(
     }
 }
 
-fn ecc_bfs(g: &CsrGraph, v: VertexId, marks: &mut VisitMarks, config: &FdiamConfig) -> BfsResult {
+fn ecc_bfs(
+    g: &CsrGraph,
+    v: VertexId,
+    marks: &mut VisitMarks,
+    config: &FdiamConfig,
+    obs: &dyn Observer,
+) -> BfsResult {
+    let _span = PhaseSpan::enter(obs, Phase::EccBfs);
     if config.parallel {
-        bfs_eccentricity_hybrid(g, v, marks, &config.bfs)
+        bfs_eccentricity_hybrid_observed(g, v, marks, &config.bfs, obs)
     } else {
         // The paper's serial code is also direction-optimized (§7) —
         // the top-down/bottom-up switch is orthogonal to parallelism.
-        bfs_eccentricity_serial_hybrid(g, v, marks, &config.bfs)
+        bfs_eccentricity_serial_hybrid_observed(g, v, marks, &config.bfs, obs)
     }
 }
 
 /// Self-contained sequential eccentricity BFS with private visited
 /// storage — used by the concurrent main loop, where tasks cannot share
 /// the epoch-based [`VisitMarks`]. Returns the eccentricity and one
-/// farthest vertex.
-fn local_bfs_eccentricity(g: &CsrGraph, source: VertexId) -> (u32, VertexId) {
-    let mut visited = vec![false; g.num_vertices()];
-    visited[source as usize] = true;
+/// farthest vertex. Emits the same BFS lifecycle (and detail, when
+/// requested) events as the shared-marks kernels.
+fn local_bfs_eccentricity(g: &CsrGraph, source: VertexId, obs: &dyn Observer) -> (u32, VertexId) {
+    if obs.enabled() {
+        obs.event(&Event::BfsStart { source });
+    }
+    let detail = obs.wants_bfs_detail();
+    let mut visited_marks = vec![false; g.num_vertices()];
+    visited_marks[source as usize] = true;
+    let mut visited = 1usize;
     let mut frontier = vec![source];
     let mut next = Vec::new();
     let mut level = 0u32;
     loop {
         next.clear();
+        let mut edges_scanned = 0u64;
         for &v in &frontier {
+            edges_scanned += g.neighbors(v).len() as u64;
             for &n in g.neighbors(v) {
-                if !visited[n as usize] {
-                    visited[n as usize] = true;
+                if !visited_marks[n as usize] {
+                    visited_marks[n as usize] = true;
                     next.push(n);
                 }
             }
         }
+        if detail {
+            obs.event(&Event::BfsLevel {
+                level: level + 1,
+                frontier: next.len(),
+                edges_scanned,
+                bottom_up: false,
+            });
+        }
         if next.is_empty() {
+            if obs.enabled() {
+                obs.event(&Event::BfsEnd {
+                    source,
+                    eccentricity: level,
+                    visited,
+                });
+            }
             return (level, frontier[0]);
         }
+        visited += next.len();
         level += 1;
         std::mem::swap(&mut frontier, &mut next);
     }
 }
 
-fn empty_outcome(t_total: Instant) -> FdiamOutcome {
+fn empty_outcome(t_total: Instant, obs: &dyn Observer) -> FdiamOutcome {
     let mut stats = FdiamStats::default();
     stats.timings.total = t_total.elapsed();
+    obs.event(&Event::RunEnd {
+        diameter: 0,
+        connected: true,
+        nanos: stats.timings.total.as_nanos() as u64,
+    });
     FdiamOutcome {
         result: DiameterResult {
             largest_cc_diameter: 0,
@@ -343,26 +459,33 @@ fn empty_outcome(t_total: Instant) -> FdiamOutcome {
 }
 
 impl Driver<'_> {
-    fn finish(mut self, t_total: Instant) -> FdiamOutcome {
+    fn finish(self, t_total: Instant, collector: &StatsCollector) -> FdiamOutcome {
         let counts = self.state.stage_counts();
         debug_assert_eq!(
             counts[Stage::None as usize],
             0,
             "every vertex must be removed or computed by termination"
         );
-        self.stats.removed.winnow = counts[Stage::Winnow as usize];
-        self.stats.removed.eliminate = counts[Stage::Eliminate as usize];
-        self.stats.removed.chain = counts[Stage::Chain as usize];
-        self.stats.removed.degree0 = counts[Stage::Degree0 as usize];
-        self.stats.removed.computed = counts[Stage::Computed as usize];
-        self.stats.timings.total = t_total.elapsed();
+        let mut stats = FdiamStats::default();
+        collector.fill(&mut stats);
+        stats.removed.winnow = counts[Stage::Winnow as usize];
+        stats.removed.eliminate = counts[Stage::Eliminate as usize];
+        stats.removed.chain = counts[Stage::Chain as usize];
+        stats.removed.degree0 = counts[Stage::Degree0 as usize];
+        stats.removed.computed = counts[Stage::Computed as usize];
+        stats.timings.total = t_total.elapsed();
+        self.obs.event(&Event::RunEnd {
+            diameter: self.bound,
+            connected: self.connected,
+            nanos: stats.timings.total.as_nanos() as u64,
+        });
 
         FdiamOutcome {
             result: DiameterResult {
                 largest_cc_diameter: self.bound,
                 connected: self.connected,
             },
-            stats: self.stats,
+            stats,
             diametral_pair: Some(self.diametral_pair),
         }
     }
@@ -396,7 +519,8 @@ mod tests {
             for batch in [1, 2, 4, 16] {
                 let out = run_concurrent(&g, &FdiamConfig::serial(), batch);
                 assert_eq!(
-                    out.result.largest_cc_diameter, expect,
+                    out.result.largest_cc_diameter,
+                    expect,
                     "batch {batch} on n={}",
                     g.num_vertices()
                 );
@@ -439,5 +563,109 @@ mod tests {
     #[should_panic]
     fn zero_batch_rejected() {
         run_concurrent(&path(3), &FdiamConfig::serial(), 0);
+    }
+
+    use std::sync::Mutex;
+
+    /// Records event names in arrival order.
+    struct Recorder(Mutex<Vec<&'static str>>);
+
+    impl Recorder {
+        fn new() -> Self {
+            Recorder(Mutex::new(Vec::new()))
+        }
+        fn count(&self, name: &str) -> usize {
+            self.0
+                .lock()
+                .unwrap()
+                .iter()
+                .filter(|n| **n == name)
+                .count()
+        }
+    }
+
+    impl Observer for Recorder {
+        fn event(&self, e: &Event<'_>) {
+            self.0.lock().unwrap().push(e.name());
+        }
+        fn wants_bfs_detail(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn observer_sees_lifecycle_and_counters_match_stats() {
+        // Small + big component: the small one's vertices have ecc
+        // below the bound, forcing Eliminate runs.
+        let g = disjoint_union(&grid2d(10, 10), &grid2d(3, 3));
+        let r = Recorder::new();
+        let out = run_with_observer(&g, &FdiamConfig::serial(), &r);
+        assert_eq!(out.result.largest_cc_diameter, 18);
+
+        assert_eq!(r.count("run_start"), 1);
+        assert_eq!(r.count("run_end"), 1);
+        // The event stream and FdiamStats are two views of one run.
+        assert_eq!(r.count("bfs_end"), out.stats.ecc_computations);
+        assert_eq!(r.count("winnow"), out.stats.winnow_calls);
+        assert_eq!(r.count("eliminate"), out.stats.eliminate_calls);
+        assert!(
+            out.stats.eliminate_calls > 0,
+            "small component must eliminate"
+        );
+        assert!(r.count("bound_update") >= 1);
+        assert!(r.count("progress") >= 1);
+    }
+
+    #[test]
+    fn observer_run_matches_unobserved_run() {
+        let g = barabasi_albert(300, 3, 5);
+        let r = Recorder::new();
+        let a = run(&g, &FdiamConfig::serial());
+        let b = run_with_observer(&g, &FdiamConfig::serial(), &r);
+        assert_eq!(a.result, b.result);
+        assert_eq!(a.stats.ecc_computations, b.stats.ecc_computations);
+        assert_eq!(a.stats.winnow_calls, b.stats.winnow_calls);
+        assert_eq!(a.stats.eliminate_calls, b.stats.eliminate_calls);
+        assert_eq!(a.stats.chains_processed, b.stats.chains_processed);
+        assert_eq!(a.stats.removed, b.stats.removed);
+    }
+
+    #[test]
+    fn concurrent_loop_emits_same_event_kinds() {
+        let g = road_like(200, 0.1, 4);
+        let seq = Recorder::new();
+        let conc = Recorder::new();
+        let a = run_with_observer(&g, &FdiamConfig::serial(), &seq);
+        let b = run_concurrent_with_observer(&g, &FdiamConfig::serial(), 8, &conc);
+        assert_eq!(a.result, b.result);
+        for name in ["run_start", "bfs_start", "bfs_end", "progress", "run_end"] {
+            assert!(
+                conc.count(name) > 0,
+                "concurrent loop must emit {name} events"
+            );
+        }
+        assert_eq!(conc.count("bfs_end"), b.stats.ecc_computations);
+    }
+
+    #[test]
+    fn empty_graph_still_reports_run_end() {
+        let r = Recorder::new();
+        let out = run_with_observer(&CsrGraph::empty(0), &FdiamConfig::serial(), &r);
+        assert_eq!(out.result.largest_cc_diameter, 0);
+        assert_eq!(r.count("run_start"), 1);
+        assert_eq!(r.count("run_end"), 1);
+    }
+
+    #[test]
+    fn leaf_phase_durations_bounded_by_total() {
+        let g = grid2d(12, 12);
+        let out = run(&g, &FdiamConfig::serial());
+        let t = &out.stats.timings;
+        let leaf_sum = t.ecc_bfs + t.winnow + t.chain + t.eliminate;
+        assert!(
+            leaf_sum <= t.total,
+            "leaf stages {leaf_sum:?} exceed total {:?}",
+            t.total
+        );
     }
 }

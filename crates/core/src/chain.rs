@@ -31,7 +31,15 @@ pub fn chain_processing(g: &CsrGraph, state: &EccState, marks: &mut VisitMarks) 
         }
         chains += 1;
         let (end, len) = walk_chain(g, v);
-        eliminate(g, state, marks, end, PSEUDO_MAX - len, PSEUDO_MAX, Stage::Chain);
+        eliminate(
+            g,
+            state,
+            marks,
+            end,
+            PSEUDO_MAX - len,
+            PSEUDO_MAX,
+            Stage::Chain,
+        );
         // The chain tip stays active — its eccentricity dominates the
         // whole removed region (Algorithm 4 line 9).
         state.reactivate(v);
@@ -115,11 +123,9 @@ mod tests {
         //   0 - 1 - 2 - 3(deg 4) - 4
         //                |  \
         //                5   7 - 6
-        let g = EdgeList::from_undirected(
-            8,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (3, 5), (3, 7), (7, 6)],
-        )
-        .to_undirected_csr();
+        let g =
+            EdgeList::from_undirected(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (3, 5), (3, 7), (7, 6)])
+                .to_undirected_csr();
         let state = EccState::new(8);
         let mut marks = VisitMarks::new(8);
         chain_processing(&g, &state, &mut marks);

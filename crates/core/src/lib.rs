@@ -42,13 +42,17 @@ pub mod algorithm;
 pub mod chain;
 pub mod config;
 pub mod eliminate;
+pub mod observe;
 pub mod result;
 pub mod state;
 pub mod stats;
 pub mod winnow;
 
-pub use algorithm::{run, run_concurrent, FdiamOutcome};
+pub use algorithm::{
+    run, run_concurrent, run_concurrent_with_observer, run_with_observer, FdiamOutcome,
+};
 pub use config::FdiamConfig;
+pub use observe::StatsCollector;
 pub use result::DiameterResult;
 pub use stats::{FdiamStats, RemovalBreakdown, StageTimings};
 
@@ -71,6 +75,17 @@ pub fn diameter(g: &CsrGraph) -> DiameterResult {
 /// (Tables 3–5, Figure 8).
 pub fn diameter_with(g: &CsrGraph, config: &FdiamConfig) -> FdiamOutcome {
     run(g, config)
+}
+
+/// [`diameter_with`] plus an [`fdiam_obs::Observer`] receiving the
+/// run's structured event stream (progress, traces, metrics — see the
+/// `fdiam-obs` crate).
+pub fn diameter_with_observer(
+    g: &CsrGraph,
+    config: &FdiamConfig,
+    observer: &dyn fdiam_obs::Observer,
+) -> FdiamOutcome {
+    run_with_observer(g, config, observer)
 }
 
 #[cfg(test)]
@@ -114,7 +129,8 @@ mod tests {
         for (i, cfg) in all_configs().iter().enumerate() {
             let out = diameter_with(g, cfg);
             assert_eq!(
-                out.result.largest_cc_diameter, expect,
+                out.result.largest_cc_diameter,
+                expect,
                 "config #{i} wrong on graph with n={} m={}",
                 g.num_vertices(),
                 g.num_undirected_edges()
@@ -259,7 +275,7 @@ mod tests {
     }
 
     #[test]
-    fn winnow_dominates_removal_on_small_world(){
+    fn winnow_dominates_removal_on_small_world() {
         let g = barabasi_albert(5000, 5, 11);
         let out = diameter_with(&g, &FdiamConfig::parallel());
         let r = &out.stats.removed;
@@ -281,7 +297,10 @@ mod tests {
         let g = kronecker_graph500(10, 8, 3);
         let out = diameter_with(&g, &FdiamConfig::parallel());
         assert_eq!(out.stats.removed.degree0, g.num_isolated_vertices());
-        assert!(out.stats.removed.degree0 > 0, "kron analogue has isolated vertices");
+        assert!(
+            out.stats.removed.degree0 > 0,
+            "kron analogue has isolated vertices"
+        );
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! The driver's internal statistics collector.
+//!
+//! [`FdiamStats`] used to be filled by `Instant::now()` bookkeeping
+//! scattered through the driver. The driver now emits structured
+//! [`Event`]s instead, and this always-attached observer folds the
+//! event stream back into the same statistics — so caller-visible
+//! output is unchanged while any number of additional observers
+//! (progress, traces, metrics) can listen to the identical stream.
+
+use crate::stats::FdiamStats;
+use fdiam_obs::{Event, Observer, Phase};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Accumulates [`FdiamStats`] fields from the driver's event stream.
+///
+/// Fields are atomics because BFS lifecycle events arrive from rayon
+/// worker threads in the concurrent main loop. Per-level BFS detail is
+/// declined ([`Observer::wants_bfs_detail`] is `false`): the statistics
+/// need only whole-traversal events, so an otherwise-unobserved run
+/// stays on the uninstrumented expansion paths.
+#[derive(Debug, Default)]
+pub struct StatsCollector {
+    ecc_bfs_nanos: AtomicU64,
+    winnow_nanos: AtomicU64,
+    chain_nanos: AtomicU64,
+    eliminate_nanos: AtomicU64,
+    ecc_computations: AtomicUsize,
+    winnow_calls: AtomicUsize,
+    eliminate_calls: AtomicUsize,
+    chains_processed: AtomicUsize,
+}
+
+impl StatsCollector {
+    /// Writes the accumulated counters and stage durations into
+    /// `stats` (removal breakdown and total time are owned by the
+    /// driver's `finish`).
+    pub fn fill(&self, stats: &mut FdiamStats) {
+        stats.ecc_computations = self.ecc_computations.load(Ordering::Relaxed);
+        stats.winnow_calls = self.winnow_calls.load(Ordering::Relaxed);
+        stats.eliminate_calls = self.eliminate_calls.load(Ordering::Relaxed);
+        stats.chains_processed = self.chains_processed.load(Ordering::Relaxed);
+        stats.timings.ecc_bfs = Duration::from_nanos(self.ecc_bfs_nanos.load(Ordering::Relaxed));
+        stats.timings.winnow = Duration::from_nanos(self.winnow_nanos.load(Ordering::Relaxed));
+        stats.timings.chain = Duration::from_nanos(self.chain_nanos.load(Ordering::Relaxed));
+        stats.timings.eliminate =
+            Duration::from_nanos(self.eliminate_nanos.load(Ordering::Relaxed));
+    }
+}
+
+impl Observer for StatsCollector {
+    fn event(&self, e: &Event<'_>) {
+        match *e {
+            Event::PhaseEnd { phase, nanos } => {
+                let bucket = match phase {
+                    Phase::EccBfs => &self.ecc_bfs_nanos,
+                    Phase::Winnow => &self.winnow_nanos,
+                    Phase::Chain => &self.chain_nanos,
+                    Phase::Eliminate => &self.eliminate_nanos,
+                    // The 2-sweep span only wraps EccBfs leaf spans,
+                    // which are already counted above.
+                    Phase::TwoSweep => return,
+                };
+                bucket.fetch_add(nanos, Ordering::Relaxed);
+            }
+            Event::BfsEnd { .. } => {
+                self.ecc_computations.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::WinnowGrown { .. } => {
+                self.winnow_calls.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::EliminateRun { .. } => {
+                self.eliminate_calls.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::ChainsProcessed { count } => {
+                self.chains_processed.fetch_add(count, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+    }
+
+    fn wants_bfs_detail(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_events_into_stats() {
+        let c = StatsCollector::default();
+        c.event(&Event::PhaseEnd {
+            phase: Phase::EccBfs,
+            nanos: 100,
+        });
+        c.event(&Event::PhaseEnd {
+            phase: Phase::EccBfs,
+            nanos: 50,
+        });
+        c.event(&Event::PhaseEnd {
+            phase: Phase::Winnow,
+            nanos: 30,
+        });
+        c.event(&Event::PhaseEnd {
+            phase: Phase::TwoSweep,
+            nanos: 1_000_000, // envelope span: must not be double-counted
+        });
+        c.event(&Event::BfsEnd {
+            source: 0,
+            eccentricity: 3,
+            visited: 10,
+        });
+        c.event(&Event::WinnowGrown { radius: 1 });
+        c.event(&Event::EliminateRun {
+            removed: 4,
+            extension: false,
+        });
+        c.event(&Event::ChainsProcessed { count: 2 });
+
+        let mut stats = FdiamStats::default();
+        c.fill(&mut stats);
+        assert_eq!(stats.timings.ecc_bfs, Duration::from_nanos(150));
+        assert_eq!(stats.timings.winnow, Duration::from_nanos(30));
+        assert_eq!(stats.timings.chain, Duration::ZERO);
+        assert_eq!(stats.ecc_computations, 1);
+        assert_eq!(stats.winnow_calls, 1);
+        assert_eq!(stats.eliminate_calls, 1);
+        assert_eq!(stats.chains_processed, 2);
+        assert_eq!(stats.bfs_traversals(), 2);
+    }
+
+    #[test]
+    fn declines_bfs_detail() {
+        let c = StatsCollector::default();
+        assert!(c.enabled());
+        assert!(!c.wants_bfs_detail());
+    }
+}

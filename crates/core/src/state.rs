@@ -14,7 +14,7 @@
 //! breakdown.
 
 use fdiam_graph::VertexId;
-use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU8, AtomicUsize, Ordering};
 
 /// Sentinel: vertex still active (eccentricity not yet bounded).
 pub const ACTIVE: u32 = u32::MAX;
@@ -58,6 +58,9 @@ impl Stage {
 pub struct EccState {
     ecc: Vec<AtomicU32>,
     tag: Vec<AtomicU8>,
+    /// Vertices still active. Maintained so progress reporting can read
+    /// the count in O(1) instead of scanning the array.
+    remaining: AtomicUsize,
 }
 
 impl EccState {
@@ -66,7 +69,14 @@ impl EccState {
         Self {
             ecc: (0..n).map(|_| AtomicU32::new(ACTIVE)).collect(),
             tag: (0..n).map(|_| AtomicU8::new(Stage::None as u8)).collect(),
+            remaining: AtomicUsize::new(n),
         }
+    }
+
+    /// Number of vertices still active.
+    #[inline]
+    pub fn active_count(&self) -> usize {
+        self.remaining.load(Ordering::Relaxed)
     }
 
     pub fn len(&self) -> usize {
@@ -100,6 +110,7 @@ impl EccState {
         let old = self.ecc[v as usize].swap(value, Ordering::Relaxed);
         if old == ACTIVE {
             self.tag[v as usize].store(stage as u8, Ordering::Relaxed);
+            self.remaining.fetch_sub(1, Ordering::Relaxed);
         }
     }
 
@@ -114,6 +125,7 @@ impl EccState {
             .is_ok();
         if won {
             self.tag[v as usize].store(stage as u8, Ordering::Relaxed);
+            self.remaining.fetch_sub(1, Ordering::Relaxed);
         }
         won
     }
@@ -123,8 +135,11 @@ impl EccState {
     /// Algorithm 4 line 9).
     #[inline]
     pub fn reactivate(&self, v: VertexId) {
-        self.ecc[v as usize].store(ACTIVE, Ordering::Relaxed);
+        let old = self.ecc[v as usize].swap(ACTIVE, Ordering::Relaxed);
         self.tag[v as usize].store(Stage::None as u8, Ordering::Relaxed);
+        if old != ACTIVE {
+            self.remaining.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Stage that first removed `v`.
@@ -248,5 +263,22 @@ mod tests {
     fn sentinels_are_distinct_and_ordered() {
         assert!(WINNOWED < PSEUDO_MAX);
         assert!(PSEUDO_MAX < ACTIVE);
+    }
+
+    #[test]
+    fn active_count_tracks_all_transitions() {
+        let s = EccState::new(4);
+        assert_eq!(s.active_count(), 4);
+        s.record(0, 2, Stage::Computed);
+        assert_eq!(s.active_count(), 3);
+        s.record(0, 3, Stage::Eliminate); // overwrite: no double-count
+        assert_eq!(s.active_count(), 3);
+        assert!(s.record_if_active(1, WINNOWED, Stage::Winnow));
+        assert!(!s.record_if_active(1, WINNOWED, Stage::Winnow));
+        assert_eq!(s.active_count(), 2);
+        s.reactivate(0);
+        assert_eq!(s.active_count(), 3);
+        s.reactivate(2); // already active: no change
+        assert_eq!(s.active_count(), 3);
     }
 }

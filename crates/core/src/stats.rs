@@ -149,6 +149,35 @@ mod tests {
     }
 
     #[test]
+    fn other_saturates_when_stages_exceed_total() {
+        // Stage sums can exceed the recorded total on coarse clocks (or
+        // when concurrent spans overlap); "other" must clamp at zero
+        // rather than wrap.
+        let t = StageTimings {
+            ecc_bfs: Duration::from_millis(80),
+            winnow: Duration::from_millis(40),
+            chain: Duration::ZERO,
+            eliminate: Duration::ZERO,
+            total: Duration::from_millis(100),
+        };
+        assert_eq!(t.other(), Duration::ZERO);
+        let f = t.fractions();
+        assert_eq!(f[4], 0.0);
+        assert!(f.iter().all(|x| *x >= 0.0));
+    }
+
+    #[test]
+    fn fractions_with_zero_stage_times() {
+        let t = StageTimings {
+            total: Duration::from_millis(10),
+            ..StageTimings::default()
+        };
+        let f = t.fractions();
+        assert_eq!(f[0..4], [0.0; 4]);
+        assert!((f[4] - 1.0).abs() < 1e-9, "everything is 'other'");
+    }
+
+    #[test]
     fn traversal_count_convention() {
         let s = FdiamStats {
             ecc_computations: 5,

@@ -149,7 +149,10 @@ pub fn largest_component_subgraph(g: &CsrGraph) -> (CsrGraph, Vec<VertexId>) {
     let Some(target) = cc.largest_component() else {
         return (CsrGraph::empty(0), Vec::new());
     };
-    let members: Vec<VertexId> = g.vertices().filter(|&v| cc.component_of(v) == target).collect();
+    let members: Vec<VertexId> = g
+        .vertices()
+        .filter(|&v| cc.component_of(v) == target)
+        .collect();
     let sub = crate::transform::induced_subgraph(g, &members);
     (sub, members)
 }
@@ -218,11 +221,9 @@ mod tests {
     #[test]
     fn largest_component_selection() {
         // component {0..4} path (5 vertices) vs triangle {5,6,7}
-        let g = EdgeList::from_undirected(
-            8,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (5, 6), (6, 7), (5, 7)],
-        )
-        .to_undirected_csr();
+        let g =
+            EdgeList::from_undirected(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (5, 6), (6, 7), (5, 7)])
+                .to_undirected_csr();
         let cc = ConnectedComponents::compute(&g);
         assert_eq!(cc.largest_component(), Some(0));
         let (sub, map) = largest_component_subgraph(&g);

@@ -57,7 +57,10 @@ impl CsrGraph {
     /// binary reader validate separately). Unlike `unsafe` memory
     /// tricks, a violated invariant here only causes panics later, not
     /// UB, so this is a plain function.
-    pub(crate) fn from_parts_unchecked(row_offsets: Vec<usize>, col_indices: Vec<VertexId>) -> Self {
+    pub(crate) fn from_parts_unchecked(
+        row_offsets: Vec<usize>,
+        col_indices: Vec<VertexId>,
+    ) -> Self {
         Self {
             row_offsets,
             col_indices,

@@ -23,7 +23,7 @@ use rand::Rng;
 /// Panics if `m == 0` or `n < m + 1`.
 pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> CsrGraph {
     assert!(m >= 1, "attachment count m must be ≥ 1");
-    assert!(n >= m + 1, "need at least m + 1 vertices");
+    assert!(n > m, "need at least m + 1 vertices");
     let mut rng = super::rng(seed);
     let mut el = EdgeList::with_capacity(n, n * m);
     // Urn of edge endpoints: picking a uniform element is equivalent to

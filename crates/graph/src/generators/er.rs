@@ -12,7 +12,10 @@ use rand::Rng;
 /// (rejection sampling; requires `m` ≤ the number of possible edges).
 pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> CsrGraph {
     let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
-    assert!(m <= max_edges, "too many edges requested: {m} > {max_edges}");
+    assert!(
+        m <= max_edges,
+        "too many edges requested: {m} > {max_edges}"
+    );
     let mut rng = super::rng(seed);
     let mut seen = std::collections::HashSet::with_capacity(m * 2);
     let mut el = EdgeList::with_capacity(n, m);

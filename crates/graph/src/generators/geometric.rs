@@ -50,7 +50,10 @@ pub fn random_geometric(n: usize, radius: f64, seed: u64) -> CsrGraph {
             for (dx, dy) in [(1isize, 0isize), (-1, 1), (0, 1), (1, 1)] {
                 let nx = cx as isize + dx;
                 let ny = cy as isize + dy;
-                if nx < 0 || ny < 0 || nx as usize >= cells_per_side || ny as usize >= cells_per_side
+                if nx < 0
+                    || ny < 0
+                    || nx as usize >= cells_per_side
+                    || ny as usize >= cells_per_side
                 {
                     continue;
                 }
@@ -119,10 +122,7 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(
-            random_geometric(300, 0.1, 4),
-            random_geometric(300, 0.1, 4)
-        );
+        assert_eq!(random_geometric(300, 0.1, 4), random_geometric(300, 0.1, 4));
     }
 
     #[test]

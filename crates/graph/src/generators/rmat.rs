@@ -77,9 +77,7 @@ pub fn rmat(scale: u32, edge_factor: usize, probs: RmatProbabilities, seed: u64)
         let (mut u, mut v) = (0usize, 0usize);
         for level in 0..scale {
             let bit = 1usize << (scale - 1 - level);
-            let noise = |p: f64, r: &mut rand_chacha::ChaCha8Rng| {
-                p * (0.9 + 0.2 * r.gen::<f64>())
-            };
+            let noise = |p: f64, r: &mut rand_chacha::ChaCha8Rng| p * (0.9 + 0.2 * r.gen::<f64>());
             let (a, b, c, d) = (
                 noise(probs.a, &mut rng),
                 noise(probs.b, &mut rng),

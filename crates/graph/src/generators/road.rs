@@ -173,7 +173,12 @@ mod tests {
         for (n, extra, k) in [(2000, 0.2, 2), (5000, 0.4, 4)] {
             let g = road_network(n, extra, k, 1);
             let ratio = g.num_vertices() as f64 / n as f64;
-            assert!((0.6..1.5).contains(&ratio), "n={} got {}", n, g.num_vertices());
+            assert!(
+                (0.6..1.5).contains(&ratio),
+                "n={} got {}",
+                n,
+                g.num_vertices()
+            );
         }
     }
 

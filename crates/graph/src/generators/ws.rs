@@ -17,7 +17,7 @@ use rand::Rng;
 /// # Panics
 /// Panics if `k` is odd, `k < 2`, or `k ≥ n`.
 pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
-    assert!(k >= 2 && k % 2 == 0, "k must be even and ≥ 2");
+    assert!(k >= 2 && k.is_multiple_of(2), "k must be even and ≥ 2");
     assert!(k < n, "k must be < n");
     assert!((0.0..=1.0).contains(&beta));
     let mut rng = super::rng(seed);
@@ -60,10 +60,7 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(
-            watts_strogatz(50, 6, 0.3, 2),
-            watts_strogatz(50, 6, 0.3, 2)
-        );
+        assert_eq!(watts_strogatz(50, 6, 0.3, 2), watts_strogatz(50, 6, 0.3, 2));
     }
 
     #[test]

@@ -60,7 +60,10 @@ pub fn read_binary<R: Read>(mut reader: R) -> Result<CsrGraph, GraphIoError> {
     }
     let version = h.get_u32_le();
     if version != VERSION {
-        return Err(super::parse_err(0, format!("unsupported version {version}")));
+        return Err(super::parse_err(
+            0,
+            format!("unsupported version {version}"),
+        ));
     }
     let n = h.get_u64_le() as usize;
     let arcs = h.get_u64_le() as usize;
@@ -123,8 +126,8 @@ pub fn read_binary_file(path: impl AsRef<std::path::Path>) -> Result<CsrGraph, G
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::generators::{barabasi_albert, grid2d, path};
     use crate::csr::CsrGraph;
+    use crate::generators::{barabasi_albert, grid2d, path};
 
     #[test]
     fn roundtrip() {

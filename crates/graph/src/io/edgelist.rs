@@ -12,7 +12,10 @@ use std::io::{BufRead, Write};
 
 /// Reads an edge list, producing an undirected graph on
 /// `max(max id + 1, min_vertices)` vertices.
-pub fn read_edge_list<R: BufRead>(reader: R, min_vertices: usize) -> Result<CsrGraph, GraphIoError> {
+pub fn read_edge_list<R: BufRead>(
+    reader: R,
+    min_vertices: usize,
+) -> Result<CsrGraph, GraphIoError> {
     let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
     let mut max_id: i64 = -1;
     for (idx, line) in reader.lines().enumerate() {

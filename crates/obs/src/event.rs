@@ -1,0 +1,173 @@
+//! The event vocabulary of the F-Diam pipeline.
+//!
+//! Events are borrowed and short-lived: algorithm code constructs them
+//! on the stack and hands a reference to [`crate::Observer::event`].
+//! Consumers that need to keep data (sinks, registries) copy what they
+//! need.
+
+/// A named phase of Algorithm 1. Phases are emitted as
+/// [`Event::PhaseStart`] / [`Event::PhaseEnd`] span pairs.
+///
+/// `EccBfs` spans nest inside `TwoSweep` (the 2-sweep performs two
+/// eccentricity BFS calls), so summing phase durations must use the
+/// four leaf phases (`EccBfs`, `Winnow`, `Chain`, `Eliminate`) — those
+/// are exactly the paper's Figure 8 stages and never overlap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// §4.1: the two initial BFS traversals establishing the lower bound.
+    TwoSweep,
+    /// §4.2: growing the winnow ball (initial and incremental).
+    Winnow,
+    /// §4.3: Chain Processing over all degree-1 chains.
+    Chain,
+    /// §4.4–4.5: Eliminate around a vertex or extension of all regions.
+    Eliminate,
+    /// One exact eccentricity BFS (2-sweep or main loop).
+    EccBfs,
+}
+
+impl Phase {
+    /// All phases, in pipeline order.
+    pub const ALL: [Phase; 5] = [
+        Phase::TwoSweep,
+        Phase::Winnow,
+        Phase::Chain,
+        Phase::Eliminate,
+        Phase::EccBfs,
+    ];
+
+    /// Stable snake_case name used in traces and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::TwoSweep => "two_sweep",
+            Phase::Winnow => "winnow",
+            Phase::Chain => "chain",
+            Phase::Eliminate => "eliminate",
+            Phase::EccBfs => "ecc_bfs",
+        }
+    }
+}
+
+/// One observable occurrence inside the F-Diam stack.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event<'a> {
+    /// A diameter run began.
+    RunStart {
+        /// Human name of the algorithm variant (e.g. `"fdiam"`).
+        algorithm: &'a str,
+        /// Number of vertices.
+        n: usize,
+        /// Number of undirected edges.
+        m: usize,
+    },
+    /// A phase span opened.
+    PhaseStart { phase: Phase },
+    /// A phase span closed after `nanos` wall-clock nanoseconds.
+    PhaseEnd { phase: Phase, nanos: u64 },
+    /// An eccentricity BFS began from `source`.
+    BfsStart { source: u32 },
+    /// One level-synchronous BFS expansion completed. Only emitted when
+    /// the observer asks for detail
+    /// ([`crate::Observer::wants_bfs_detail`]); the final expansion is
+    /// reported too (with `frontier == 0`).
+    BfsLevel {
+        /// Level just produced (1 = direct neighbors of the source).
+        level: u32,
+        /// Size of the frontier produced at this level.
+        frontier: usize,
+        /// Edges examined by this expansion (exact for top-down; for
+        /// bottom-up, neighbors examined until the first visited hit).
+        edges_scanned: u64,
+        /// Whether the expansion ran bottom-up (topology-driven).
+        bottom_up: bool,
+    },
+    /// The BFS switched expansion direction before producing `level`.
+    DirectionSwitch { level: u32, bottom_up: bool },
+    /// The visit-epoch counter wrapped and all marks were reset;
+    /// `rollovers` is the total number of wraps so far.
+    EpochRollover { rollovers: u64 },
+    /// An eccentricity BFS finished.
+    BfsEnd {
+        source: u32,
+        eccentricity: u32,
+        visited: usize,
+    },
+    /// The diameter lower bound improved from `old` to `new` after
+    /// computing `ecc(source) = new` — the per-iteration convergence
+    /// signal (cf. the bound-tracking methodology of arXiv:0904.2728).
+    BoundUpdate { old: u32, new: u32, source: u32 },
+    /// The winnow ball grew to `radius` (counted as a BFS traversal in
+    /// Table 3).
+    WinnowGrown { radius: u32 },
+    /// An Eliminate call removed `removed` vertices; `extension` marks
+    /// the §4.5 multi-source extension triggered by a bound rise.
+    EliminateRun { removed: usize, extension: bool },
+    /// Chain Processing handled `count` degree-1 chains.
+    ChainsProcessed { count: usize },
+    /// Main-loop progress heartbeat: vertices still active and the
+    /// current lower bound.
+    Progress { active: usize, bound: u32 },
+    /// The run finished.
+    RunEnd {
+        diameter: u32,
+        connected: bool,
+        nanos: u64,
+    },
+}
+
+impl Event<'_> {
+    /// Stable snake_case name used as the `type` field in traces.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::RunStart { .. } => "run_start",
+            Event::PhaseStart { .. } => "phase_start",
+            Event::PhaseEnd { .. } => "phase_end",
+            Event::BfsStart { .. } => "bfs_start",
+            Event::BfsLevel { .. } => "bfs_level",
+            Event::DirectionSwitch { .. } => "direction_switch",
+            Event::EpochRollover { .. } => "epoch_rollover",
+            Event::BfsEnd { .. } => "bfs_end",
+            Event::BoundUpdate { .. } => "bound_update",
+            Event::WinnowGrown { .. } => "winnow",
+            Event::EliminateRun { .. } => "eliminate",
+            Event::ChainsProcessed { .. } => "chains",
+            Event::Progress { .. } => "progress",
+            Event::RunEnd { .. } => "run_end",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_names_are_unique() {
+        let mut names: Vec<_> = Phase::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Phase::ALL.len());
+    }
+
+    #[test]
+    fn event_names_stable() {
+        assert_eq!(Event::BfsStart { source: 0 }.name(), "bfs_start");
+        assert_eq!(
+            Event::PhaseEnd {
+                phase: Phase::Winnow,
+                nanos: 1
+            }
+            .name(),
+            "phase_end"
+        );
+        assert_eq!(
+            Event::RunEnd {
+                diameter: 1,
+                connected: true,
+                nanos: 0
+            }
+            .name(),
+            "run_end"
+        );
+    }
+}

@@ -1,0 +1,430 @@
+//! Minimal dependency-free JSON support.
+//!
+//! The workspace deliberately avoids serde for its telemetry (fdiam-obs
+//! must stay at the bottom of the dependency graph), so this module
+//! provides the two halves the observability layer needs:
+//!
+//! * [`JsonObject`] — an append-only encoder for one flat JSON object,
+//!   used by [`crate::JsonlTraceSink`] and the bench run records.
+//! * [`parse`] — a small recursive-descent parser producing
+//!   [`JsonValue`], used by tests (and offline tooling) to validate
+//!   that emitted lines are well-formed and to read fields back.
+
+use std::fmt::Write as _;
+
+/// Append-only encoder for a single JSON object.
+#[derive(Clone, Debug)]
+pub struct JsonObject {
+    buf: String,
+    empty: bool,
+}
+
+impl JsonObject {
+    pub fn new() -> Self {
+        Self {
+            buf: String::from("{"),
+            empty: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.empty {
+            self.buf.push(',');
+        }
+        self.empty = false;
+        self.buf.push('"');
+        escape_into(&mut self.buf, key);
+        self.buf.push_str("\":");
+    }
+
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.buf.push('"');
+        escape_into(&mut self.buf, value);
+        self.buf.push('"');
+        self
+    }
+
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    pub fn usize(self, key: &str, value: usize) -> Self {
+        self.u64(key, value as u64)
+    }
+
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        self.key(key);
+        if value.is_finite() {
+            let _ = write!(self.buf, "{value}");
+        } else {
+            // JSON has no Infinity/NaN; null is the conventional stand-in.
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Inserts a pre-encoded JSON value (array or object) verbatim.
+    pub fn raw(mut self, key: &str, encoded_json: &str) -> Self {
+        self.key(key);
+        self.buf.push_str(encoded_json);
+        self
+    }
+
+    /// Closes the object and returns the encoded string (no newline).
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn escape_into(buf: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+}
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<JsonValue>),
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one complete JSON value; rejects trailing garbage.
+pub fn parse(input: &str) -> Result<JsonValue, String> {
+    let bytes = input.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            // Surrogate pairs are not needed for our
+                            // own traces; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {:?}", other.map(|c| c as char))),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so
+                    // slicing at char boundaries is safe).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|e| format!("bad number '{text}': {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_roundtrip() {
+        let line = JsonObject::new()
+            .str("type", "bfs_level")
+            .u64("level", 3)
+            .usize("frontier", 17)
+            .bool("bottom_up", false)
+            .f64("frac", 0.25)
+            .finish();
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("bfs_level"));
+        assert_eq!(v.get("level").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("frontier").unwrap().as_u64(), Some(17));
+        assert_eq!(v.get("bottom_up").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("frac").unwrap().as_f64(), Some(0.25));
+    }
+
+    #[test]
+    fn escaping_survives_roundtrip() {
+        let nasty = "a\"b\\c\nd\te\u{1}f";
+        let line = JsonObject::new().str("s", nasty).finish();
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let line = JsonObject::new().f64("x", f64::INFINITY).finish();
+        assert_eq!(parse(&line).unwrap().get("x"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn raw_embeds_arrays() {
+        let line = JsonObject::new().raw("xs", "[1,2,3]").finish();
+        let v = parse(&line).unwrap();
+        match v.get("xs") {
+            Some(JsonValue::Array(items)) => assert_eq!(items.len(), 3),
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_nested_and_rejects_garbage() {
+        let v = parse(r#"{"a":[{"b":null},true,-1.5e2]}"#).unwrap();
+        let arr = match v.get("a") {
+            Some(JsonValue::Array(items)) => items,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(arr[0].get("b"), Some(&JsonValue::Null));
+        assert_eq!(arr[1].as_bool(), Some(true));
+        assert_eq!(arr[2].as_f64(), Some(-150.0));
+
+        assert!(parse("{").is_err());
+        assert!(parse("{}x").is_err());
+        assert!(parse(r#"{"a":}"#).is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn empty_object_and_array() {
+        assert_eq!(parse("{}").unwrap(), JsonValue::Object(vec![]));
+        assert_eq!(parse("[ ]").unwrap(), JsonValue::Array(vec![]));
+    }
+
+    #[test]
+    fn unicode_escape_and_utf8_passthrough() {
+        // First é arrives as a JSON \\u escape (the raw string keeps
+        // the backslash literal for the parser); second é is raw UTF-8.
+        let v = parse(r#"{"s":"A\u00e9é"}"#).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some("Aéé"));
+    }
+}

@@ -1,0 +1,226 @@
+//! Structured trace output: one JSON object per line.
+
+use crate::event::Event;
+use crate::json::JsonObject;
+use crate::observer::Observer;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Observer writing every event as one JSON line (JSON Lines format).
+///
+/// Each line carries a stable `type` field (see [`Event::name`]) and a
+/// `ts_us` microsecond timestamp relative to sink creation, followed by
+/// the event's own fields. The schema is documented in DESIGN.md §7.
+pub struct JsonlTraceSink<W: Write + Send> {
+    out: Mutex<W>,
+    start: Instant,
+}
+
+impl<W: Write + Send> JsonlTraceSink<W> {
+    pub fn new(out: W) -> Self {
+        Self {
+            out: Mutex::new(out),
+            start: Instant::now(),
+        }
+    }
+
+    /// Consumes the sink and returns the writer (test access).
+    pub fn into_inner(self) -> W {
+        self.out.into_inner().unwrap()
+    }
+}
+
+impl JsonlTraceSink<BufWriter<File>> {
+    /// Creates (truncating) a trace file at `path`.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Ok(Self::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+/// Encodes one event to a single JSON object (no newline).
+pub fn encode_event(e: &Event<'_>, ts_us: u64) -> String {
+    let o = JsonObject::new().str("type", e.name()).u64("ts_us", ts_us);
+    match *e {
+        Event::RunStart { algorithm, n, m } => o
+            .str("algorithm", algorithm)
+            .usize("n", n)
+            .usize("m", m)
+            .finish(),
+        Event::PhaseStart { phase } => o.str("phase", phase.name()).finish(),
+        Event::PhaseEnd { phase, nanos } => {
+            o.str("phase", phase.name()).u64("nanos", nanos).finish()
+        }
+        Event::BfsStart { source } => o.u64("source", source as u64).finish(),
+        Event::BfsLevel {
+            level,
+            frontier,
+            edges_scanned,
+            bottom_up,
+        } => o
+            .u64("level", level as u64)
+            .usize("frontier", frontier)
+            .u64("edges_scanned", edges_scanned)
+            .bool("bottom_up", bottom_up)
+            .finish(),
+        Event::DirectionSwitch { level, bottom_up } => o
+            .u64("level", level as u64)
+            .bool("bottom_up", bottom_up)
+            .finish(),
+        Event::EpochRollover { rollovers } => o.u64("rollovers", rollovers).finish(),
+        Event::BfsEnd {
+            source,
+            eccentricity,
+            visited,
+        } => o
+            .u64("source", source as u64)
+            .u64("eccentricity", eccentricity as u64)
+            .usize("visited", visited)
+            .finish(),
+        Event::BoundUpdate { old, new, source } => o
+            .u64("old", old as u64)
+            .u64("new", new as u64)
+            .u64("source", source as u64)
+            .finish(),
+        Event::WinnowGrown { radius } => o.u64("radius", radius as u64).finish(),
+        Event::EliminateRun { removed, extension } => o
+            .usize("removed", removed)
+            .bool("extension", extension)
+            .finish(),
+        Event::ChainsProcessed { count } => o.usize("count", count).finish(),
+        Event::Progress { active, bound } => o
+            .usize("active", active)
+            .u64("bound", bound as u64)
+            .finish(),
+        Event::RunEnd {
+            diameter,
+            connected,
+            nanos,
+        } => o
+            .u64("diameter", diameter as u64)
+            .bool("connected", connected)
+            .u64("nanos", nanos)
+            .finish(),
+    }
+}
+
+impl<W: Write + Send> Observer for JsonlTraceSink<W> {
+    fn event(&self, e: &Event<'_>) {
+        let ts_us = self.start.elapsed().as_micros() as u64;
+        let line = encode_event(e, ts_us);
+        let mut out = self.out.lock().unwrap();
+        let _ = writeln!(out, "{line}");
+        // Flush at the run boundary so the trace is complete on disk
+        // even if the process is killed before the writer drops.
+        if matches!(e, Event::RunEnd { .. }) {
+            let _ = out.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Phase;
+    use crate::json::{parse, JsonValue};
+
+    fn trace_of(events: &[Event<'_>]) -> Vec<JsonValue> {
+        let sink = JsonlTraceSink::new(Vec::new());
+        for e in events {
+            sink.event(e);
+        }
+        let buf = sink.into_inner();
+        String::from_utf8(buf)
+            .unwrap()
+            .lines()
+            .map(|l| parse(l).expect("trace line must be valid JSON"))
+            .collect()
+    }
+
+    #[test]
+    fn every_event_variant_encodes_to_valid_json() {
+        let events = [
+            Event::RunStart {
+                algorithm: "fdiam",
+                n: 10,
+                m: 9,
+            },
+            Event::PhaseStart {
+                phase: Phase::TwoSweep,
+            },
+            Event::BfsStart { source: 7 },
+            Event::BfsLevel {
+                level: 1,
+                frontier: 3,
+                edges_scanned: 12,
+                bottom_up: false,
+            },
+            Event::DirectionSwitch {
+                level: 2,
+                bottom_up: true,
+            },
+            Event::EpochRollover { rollovers: 1 },
+            Event::BfsEnd {
+                source: 7,
+                eccentricity: 4,
+                visited: 10,
+            },
+            Event::PhaseEnd {
+                phase: Phase::TwoSweep,
+                nanos: 1234,
+            },
+            Event::BoundUpdate {
+                old: 3,
+                new: 4,
+                source: 7,
+            },
+            Event::WinnowGrown { radius: 2 },
+            Event::EliminateRun {
+                removed: 5,
+                extension: true,
+            },
+            Event::ChainsProcessed { count: 2 },
+            Event::Progress {
+                active: 3,
+                bound: 4,
+            },
+            Event::RunEnd {
+                diameter: 4,
+                connected: true,
+                nanos: 9999,
+            },
+        ];
+        let lines = trace_of(&events);
+        assert_eq!(lines.len(), events.len());
+        for (line, e) in lines.iter().zip(&events) {
+            assert_eq!(line.get("type").unwrap().as_str(), Some(e.name()));
+            assert!(line.get("ts_us").unwrap().as_u64().is_some());
+        }
+        // Spot-check field fidelity.
+        assert_eq!(lines[0].get("n").unwrap().as_u64(), Some(10));
+        assert_eq!(lines[1].get("phase").unwrap().as_str(), Some("two_sweep"));
+        assert_eq!(lines[3].get("edges_scanned").unwrap().as_u64(), Some(12));
+        assert_eq!(lines[4].get("bottom_up").unwrap().as_bool(), Some(true));
+        assert_eq!(lines[7].get("nanos").unwrap().as_u64(), Some(1234));
+        assert_eq!(lines[10].get("removed").unwrap().as_u64(), Some(5));
+        assert_eq!(lines[13].get("diameter").unwrap().as_u64(), Some(4));
+    }
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let events = [
+            Event::BfsStart { source: 0 },
+            Event::BfsEnd {
+                source: 0,
+                eccentricity: 1,
+                visited: 2,
+            },
+        ];
+        let lines = trace_of(&events);
+        let a = lines[0].get("ts_us").unwrap().as_u64().unwrap();
+        let b = lines[1].get("ts_us").unwrap().as_u64().unwrap();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,48 @@
+//! # fdiam-obs
+//!
+//! Structured tracing, metrics, and progress instrumentation for the
+//! F-Diam stack.
+//!
+//! The paper's entire evaluation (Tables 3–5, Figures 6–9) is built
+//! from internal algorithm telemetry: BFS traversal counts, per-stage
+//! removal percentages, per-stage runtime fractions. This crate makes
+//! that telemetry a first-class, observable event stream instead of ad
+//! hoc counters:
+//!
+//! * [`Observer`] — the sink trait. Algorithm code emits [`Event`]s;
+//!   anything implementing `Observer` can consume them. The
+//!   [`NoopObserver`] (see [`noop`]) reports itself as disabled so hot
+//!   paths can skip event construction entirely — instrumentation is
+//!   zero-cost when nobody is listening.
+//! * [`Event`] — one enum covering the whole pipeline: run lifecycle,
+//!   per-phase spans (2-sweep, Winnow, Chain, Eliminate, eccentricity
+//!   BFS), per-level BFS frontier dynamics, top-down↔bottom-up
+//!   direction switches, epoch rollovers, and diameter lower-bound
+//!   convergence.
+//! * [`MetricsRegistry`] / [`MetricsObserver`] — named atomic counters
+//!   and log₂-bucketed duration histograms, aggregated from the event
+//!   stream (`fdiam diameter --metrics`).
+//! * [`ProgressSink`] — rate-limited human progress lines on stderr:
+//!   active vertices remaining, current bound, BFS/s.
+//! * [`JsonlTraceSink`] — one structured JSON event per line for
+//!   offline analysis (`fdiam diameter --trace out.jsonl`); the schema
+//!   is documented in DESIGN.md §7.
+//! * [`json`] — a minimal dependency-free JSON encoder/parser used by
+//!   the trace sink, the bench run records, and the tests that validate
+//!   them.
+//!
+//! The crate is deliberately std-only: it sits below every other
+//! F-Diam crate in the dependency graph.
+
+pub mod event;
+pub mod json;
+pub mod jsonl;
+pub mod metrics;
+pub mod observer;
+pub mod progress;
+
+pub use event::{Event, Phase};
+pub use jsonl::JsonlTraceSink;
+pub use metrics::{Counter, DurationHistogram, MetricsObserver, MetricsRegistry};
+pub use observer::{noop, Fanout, NoopObserver, Observer, PhaseSpan, Tee};
+pub use progress::ProgressSink;

@@ -1,0 +1,379 @@
+//! Atomic counters, duration histograms, and the observer that feeds
+//! them from the event stream.
+
+use crate::event::{Event, Phase};
+use crate::observer::Observer;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log₂ buckets: bucket `i` holds durations in
+/// `[2^i, 2^(i+1))` nanoseconds; bucket 0 also holds sub-nanosecond
+/// values and bucket 63 everything ≥ 2^63 ns.
+const BUCKETS: usize = 64;
+
+/// A lock-free log₂-bucketed histogram of durations, with exact count,
+/// sum, and max.
+pub struct DurationHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+}
+
+impl Default for DurationHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+impl DurationHistogram {
+    pub fn record(&self, d: Duration) {
+        self.record_nanos(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    pub fn record_nanos(&self, nanos: u64) {
+        let bucket = (64 - nanos.leading_zeros() as usize).saturating_sub(1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> Duration {
+        Duration::from_nanos(self.sum_nanos.load(Ordering::Relaxed))
+    }
+
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed))
+    }
+
+    pub fn mean(&self) -> Duration {
+        match self
+            .sum_nanos
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+        {
+            Some(nanos) => Duration::from_nanos(nanos),
+            None => Duration::ZERO,
+        }
+    }
+
+    /// Upper edge (in nanoseconds) of the bucket containing quantile
+    /// `q` ∈ [0, 1] — a conservative approximation within 2× of the
+    /// true value.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return if i >= 63 { u64::MAX } else { 1u64 << (i + 1) };
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// A registry of named counters and duration histograms.
+///
+/// Names are `&'static str` (all instrumentation sites use literals);
+/// lookups lock briefly but hot paths cache the returned [`Arc`]s.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<DurationHistogram>>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (creating if absent) the counter called `name`.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        Arc::clone(
+            self.counters
+                .lock()
+                .unwrap()
+                .entry(name)
+                .or_insert_with(|| Arc::new(Counter::default())),
+        )
+    }
+
+    /// Returns (creating if absent) the histogram called `name`.
+    pub fn histogram(&self, name: &'static str) -> Arc<DurationHistogram> {
+        Arc::clone(
+            self.histograms
+                .lock()
+                .unwrap()
+                .entry(name)
+                .or_insert_with(|| Arc::new(DurationHistogram::default())),
+        )
+    }
+
+    /// Counter values, sorted by name.
+    pub fn counter_snapshot(&self) -> Vec<(&'static str, u64)> {
+        self.counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, c)| (*name, c.get()))
+            .collect()
+    }
+
+    /// Human-readable summary of every metric, one per line.
+    pub fn render_summary(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in self.counter_snapshot() {
+            out.push_str(&format!("{name:<32} {value}\n"));
+        }
+        let histos = self.histograms.lock().unwrap();
+        for (name, h) in histos.iter() {
+            if h.count() == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "{:<32} count {} | total {:.3}s | mean {:.3}ms | p99 ≤ {:.3}ms | max {:.3}ms\n",
+                name,
+                h.count(),
+                h.sum().as_secs_f64(),
+                h.mean().as_secs_f64() * 1e3,
+                h.quantile_upper_bound(0.99) as f64 / 1e6,
+                h.max().as_secs_f64() * 1e3,
+            ));
+        }
+        out
+    }
+}
+
+/// Observer aggregating the event stream into a [`MetricsRegistry`].
+///
+/// Counter names (all prefixed to avoid collisions with user metrics):
+///
+/// | name | meaning |
+/// |---|---|
+/// | `bfs.traversals` | eccentricity BFS calls completed |
+/// | `bfs.levels` | BFS expansions performed |
+/// | `bfs.bottom_up_levels` | expansions that ran bottom-up |
+/// | `bfs.edges_scanned` | edges examined across all expansions |
+/// | `bfs.direction_switches` | top-down↔bottom-up transitions |
+/// | `bfs.epoch_rollovers` | visit-epoch counter wraps |
+/// | `driver.bound_updates` | diameter lower-bound improvements |
+/// | `driver.winnow_calls` | winnow growths (Table 3 traversals) |
+/// | `driver.eliminate_calls` | Eliminate invocations |
+/// | `driver.eliminated_vertices` | vertices removed by Eliminate |
+/// | `driver.chains_processed` | degree-1 chains handled |
+///
+/// Histograms: `phase.<name>.duration` for every [`Phase`] span and
+/// `run.duration` for whole runs.
+pub struct MetricsObserver {
+    registry: Arc<MetricsRegistry>,
+    traversals: Arc<Counter>,
+    levels: Arc<Counter>,
+    bottom_up_levels: Arc<Counter>,
+    edges: Arc<Counter>,
+    switches: Arc<Counter>,
+    rollovers: Arc<Counter>,
+    bound_updates: Arc<Counter>,
+    winnow_calls: Arc<Counter>,
+    eliminate_calls: Arc<Counter>,
+    eliminated: Arc<Counter>,
+    chains: Arc<Counter>,
+    phase_durations: [Arc<DurationHistogram>; Phase::ALL.len()],
+    run_duration: Arc<DurationHistogram>,
+}
+
+impl MetricsObserver {
+    pub fn new(registry: Arc<MetricsRegistry>) -> Self {
+        let phase_durations = std::array::from_fn(|i| {
+            registry.histogram(match Phase::ALL[i] {
+                Phase::TwoSweep => "phase.two_sweep.duration",
+                Phase::Winnow => "phase.winnow.duration",
+                Phase::Chain => "phase.chain.duration",
+                Phase::Eliminate => "phase.eliminate.duration",
+                Phase::EccBfs => "phase.ecc_bfs.duration",
+            })
+        });
+        Self {
+            traversals: registry.counter("bfs.traversals"),
+            levels: registry.counter("bfs.levels"),
+            bottom_up_levels: registry.counter("bfs.bottom_up_levels"),
+            edges: registry.counter("bfs.edges_scanned"),
+            switches: registry.counter("bfs.direction_switches"),
+            rollovers: registry.counter("bfs.epoch_rollovers"),
+            bound_updates: registry.counter("driver.bound_updates"),
+            winnow_calls: registry.counter("driver.winnow_calls"),
+            eliminate_calls: registry.counter("driver.eliminate_calls"),
+            eliminated: registry.counter("driver.eliminated_vertices"),
+            chains: registry.counter("driver.chains_processed"),
+            run_duration: registry.histogram("run.duration"),
+            phase_durations,
+            registry,
+        }
+    }
+
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+}
+
+impl Observer for MetricsObserver {
+    fn event(&self, e: &Event<'_>) {
+        match *e {
+            Event::BfsEnd { .. } => self.traversals.inc(),
+            Event::BfsLevel {
+                edges_scanned,
+                bottom_up,
+                ..
+            } => {
+                self.levels.inc();
+                self.edges.add(edges_scanned);
+                if bottom_up {
+                    self.bottom_up_levels.inc();
+                }
+            }
+            Event::DirectionSwitch { .. } => self.switches.inc(),
+            Event::EpochRollover { .. } => self.rollovers.inc(),
+            Event::BoundUpdate { .. } => self.bound_updates.inc(),
+            Event::WinnowGrown { .. } => self.winnow_calls.inc(),
+            Event::EliminateRun { removed, .. } => {
+                self.eliminate_calls.inc();
+                self.eliminated.add(removed as u64);
+            }
+            Event::ChainsProcessed { count } => self.chains.add(count as u64),
+            Event::PhaseEnd { phase, nanos } => {
+                let i = Phase::ALL.iter().position(|&p| p == phase).unwrap();
+                self.phase_durations[i].record_nanos(nanos);
+            }
+            Event::RunEnd { nanos, .. } => self.run_duration.record_nanos(nanos),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let h = DurationHistogram::default();
+        for ms in [1u64, 2, 4, 8] {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), Duration::from_millis(15));
+        assert_eq!(h.max(), Duration::from_millis(8));
+        assert!(h.mean() >= Duration::from_millis(3));
+        // p100 upper bound must cover the max
+        assert!(h.quantile_upper_bound(1.0) >= 8_000_000);
+        // p25 bound must not exceed the largest sample's bucket edge
+        assert!(h.quantile_upper_bound(0.25) <= 2_097_152);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = DurationHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.quantile_upper_bound(0.5), 0);
+    }
+
+    #[test]
+    fn zero_duration_lands_in_bucket_zero() {
+        let h = DurationHistogram::default();
+        h.record_nanos(0);
+        h.record_nanos(1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), Duration::from_nanos(1));
+    }
+
+    #[test]
+    fn registry_deduplicates_by_name() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert_eq!(r.counter_snapshot(), vec![("x", 1)]);
+    }
+
+    #[test]
+    fn observer_routes_events() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let obs = MetricsObserver::new(Arc::clone(&reg));
+        obs.event(&Event::BfsEnd {
+            source: 0,
+            eccentricity: 3,
+            visited: 10,
+        });
+        obs.event(&Event::BfsLevel {
+            level: 1,
+            frontier: 5,
+            edges_scanned: 12,
+            bottom_up: true,
+        });
+        obs.event(&Event::DirectionSwitch {
+            level: 2,
+            bottom_up: true,
+        });
+        obs.event(&Event::EliminateRun {
+            removed: 7,
+            extension: false,
+        });
+        obs.event(&Event::PhaseEnd {
+            phase: Phase::Winnow,
+            nanos: 1000,
+        });
+        assert_eq!(reg.counter("bfs.traversals").get(), 1);
+        assert_eq!(reg.counter("bfs.edges_scanned").get(), 12);
+        assert_eq!(reg.counter("bfs.bottom_up_levels").get(), 1);
+        assert_eq!(reg.counter("bfs.direction_switches").get(), 1);
+        assert_eq!(reg.counter("driver.eliminated_vertices").get(), 7);
+        assert_eq!(reg.histogram("phase.winnow.duration").count(), 1);
+        let summary = reg.render_summary();
+        assert!(summary.contains("bfs.direction_switches"));
+        assert!(summary.contains("phase.winnow.duration"));
+    }
+}

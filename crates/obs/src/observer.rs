@@ -1,0 +1,205 @@
+//! The [`Observer`] trait and its combinators.
+
+use crate::event::{Event, Phase};
+use std::time::Instant;
+
+/// A sink for [`Event`]s emitted by the F-Diam stack.
+///
+/// Implementations must be cheap and thread-safe: parallel BFS levels
+/// and concurrent eccentricity batches emit from rayon worker threads.
+pub trait Observer: Sync {
+    /// Consumes one event.
+    fn event(&self, e: &Event<'_>);
+
+    /// `false` when every event would be discarded unseen. Emitters may
+    /// (but need not) skip constructing events when disabled.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Whether per-level BFS telemetry (frontier sizes, edge-scan
+    /// counts, direction switches) is wanted. Computing those costs
+    /// O(frontier) extra work per level, so the BFS kernels consult
+    /// this once per traversal and fall back to the uninstrumented
+    /// expansion paths when it is `false`.
+    fn wants_bfs_detail(&self) -> bool {
+        self.enabled()
+    }
+}
+
+/// The disabled observer: discards everything and reports
+/// [`Observer::enabled`] `false` so emitters skip event construction.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopObserver;
+
+impl Observer for NoopObserver {
+    #[inline]
+    fn event(&self, _: &Event<'_>) {}
+
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// The canonical disabled observer.
+pub fn noop() -> &'static NoopObserver {
+    static NOOP: NoopObserver = NoopObserver;
+    &NOOP
+}
+
+/// Duplicates every event to two observers. Used by the F-Diam driver
+/// to combine its internal statistics collector with a caller-supplied
+/// observer without allocation.
+pub struct Tee<'a>(pub &'a dyn Observer, pub &'a dyn Observer);
+
+impl Observer for Tee<'_> {
+    #[inline]
+    fn event(&self, e: &Event<'_>) {
+        self.0.event(e);
+        self.1.event(e);
+    }
+
+    fn enabled(&self) -> bool {
+        self.0.enabled() || self.1.enabled()
+    }
+
+    fn wants_bfs_detail(&self) -> bool {
+        self.0.wants_bfs_detail() || self.1.wants_bfs_detail()
+    }
+}
+
+/// Duplicates every event to a dynamic set of observers (CLI wiring:
+/// any subset of progress/trace/metrics sinks may be active).
+#[derive(Default)]
+pub struct Fanout {
+    sinks: Vec<Box<dyn Observer + Send>>,
+}
+
+impl Fanout {
+    pub fn new(sinks: Vec<Box<dyn Observer + Send>>) -> Self {
+        Self { sinks }
+    }
+
+    pub fn push(&mut self, sink: Box<dyn Observer + Send>) {
+        self.sinks.push(sink);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl Observer for Fanout {
+    fn event(&self, e: &Event<'_>) {
+        for s in &self.sinks {
+            s.event(e);
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn wants_bfs_detail(&self) -> bool {
+        self.sinks.iter().any(|s| s.wants_bfs_detail())
+    }
+}
+
+/// RAII phase span: emits [`Event::PhaseStart`] on creation and
+/// [`Event::PhaseEnd`] with the elapsed wall-clock nanoseconds on drop.
+pub struct PhaseSpan<'a> {
+    obs: &'a dyn Observer,
+    phase: Phase,
+    start: Instant,
+}
+
+impl<'a> PhaseSpan<'a> {
+    pub fn enter(obs: &'a dyn Observer, phase: Phase) -> Self {
+        obs.event(&Event::PhaseStart { phase });
+        Self {
+            obs,
+            phase,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for PhaseSpan<'_> {
+    fn drop(&mut self) {
+        self.obs.event(&Event::PhaseEnd {
+            phase: self.phase,
+            nanos: self.start.elapsed().as_nanos() as u64,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Test helper: records event names.
+    pub(crate) struct Recorder(pub Mutex<Vec<String>>);
+
+    impl Recorder {
+        pub fn new() -> Self {
+            Recorder(Mutex::new(Vec::new()))
+        }
+    }
+
+    impl Observer for Recorder {
+        fn event(&self, e: &Event<'_>) {
+            self.0.lock().unwrap().push(e.name().to_string());
+        }
+    }
+
+    #[test]
+    fn noop_is_disabled() {
+        assert!(!noop().enabled());
+        assert!(!noop().wants_bfs_detail());
+        noop().event(&Event::BfsStart { source: 0 }); // must not panic
+    }
+
+    #[test]
+    fn tee_duplicates_and_ors_flags() {
+        let a = Recorder::new();
+        let b = Recorder::new();
+        let t = Tee(&a, &b);
+        assert!(t.enabled());
+        t.event(&Event::BfsStart { source: 3 });
+        assert_eq!(*a.0.lock().unwrap(), vec!["bfs_start"]);
+        assert_eq!(*b.0.lock().unwrap(), vec!["bfs_start"]);
+
+        let t2 = Tee(noop(), noop());
+        assert!(!t2.enabled());
+        let t3 = Tee(noop(), &a);
+        assert!(t3.enabled() && t3.wants_bfs_detail());
+    }
+
+    #[test]
+    fn fanout_delivers_to_all() {
+        let mut f = Fanout::default();
+        assert!(f.is_empty());
+        assert!(!f.enabled());
+        f.push(Box::new(NoopObserver));
+        assert!(!f.enabled(), "noop-only fanout stays disabled");
+        f.event(&Event::Progress {
+            active: 1,
+            bound: 2,
+        });
+    }
+
+    #[test]
+    fn span_emits_start_and_end() {
+        let r = Recorder::new();
+        {
+            let _s = PhaseSpan::enter(&r, Phase::Winnow);
+            r.event(&Event::WinnowGrown { radius: 2 });
+        }
+        assert_eq!(
+            *r.0.lock().unwrap(),
+            vec!["phase_start", "winnow", "phase_end"]
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Human progress lines, rate-limited.
+
+use crate::event::Event;
+use crate::observer::Observer;
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Observer printing one-line progress updates to a writer (normally
+/// stderr): active vertices remaining, current lower bound, and the
+/// eccentricity-BFS rate.
+///
+/// Lines are emitted at most once per `min_interval` (long diameter
+/// runs perform millions of iterations; a terminal is not a 10 MHz
+/// device), except for the final `run_end` summary which always
+/// prints.
+pub struct ProgressSink<W: Write + Send> {
+    state: Mutex<State<W>>,
+    min_interval: Duration,
+}
+
+struct State<W> {
+    out: W,
+    started: Instant,
+    last_emit: Option<Instant>,
+    n: usize,
+    bfs_done: u64,
+    bound: u32,
+    active: usize,
+}
+
+impl<W: Write + Send> ProgressSink<W> {
+    pub fn new(out: W, min_interval: Duration) -> Self {
+        Self {
+            state: Mutex::new(State {
+                out,
+                started: Instant::now(),
+                last_emit: None,
+                n: 0,
+                bfs_done: 0,
+                bound: 0,
+                active: 0,
+            }),
+            min_interval,
+        }
+    }
+
+    /// Consumes the sink and returns the writer (test access).
+    pub fn into_inner(self) -> W {
+        self.state.into_inner().unwrap().out
+    }
+}
+
+impl ProgressSink<std::io::Stderr> {
+    /// Progress on stderr, throttled to 5 lines/second.
+    pub fn stderr() -> Self {
+        Self::new(std::io::stderr(), Duration::from_millis(200))
+    }
+}
+
+impl<W: Write + Send> ProgressSink<W> {
+    fn emit(s: &mut State<W>, force: bool, min_interval: Duration) {
+        let now = Instant::now();
+        if !force {
+            if let Some(last) = s.last_emit {
+                if now.duration_since(last) < min_interval {
+                    return;
+                }
+            }
+        }
+        s.last_emit = Some(now);
+        let elapsed = now.duration_since(s.started).as_secs_f64();
+        let rate = if elapsed > 0.0 {
+            s.bfs_done as f64 / elapsed
+        } else {
+            0.0
+        };
+        let removed_pct = if s.n > 0 {
+            100.0 * (s.n - s.active.min(s.n)) as f64 / s.n as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            s.out,
+            "[fdiam] bfs {:>6} | bound {:>6} | active {:>9}/{} ({removed_pct:.1}% removed) | {rate:.1} bfs/s",
+            s.bfs_done, s.bound, s.active, s.n
+        );
+    }
+}
+
+impl<W: Write + Send> Observer for ProgressSink<W> {
+    fn event(&self, e: &Event<'_>) {
+        let mut s = self.state.lock().unwrap();
+        match *e {
+            Event::RunStart { n, .. } => {
+                s.n = n;
+                s.active = n;
+                s.started = Instant::now();
+            }
+            Event::BfsEnd { .. } => s.bfs_done += 1,
+            Event::BoundUpdate { new, .. } => s.bound = new,
+            Event::Progress { active, bound } => {
+                s.active = active;
+                s.bound = bound;
+                Self::emit(&mut s, false, self.min_interval);
+            }
+            Event::RunEnd {
+                diameter, nanos, ..
+            } => {
+                s.active = 0;
+                s.bound = diameter;
+                Self::emit(&mut s, true, self.min_interval);
+                let bfs_done = s.bfs_done;
+                let _ = writeln!(
+                    s.out,
+                    "[fdiam] done: diameter {} after {} BFS in {:.3}s",
+                    diameter,
+                    bfs_done,
+                    nanos as f64 / 1e9
+                );
+                let _ = s.out.flush();
+            }
+            _ => {}
+        }
+    }
+
+    /// Progress does not need per-level BFS telemetry.
+    fn wants_bfs_detail(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(sink: ProgressSink<Vec<u8>>) -> Vec<String> {
+        String::from_utf8(sink.into_inner())
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect()
+    }
+
+    #[test]
+    fn unthrottled_sink_reports_each_progress_event() {
+        let sink = ProgressSink::new(Vec::new(), Duration::ZERO);
+        sink.event(&Event::RunStart {
+            algorithm: "fdiam",
+            n: 100,
+            m: 200,
+        });
+        sink.event(&Event::BfsEnd {
+            source: 0,
+            eccentricity: 4,
+            visited: 100,
+        });
+        sink.event(&Event::BoundUpdate {
+            old: 0,
+            new: 4,
+            source: 0,
+        });
+        sink.event(&Event::Progress {
+            active: 40,
+            bound: 4,
+        });
+        sink.event(&Event::RunEnd {
+            diameter: 5,
+            connected: true,
+            nanos: 2_000_000_000,
+        });
+        let out = lines(sink);
+        assert_eq!(out.len(), 3, "{out:?}"); // progress + final + done
+        assert!(out[0].contains("bound      4"), "{}", out[0]);
+        assert!(out[0].contains("active        40/100"), "{}", out[0]);
+        assert!(out[0].contains("(60.0% removed)"), "{}", out[0]);
+        assert!(out[2].contains("diameter 5 after 1 BFS"), "{}", out[2]);
+    }
+
+    #[test]
+    fn throttling_suppresses_rapid_updates() {
+        let sink = ProgressSink::new(Vec::new(), Duration::from_secs(3600));
+        sink.event(&Event::RunStart {
+            algorithm: "fdiam",
+            n: 10,
+            m: 9,
+        });
+        for i in 0..50 {
+            sink.event(&Event::Progress {
+                active: 10 - (i % 10) as usize,
+                bound: i,
+            });
+        }
+        sink.event(&Event::RunEnd {
+            diameter: 9,
+            connected: true,
+            nanos: 1,
+        });
+        let out = lines(sink);
+        // first progress emits (no last_emit), the rest throttle, the
+        // final summary always emits (2 lines).
+        assert_eq!(out.len(), 3, "{out:?}");
+    }
+
+    #[test]
+    fn progress_does_not_want_bfs_detail() {
+        let sink = ProgressSink::new(Vec::new(), Duration::ZERO);
+        assert!(sink.enabled());
+        assert!(!sink.wants_bfs_detail());
+    }
+}

@@ -29,7 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     edgelist::write_edge_list_file(&g, &p)?;
     let g2 = edgelist::read_edge_list_file(&p, 0)?;
     assert_eq!(g2, g);
-    println!("edge list  roundtrip ok: {} ({} bytes)", p.display(), std::fs::metadata(&p)?.len());
+    println!(
+        "edge list  roundtrip ok: {} ({} bytes)",
+        p.display(),
+        std::fs::metadata(&p)?.len()
+    );
 
     // DIMACS-9 (the USA-road-d format).
     let p = dir.join("grid.gr");
@@ -38,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::write(&p, &buf)?;
     let g2 = dimacs::read_dimacs_file(&p)?;
     assert_eq!(g2, g);
-    println!("DIMACS     roundtrip ok: {} ({} bytes)", p.display(), buf.len());
+    println!(
+        "DIMACS     roundtrip ok: {} ({} bytes)",
+        p.display(),
+        buf.len()
+    );
 
     // Matrix Market (the SuiteSparse format).
     let p = dir.join("grid.mtx");
@@ -47,7 +55,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::write(&p, &buf)?;
     let g2 = mtx::read_mtx_file(&p)?;
     assert_eq!(g2, g);
-    println!("MatrixMkt  roundtrip ok: {} ({} bytes)", p.display(), buf.len());
+    println!(
+        "MatrixMkt  roundtrip ok: {} ({} bytes)",
+        p.display(),
+        buf.len()
+    );
 
     // Binary CSR — the fast path for large generated inputs.
     let big = kronecker_graph500(14, 16, 9);

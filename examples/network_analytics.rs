@@ -71,5 +71,8 @@ fn main() {
 
     // Theorem 3 sanity: radius ≥ diameter / 2.
     assert!(2 * ss.radius >= ss.diameter);
-    println!("\nTheorem 3 holds: radius {} ≥ diameter {} / 2 ✓", ss.radius, ss.diameter);
+    println!(
+        "\nTheorem 3 holds: radius {} ≥ diameter {} / 2 ✓",
+        ss.radius, ss.diameter
+    );
 }

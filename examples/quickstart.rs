@@ -12,8 +12,8 @@ use f_diam::graph::EdgeList;
 fn main() {
     // 1. A small hand-made graph (the paper's Figure 1: K4 minus one
     //    edge — diameter 2).
-    let g = EdgeList::from_undirected(4, &[(0, 1), (0, 2), (0, 3), (3, 1), (3, 2)])
-        .to_undirected_csr();
+    let g =
+        EdgeList::from_undirected(4, &[(0, 1), (0, 2), (0, 3), (3, 1), (3, 2)]).to_undirected_csr();
     let r = diameter(&g);
     println!("figure-1 graph: diameter = {r}");
     assert_eq!(r.diameter(), Some(2));

@@ -70,6 +70,9 @@ fn main() {
     assert!(radius * 2 >= diam, "Theorem 3: radius >= diameter/2");
     for d in radius..=diam {
         let count = eccs.iter().filter(|&&e| e == d).count();
-        println!("  ecc {d}: {count:6} members {}", "#".repeat(count * 60 / eccs.len()));
+        println!(
+            "  ecc {d}: {count:6} members {}",
+            "#".repeat(count * 60 / eccs.len())
+        );
     }
 }

@@ -5,10 +5,11 @@
 //! baseline algorithms it is evaluated against.
 //!
 //! See the crate-level docs of each member for details:
-//! [`graph`], [`bfs`], [`fdiam`], [`baselines`].
+//! [`graph`], [`bfs`], [`fdiam`], [`baselines`], [`obs`].
 
 pub use fdiam_analytics as analytics;
 pub use fdiam_baselines as baselines;
 pub use fdiam_bfs as bfs;
 pub use fdiam_core as fdiam;
 pub use fdiam_graph as graph;
+pub use fdiam_obs as obs;

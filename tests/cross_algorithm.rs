@@ -19,7 +19,10 @@ fn check_all(g: &CsrGraph, ctx: &str) {
         ("fdiam-ser", FdiamConfig::serial()),
         ("fdiam-no-winnow", FdiamConfig::parallel().without_winnow()),
         ("fdiam-no-elim", FdiamConfig::parallel().without_eliminate()),
-        ("fdiam-no-u", FdiamConfig::parallel().without_max_degree_start()),
+        (
+            "fdiam-no-u",
+            FdiamConfig::parallel().without_max_degree_start(),
+        ),
         ("fdiam-no-chain", FdiamConfig::serial().without_chain()),
     ] {
         let out = diameter_with(g, &cfg);
@@ -48,7 +51,10 @@ fn grid_class() {
 fn power_law_class() {
     for seed in 0..3 {
         check_all(&barabasi_albert(200, 3, seed), &format!("ba seed {seed}"));
-        check_all(&barabasi_albert(150, 1, seed), &format!("ba m=1 (tree) seed {seed}"));
+        check_all(
+            &barabasi_albert(150, 1, seed),
+            &format!("ba m=1 (tree) seed {seed}"),
+        );
     }
 }
 
@@ -56,7 +62,10 @@ fn power_law_class() {
 fn road_class() {
     for seed in 0..3 {
         check_all(&road_like(180, 0.1, seed), &format!("road seed {seed}"));
-        check_all(&road_like(150, 0.0, seed), &format!("road tree seed {seed}"));
+        check_all(
+            &road_like(150, 0.0, seed),
+            &format!("road tree seed {seed}"),
+        );
     }
 }
 

@@ -1,0 +1,112 @@
+//! End-to-end observability: a traced F-Diam run must produce a valid
+//! JSONL event stream covering every algorithm stage, with stage
+//! durations that sum to no more than the total runtime, and the
+//! metrics registry must expose per-BFS direction-switch counters.
+
+use f_diam::fdiam::{diameter_with_observer, FdiamConfig};
+use f_diam::graph::generators::{grid2d, star};
+use f_diam::graph::transform::disjoint_union;
+use f_diam::obs::json::{parse, JsonValue};
+use f_diam::obs::{JsonlTraceSink, MetricsObserver, MetricsRegistry};
+use std::sync::Arc;
+
+fn traced_run(cfg: &FdiamConfig) -> (u32, Vec<JsonValue>) {
+    let g = disjoint_union(&grid2d(10, 10), &grid2d(3, 3));
+    let sink = JsonlTraceSink::new(Vec::new());
+    let out = diameter_with_observer(&g, cfg, &sink);
+    let body = String::from_utf8(sink.into_inner()).unwrap();
+    let events: Vec<JsonValue> = body
+        .lines()
+        .map(|line| parse(line).unwrap_or_else(|e| panic!("bad JSONL ({e}): {line}")))
+        .collect();
+    (out.result.largest_cc_diameter, events)
+}
+
+fn event_type(v: &JsonValue) -> &str {
+    v.get("type").and_then(|t| t.as_str()).expect("type field")
+}
+
+#[test]
+fn trace_covers_every_stage() {
+    for cfg in [FdiamConfig::serial(), FdiamConfig::parallel()] {
+        let (diameter, events) = traced_run(&cfg);
+        assert_eq!(diameter, 18);
+        assert!(!events.is_empty());
+        assert_eq!(event_type(&events[0]), "run_start");
+        assert_eq!(event_type(events.last().unwrap()), "run_end");
+
+        // ≥ 1 phase_end per stage: 2-sweep, winnow, chain, eliminate,
+        // ecc-BFS (the ISSUE's acceptance criterion).
+        for stage in ["two_sweep", "winnow", "chain", "eliminate", "ecc_bfs"] {
+            let hits = events
+                .iter()
+                .filter(|e| {
+                    event_type(e) == "phase_end"
+                        && e.get("phase").and_then(|p| p.as_str()) == Some(stage)
+                })
+                .count();
+            assert!(hits >= 1, "no phase_end for stage {stage}");
+        }
+        // BFS lifecycle present too.
+        assert!(events.iter().any(|e| event_type(e) == "bfs_end"));
+        assert!(events.iter().any(|e| event_type(e) == "bound_update"));
+    }
+}
+
+#[test]
+fn leaf_stage_durations_sum_to_at_most_total() {
+    // Serial: leaf spans never overlap, so their sum is bounded by the
+    // whole-run wall clock reported in run_end.
+    let (_, events) = traced_run(&FdiamConfig::serial());
+    let leaf_sum: u64 = events
+        .iter()
+        .filter(|e| {
+            event_type(e) == "phase_end"
+                && e.get("phase").and_then(|p| p.as_str()) != Some("two_sweep")
+        })
+        .map(|e| e.get("nanos").unwrap().as_u64().unwrap())
+        .sum();
+    let total = events
+        .iter()
+        .find(|e| event_type(e) == "run_end")
+        .and_then(|e| e.get("nanos"))
+        .and_then(|n| n.as_u64())
+        .expect("run_end.nanos");
+    assert!(
+        leaf_sum <= total,
+        "stage durations {leaf_sum}ns exceed total {total}ns"
+    );
+}
+
+#[test]
+fn trace_timestamps_are_monotonic() {
+    let (_, events) = traced_run(&FdiamConfig::serial());
+    let mut last = 0;
+    for e in &events {
+        let ts = e.get("ts_us").unwrap().as_u64().unwrap();
+        assert!(ts >= last, "timestamps must not go backwards");
+        last = ts;
+    }
+}
+
+#[test]
+fn metrics_expose_direction_switches_on_a_star() {
+    // A star's first eccentricity BFS explodes from 1 to n-1 frontier
+    // vertices, forcing a top-down → bottom-up switch.
+    let g = star(200);
+    let registry = Arc::new(MetricsRegistry::new());
+    let observer = MetricsObserver::new(Arc::clone(&registry));
+    let out = diameter_with_observer(&g, &FdiamConfig::parallel(), &observer);
+    assert_eq!(out.result.largest_cc_diameter, 2);
+
+    assert!(registry.counter("bfs.traversals").get() > 0);
+    assert!(
+        registry.counter("bfs.direction_switches").get() > 0,
+        "per-BFS direction-switch counter must be populated"
+    );
+    assert!(registry.counter("bfs.levels").get() > 0);
+    assert!(registry.counter("bfs.edges_scanned").get() > 0);
+    let summary = registry.render_summary();
+    assert!(summary.contains("bfs.direction_switches"), "{summary}");
+    assert!(summary.contains("run.duration"), "{summary}");
+}
