@@ -19,7 +19,7 @@
 use crate::sweep::four_sweep;
 use crate::BaselineResult;
 use fdiam_bfs::distances::{bfs_distances_serial, UNREACHABLE};
-use fdiam_bfs::{bfs_eccentricity_hybrid, bfs_eccentricity_serial, BfsConfig, VisitMarks};
+use fdiam_bfs::{bfs_eccentricity_hybrid, bfs_eccentricity_serial, BfsConfig, BfsScratch};
 use fdiam_graph::{CsrGraph, VertexId};
 
 /// Serial iFUB.
@@ -42,7 +42,7 @@ fn run(g: &CsrGraph, parallel: bool) -> BaselineResult {
         };
     }
     let cc = fdiam_graph::components::ConnectedComponents::compute(g);
-    let mut marks = VisitMarks::new(n);
+    let mut scratch = BfsScratch::new(n);
     let bfs_cfg = BfsConfig::default();
     let mut best = 0u32;
     let mut bfs_calls = 0usize;
@@ -63,7 +63,7 @@ fn run(g: &CsrGraph, parallel: bool) -> BaselineResult {
         if g.degree(start) == 0 {
             continue; // isolated vertex: eccentricity 0
         }
-        let (d, calls) = ifub_component(g, start, &mut marks, parallel, &bfs_cfg);
+        let (d, calls) = ifub_component(g, start, &mut scratch, parallel, &bfs_cfg);
         best = best.max(d);
         bfs_calls += calls;
     }
@@ -79,7 +79,7 @@ fn run(g: &CsrGraph, parallel: bool) -> BaselineResult {
 fn ifub_component(
     g: &CsrGraph,
     start: VertexId,
-    marks: &mut VisitMarks,
+    scratch: &mut BfsScratch,
     parallel: bool,
     bfs_cfg: &BfsConfig,
 ) -> (u32, usize) {
@@ -104,9 +104,9 @@ fn ifub_component(
     while ub > lb && i >= 1 {
         for &v in &fringes[i as usize] {
             let e = if parallel {
-                bfs_eccentricity_hybrid(g, v, marks, bfs_cfg).eccentricity
+                bfs_eccentricity_hybrid(g, v, scratch, bfs_cfg).eccentricity
             } else {
-                bfs_eccentricity_serial(g, v, marks).eccentricity
+                bfs_eccentricity_serial(g, v, scratch.marks_mut()).eccentricity
             };
             bfs_calls += 1;
             lb = lb.max(e);

@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use fdiam_bfs::{
     bfs_eccentricity_hybrid, bfs_eccentricity_hybrid_observed, bfs_eccentricity_serial, BfsConfig,
-    VisitMarks,
+    BfsScratch, VisitMarks,
 };
 use fdiam_graph::generators::{barabasi_albert, grid2d};
 use fdiam_obs::noop;
@@ -27,24 +27,24 @@ fn bench_bfs(c: &mut Criterion) {
         group.bench_function(format!("{name}/serial"), |b| {
             b.iter(|| black_box(bfs_eccentricity_serial(g, 0, &mut marks).eccentricity))
         });
-        let mut marks = VisitMarks::new(g.num_vertices());
+        let mut scratch = BfsScratch::new(g.num_vertices());
         group.bench_function(format!("{name}/hybrid"), |b| {
-            b.iter(|| black_box(bfs_eccentricity_hybrid(g, 0, &mut marks, &cfg).eccentricity))
+            b.iter(|| black_box(bfs_eccentricity_hybrid(g, 0, &mut scratch, &cfg).eccentricity))
         });
-        let mut marks = VisitMarks::new(g.num_vertices());
+        let mut scratch = BfsScratch::new(g.num_vertices());
         group.bench_function(format!("{name}/parallel_top_down"), |b| {
             b.iter(|| {
-                black_box(bfs_eccentricity_hybrid(g, 0, &mut marks, &top_down_only).eccentricity)
+                black_box(bfs_eccentricity_hybrid(g, 0, &mut scratch, &top_down_only).eccentricity)
             })
         });
         // Same kernel through the instrumented entry point with the
         // no-op observer: regression guard for the "no measurable
         // overhead when disabled" requirement.
-        let mut marks = VisitMarks::new(g.num_vertices());
+        let mut scratch = BfsScratch::new(g.num_vertices());
         group.bench_function(format!("{name}/hybrid_observed_noop"), |b| {
             b.iter(|| {
                 black_box(
-                    bfs_eccentricity_hybrid_observed(g, 0, &mut marks, &cfg, noop()).eccentricity,
+                    bfs_eccentricity_hybrid_observed(g, 0, &mut scratch, &cfg, noop()).eccentricity,
                 )
             })
         });

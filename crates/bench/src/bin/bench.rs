@@ -1,0 +1,16 @@
+//! The bench-regression CLI: `summarize` folds JSONL run records into a
+//! `BENCH_<rev>.json` summary; `compare` diffs two summaries and exits
+//! nonzero on a regression beyond the tolerance. See
+//! [`fdiam_bench::compare`] for formats and semantics.
+//!
+//! ```text
+//! cargo run -p fdiam-bench --release --bin bench -- \
+//!   summarize results/table2_fig6_small.jsonl --out BENCH_$(git rev-parse --short HEAD).json
+//! cargo run -p fdiam-bench --release --bin bench -- \
+//!   compare results/baseline-small.json BENCH_abc1234.json --tolerance 0.25
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(fdiam_bench::compare::cli_main(&args));
+}

@@ -1,0 +1,591 @@
+//! Bench-regression harness: folds JSONL run records into a compact
+//! per-key summary (`BENCH_<rev>.json`) and diffs two such summaries
+//! with a configurable tolerance.
+//!
+//! The JSONL records come from the table/figure binaries
+//! ([`crate::record`]); each carries `code`, `graph`, `scale` and a
+//! `median_secs` (null when timed out). [`summarize_jsonl`] groups them
+//! by the key `code/graph/scale` and keeps the **median** and **min**
+//! of the per-record medians — median for the regression verdict (robust
+//! to one noisy record), min as the "best observed" reference number.
+//!
+//! [`compare`] flags a key as regressed when
+//! `current.median > baseline.median × (1 + tolerance)`. Keys missing
+//! on either side are reported but never fail the comparison: CI runs a
+//! `FDIAM_ONLY`-filtered subset, so the current summary is routinely a
+//! strict subset of the checked-in baseline.
+//!
+//! [`cli_main`] implements the `bench` binary (`summarize` /
+//! `compare` subcommands) as a testable function returning the process
+//! exit code: 0 = clean, 1 = regression detected, 2 = usage or I/O
+//! error.
+
+use fdiam_obs::json::{parse, JsonObject, JsonValue};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Summary statistics for one `code/graph/scale` key.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelStat {
+    /// Median of the per-record `median_secs` values.
+    pub median_secs: f64,
+    /// Minimum of the per-record `median_secs` values.
+    pub min_secs: f64,
+    /// Number of records with a finite time behind the statistics.
+    pub samples: usize,
+    /// Number of records that were timed out (null `median_secs` with
+    /// `runs > 0`). A key with only timeouts has `samples == 0` and
+    /// NaN statistics are never produced — such keys are dropped with
+    /// the timeout count retained.
+    pub timeouts: usize,
+}
+
+/// A benchmark summary: `code/graph/scale` → statistics, ordered by key
+/// so the encoded JSON is deterministic and diff-friendly.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BenchSummary {
+    pub entries: BTreeMap<String, KernelStat>,
+}
+
+/// Folds JSONL run-record lines into a [`BenchSummary`]. Blank lines
+/// are skipped; a malformed line or a record without the grouping
+/// fields is an error (a truncated results file should fail loudly, not
+/// silently weaken the baseline).
+pub fn summarize_jsonl<'a>(
+    lines: impl IntoIterator<Item = &'a str>,
+) -> Result<BenchSummary, String> {
+    let mut groups: BTreeMap<String, (Vec<f64>, usize)> = BTreeMap::new();
+    for (i, line) in lines.into_iter().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let field = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(JsonValue::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("line {}: missing string field '{k}'", i + 1))
+        };
+        let key = format!("{}/{}/{}", field("code")?, field("graph")?, field("scale")?);
+        let entry = groups.entry(key).or_default();
+        match v.get("median_secs").and_then(JsonValue::as_f64) {
+            Some(secs) => entry.0.push(secs),
+            None => entry.1 += 1, // timed out (or untimed) record
+        }
+    }
+    let mut entries = BTreeMap::new();
+    for (key, (mut times, timeouts)) in groups {
+        if times.is_empty() {
+            // Only timeouts: no finite statistics to compare against.
+            continue;
+        }
+        times.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        entries.insert(
+            key,
+            KernelStat {
+                median_secs: times[times.len() / 2],
+                min_secs: times[0],
+                samples: times.len(),
+                timeouts,
+            },
+        );
+    }
+    Ok(BenchSummary { entries })
+}
+
+impl BenchSummary {
+    /// Encodes the summary as a pretty-stable JSON object
+    /// (`{"<key>": {"median_secs": …, "min_secs": …, …}, …}`).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        for (key, s) in &self.entries {
+            let inner = JsonObject::new()
+                .f64("median_secs", s.median_secs)
+                .f64("min_secs", s.min_secs)
+                .usize("samples", s.samples)
+                .usize("timeouts", s.timeouts)
+                .finish();
+            o = o.raw(key, &inner);
+        }
+        o.finish()
+    }
+
+    /// Decodes a summary previously written by [`Self::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = parse(text)?;
+        let JsonValue::Object(fields) = v else {
+            return Err("summary must be a JSON object".into());
+        };
+        let mut entries = BTreeMap::new();
+        for (key, stat) in fields {
+            let num = |k: &str| -> Result<f64, String> {
+                stat.get(k)
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("key '{key}': missing number '{k}'"))
+            };
+            entries.insert(
+                key.clone(),
+                KernelStat {
+                    median_secs: num("median_secs")?,
+                    min_secs: num("min_secs")?,
+                    samples: num("samples")? as usize,
+                    timeouts: num("timeouts")? as usize,
+                },
+            );
+        }
+        Ok(Self { entries })
+    }
+}
+
+/// Verdict for one key of a comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within tolerance (includes improvements below the ratio bound).
+    Ok,
+    /// Faster than baseline by more than the tolerance — worth a look,
+    /// never a failure.
+    Improved,
+    /// Slower than baseline beyond the tolerance.
+    Regression,
+    /// Key present only in the baseline (filtered run) — informational.
+    MissingInCurrent,
+    /// Key present only in the current summary — informational.
+    NewInCurrent,
+}
+
+/// One row of a [`CompareReport`].
+#[derive(Clone, Debug)]
+pub struct CompareRow {
+    pub key: String,
+    pub baseline_median: Option<f64>,
+    pub current_median: Option<f64>,
+    /// `current / baseline` when both sides exist.
+    pub ratio: Option<f64>,
+    pub verdict: Verdict,
+}
+
+/// The result of diffing two summaries.
+#[derive(Clone, Debug)]
+pub struct CompareReport {
+    pub tolerance: f64,
+    pub rows: Vec<CompareRow>,
+}
+
+impl CompareReport {
+    pub fn has_regression(&self) -> bool {
+        self.rows.iter().any(|r| r.verdict == Verdict::Regression)
+    }
+
+    /// Plain-text rendering for CI logs.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "bench compare (tolerance {:.0}%):",
+            self.tolerance * 100.0
+        );
+        for r in &self.rows {
+            let fmt = |x: Option<f64>| match x {
+                Some(s) => format!("{s:.4}s"),
+                None => "   —   ".to_string(),
+            };
+            let ratio = match r.ratio {
+                Some(x) => format!("{x:.2}x"),
+                None => "—".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  {:18} {:42} base {} cur {} ({ratio})",
+                format!("{:?}", r.verdict),
+                r.key,
+                fmt(r.baseline_median),
+                fmt(r.current_median),
+            );
+        }
+        let n_reg = self
+            .rows
+            .iter()
+            .filter(|r| r.verdict == Verdict::Regression)
+            .count();
+        let _ = writeln!(
+            out,
+            "{}",
+            if n_reg == 0 {
+                "OK: no regressions".to_string()
+            } else {
+                format!("FAIL: {n_reg} regression(s)")
+            }
+        );
+        out
+    }
+}
+
+/// Diffs `current` against `baseline`: a key regresses when its current
+/// median exceeds the baseline median by more than `tolerance`
+/// (fractional — 0.25 allows a 25 % slowdown, absorbing shared-runner
+/// noise at CI's small scales).
+pub fn compare(baseline: &BenchSummary, current: &BenchSummary, tolerance: f64) -> CompareReport {
+    let mut rows = Vec::new();
+    for (key, b) in &baseline.entries {
+        match current.entries.get(key) {
+            None => rows.push(CompareRow {
+                key: key.clone(),
+                baseline_median: Some(b.median_secs),
+                current_median: None,
+                ratio: None,
+                verdict: Verdict::MissingInCurrent,
+            }),
+            Some(c) => {
+                let ratio = if b.median_secs > 0.0 {
+                    c.median_secs / b.median_secs
+                } else if c.median_secs == 0.0 {
+                    1.0
+                } else {
+                    f64::INFINITY
+                };
+                let verdict = if ratio > 1.0 + tolerance {
+                    Verdict::Regression
+                } else if ratio < 1.0 / (1.0 + tolerance) {
+                    Verdict::Improved
+                } else {
+                    Verdict::Ok
+                };
+                rows.push(CompareRow {
+                    key: key.clone(),
+                    baseline_median: Some(b.median_secs),
+                    current_median: Some(c.median_secs),
+                    ratio: Some(ratio),
+                    verdict,
+                });
+            }
+        }
+    }
+    for (key, c) in &current.entries {
+        if !baseline.entries.contains_key(key) {
+            rows.push(CompareRow {
+                key: key.clone(),
+                baseline_median: None,
+                current_median: Some(c.median_secs),
+                ratio: None,
+                verdict: Verdict::NewInCurrent,
+            });
+        }
+    }
+    CompareReport { tolerance, rows }
+}
+
+const USAGE: &str = "usage:
+  bench summarize <records.jsonl>... --out <BENCH_rev.json>
+  bench compare <baseline.json> <current.json> [--tolerance 0.25]
+
+exit codes: 0 = clean, 1 = regression detected, 2 = usage/I/O error";
+
+/// The `bench` binary as a testable function. `args` excludes the
+/// program name. Returns the process exit code.
+pub fn cli_main(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("summarize") => cli_summarize(&args[1..]),
+        Some("compare") => cli_compare(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            2
+        }
+    }
+}
+
+fn cli_summarize(args: &[String]) -> i32 {
+    let mut inputs = Vec::new();
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out = Some(p.clone()),
+                None => {
+                    eprintln!("--out needs a path\n{USAGE}");
+                    return 2;
+                }
+            },
+            _ => inputs.push(a.clone()),
+        }
+    }
+    let (Some(out), false) = (out, inputs.is_empty()) else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    let mut body = String::new();
+    for path in &inputs {
+        match std::fs::read_to_string(path) {
+            Ok(text) => body.push_str(&text),
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return 2;
+            }
+        }
+        if !body.ends_with('\n') {
+            body.push('\n');
+        }
+    }
+    let summary = match summarize_jsonl(body.lines()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    if summary.entries.is_empty() {
+        eprintln!("error: no timed records found in {} file(s)", inputs.len());
+        return 2;
+    }
+    if let Err(e) = std::fs::write(&out, summary.to_json() + "\n") {
+        eprintln!("error: cannot write {out}: {e}");
+        return 2;
+    }
+    println!("wrote {} ({} keys)", out, summary.entries.len());
+    0
+}
+
+fn cli_compare(args: &[String]) -> i32 {
+    let mut paths = Vec::new();
+    let mut tolerance = 0.25f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tolerance" => match it.next().map(|s| s.parse::<f64>()) {
+                Some(Ok(t)) if t >= 0.0 => tolerance = t,
+                _ => {
+                    eprintln!("--tolerance needs a non-negative number\n{USAGE}");
+                    return 2;
+                }
+            },
+            _ => paths.push(a.clone()),
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    let load = |path: &str| -> Result<BenchSummary, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        BenchSummary::from_json(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let report = compare(&baseline, &current, tolerance);
+    print!("{}", report.render());
+    i32::from(report.has_regression())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(code: &str, graph: &str, secs: Option<f64>) -> String {
+        let o = JsonObject::new()
+            .str("table", "table2_fig6")
+            .str("code", code)
+            .str("graph", graph)
+            .str("scale", "small")
+            .usize("runs", 3);
+        match secs {
+            Some(s) => o.f64("median_secs", s).finish(),
+            None => o
+                .raw("median_secs", "null")
+                .bool("timed_out", true)
+                .finish(),
+        }
+    }
+
+    #[test]
+    fn summarize_takes_median_and_min_per_key() {
+        let lines = [
+            record("fdiam", "grid2d.sym", Some(0.30)),
+            record("fdiam", "grid2d.sym", Some(0.10)),
+            record("fdiam", "grid2d.sym", Some(0.20)),
+            record("ifub", "grid2d.sym", Some(1.00)),
+            String::new(), // blank lines are fine
+        ];
+        let s = summarize_jsonl(lines.iter().map(String::as_str)).unwrap();
+        assert_eq!(s.entries.len(), 2);
+        let fd = &s.entries["fdiam/grid2d.sym/small"];
+        assert_eq!(fd.median_secs, 0.20);
+        assert_eq!(fd.min_secs, 0.10);
+        assert_eq!(fd.samples, 3);
+        assert_eq!(fd.timeouts, 0);
+        assert_eq!(s.entries["ifub/grid2d.sym/small"].samples, 1);
+    }
+
+    #[test]
+    fn summarize_counts_timeouts_and_drops_all_timeout_keys() {
+        let lines = [
+            record("fdiam", "g", Some(0.5)),
+            record("fdiam", "g", None),
+            record("ifub", "g", None),
+        ];
+        let s = summarize_jsonl(lines.iter().map(String::as_str)).unwrap();
+        assert_eq!(s.entries["fdiam/g/small"].timeouts, 1);
+        assert_eq!(s.entries["fdiam/g/small"].samples, 1);
+        assert!(
+            !s.entries.contains_key("ifub/g/small"),
+            "all-timeout key has no statistics"
+        );
+    }
+
+    #[test]
+    fn summarize_rejects_malformed_lines() {
+        assert!(summarize_jsonl(["not json"]).is_err());
+        let no_code = JsonObject::new()
+            .str("graph", "g")
+            .str("scale", "s")
+            .finish();
+        let err = summarize_jsonl([no_code.as_str()]).unwrap_err();
+        assert!(err.contains("'code'"), "{err}");
+    }
+
+    #[test]
+    fn summary_roundtrips_through_json() {
+        let lines = [
+            record("fdiam", "g", Some(0.25)),
+            record("ifub", "g", Some(2.0)),
+        ];
+        let s = summarize_jsonl(lines.iter().map(String::as_str)).unwrap();
+        let back = BenchSummary::from_json(&s.to_json()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    fn one_key_summary(key: &str, median: f64) -> BenchSummary {
+        let mut entries = BTreeMap::new();
+        entries.insert(
+            key.to_string(),
+            KernelStat {
+                median_secs: median,
+                min_secs: median,
+                samples: 3,
+                timeouts: 0,
+            },
+        );
+        BenchSummary { entries }
+    }
+
+    #[test]
+    fn compare_flags_regressions_beyond_tolerance() {
+        let base = one_key_summary("fdiam/g/small", 1.0);
+        // 30 % slower than baseline at 25 % tolerance → regression
+        let slow = one_key_summary("fdiam/g/small", 1.3);
+        let report = compare(&base, &slow, 0.25);
+        assert!(report.has_regression());
+        assert_eq!(report.rows[0].verdict, Verdict::Regression);
+        assert!(report.render().contains("FAIL: 1 regression"));
+        // exactly at tolerance → not a regression (strict inequality)
+        let at = one_key_summary("fdiam/g/small", 1.25);
+        assert!(!compare(&base, &at, 0.25).has_regression());
+        // big speedup → Improved, never a failure
+        let fast = one_key_summary("fdiam/g/small", 0.5);
+        let report = compare(&base, &fast, 0.25);
+        assert!(!report.has_regression());
+        assert_eq!(report.rows[0].verdict, Verdict::Improved);
+    }
+
+    #[test]
+    fn compare_reports_missing_and_new_keys_without_failing() {
+        let base = one_key_summary("fdiam/old/small", 1.0);
+        let cur = one_key_summary("fdiam/new/small", 1.0);
+        let report = compare(&base, &cur, 0.25);
+        assert!(!report.has_regression());
+        let verdicts: Vec<Verdict> = report.rows.iter().map(|r| r.verdict).collect();
+        assert!(verdicts.contains(&Verdict::MissingInCurrent));
+        assert!(verdicts.contains(&Verdict::NewInCurrent));
+    }
+
+    #[test]
+    fn compare_handles_zero_baseline() {
+        let base = one_key_summary("k", 0.0);
+        assert!(!compare(&base, &one_key_summary("k", 0.0), 0.25).has_regression());
+        assert!(compare(&base, &one_key_summary("k", 0.1), 0.25).has_regression());
+    }
+
+    /// End-to-end through the CLI entry point: summarize crafted JSONL
+    /// for two revisions, then `bench compare` must exit nonzero on the
+    /// synthetic ≥-tolerance slowdown and zero within tolerance.
+    #[test]
+    fn cli_detects_synthetic_regression_with_nonzero_exit() {
+        let dir = std::env::temp_dir().join("fdiam_bench_compare_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let write_jsonl = |name: &str, secs: f64| -> String {
+            let path = dir.join(name);
+            let lines: Vec<String> = (0..3)
+                .map(|i| record("fdiam", "grid2d.sym", Some(secs + i as f64 * 0.001)))
+                .collect();
+            std::fs::write(&path, lines.join("\n")).unwrap();
+            path.to_string_lossy().into_owned()
+        };
+        let base_jsonl = write_jsonl("base.jsonl", 0.100);
+        let slow_jsonl = write_jsonl("slow.jsonl", 0.150); // +50 %
+        let ok_jsonl = write_jsonl("ok.jsonl", 0.105); // +5 %
+        let s = |x: &str| x.to_string();
+        let base_json = dir.join("BENCH_base.json").to_string_lossy().into_owned();
+        let slow_json = dir.join("BENCH_slow.json").to_string_lossy().into_owned();
+        let ok_json = dir.join("BENCH_ok.json").to_string_lossy().into_owned();
+        for (jsonl, json) in [
+            (&base_jsonl, &base_json),
+            (&slow_jsonl, &slow_json),
+            (&ok_jsonl, &ok_json),
+        ] {
+            assert_eq!(
+                cli_main(&[s("summarize"), jsonl.clone(), s("--out"), json.clone()]),
+                0
+            );
+        }
+        assert_eq!(
+            cli_main(&[
+                s("compare"),
+                base_json.clone(),
+                slow_json,
+                s("--tolerance"),
+                s("0.25"),
+            ]),
+            1,
+            "50 % slowdown at 25 % tolerance must exit nonzero"
+        );
+        assert_eq!(
+            cli_main(&[
+                s("compare"),
+                base_json,
+                ok_json,
+                s("--tolerance"),
+                s("0.25"),
+            ]),
+            0,
+            "5 % drift within tolerance must exit zero"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cli_rejects_bad_usage_with_exit_2() {
+        let s = |x: &str| x.to_string();
+        assert_eq!(cli_main(&[]), 2);
+        assert_eq!(cli_main(&[s("frobnicate")]), 2);
+        assert_eq!(cli_main(&[s("summarize"), s("only-input.jsonl")]), 2);
+        assert_eq!(cli_main(&[s("compare"), s("just-one.json")]), 2);
+        assert_eq!(
+            cli_main(&[
+                s("compare"),
+                s("/nonexistent/a.json"),
+                s("/nonexistent/b.json")
+            ]),
+            2
+        );
+        assert_eq!(
+            cli_main(&[s("compare"), s("a"), s("b"), s("--tolerance"), s("-1")]),
+            2
+        );
+    }
+}

@@ -9,10 +9,15 @@
 //!   (`SCALE=small|large`, default `small` for laptop runs).
 //! * [`runner`] — median-of-N timing, soft timeouts, throughput
 //!   (vertices/second, the paper's metric), and geometric means.
-//! * [`format`] — plain-text table rendering for the binaries.
+//! * [`format`](mod@format) — plain-text table rendering for the
+//!   binaries.
 //! * [`record`] — JSONL run records written next to each rendered
 //!   table (`results/<table>_<scale>.jsonl`) for plots and regression
 //!   checks.
+//! * [`compare`] — the bench-regression harness: folds JSONL records
+//!   into `BENCH_<rev>.json` summaries and diffs them against a
+//!   checked-in baseline with a configurable tolerance (the `bench`
+//!   binary, wired into CI).
 //!
 //! Each experiment has a binary (see `src/bin/`):
 //!
@@ -25,10 +30,12 @@
 //! | `table4`      | Table 4 (% removed per stage)                 |
 //! | `fig8`        | Figure 8 (% runtime per stage)                |
 //! | `table5_fig9` | Table 5 + Figure 9 (ablations)                |
+//! | `bench`       | summarize/compare for bench regression checks |
 //!
 //! Criterion benches (`benches/`) cover the same comparisons in
 //! statistically robust micro form.
 
+pub mod compare;
 pub mod format;
 pub mod record;
 pub mod runner;

@@ -19,7 +19,10 @@ pub fn runs_from_env() -> usize {
 fn parse_runs(raw: Option<&str>) -> (usize, Option<String>) {
     const DEFAULT: usize = 3;
     match raw {
+        // `FDIAM_RUNS=""` (e.g. an unset CI matrix variable expanding
+        // to the empty string) means "unset", not "garbage" — no warning.
         None => (DEFAULT, None),
+        Some(s) if s.trim().is_empty() => (DEFAULT, None),
         Some(s) => match s.trim().parse::<usize>() {
             Ok(r) if r > 0 => (r, None),
             Ok(_) => (
@@ -55,7 +58,9 @@ fn parse_timeout(raw: Option<&str>) -> (Duration, Option<String>) {
     const DEFAULT_SECS: u64 = 120;
     let fallback = Duration::from_secs(DEFAULT_SECS);
     match raw {
+        // Empty string = unset (see `parse_runs`), not a parse error.
         None => (fallback, None),
+        Some(s) if s.trim().is_empty() => (fallback, None),
         Some(s) => match s.trim().parse::<u64>() {
             Ok(secs) => (Duration::from_secs(secs), None),
             Err(_) => (
@@ -208,7 +213,7 @@ mod tests {
 
     #[test]
     fn parse_runs_warns_on_garbage() {
-        for bad in ["zero", "3.5", "-1", ""] {
+        for bad in ["zero", "3.5", "-1"] {
             let (runs, warning) = parse_runs(Some(bad));
             assert_eq!(runs, 3, "fallback for {bad:?}");
             assert!(
@@ -219,6 +224,18 @@ mod tests {
         let (runs, warning) = parse_runs(Some("0"));
         assert_eq!(runs, 3);
         assert!(warning.unwrap().contains("positive"));
+    }
+
+    #[test]
+    fn empty_string_means_unset_without_warning() {
+        for empty in ["", "  ", "\t"] {
+            assert_eq!(parse_runs(Some(empty)), (3, None), "runs for {empty:?}");
+            assert_eq!(
+                parse_timeout(Some(empty)),
+                (Duration::from_secs(120), None),
+                "timeout for {empty:?}"
+            );
+        }
     }
 
     #[test]
@@ -234,7 +251,7 @@ mod tests {
 
     #[test]
     fn parse_timeout_warns_on_garbage() {
-        for bad in ["two-hours", "1.5", "-3", ""] {
+        for bad in ["two-hours", "1.5", "-3"] {
             let (budget, warning) = parse_timeout(Some(bad));
             assert_eq!(budget, Duration::from_secs(120), "fallback for {bad:?}");
             assert!(

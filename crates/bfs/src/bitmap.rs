@@ -1,0 +1,213 @@
+//! Dense frontier/visited bitmaps for bottom-up BFS sweeps.
+//!
+//! A bottom-up step scans *all* vertices, so its working set is the
+//! whole visited predicate. Storing that predicate as one bit per
+//! vertex (instead of the 8-byte epochs of
+//! [`VisitMarks`](crate::VisitMarks)) cuts the scan's memory traffic by
+//! 64× and lets whole 64-vertex blocks of already-visited vertices be
+//! skipped with a single word compare. The chunked sweeps in
+//! [`crate::frontier`] partition the bitmap on word boundaries, so each
+//! parallel task owns its output words outright and can publish them
+//! with plain relaxed stores — no read-modify-write traffic inside a
+//! level.
+//!
+//! Conversions between the sparse (`Vec<VertexId>`) and dense
+//! representations cost O(n/64 + |frontier|): a word-granular clear or
+//! scan plus one bit per member.
+
+use fdiam_graph::VertexId;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bits per bitmap word.
+pub const WORD_BITS: usize = 64;
+
+/// Words per parallel sweep chunk (4096 vertices). Word-aligned by
+/// construction, so concurrent chunk tasks never share an output word.
+pub const CHUNK_WORDS: usize = 64;
+
+/// A fixed-capacity atomic bitset over vertex ids `0..n`.
+pub struct FrontierBitmap {
+    words: Vec<AtomicU64>,
+    n: usize,
+}
+
+impl FrontierBitmap {
+    /// An all-clear bitmap covering `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            words: (0..n.div_ceil(WORD_BITS))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            n,
+        }
+    }
+
+    /// Number of vertices covered.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if no vertices are covered.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The backing words; chunked sweeps index these directly.
+    pub fn words(&self) -> &[AtomicU64] {
+        &self.words
+    }
+
+    /// Clears every bit. Non-atomic (`&mut self`), compiles to a memset.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w.get_mut() = 0;
+        }
+    }
+
+    /// Sets bit `v` with a relaxed read-modify-write; safe to call from
+    /// concurrent claimants of different vertices in the same word.
+    #[inline]
+    pub fn set(&self, v: VertexId) {
+        self.words[v as usize / WORD_BITS]
+            .fetch_or(1u64 << (v as usize % WORD_BITS), Ordering::Relaxed);
+    }
+
+    /// True iff bit `v` is set (relaxed load).
+    #[inline]
+    pub fn test(&self, v: VertexId) -> bool {
+        self.words[v as usize / WORD_BITS].load(Ordering::Relaxed) >> (v as usize % WORD_BITS) & 1
+            != 0
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    /// O(n/64 + |sparse|) sparse→dense conversion: clear, then set one
+    /// bit per member.
+    pub fn fill_from_sparse(&mut self, sparse: &[VertexId]) {
+        self.clear();
+        for &v in sparse {
+            let w = self.words[v as usize / WORD_BITS].get_mut();
+            *w |= 1u64 << (v as usize % WORD_BITS);
+        }
+    }
+
+    /// O(n/64 + |frontier|) dense→sparse conversion: appends the set
+    /// bits to `out` in ascending vertex order (reusing its capacity).
+    pub fn append_sparse_into(&self, out: &mut Vec<VertexId>) {
+        for (wi, w) in self.words.iter().enumerate() {
+            let mut bits = w.load(Ordering::Relaxed);
+            while bits != 0 {
+                let b = bits.trailing_zeros();
+                out.push((wi * WORD_BITS) as VertexId + b);
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// Folds another bitmap in (`self |= other`), word by word.
+    /// Non-atomic (`&mut self`); used at the level barrier to merge the
+    /// freshly swept frontier into the visited set.
+    pub fn merge(&mut self, other: &FrontierBitmap) {
+        debug_assert_eq!(self.n, other.n);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a.get_mut() |= b.load(Ordering::Relaxed);
+        }
+    }
+
+    /// Rebuilds the bitmap as "visited in `epoch`" from the epoch marks
+    /// — done once per top-down→bottom-up switch, amortized by the O(n)
+    /// sweep that follows.
+    pub fn fill_from_marks(&mut self, marks: &crate::visited::VisitMarks, epoch: u64) {
+        debug_assert_eq!(self.n, marks.len());
+        for (wi, w) in self.words.iter_mut().enumerate() {
+            let mut bits = 0u64;
+            let base = wi * WORD_BITS;
+            for b in 0..WORD_BITS.min(self.n - base) {
+                if marks.is_visited((base + b) as VertexId, epoch) {
+                    bits |= 1u64 << b;
+                }
+            }
+            *w.get_mut() = bits;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::visited::VisitMarks;
+
+    #[test]
+    fn set_test_count() {
+        let bm = FrontierBitmap::new(130);
+        assert_eq!(bm.len(), 130);
+        for v in [0u32, 63, 64, 129] {
+            assert!(!bm.test(v));
+            bm.set(v);
+            assert!(bm.test(v));
+        }
+        assert_eq!(bm.count(), 4);
+    }
+
+    #[test]
+    fn sparse_roundtrip_is_sorted() {
+        let mut bm = FrontierBitmap::new(200);
+        bm.fill_from_sparse(&[77, 3, 199, 64, 3]);
+        let mut out = vec![999]; // append semantics: existing content kept
+        bm.append_sparse_into(&mut out);
+        assert_eq!(out, vec![999, 3, 64, 77, 199]);
+    }
+
+    #[test]
+    fn fill_from_sparse_clears_previous_content() {
+        let mut bm = FrontierBitmap::new(70);
+        bm.fill_from_sparse(&[1, 2, 3]);
+        bm.fill_from_sparse(&[69]);
+        assert_eq!(bm.count(), 1);
+        assert!(bm.test(69) && !bm.test(2));
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let mut a = FrontierBitmap::new(100);
+        let mut b = FrontierBitmap::new(100);
+        a.fill_from_sparse(&[1, 50]);
+        b.fill_from_sparse(&[50, 99]);
+        a.merge(&b);
+        let mut out = Vec::new();
+        a.append_sparse_into(&mut out);
+        assert_eq!(out, vec![1, 50, 99]);
+    }
+
+    #[test]
+    fn fill_from_marks_reflects_epoch() {
+        let mut marks = VisitMarks::new(100);
+        let e1 = marks.next_epoch();
+        marks.mark(10, e1);
+        let e2 = marks.next_epoch();
+        marks.mark(20, e2);
+        marks.mark(99, e2);
+        let mut bm = FrontierBitmap::new(100);
+        bm.fill_from_marks(&marks, e2);
+        let mut out = Vec::new();
+        bm.append_sparse_into(&mut out);
+        assert_eq!(out, vec![20, 99], "previous-epoch marks must not leak in");
+    }
+
+    #[test]
+    fn zero_sized_bitmap() {
+        let mut bm = FrontierBitmap::new(0);
+        assert!(bm.is_empty());
+        assert_eq!(bm.count(), 0);
+        bm.clear();
+        let mut out = Vec::new();
+        bm.append_sparse_into(&mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -11,7 +11,18 @@
 //!   with a visited neighbor (Algorithm 2 lines 16–23). Because each
 //!   vertex only adds itself, no atomic claims are needed; new vertices
 //!   are marked afterwards to keep the step level-synchronous.
+//!
+//! The allocation-free variants used by the scratch-arena kernels
+//! ([`crate::hybrid`], [`crate::serial_hybrid`]) live here too:
+//!
+//! * [`expand_top_down_serial_into`] / [`expand_top_down_into_bitmap`]
+//!   — top-down steps writing into reused buffers.
+//! * [`sweep_bottom_up_serial`] / [`sweep_bottom_up_parallel`] —
+//!   bottom-up sweeps over the dense [`FrontierBitmap`] visited set,
+//!   chunked on word boundaries so parallel tasks publish their output
+//!   words with plain stores.
 
+use crate::bitmap::{FrontierBitmap, CHUNK_WORDS, WORD_BITS};
 use crate::visited::VisitMarks;
 use fdiam_graph::{CsrGraph, VertexId};
 use rayon::prelude::*;
@@ -85,6 +96,183 @@ pub fn expand_bottom_up(g: &CsrGraph, marks: &VisitMarks, epoch: u64) -> Vec<Ver
 /// frontier's out-degrees (top-down examines every incident edge).
 pub fn frontier_edge_count(g: &CsrGraph, frontier: &[VertexId]) -> u64 {
     frontier.iter().map(|&v| g.neighbors(v).len() as u64).sum()
+}
+
+/// Sequential top-down step into a reused buffer. `next` is cleared and
+/// refilled (keeping its capacity); returns the out-degree sum of the
+/// *new* frontier, which the caller feeds straight into the α/β switch
+/// decision without a second degree pass.
+pub fn expand_top_down_serial_into(
+    g: &CsrGraph,
+    frontier: &[VertexId],
+    marks: &VisitMarks,
+    epoch: u64,
+    next: &mut Vec<VertexId>,
+) -> u64 {
+    next.clear();
+    let mut degree_sum = 0u64;
+    for &v in frontier {
+        for &n in g.neighbors(v) {
+            if !marks.is_visited(n, epoch) {
+                marks.mark(n, epoch);
+                degree_sum += g.neighbors(n).len() as u64;
+                next.push(n);
+            }
+        }
+    }
+    degree_sum
+}
+
+/// Parallel top-down step that claims neighbors into a dense bitmap
+/// instead of per-task `Vec`s, so the step allocates nothing. The
+/// caller clears `next_bm` beforehand and materializes the sparse
+/// frontier afterwards with
+/// [`FrontierBitmap::append_sparse_into`](crate::bitmap::FrontierBitmap::append_sparse_into).
+/// Returns `(count, degree_sum)` of the newly claimed frontier.
+pub fn expand_top_down_into_bitmap(
+    g: &CsrGraph,
+    frontier: &[VertexId],
+    marks: &VisitMarks,
+    epoch: u64,
+    next_bm: &FrontierBitmap,
+) -> (usize, u64) {
+    frontier
+        .par_iter()
+        .fold(
+            || (0usize, 0u64),
+            |(mut count, mut degree_sum), &v| {
+                for &n in g.neighbors(v) {
+                    if marks.try_claim(n, epoch) {
+                        next_bm.set(n);
+                        count += 1;
+                        degree_sum += g.neighbors(n).len() as u64;
+                    }
+                }
+                (count, degree_sum)
+            },
+        )
+        .reduce(|| (0, 0), |(ca, da), (cb, db)| (ca + cb, da + db))
+}
+
+/// Totals produced by one bottom-up sweep level.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BottomUpSweep {
+    /// Vertices claimed into the next frontier.
+    pub count: usize,
+    /// Out-degree sum of the claimed vertices (the `m_f` of the next
+    /// level, for the switch heuristic).
+    pub degree_sum: u64,
+    /// Edges examined, counting each unvisited vertex's early exit at
+    /// its first visited neighbor.
+    pub edges_scanned: u64,
+}
+
+impl BottomUpSweep {
+    fn add(self, o: BottomUpSweep) -> BottomUpSweep {
+        BottomUpSweep {
+            count: self.count + o.count,
+            degree_sum: self.degree_sum + o.degree_sum,
+            edges_scanned: self.edges_scanned + o.edges_scanned,
+        }
+    }
+}
+
+/// Sweeps the words of one [`CHUNK_WORDS`]-word chunk. Because chunks
+/// are word-aligned, the task owns its `next_bm` output words outright
+/// and publishes each with one plain relaxed store — the store also
+/// *overwrites* stale content, so `next_bm` needs no clear pass between
+/// levels. Newly found vertices are epoch-marked in-sweep (each vertex
+/// is claimed by exactly one chunk, so no atomic RMW is needed).
+///
+/// In a level-synchronous BFS every visited vertex is at distance ≤ the
+/// current level, so "some neighbor is visited" is equivalent to "some
+/// neighbor is in the current frontier" (Algorithm 2's counter test):
+/// the sweep tests the single `visited_bm` bit instead of a separate
+/// frontier membership structure.
+fn sweep_chunk(
+    g: &CsrGraph,
+    marks: &VisitMarks,
+    epoch: u64,
+    visited_bm: &FrontierBitmap,
+    next_bm: &FrontierBitmap,
+    chunk: usize,
+) -> BottomUpSweep {
+    let n = visited_bm.len();
+    let words = visited_bm.words();
+    let out_words = next_bm.words();
+    let start = chunk * CHUNK_WORDS;
+    let end = (start + CHUNK_WORDS).min(words.len());
+    let mut totals = BottomUpSweep::default();
+    for wi in start..end {
+        let base = wi * WORD_BITS;
+        let valid = if n - base >= WORD_BITS {
+            !0u64
+        } else {
+            (1u64 << (n - base)) - 1
+        };
+        let unvisited = !words[wi].load(std::sync::atomic::Ordering::Relaxed) & valid;
+        let mut found = 0u64;
+        let mut bits = unvisited;
+        while bits != 0 {
+            let b = bits.trailing_zeros();
+            bits &= bits - 1;
+            let v = (base + b as usize) as VertexId;
+            let nbrs = g.neighbors(v);
+            let mut hit = false;
+            for (i, &w) in nbrs.iter().enumerate() {
+                if visited_bm.test(w) {
+                    totals.edges_scanned += i as u64 + 1;
+                    hit = true;
+                    break;
+                }
+            }
+            if hit {
+                found |= 1u64 << b;
+                totals.count += 1;
+                totals.degree_sum += nbrs.len() as u64;
+                marks.mark(v, epoch);
+            } else {
+                totals.edges_scanned += nbrs.len() as u64;
+            }
+        }
+        out_words[wi].store(found, std::sync::atomic::Ordering::Relaxed);
+    }
+    totals
+}
+
+/// Serial bottom-up sweep over the dense visited set: fills `next_bm`
+/// with the next frontier (overwriting all its words) and epoch-marks
+/// the finds. The caller merges `next_bm` into `visited_bm` and swaps
+/// buffers at the level barrier.
+pub fn sweep_bottom_up_serial(
+    g: &CsrGraph,
+    marks: &VisitMarks,
+    epoch: u64,
+    visited_bm: &FrontierBitmap,
+    next_bm: &FrontierBitmap,
+) -> BottomUpSweep {
+    let chunks = visited_bm.words().len().div_ceil(CHUNK_WORDS);
+    let mut totals = BottomUpSweep::default();
+    for c in 0..chunks {
+        totals = totals.add(sweep_chunk(g, marks, epoch, visited_bm, next_bm, c));
+    }
+    totals
+}
+
+/// Parallel bottom-up sweep: one rayon task per word-aligned chunk.
+/// Same contract as [`sweep_bottom_up_serial`].
+pub fn sweep_bottom_up_parallel(
+    g: &CsrGraph,
+    marks: &VisitMarks,
+    epoch: u64,
+    visited_bm: &FrontierBitmap,
+    next_bm: &FrontierBitmap,
+) -> BottomUpSweep {
+    let chunks = visited_bm.words().len().div_ceil(CHUNK_WORDS);
+    (0..chunks)
+        .into_par_iter()
+        .map(|c| sweep_chunk(g, marks, epoch, visited_bm, next_bm, c))
+        .reduce(BottomUpSweep::default, BottomUpSweep::add)
 }
 
 /// [`expand_bottom_up`] that also reports how many edges it examined.
@@ -189,6 +377,112 @@ mod tests {
         assert_eq!(frontier_edge_count(&g, &[0]), 4);
         assert_eq!(frontier_edge_count(&g, &[1, 2, 3]), 3);
         assert_eq!(frontier_edge_count(&g, &[]), 0);
+    }
+
+    #[test]
+    fn top_down_into_reuses_buffer_and_sums_degrees() {
+        let g = star(10); // center 0, leaves 1..=9 with degree 1
+        let mut m = VisitMarks::new(10);
+        let e = m.next_epoch();
+        m.mark(0, e);
+        let mut next = vec![42, 43]; // stale content must be cleared
+        let deg = expand_top_down_serial_into(&g, &[0], &m, e, &mut next);
+        assert_eq!(next.len(), 9);
+        assert_eq!(deg, 9, "nine leaves of degree 1 each");
+        // Second use from a fresh epoch reuses the same buffer.
+        let e2 = m.next_epoch();
+        m.mark(1, e2);
+        let deg2 = expand_top_down_serial_into(&g, &[1], &m, e2, &mut next);
+        assert_eq!(next, vec![0]);
+        assert_eq!(deg2, 9);
+    }
+
+    #[test]
+    fn top_down_into_bitmap_matches_serial() {
+        let g = path(9);
+        let mut m1 = VisitMarks::new(9);
+        let e1 = m1.next_epoch();
+        for v in [3, 4] {
+            m1.mark(v, e1);
+        }
+        let mut next = Vec::new();
+        expand_top_down_serial_into(&g, &[3, 4], &m1, e1, &mut next);
+        next.sort_unstable();
+
+        let mut m2 = VisitMarks::new(9);
+        let e2 = m2.next_epoch();
+        for v in [3, 4] {
+            m2.mark(v, e2);
+        }
+        let mut bm = FrontierBitmap::new(9);
+        bm.clear();
+        let (count, deg) = expand_top_down_into_bitmap(&g, &[3, 4], &m2, e2, &bm);
+        let mut sparse = Vec::new();
+        bm.append_sparse_into(&mut sparse);
+        assert_eq!(sparse, next);
+        assert_eq!(count, sparse.len());
+        assert_eq!(deg, frontier_edge_count(&g, &sparse));
+    }
+
+    #[test]
+    fn bitmap_sweep_matches_expand_bottom_up() {
+        let g = path(300); // spans several words, exercises masking
+        let mut m1 = VisitMarks::new(300);
+        let e1 = m1.next_epoch();
+        for v in 0..=150u32 {
+            m1.mark(v, e1);
+        }
+        let expected = expand_bottom_up(&g, &m1, e1);
+
+        let mut m2 = VisitMarks::new(300);
+        let e2 = m2.next_epoch();
+        for v in 0..=150u32 {
+            m2.mark(v, e2);
+        }
+        let mut visited = FrontierBitmap::new(300);
+        visited.fill_from_marks(&m2, e2);
+        let next = FrontierBitmap::new(300);
+        let s = sweep_bottom_up_serial(&g, &m2, e2, &visited, &next);
+        let mut sparse = Vec::new();
+        next.append_sparse_into(&mut sparse);
+        assert_eq!(sparse, expected);
+        assert_eq!(s.count, expected.len());
+        assert_eq!(s.degree_sum, frontier_edge_count(&g, &expected));
+        assert!(m2.is_visited(151, e2), "sweep must epoch-mark its finds");
+
+        // Parallel sweep agrees, including when next_bm holds stale bits.
+        let mut m3 = VisitMarks::new(300);
+        let e3 = m3.next_epoch();
+        for v in 0..=150u32 {
+            m3.mark(v, e3);
+        }
+        let mut visited3 = FrontierBitmap::new(300);
+        visited3.fill_from_marks(&m3, e3);
+        let mut stale = FrontierBitmap::new(300);
+        stale.fill_from_sparse(&[7, 200, 299]);
+        let p = sweep_bottom_up_parallel(&g, &m3, e3, &visited3, &stale);
+        let mut sparse_p = Vec::new();
+        stale.append_sparse_into(&mut sparse_p);
+        assert_eq!(sparse_p, expected, "full-word stores must erase stale bits");
+        assert_eq!(p, s);
+    }
+
+    #[test]
+    fn sweep_counts_early_exit_edges() {
+        let g = path(6);
+        let mut m = VisitMarks::new(6);
+        let e = m.next_epoch();
+        for v in [0, 1] {
+            m.mark(v, e);
+        }
+        let mut visited = FrontierBitmap::new(6);
+        visited.fill_from_marks(&m, e);
+        let next = FrontierBitmap::new(6);
+        let s = sweep_bottom_up_serial(&g, &m, e, &visited, &next);
+        // Same accounting as `expand_bottom_up_counted`: 2 hits neighbor
+        // 1 after 1 edge; 3 and 4 scan both neighbors; 5 scans one.
+        assert_eq!(s.edges_scanned, 1 + 2 + 2 + 1);
+        assert_eq!(s.count, 1);
     }
 
     #[test]

@@ -1,28 +1,97 @@
 //! Direction-optimized parallel eccentricity BFS (Algorithm 2).
 //!
-//! Implements the paper's hybrid scheme (§4.6): a data-driven top-down
-//! expansion while the frontier is small, switching to a
-//! topology-driven bottom-up scan once the frontier exceeds
-//! `alpha · |V|` (the paper determined `alpha = 0.1` experimentally),
-//! and switching back when the frontier shrinks below the threshold
-//! again — "in line with the latest direction-optimized BFS
-//! implementations".
+//! Implements the paper's hybrid scheme (§4.6) on a dual-representation
+//! frontier: sparse `Vec<VertexId>` worklists for top-down levels, a
+//! dense atomic bitmap for bottom-up sweeps, and O(n/64 + |frontier|)
+//! conversions between the two. All transient state lives in a caller
+//! supplied [`BfsScratch`], so repeated traversals (the eccentricity
+//! loops in `fdiam-core`) allocate nothing in steady state.
+//!
+//! The direction switch defaults to the Beamer-style α/β heuristic
+//! ([`SwitchHeuristic::Adaptive`]): go bottom-up when the frontier's
+//! out-degree sum exceeds `1/α` of the unexplored edges, and return
+//! top-down once the frontier shrinks below `|V|/β`. The paper's
+//! simpler fixed 10 %-of-`|V|` rule remains available as
+//! [`SwitchHeuristic::FixedFraction`] (see [`BfsConfig::paper_fidelity`])
+//! for reproduction-fidelity runs of Table 2 / Fig. 6.
 
 use crate::frontier::{
-    expand_bottom_up, expand_bottom_up_counted, expand_top_down_parallel, frontier_edge_count,
+    expand_top_down_into_bitmap, expand_top_down_serial_into, sweep_bottom_up_parallel,
+    sweep_bottom_up_serial,
 };
-use crate::visited::VisitMarks;
-use crate::BfsResult;
+use crate::scratch::{BfsScratch, ScratchParts};
+use crate::BfsSummary;
 use fdiam_graph::{CsrGraph, VertexId};
 use fdiam_obs::{noop, Event, Observer};
+
+/// Default α of [`SwitchHeuristic::Adaptive`]: switch top-down →
+/// bottom-up when the frontier's out-degree sum exceeds `m_u / α`
+/// (Beamer et al. suggest 14–15 for low-diameter graphs).
+pub const DEFAULT_ALPHA: f64 = 14.0;
+
+/// Default β of [`SwitchHeuristic::Adaptive`]: switch bottom-up →
+/// top-down when the frontier shrinks below `|V| / β`.
+pub const DEFAULT_BETA: f64 = 24.0;
+
+/// When to run a level bottom-up instead of top-down.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SwitchHeuristic {
+    /// Beamer-style adaptive rule on edge counts: top-down → bottom-up
+    /// when `m_f > m_u / alpha` (the frontier would scan more edges
+    /// than a full bottom-up sweep is likely to), bottom-up → top-down
+    /// when `n_f < n / beta` (the frontier is too small for a whole
+    /// graph scan to pay off). `m_u` is the running count of arcs out
+    /// of unvisited vertices.
+    Adaptive {
+        /// Top-down → bottom-up edge-ratio threshold.
+        alpha: f64,
+        /// Bottom-up → top-down frontier-fraction divisor.
+        beta: f64,
+    },
+    /// The paper's rule (§4.6): bottom-up whenever the frontier holds
+    /// more than `threshold · |V|` vertices ("the best performance was
+    /// achieved with a threshold of 10 %").
+    FixedFraction {
+        /// Frontier-size fraction of `|V|`; the paper's value is 0.1.
+        threshold: f64,
+    },
+}
+
+impl SwitchHeuristic {
+    /// Decide the direction of the next level from the current frontier
+    /// size `n_f`, its out-degree sum `m_f`, the unexplored-arc count
+    /// `m_u`, and the direction of the previous level.
+    #[inline]
+    pub fn decide(&self, n: usize, n_f: usize, m_f: u64, m_u: u64, was_bottom_up: bool) -> bool {
+        match *self {
+            SwitchHeuristic::Adaptive { alpha, beta } => {
+                if was_bottom_up {
+                    // Stay bottom-up until the frontier is small again.
+                    (n_f as f64) >= (n as f64) / beta
+                } else {
+                    (m_f as f64) > (m_u as f64) / alpha
+                }
+            }
+            SwitchHeuristic::FixedFraction { threshold } => n_f > ((n as f64) * threshold) as usize,
+        }
+    }
+}
+
+impl Default for SwitchHeuristic {
+    fn default() -> Self {
+        SwitchHeuristic::Adaptive {
+            alpha: DEFAULT_ALPHA,
+            beta: DEFAULT_BETA,
+        }
+    }
+}
 
 /// Tuning knobs for the hybrid BFS.
 #[derive(Clone, Copy, Debug)]
 pub struct BfsConfig {
-    /// Frontier-size fraction of `|V|` above which the bottom-up step
-    /// is used. The paper's value is 0.1.
-    pub alpha: f64,
-    /// Disable the bottom-up path entirely (pure parallel top-down).
+    /// Direction-switch policy; defaults to the adaptive α/β rule.
+    pub heuristic: SwitchHeuristic,
+    /// Disable the bottom-up path entirely (pure top-down).
     pub direction_optimized: bool,
     /// Frontiers smaller than this are expanded serially: on
     /// high-diameter inputs (road maps with 30k+ levels) nearly every
@@ -35,35 +104,81 @@ pub struct BfsConfig {
 impl Default for BfsConfig {
     fn default() -> Self {
         Self {
-            alpha: 0.1,
+            heuristic: SwitchHeuristic::default(),
             direction_optimized: true,
             serial_cutoff: 1024,
         }
     }
 }
 
-/// Parallel direction-optimized BFS from `source`.
+impl BfsConfig {
+    /// The configuration matching the paper's description verbatim:
+    /// fixed 10 % switch threshold, no adaptive rule. Used for
+    /// reproduction-fidelity runs of Table 2 / Fig. 6.
+    pub fn paper_fidelity() -> Self {
+        Self {
+            heuristic: SwitchHeuristic::FixedFraction { threshold: 0.1 },
+            ..Self::default()
+        }
+    }
+}
+
+/// Parallel direction-optimized BFS from `source`, using (and reusing)
+/// `scratch` for all transient state. The full last frontier is
+/// available afterwards via [`BfsScratch::last_frontier`].
 pub fn bfs_eccentricity_hybrid(
     g: &CsrGraph,
     source: VertexId,
-    marks: &mut VisitMarks,
+    scratch: &mut BfsScratch,
     config: &BfsConfig,
-) -> BfsResult {
-    bfs_eccentricity_hybrid_observed(g, source, marks, config, noop())
+) -> BfsSummary {
+    bfs_eccentricity_hybrid_observed(g, source, scratch, config, noop())
 }
 
 /// [`bfs_eccentricity_hybrid`] emitting telemetry to `obs`: lifecycle
 /// ([`Event::BfsStart`]/[`Event::BfsEnd`]), epoch rollovers, and — only
 /// when [`Observer::wants_bfs_detail`] — per-level frontier sizes,
-/// edge-scan counts and direction switches. With the no-op observer the
-/// uninstrumented expansion paths run and no events are constructed.
+/// edge-scan counts and direction switches. With the no-op observer no
+/// events are constructed.
 pub fn bfs_eccentricity_hybrid_observed(
     g: &CsrGraph,
     source: VertexId,
-    marks: &mut VisitMarks,
+    scratch: &mut BfsScratch,
     config: &BfsConfig,
     obs: &dyn Observer,
-) -> BfsResult {
+) -> BfsSummary {
+    kernel(g, source, scratch, config, obs, true)
+}
+
+/// The shared direction-optimized kernel. `parallel` selects rayon
+/// expansion/sweeps (the hybrid entry points) or their sequential twins
+/// ([`crate::serial_hybrid`]); the frontier state machine is identical.
+///
+/// Representation protocol: the epoch marks are authoritative for
+/// "visited". The dense `visited_bm` mirror is rebuilt from the marks
+/// at each top-down→bottom-up switch and merged forward while sweeps
+/// continue; sweeps publish the next frontier into `next_bm` with
+/// full-word stores (which also erase its stale content) and the dense
+/// double buffer is swapped at the level barrier. Top-down levels keep
+/// the frontier sparse, converting from dense first when the previous
+/// level ran bottom-up. On exit the last non-empty frontier is always
+/// materialized into the sparse buffer.
+pub(crate) fn kernel(
+    g: &CsrGraph,
+    source: VertexId,
+    scratch: &mut BfsScratch,
+    config: &BfsConfig,
+    obs: &dyn Observer,
+    parallel: bool,
+) -> BfsSummary {
+    let ScratchParts {
+        marks,
+        cur,
+        next,
+        visited_bm,
+        cur_bm,
+        next_bm,
+    } = scratch.parts();
     let rollovers_before = marks.rollovers();
     let epoch = marks.next_epoch();
     let enabled = obs.enabled();
@@ -77,50 +192,84 @@ pub fn bfs_eccentricity_hybrid_observed(
     }
     let detail = obs.wants_bfs_detail();
     marks.mark(source, epoch);
-    let threshold = ((g.num_vertices() as f64) * config.alpha) as usize;
-    let mut frontier = vec![source];
+    cur.clear();
+    cur.push(source);
+    let n = g.num_vertices();
+    let src_deg = g.neighbors(source).len() as u64;
+    // Arcs out of unvisited vertices, maintained by subtracting each new
+    // frontier's out-degree sum (computed for free during expansion).
+    let mut m_u = (g.num_arcs() as u64).saturating_sub(src_deg);
+    let mut m_f = src_deg;
+    let mut n_f = 1usize;
     let mut visited = 1usize;
     let mut level = 0u32;
     let mut was_bottom_up = false;
+    // True while the current frontier lives in `cur`; false while it
+    // lives in `cur_bm` (consecutive bottom-up levels never convert).
+    let mut sparse = true;
     loop {
-        let bottom_up = config.direction_optimized && frontier.len() > threshold;
+        let bottom_up =
+            config.direction_optimized && config.heuristic.decide(n, n_f, m_f, m_u, was_bottom_up);
         if detail && bottom_up != was_bottom_up {
             obs.event(&Event::DirectionSwitch {
                 level: level + 1,
                 bottom_up,
             });
         }
-        was_bottom_up = bottom_up;
-        let (next, edges_scanned) = if bottom_up {
-            if detail {
-                expand_bottom_up_counted(g, marks, epoch)
-            } else {
-                (expand_bottom_up(g, marks, epoch), 0)
+        let (next_n, next_m, edges_scanned) = if bottom_up {
+            if !was_bottom_up {
+                visited_bm.fill_from_marks(marks, epoch);
             }
+            let s = if parallel {
+                sweep_bottom_up_parallel(g, marks, epoch, visited_bm, next_bm)
+            } else {
+                sweep_bottom_up_serial(g, marks, epoch, visited_bm, next_bm)
+            };
+            if s.count > 0 {
+                visited_bm.merge(next_bm);
+                std::mem::swap(cur_bm, next_bm);
+                sparse = false;
+            }
+            (s.count, s.degree_sum, s.edges_scanned)
         } else {
+            if !sparse {
+                cur.clear();
+                cur_bm.append_sparse_into(cur);
+                sparse = true;
+            }
             // Top-down scans exactly the frontier's incident edges, so
-            // the count is free — no counted expansion variant needed.
-            let edges = if detail {
-                frontier_edge_count(g, &frontier)
+            // the scan count is the tracked degree sum — free.
+            let edges = m_f;
+            let (count, deg) = if parallel && n_f >= config.serial_cutoff {
+                next_bm.clear();
+                let (count, deg) = expand_top_down_into_bitmap(g, cur, marks, epoch, next_bm);
+                next.clear();
+                next_bm.append_sparse_into(next);
+                (count, deg)
             } else {
-                0
+                let deg = expand_top_down_serial_into(g, cur, marks, epoch, next);
+                (next.len(), deg)
             };
-            let next = if frontier.len() < config.serial_cutoff {
-                crate::frontier::expand_top_down_serial(g, &frontier, marks, epoch)
-            } else {
-                expand_top_down_parallel(g, &frontier, marks, epoch)
-            };
-            (next, edges)
+            if count > 0 {
+                std::mem::swap(cur, next);
+            }
+            (count, deg, edges)
         };
+        was_bottom_up = bottom_up;
         if detail {
             obs.event(&Event::BfsLevel {
                 level: level + 1,
-                frontier: next.len(),
+                frontier: next_n,
                 edges_scanned,
                 bottom_up,
             });
         }
-        if next.is_empty() {
+        if next_n == 0 {
+            if !sparse {
+                cur.clear();
+                cur_bm.append_sparse_into(cur);
+            }
+            let farthest = cur.iter().copied().min().unwrap_or(source);
             if enabled {
                 obs.event(&Event::BfsEnd {
                     source,
@@ -128,15 +277,17 @@ pub fn bfs_eccentricity_hybrid_observed(
                     visited,
                 });
             }
-            return BfsResult {
+            return BfsSummary {
                 eccentricity: level,
                 visited,
-                last_frontier: frontier,
+                farthest,
             };
         }
-        visited += next.len();
+        visited += next_n;
+        m_u = m_u.saturating_sub(next_m);
+        m_f = next_m;
+        n_f = next_n;
         level += 1;
-        frontier = next;
     }
 }
 
@@ -144,23 +295,28 @@ pub fn bfs_eccentricity_hybrid_observed(
 mod tests {
     use super::*;
     use crate::serial::bfs_eccentricity_serial;
+    use crate::visited::VisitMarks;
     use fdiam_graph::generators::*;
     use fdiam_graph::transform::disjoint_union;
     use fdiam_graph::CsrGraph;
 
     fn check_matches_serial(g: &CsrGraph, config: &BfsConfig) {
         let mut ms = VisitMarks::new(g.num_vertices());
-        let mut mh = VisitMarks::new(g.num_vertices());
+        let mut scratch = BfsScratch::new(g.num_vertices());
         for v in g.vertices() {
             let s = bfs_eccentricity_serial(g, v, &mut ms);
-            let h = bfs_eccentricity_hybrid(g, v, &mut mh, config);
+            let h = bfs_eccentricity_hybrid(g, v, &mut scratch, config);
             assert_eq!(s.eccentricity, h.eccentricity, "ecc mismatch at {v}");
             assert_eq!(s.visited, h.visited, "visit count mismatch at {v}");
             let mut sf = s.last_frontier;
-            let mut hf = h.last_frontier;
             sf.sort_unstable();
+            let mut hf = scratch.last_frontier().to_vec();
             hf.sort_unstable();
             assert_eq!(sf, hf, "frontier mismatch at {v}");
+            assert_eq!(
+                h.farthest, sf[0],
+                "farthest must be the min-id frontier vertex"
+            );
         }
     }
 
@@ -190,15 +346,36 @@ mod tests {
     }
 
     #[test]
+    fn paper_fidelity_matches_serial() {
+        let cfg = BfsConfig::paper_fidelity();
+        for g in [grid2d(8, 8), star(50), barabasi_albert(200, 3, 3)] {
+            check_matches_serial(&g, &cfg);
+        }
+    }
+
+    #[test]
     fn matches_serial_when_bottom_up_forced() {
-        // alpha = 0 forces bottom-up from the very first level
+        // threshold = 0 forces bottom-up from the very first level
         let cfg = BfsConfig {
-            alpha: 0.0,
+            heuristic: SwitchHeuristic::FixedFraction { threshold: 0.0 },
             serial_cutoff: 0,
             ..BfsConfig::default()
         };
         check_matches_serial(&grid2d(6, 6), &cfg);
         check_matches_serial(&barabasi_albert(100, 4, 1), &cfg);
+    }
+
+    #[test]
+    fn matches_serial_with_parallel_top_down_forced() {
+        // serial_cutoff = 0 with bottom-up disabled: every level takes
+        // the bitmap-claiming parallel top-down path.
+        let cfg = BfsConfig {
+            direction_optimized: false,
+            serial_cutoff: 0,
+            ..BfsConfig::default()
+        };
+        check_matches_serial(&grid2d(6, 7), &cfg);
+        check_matches_serial(&erdos_renyi_gnm(150, 300, 5), &cfg);
     }
 
     #[test]
@@ -213,8 +390,8 @@ mod tests {
     #[test]
     fn disconnected_graph() {
         let g = disjoint_union(&star(5), &path(4));
-        let mut m = VisitMarks::new(9);
-        let r = bfs_eccentricity_hybrid(&g, 0, &mut m, &BfsConfig::default());
+        let mut s = BfsScratch::new(9);
+        let r = bfs_eccentricity_hybrid(&g, 0, &mut s, &BfsConfig::default());
         assert_eq!(r.eccentricity, 1);
         assert_eq!(r.visited, 5);
     }
@@ -222,11 +399,36 @@ mod tests {
     #[test]
     fn isolated_source() {
         let g = CsrGraph::empty(2);
-        let mut m = VisitMarks::new(2);
-        let r = bfs_eccentricity_hybrid(&g, 1, &mut m, &BfsConfig::default());
+        let mut s = BfsScratch::new(2);
+        let r = bfs_eccentricity_hybrid(&g, 1, &mut s, &BfsConfig::default());
         assert_eq!(r.eccentricity, 0);
         assert_eq!(r.visited, 1);
-        assert_eq!(r.last_frontier, vec![1]);
+        assert_eq!(r.farthest, 1);
+        assert_eq!(s.last_frontier(), &[1]);
+    }
+
+    #[test]
+    fn adaptive_decide_switches_both_ways() {
+        let h = SwitchHeuristic::default();
+        // Hub-dominated frontier: m_f well above m_u/α → bottom-up.
+        assert!(h.decide(1000, 10, 5000, 10_000, false));
+        // Sparse frontier with most edges unexplored → stay top-down.
+        assert!(!h.decide(1000, 10, 50, 100_000, false));
+        // Bottom-up persists while the frontier is large...
+        assert!(h.decide(1000, 500, 1, 1, true));
+        // ...and yields once it shrinks below n/β.
+        assert!(!h.decide(1000, 10, 1, 1, true));
+    }
+
+    #[test]
+    fn fixed_fraction_keeps_truncation_semantics() {
+        let h = SwitchHeuristic::FixedFraction { threshold: 0.1 };
+        // 10 % of 35 truncates to 3: a 4-vertex frontier switches.
+        assert!(h.decide(35, 4, 0, 0, false));
+        assert!(!h.decide(35, 3, 0, 0, false));
+        // threshold 0 switches on any non-empty frontier.
+        let h0 = SwitchHeuristic::FixedFraction { threshold: 0.0 };
+        assert!(h0.decide(10, 1, 0, 0, false));
     }
 
     use std::sync::Mutex;
@@ -263,16 +465,15 @@ mod tests {
     #[test]
     fn observed_emits_lifecycle_and_levels() {
         let g = path(4); // 0-1-2-3
-        let mut m = VisitMarks::new(4);
+        let mut s = BfsScratch::new(4);
         let r = Recorder::new();
         // Pure top-down so the per-level edge counts are the frontier
-        // degree sums (on 4 vertices the 10 % threshold is 0 and the
-        // default config would go bottom-up immediately).
+        // degree sums.
         let cfg = BfsConfig {
             direction_optimized: false,
             ..BfsConfig::default()
         };
-        let res = bfs_eccentricity_hybrid_observed(&g, 0, &mut m, &cfg, &r);
+        let res = bfs_eccentricity_hybrid_observed(&g, 0, &mut s, &cfg, &r);
         assert_eq!(res.eccentricity, 3);
         assert_eq!(
             r.names(),
@@ -289,13 +490,13 @@ mod tests {
 
     #[test]
     fn observed_reports_direction_switch_on_star() {
-        // From the center of star(200): level 1 is all 199 leaves,
-        // far above the 10 % threshold, so the final (empty) expansion
-        // runs bottom-up — one direction switch.
+        // From the center of star(200): the center's out-degree sum
+        // (199) dwarfs m_u/α, so the first expansion already runs
+        // bottom-up — one direction switch.
         let g = star(200);
-        let mut m = VisitMarks::new(200);
+        let mut s = BfsScratch::new(200);
         let r = Recorder::new();
-        let res = bfs_eccentricity_hybrid_observed(&g, 0, &mut m, &BfsConfig::default(), &r);
+        let res = bfs_eccentricity_hybrid_observed(&g, 0, &mut s, &BfsConfig::default(), &r);
         assert_eq!(res.eccentricity, 1);
         let names = r.names();
         assert!(
@@ -309,14 +510,13 @@ mod tests {
     #[test]
     fn observed_with_noop_matches_unobserved() {
         let g = barabasi_albert(150, 3, 2);
-        let mut m1 = VisitMarks::new(150);
-        let mut m2 = VisitMarks::new(150);
+        let mut s1 = BfsScratch::new(150);
+        let mut s2 = BfsScratch::new(150);
         let cfg = BfsConfig::default();
         for v in g.vertices() {
-            let a = bfs_eccentricity_hybrid(&g, v, &mut m1, &cfg);
-            let b = bfs_eccentricity_hybrid_observed(&g, v, &mut m2, &cfg, fdiam_obs::noop());
-            assert_eq!(a.eccentricity, b.eccentricity);
-            assert_eq!(a.visited, b.visited);
+            let a = bfs_eccentricity_hybrid(&g, v, &mut s1, &cfg);
+            let b = bfs_eccentricity_hybrid_observed(&g, v, &mut s2, &cfg, fdiam_obs::noop());
+            assert_eq!(a, b);
         }
     }
 }

@@ -8,10 +8,16 @@
 //! * [`VisitMarks`] — per-vertex visit *epochs* instead of boolean
 //!   flags, so no O(n) reset is needed between the thousands of
 //!   (partial) traversals F-Diam performs.
-//! * [`hybrid`] — direction-optimized BFS (Beamer et al.): top-down
-//!   frontier expansion switches to bottom-up scanning when the
-//!   frontier exceeds 10 % of the vertices (the paper's experimentally
-//!   determined threshold, §4.6), and back again when it shrinks.
+//! * [`hybrid`] — direction-optimized BFS (Beamer et al.) over a dual
+//!   frontier representation: sparse worklists for top-down levels and
+//!   a dense atomic bitmap ([`bitmap::FrontierBitmap`]) for chunked
+//!   bottom-up sweeps. The direction switch defaults to the Beamer
+//!   α/β edge-count heuristic, with the paper's fixed 10 %-of-`|V|`
+//!   rule (§4.6) available for reproduction-fidelity runs
+//!   ([`hybrid::SwitchHeuristic`]).
+//! * [`scratch`] — a reusable per-BFS arena ([`BfsScratch`]) holding
+//!   the marks, worklists and bitmaps, so eccentricity loops perform
+//!   zero steady-state heap allocation.
 //! * [`multisource`] — partial, optionally multi-source BFS with a
 //!   per-visit callback; this is the engine behind Winnow, Eliminate,
 //!   and their incremental extensions (§4.2, §4.4, §4.5).
@@ -20,20 +26,47 @@
 //! (`compare_exchange`) exactly as the paper's OpenMP code uses atomic
 //! operations on the worklists.
 
+pub mod bitmap;
 pub mod distances;
 pub mod frontier;
 pub mod hybrid;
 pub mod multisource;
+pub mod scratch;
 pub mod serial;
 pub mod serial_hybrid;
 pub mod visited;
 
-pub use hybrid::{bfs_eccentricity_hybrid, bfs_eccentricity_hybrid_observed, BfsConfig};
+pub use bitmap::FrontierBitmap;
+pub use hybrid::{
+    bfs_eccentricity_hybrid, bfs_eccentricity_hybrid_observed, BfsConfig, SwitchHeuristic,
+};
+pub use scratch::BfsScratch;
 pub use serial::bfs_eccentricity_serial;
 pub use serial_hybrid::{bfs_eccentricity_serial_hybrid, bfs_eccentricity_serial_hybrid_observed};
 pub use visited::VisitMarks;
 
 use fdiam_graph::VertexId;
+
+/// Allocation-free outcome of a scratch-based eccentricity BFS.
+///
+/// The full last frontier (every vertex at distance `eccentricity`)
+/// stays in the scratch arena — read it via
+/// [`BfsScratch::last_frontier`] before the next traversal reuses the
+/// buffers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BfsSummary {
+    /// Largest BFS level reached = eccentricity of the source *within
+    /// its connected component* (0 for an isolated vertex).
+    pub eccentricity: u32,
+    /// Number of vertices visited (including the source). Less than
+    /// `n` exactly when the graph is disconnected.
+    pub visited: usize,
+    /// The smallest-id vertex of the last non-empty frontier. The
+    /// 2-sweep (§4.1) picks its next source from here (`wl1[0]` in
+    /// Algorithm 1); taking the minimum makes the choice deterministic
+    /// across kernels and thread counts.
+    pub farthest: VertexId,
+}
 
 /// Outcome of an eccentricity BFS.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -18,7 +18,10 @@
 //! callback — in every use above, the seeds are already removed from
 //! consideration.
 
-use crate::frontier::{expand_top_down_parallel, expand_top_down_serial};
+use crate::frontier::{
+    expand_top_down_parallel, expand_top_down_serial, expand_top_down_serial_into,
+};
+use crate::scratch::{BfsScratch, ScratchParts};
 use crate::visited::VisitMarks;
 use fdiam_graph::{CsrGraph, VertexId};
 use rayon::prelude::*;
@@ -67,6 +70,59 @@ pub fn partial_bfs_serial(
     }
     PartialBfs {
         frontier,
+        levels_run: level,
+        visited,
+    }
+}
+
+/// Result of a scratch-based partial BFS. The final frontier stays in
+/// the arena — read it via [`BfsScratch::last_frontier`] before the
+/// next traversal reuses the buffers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PartialBfsStats {
+    pub levels_run: u32,
+    pub visited: usize,
+}
+
+/// [`partial_bfs_serial`] on a reusable [`BfsScratch`]: identical
+/// traversal and callback contract, but the frontier double buffer is
+/// borrowed from the arena so steady-state Eliminate/extension loops
+/// allocate nothing. `seeds` must not alias the scratch buffers (pass
+/// a caller-owned seed list).
+pub fn partial_bfs_scratch(
+    g: &CsrGraph,
+    seeds: &[VertexId],
+    scratch: &mut BfsScratch,
+    max_levels: u32,
+    mut on_visit: impl FnMut(u32, VertexId),
+) -> PartialBfsStats {
+    let ScratchParts {
+        marks, cur, next, ..
+    } = scratch.parts();
+    let epoch = marks.next_epoch();
+    cur.clear();
+    cur.extend_from_slice(seeds);
+    for &s in seeds {
+        marks.mark(s, epoch);
+    }
+    let mut level = 0u32;
+    let mut visited = 0usize;
+    while level < max_levels && !cur.is_empty() {
+        level += 1;
+        expand_top_down_serial_into(g, cur, marks, epoch, next);
+        if next.is_empty() {
+            return PartialBfsStats {
+                levels_run: level - 1,
+                visited,
+            };
+        }
+        for &v in next.iter() {
+            on_visit(level, v);
+        }
+        visited += next.len();
+        std::mem::swap(cur, next);
+    }
+    PartialBfsStats {
         levels_run: level,
         visited,
     }
@@ -186,6 +242,28 @@ mod tests {
         partial_bfs_serial(&g, &[1, 2], &mut marks, 10, |_, v| seen.push(v));
         seen.sort_unstable();
         assert_eq!(seen, vec![0, 3]);
+    }
+
+    #[test]
+    fn scratch_variant_matches_serial() {
+        let g = grid2d(5, 8);
+        let n = g.num_vertices();
+        let mut marks = VisitMarks::new(n);
+        let mut scratch = crate::BfsScratch::new(n);
+        for (seeds, cap) in [(vec![0u32], 3), (vec![0, 39], 10), (vec![7], 0)] {
+            let mut a: Vec<(u32, u32)> = Vec::new();
+            let r1 = partial_bfs_serial(&g, &seeds, &mut marks, cap, |l, v| a.push((l, v)));
+            let mut b: Vec<(u32, u32)> = Vec::new();
+            let r2 = partial_bfs_scratch(&g, &seeds, &mut scratch, cap, |l, v| b.push((l, v)));
+            assert_eq!(a, b);
+            assert_eq!(r1.levels_run, r2.levels_run);
+            assert_eq!(r1.visited, r2.visited);
+            let mut f1 = r1.frontier.clone();
+            f1.sort_unstable();
+            let mut f2 = scratch.last_frontier().to_vec();
+            f2.sort_unstable();
+            assert_eq!(f1, f2);
+        }
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Reusable per-thread BFS scratch arena.
+//!
+//! F-Diam performs thousands of traversals over one graph; allocating
+//! frontier storage per BFS would dominate the small-frontier levels
+//! that make up most of a high-diameter traversal. [`BfsScratch`] owns
+//! every piece of transient state a traversal needs — the epoch-based
+//! visit marks, the double-buffered sparse worklists, and the dense
+//! bitmaps of the bottom-up machinery — so steady-state eccentricity
+//! loops perform **zero heap allocation** per BFS: buffers grow to the
+//! graph's high-water mark once and are reused thereafter (asserted by
+//! the `scratch_alloc` integration test).
+
+use crate::bitmap::FrontierBitmap;
+use crate::visited::VisitMarks;
+use fdiam_graph::VertexId;
+
+/// Owned scratch state for repeated BFS traversals over one graph.
+pub struct BfsScratch {
+    marks: VisitMarks,
+    /// Sparse worklists (`wl1`/`wl2` in the paper's Algorithm 2),
+    /// swapped each level; after a traversal `cur` holds the last
+    /// non-empty frontier.
+    cur: Vec<VertexId>,
+    next: Vec<VertexId>,
+    /// Dense visited set, rebuilt from `marks` at each
+    /// top-down→bottom-up switch and merged forward per level.
+    visited_bm: FrontierBitmap,
+    /// Dense frontier double buffer for bottom-up levels.
+    cur_bm: FrontierBitmap,
+    next_bm: FrontierBitmap,
+}
+
+/// Disjoint `&mut` views of every [`BfsScratch`] component, so kernels
+/// can hold the marks and several buffers simultaneously.
+pub struct ScratchParts<'a> {
+    pub marks: &'a mut VisitMarks,
+    pub cur: &'a mut Vec<VertexId>,
+    pub next: &'a mut Vec<VertexId>,
+    pub visited_bm: &'a mut FrontierBitmap,
+    pub cur_bm: &'a mut FrontierBitmap,
+    pub next_bm: &'a mut FrontierBitmap,
+}
+
+impl BfsScratch {
+    /// Scratch for an `n`-vertex graph. All dense structures are sized
+    /// up front; the sparse worklists grow on first use and keep their
+    /// capacity.
+    pub fn new(n: usize) -> Self {
+        Self {
+            marks: VisitMarks::new(n),
+            cur: Vec::new(),
+            next: Vec::new(),
+            visited_bm: FrontierBitmap::new(n),
+            cur_bm: FrontierBitmap::new(n),
+            next_bm: FrontierBitmap::new(n),
+        }
+    }
+
+    /// Number of vertices this scratch covers.
+    pub fn len(&self) -> usize {
+        self.marks.len()
+    }
+
+    /// True if sized for the empty graph.
+    pub fn is_empty(&self) -> bool {
+        self.marks.is_empty()
+    }
+
+    /// Shared view of the visit marks (epoch queries).
+    pub fn marks(&self) -> &VisitMarks {
+        &self.marks
+    }
+
+    /// Exclusive view of the visit marks, for code that drives its own
+    /// traversal (Winnow/Eliminate partial BFS, chain processing).
+    /// Epochs keep the marks consistent across such mixed use.
+    pub fn marks_mut(&mut self) -> &mut VisitMarks {
+        &mut self.marks
+    }
+
+    /// The last non-empty frontier of the most recent traversal run on
+    /// this scratch: every vertex at distance `eccentricity` from that
+    /// traversal's source, in ascending id order when the final level
+    /// ran bottom-up (discovery order otherwise). Valid until the next
+    /// traversal reuses the buffers.
+    pub fn last_frontier(&self) -> &[VertexId] {
+        &self.cur
+    }
+
+    /// Splits the scratch into disjoint mutable parts for a kernel.
+    pub fn parts(&mut self) -> ScratchParts<'_> {
+        ScratchParts {
+            marks: &mut self.marks,
+            cur: &mut self.cur,
+            next: &mut self.next,
+            visited_bm: &mut self.visited_bm,
+            cur_bm: &mut self.cur_bm,
+            next_bm: &mut self.next_bm,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sized_to_graph() {
+        let s = BfsScratch::new(100);
+        assert_eq!(s.len(), 100);
+        assert!(!s.is_empty());
+        assert!(BfsScratch::new(0).is_empty());
+    }
+
+    #[test]
+    fn marks_epochs_survive_part_splits() {
+        let mut s = BfsScratch::new(8);
+        let e1 = s.marks_mut().next_epoch();
+        s.marks().mark(3, e1);
+        {
+            let p = s.parts();
+            let e2 = p.marks.next_epoch();
+            assert!(!p.marks.is_visited(3, e2));
+        }
+        assert!(s.marks().is_visited(3, e1));
+    }
+}

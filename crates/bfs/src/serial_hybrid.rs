@@ -3,26 +3,26 @@
 //! The paper's serial F-Diam also "incorporates state-of-the-art
 //! direction-optimized BFS" (§7) — the top-down/bottom-up switch is an
 //! edge-examination optimization orthogonal to parallelism (Beamer et
-//! al.). This is the serial analogue of
-//! [`crate::hybrid::bfs_eccentricity_hybrid`]: identical switching
-//! logic, no atomics, no thread pool.
+//! al.). These entry points run the exact same dual-representation
+//! kernel as [`crate::hybrid::bfs_eccentricity_hybrid`] — same switch
+//! heuristic, same bitmap sweeps, same scratch reuse — with the
+//! sequential expansion/sweep twins selected, so no rayon tasks are
+//! spawned and levels execute on the calling thread.
 
-use crate::frontier::frontier_edge_count;
-use crate::hybrid::BfsConfig;
-use crate::visited::VisitMarks;
-use crate::BfsResult;
+use crate::hybrid::{kernel, BfsConfig};
+use crate::scratch::BfsScratch;
+use crate::BfsSummary;
 use fdiam_graph::{CsrGraph, VertexId};
-use fdiam_obs::{noop, Event, Observer};
+use fdiam_obs::{noop, Observer};
 
-/// Serial BFS with the same 10 %-threshold direction switching as the
-/// parallel hybrid.
+/// Serial BFS with the same direction switching as the parallel hybrid.
 pub fn bfs_eccentricity_serial_hybrid(
     g: &CsrGraph,
     source: VertexId,
-    marks: &mut VisitMarks,
+    scratch: &mut BfsScratch,
     config: &BfsConfig,
-) -> BfsResult {
-    bfs_eccentricity_serial_hybrid_observed(g, source, marks, config, noop())
+) -> BfsSummary {
+    bfs_eccentricity_serial_hybrid_observed(g, source, scratch, config, noop())
 }
 
 /// [`bfs_eccentricity_serial_hybrid`] emitting telemetry to `obs` —
@@ -31,132 +31,18 @@ pub fn bfs_eccentricity_serial_hybrid(
 pub fn bfs_eccentricity_serial_hybrid_observed(
     g: &CsrGraph,
     source: VertexId,
-    marks: &mut VisitMarks,
+    scratch: &mut BfsScratch,
     config: &BfsConfig,
     obs: &dyn Observer,
-) -> BfsResult {
-    let rollovers_before = marks.rollovers();
-    let epoch = marks.next_epoch();
-    let enabled = obs.enabled();
-    if enabled {
-        if marks.rollovers() != rollovers_before {
-            obs.event(&Event::EpochRollover {
-                rollovers: marks.rollovers(),
-            });
-        }
-        obs.event(&Event::BfsStart { source });
-    }
-    let detail = obs.wants_bfs_detail();
-    marks.mark(source, epoch);
-    let threshold = ((g.num_vertices() as f64) * config.alpha) as usize;
-    let mut frontier = vec![source];
-    let mut visited = 1usize;
-    let mut level = 0u32;
-    let mut was_bottom_up = false;
-    loop {
-        let bottom_up = config.direction_optimized && frontier.len() > threshold;
-        if detail && bottom_up != was_bottom_up {
-            obs.event(&Event::DirectionSwitch {
-                level: level + 1,
-                bottom_up,
-            });
-        }
-        was_bottom_up = bottom_up;
-        let (next, edges_scanned) = if bottom_up {
-            if detail {
-                bottom_up_serial_counted(g, marks, epoch)
-            } else {
-                (bottom_up_serial(g, marks, epoch), 0)
-            }
-        } else {
-            let edges = if detail {
-                frontier_edge_count(g, &frontier)
-            } else {
-                0
-            };
-            (
-                crate::frontier::expand_top_down_serial(g, &frontier, marks, epoch),
-                edges,
-            )
-        };
-        if detail {
-            obs.event(&Event::BfsLevel {
-                level: level + 1,
-                frontier: next.len(),
-                edges_scanned,
-                bottom_up,
-            });
-        }
-        if next.is_empty() {
-            if enabled {
-                obs.event(&Event::BfsEnd {
-                    source,
-                    eccentricity: level,
-                    visited,
-                });
-            }
-            return BfsResult {
-                eccentricity: level,
-                visited,
-                last_frontier: frontier,
-            };
-        }
-        visited += next.len();
-        level += 1;
-        frontier = next;
-    }
-}
-
-/// Serial bottom-up step: every unvisited vertex joins the next
-/// frontier if any neighbor is visited (early exit on the first hit —
-/// the "wasted work" of bottom-up shrinks as the visited set grows).
-fn bottom_up_serial(g: &CsrGraph, marks: &VisitMarks, epoch: u64) -> Vec<VertexId> {
-    let n = g.num_vertices() as VertexId;
-    let mut next = Vec::new();
-    for v in 0..n {
-        if !marks.is_visited(v, epoch) && g.neighbors(v).iter().any(|&w| marks.is_visited(w, epoch))
-        {
-            next.push(v);
-        }
-    }
-    for &v in &next {
-        marks.mark(v, epoch);
-    }
-    next
-}
-
-/// [`bottom_up_serial`] that also counts the edges examined (neighbors
-/// scanned until the first visited hit).
-fn bottom_up_serial_counted(g: &CsrGraph, marks: &VisitMarks, epoch: u64) -> (Vec<VertexId>, u64) {
-    let n = g.num_vertices() as VertexId;
-    let mut next = Vec::new();
-    let mut edges = 0u64;
-    for v in 0..n {
-        if marks.is_visited(v, epoch) {
-            continue;
-        }
-        let mut hit = false;
-        for &w in g.neighbors(v) {
-            edges += 1;
-            if marks.is_visited(w, epoch) {
-                hit = true;
-                break;
-            }
-        }
-        if hit {
-            next.push(v);
-        }
-    }
-    for &v in &next {
-        marks.mark(v, epoch);
-    }
-    (next, edges)
+) -> BfsSummary {
+    kernel(g, source, scratch, config, obs, false)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::serial::bfs_eccentricity_serial;
+    use crate::visited::VisitMarks;
     use fdiam_graph::generators::*;
 
     #[test]
@@ -170,16 +56,16 @@ mod tests {
             kronecker_graph500(8, 8, 2),
         ] {
             let mut m1 = VisitMarks::new(g.num_vertices());
-            let mut m2 = VisitMarks::new(g.num_vertices());
+            let mut scratch = BfsScratch::new(g.num_vertices());
             let cfg = BfsConfig::default();
             for v in g.vertices() {
                 let a = bfs_eccentricity_serial(&g, v, &mut m1);
-                let b = bfs_eccentricity_serial_hybrid(&g, v, &mut m2, &cfg);
+                let b = bfs_eccentricity_serial_hybrid(&g, v, &mut scratch, &cfg);
                 assert_eq!(a.eccentricity, b.eccentricity);
                 assert_eq!(a.visited, b.visited);
                 let mut fa = a.last_frontier;
-                let mut fb = b.last_frontier;
                 fa.sort_unstable();
+                let mut fb = scratch.last_frontier().to_vec();
                 fb.sort_unstable();
                 assert_eq!(fa, fb);
             }
@@ -190,15 +76,28 @@ mod tests {
     fn forced_bottom_up_matches() {
         let g = barabasi_albert(200, 3, 7);
         let cfg = BfsConfig {
-            alpha: 0.0,
+            heuristic: crate::hybrid::SwitchHeuristic::FixedFraction { threshold: 0.0 },
             ..BfsConfig::default()
         };
         let mut m1 = VisitMarks::new(g.num_vertices());
-        let mut m2 = VisitMarks::new(g.num_vertices());
+        let mut scratch = BfsScratch::new(g.num_vertices());
         for v in g.vertices() {
             let a = bfs_eccentricity_serial(&g, v, &mut m1);
-            let b = bfs_eccentricity_serial_hybrid(&g, v, &mut m2, &cfg);
+            let b = bfs_eccentricity_serial_hybrid(&g, v, &mut scratch, &cfg);
             assert_eq!(a.eccentricity, b.eccentricity);
+        }
+    }
+
+    #[test]
+    fn agrees_with_parallel_kernel() {
+        let g = kronecker_graph500(9, 6, 4);
+        let cfg = BfsConfig::default();
+        let mut ss = BfsScratch::new(g.num_vertices());
+        let mut sp = BfsScratch::new(g.num_vertices());
+        for v in (0..g.num_vertices() as u32).step_by(37) {
+            let a = bfs_eccentricity_serial_hybrid(&g, v, &mut ss, &cfg);
+            let b = crate::hybrid::bfs_eccentricity_hybrid(&g, v, &mut sp, &cfg);
+            assert_eq!(a, b, "serial/parallel kernels diverge at source {v}");
         }
     }
 
@@ -226,15 +125,16 @@ mod tests {
 
         let g = star(100);
         let cfg = BfsConfig::default();
-        let mut m1 = VisitMarks::new(100);
-        let mut m2 = VisitMarks::new(100);
+        let mut s1 = BfsScratch::new(100);
+        let mut s2 = BfsScratch::new(100);
         let c = Counts::default();
-        let a = bfs_eccentricity_serial_hybrid(&g, 0, &mut m1, &cfg);
-        let b = bfs_eccentricity_serial_hybrid_observed(&g, 0, &mut m2, &cfg, &c);
+        let a = bfs_eccentricity_serial_hybrid(&g, 0, &mut s1, &cfg);
+        let b = bfs_eccentricity_serial_hybrid_observed(&g, 0, &mut s2, &cfg, &c);
         assert_eq!(a.eccentricity, b.eccentricity);
         assert_eq!(a.visited, b.visited);
-        // From the center: level 1 (99 leaves, top-down) then the
-        // empty final expansion runs bottom-up → 2 levels, 1 switch.
+        // From the center the out-degree sum (99) exceeds m_u/α at once,
+        // so level 1 and the empty final sweep both run bottom-up →
+        // 2 levels, 1 switch.
         assert_eq!(*c.levels.lock().unwrap(), 2);
         assert_eq!(*c.switches.lock().unwrap(), 1);
         assert_eq!(*c.ends.lock().unwrap(), 1);

@@ -2,13 +2,15 @@
 //! kernels must agree with each other and with first-principles
 //! shortest-path properties.
 
+use fdiam_bfs::bitmap::FrontierBitmap;
 use fdiam_bfs::distances::{bfs_distances_parallel, bfs_distances_serial, UNREACHABLE};
+use fdiam_bfs::frontier::sweep_bottom_up_serial;
 use fdiam_bfs::multisource::partial_bfs_serial;
 use fdiam_bfs::{
     bfs_eccentricity_hybrid, bfs_eccentricity_serial, bfs_eccentricity_serial_hybrid, BfsConfig,
-    VisitMarks,
+    BfsScratch, SwitchHeuristic, VisitMarks,
 };
-use fdiam_graph::EdgeList;
+use fdiam_graph::{CsrGraph, EdgeList, VertexId};
 use proptest::prelude::*;
 
 fn arb_graph_and_source() -> impl Strategy<Value = (fdiam_graph::CsrGraph, u32)> {
@@ -26,26 +28,101 @@ fn arb_graph_and_source() -> impl Strategy<Value = (fdiam_graph::CsrGraph, u32)>
     })
 }
 
+/// Full BFS from `src` driven *entirely* by bitmap bottom-up sweeps,
+/// recording per-vertex distances and parents. The parent of a claimed
+/// vertex replicates the sweep's early-exit choice: its first neighbor
+/// (in CSR order) that was visited before this level.
+fn bitmap_bottom_up_tree(g: &CsrGraph, src: u32) -> (Vec<u32>, Vec<Option<VertexId>>) {
+    let n = g.num_vertices();
+    let mut marks = VisitMarks::new(n);
+    let epoch = marks.next_epoch();
+    marks.mark(src, epoch);
+    let mut visited = FrontierBitmap::new(n);
+    visited.fill_from_marks(&marks, epoch);
+    let next = FrontierBitmap::new(n);
+    let mut dist = vec![UNREACHABLE; n];
+    dist[src as usize] = 0;
+    let mut parent: Vec<Option<VertexId>> = vec![None; n];
+    let mut sparse = Vec::new();
+    let mut level = 0u32;
+    loop {
+        let s = sweep_bottom_up_serial(g, &marks, epoch, &visited, &next);
+        if s.count == 0 {
+            return (dist, parent);
+        }
+        level += 1;
+        sparse.clear();
+        next.append_sparse_into(&mut sparse);
+        for &v in &sparse {
+            dist[v as usize] = level;
+            parent[v as usize] = g.neighbors(v).iter().copied().find(|&w| visited.test(w));
+        }
+        visited.merge(&next);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
-    /// The four eccentricity kernels agree on arbitrary graphs.
+    /// The eccentricity kernels agree on arbitrary graphs, across the
+    /// adaptive heuristic, the paper's fixed rule, and a forced
+    /// bottom-up configuration.
     #[test]
     fn all_kernels_agree((g, src) in arb_graph_and_source()) {
         let n = g.num_vertices();
         let cfg = BfsConfig::default();
-        let aggressive = BfsConfig { alpha: 0.0, serial_cutoff: 0, ..cfg };
+        let fidelity = BfsConfig::paper_fidelity();
+        let aggressive = BfsConfig {
+            heuristic: SwitchHeuristic::FixedFraction { threshold: 0.0 },
+            serial_cutoff: 0,
+            ..cfg
+        };
         let mut m = VisitMarks::new(n);
+        let mut s = BfsScratch::new(n);
         let a = bfs_eccentricity_serial(&g, src, &mut m);
-        let b = bfs_eccentricity_hybrid(&g, src, &mut m, &cfg);
-        let c = bfs_eccentricity_serial_hybrid(&g, src, &mut m, &cfg);
-        let d = bfs_eccentricity_hybrid(&g, src, &mut m, &aggressive);
+        let b = bfs_eccentricity_hybrid(&g, src, &mut s, &cfg);
+        let c = bfs_eccentricity_serial_hybrid(&g, src, &mut s, &cfg);
+        let d = bfs_eccentricity_hybrid(&g, src, &mut s, &aggressive);
+        let e = bfs_eccentricity_hybrid(&g, src, &mut s, &fidelity);
         prop_assert_eq!(a.eccentricity, b.eccentricity);
         prop_assert_eq!(a.eccentricity, c.eccentricity);
         prop_assert_eq!(a.eccentricity, d.eccentricity);
+        prop_assert_eq!(a.eccentricity, e.eccentricity);
         prop_assert_eq!(a.visited, b.visited);
         prop_assert_eq!(a.visited, c.visited);
         prop_assert_eq!(a.visited, d.visited);
+        prop_assert_eq!(a.visited, e.visited);
+        let min_far = *a.last_frontier.iter().min().unwrap();
+        prop_assert_eq!(b.farthest, min_far);
+        prop_assert_eq!(c.farthest, min_far);
+        prop_assert_eq!(d.farthest, min_far);
+    }
+
+    /// A pure bitmap bottom-up BFS produces serial BFS distances and a
+    /// valid shortest-path tree: every reached non-source vertex has a
+    /// parent that is a neighbor at distance exactly one less.
+    #[test]
+    fn bitmap_bottom_up_matches_serial_distances_and_parents(
+        (g, src) in arb_graph_and_source()
+    ) {
+        let mut expect = Vec::new();
+        bfs_distances_serial(&g, src, &mut expect);
+        let (dist, parent) = bitmap_bottom_up_tree(&g, src);
+        prop_assert_eq!(&dist, &expect);
+        for v in g.vertices() {
+            if v == src || dist[v as usize] == UNREACHABLE {
+                prop_assert_eq!(parent[v as usize], None);
+                continue;
+            }
+            let p = parent[v as usize];
+            prop_assert!(p.is_some(), "reached vertex {} has no parent", v);
+            let p = p.unwrap();
+            prop_assert!(
+                g.neighbors(v).contains(&p),
+                "parent {} is not a neighbor of {}", p, v
+            );
+            prop_assert_eq!(dist[p as usize] + 1, dist[v as usize]);
+        }
     }
 
     /// Distances satisfy the BFS defining property: d(src) = 0 and a
@@ -101,5 +178,48 @@ proptest! {
         expected.sort_unstable();
         seen.sort_unstable();
         prop_assert_eq!(seen, expected);
+    }
+}
+
+/// The α/β adaptive heuristic and the paper's fixed 10 % rule take
+/// different direction-switch decisions but must agree on the final
+/// distances — checked per source, on every generator family in the
+/// suite, for both the parallel and the serial kernel.
+#[test]
+fn adaptive_and_fixed_rule_agree_on_all_generator_families() {
+    use fdiam_graph::generators::*;
+    let graphs: Vec<(&str, CsrGraph)> = vec![
+        ("path", path(40)),
+        ("cycle", cycle(33)),
+        ("star", star(60)),
+        ("complete", complete(12)),
+        ("balanced_tree", balanced_tree(3, 4)),
+        ("caterpillar", caterpillar(8, 2)),
+        ("lollipop", lollipop(6, 8)),
+        ("barbell", barbell(5, 3)),
+        ("grid2d", grid2d(7, 9)),
+        ("grid2d_torus", grid2d_torus(6, 6)),
+        ("erdos_renyi", erdos_renyi_gnm(120, 200, 3)),
+        ("barabasi_albert", barabasi_albert(150, 3, 5)),
+        ("watts_strogatz", watts_strogatz(100, 4, 0.1, 7)),
+        ("road_like", road_like(120, 0.15, 2)),
+        ("rmat", rmat(7, 4, RmatProbabilities::LONESTAR, 11)),
+        ("kronecker", kronecker_graph500(7, 6, 13)),
+        ("random_geometric", random_geometric(90, 0.2, 17)),
+    ];
+    let adaptive = BfsConfig::default();
+    let fixed = BfsConfig::paper_fidelity();
+    for (name, g) in &graphs {
+        let n = g.num_vertices();
+        let mut s1 = BfsScratch::new(n);
+        let mut s2 = BfsScratch::new(n);
+        for v in g.vertices() {
+            let a = bfs_eccentricity_hybrid(g, v, &mut s1, &adaptive);
+            let b = bfs_eccentricity_hybrid(g, v, &mut s2, &fixed);
+            assert_eq!(a, b, "parallel kernels disagree on {name} from {v}");
+            let a = bfs_eccentricity_serial_hybrid(g, v, &mut s1, &adaptive);
+            let b = bfs_eccentricity_serial_hybrid(g, v, &mut s2, &fixed);
+            assert_eq!(a, b, "serial kernels disagree on {name} from {v}");
+        }
     }
 }

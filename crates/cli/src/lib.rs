@@ -34,6 +34,9 @@ pub enum Command {
         trace: Option<String>,
         /// Print aggregated observer counters after the run.
         metrics: bool,
+        /// Use the paper's fixed 10 % direction-switch rule instead of
+        /// the default α/β heuristic (reproduction fidelity).
+        paper_bfs: bool,
     },
     Ecc {
         input: String,
@@ -86,7 +89,7 @@ fdiam — fast exact graph diameter (F-Diam, ICPP'25 reproduction)
 
 USAGE:
   fdiam diameter [--algorithm NAME] [--serial] [--stats] [--threads N]
-                 [--progress] [--trace FILE] [--metrics] INPUT
+                 [--progress] [--trace FILE] [--metrics] [--paper-bfs] INPUT
   fdiam ecc INPUT                    radius / center / periphery
   fdiam info INPUT                   graph summary (n, m, degrees, components)
   fdiam convert INPUT OUTPUT         convert between formats
@@ -98,6 +101,7 @@ OBSERVABILITY (fdiam / fdiam-serial only):
   --progress      rate-limited progress lines on stderr
   --trace FILE    structured JSONL event trace (see DESIGN.md §7)
   --metrics       aggregated counters and phase timings after the run
+  --paper-bfs     paper's fixed 10% BFS direction switch (fdiam/fdiam-serial)
 FORMATS (by extension): .txt/.el edge list | .gr DIMACS-9 | .mtx MatrixMarket | .fdia binary
 GENERATE SPECS:
   grid:ROWSxCOLS           e.g. grid:512x512
@@ -107,7 +111,7 @@ GENERATE SPECS:
   geometric:N,R[,SEED]     random geometric
 ";
 
-/// Parses a command line (excluding argv[0]).
+/// Parses a command line (excluding `argv[0]`).
 pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter();
     let Some(cmd) = it.next() else {
@@ -123,6 +127,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut progress = false;
             let mut trace = None;
             let mut metrics = false;
+            let mut paper_bfs = false;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--algorithm" | "-a" => {
@@ -137,6 +142,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     }
                     "--progress" => progress = true,
                     "--metrics" => metrics = true,
+                    "--paper-bfs" => paper_bfs = true,
                     "--trace" => {
                         let v = it.next().ok_or("--trace needs a file path")?;
                         if v.starts_with('-') {
@@ -159,6 +165,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         .into(),
                 );
             }
+            if paper_bfs && !matches!(algorithm, Algorithm::FdiamParallel | Algorithm::FdiamSerial)
+            {
+                return Err(
+                    "--paper-bfs only applies to the fdiam and fdiam-serial algorithms".into(),
+                );
+            }
             Ok(Command::Diameter {
                 input: input.ok_or("missing INPUT file")?,
                 algorithm,
@@ -167,6 +179,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 progress,
                 trace,
                 metrics,
+                paper_bfs,
             })
         }
         "ecc" => Ok(Command::Ecc {
@@ -388,6 +401,7 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
             progress,
             trace,
             metrics,
+            paper_bfs,
         } => {
             let g = read_graph(&input)?;
             if let Some(t) = threads {
@@ -400,11 +414,14 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
             let mut metrics_registry = None;
             let (diam, connected, bfs, detail) = match algorithm {
                 Algorithm::FdiamParallel | Algorithm::FdiamSerial => {
-                    let cfg = if algorithm == Algorithm::FdiamParallel {
+                    let mut cfg = if algorithm == Algorithm::FdiamParallel {
                         fdiam_core::FdiamConfig::parallel()
                     } else {
                         fdiam_core::FdiamConfig::serial()
                     };
+                    if paper_bfs {
+                        cfg = cfg.with_paper_bfs();
+                    }
                     let mut sinks: Vec<Box<dyn Observer + Send>> = Vec::new();
                     if progress {
                         sinks.push(Box::new(ProgressSink::stderr()));
@@ -508,6 +525,7 @@ mod tests {
                 progress: false,
                 trace: None,
                 metrics: false,
+                paper_bfs: false,
             }
         );
         let c = parse_args(&args(&[
@@ -530,6 +548,7 @@ mod tests {
                 progress: false,
                 trace: None,
                 metrics: false,
+                paper_bfs: false,
             }
         );
         let c = parse_args(&args(&["diameter", "--serial", "g.mtx"])).unwrap();
@@ -573,6 +592,7 @@ mod tests {
                 progress: true,
                 trace: Some("run.jsonl".into()),
                 metrics: true,
+                paper_bfs: false,
             }
         );
     }
@@ -598,6 +618,28 @@ mod tests {
         // ...but both fdiam variants accept them
         assert!(parse_args(&args(&["diameter", "--serial", "--metrics", "g.txt"])).is_ok());
         assert!(parse_args(&args(&["diameter", "--progress", "g.txt"])).is_ok());
+    }
+
+    #[test]
+    fn paper_bfs_flag_parses_and_requires_fdiam() {
+        let c = parse_args(&args(&["diameter", "--paper-bfs", "g.txt"])).unwrap();
+        assert!(matches!(
+            c,
+            Command::Diameter {
+                paper_bfs: true,
+                ..
+            }
+        ));
+        let c = parse_args(&args(&["diameter", "--serial", "--paper-bfs", "g.txt"])).unwrap();
+        assert!(matches!(
+            c,
+            Command::Diameter {
+                paper_bfs: true,
+                ..
+            }
+        ));
+        let e = parse_args(&args(&["diameter", "-a", "ifub", "--paper-bfs", "g.txt"])).unwrap_err();
+        assert!(e.contains("--paper-bfs"), "{e}");
     }
 
     #[test]
@@ -646,6 +688,7 @@ mod tests {
                 progress: false,
                 trace: None,
                 metrics: false,
+                paper_bfs: false,
             },
             &mut out,
         )
@@ -680,6 +723,7 @@ mod tests {
                 progress: false,
                 trace: Some(trace.clone()),
                 metrics: true,
+                paper_bfs: false,
             },
             &mut out,
         )

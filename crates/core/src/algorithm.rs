@@ -20,7 +20,7 @@
 //! ([`Phase::TwoSweep`], [`Phase::Winnow`], [`Phase::Chain`],
 //! [`Phase::Eliminate`], [`Phase::EccBfs`]) plus structured events for
 //! bound convergence, winnow growth, eliminations, and chains. The
-//! driver's own [`StatsCollector`](crate::observe::StatsCollector) is
+//! driver's own [`StatsCollector`] is
 //! always attached (via [`Tee`]) and folds the stream back into
 //! [`FdiamStats`], so [`run`] with no external observer produces the
 //! same statistics it always did.
@@ -40,8 +40,8 @@ use crate::state::{EccState, Stage};
 use crate::stats::FdiamStats;
 use crate::winnow::WinnowRegion;
 use fdiam_bfs::{
-    bfs_eccentricity_hybrid_observed, bfs_eccentricity_serial_hybrid_observed, BfsResult,
-    VisitMarks,
+    bfs_eccentricity_hybrid_observed, bfs_eccentricity_serial_hybrid_observed, BfsScratch,
+    BfsSummary,
 };
 use fdiam_graph::{CsrGraph, VertexId};
 use fdiam_obs::{noop, Event, Observer, Phase, PhaseSpan, Tee};
@@ -135,7 +135,9 @@ struct Driver<'a> {
     config: &'a FdiamConfig,
     obs: &'a dyn Observer,
     state: EccState,
-    marks: VisitMarks,
+    scratch: BfsScratch,
+    /// Reused seed buffer for the §4.5 Eliminate extension scan.
+    seeds: Vec<VertexId>,
     winnow: WinnowRegion,
     bound: u32,
     connected: bool,
@@ -152,7 +154,7 @@ impl<'a> Driver<'a> {
             return None;
         }
         let state = EccState::new(n);
-        let mut marks = VisitMarks::new(n);
+        let mut scratch = BfsScratch::new(n);
 
         // Stage 0: degree-0 vertices need no computation (ecc = 0).
         for v in g.vertices() {
@@ -175,11 +177,11 @@ impl<'a> Driver<'a> {
         let mut diametral_pair = (u, u);
         if state.is_active(u) {
             let _sweep = PhaseSpan::enter(obs, Phase::TwoSweep);
-            let r1 = ecc_bfs(g, u, &mut marks, config, obs);
+            let r1 = ecc_bfs(g, u, &mut scratch, config, obs);
             state.record(u, r1.eccentricity, Stage::Computed);
             connected = r1.visited == n;
             bound = r1.eccentricity;
-            let w = r1.last_frontier[0];
+            let w = r1.farthest;
             diametral_pair = (u, w);
             if bound > 0 {
                 obs.event(&Event::BoundUpdate {
@@ -189,7 +191,7 @@ impl<'a> Driver<'a> {
                 });
             }
             if state.is_active(w) {
-                let r2 = ecc_bfs(g, w, &mut marks, config, obs);
+                let r2 = ecc_bfs(g, w, &mut scratch, config, obs);
                 state.record(w, r2.eccentricity, Stage::Computed);
                 if r2.eccentricity > bound {
                     obs.event(&Event::BoundUpdate {
@@ -198,7 +200,7 @@ impl<'a> Driver<'a> {
                         source: w,
                     });
                     bound = r2.eccentricity;
-                    diametral_pair = (w, r2.last_frontier[0]);
+                    diametral_pair = (w, r2.farthest);
                 }
             }
         }
@@ -215,7 +217,7 @@ impl<'a> Driver<'a> {
         // Stage 3: Chain Processing (§4.3).
         if config.use_chain {
             let _span = PhaseSpan::enter(obs, Phase::Chain);
-            let count = chain_processing(g, &state, &mut marks);
+            let count = chain_processing(g, &state, &mut scratch);
             obs.event(&Event::ChainsProcessed { count });
         }
 
@@ -234,7 +236,8 @@ impl<'a> Driver<'a> {
             config,
             obs,
             state,
-            marks,
+            scratch,
+            seeds: Vec::new(),
             winnow,
             bound,
             connected,
@@ -250,10 +253,10 @@ impl<'a> Driver<'a> {
             if !self.state.is_active(v) {
                 continue;
             }
-            let r = ecc_bfs(self.g, v, &mut self.marks, self.config, self.obs);
+            let r = ecc_bfs(self.g, v, &mut self.scratch, self.config, self.obs);
             self.state.record(v, r.eccentricity, Stage::Computed);
             if r.eccentricity > self.bound {
-                self.diametral_pair = (v, r.last_frontier[0]);
+                self.diametral_pair = (v, r.farthest);
             }
             self.apply_bounds(v, r.eccentricity);
             self.obs.event(&Event::Progress {
@@ -330,8 +333,14 @@ impl<'a> Driver<'a> {
             }
             if self.config.use_eliminate {
                 let _span = PhaseSpan::enter(obs, Phase::Eliminate);
-                let removed =
-                    extend_eliminated(self.g, &self.state, &mut self.marks, old, self.bound);
+                let removed = extend_eliminated(
+                    self.g,
+                    &self.state,
+                    &mut self.scratch,
+                    &mut self.seeds,
+                    old,
+                    self.bound,
+                );
                 obs.event(&Event::EliminateRun {
                     removed,
                     extension: true,
@@ -342,7 +351,7 @@ impl<'a> Driver<'a> {
             let removed = eliminate(
                 self.g,
                 &self.state,
-                &mut self.marks,
+                &mut self.scratch,
                 v,
                 e,
                 self.bound,
@@ -374,17 +383,17 @@ fn grow_winnow(
 fn ecc_bfs(
     g: &CsrGraph,
     v: VertexId,
-    marks: &mut VisitMarks,
+    scratch: &mut BfsScratch,
     config: &FdiamConfig,
     obs: &dyn Observer,
-) -> BfsResult {
+) -> BfsSummary {
     let _span = PhaseSpan::enter(obs, Phase::EccBfs);
     if config.parallel {
-        bfs_eccentricity_hybrid_observed(g, v, marks, &config.bfs, obs)
+        bfs_eccentricity_hybrid_observed(g, v, scratch, &config.bfs, obs)
     } else {
         // The paper's serial code is also direction-optimized (§7) —
         // the top-down/bottom-up switch is orthogonal to parallelism.
-        bfs_eccentricity_serial_hybrid_observed(g, v, marks, &config.bfs, obs)
+        bfs_eccentricity_serial_hybrid_observed(g, v, scratch, &config.bfs, obs)
     }
 }
 
@@ -432,7 +441,9 @@ fn local_bfs_eccentricity(g: &CsrGraph, source: VertexId, obs: &dyn Observer) ->
                     visited,
                 });
             }
-            return (level, frontier[0]);
+            // Min-id farthest vertex, matching the deterministic
+            // choice of the scratch kernels' `BfsSummary::farthest`.
+            return (level, *frontier.iter().min().expect("frontier non-empty"));
         }
         visited += next.len();
         level += 1;
@@ -494,7 +505,7 @@ impl Driver<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fdiam_bfs::bfs_eccentricity_serial;
+    use fdiam_bfs::{bfs_eccentricity_serial, VisitMarks};
     use fdiam_graph::generators::*;
     use fdiam_graph::transform::disjoint_union;
 

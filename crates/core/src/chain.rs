@@ -18,12 +18,12 @@
 
 use crate::eliminate::eliminate;
 use crate::state::{EccState, Stage, PSEUDO_MAX};
-use fdiam_bfs::VisitMarks;
+use fdiam_bfs::BfsScratch;
 use fdiam_graph::{CsrGraph, VertexId};
 
 /// Runs Chain Processing over the whole graph. Returns the number of
 /// degree-1 chains processed.
-pub fn chain_processing(g: &CsrGraph, state: &EccState, marks: &mut VisitMarks) -> usize {
+pub fn chain_processing(g: &CsrGraph, state: &EccState, scratch: &mut BfsScratch) -> usize {
     let mut chains = 0usize;
     for v in g.vertices() {
         if g.degree(v) != 1 {
@@ -34,7 +34,7 @@ pub fn chain_processing(g: &CsrGraph, state: &EccState, marks: &mut VisitMarks) 
         eliminate(
             g,
             state,
-            marks,
+            scratch,
             end,
             PSEUDO_MAX - len,
             PSEUDO_MAX,
@@ -105,8 +105,8 @@ mod tests {
         // star: every leaf is a chain of length 1 ending at the hub.
         let g = star(5);
         let state = EccState::new(5);
-        let mut marks = VisitMarks::new(5);
-        let chains = chain_processing(&g, &state, &mut marks);
+        let mut scratch = BfsScratch::new(5);
+        let chains = chain_processing(&g, &state, &mut scratch);
         assert_eq!(chains, 4);
         // hub removed; last-processed leaf reactivated
         assert!(!state.is_active(0));
@@ -127,8 +127,8 @@ mod tests {
             EdgeList::from_undirected(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (3, 5), (3, 7), (7, 6)])
                 .to_undirected_csr();
         let state = EccState::new(8);
-        let mut marks = VisitMarks::new(8);
-        chain_processing(&g, &state, &mut marks);
+        let mut scratch = BfsScratch::new(8);
+        chain_processing(&g, &state, &mut scratch);
         // Tips processed in id order 0, 4, 5, 6. Chain from 0 (len 3, end 3)
         // removes everything within 3 of the hub — the whole component —
         // then reactivates 0. Chains from 4 and 5 (len 1, end 3) each knock
@@ -148,8 +148,8 @@ mod tests {
     fn pure_path_keeps_exactly_one_tip_active() {
         let g = path(6);
         let state = EccState::new(6);
-        let mut marks = VisitMarks::new(6);
-        let chains = chain_processing(&g, &state, &mut marks);
+        let mut scratch = BfsScratch::new(6);
+        let chains = chain_processing(&g, &state, &mut scratch);
         assert_eq!(chains, 2);
         // processing tip 0 removes everything within 5 of vertex 5 (all),
         // reactivates 0; processing tip 5 removes all within 5 of 0
@@ -164,8 +164,8 @@ mod tests {
     fn caterpillar_removes_spine_keeps_extremal_legs() {
         let g = caterpillar(5, 1); // spine 0..4, legs 5..9 (leg 5+s on spine s)
         let state = EccState::new(10);
-        let mut marks = VisitMarks::new(10);
-        chain_processing(&g, &state, &mut marks);
+        let mut scratch = BfsScratch::new(10);
+        chain_processing(&g, &state, &mut scratch);
         // The whole spine is covered by chain eliminations.
         for s in 0..5u32 {
             assert!(!state.is_active(s), "spine {s} should be removed");
@@ -183,8 +183,8 @@ mod tests {
     fn no_degree1_vertices_is_noop() {
         let g = fdiam_graph::generators::cycle(6);
         let state = EccState::new(6);
-        let mut marks = VisitMarks::new(6);
-        assert_eq!(chain_processing(&g, &state, &mut marks), 0);
+        let mut scratch = BfsScratch::new(6);
+        assert_eq!(chain_processing(&g, &state, &mut scratch), 0);
         assert_eq!(active_set(&state).len(), 6);
     }
 
@@ -192,8 +192,8 @@ mod tests {
     fn lollipop_chain_removes_clique_neighborhood() {
         let g = lollipop(4, 3); // clique 0..3, tail 4,5,6 (tip 6)
         let state = EccState::new(7);
-        let mut marks = VisitMarks::new(7);
-        chain_processing(&g, &state, &mut marks);
+        let mut scratch = BfsScratch::new(7);
+        chain_processing(&g, &state, &mut scratch);
         // chain from 6: len 3, ends at clique vertex 0 → radius 3 covers
         // the whole lollipop; tip 6 reactivated
         assert_eq!(active_set(&state), vec![6]);
@@ -204,8 +204,8 @@ mod tests {
     fn chain_values_use_pseudo_bounds() {
         let g = path(3);
         let state = EccState::new(3);
-        let mut marks = VisitMarks::new(3);
-        chain_processing(&g, &state, &mut marks);
+        let mut scratch = BfsScratch::new(3);
+        chain_processing(&g, &state, &mut scratch);
         for v in 0..3u32 {
             let val = state.value(v);
             assert!(val == ACTIVE || val > PSEUDO_MAX - 10);

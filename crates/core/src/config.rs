@@ -86,6 +86,13 @@ impl FdiamConfig {
         self.use_chain = false;
         self
     }
+
+    /// Use the paper's fixed 10 % direction-switch rule (§4.6) instead
+    /// of the default α/β heuristic — reproduction fidelity over speed.
+    pub fn with_paper_bfs(mut self) -> Self {
+        self.bfs = BfsConfig::paper_fidelity();
+        self
+    }
 }
 
 #[cfg(test)]
@@ -111,5 +118,19 @@ mod tests {
                 .use_max_degree_start
         );
         assert!(!FdiamConfig::parallel().without_chain().use_chain);
+    }
+
+    #[test]
+    fn paper_bfs_switches_the_heuristic() {
+        use fdiam_bfs::SwitchHeuristic;
+        let c = FdiamConfig::parallel().with_paper_bfs();
+        assert!(matches!(
+            c.bfs.heuristic,
+            SwitchHeuristic::FixedFraction { .. }
+        ));
+        assert!(matches!(
+            FdiamConfig::default().bfs.heuristic,
+            SwitchHeuristic::Adaptive { .. }
+        ));
     }
 }

@@ -16,21 +16,24 @@
 //! number of prior evaluated vertices" (§4.5).
 
 use crate::state::{EccState, Stage};
-use fdiam_bfs::multisource::partial_bfs_serial;
-use fdiam_bfs::VisitMarks;
+use fdiam_bfs::multisource::partial_bfs_scratch;
+use fdiam_bfs::BfsScratch;
 use fdiam_graph::{CsrGraph, VertexId};
 
 /// Algorithm 5: eliminates all vertices within `bound − start` steps of
 /// `source`, recording the upper bound `start + level` in each. The
 /// source itself is recorded with `start` (for a plain Eliminate call
 /// that is its just-computed exact eccentricity; for Chain Processing
-/// it is the pseudo-bound of the chain's end vertex).
+/// it is the pseudo-bound of the chain's end vertex). The partial BFS
+/// runs on the driver's scratch arena — serial because "there is
+/// typically not enough work to warrant parallelization" (§4.4) — so
+/// the call is allocation-free in steady state.
 ///
 /// Returns the number of vertices reached (excluding the source).
 pub fn eliminate(
     g: &CsrGraph,
     state: &EccState,
-    marks: &mut VisitMarks,
+    scratch: &mut BfsScratch,
     source: VertexId,
     start: u32,
     bound: u32,
@@ -41,7 +44,7 @@ pub fn eliminate(
         return 0;
     }
     let levels = bound - start;
-    let r = partial_bfs_serial(g, &[source], marks, levels, |level, v| {
+    let r = partial_bfs_scratch(g, &[source], scratch, levels, |level, v| {
         state.record(v, start + level, stage);
     });
     r.visited
@@ -50,22 +53,24 @@ pub fn eliminate(
 /// §4.5 extension: seeds every vertex whose recorded bound equals
 /// `old_bound` and runs one multi-source partial BFS of
 /// `new_bound − old_bound` levels, recording `old_bound + level` in the
-/// vertices reached.
+/// vertices reached. `seeds` is a caller-owned reusable buffer for the
+/// seed scan (it must not alias the scratch arena's own worklists).
 ///
 /// Returns the number of vertices reached.
 pub fn extend_eliminated(
     g: &CsrGraph,
     state: &EccState,
-    marks: &mut VisitMarks,
+    scratch: &mut BfsScratch,
+    seeds: &mut Vec<VertexId>,
     old_bound: u32,
     new_bound: u32,
 ) -> usize {
     debug_assert!(new_bound > old_bound);
-    let seeds = state.vertices_with_value(old_bound);
+    state.vertices_with_value_into(old_bound, seeds);
     if seeds.is_empty() {
         return 0;
     }
-    let r = partial_bfs_serial(g, &seeds, marks, new_bound - old_bound, |level, v| {
+    let r = partial_bfs_scratch(g, seeds, scratch, new_bound - old_bound, |level, v| {
         state.record(v, old_bound + level, Stage::Eliminate);
     });
     r.visited
@@ -77,13 +82,18 @@ mod tests {
     use crate::state::ACTIVE;
     use fdiam_graph::generators::{path, star};
 
+    fn extend(g: &CsrGraph, state: &EccState, s: &mut BfsScratch, old: u32, new: u32) -> usize {
+        let mut seeds = Vec::new();
+        extend_eliminated(g, state, s, &mut seeds, old, new)
+    }
+
     #[test]
     fn eliminates_ring_around_source() {
         // Figure 5 scenario: bound 5, ecc(source) 4 → direct neighbors only.
         let g = star(6);
         let state = EccState::new(6);
-        let mut marks = VisitMarks::new(6);
-        let removed = eliminate(&g, &state, &mut marks, 0, 4, 5, Stage::Eliminate);
+        let mut scratch = BfsScratch::new(6);
+        let removed = eliminate(&g, &state, &mut scratch, 0, 4, 5, Stage::Eliminate);
         assert_eq!(removed, 5);
         assert_eq!(state.value(0), 4);
         for v in 1..6 {
@@ -96,8 +106,8 @@ mod tests {
     fn records_increasing_bounds_by_level() {
         let g = path(6);
         let state = EccState::new(6);
-        let mut marks = VisitMarks::new(6);
-        eliminate(&g, &state, &mut marks, 0, 2, 5, Stage::Eliminate);
+        let mut scratch = BfsScratch::new(6);
+        eliminate(&g, &state, &mut scratch, 0, 2, 5, Stage::Eliminate);
         assert_eq!(state.value(0), 2);
         assert_eq!(state.value(1), 3);
         assert_eq!(state.value(2), 4);
@@ -109,8 +119,8 @@ mod tests {
     fn noop_when_ecc_equals_bound() {
         let g = path(4);
         let state = EccState::new(4);
-        let mut marks = VisitMarks::new(4);
-        let removed = eliminate(&g, &state, &mut marks, 1, 3, 3, Stage::Eliminate);
+        let mut scratch = BfsScratch::new(4);
+        let removed = eliminate(&g, &state, &mut scratch, 1, 3, 3, Stage::Eliminate);
         assert_eq!(removed, 0);
         assert_eq!(state.value(1), 3, "source still recorded");
         assert!(state.is_active(0));
@@ -120,13 +130,13 @@ mod tests {
     fn extension_continues_from_frontier() {
         let g = path(8);
         let state = EccState::new(8);
-        let mut marks = VisitMarks::new(8);
+        let mut scratch = BfsScratch::new(8);
         // first eliminate reaches vertices 1 (value 4) and 2 (value 5)
-        eliminate(&g, &state, &mut marks, 0, 3, 5, Stage::Eliminate);
+        eliminate(&g, &state, &mut scratch, 0, 3, 5, Stage::Eliminate);
         assert_eq!(state.value(2), 5);
         assert!(state.is_active(3));
         // bound rises 5 → 7: seeds are the value-5 vertices ({2})
-        let reached = extend_eliminated(&g, &state, &mut marks, 5, 7);
+        let reached = extend(&g, &state, &mut scratch, 5, 7);
         assert!(reached >= 2);
         assert_eq!(state.value(3), 6);
         assert_eq!(state.value(4), 7);
@@ -137,8 +147,8 @@ mod tests {
     fn extension_with_no_seeds_is_noop() {
         let g = path(4);
         let state = EccState::new(4);
-        let mut marks = VisitMarks::new(4);
-        assert_eq!(extend_eliminated(&g, &state, &mut marks, 9, 11), 0);
+        let mut scratch = BfsScratch::new(4);
+        assert_eq!(extend(&g, &state, &mut scratch, 9, 11), 0);
         assert!(state.is_active(0));
     }
 
@@ -146,9 +156,9 @@ mod tests {
     fn extension_walks_back_over_eliminated_region_without_harm() {
         let g = path(6);
         let state = EccState::new(6);
-        let mut marks = VisitMarks::new(6);
-        eliminate(&g, &state, &mut marks, 0, 4, 5, Stage::Eliminate); // v1 ← 5
-        extend_eliminated(&g, &state, &mut marks, 5, 6);
+        let mut scratch = BfsScratch::new(6);
+        eliminate(&g, &state, &mut scratch, 0, 4, 5, Stage::Eliminate); // v1 ← 5
+        extend(&g, &state, &mut scratch, 5, 6);
         // the extension BFS from v1 reaches v0 (backwards) and v2
         assert_eq!(state.value(2), 6);
         // v0's value may be overwritten with 6 — still a valid upper bound,
@@ -161,10 +171,10 @@ mod tests {
     fn attribution_goes_to_first_remover() {
         let g = path(3);
         let state = EccState::new(3);
-        let mut marks = VisitMarks::new(3);
-        eliminate(&g, &state, &mut marks, 0, 1, 2, Stage::Chain);
+        let mut scratch = BfsScratch::new(3);
+        eliminate(&g, &state, &mut scratch, 0, 1, 2, Stage::Chain);
         assert_eq!(state.stage(1), Stage::Chain);
-        eliminate(&g, &state, &mut marks, 2, 1, 2, Stage::Eliminate);
+        eliminate(&g, &state, &mut scratch, 2, 1, 2, Stage::Eliminate);
         assert_eq!(state.stage(1), Stage::Chain, "first remover wins");
     }
 }

@@ -153,9 +153,17 @@ impl EccState {
     /// vertices with an eccentricity bound that is equal to the old
     /// bound value onto a worklist").
     pub fn vertices_with_value(&self, value: u32) -> Vec<VertexId> {
-        (0..self.ecc.len() as VertexId)
-            .filter(|&v| self.value(v) == value)
-            .collect()
+        let mut out = Vec::new();
+        self.vertices_with_value_into(value, &mut out);
+        out
+    }
+
+    /// [`Self::vertices_with_value`] into a reused buffer (cleared
+    /// first, capacity kept), so the per-bound-update seed scan in the
+    /// main loop allocates nothing in steady state.
+    pub fn vertices_with_value_into(&self, value: u32, out: &mut Vec<VertexId>) {
+        out.clear();
+        out.extend((0..self.ecc.len() as VertexId).filter(|&v| self.value(v) == value));
     }
 
     /// First active vertex with id ≥ `from`, if any (Algorithm 1
@@ -232,6 +240,11 @@ mod tests {
         s.record(3, 7, Stage::Computed);
         s.record(4, 6, Stage::Eliminate);
         assert_eq!(s.vertices_with_value(7), vec![1, 3]);
+        let mut buf = vec![99]; // _into clears stale content
+        s.vertices_with_value_into(7, &mut buf);
+        assert_eq!(buf, vec![1, 3]);
+        s.vertices_with_value_into(42, &mut buf);
+        assert!(buf.is_empty());
     }
 
     #[test]
@@ -261,8 +274,8 @@ mod tests {
 
     #[test]
     fn sentinels_are_distinct_and_ordered() {
-        assert!(WINNOWED < PSEUDO_MAX);
-        assert!(PSEUDO_MAX < ACTIVE);
+        const { assert!(WINNOWED < PSEUDO_MAX) };
+        const { assert!(PSEUDO_MAX < ACTIVE) };
     }
 
     #[test]

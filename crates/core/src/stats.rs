@@ -97,7 +97,7 @@ pub struct FdiamStats {
 }
 
 impl FdiamStats {
-    /// The paper's Table 3 metric: "a BFS traversal [is] either the
+    /// The paper's Table 3 metric: "a BFS traversal \[is\] either the
     /// computation of the eccentricity of a vertex or the use of the
     /// Winnow function" — Eliminate is not counted (§6.3).
     pub fn bfs_traversals(&self) -> usize {

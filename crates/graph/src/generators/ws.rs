@@ -17,7 +17,9 @@ use rand::Rng;
 /// # Panics
 /// Panics if `k` is odd, `k < 2`, or `k ≥ n`.
 pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
-    assert!(k >= 2 && k.is_multiple_of(2), "k must be even and ≥ 2");
+    #[allow(clippy::manual_is_multiple_of)] // is_multiple_of needs rustc ≥ 1.87, MSRV is 1.85
+    let even = k % 2 == 0;
+    assert!(k >= 2 && even, "k must be even and ≥ 2");
     assert!(k < n, "k must be < n");
     assert!((0.0..=1.0).contains(&beta));
     let mut rng = super::rng(seed);
