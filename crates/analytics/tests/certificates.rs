@@ -1,0 +1,78 @@
+//! Certificate checks for the analytics codes, property-tested over
+//! the testkit's structured graph strategies: it is not enough that
+//! ExactSumSweep's numbers match the oracle — the *vertices* it names
+//! must actually realize them, and bounding-eccentricities must
+//! reproduce the entire oracle eccentricity vector.
+
+use fdiam_analytics::bounding_ecc::bounding_eccentricities;
+use fdiam_analytics::sum_sweep::exact_sum_sweep;
+use fdiam_graph::generators::{cycle, grid2d, lollipop, star};
+use fdiam_graph::transform::with_isolated_vertices;
+use fdiam_testkit::strategies::{arb_degree_sequence_graph, arb_edge_soup};
+use fdiam_testkit::Oracle;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sum_sweep_certificates_hold_on_soups(g in arb_edge_soup()) {
+        let oracle = Oracle::compute(&g);
+        let r = exact_sum_sweep(&g).expect("soups have n >= 1");
+        prop_assert_eq!(r.diameter, oracle.largest_cc_diameter);
+        prop_assert_eq!(r.radius, oracle.radius);
+        prop_assert_eq!(r.connected, oracle.connected);
+        // The named vertices must realize the named values.
+        prop_assert_eq!(
+            oracle.eccentricities[r.diametral_vertex as usize],
+            r.diameter
+        );
+        prop_assert_eq!(
+            oracle.eccentricities[r.central_vertex as usize],
+            r.radius
+        );
+    }
+
+    #[test]
+    fn bounding_ecc_matches_oracle_vector(g in arb_degree_sequence_graph()) {
+        let oracle = Oracle::compute(&g);
+        let r = bounding_eccentricities(&g);
+        prop_assert_eq!(r.eccentricities, oracle.eccentricities);
+    }
+}
+
+#[test]
+fn certificates_on_adversarial_shapes() {
+    // Deterministic versions of the property above on the shapes where
+    // bound-based codes historically go wrong (lollipops: periphery
+    // far from the high-degree core).
+    for (name, g) in [
+        ("lollipop", lollipop(8, 9)),
+        ("star", star(12)),
+        ("cycle", cycle(15)),
+        ("grid+iso", with_isolated_vertices(&grid2d(4, 6), 2)),
+    ] {
+        let oracle = Oracle::compute(&g);
+        let r = exact_sum_sweep(&g).expect("non-empty");
+        assert_eq!(r.diameter, oracle.largest_cc_diameter, "{name}");
+        assert_eq!(r.radius, oracle.radius, "{name}");
+        assert_eq!(
+            oracle.eccentricities[r.diametral_vertex as usize], r.diameter,
+            "{name}: diametral certificate"
+        );
+        assert_eq!(
+            oracle.eccentricities[r.central_vertex as usize], r.radius,
+            "{name}: central certificate"
+        );
+        let b = bounding_eccentricities(&g);
+        assert_eq!(b.eccentricities, oracle.eccentricities, "{name}");
+    }
+}
+
+#[test]
+fn radius_zero_iff_isolated_vertices_present() {
+    let g = with_isolated_vertices(&cycle(5), 1);
+    let r = exact_sum_sweep(&g).expect("non-empty");
+    assert_eq!(r.radius, 0);
+    assert_eq!(Oracle::compute(&g).radius, 0);
+}

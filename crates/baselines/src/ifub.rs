@@ -19,20 +19,64 @@
 use crate::sweep::four_sweep;
 use crate::BaselineResult;
 use fdiam_bfs::distances::{bfs_distances_serial, UNREACHABLE};
-use fdiam_bfs::{bfs_eccentricity_hybrid, bfs_eccentricity_serial, BfsConfig, BfsScratch};
+use fdiam_bfs::{
+    bfs_eccentricity_hybrid, bfs_eccentricity_serial, bfs_eccentricity_serial_hybrid, BfsConfig,
+    BfsScratch,
+};
 use fdiam_graph::{CsrGraph, VertexId};
+
+/// Which eccentricity kernel iFUB uses for its fringe BFS traversals.
+///
+/// All three produce identical results (the differential harness in
+/// `fdiam-testkit` asserts it); they differ only in parallelism and in
+/// whether the direction-optimized bottom-up path is available.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IfubKernel {
+    /// Plain serial top-down BFS (`bfs_eccentricity_serial`).
+    #[default]
+    Serial,
+    /// Single-threaded direction-optimized kernel
+    /// (`bfs_eccentricity_serial_hybrid`) — honors the configured
+    /// switch heuristic.
+    SerialHybrid,
+    /// Parallel direction-optimized kernel (`bfs_eccentricity_hybrid`).
+    ParallelHybrid,
+}
+
+/// Options for [`ifub_with`]: kernel choice plus the BFS tuning
+/// (direction-switch heuristic etc.) the hybrid kernels honor.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IfubOptions {
+    pub kernel: IfubKernel,
+    pub bfs: BfsConfig,
+}
 
 /// Serial iFUB.
 pub fn ifub(g: &CsrGraph) -> BaselineResult {
-    run(g, false)
+    ifub_with(
+        g,
+        &IfubOptions {
+            kernel: IfubKernel::Serial,
+            bfs: BfsConfig::default(),
+        },
+    )
 }
 
 /// iFUB with parallel (direction-optimized) BFS traversals.
 pub fn ifub_parallel(g: &CsrGraph) -> BaselineResult {
-    run(g, true)
+    ifub_with(
+        g,
+        &IfubOptions {
+            kernel: IfubKernel::ParallelHybrid,
+            bfs: BfsConfig::default(),
+        },
+    )
 }
 
-fn run(g: &CsrGraph, parallel: bool) -> BaselineResult {
+/// iFUB with an explicit kernel / heuristic configuration — the entry
+/// point the differential test harness drives across the full
+/// kernel × heuristic matrix.
+pub fn ifub_with(g: &CsrGraph, opts: &IfubOptions) -> BaselineResult {
     let n = g.num_vertices();
     if n == 0 {
         return BaselineResult {
@@ -43,7 +87,6 @@ fn run(g: &CsrGraph, parallel: bool) -> BaselineResult {
     }
     let cc = fdiam_graph::components::ConnectedComponents::compute(g);
     let mut scratch = BfsScratch::new(n);
-    let bfs_cfg = BfsConfig::default();
     let mut best = 0u32;
     let mut bfs_calls = 0usize;
 
@@ -63,7 +106,7 @@ fn run(g: &CsrGraph, parallel: bool) -> BaselineResult {
         if g.degree(start) == 0 {
             continue; // isolated vertex: eccentricity 0
         }
-        let (d, calls) = ifub_component(g, start, &mut scratch, parallel, &bfs_cfg);
+        let (d, calls) = ifub_component(g, start, &mut scratch, opts);
         best = best.max(d);
         bfs_calls += calls;
     }
@@ -80,8 +123,7 @@ fn ifub_component(
     g: &CsrGraph,
     start: VertexId,
     scratch: &mut BfsScratch,
-    parallel: bool,
-    bfs_cfg: &BfsConfig,
+    opts: &IfubOptions,
 ) -> (u32, usize) {
     // 4-SWEEP: lower bound + near-center start vertex (4 BFS calls).
     let fs = four_sweep(g, start);
@@ -103,10 +145,16 @@ fn ifub_component(
     let mut ub = 2 * ecc_u;
     while ub > lb && i >= 1 {
         for &v in &fringes[i as usize] {
-            let e = if parallel {
-                bfs_eccentricity_hybrid(g, v, scratch, bfs_cfg).eccentricity
-            } else {
-                bfs_eccentricity_serial(g, v, scratch.marks_mut()).eccentricity
+            let e = match opts.kernel {
+                IfubKernel::Serial => {
+                    bfs_eccentricity_serial(g, v, scratch.marks_mut()).eccentricity
+                }
+                IfubKernel::SerialHybrid => {
+                    bfs_eccentricity_serial_hybrid(g, v, scratch, &opts.bfs).eccentricity
+                }
+                IfubKernel::ParallelHybrid => {
+                    bfs_eccentricity_hybrid(g, v, scratch, &opts.bfs).eccentricity
+                }
             };
             bfs_calls += 1;
             lb = lb.max(e);
@@ -175,6 +223,30 @@ mod tests {
         check(&CsrGraph::empty(0));
         check(&path(1));
         check(&path(2));
+    }
+
+    #[test]
+    fn kernel_heuristic_matrix_agrees() {
+        let graphs = [
+            lollipop(5, 7),
+            disjoint_union(&grid2d(4, 6), &cycle(7)),
+            erdos_renyi_gnm(60, 90, 7),
+        ];
+        let configs = [BfsConfig::default(), BfsConfig::paper_fidelity()];
+        for g in &graphs {
+            let expect = naive_diameter(g);
+            for kernel in [
+                IfubKernel::Serial,
+                IfubKernel::SerialHybrid,
+                IfubKernel::ParallelHybrid,
+            ] {
+                for bfs in configs {
+                    let r = ifub_with(g, &IfubOptions { kernel, bfs });
+                    assert_eq!(r.largest_cc_diameter, expect.largest_cc_diameter);
+                    assert_eq!(r.connected, expect.connected);
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Disconnected-graph semantics across all five codes, driven through
+//! the testkit oracle: a disconnected input has infinite true diameter
+//! (`diameter() == None`) and every code must still report the
+//! largest-CC diameter, the repo-wide convention from the paper (§1:
+//! "outputs infinity as well as the diameter of the largest connected
+//! component").
+
+use fdiam_baselines::ifub::{ifub, ifub_parallel};
+use fdiam_baselines::naive::naive_diameter;
+use fdiam_core::{diameter_with, FdiamConfig};
+use fdiam_graph::generators::{complete, cycle, grid2d, kronecker_graph500, path, star};
+use fdiam_graph::transform::{disjoint_union, with_isolated_vertices};
+use fdiam_graph::CsrGraph;
+use fdiam_testkit::Oracle;
+
+fn disconnected_zoo() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("two-paths", disjoint_union(&path(9), &path(4))),
+        ("cycle+clique", disjoint_union(&cycle(10), &complete(5))),
+        ("grid+star", disjoint_union(&grid2d(4, 5), &star(7))),
+        ("path+isolated", with_isolated_vertices(&path(12), 3)),
+        ("only-isolated", CsrGraph::empty(6)),
+        (
+            "three-components",
+            disjoint_union(&disjoint_union(&path(6), &cycle(5)), &star(4)),
+        ),
+        // generator-produced disconnection, not hand-assembled
+        ("kron", kronecker_graph500(7, 10, 1)),
+    ]
+}
+
+#[test]
+fn all_five_codes_agree_on_disconnected_inputs() {
+    for (name, g) in disconnected_zoo() {
+        let oracle = Oracle::compute(&g);
+        assert!(!oracle.connected, "{name}: zoo entry must be disconnected");
+        assert_eq!(oracle.diameter(), None, "{name}: infinite diameter");
+        let want = oracle.largest_cc_diameter;
+
+        // 1–2: F-Diam serial and parallel.
+        for cfg in [FdiamConfig::serial(), FdiamConfig::parallel()] {
+            let r = diameter_with(&g, &cfg).result;
+            assert!(r.is_infinite(), "{name}: fdiam must flag disconnection");
+            assert_eq!(r.diameter(), None, "{name}");
+            assert_eq!(r.largest_cc_diameter, want, "{name}");
+        }
+        // 3: iFUB (both kernels).
+        for r in [ifub(&g), ifub_parallel(&g)] {
+            assert!(!r.connected, "{name}: ifub must flag disconnection");
+            assert_eq!(
+                (r.diameter(), r.largest_cc_diameter),
+                (None, want),
+                "{name}"
+            );
+        }
+        // 4: ExactSumSweep + bounding eccentricities.
+        let r = fdiam_analytics::sum_sweep::exact_sum_sweep(&g).expect("non-empty");
+        assert!(!r.connected, "{name}: sum-sweep must flag disconnection");
+        assert_eq!(r.diameter, want, "{name}");
+        let e = fdiam_analytics::bounding_ecc::bounding_eccentricities(&g);
+        assert_eq!(
+            e.eccentricities.iter().copied().max(),
+            Some(want),
+            "{name}: bounding-ecc max eccentricity"
+        );
+        assert_eq!(
+            e.eccentricities, oracle.eccentricities,
+            "{name}: per-component eccentricities"
+        );
+        // 5: naive.
+        let r = naive_diameter(&g);
+        assert!(!r.connected, "{name}: naive must flag disconnection");
+        assert_eq!(
+            (r.diameter(), r.largest_cc_diameter),
+            (None, want),
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn isolated_vertices_have_eccentricity_zero_everywhere() {
+    let g = with_isolated_vertices(&cycle(6), 4);
+    let oracle = Oracle::compute(&g);
+    assert_eq!(&oracle.eccentricities[6..], &[0, 0, 0, 0]);
+    let e = fdiam_analytics::bounding_ecc::bounding_eccentricities(&g);
+    assert_eq!(&e.eccentricities[6..], &[0, 0, 0, 0]);
+    // Largest CC diameter is the cycle's, never polluted by the zeros.
+    assert_eq!(naive_diameter(&g).largest_cc_diameter, 3);
+    assert_eq!(ifub(&g).largest_cc_diameter, 3);
+}
+
+#[test]
+fn single_edge_components_and_empty_graph() {
+    // Degenerate corners: n = 0 (connected by convention), K2 pairs.
+    let empty = CsrGraph::empty(0);
+    assert!(
+        diameter_with(&empty, &FdiamConfig::serial())
+            .result
+            .connected
+    );
+    assert_eq!(naive_diameter(&empty).diameter(), Some(0));
+    assert_eq!(ifub(&empty).diameter(), Some(0));
+
+    let pairs = disjoint_union(&path(2), &path(2));
+    let oracle = Oracle::compute(&pairs);
+    assert_eq!(oracle.largest_cc_diameter, 1);
+    assert_eq!(oracle.diameter(), None);
+    for r in [naive_diameter(&pairs), ifub(&pairs), ifub_parallel(&pairs)] {
+        assert_eq!((r.diameter(), r.largest_cc_diameter), (None, 1));
+    }
+    let r = diameter_with(&pairs, &FdiamConfig::parallel()).result;
+    assert_eq!((r.diameter(), r.largest_cc_diameter), (None, 1));
+}

@@ -1,0 +1,106 @@
+//! `BfsSummary` must be a pure function of (graph, source, config) —
+//! in particular the min-id farthest-vertex tie-break may not depend
+//! on scheduling. Verified against the testkit's textbook reference
+//! under explicit rayon pools of 1, 2, and 8 threads (the equivalent
+//! of a `RAYON_NUM_THREADS` matrix, but in-process so one `cargo test`
+//! covers all three), for both kernels × both switch heuristics.
+
+use fdiam_bfs::{
+    bfs_eccentricity_hybrid, bfs_eccentricity_serial_hybrid, BfsConfig, BfsScratch, BfsSummary,
+};
+use fdiam_graph::generators::{barabasi_albert, erdos_renyi_gnm, grid2d, kronecker_graph500, star};
+use fdiam_graph::transform::with_isolated_vertices;
+use fdiam_graph::CsrGraph;
+use fdiam_testkit::harness::sample_sources;
+use fdiam_testkit::oracle::{reference_distances, reference_farthest, UNREACHED};
+
+const POOL_SIZES: [usize; 3] = [1, 2, 8];
+
+fn graphs() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        // star: every leaf ties for farthest — the sharpest tie-break test
+        ("star", star(64)),
+        ("grid", grid2d(12, 13)),
+        ("ba", barabasi_albert(300, 3, 7)),
+        ("gnm", erdos_renyi_gnm(200, 380, 11)),
+        // disconnected + isolated vertices
+        ("kron", kronecker_graph500(7, 12, 3)),
+        ("iso", with_isolated_vertices(&grid2d(6, 6), 4)),
+    ]
+}
+
+/// Runs `f` inside pools of 1, 2, and 8 threads and asserts all three
+/// results are identical; returns the common value.
+fn across_pools<T: PartialEq + std::fmt::Debug>(f: impl Fn() -> T) -> T {
+    let mut results: Vec<(usize, T)> = Vec::new();
+    for threads in POOL_SIZES {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("build pool");
+        results.push((threads, pool.install(&f)));
+    }
+    let (_, first) = results.remove(0);
+    for (threads, r) in results {
+        assert_eq!(
+            r, first,
+            "result under a {threads}-thread pool diverged from 1 thread"
+        );
+    }
+    first
+}
+
+#[test]
+fn farthest_tie_break_is_thread_count_invariant() {
+    for (name, g) in graphs() {
+        let n = g.num_vertices();
+        for src in sample_sources(n) {
+            let want_far = reference_farthest(&g, src);
+            let (dist, want_ecc) = reference_distances(&g, src);
+            let want_visited = dist.iter().filter(|&&d| d != UNREACHED).count();
+            for (hname, cfg) in [
+                ("adaptive", BfsConfig::default()),
+                ("paper10pct", BfsConfig::paper_fidelity()),
+            ] {
+                let summary: BfsSummary = across_pools(|| {
+                    let mut scratch = BfsScratch::new(n);
+                    bfs_eccentricity_hybrid(&g, src, &mut scratch, &cfg)
+                });
+                assert_eq!(
+                    (summary.eccentricity, summary.visited, summary.farthest),
+                    (want_ecc, want_visited, want_far),
+                    "{name}/{hname} parallel kernel from {src}"
+                );
+
+                // The serial hybrid kernel must agree bit-for-bit with
+                // the parallel one regardless of pool size.
+                let mut scratch = BfsScratch::new(n);
+                let serial = bfs_eccentricity_serial_hybrid(&g, src, &mut scratch, &cfg);
+                assert_eq!(
+                    serial, summary,
+                    "{name}/{hname} serial vs parallel kernel from {src}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn repeated_runs_in_one_pool_are_stable() {
+    // Scheduling nondeterminism shows up across repeats too, not just
+    // across pool sizes; hammer one mid-sized pool.
+    let g = barabasi_albert(400, 4, 5);
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .expect("build pool");
+    let cfg = BfsConfig::default();
+    pool.install(|| {
+        let mut scratch = BfsScratch::new(g.num_vertices());
+        let first = bfs_eccentricity_hybrid(&g, 0, &mut scratch, &cfg);
+        for _ in 0..20 {
+            let again = bfs_eccentricity_hybrid(&g, 0, &mut scratch, &cfg);
+            assert_eq!(again, first);
+        }
+    });
+}

@@ -1,0 +1,87 @@
+//! Metamorphic verification of F-Diam itself: apply the testkit's
+//! diameter-effect-known transforms to a spread of bases and assert
+//! the *predicted* diameter (computed analytically, not re-derived)
+//! under every F-Diam configuration — including the stage-disabling
+//! ones, since Winnow/Eliminate/Chain are exactly the optimizations a
+//! transform could confuse.
+
+use fdiam_core::{diameter_with, FdiamConfig};
+use fdiam_graph::generators::{
+    barabasi_albert, cycle, grid2d, kronecker_graph500, lollipop, road_like,
+};
+use fdiam_graph::transform::with_pendant_path;
+use fdiam_graph::CsrGraph;
+use fdiam_testkit::{assert_metamorphic, metamorphic_cases, Oracle};
+
+fn bases() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("cycle", cycle(14)),
+        ("grid", grid2d(5, 9)),
+        ("lollipop", lollipop(6, 7)),
+        ("ba", barabasi_albert(150, 3, 2)),
+        ("road", road_like(120, 0.3, 4)),
+        // disconnected with isolated vertices
+        ("kron", kronecker_graph500(6, 10, 9)),
+    ]
+}
+
+#[test]
+fn full_metamorphic_suite_over_bases() {
+    for (name, g) in bases() {
+        assert_metamorphic(name, &g, 0xF_D1A);
+    }
+}
+
+#[test]
+fn predictions_hold_with_stages_disabled() {
+    // The transform predictions must hold for every driver variant,
+    // not just the default pipeline.
+    let configs = [
+        ("no-winnow", FdiamConfig::serial().without_winnow()),
+        ("no-eliminate", FdiamConfig::serial().without_eliminate()),
+        ("no-chain", FdiamConfig::serial().without_chain()),
+        (
+            "no-maxdeg",
+            FdiamConfig::parallel().without_max_degree_start(),
+        ),
+        ("paper-bfs", FdiamConfig::parallel().with_paper_bfs()),
+    ];
+    for (name, base) in [
+        ("lollipop", lollipop(5, 6)),
+        ("kron", kronecker_graph500(6, 8, 4)),
+    ] {
+        for case in metamorphic_cases(&base, 7) {
+            for (cname, cfg) in &configs {
+                let r = diameter_with(&case.graph, cfg).result;
+                assert_eq!(
+                    (r.largest_cc_diameter, r.connected),
+                    (case.expected_largest_cc, case.expected_connected),
+                    "{name}/{}/{cname}",
+                    case.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pendant_chain_growth_is_linear() {
+    // Iterating the pendant-path transform k times from a max-ecc
+    // vertex grows the diameter by exactly 1 each step — a chain of
+    // predictions that stresses Chain Processing (§4.3) directly,
+    // since each step lengthens the pendant chain the stage must walk.
+    let mut g = grid2d(4, 6);
+    let mut expected = Oracle::compute(&g).largest_cc_diameter;
+    for _ in 0..6 {
+        let o = Oracle::compute(&g);
+        let vstar = o
+            .eccentricities
+            .iter()
+            .position(|&e| e == o.largest_cc_diameter)
+            .unwrap() as u32;
+        g = with_pendant_path(&g, vstar, 1);
+        expected += 1;
+        let r = diameter_with(&g, &FdiamConfig::serial()).result;
+        assert_eq!(r.diameter(), Some(expected));
+    }
+}

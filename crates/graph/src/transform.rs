@@ -74,6 +74,56 @@ pub fn with_isolated_vertices(g: &CsrGraph, k: usize) -> CsrGraph {
     el.to_undirected_csr()
 }
 
+/// Attaches a pendant path of `len` new vertices to `v`:
+/// `v — n — n+1 — … — n+len−1` where `n` is the old vertex count.
+///
+/// If `v` has maximum eccentricity within its component, the
+/// component's diameter grows by exactly `len` (the metamorphic-testing
+/// lemma used by `fdiam-testkit`): the new tail is `len` further from
+/// everything `v` was farthest from, and the pendant path creates no
+/// shortcuts.
+///
+/// # Panics
+/// Panics if `v` is out of range.
+pub fn with_pendant_path(g: &CsrGraph, v: VertexId, len: usize) -> CsrGraph {
+    let n = g.num_vertices();
+    assert!((v as usize) < n, "vertex {v} out of range (n = {n})");
+    let mut el = EdgeList::with_capacity(n + len, g.num_arcs() / 2 + len);
+    for (u, w) in g.arcs() {
+        if u < w {
+            el.push(u, w);
+        }
+    }
+    let mut prev = v;
+    for i in 0..len {
+        let next = (n + i) as VertexId;
+        el.push(prev, next);
+        prev = next;
+    }
+    el.to_undirected_csr()
+}
+
+/// Adds one new vertex (id `n`) adjacent to every existing vertex.
+///
+/// The result is always connected; its diameter is 0 for an empty
+/// input, 1 if the input was complete, and exactly 2 otherwise (any
+/// two old vertices are now at distance ≤ 2 through the hub, and any
+/// non-adjacent old pair is at distance exactly 2).
+pub fn with_universal_vertex(g: &CsrGraph) -> CsrGraph {
+    let n = g.num_vertices();
+    let mut el = EdgeList::with_capacity(n + 1, g.num_arcs() / 2 + n);
+    for (u, w) in g.arcs() {
+        if u < w {
+            el.push(u, w);
+        }
+    }
+    let hub = n as VertexId;
+    for v in 0..n as VertexId {
+        el.push(v, hub);
+    }
+    el.to_undirected_csr()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +187,66 @@ mod tests {
         let g = disjoint_union(&path(3), &CsrGraph::empty(2));
         assert_eq!(g.num_vertices(), 5);
         assert_eq!(g.num_isolated_vertices(), 2);
+    }
+
+    #[test]
+    fn pendant_path_extends_a_path() {
+        // path(4) with 3 more hops off the far endpoint = path(7)
+        let g = with_pendant_path(&path(4), 3, 3);
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_undirected_edges(), 6);
+        assert_eq!(g.degree(6), 1);
+        assert_eq!(g.neighbors(3), &[2, 4]);
+        assert_eq!(crate::test_oracle_diameter(&g), 6);
+    }
+
+    #[test]
+    fn pendant_path_zero_len_is_identity() {
+        let g = cycle(5);
+        assert_eq!(with_pendant_path(&g, 2, 0), g);
+    }
+
+    #[test]
+    fn pendant_path_onto_isolated_vertex() {
+        let g = with_pendant_path(&CsrGraph::empty(2), 1, 4);
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.degree(0), 0);
+        assert_eq!(crate::test_oracle_diameter(&g), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pendant_path_rejects_bad_vertex() {
+        with_pendant_path(&path(3), 3, 1);
+    }
+
+    #[test]
+    fn universal_vertex_caps_diameter_at_two() {
+        let g = with_universal_vertex(&path(9));
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.degree(9), 9);
+        assert_eq!(crate::test_oracle_diameter(&g), 2);
+    }
+
+    #[test]
+    fn universal_vertex_connects_components() {
+        let g = with_universal_vertex(&disjoint_union(&path(3), &path(2)));
+        use crate::components::ConnectedComponents;
+        assert!(ConnectedComponents::compute(&g).is_connected());
+        assert_eq!(crate::test_oracle_diameter(&g), 2);
+    }
+
+    #[test]
+    fn universal_vertex_on_complete_stays_complete() {
+        let g = with_universal_vertex(&crate::generators::complete(4));
+        assert_eq!(crate::test_oracle_diameter(&g), 1);
+        assert_eq!(g.num_undirected_edges(), 10); // K5
+    }
+
+    #[test]
+    fn universal_vertex_on_empty_is_single_vertex() {
+        let g = with_universal_vertex(&CsrGraph::empty(0));
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_arcs(), 0);
     }
 }

@@ -1,0 +1,86 @@
+//! `fuzz-differential` — bounded differential fuzzing from the
+//! command line (and from CI's nightly cron):
+//!
+//! ```text
+//! fuzz-differential [--iters N] [--seed S]
+//! ```
+//!
+//! Every case is one `u64` seed; a failure prints the seed and the
+//! full mismatch list, so `fuzz-differential --seed <s> --iters 1`
+//! reproduces it exactly. `FDIAM_FUZZ_ITERS` / `FDIAM_FUZZ_SEED`
+//! override the defaults when flags are absent (flags win).
+//! Exits 1 on any mismatch.
+
+use fdiam_testkit::run_fuzz;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: fuzz-differential [--iters N] [--seed S]");
+    std::process::exit(2);
+}
+
+fn parse_u64(value: Option<String>, flag: &str) -> u64 {
+    match value.as_deref().map(str::parse) {
+        Some(Ok(v)) => v,
+        _ => {
+            eprintln!("fuzz-differential: {flag} expects an unsigned integer");
+            usage()
+        }
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(s) if !s.is_empty() => match s.parse() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!("fuzz-differential: ignoring unparsable {name}={s:?}");
+                default
+            }
+        },
+        _ => default,
+    }
+}
+
+fn main() -> ExitCode {
+    let mut iters = env_u64("FDIAM_FUZZ_ITERS", 200);
+    let mut seed = env_u64("FDIAM_FUZZ_SEED", 0xF_D1A);
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--iters" => iters = parse_u64(args.next(), "--iters"),
+            "--seed" => seed = parse_u64(args.next(), "--seed"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("fuzz-differential: unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+
+    println!("fuzz-differential: {iters} case(s) starting at seed {seed}");
+    let report = run_fuzz(seed, iters as usize);
+    if report.ok() {
+        println!(
+            "fuzz-differential: OK — {} case(s), zero mismatches across the code matrix",
+            report.cases
+        );
+        return ExitCode::SUCCESS;
+    }
+    for f in &report.failures {
+        eprintln!(
+            "FAIL seed {} ({}): reproduce with `fuzz-differential --seed {} --iters 1`",
+            f.seed, f.description, f.seed
+        );
+        for m in &f.mismatches {
+            eprintln!("  {m}");
+        }
+    }
+    eprintln!(
+        "fuzz-differential: {} of {} case(s) failed",
+        report.failures.len(),
+        report.cases
+    );
+    ExitCode::FAILURE
+}

@@ -1,0 +1,119 @@
+//! Miniature analogues of the 17 benchmark-suite families
+//! (`crates/bench/src/suite.rs`), shrunk to oracle-checkable sizes
+//! (a few hundred vertices) and parameterized by seed so the fuzzer
+//! can roam the generator parameter space.
+//!
+//! The family *names* match the bench suite one-for-one so a
+//! differential failure here points straight at the topology class the
+//! paper evaluates (§5, Table 1); only `n`/`scale` differ, because the
+//! reference oracle is O(n·m).
+
+use fdiam_graph::generators::{
+    attach_tendrils, barabasi_albert, grid2d, kronecker_graph500, random_geometric, rmat,
+    road_network, RmatProbabilities,
+};
+use fdiam_graph::CsrGraph;
+
+/// Number of generator families — one per bench-suite entry.
+pub const NUM_FAMILIES: usize = 17;
+
+/// Bench-suite names, in suite order.
+pub const FAMILY_NAMES: [&str; NUM_FAMILIES] = [
+    "grid2d.sym",
+    "amazon-like",
+    "skitter-like",
+    "citeseer-like",
+    "patents-like",
+    "copapers-like",
+    "delaunay-like",
+    "europe-osm-like",
+    "in2004-like",
+    "internet-like",
+    "kron-like",
+    "rmat16-like",
+    "rmat22-like",
+    "livejournal-like",
+    "uk2002-like",
+    "road-ny-like",
+    "road-usa-like",
+];
+
+/// Same power-law analogue as the bench suite: preferential-attachment
+/// core plus peripheral tendrils.
+fn whiskered_ba(n: usize, m: usize, max_whisker: usize, seed: u64) -> CsrGraph {
+    let core = barabasi_albert(n, m, seed);
+    attach_tendrils(
+        &core,
+        (n / 200).max(2),
+        max_whisker.div_ceil(2),
+        seed ^ 0x57,
+    )
+}
+
+/// Builds family `idx` (0-based suite order) at test scale; `seed`
+/// varies the random instance. Panics if `idx ≥ NUM_FAMILIES`.
+pub fn build_family(idx: usize, seed: u64) -> CsrGraph {
+    match idx {
+        0 => grid2d(16, 16), // deterministic like the suite entry
+        1 => whiskered_ba(300, 6, 10, seed),
+        2 => whiskered_ba(400, 7, 13, seed),
+        3 => whiskered_ba(250, 4, 16, seed),
+        4 => whiskered_ba(450, 4, 11, seed),
+        5 => whiskered_ba(200, 28, 9, seed),
+        6 => {
+            let n = 300;
+            random_geometric(n, 1.8 * (1.0 / n as f64).sqrt(), seed)
+        }
+        7 => road_network(350, 0.5, 4, seed),
+        8 => whiskered_ba(300, 10, 19, seed),
+        9 => whiskered_ba(200, 2, 13, seed),
+        // scale-8 Kronecker keeps the suite's isolated-vertex +
+        // multi-component structure at n = 256
+        10 => kronecker_graph500(8, 16, seed),
+        11 => rmat(8, 7, RmatProbabilities::GTGRAPH, seed),
+        12 => rmat(8, 8, RmatProbabilities::GTGRAPH, seed),
+        13 => whiskered_ba(400, 9, 8, seed),
+        14 => whiskered_ba(300, 14, 20, seed),
+        15 => road_network(300, 0.9, 2, seed),
+        16 => road_network(400, 0.7, 3, seed),
+        _ => panic!("family index {idx} out of range (< {NUM_FAMILIES})"),
+    }
+}
+
+/// All 17 families built with instance seeds derived from `seed`.
+pub fn families(seed: u64) -> impl Iterator<Item = (&'static str, CsrGraph)> {
+    (0..NUM_FAMILIES).map(move |i| (FAMILY_NAMES[i], build_family(i, seed ^ (i as u64) << 8)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_family_builds_nonempty() {
+        for (name, g) in families(0xF_D1A) {
+            assert!(g.num_vertices() > 0, "{name} built an empty graph");
+            assert!(
+                g.num_vertices() <= 600,
+                "{name} too large for oracle tests: n = {}",
+                g.num_vertices()
+            );
+            g.validate().unwrap_or_else(|e| panic!("{name}: {e:?}"));
+        }
+    }
+
+    #[test]
+    fn kron_family_keeps_disconnected_structure() {
+        // The Kronecker family is the suite's disconnected /
+        // isolated-vertex stressor; make sure shrinking preserved that.
+        let g = build_family(10, 0xF_D1A);
+        assert!(g.num_isolated_vertices() > 0, "expected isolated vertices");
+    }
+
+    #[test]
+    fn seeds_vary_instances() {
+        let a = build_family(1, 1);
+        let b = build_family(1, 2);
+        assert_ne!(a, b, "different seeds should give different graphs");
+    }
+}

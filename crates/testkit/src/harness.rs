@@ -1,0 +1,354 @@
+//! The differential harness: run every diameter code in the workspace
+//! — F-Diam serial + parallel, iFUB, ExactSumSweep, bounding
+//! eccentricities, naive — across both BFS kernels and both
+//! direction-switch heuristics, and compare every answer (and every
+//! certificate) against the independent [`crate::oracle`].
+//!
+//! [`differential_check`] returns the list of mismatches so the fuzzer
+//! can report reproduction seeds without panicking;
+//! [`assert_differential`] is the test-friendly wrapper that fails
+//! with the full list.
+
+use crate::oracle::{bound_violations, reference_distances, reference_farthest, Oracle, UNREACHED};
+use fdiam_baselines::ifub::{ifub_with, IfubKernel, IfubOptions};
+use fdiam_baselines::naive::naive_diameter;
+use fdiam_bfs::{
+    bfs_eccentricity_hybrid, bfs_eccentricity_serial, bfs_eccentricity_serial_hybrid, BfsConfig,
+    BfsScratch,
+};
+use fdiam_core::{diameter_with, FdiamConfig};
+use fdiam_graph::{CsrGraph, VertexId};
+
+/// The two direction-switch heuristics every hybrid-kernel code is
+/// exercised under: Beamer α/β (the default) and the paper's fixed
+/// 10 % rule (`BfsConfig::paper_fidelity`).
+pub fn heuristic_matrix() -> [(&'static str, BfsConfig); 2] {
+    [
+        ("adaptive", BfsConfig::default()),
+        ("paper10pct", BfsConfig::paper_fidelity()),
+    ]
+}
+
+/// Runs the full code × kernel × heuristic matrix on `g` and returns
+/// every disagreement with the oracle (empty = all codes exact).
+/// `name` tags the messages.
+pub fn differential_check(name: &str, g: &CsrGraph) -> Vec<String> {
+    let oracle = Oracle::compute(g);
+    let mut out = Vec::new();
+    let push = |out: &mut Vec<String>, code: &str, msg: String| {
+        out.push(format!("[{name}] {code}: {msg}"));
+    };
+
+    // Cheap one-sided invariants sandwich the oracle itself.
+    for v in bound_violations(g, oracle.largest_cc_diameter) {
+        push(&mut out, "bounds", v);
+    }
+
+    check_naive(g, &oracle, name, &mut out);
+    check_fdiam(g, &oracle, name, &mut out);
+    check_ifub(g, &oracle, name, &mut out);
+    check_sum_sweep(g, &oracle, name, &mut out);
+    check_bounding_ecc(g, &oracle, name, &mut out);
+    check_bfs_kernels(g, &oracle, name, &mut out);
+    out
+}
+
+/// Panics with the full mismatch list if any code disagrees with the
+/// oracle on `g`.
+pub fn assert_differential(name: &str, g: &CsrGraph) {
+    let mismatches = differential_check(name, g);
+    assert!(
+        mismatches.is_empty(),
+        "{} differential mismatch(es) on {} (n = {}, m = {}):\n{}",
+        mismatches.len(),
+        name,
+        g.num_vertices(),
+        g.num_undirected_edges(),
+        mismatches.join("\n")
+    );
+}
+
+fn check_naive(g: &CsrGraph, oracle: &Oracle, name: &str, out: &mut Vec<String>) {
+    let r = naive_diameter(g);
+    if r.largest_cc_diameter != oracle.largest_cc_diameter || r.connected != oracle.connected {
+        out.push(format!(
+            "[{name}] naive: got (cc_diam {}, connected {}), oracle (cc_diam {}, connected {})",
+            r.largest_cc_diameter, r.connected, oracle.largest_cc_diameter, oracle.connected
+        ));
+    }
+    if r.diameter() != oracle.diameter() {
+        out.push(format!(
+            "[{name}] naive: diameter() {:?} != oracle {:?}",
+            r.diameter(),
+            oracle.diameter()
+        ));
+    }
+}
+
+fn check_fdiam(g: &CsrGraph, oracle: &Oracle, name: &str, out: &mut Vec<String>) {
+    let configs = [
+        ("fdiam-serial/adaptive", FdiamConfig::serial()),
+        (
+            "fdiam-serial/paper10pct",
+            FdiamConfig::serial().with_paper_bfs(),
+        ),
+        ("fdiam-parallel/adaptive", FdiamConfig::parallel()),
+        (
+            "fdiam-parallel/paper10pct",
+            FdiamConfig::parallel().with_paper_bfs(),
+        ),
+    ];
+    for (code, cfg) in configs {
+        let outcome = diameter_with(g, &cfg);
+        if outcome.result.largest_cc_diameter != oracle.largest_cc_diameter
+            || outcome.result.connected != oracle.connected
+        {
+            out.push(format!(
+                "[{name}] {code}: got (cc_diam {}, connected {}), oracle (cc_diam {}, connected {})",
+                outcome.result.largest_cc_diameter,
+                outcome.result.connected,
+                oracle.largest_cc_diameter,
+                oracle.connected
+            ));
+            continue; // certificate checks would only echo the mismatch
+        }
+        // Every vertex must be accounted for by exactly one removal
+        // stage (winnow / eliminate / chain / degree-0 / computed).
+        let accounted = outcome.stats.removed.total();
+        if accounted != g.num_vertices() {
+            out.push(format!(
+                "[{name}] {code}: removal breakdown covers {accounted} of {} vertices",
+                g.num_vertices()
+            ));
+        }
+        // Certificate: the reported diametral pair must realize the
+        // reported diameter.
+        match outcome.diametral_pair {
+            None => {
+                if g.num_vertices() > 0 {
+                    out.push(format!(
+                        "[{name}] {code}: no diametral pair on a non-empty graph"
+                    ));
+                }
+            }
+            Some((a, b)) => {
+                let (dist, _) = reference_distances(g, a);
+                let d = dist[b as usize];
+                if d != oracle.largest_cc_diameter {
+                    out.push(format!(
+                        "[{name}] {code}: diametral pair ({a}, {b}) is at distance {} ≠ {}",
+                        if d == UNREACHED {
+                            "∞".to_string()
+                        } else {
+                            d.to_string()
+                        },
+                        oracle.largest_cc_diameter
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn check_ifub(g: &CsrGraph, oracle: &Oracle, name: &str, out: &mut Vec<String>) {
+    let kernels = [
+        ("serial", IfubKernel::Serial),
+        ("serial-hybrid", IfubKernel::SerialHybrid),
+        ("parallel-hybrid", IfubKernel::ParallelHybrid),
+    ];
+    for (kname, kernel) in kernels {
+        for (hname, bfs) in heuristic_matrix() {
+            let r = ifub_with(g, &IfubOptions { kernel, bfs });
+            if r.largest_cc_diameter != oracle.largest_cc_diameter
+                || r.connected != oracle.connected
+            {
+                out.push(format!(
+                    "[{name}] ifub/{kname}/{hname}: got (cc_diam {}, connected {}), oracle (cc_diam {}, connected {})",
+                    r.largest_cc_diameter, r.connected,
+                    oracle.largest_cc_diameter, oracle.connected
+                ));
+            }
+        }
+    }
+}
+
+fn check_sum_sweep(g: &CsrGraph, oracle: &Oracle, name: &str, out: &mut Vec<String>) {
+    match fdiam_analytics::sum_sweep::exact_sum_sweep(g) {
+        None => {
+            if g.num_vertices() != 0 {
+                out.push(format!(
+                    "[{name}] sum-sweep: returned None on a non-empty graph"
+                ));
+            }
+        }
+        Some(r) => {
+            if g.num_vertices() == 0 {
+                out.push(format!("[{name}] sum-sweep: Some on the empty graph"));
+                return;
+            }
+            if r.diameter != oracle.largest_cc_diameter
+                || r.connected != oracle.connected
+                || r.radius != oracle.radius
+            {
+                out.push(format!(
+                    "[{name}] sum-sweep: got (diam {}, radius {}, connected {}), oracle (diam {}, radius {}, connected {})",
+                    r.diameter, r.radius, r.connected,
+                    oracle.largest_cc_diameter, oracle.radius, oracle.connected
+                ));
+                return;
+            }
+            // Certificates: the named vertices must realize the bounds.
+            let dv = oracle.eccentricities[r.diametral_vertex as usize];
+            if dv != r.diameter {
+                out.push(format!(
+                    "[{name}] sum-sweep: diametral vertex {} has ecc {dv} ≠ {}",
+                    r.diametral_vertex, r.diameter
+                ));
+            }
+            let cv = oracle.eccentricities[r.central_vertex as usize];
+            if cv != r.radius {
+                out.push(format!(
+                    "[{name}] sum-sweep: central vertex {} has ecc {cv} ≠ {}",
+                    r.central_vertex, r.radius
+                ));
+            }
+        }
+    }
+}
+
+fn check_bounding_ecc(g: &CsrGraph, oracle: &Oracle, name: &str, out: &mut Vec<String>) {
+    let r = fdiam_analytics::bounding_ecc::bounding_eccentricities(g);
+    if r.eccentricities != oracle.eccentricities {
+        let first = oracle
+            .eccentricities
+            .iter()
+            .zip(&r.eccentricities)
+            .position(|(a, b)| a != b);
+        out.push(format!(
+            "[{name}] bounding-ecc: eccentricity vector mismatch (first at {first:?})"
+        ));
+    }
+}
+
+/// Both hybrid kernels × both heuristics on a deterministic source
+/// sample: eccentricity, visited count, and the min-id farthest-vertex
+/// tie-break must all match the textbook reference.
+fn check_bfs_kernels(g: &CsrGraph, oracle: &Oracle, name: &str, out: &mut Vec<String>) {
+    let n = g.num_vertices();
+    if n == 0 {
+        return;
+    }
+    let mut scratch = BfsScratch::new(n);
+    for src in sample_sources(n) {
+        let (dist, _) = reference_distances(g, src);
+        let component = dist.iter().filter(|&&d| d != UNREACHED).count();
+        let want_ecc = oracle.eccentricities[src as usize];
+        let want_far = reference_farthest(g, src);
+
+        for (hname, cfg) in heuristic_matrix() {
+            let runs = [
+                (
+                    "kernel-parallel",
+                    bfs_eccentricity_hybrid(g, src, &mut scratch, &cfg),
+                ),
+                (
+                    "kernel-serial",
+                    bfs_eccentricity_serial_hybrid(g, src, &mut scratch, &cfg),
+                ),
+            ];
+            for (kname, summary) in runs {
+                if summary.eccentricity != want_ecc
+                    || summary.visited != component
+                    || summary.farthest != want_far
+                {
+                    out.push(format!(
+                        "[{name}] {kname}/{hname} from {src}: got (ecc {}, visited {}, farthest {}), reference (ecc {want_ecc}, visited {component}, farthest {want_far})",
+                        summary.eccentricity, summary.visited, summary.farthest
+                    ));
+                }
+            }
+        }
+
+        // The plain serial kernel reports the whole last frontier; its
+        // minimum id defines the tie-break the summaries must honor.
+        let r = bfs_eccentricity_serial(g, src, scratch.marks_mut());
+        let min_frontier = r.last_frontier.iter().copied().min();
+        if r.eccentricity != want_ecc || min_frontier != Some(want_far) {
+            out.push(format!(
+                "[{name}] kernel-textbook from {src}: got (ecc {}, min frontier {min_frontier:?}), reference (ecc {want_ecc}, farthest {want_far})",
+                r.eccentricity
+            ));
+        }
+    }
+}
+
+/// Deterministic source sample: every vertex on small graphs, an even
+/// stride (always including vertex 0 and n−1) on larger ones.
+pub fn sample_sources(n: usize) -> Vec<VertexId> {
+    if n == 0 {
+        return Vec::new();
+    }
+    if n <= 48 {
+        return (0..n as VertexId).collect();
+    }
+    let step = n.div_ceil(32);
+    let mut v: Vec<VertexId> = (0..n).step_by(step).map(|x| x as VertexId).collect();
+    if *v.last().unwrap() != (n - 1) as VertexId {
+        v.push((n - 1) as VertexId);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdiam_graph::generators::{
+        barbell, caterpillar, complete, cycle, grid2d, lollipop, path, star,
+    };
+    use fdiam_graph::transform::{disjoint_union, with_isolated_vertices};
+
+    #[test]
+    fn clean_on_classic_shapes() {
+        for (name, g) in [
+            ("path", path(17)),
+            ("cycle", cycle(12)),
+            ("star", star(9)),
+            ("complete", complete(6)),
+            ("grid", grid2d(5, 7)),
+            ("lollipop", lollipop(5, 6)),
+            ("barbell", barbell(4, 3)),
+            ("caterpillar", caterpillar(6, 2)),
+        ] {
+            assert_differential(name, &g);
+        }
+    }
+
+    #[test]
+    fn clean_on_degenerate_and_disconnected() {
+        assert_differential("empty0", &CsrGraph::empty(0));
+        assert_differential("empty1", &CsrGraph::empty(1));
+        assert_differential("isolated5", &CsrGraph::empty(5));
+        assert_differential("two-cliques", &disjoint_union(&complete(4), &complete(3)));
+        assert_differential("path+isolated", &with_isolated_vertices(&path(9), 3));
+    }
+
+    #[test]
+    fn mismatches_are_reported_not_swallowed() {
+        // A deliberately wrong "diameter" must trip the bound check.
+        let g = path(10);
+        assert!(!bound_violations(&g, 2).is_empty());
+        assert!(!bound_violations(&g, 42).is_empty());
+        assert!(bound_violations(&g, 9).is_empty());
+    }
+
+    #[test]
+    fn source_sampling_is_deterministic_and_covers_ends() {
+        assert_eq!(sample_sources(0), Vec::<VertexId>::new());
+        assert_eq!(sample_sources(3), vec![0, 1, 2]);
+        let s = sample_sources(1000);
+        assert_eq!(s, sample_sources(1000));
+        assert_eq!(s[0], 0);
+        assert_eq!(*s.last().unwrap(), 999);
+        assert!(s.len() <= 34);
+    }
+}

@@ -1,0 +1,46 @@
+//! # fdiam-testkit
+//!
+//! Correctness-verification toolkit for the F-Diam workspace — the
+//! backstop every performance PR regresses against. The paper's whole
+//! claim is *exactness* (§1: F-Diam returns the true diameter, not a
+//! bound), so the kit centers on an independent reference oracle and
+//! layers three verification strategies on top of it:
+//!
+//! * [`oracle`] — textbook BFS-from-every-vertex eccentricities and
+//!   diameter (no shared code with the optimized kernels), plus
+//!   double-sweep lower / BFS-tree upper bounds as cheap sandwich
+//!   invariants.
+//! * [`harness`] — the differential matrix: all five codes (F-Diam
+//!   serial + parallel, iFUB, ExactSumSweep + bounding eccentricities,
+//!   naive) × both BFS kernels × both direction-switch heuristics,
+//!   with certificate checks (diametral pairs, central vertices,
+//!   removal accounting, min-id farthest tie-breaks).
+//! * [`metamorphic`] — transforms with analytically predicted diameter
+//!   effects (permutation, edge duplication, isolated vertices,
+//!   disjoint unions, pendant paths, universal vertex).
+//! * [`fuzz`] + [`strategies`] — seeded structured graph generation:
+//!   a plain `u64 → CsrGraph` fuzzer (shipped as the
+//!   `fuzz-differential` binary CI runs nightly) and proptest
+//!   strategies over the same builders for shrinkable property tests.
+//! * [`families`] — miniature, oracle-sized analogues of the 17
+//!   benchmark-suite generator families.
+//!
+//! This crate is a *dev-dependency* of the crates it verifies (cargo
+//! permits the cycle: dev-dependencies don't participate in the
+//! library dependency graph).
+
+pub mod families;
+pub mod fuzz;
+pub mod harness;
+pub mod metamorphic;
+pub mod oracle;
+pub mod strategies;
+
+pub use families::{build_family, families, FAMILY_NAMES, NUM_FAMILIES};
+pub use fuzz::{fuzz_case, run_fuzz, FuzzCase, FuzzFailure, FuzzReport};
+pub use harness::{assert_differential, differential_check};
+pub use metamorphic::{assert_metamorphic, metamorphic_cases, MetamorphicCase};
+pub use oracle::{
+    bfs_tree_upper_bound, bound_violations, double_sweep_lower_bound, reference_distances,
+    reference_farthest, Oracle,
+};

@@ -1,0 +1,343 @@
+//! The reference oracle: textbook BFS-from-every-vertex eccentricities
+//! and diameter, written against nothing but `CsrGraph::neighbors` and
+//! `std::collections::VecDeque`.
+//!
+//! This module deliberately does **not** use the `fdiam-bfs` kernels —
+//! it is the independent implementation every optimized code is
+//! differentially tested against, so sharing frontier machinery with
+//! the systems under test would defeat its purpose. O(n·m): only for
+//! test-sized graphs.
+//!
+//! Alongside the exact oracle it provides two cheap one-sided bounds
+//! usable on graphs of any size (Magnien, Latapy & Habib, *"Fast
+//! computation of empirically tight bounds for the diameter of massive
+//! graphs"*, JEA 2009):
+//!
+//! * [`double_sweep_lower_bound`] — ecc of the vertex found by a BFS
+//!   from a max-degree vertex; never exceeds the diameter.
+//! * [`bfs_tree_upper_bound`] — the exact diameter of a BFS spanning
+//!   tree; tree paths are graph walks, so it never undershoots.
+//!
+//! Every harness run sandwiches the codes' answers between these.
+
+use fdiam_graph::{CsrGraph, VertexId};
+use std::collections::VecDeque;
+
+/// Distance label for vertices not reached by a traversal.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Exact ground truth for one graph, computed the slow, obvious way.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Oracle {
+    /// Eccentricity of every vertex within its connected component
+    /// (isolated vertices have eccentricity 0).
+    pub eccentricities: Vec<u32>,
+    /// Largest eccentricity over all components — the whole repo's
+    /// "CC diameter" convention; 0 for the empty graph.
+    pub largest_cc_diameter: u32,
+    /// Smallest eccentricity over all vertices (0 when the graph has
+    /// isolated vertices, 0 for the empty graph).
+    pub radius: u32,
+    /// Whether the graph is connected (n ≤ 1 counts as connected).
+    pub connected: bool,
+}
+
+impl Oracle {
+    /// BFS from every vertex. O(n·m) — test-sized graphs only.
+    pub fn compute(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        let mut ecc = vec![0u32; n];
+        let mut connected = true;
+        let mut dist = vec![UNREACHED; n];
+        for (v, slot) in ecc.iter_mut().enumerate() {
+            let (e, visited) = bfs_into(g, v as VertexId, &mut dist);
+            *slot = e;
+            if visited != n {
+                connected = false;
+            }
+        }
+        Oracle {
+            largest_cc_diameter: ecc.iter().copied().max().unwrap_or(0),
+            radius: ecc.iter().copied().min().unwrap_or(0),
+            eccentricities: ecc,
+            connected,
+        }
+    }
+
+    /// The finite diameter, `None` when disconnected (diameter ∞).
+    pub fn diameter(&self) -> Option<u32> {
+        self.connected.then_some(self.largest_cc_diameter)
+    }
+}
+
+/// Distances from `source` by textbook queue BFS. Returns the distance
+/// vector (`UNREACHED` for other components) and the eccentricity of
+/// `source` within its component.
+pub fn reference_distances(g: &CsrGraph, source: VertexId) -> (Vec<u32>, u32) {
+    let mut dist = vec![UNREACHED; g.num_vertices()];
+    let (ecc, _) = bfs_into(g, source, &mut dist);
+    (dist, ecc)
+}
+
+/// The farthest vertex from `source` under the repo-wide tie-break:
+/// smallest id among vertices at maximum distance. This is the value
+/// `BfsSummary::farthest` must reproduce on every kernel and thread
+/// count.
+pub fn reference_farthest(g: &CsrGraph, source: VertexId) -> VertexId {
+    let (dist, ecc) = reference_distances(g, source);
+    dist.iter()
+        .position(|&d| d == ecc)
+        .expect("source itself is at distance 0") as VertexId
+}
+
+/// BFS writing distances into `dist` (resetting it first); returns
+/// (eccentricity of source, number of visited vertices).
+fn bfs_into(g: &CsrGraph, source: VertexId, dist: &mut [u32]) -> (u32, usize) {
+    dist.fill(UNREACHED);
+    dist[source as usize] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(source);
+    let mut ecc = 0;
+    let mut visited = 1;
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        ecc = d;
+        for &w in g.neighbors(v) {
+            if dist[w as usize] == UNREACHED {
+                dist[w as usize] = d + 1;
+                visited += 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    (ecc, visited)
+}
+
+/// Double-sweep lower bound on the largest CC diameter: in every
+/// component, BFS from the max-degree representative, then BFS again
+/// from the farthest vertex found; that second eccentricity is the
+/// length of a real shortest path, hence ≤ the component's diameter.
+pub fn double_sweep_lower_bound(g: &CsrGraph) -> u32 {
+    let mut best = 0;
+    let mut dist = vec![UNREACHED; g.num_vertices()];
+    for rep in component_representatives(g) {
+        let (_, visited) = bfs_into(g, rep, &mut dist);
+        debug_assert!(visited >= 1);
+        let far = min_id_at_max_distance(&dist);
+        let (ecc, _) = bfs_into(g, far, &mut dist);
+        best = best.max(ecc);
+    }
+    best
+}
+
+/// BFS-tree upper bound on the largest CC diameter: for every
+/// component, build the BFS spanning tree from the representative and
+/// return the exact tree diameter (double sweep is exact on trees).
+/// Shortest paths in the tree are walks in the graph, so
+/// `diam(G) ≤ diam(T)`.
+pub fn bfs_tree_upper_bound(g: &CsrGraph) -> u32 {
+    let n = g.num_vertices();
+    let mut best = 0;
+    let mut dist = vec![UNREACHED; n];
+    for rep in component_representatives(g) {
+        // Build the BFS tree as an adjacency list: parent links for
+        // every non-root visited vertex.
+        let (_, _) = bfs_into(g, rep, &mut dist);
+        let mut tree: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        for v in 0..n as VertexId {
+            let dv = dist[v as usize];
+            if dv == UNREACHED || dv == 0 {
+                continue;
+            }
+            // First neighbor one level up is the BFS-tree parent.
+            let parent = g
+                .neighbors(v)
+                .iter()
+                .copied()
+                .find(|&w| dist[w as usize] == dv - 1)
+                .expect("visited non-root vertex has a parent");
+            tree[v as usize].push(parent);
+            tree[parent as usize].push(v);
+        }
+        // Double sweep on the tree (exact there): farthest from rep,
+        // then the eccentricity of that vertex.
+        let mut tdist = vec![UNREACHED; n];
+        tree_bfs(&tree, rep, &mut tdist);
+        let far = min_id_at_max_distance(&tdist);
+        tree_bfs(&tree, far, &mut tdist);
+        let tree_diam = tdist.iter().copied().filter(|&d| d != UNREACHED).max();
+        best = best.max(tree_diam.unwrap_or(0));
+    }
+    best
+}
+
+/// Sandwich check: `double-sweep lb ≤ largest_cc_diameter ≤ tree ub`,
+/// returning the mismatch messages (empty when the invariants hold).
+pub fn bound_violations(g: &CsrGraph, largest_cc_diameter: u32) -> Vec<String> {
+    let mut out = Vec::new();
+    let lb = double_sweep_lower_bound(g);
+    let ub = bfs_tree_upper_bound(g);
+    if largest_cc_diameter < lb {
+        out.push(format!(
+            "double-sweep lower bound {lb} exceeds reported diameter {largest_cc_diameter}"
+        ));
+    }
+    if largest_cc_diameter > ub {
+        out.push(format!(
+            "BFS-tree upper bound {ub} is below reported diameter {largest_cc_diameter}"
+        ));
+    }
+    out
+}
+
+/// Max-degree representative (lowest id on ties) of every component
+/// that contains at least one edge, computed with a plain union-less
+/// BFS labelling — again independent of `fdiam-graph::components`.
+fn component_representatives(g: &CsrGraph) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut comp = vec![usize::MAX; n];
+    let mut reps = Vec::new();
+    let mut queue = VecDeque::new();
+    for v in 0..n as VertexId {
+        if comp[v as usize] != usize::MAX || g.degree(v) == 0 {
+            continue; // isolated vertices contribute eccentricity 0
+        }
+        let c = reps.len();
+        comp[v as usize] = c;
+        queue.push_back(v);
+        let mut rep = v;
+        while let Some(u) = queue.pop_front() {
+            if g.degree(u) > g.degree(rep) {
+                rep = u;
+            }
+            for &w in g.neighbors(u) {
+                if comp[w as usize] == usize::MAX {
+                    comp[w as usize] = c;
+                    queue.push_back(w);
+                }
+            }
+        }
+        reps.push(rep);
+    }
+    reps
+}
+
+fn min_id_at_max_distance(dist: &[u32]) -> VertexId {
+    let max = dist
+        .iter()
+        .copied()
+        .filter(|&d| d != UNREACHED)
+        .max()
+        .unwrap_or(0);
+    dist.iter()
+        .position(|&d| d == max)
+        .expect("at least the source is reached") as VertexId
+}
+
+fn tree_bfs(tree: &[Vec<VertexId>], source: VertexId, dist: &mut [u32]) {
+    dist.fill(UNREACHED);
+    dist[source as usize] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        for &w in &tree[v as usize] {
+            if dist[w as usize] == UNREACHED {
+                dist[w as usize] = d + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdiam_graph::generators::{balanced_tree, complete, cycle, grid2d, lollipop, path, star};
+    use fdiam_graph::transform::{disjoint_union, with_isolated_vertices};
+
+    #[test]
+    fn known_shapes() {
+        let cases: [(&str, CsrGraph, u32, u32); 7] = [
+            ("path(6)", path(6), 5, 3),
+            ("cycle(8)", cycle(8), 4, 4),
+            ("cycle(9)", cycle(9), 4, 4),
+            ("star(7)", star(7), 2, 1),
+            ("complete(5)", complete(5), 1, 1),
+            ("grid2d(3,4)", grid2d(3, 4), 5, 3),
+            ("lollipop(4,3)", lollipop(4, 3), 4, 2),
+        ];
+        for (name, g, diam, radius) in cases {
+            let o = Oracle::compute(&g);
+            assert_eq!(o.largest_cc_diameter, diam, "{name} diameter");
+            assert_eq!(o.radius, radius, "{name} radius");
+            assert!(o.connected, "{name} connectivity");
+            assert_eq!(o.diameter(), Some(diam), "{name}");
+        }
+    }
+
+    #[test]
+    fn disconnected_semantics() {
+        let g = disjoint_union(&path(5), &cycle(6));
+        let o = Oracle::compute(&g);
+        assert!(!o.connected);
+        assert_eq!(o.diameter(), None);
+        assert_eq!(o.largest_cc_diameter, 4);
+        assert_eq!(o.radius, 2);
+
+        let iso = with_isolated_vertices(&path(4), 2);
+        let o = Oracle::compute(&iso);
+        assert!(!o.connected);
+        assert_eq!(o.largest_cc_diameter, 3);
+        assert_eq!(o.radius, 0, "isolated vertices have eccentricity 0");
+        assert_eq!(&o.eccentricities[4..], &[0, 0]);
+    }
+
+    #[test]
+    fn degenerate_graphs() {
+        for g in [CsrGraph::empty(0), CsrGraph::empty(1), path(2)] {
+            let o = Oracle::compute(&g);
+            assert!(o.connected);
+            assert_eq!(o.diameter(), Some(o.largest_cc_diameter));
+        }
+        assert_eq!(Oracle::compute(&CsrGraph::empty(0)).largest_cc_diameter, 0);
+        assert_eq!(Oracle::compute(&path(2)).largest_cc_diameter, 1);
+        assert!(!Oracle::compute(&CsrGraph::empty(2)).connected);
+    }
+
+    #[test]
+    fn farthest_uses_min_id_tie_break() {
+        // From the center of star(5), every leaf is at distance 1; the
+        // reference must pick the smallest id (vertex 1: id 0 is the
+        // center itself at distance 0).
+        assert_eq!(reference_farthest(&star(5), 0), 1);
+        // From a leaf, the other leaves are at distance 2.
+        assert_eq!(reference_farthest(&star(5), 3), 1);
+    }
+
+    #[test]
+    fn bounds_sandwich_exact_on_trees() {
+        for g in [path(9), star(6), balanced_tree(2, 4)] {
+            let o = Oracle::compute(&g);
+            assert_eq!(double_sweep_lower_bound(&g), o.largest_cc_diameter);
+            assert_eq!(bfs_tree_upper_bound(&g), o.largest_cc_diameter);
+        }
+    }
+
+    #[test]
+    fn bounds_sandwich_general() {
+        for g in [
+            cycle(11),
+            grid2d(4, 7),
+            lollipop(5, 4),
+            disjoint_union(&cycle(10), &path(3)),
+            with_isolated_vertices(&grid2d(3, 3), 2),
+            CsrGraph::empty(0),
+        ] {
+            let o = Oracle::compute(&g);
+            assert!(bound_violations(&g, o.largest_cc_diameter).is_empty());
+            assert!(double_sweep_lower_bound(&g) <= o.largest_cc_diameter);
+            assert!(bfs_tree_upper_bound(&g) >= o.largest_cc_diameter);
+        }
+    }
+}

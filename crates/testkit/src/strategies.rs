@@ -1,0 +1,40 @@
+//! Proptest strategies over the structured generators in
+//! [`crate::fuzz`] and [`crate::families`].
+//!
+//! Each strategy is a thin map from *parameters* (sizes, seeds, degree
+//! sequences) to a deterministic builder function, so proptest shrinks
+//! in parameter space — a failing case always reduces to a small
+//! `(params, seed)` tuple that reproduces outside proptest too.
+
+use crate::families::{build_family, NUM_FAMILIES};
+use crate::fuzz::{configuration_model_from_degrees, edge_soup_graph, fuzz_case};
+use fdiam_graph::CsrGraph;
+use proptest::collection::vec;
+use proptest::prelude::any;
+use proptest::strategy::{Just, Strategy};
+
+/// Random multigraph soup: canonicalization stress ahead of the
+/// algorithms (self-loops, parallel edges, isolated tails).
+pub fn arb_edge_soup() -> impl Strategy<Value = CsrGraph> {
+    (1usize..=80)
+        .prop_flat_map(|n| (Just(n), 0usize..=3 * n, any::<u64>()))
+        .prop_map(|(n, m, seed)| edge_soup_graph(n, m, seed))
+}
+
+/// Configuration-model graph from an arbitrary degree sequence.
+pub fn arb_degree_sequence_graph() -> impl Strategy<Value = CsrGraph> {
+    (vec(0usize..8, 2..150), any::<u64>())
+        .prop_map(|(degrees, seed)| configuration_model_from_degrees(&degrees, seed))
+}
+
+/// One of the 17 bench-suite generator families with a fuzzed
+/// instance seed.
+pub fn arb_family_graph() -> impl Strategy<Value = CsrGraph> {
+    (0usize..NUM_FAMILIES, any::<u64>()).prop_map(|(idx, seed)| build_family(idx, seed))
+}
+
+/// The full fuzzer distribution (soups, configuration models, family
+/// instances, and transform stacks), driven by a single seed.
+pub fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    any::<u64>().prop_map(|seed| fuzz_case(seed).graph)
+}

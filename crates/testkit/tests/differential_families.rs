@@ -1,0 +1,35 @@
+//! The headline acceptance test: zero oracle mismatches across all
+//! five codes × two kernels × two heuristics on every one of the 17
+//! generator families (plus seed variation on a rotating subset, so
+//! repeated CI runs don't always see the same instances).
+
+use fdiam_testkit::{assert_differential, build_family, families, FAMILY_NAMES, NUM_FAMILIES};
+
+#[test]
+fn all_17_families_pass_the_full_matrix() {
+    for (name, g) in families(0xF_D1A) {
+        assert_differential(name, &g);
+    }
+}
+
+#[test]
+fn family_seed_variation() {
+    // Three extra instances per family at different seeds; families
+    // are cheap enough that this is still a few seconds in debug.
+    for (idx, name) in FAMILY_NAMES.iter().enumerate().take(NUM_FAMILIES) {
+        for seed in 1..=3u64 {
+            let g = build_family(idx, 0x5EED ^ (seed << 16) ^ idx as u64);
+            assert_differential(&format!("{name}#{seed}"), &g);
+        }
+    }
+}
+
+#[test]
+fn metamorphic_suite_over_representative_families() {
+    // Metamorphic closure over one instance each of a mesh, a
+    // power-law graph, a disconnected Kronecker, and a road network.
+    for idx in [0usize, 1, 10, 15] {
+        let g = fdiam_testkit::build_family(idx, 0xF_D1A);
+        fdiam_testkit::assert_metamorphic(FAMILY_NAMES[idx], &g, 0xF_D1A ^ idx as u64);
+    }
+}

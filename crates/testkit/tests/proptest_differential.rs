@@ -1,0 +1,48 @@
+//! Property-based differential testing over the structured strategies:
+//! whatever graph the strategies produce, every code must agree with
+//! the oracle. Failing cases shrink in parameter space and persist in
+//! `proptest-regressions/` next to this file.
+
+use fdiam_testkit::harness::differential_check;
+use fdiam_testkit::strategies::{
+    arb_degree_sequence_graph, arb_edge_soup, arb_family_graph, arb_graph,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn edge_soups_are_exact(g in arb_edge_soup()) {
+        let mismatches = differential_check("proptest-edge-soup", &g);
+        prop_assert!(mismatches.is_empty(), "{}", mismatches.join("\n"));
+    }
+
+    #[test]
+    fn degree_sequence_graphs_are_exact(g in arb_degree_sequence_graph()) {
+        let mismatches = differential_check("proptest-config-model", &g);
+        prop_assert!(mismatches.is_empty(), "{}", mismatches.join("\n"));
+    }
+
+    #[test]
+    fn family_instances_are_exact(g in arb_family_graph()) {
+        let mismatches = differential_check("proptest-family", &g);
+        prop_assert!(mismatches.is_empty(), "{}", mismatches.join("\n"));
+    }
+
+    #[test]
+    fn fuzzer_distribution_is_exact(g in arb_graph()) {
+        let mismatches = differential_check("proptest-fuzz", &g);
+        prop_assert!(mismatches.is_empty(), "{}", mismatches.join("\n"));
+    }
+}
+
+/// Plain (non-proptest) bounded fuzz smoke so the seeded fuzzer runs
+/// under `cargo test` even where proptest is unavailable; the full
+/// budget runs via the `fuzz-differential` binary in CI.
+#[test]
+fn bounded_fuzz_smoke() {
+    let report = fdiam_testkit::run_fuzz(0xC1, 40);
+    assert_eq!(report.cases, 40);
+    assert!(report.ok(), "failures: {:#?}", report.failures);
+}
