@@ -21,7 +21,9 @@
 //! have eccentricity 0 by convention.
 
 use fdiam_bfs::distances::{bfs_distances_serial, UNREACHABLE};
+use fdiam_core::Cancelled;
 use fdiam_graph::{CsrGraph, VertexId};
+use fdiam_obs::CancelToken;
 
 /// Result of the bounding-eccentricities computation.
 #[derive(Clone, Debug)]
@@ -35,6 +37,23 @@ pub struct EccentricityResult {
 
 /// Computes the exact eccentricity of every vertex.
 pub fn bounding_eccentricities(g: &CsrGraph) -> EccentricityResult {
+    driver(g, None).expect("no cancel token")
+}
+
+/// [`bounding_eccentricities`] polling `cancel` before every BFS
+/// selection. The granularity is one whole traversal (coarser than the
+/// per-level checks inside F-Diam's kernels) — each BFS here is a plain
+/// serial distance sweep, so a request still stops within one O(n + m)
+/// unit of work of its deadline. An already-expired token stops before
+/// the first traversal.
+pub fn bounding_eccentricities_cancellable(
+    g: &CsrGraph,
+    cancel: &CancelToken,
+) -> Result<EccentricityResult, Cancelled> {
+    driver(g, Some(cancel))
+}
+
+fn driver(g: &CsrGraph, cancel: Option<&CancelToken>) -> Result<EccentricityResult, Cancelled> {
     let n = g.num_vertices();
     let mut lower = vec![0u32; n];
     let mut upper = vec![u32::MAX; n];
@@ -66,6 +85,9 @@ pub fn bounding_eccentricities(g: &CsrGraph) -> EccentricityResult {
         };
         pick_upper = !pick_upper;
         let Some(v) = candidate else { break };
+        if cancel.is_some_and(|t| t.is_cancelled()) {
+            return Err(Cancelled);
+        }
 
         let e = bfs_distances_serial(g, v as VertexId, &mut dist);
         bfs_calls += 1;
@@ -87,10 +109,10 @@ pub fn bounding_eccentricities(g: &CsrGraph) -> EccentricityResult {
         }
     }
 
-    EccentricityResult {
+    Ok(EccentricityResult {
         eccentricities: ecc,
         bfs_calls,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -173,6 +195,26 @@ mod tests {
             "{} BFS for n = {}",
             r.bfs_calls,
             g.num_vertices()
+        );
+    }
+
+    #[test]
+    fn cancellable_with_live_token_matches_uncancelled() {
+        let g = erdos_renyi_gnm(80, 130, 9);
+        let token = fdiam_obs::CancelToken::new();
+        let a = bounding_eccentricities(&g);
+        let b = bounding_eccentricities_cancellable(&g, &token).expect("live token");
+        assert_eq!(a.eccentricities, b.eccentricities);
+        assert_eq!(a.bfs_calls, b.bfs_calls);
+    }
+
+    #[test]
+    fn expired_token_stops_before_the_first_bfs() {
+        let g = grid2d(10, 10);
+        let token = fdiam_obs::CancelToken::with_deadline(std::time::Duration::ZERO);
+        assert_eq!(
+            bounding_eccentricities_cancellable(&g, &token).err(),
+            Some(Cancelled)
         );
     }
 

@@ -22,7 +22,7 @@ use crate::frontier::{
 use crate::scratch::{BfsScratch, ScratchParts};
 use crate::BfsSummary;
 use fdiam_graph::{CsrGraph, VertexId};
-use fdiam_obs::{noop, Event, Observer};
+use fdiam_obs::{noop, CancelToken, Event, Observer};
 
 /// Default α of [`SwitchHeuristic::Adaptive`]: switch top-down →
 /// bottom-up when the frontier's out-degree sum exceeds `m_u / α`
@@ -147,12 +147,30 @@ pub fn bfs_eccentricity_hybrid_observed(
     config: &BfsConfig,
     obs: &dyn Observer,
 ) -> BfsSummary {
-    kernel(g, source, scratch, config, obs, true)
+    kernel(g, source, scratch, config, obs, true, None).expect("no cancel token")
+}
+
+/// [`bfs_eccentricity_hybrid_observed`] polling `cancel` at every level
+/// barrier. Returns `None` as soon as cancellation (explicit or by
+/// deadline) is observed — within one BFS level of the request — in
+/// which case the scratch state is mid-traversal and no summary exists.
+pub fn bfs_eccentricity_hybrid_cancellable(
+    g: &CsrGraph,
+    source: VertexId,
+    scratch: &mut BfsScratch,
+    config: &BfsConfig,
+    obs: &dyn Observer,
+    cancel: &CancelToken,
+) -> Option<BfsSummary> {
+    kernel(g, source, scratch, config, obs, true, Some(cancel))
 }
 
 /// The shared direction-optimized kernel. `parallel` selects rayon
 /// expansion/sweeps (the hybrid entry points) or their sequential twins
 /// ([`crate::serial_hybrid`]); the frontier state machine is identical.
+/// `cancel` is polled once per level (not per vertex — the check is two
+/// atomic loads and must stay off the inner loops); observing it
+/// abandons the traversal and returns `None`.
 ///
 /// Representation protocol: the epoch marks are authoritative for
 /// "visited". The dense `visited_bm` mirror is rebuilt from the marks
@@ -170,7 +188,8 @@ pub(crate) fn kernel(
     config: &BfsConfig,
     obs: &dyn Observer,
     parallel: bool,
-) -> BfsSummary {
+    cancel: Option<&CancelToken>,
+) -> Option<BfsSummary> {
     let ScratchParts {
         marks,
         cur,
@@ -208,6 +227,11 @@ pub(crate) fn kernel(
     // lives in `cur_bm` (consecutive bottom-up levels never convert).
     let mut sparse = true;
     loop {
+        // An aborted traversal emits no BfsEnd: the lifecycle event
+        // marks *completed* eccentricity computations (bfs.traversals).
+        if cancel.is_some_and(|token| token.is_cancelled()) {
+            return None;
+        }
         let bottom_up =
             config.direction_optimized && config.heuristic.decide(n, n_f, m_f, m_u, was_bottom_up);
         if detail && bottom_up != was_bottom_up {
@@ -277,11 +301,11 @@ pub(crate) fn kernel(
                     visited,
                 });
             }
-            return BfsSummary {
+            return Some(BfsSummary {
                 eccentricity: level,
                 visited,
                 farthest,
-            };
+            });
         }
         visited += next_n;
         m_u = m_u.saturating_sub(next_m);
@@ -504,6 +528,87 @@ mod tests {
                 .iter()
                 .any(|n| n.starts_with("switch ") && n.ends_with("bu=true")),
             "expected a bottom-up switch, got {names:?}"
+        );
+    }
+
+    #[test]
+    fn cancellable_with_live_token_matches_observed() {
+        let g = grid2d(9, 11);
+        let mut s1 = BfsScratch::new(99);
+        let mut s2 = BfsScratch::new(99);
+        let cfg = BfsConfig::default();
+        let token = fdiam_obs::CancelToken::new();
+        for v in g.vertices() {
+            let a = bfs_eccentricity_hybrid(&g, v, &mut s1, &cfg);
+            let b = bfs_eccentricity_hybrid_cancellable(
+                &g,
+                v,
+                &mut s2,
+                &cfg,
+                fdiam_obs::noop(),
+                &token,
+            )
+            .expect("live token never cancels");
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_aborts_before_any_level() {
+        let g = path(50);
+        let mut s = BfsScratch::new(50);
+        let token = fdiam_obs::CancelToken::new();
+        token.cancel();
+        let r = Recorder::new();
+        let out =
+            bfs_eccentricity_hybrid_cancellable(&g, 0, &mut s, &BfsConfig::default(), &r, &token);
+        assert!(out.is_none());
+        // BfsStart fires (the traversal was admitted) but no level ran
+        // and no BfsEnd marks it complete.
+        let names = r.names();
+        assert!(names.iter().all(|n| !n.starts_with("level")), "{names:?}");
+        assert!(!names.iter().any(|n| n == "bfs_end"), "{names:?}");
+    }
+
+    /// Observer that cancels the token the moment a given level is
+    /// reported — proving the kernel re-polls at every level barrier.
+    struct CancelAtLevel {
+        token: fdiam_obs::CancelToken,
+        at: u32,
+        seen: Mutex<u32>,
+    }
+
+    impl Observer for CancelAtLevel {
+        fn event(&self, e: &Event<'_>) {
+            if let Event::BfsLevel { level, .. } = *e {
+                *self.seen.lock().unwrap() = level;
+                if level == self.at {
+                    self.token.cancel();
+                }
+            }
+        }
+        fn wants_bfs_detail(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn mid_traversal_cancel_stops_at_the_next_level_barrier() {
+        let g = path(500); // eccentricity 499 from vertex 0: many levels
+        let mut s = BfsScratch::new(500);
+        let obs = CancelAtLevel {
+            token: fdiam_obs::CancelToken::new(),
+            at: 3,
+            seen: Mutex::new(0),
+        };
+        let token = obs.token.clone();
+        let out =
+            bfs_eccentricity_hybrid_cancellable(&g, 0, &mut s, &BfsConfig::default(), &obs, &token);
+        assert!(out.is_none(), "cancelled traversal must not complete");
+        let last = *obs.seen.lock().unwrap();
+        assert_eq!(
+            last, 3,
+            "exactly the cancelling level runs; the next barrier aborts"
         );
     }
 

@@ -38,11 +38,15 @@ pub mod visited;
 
 pub use bitmap::FrontierBitmap;
 pub use hybrid::{
-    bfs_eccentricity_hybrid, bfs_eccentricity_hybrid_observed, BfsConfig, SwitchHeuristic,
+    bfs_eccentricity_hybrid, bfs_eccentricity_hybrid_cancellable, bfs_eccentricity_hybrid_observed,
+    BfsConfig, SwitchHeuristic,
 };
 pub use scratch::BfsScratch;
 pub use serial::bfs_eccentricity_serial;
-pub use serial_hybrid::{bfs_eccentricity_serial_hybrid, bfs_eccentricity_serial_hybrid_observed};
+pub use serial_hybrid::{
+    bfs_eccentricity_serial_hybrid, bfs_eccentricity_serial_hybrid_cancellable,
+    bfs_eccentricity_serial_hybrid_observed,
+};
 pub use visited::VisitMarks;
 
 use fdiam_graph::VertexId;

@@ -87,6 +87,18 @@ impl BfsScratch {
         &self.cur
     }
 
+    /// Resizes the arena for an `n`-vertex graph if it isn't already
+    /// sized for one. A long-lived worker (e.g. a server thread pool)
+    /// calls this once per job: when consecutive jobs hit the same
+    /// graph — the common case behind a cache — the arena is reused
+    /// allocation-free; a size change rebuilds it wholesale, which is
+    /// no worse than the fresh allocation it replaces.
+    pub fn ensure(&mut self, n: usize) {
+        if self.len() != n {
+            *self = Self::new(n);
+        }
+    }
+
     /// Splits the scratch into disjoint mutable parts for a kernel.
     pub fn parts(&mut self) -> ScratchParts<'_> {
         ScratchParts {

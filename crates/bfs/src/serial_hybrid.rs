@@ -13,7 +13,7 @@ use crate::hybrid::{kernel, BfsConfig};
 use crate::scratch::BfsScratch;
 use crate::BfsSummary;
 use fdiam_graph::{CsrGraph, VertexId};
-use fdiam_obs::{noop, Observer};
+use fdiam_obs::{noop, CancelToken, Observer};
 
 /// Serial BFS with the same direction switching as the parallel hybrid.
 pub fn bfs_eccentricity_serial_hybrid(
@@ -35,7 +35,22 @@ pub fn bfs_eccentricity_serial_hybrid_observed(
     config: &BfsConfig,
     obs: &dyn Observer,
 ) -> BfsSummary {
-    kernel(g, source, scratch, config, obs, false)
+    kernel(g, source, scratch, config, obs, false, None).expect("no cancel token")
+}
+
+/// [`bfs_eccentricity_serial_hybrid_observed`] polling `cancel` at
+/// every level barrier — the serial analogue of
+/// [`crate::hybrid::bfs_eccentricity_hybrid_cancellable`]. Returns
+/// `None` once cancellation is observed (within one BFS level).
+pub fn bfs_eccentricity_serial_hybrid_cancellable(
+    g: &CsrGraph,
+    source: VertexId,
+    scratch: &mut BfsScratch,
+    config: &BfsConfig,
+    obs: &dyn Observer,
+    cancel: &CancelToken,
+) -> Option<BfsSummary> {
+    kernel(g, source, scratch, config, obs, false, Some(cancel))
 }
 
 #[cfg(test)]

@@ -37,6 +37,11 @@ pub enum Command {
         /// Use the paper's fixed 10 % direction-switch rule instead of
         /// the default α/β heuristic (reproduction fidelity).
         paper_bfs: bool,
+        /// Wall-clock budget for the run (`--timeout SECS`, or the
+        /// `FDIAM_TIMEOUT_SECS` environment variable). Enforced
+        /// cooperatively: the BFS kernels observe the deadline at every
+        /// level barrier, so an expired run stops within one level.
+        timeout: Option<std::time::Duration>,
     },
     Ecc {
         input: String,
@@ -89,7 +94,8 @@ fdiam — fast exact graph diameter (F-Diam, ICPP'25 reproduction)
 
 USAGE:
   fdiam diameter [--algorithm NAME] [--serial] [--stats] [--threads N]
-                 [--progress] [--trace FILE] [--metrics] [--paper-bfs] INPUT
+                 [--progress] [--trace FILE] [--metrics] [--paper-bfs]
+                 [--timeout SECS] INPUT
   fdiam ecc INPUT                    radius / center / periphery
   fdiam info INPUT                   graph summary (n, m, degrees, components)
   fdiam convert INPUT OUTPUT         convert between formats
@@ -102,6 +108,8 @@ OBSERVABILITY (fdiam / fdiam-serial only):
   --trace FILE    structured JSONL event trace (see DESIGN.md §7)
   --metrics       aggregated counters and phase timings after the run
   --paper-bfs     paper's fixed 10% BFS direction switch (fdiam/fdiam-serial)
+  --timeout SECS  abort the run after SECS seconds (exit 1); the
+                  FDIAM_TIMEOUT_SECS environment variable sets a default
 FORMATS (by extension): .txt/.el edge list | .gr DIMACS-9 | .mtx MatrixMarket | .fdia binary
 GENERATE SPECS:
   grid:ROWSxCOLS           e.g. grid:512x512
@@ -128,6 +136,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut trace = None;
             let mut metrics = false;
             let mut paper_bfs = false;
+            let mut timeout = None;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--algorithm" | "-a" => {
@@ -143,6 +152,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--progress" => progress = true,
                     "--metrics" => metrics = true,
                     "--paper-bfs" => paper_bfs = true,
+                    "--timeout" => {
+                        let v = it.next().ok_or("--timeout needs a value in seconds")?;
+                        timeout = Some(parse_timeout_secs(v)?);
+                    }
                     "--trace" => {
                         let v = it.next().ok_or("--trace needs a file path")?;
                         if v.starts_with('-') {
@@ -171,6 +184,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--paper-bfs only applies to the fdiam and fdiam-serial algorithms".into(),
                 );
             }
+            if timeout.is_some()
+                && !matches!(algorithm, Algorithm::FdiamParallel | Algorithm::FdiamSerial)
+            {
+                return Err(
+                    "--timeout is only enforced for the fdiam and fdiam-serial algorithms".into(),
+                );
+            }
             Ok(Command::Diameter {
                 input: input.ok_or("missing INPUT file")?,
                 algorithm,
@@ -180,6 +200,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 trace,
                 metrics,
                 paper_bfs,
+                timeout,
             })
         }
         "ecc" => Ok(Command::Ecc {
@@ -201,6 +222,35 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             Ok(Command::Generate { spec, output })
         }
         other => Err(format!("unknown command '{other}' (try 'fdiam help')")),
+    }
+}
+
+/// Parses a timeout value in (possibly fractional) seconds. Rejects
+/// NaN, infinities, and negative values with a message naming the
+/// offending input; zero is allowed (the run is cancelled before its
+/// first traversal).
+pub fn parse_timeout_secs(raw: &str) -> Result<std::time::Duration, String> {
+    let secs: f64 = raw
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad timeout '{raw}' (expected seconds, e.g. 30 or 2.5)"))?;
+    if !secs.is_finite() || secs < 0.0 {
+        return Err(format!(
+            "bad timeout '{raw}' (must be a finite non-negative number of seconds)"
+        ));
+    }
+    Ok(std::time::Duration::from_secs_f64(secs))
+}
+
+/// Reads the `FDIAM_TIMEOUT_SECS` environment variable: unset or empty
+/// means no timeout; anything else must parse like `--timeout`.
+pub fn timeout_from_env() -> Result<Option<std::time::Duration>, String> {
+    match std::env::var("FDIAM_TIMEOUT_SECS") {
+        Err(_) => Ok(None),
+        Ok(v) if v.trim().is_empty() => Ok(None),
+        Ok(v) => parse_timeout_secs(&v)
+            .map(Some)
+            .map_err(|e| format!("FDIAM_TIMEOUT_SECS: {e}")),
     }
 }
 
@@ -261,74 +311,99 @@ pub fn write_graph(g: &CsrGraph, path: &str) -> Result<(), String> {
     }
 }
 
+/// Parses one integer spec parameter. Integer parameters must be
+/// exactly that: `2.5`, `-3`, `NaN`, or `1e4` are rejected with a
+/// message naming the parameter, instead of being silently truncated
+/// through an `f64` round-trip.
+fn int_param<T>(raw: &str, name: &str) -> Result<T, String>
+where
+    T: std::str::FromStr,
+{
+    raw.parse::<T>().map_err(|_| {
+        if raw.parse::<f64>().is_ok_and(|v| v.is_finite()) {
+            format!("{name} must be a non-negative integer, got '{raw}'")
+        } else {
+            format!("bad {name} '{raw}' (expected a non-negative integer)")
+        }
+    })
+}
+
+/// Parses one floating-point spec parameter, rejecting NaN, infinities,
+/// and negative values.
+fn float_param(raw: &str, name: &str) -> Result<f64, String> {
+    let v: f64 = raw
+        .parse()
+        .map_err(|_| format!("bad {name} '{raw}' (expected a number)"))?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(format!(
+            "{name} must be a finite non-negative number, got '{raw}'"
+        ));
+    }
+    Ok(v)
+}
+
+/// Parses the optional trailing `SEED` field (default 1).
+fn seed_param(fields: &[&str], idx: usize) -> Result<u64, String> {
+    match fields.get(idx) {
+        None => Ok(1),
+        Some(raw) => int_param(raw, "SEED"),
+    }
+}
+
 /// Builds a graph from a `generate` spec string.
 pub fn generate_graph(spec: &str) -> Result<CsrGraph, String> {
     use fdiam_graph::generators::*;
     let (kind, rest) = spec
         .split_once(':')
         .ok_or_else(|| format!("bad spec '{spec}' (expected KIND:PARAMS)"))?;
-    let nums = |s: &str| -> Result<Vec<f64>, String> {
-        s.split(',')
-            .map(|p| {
-                p.trim()
-                    .parse::<f64>()
-                    .map_err(|e| format!("bad number in spec: {e}"))
-            })
-            .collect()
+    let fields: Vec<&str> = rest.split(',').map(str::trim).collect();
+    let arity = |lo: usize, hi: usize, usage: &str| -> Result<(), String> {
+        if fields.len() < lo || fields.len() > hi {
+            return Err(format!("{kind} spec needs {usage}"));
+        }
+        Ok(())
     };
     match kind {
         "grid" => {
             let (r, c) = rest
                 .split_once('x')
                 .ok_or_else(|| format!("bad grid spec '{rest}' (expected ROWSxCOLS)"))?;
-            let r: usize = r.parse().map_err(|e| format!("bad rows: {e}"))?;
-            let c: usize = c.parse().map_err(|e| format!("bad cols: {e}"))?;
+            let r: usize = int_param(r.trim(), "ROWS")?;
+            let c: usize = int_param(c.trim(), "COLS")?;
             Ok(grid2d(r, c))
         }
         "ba" => {
-            let v = nums(rest)?;
-            if v.len() < 2 || v.len() > 3 {
-                return Err("ba spec needs N,M[,SEED]".into());
-            }
+            arity(2, 3, "N,M[,SEED]")?;
             Ok(barabasi_albert(
-                v[0] as usize,
-                v[1] as usize,
-                v.get(2).copied().unwrap_or(1.0) as u64,
+                int_param(fields[0], "N")?,
+                int_param(fields[1], "M")?,
+                seed_param(&fields, 2)?,
             ))
         }
         "rmat" => {
-            let v = nums(rest)?;
-            if v.len() < 2 || v.len() > 3 {
-                return Err("rmat spec needs SCALE,EF[,SEED]".into());
-            }
+            arity(2, 3, "SCALE,EF[,SEED]")?;
             Ok(rmat(
-                v[0] as u32,
-                v[1] as usize,
+                int_param(fields[0], "SCALE")?,
+                int_param(fields[1], "EF")?,
                 RmatProbabilities::GTGRAPH,
-                v.get(2).copied().unwrap_or(1.0) as u64,
+                seed_param(&fields, 2)?,
             ))
         }
         "road" => {
-            let v = nums(rest)?;
-            if v.len() < 3 || v.len() > 4 {
-                return Err("road spec needs N,EXTRA,K[,SEED]".into());
-            }
+            arity(3, 4, "N,EXTRA,K[,SEED]")?;
             Ok(road_network(
-                v[0] as usize,
-                v[1],
-                v[2] as usize,
-                v.get(3).copied().unwrap_or(1.0) as u64,
+                int_param(fields[0], "N")?,
+                float_param(fields[1], "EXTRA")?,
+                int_param(fields[2], "K")?,
+                seed_param(&fields, 3)?,
             ))
         }
         "geometric" => {
-            let v = nums(rest)?;
-            if v.len() < 2 || v.len() > 3 {
-                return Err("geometric spec needs N,R[,SEED]".into());
-            }
+            arity(2, 3, "N,R[,SEED]")?;
             Ok(random_geometric(
-                v[0] as usize,
-                v[1],
-                v.get(2).copied().unwrap_or(1.0) as u64,
+                int_param(fields[0], "N")?,
+                float_param(fields[1], "R")?,
+                seed_param(&fields, 2)?,
             ))
         }
         other => Err(format!("unknown generator '{other}'")),
@@ -402,8 +477,19 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
             trace,
             metrics,
             paper_bfs,
+            timeout,
         } => {
             let g = read_graph(&input)?;
+            // The env default only applies where a timeout is
+            // enforceable (an explicit --timeout with another algorithm
+            // is already rejected at parse time).
+            let timeout = match timeout {
+                Some(t) => Some(t),
+                None if matches!(algorithm, Algorithm::FdiamParallel | Algorithm::FdiamSerial) => {
+                    timeout_from_env()?
+                }
+                None => None,
+            };
             if let Some(t) = threads {
                 rayon::ThreadPoolBuilder::new()
                     .num_threads(t)
@@ -436,11 +522,22 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
                         sinks.push(Box::new(MetricsObserver::new(Arc::clone(&registry))));
                         metrics_registry = Some(registry);
                     }
-                    let o = if sinks.is_empty() {
-                        fdiam_core::diameter_with(&g, &cfg)
-                    } else {
-                        let fanout = Fanout::new(sinks);
-                        fdiam_core::diameter_with_observer(&g, &cfg, &fanout)
+                    let o = match timeout {
+                        None if sinks.is_empty() => fdiam_core::diameter_with(&g, &cfg),
+                        None => {
+                            let fanout = Fanout::new(sinks);
+                            fdiam_core::diameter_with_observer(&g, &cfg, &fanout)
+                        }
+                        Some(budget) => {
+                            let token = fdiam_obs::CancelToken::with_deadline(budget);
+                            let res = if sinks.is_empty() {
+                                fdiam_core::run_cancellable(&g, &cfg, fdiam_obs::noop(), &token)
+                            } else {
+                                let fanout = Fanout::new(sinks);
+                                fdiam_core::run_cancellable(&g, &cfg, &fanout, &token)
+                            };
+                            res.map_err(|_| format!("timed out after {}s", budget.as_secs_f64()))?
+                        }
                     };
                     let detail = stats.then(|| {
                         let p = o.stats.removed.percentages(g.num_vertices());
@@ -526,6 +623,7 @@ mod tests {
                 trace: None,
                 metrics: false,
                 paper_bfs: false,
+                timeout: None,
             }
         );
         let c = parse_args(&args(&[
@@ -549,6 +647,7 @@ mod tests {
                 trace: None,
                 metrics: false,
                 paper_bfs: false,
+                timeout: None,
             }
         );
         let c = parse_args(&args(&["diameter", "--serial", "g.mtx"])).unwrap();
@@ -593,6 +692,7 @@ mod tests {
                 trace: Some("run.jsonl".into()),
                 metrics: true,
                 paper_bfs: false,
+                timeout: None,
             }
         );
     }
@@ -655,6 +755,204 @@ mod tests {
     }
 
     #[test]
+    fn generate_rejects_fractional_integer_params() {
+        // Every integer slot used to go through an f64 round-trip that
+        // silently truncated: ba:100.9,3 built ba:100,3.
+        for spec in [
+            "grid:4.5x5",
+            "grid:4x5.5",
+            "ba:100.9,3",
+            "ba:100,3.5",
+            "ba:100,3,2.5",
+            "rmat:8.1,4",
+            "rmat:8,4.2",
+            "rmat:8,4,1.5",
+            "road:500.4,0.3,2",
+            "road:500,0.3,2.9",
+            "road:500,0.3,2,7.5",
+            "geometric:200.2,0.2",
+            "geometric:200,0.2,3.3",
+        ] {
+            let e = generate_graph(spec).unwrap_err();
+            assert!(e.contains("integer"), "spec '{spec}': {e}");
+        }
+    }
+
+    #[test]
+    fn generate_rejects_negative_and_nan_params() {
+        for spec in [
+            "ba:-100,3",
+            "ba:100,-3",
+            "rmat:-8,4",
+            "road:500,-0.3,2",
+            "road:500,NaN,2",
+            "road:500,inf,2",
+            "geometric:200,-0.2",
+            "geometric:200,NaN",
+            "geometric:NaN,0.2",
+        ] {
+            assert!(generate_graph(spec).is_err(), "spec '{spec}' must fail");
+        }
+    }
+
+    #[test]
+    fn generate_errors_name_the_parameter() {
+        assert!(generate_graph("ba:x,3").unwrap_err().contains('N'));
+        assert!(generate_graph("ba:100,x").unwrap_err().contains('M'));
+        assert!(generate_graph("rmat:x,4").unwrap_err().contains("SCALE"));
+        assert!(generate_graph("rmat:8,x").unwrap_err().contains("EF"));
+        assert!(generate_graph("road:500,x,2")
+            .unwrap_err()
+            .contains("EXTRA"));
+        assert!(generate_graph("geometric:200,x").unwrap_err().contains('R'));
+        assert!(generate_graph("ba:10,2,x").unwrap_err().contains("SEED"));
+    }
+
+    #[test]
+    fn generate_valid_specs_per_family_with_whitespace_and_seed() {
+        // Exact integer params still work, with optional seed and
+        // tolerated whitespace.
+        assert_eq!(generate_graph("ba: 50 , 2 , 9").unwrap().num_vertices(), 50);
+        assert_eq!(generate_graph("rmat:6,4").unwrap().num_vertices(), 64);
+        assert!(generate_graph("road:200,0.25,3,4").unwrap().num_vertices() > 100);
+        assert_eq!(
+            generate_graph("geometric:80,0.3,5").unwrap().num_vertices(),
+            80
+        );
+        // Different seeds produce different graphs (seed actually used).
+        let a = generate_graph("ba:100,3,1").unwrap();
+        let b = generate_graph("ba:100,3,2").unwrap();
+        assert_eq!(a.num_vertices(), b.num_vertices());
+    }
+
+    #[test]
+    fn parse_timeout_flag() {
+        let c = parse_args(&args(&["diameter", "--timeout", "30", "g.txt"])).unwrap();
+        assert!(matches!(
+            c,
+            Command::Diameter {
+                timeout: Some(t),
+                ..
+            } if t == std::time::Duration::from_secs(30)
+        ));
+        let c = parse_args(&args(&[
+            "diameter",
+            "--timeout",
+            "2.5",
+            "--serial",
+            "g.txt",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            c,
+            Command::Diameter {
+                timeout: Some(t),
+                ..
+            } if t == std::time::Duration::from_secs_f64(2.5)
+        ));
+        // a non-numeric value (here the input path) is rejected
+        assert!(parse_args(&args(&["diameter", "--timeout", "g.txt"])).is_err());
+        // missing value entirely
+        assert!(parse_args(&args(&["diameter", "g.txt", "--timeout"])).is_err());
+        for bad in ["-1", "NaN", "inf", "abc"] {
+            let e = parse_args(&args(&["diameter", "--timeout", bad, "g.txt"])).unwrap_err();
+            assert!(e.contains("timeout"), "{e}");
+        }
+        let e = parse_args(&args(&[
+            "diameter",
+            "-a",
+            "ifub",
+            "--timeout",
+            "5",
+            "g.txt",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--timeout"), "{e}");
+    }
+
+    #[test]
+    fn timed_out_diameter_run_reports_error() {
+        let dir = std::env::temp_dir().join("fdiam_cli_timeout_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let el = dir.join("g.txt").to_string_lossy().into_owned();
+        run(
+            Command::Generate {
+                spec: "grid:40x40".into(),
+                output: el.clone(),
+            },
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let e = run(
+            Command::Diameter {
+                input: el,
+                algorithm: Algorithm::FdiamSerial,
+                stats: false,
+                threads: None,
+                progress: false,
+                trace: None,
+                metrics: false,
+                paper_bfs: false,
+                timeout: Some(std::time::Duration::ZERO),
+            },
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(e.contains("timed out"), "{e}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generous_timeout_still_completes() {
+        let dir = std::env::temp_dir().join("fdiam_cli_timeout_ok_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let el = dir.join("g.txt").to_string_lossy().into_owned();
+        run(
+            Command::Generate {
+                spec: "grid:10x10".into(),
+                output: el.clone(),
+            },
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        run(
+            Command::Diameter {
+                input: el,
+                algorithm: Algorithm::FdiamSerial,
+                stats: false,
+                threads: None,
+                progress: false,
+                trace: None,
+                metrics: false,
+                paper_bfs: false,
+                timeout: Some(std::time::Duration::from_secs(600)),
+            },
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("diameter : 18"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn timeout_secs_parsing() {
+        assert_eq!(
+            parse_timeout_secs("30").unwrap(),
+            std::time::Duration::from_secs(30)
+        );
+        assert_eq!(
+            parse_timeout_secs(" 0.25 ").unwrap(),
+            std::time::Duration::from_millis(250)
+        );
+        assert_eq!(parse_timeout_secs("0").unwrap(), std::time::Duration::ZERO);
+        for bad in ["", "x", "-3", "NaN", "inf", "-inf"] {
+            assert!(parse_timeout_secs(bad).is_err(), "'{bad}' must be rejected");
+        }
+    }
+
+    #[test]
     fn end_to_end_generate_convert_diameter() {
         let dir = std::env::temp_dir().join("fdiam_cli_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -689,6 +987,7 @@ mod tests {
                 trace: None,
                 metrics: false,
                 paper_bfs: false,
+                timeout: None,
             },
             &mut out,
         )
@@ -724,6 +1023,7 @@ mod tests {
                 trace: Some(trace.clone()),
                 metrics: true,
                 paper_bfs: false,
+                timeout: None,
             },
             &mut out,
         )

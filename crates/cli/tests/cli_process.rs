@@ -1,0 +1,201 @@
+//! Process-level audit of the `fdiam` binary: every malformed,
+//! truncated, or unreadable input must exit with code 1 and a one-line
+//! `error: …` diagnostic — never a panic, never a zero exit. Mirrors
+//! the corpus of `crates/graph/tests/io_malformed.rs` at the CLI
+//! boundary, and exercises the `--timeout` / `FDIAM_TIMEOUT_SECS`
+//! cancellation path end to end.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fdiam() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fdiam"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("fdiam_cli_proc_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Asserts the process failed the way `main.rs` promises for run
+/// errors: exit code 1, a single `error: …` line on stderr, no panic.
+fn expect_clean_failure(out: &Output, ctx: &str) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "{ctx}: {stderr}");
+    assert!(
+        !stderr.contains("panicked") && !stderr.contains("RUST_BACKTRACE"),
+        "{ctx}: must not panic:\n{stderr}"
+    );
+    let lines: Vec<&str> = stderr.lines().collect();
+    assert_eq!(lines.len(), 1, "{ctx}: want one diagnostic line:\n{stderr}");
+    assert!(
+        lines[0].starts_with("error: "),
+        "{ctx}: diagnostic must be prefixed:\n{stderr}"
+    );
+}
+
+#[test]
+fn malformed_inputs_fail_cleanly_for_every_format() {
+    let dir = tmp_dir("malformed");
+    // One representative of each reader's parse-error corpus
+    // (io_malformed.rs), plus a truncated binary file.
+    let corpus: &[(&str, &[u8])] = &[
+        ("arc_before_problem.gr", b"a 1 2 1\n"),
+        ("dup_problem.gr", b"p sp 3 1\np sp 3 1\n"),
+        ("bad_kind.gr", b"p tour 3 1\n"),
+        ("bad_vertex_count.gr", b"p sp x 1\n"),
+        ("id_out_of_range.gr", b"p sp 3 1\na 0 2 1\n"),
+        ("empty.mtx", b""),
+        (
+            "bad_header.mtx",
+            b"%%NotMatrixMarket matrix coordinate pattern general\n1 1 0\n",
+        ),
+        (
+            "non_square.mtx",
+            b"%%MatrixMarket matrix coordinate pattern general\n3 4 0\n",
+        ),
+        ("bad_target.txt", b"1 two\n"),
+        ("missing_field.el", b"7\n"),
+        ("bad_magic.fdia", b"XDIA\x01\x00\x00\x00"),
+        ("truncated.fdia", b"FD"),
+    ];
+    for (name, bytes) in corpus {
+        let path = dir.join(name);
+        std::fs::write(&path, bytes).unwrap();
+        for sub in ["diameter", "info", "ecc"] {
+            let out = fdiam().arg(sub).arg(&path).output().unwrap();
+            expect_clean_failure(&out, &format!("{sub} {name}"));
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_binary_fails_cleanly_at_every_prefix() {
+    // Byte-level sweep of the binary format through the CLI: write a
+    // valid .fdia, then feed every proper prefix to `fdiam info`.
+    let dir = tmp_dir("truncate");
+    let full = dir.join("g.fdia");
+    let out = fdiam()
+        .args(["generate", "grid:3x3"])
+        .arg(&full)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{:?}", out);
+    let bytes = std::fs::read(&full).unwrap();
+    // Sample cut points (every prefix is covered at the library layer;
+    // the process boundary only needs representatives of each region).
+    for cut in [0, 1, 4, 8, bytes.len() / 2, bytes.len() - 1] {
+        let cut_path = dir.join(format!("cut{cut}.fdia"));
+        std::fs::write(&cut_path, &bytes[..cut]).unwrap();
+        let out = fdiam().arg("info").arg(&cut_path).output().unwrap();
+        expect_clean_failure(&out, &format!("info at cut {cut}"));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unreadable_and_unknown_inputs_fail_cleanly() {
+    let dir = tmp_dir("unreadable");
+    let missing = dir.join("does_not_exist.gr");
+    let out = fdiam().arg("diameter").arg(&missing).output().unwrap();
+    expect_clean_failure(&out, "missing file");
+
+    let unknown = dir.join("graph.xyz");
+    std::fs::write(&unknown, "0 1\n").unwrap();
+    let out = fdiam().arg("diameter").arg(&unknown).output().unwrap();
+    expect_clean_failure(&out, "unknown extension");
+
+    // A directory is unreadable as a graph file.
+    let out = fdiam()
+        .arg("info")
+        .arg(dir.join("d.gr").parent().unwrap())
+        .output()
+        .unwrap();
+    let code = out.status.code();
+    assert!(
+        code == Some(1) || code == Some(2),
+        "directory input: {out:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn argv_errors_exit_2_with_usage() {
+    for argv in [
+        &["frobnicate"][..],
+        &["diameter"],
+        &["diameter", "--algorithm", "bogus", "g.txt"],
+        &["diameter", "--timeout", "NaN", "g.txt"],
+        &["diameter", "-a", "ifub", "--timeout", "5", "g.txt"],
+        &["generate", "ba:100.5,3", "out.txt"][..1], // missing operands
+    ] {
+        let out = fdiam().args(argv).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{argv:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("USAGE"), "{argv:?}:\n{stderr}");
+    }
+}
+
+#[test]
+fn fractional_generate_spec_fails_cleanly() {
+    let dir = tmp_dir("genspec");
+    let out = fdiam()
+        .args(["generate", "ba:100.5,3"])
+        .arg(dir.join("out.txt"))
+        .output()
+        .unwrap();
+    expect_clean_failure(&out, "fractional N");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("integer"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn timeout_env_var_has_teeth() {
+    let dir = tmp_dir("timeout_env");
+    let graph = dir.join("g.txt");
+    let out = fdiam()
+        .args(["generate", "grid:60x60"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+
+    // Expired-before-start budget: exit 1 with a timeout diagnostic.
+    let out = fdiam()
+        .args(["diameter", "--serial"])
+        .arg(&graph)
+        .env("FDIAM_TIMEOUT_SECS", "0")
+        .output()
+        .unwrap();
+    expect_clean_failure(&out, "FDIAM_TIMEOUT_SECS=0");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("timed out"),
+        "{out:?}"
+    );
+
+    // Garbage env value is a hard error, not silently unbounded.
+    let out = fdiam()
+        .args(["diameter", "--serial"])
+        .arg(&graph)
+        .env("FDIAM_TIMEOUT_SECS", "soon")
+        .output()
+        .unwrap();
+    expect_clean_failure(&out, "FDIAM_TIMEOUT_SECS=soon");
+
+    // Empty means unset; a generous explicit flag completes.
+    let out = fdiam()
+        .args(["diameter", "--serial", "--timeout", "600"])
+        .arg(&graph)
+        .env("FDIAM_TIMEOUT_SECS", "")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("diameter : 118"),
+        "{out:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

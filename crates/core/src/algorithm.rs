@@ -40,14 +40,30 @@ use crate::state::{EccState, Stage};
 use crate::stats::FdiamStats;
 use crate::winnow::WinnowRegion;
 use fdiam_bfs::{
-    bfs_eccentricity_hybrid_observed, bfs_eccentricity_serial_hybrid_observed, BfsScratch,
-    BfsSummary,
+    bfs_eccentricity_hybrid_cancellable, bfs_eccentricity_hybrid_observed,
+    bfs_eccentricity_serial_hybrid_cancellable, bfs_eccentricity_serial_hybrid_observed,
+    BfsScratch, BfsSummary,
 };
 use fdiam_graph::{CsrGraph, VertexId};
-use fdiam_obs::{noop, Event, Observer, Phase, PhaseSpan, Tee};
+use fdiam_obs::{noop, CancelToken, Event, Observer, Phase, PhaseSpan, Tee};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// A run stopped cooperatively before producing a result — its
+/// [`CancelToken`] was cancelled or its deadline expired. The
+/// underlying BFS kernels observe the token at every level barrier, so
+/// the computation stops within one BFS level of the request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("run cancelled before completion")
+    }
+}
+
+impl std::error::Error for Cancelled {}
 
 /// A diameter result together with the run's statistics.
 #[derive(Clone, Debug)]
@@ -75,15 +91,37 @@ pub fn run_with_observer(
     config: &FdiamConfig,
     observer: &dyn Observer,
 ) -> FdiamOutcome {
-    let collector = StatsCollector::default();
-    let tee = Tee(&collector, observer);
-    let t_total = Instant::now();
-    emit_run_start(&tee, g, config);
-    let Some(mut driver) = Driver::prelude(g, config, &tee) else {
-        return empty_outcome(t_total, &tee);
-    };
-    driver.main_loop();
-    driver.finish(t_total, &collector)
+    run_driver(g, config, observer, None, None, None).expect("no cancel token")
+}
+
+/// [`run_with_observer`] polling `cancel` at every BFS level barrier
+/// and between stages. Returns [`Cancelled`] once cancellation (or
+/// deadline expiry) is observed; a request whose deadline has already
+/// passed stops before the first traversal.
+pub fn run_cancellable(
+    g: &CsrGraph,
+    config: &FdiamConfig,
+    observer: &dyn Observer,
+    cancel: &CancelToken,
+) -> Result<FdiamOutcome, Cancelled> {
+    run_driver(g, config, observer, Some(cancel), None, None)
+}
+
+/// [`run_cancellable`] borrowing a caller-owned [`BfsScratch`] arena
+/// instead of allocating one per run. A long-lived worker (the serving
+/// layer's thread pool) keeps one arena per thread: consecutive jobs on
+/// the same graph — the common case behind a graph cache — run with
+/// zero per-request scratch allocation. The arena is
+/// [resized](BfsScratch::ensure) automatically when the graph size
+/// changes.
+pub fn run_cancellable_with_scratch(
+    g: &CsrGraph,
+    config: &FdiamConfig,
+    observer: &dyn Observer,
+    cancel: &CancelToken,
+    scratch: &mut BfsScratch,
+) -> Result<FdiamOutcome, Cancelled> {
+    run_driver(g, config, observer, Some(cancel), None, Some(scratch))
 }
 
 /// Runs F-Diam computing up to `batch` eccentricities concurrently in
@@ -105,16 +143,111 @@ pub fn run_concurrent_with_observer(
     batch: usize,
     observer: &dyn Observer,
 ) -> FdiamOutcome {
-    assert!(batch >= 1);
+    run_driver(g, config, observer, None, Some(batch), None).expect("no cancel token")
+}
+
+/// [`run_concurrent_with_observer`] polling `cancel` — the concurrent
+/// analogue of [`run_cancellable`]. Every batch-mate's BFS observes the
+/// token at its own level barriers, so the whole batch stops within one
+/// BFS level.
+pub fn run_concurrent_cancellable(
+    g: &CsrGraph,
+    config: &FdiamConfig,
+    batch: usize,
+    observer: &dyn Observer,
+    cancel: &CancelToken,
+) -> Result<FdiamOutcome, Cancelled> {
+    run_driver(g, config, observer, Some(cancel), Some(batch), None)
+}
+
+/// [`run_concurrent`] under a wall-clock budget.
+///
+/// The run executes on a *scoped* worker thread while the caller waits
+/// on a channel with `timeout`. On expiry the shared [`CancelToken`]
+/// (whose deadline is also armed to `timeout`, so the worker
+/// self-observes even if the caller is descheduled) is cancelled and
+/// the worker is **joined** — it stops within one BFS level and this
+/// function returns [`Cancelled`]. No detached thread ever keeps
+/// computing after the timeout fires.
+pub fn run_concurrent_with_timeout(
+    g: &CsrGraph,
+    config: &FdiamConfig,
+    batch: usize,
+    timeout: Duration,
+) -> Result<FdiamOutcome, Cancelled> {
+    run_concurrent_with_timeout_observed(g, config, batch, timeout, noop())
+}
+
+/// [`run_concurrent_with_timeout`] with an external [`Observer`]
+/// attached to the worker's run.
+pub fn run_concurrent_with_timeout_observed(
+    g: &CsrGraph,
+    config: &FdiamConfig,
+    batch: usize,
+    timeout: Duration,
+    observer: &dyn Observer,
+) -> Result<FdiamOutcome, Cancelled> {
+    let token = CancelToken::with_deadline(timeout);
+    std::thread::scope(|s| {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let worker_token = token.clone();
+        s.spawn(move || {
+            let _ = tx.send(run_concurrent_cancellable(
+                g,
+                config,
+                batch,
+                observer,
+                &worker_token,
+            ));
+        });
+        match rx.recv_timeout(timeout) {
+            Ok(res) => res,
+            Err(_) => {
+                token.cancel();
+                // The scope joins the worker either way; recv() returns
+                // its Err(Cancelled) once the current level drains.
+                rx.recv().unwrap_or(Err(Cancelled))
+            }
+        }
+    })
+}
+
+/// Shared entry behind every public `run*` variant: optional
+/// cancellation, optional concurrent main loop.
+fn run_driver(
+    g: &CsrGraph,
+    config: &FdiamConfig,
+    observer: &dyn Observer,
+    cancel: Option<&CancelToken>,
+    batch: Option<usize>,
+    scratch: Option<&mut BfsScratch>,
+) -> Result<FdiamOutcome, Cancelled> {
+    if let Some(b) = batch {
+        assert!(b >= 1);
+    }
+    let mut owned_scratch;
+    let scratch = match scratch {
+        Some(s) => {
+            s.ensure(g.num_vertices());
+            s
+        }
+        None => {
+            owned_scratch = BfsScratch::new(g.num_vertices());
+            &mut owned_scratch
+        }
+    };
     let collector = StatsCollector::default();
     let tee = Tee(&collector, observer);
     let t_total = Instant::now();
     emit_run_start(&tee, g, config);
-    let Some(mut driver) = Driver::prelude(g, config, &tee) else {
-        return empty_outcome(t_total, &tee);
+    let Some(mut driver) = Driver::prelude(g, config, &tee, cancel, scratch)? else {
+        return Ok(empty_outcome(t_total, &tee));
     };
-    driver.main_loop_concurrent(batch);
-    driver.finish(t_total, &collector)
+    match batch {
+        None => driver.main_loop()?,
+        Some(b) => driver.main_loop_concurrent(b)?,
+    }
+    Ok(driver.finish(t_total, &collector))
 }
 
 fn emit_run_start(obs: &dyn Observer, g: &CsrGraph, config: &FdiamConfig) {
@@ -134,8 +267,9 @@ struct Driver<'a> {
     g: &'a CsrGraph,
     config: &'a FdiamConfig,
     obs: &'a dyn Observer,
+    cancel: Option<&'a CancelToken>,
     state: EccState,
-    scratch: BfsScratch,
+    scratch: &'a mut BfsScratch,
     /// Reused seed buffer for the §4.5 Eliminate extension scan.
     seeds: Vec<VertexId>,
     winnow: WinnowRegion,
@@ -147,14 +281,25 @@ struct Driver<'a> {
 
 impl<'a> Driver<'a> {
     /// Stages 0–3: degree-0 removal, 2-sweep, Winnow, Chain Processing.
-    /// Returns `None` for the empty graph.
-    fn prelude(g: &'a CsrGraph, config: &'a FdiamConfig, obs: &'a dyn Observer) -> Option<Self> {
+    /// Returns `Ok(None)` for the empty graph and [`Cancelled`] if the
+    /// token fires during (or before) the 2-sweep.
+    fn prelude(
+        g: &'a CsrGraph,
+        config: &'a FdiamConfig,
+        obs: &'a dyn Observer,
+        cancel: Option<&'a CancelToken>,
+        scratch: &'a mut BfsScratch,
+    ) -> Result<Option<Self>, Cancelled> {
         let n = g.num_vertices();
         if n == 0 {
-            return None;
+            return Ok(None);
+        }
+        // An already-expired deadline stops before any work: not even
+        // the degree-0 sweep runs.
+        if cancel.is_some_and(|t| t.is_cancelled()) {
+            return Err(Cancelled);
         }
         let state = EccState::new(n);
-        let mut scratch = BfsScratch::new(n);
 
         // Stage 0: degree-0 vertices need no computation (ecc = 0).
         for v in g.vertices() {
@@ -177,7 +322,7 @@ impl<'a> Driver<'a> {
         let mut diametral_pair = (u, u);
         if state.is_active(u) {
             let _sweep = PhaseSpan::enter(obs, Phase::TwoSweep);
-            let r1 = ecc_bfs(g, u, &mut scratch, config, obs);
+            let r1 = ecc_bfs(g, u, &mut *scratch, config, obs, cancel).ok_or(Cancelled)?;
             state.record(u, r1.eccentricity, Stage::Computed);
             connected = r1.visited == n;
             bound = r1.eccentricity;
@@ -191,7 +336,7 @@ impl<'a> Driver<'a> {
                 });
             }
             if state.is_active(w) {
-                let r2 = ecc_bfs(g, w, &mut scratch, config, obs);
+                let r2 = ecc_bfs(g, w, &mut *scratch, config, obs, cancel).ok_or(Cancelled)?;
                 state.record(w, r2.eccentricity, Stage::Computed);
                 if r2.eccentricity > bound {
                     obs.event(&Event::BoundUpdate {
@@ -217,7 +362,7 @@ impl<'a> Driver<'a> {
         // Stage 3: Chain Processing (§4.3).
         if config.use_chain {
             let _span = PhaseSpan::enter(obs, Phase::Chain);
-            let count = chain_processing(g, &state, &mut scratch);
+            let count = chain_processing(g, &state, &mut *scratch);
             obs.event(&Event::ChainsProcessed { count });
         }
 
@@ -231,10 +376,11 @@ impl<'a> Driver<'a> {
             }
         };
 
-        Some(Self {
+        Ok(Some(Self {
             g,
             config,
             obs,
+            cancel,
             state,
             scratch,
             seeds: Vec::new(),
@@ -243,17 +389,25 @@ impl<'a> Driver<'a> {
             connected,
             order,
             diametral_pair,
-        })
+        }))
     }
 
     /// Stage 4, as published: one eccentricity BFS at a time.
-    fn main_loop(&mut self) {
+    fn main_loop(&mut self) -> Result<(), Cancelled> {
         let order = std::mem::take(&mut self.order);
         for &v in &order {
             if !self.state.is_active(v) {
                 continue;
             }
-            let r = ecc_bfs(self.g, v, &mut self.scratch, self.config, self.obs);
+            let r = ecc_bfs(
+                self.g,
+                v,
+                &mut *self.scratch,
+                self.config,
+                self.obs,
+                self.cancel,
+            )
+            .ok_or(Cancelled)?;
             self.state.record(v, r.eccentricity, Stage::Computed);
             if r.eccentricity > self.bound {
                 self.diametral_pair = (v, r.farthest);
@@ -264,6 +418,7 @@ impl<'a> Driver<'a> {
                 bound: self.bound,
             });
         }
+        Ok(())
     }
 
     /// Stage 4, the rejected alternative: compute up to `batch`
@@ -271,7 +426,7 @@ impl<'a> Driver<'a> {
     /// sequentially. Batch-mates that a fresh Eliminate would have
     /// removed have already burned a full BFS — the redundant work the
     /// paper observed.
-    fn main_loop_concurrent(&mut self, batch: usize) {
+    fn main_loop_concurrent(&mut self, batch: usize) -> Result<(), Cancelled> {
         use rayon::prelude::*;
         let order = std::mem::take(&mut self.order);
         let mut cursor = 0usize;
@@ -288,19 +443,23 @@ impl<'a> Driver<'a> {
             if todo.is_empty() {
                 continue;
             }
-            let results: Vec<(VertexId, u32, VertexId)> = {
+            let results: Vec<Option<(VertexId, u32, VertexId)>> = {
                 // One span around the whole batch: the stage timing
                 // stays wall-clock (not summed across workers), exactly
                 // as the pre-observer driver measured it.
                 let _span = PhaseSpan::enter(self.obs, Phase::EccBfs);
                 todo.par_iter()
                     .map(|&v| {
-                        let (e, far) = local_bfs_eccentricity(self.g, v, self.obs);
-                        (v, e, far)
+                        let (e, far) = local_bfs_eccentricity(self.g, v, self.obs, self.cancel)?;
+                        Some((v, e, far))
                     })
                     .collect()
             };
-            for (v, e, far) in results {
+            // A cancelled batch-mate poisons the whole batch: completed
+            // results from the same batch are discarded rather than
+            // folded into a state we are abandoning anyway.
+            for r in results {
+                let (v, e, far) = r.ok_or(Cancelled)?;
                 self.state.record(v, e, Stage::Computed);
                 if e > self.bound {
                     self.diametral_pair = (v, far);
@@ -312,6 +471,7 @@ impl<'a> Driver<'a> {
                 bound: self.bound,
             });
         }
+        Ok(())
     }
 
     /// Bound bookkeeping after `ecc(v) = e` (Algorithm 1 lines 13–21).
@@ -336,7 +496,7 @@ impl<'a> Driver<'a> {
                 let removed = extend_eliminated(
                     self.g,
                     &self.state,
-                    &mut self.scratch,
+                    &mut *self.scratch,
                     &mut self.seeds,
                     old,
                     self.bound,
@@ -351,7 +511,7 @@ impl<'a> Driver<'a> {
             let removed = eliminate(
                 self.g,
                 &self.state,
-                &mut self.scratch,
+                &mut *self.scratch,
                 v,
                 e,
                 self.bound,
@@ -386,23 +546,46 @@ fn ecc_bfs(
     scratch: &mut BfsScratch,
     config: &FdiamConfig,
     obs: &dyn Observer,
-) -> BfsSummary {
+    cancel: Option<&CancelToken>,
+) -> Option<BfsSummary> {
     let _span = PhaseSpan::enter(obs, Phase::EccBfs);
-    if config.parallel {
-        bfs_eccentricity_hybrid_observed(g, v, scratch, &config.bfs, obs)
-    } else {
+    match (config.parallel, cancel) {
+        (true, None) => Some(bfs_eccentricity_hybrid_observed(
+            g,
+            v,
+            scratch,
+            &config.bfs,
+            obs,
+        )),
+        (true, Some(t)) => bfs_eccentricity_hybrid_cancellable(g, v, scratch, &config.bfs, obs, t),
         // The paper's serial code is also direction-optimized (§7) —
         // the top-down/bottom-up switch is orthogonal to parallelism.
-        bfs_eccentricity_serial_hybrid_observed(g, v, scratch, &config.bfs, obs)
+        (false, None) => Some(bfs_eccentricity_serial_hybrid_observed(
+            g,
+            v,
+            scratch,
+            &config.bfs,
+            obs,
+        )),
+        (false, Some(t)) => {
+            bfs_eccentricity_serial_hybrid_cancellable(g, v, scratch, &config.bfs, obs, t)
+        }
     }
 }
 
 /// Self-contained sequential eccentricity BFS with private visited
 /// storage — used by the concurrent main loop, where tasks cannot share
 /// the epoch-based [`VisitMarks`]. Returns the eccentricity and one
-/// farthest vertex. Emits the same BFS lifecycle (and detail, when
-/// requested) events as the shared-marks kernels.
-fn local_bfs_eccentricity(g: &CsrGraph, source: VertexId, obs: &dyn Observer) -> (u32, VertexId) {
+/// farthest vertex, or `None` once `cancel` is observed (polled once
+/// per level, like the scratch kernels; an aborted traversal emits no
+/// `BfsEnd`). Emits the same BFS lifecycle (and detail, when requested)
+/// events as the shared-marks kernels.
+fn local_bfs_eccentricity(
+    g: &CsrGraph,
+    source: VertexId,
+    obs: &dyn Observer,
+    cancel: Option<&CancelToken>,
+) -> Option<(u32, VertexId)> {
     if obs.enabled() {
         obs.event(&Event::BfsStart { source });
     }
@@ -414,6 +597,9 @@ fn local_bfs_eccentricity(g: &CsrGraph, source: VertexId, obs: &dyn Observer) ->
     let mut next = Vec::new();
     let mut level = 0u32;
     loop {
+        if cancel.is_some_and(|t| t.is_cancelled()) {
+            return None;
+        }
         next.clear();
         let mut edges_scanned = 0u64;
         for &v in &frontier {
@@ -443,7 +629,7 @@ fn local_bfs_eccentricity(g: &CsrGraph, source: VertexId, obs: &dyn Observer) ->
             }
             // Min-id farthest vertex, matching the deterministic
             // choice of the scratch kernels' `BfsSummary::farthest`.
-            return (level, *frontier.iter().min().expect("frontier non-empty"));
+            return Some((level, *frontier.iter().min().expect("frontier non-empty")));
         }
         visited += next.len();
         level += 1;
@@ -656,6 +842,114 @@ mod tests {
             );
         }
         assert_eq!(conc.count("bfs_end"), b.stats.ecc_computations);
+    }
+
+    #[test]
+    fn cancellable_with_live_token_matches_plain_run() {
+        let g = barabasi_albert(250, 3, 8);
+        let token = CancelToken::new();
+        for cfg in [FdiamConfig::serial(), FdiamConfig::parallel()] {
+            let a = run(&g, &cfg);
+            let b = run_cancellable(&g, &cfg, noop(), &token).expect("live token never cancels");
+            assert_eq!(a.result, b.result);
+            assert_eq!(a.stats.ecc_computations, b.stats.ecc_computations);
+            assert_eq!(a.stats.removed, b.stats.removed);
+        }
+        let c = run_concurrent(&g, &FdiamConfig::serial(), 8);
+        let d = run_concurrent_cancellable(&g, &FdiamConfig::serial(), 8, noop(), &token)
+            .expect("live token never cancels");
+        assert_eq!(c.result, d.result);
+    }
+
+    #[test]
+    fn pooled_scratch_matches_plain_run_and_resizes_across_graphs() {
+        let token = CancelToken::new();
+        let mut scratch = BfsScratch::new(0);
+        for g in [grid2d(13, 17), barabasi_albert(300, 3, 5), grid2d(5, 5)] {
+            let cfg = FdiamConfig::serial();
+            let baseline = run(&g, &cfg);
+            for _ in 0..2 {
+                let out = run_cancellable_with_scratch(&g, &cfg, noop(), &token, &mut scratch)
+                    .expect("live token never cancels");
+                assert_eq!(out.result, baseline.result);
+            }
+            assert_eq!(scratch.len(), g.num_vertices());
+        }
+    }
+
+    #[test]
+    fn expired_deadline_stops_before_any_traversal() {
+        let g = grid2d(20, 20);
+        let token = CancelToken::with_deadline(Duration::ZERO);
+        let r = Recorder::new();
+        let out = run_cancellable(&g, &FdiamConfig::serial(), &r, &token);
+        assert_eq!(out.err(), Some(Cancelled));
+        // The run was admitted (run_start) but no traversal completed
+        // and no run_end claims success.
+        assert_eq!(r.count("run_start"), 1);
+        assert_eq!(r.count("bfs_end"), 0);
+        assert_eq!(r.count("run_end"), 0);
+    }
+
+    #[test]
+    fn mid_run_cancel_stops_the_main_loop() {
+        // Cancel from inside the event stream once a few eccentricities
+        // are in: the next level barrier must abort the run.
+        struct CancelAfter {
+            token: CancelToken,
+            after: usize,
+            ends: Mutex<usize>,
+        }
+        impl Observer for CancelAfter {
+            fn event(&self, e: &Event<'_>) {
+                if e.name() == "bfs_end" {
+                    let mut n = self.ends.lock().unwrap();
+                    *n += 1;
+                    if *n == self.after {
+                        self.token.cancel();
+                    }
+                }
+            }
+        }
+        let g = grid2d_torus(12, 12); // every ecc equal: many BFS runs
+        let obs = CancelAfter {
+            token: CancelToken::new(),
+            after: 3,
+            ends: Mutex::new(0),
+        };
+        let token = obs.token.clone();
+        let out = run_cancellable(&g, &FdiamConfig::serial(), &obs, &token);
+        assert_eq!(out.err(), Some(Cancelled));
+        let completed = *obs.ends.lock().unwrap();
+        assert_eq!(
+            completed, 3,
+            "the traversal in flight at cancel time must not complete"
+        );
+    }
+
+    #[test]
+    fn timeout_run_matches_unbounded_when_budget_is_generous() {
+        let g = barabasi_albert(200, 3, 1);
+        let a = run_concurrent(&g, &FdiamConfig::serial(), 4);
+        let b =
+            run_concurrent_with_timeout(&g, &FdiamConfig::serial(), 4, Duration::from_secs(600))
+                .expect("10-minute budget on a 200-vertex graph");
+        assert_eq!(a.result, b.result);
+    }
+
+    #[test]
+    fn timed_out_concurrent_worker_observes_cancellation() {
+        // Zero budget: recv_timeout fires immediately, the token is
+        // cancelled, and the *joined* worker reports Err(Cancelled)
+        // itself — run_start with no run_end proves the worker started
+        // and stopped early rather than being abandoned mid-flight.
+        let g = grid2d(40, 40);
+        let r = Recorder::new();
+        let out =
+            run_concurrent_with_timeout_observed(&g, &FdiamConfig::serial(), 8, Duration::ZERO, &r);
+        assert_eq!(out.err(), Some(Cancelled));
+        assert_eq!(r.count("run_start"), 1, "worker must have started");
+        assert_eq!(r.count("run_end"), 0, "worker must not run to completion");
     }
 
     #[test]

@@ -49,7 +49,9 @@ pub mod stats;
 pub mod winnow;
 
 pub use algorithm::{
-    run, run_concurrent, run_concurrent_with_observer, run_with_observer, FdiamOutcome,
+    run, run_cancellable, run_cancellable_with_scratch, run_concurrent, run_concurrent_cancellable,
+    run_concurrent_with_observer, run_concurrent_with_timeout,
+    run_concurrent_with_timeout_observed, run_with_observer, Cancelled, FdiamOutcome,
 };
 pub use config::FdiamConfig;
 pub use observe::StatsCollector;

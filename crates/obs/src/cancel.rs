@@ -1,0 +1,186 @@
+//! Cooperative cancellation: a shared atomic flag + deadline.
+//!
+//! A [`CancelToken`] is the one cancellation primitive of the whole
+//! stack. It is cloned freely (clones share state), armed with an
+//! optional deadline, and *polled* — never signalled preemptively — at
+//! natural safepoints: the BFS kernels check it once per level, the
+//! F-Diam driver between stages, the serving layer between queued
+//! requests. Checking is two relaxed atomic loads plus (only while a
+//! deadline is armed and not yet known-expired) one monotonic clock
+//! read, cheap enough for per-level granularity but deliberately not
+//! per-vertex.
+//!
+//! Once observed as cancelled a token stays cancelled: deadline expiry
+//! latches the flag so later checks are pure atomic loads.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// `deadline_nanos` value meaning "no deadline armed".
+const NO_DEADLINE: u64 = u64::MAX;
+
+#[derive(Debug)]
+struct Inner {
+    /// Latched cancellation flag (explicit [`CancelToken::cancel`] or a
+    /// deadline observed as expired).
+    cancelled: AtomicBool,
+    /// Deadline as nanoseconds since `anchor`; [`NO_DEADLINE`] = none.
+    deadline_nanos: AtomicU64,
+    /// Monotonic time origin for `deadline_nanos`.
+    anchor: Instant,
+}
+
+/// A cloneable handle to shared cancellation state.
+///
+/// ```
+/// use fdiam_obs::CancelToken;
+/// use std::time::Duration;
+///
+/// let t = CancelToken::new();
+/// assert!(!t.is_cancelled());
+/// let worker = t.clone();
+/// t.cancel();
+/// assert!(worker.is_cancelled());
+///
+/// let t = CancelToken::with_deadline(Duration::ZERO);
+/// assert!(t.is_cancelled(), "already-expired deadline");
+/// ```
+#[derive(Clone, Debug)]
+pub struct CancelToken(Arc<Inner>);
+
+impl CancelToken {
+    /// A token with no deadline; cancels only via [`Self::cancel`].
+    pub fn new() -> Self {
+        CancelToken(Arc::new(Inner {
+            cancelled: AtomicBool::new(false),
+            deadline_nanos: AtomicU64::new(NO_DEADLINE),
+            anchor: Instant::now(),
+        }))
+    }
+
+    /// A token that cancels itself `budget` from now.
+    pub fn with_deadline(budget: Duration) -> Self {
+        let t = Self::new();
+        t.set_deadline(budget);
+        t
+    }
+
+    /// Arms (or re-arms) the deadline to `budget` from now. A token
+    /// whose deadline already fired stays cancelled.
+    pub fn set_deadline(&self, budget: Duration) {
+        let nanos = self
+            .0
+            .anchor
+            .elapsed()
+            .saturating_add(budget)
+            .as_nanos()
+            .min(NO_DEADLINE as u128 - 1) as u64;
+        self.0.deadline_nanos.store(nanos, Ordering::Relaxed);
+    }
+
+    /// Requests cancellation. Idempotent; all clones observe it.
+    pub fn cancel(&self) {
+        self.0.cancelled.store(true, Ordering::Release);
+    }
+
+    /// True once cancellation was requested or the deadline passed.
+    /// This is the safepoint check; expiry latches the flag.
+    pub fn is_cancelled(&self) -> bool {
+        if self.0.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        let deadline = self.0.deadline_nanos.load(Ordering::Relaxed);
+        if deadline != NO_DEADLINE && self.0.anchor.elapsed().as_nanos() as u64 >= deadline {
+            self.cancel();
+            return true;
+        }
+        false
+    }
+
+    /// Time left until the armed deadline; `None` when no deadline is
+    /// armed, `Some(ZERO)` once expired or cancelled.
+    pub fn remaining(&self) -> Option<Duration> {
+        let deadline = self.0.deadline_nanos.load(Ordering::Relaxed);
+        if deadline == NO_DEADLINE {
+            return if self.0.cancelled.load(Ordering::Acquire) {
+                Some(Duration::ZERO)
+            } else {
+                None
+            };
+        }
+        if self.0.cancelled.load(Ordering::Acquire) {
+            return Some(Duration::ZERO);
+        }
+        Some(Duration::from_nanos(deadline).saturating_sub(self.0.anchor.elapsed()))
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.remaining(), None);
+    }
+
+    #[test]
+    fn explicit_cancel_is_shared_and_latched() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        clone.cancel();
+        assert!(t.is_cancelled());
+        assert!(clone.is_cancelled());
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn zero_deadline_is_born_expired() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn future_deadline_counts_down() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        let left = t.remaining().unwrap();
+        assert!(left > Duration::from_secs(3500) && left <= Duration::from_secs(3600));
+    }
+
+    #[test]
+    fn short_deadline_expires() {
+        let t = CancelToken::with_deadline(Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(t.is_cancelled());
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn expiry_observed_across_clones() {
+        let t = CancelToken::with_deadline(Duration::from_millis(1));
+        let clone = t.clone();
+        std::thread::sleep(Duration::from_millis(10));
+        // The clone's check latches the shared flag...
+        assert!(clone.is_cancelled());
+        // ...which the original sees without re-reading the clock.
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn rearming_extends_a_live_deadline() {
+        let t = CancelToken::with_deadline(Duration::from_millis(1));
+        t.set_deadline(Duration::from_secs(3600));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(!t.is_cancelled());
+    }
+}

@@ -30,10 +30,15 @@
 //! * [`json`] — a minimal dependency-free JSON encoder/parser used by
 //!   the trace sink, the bench run records, and the tests that validate
 //!   them.
+//! * [`CancelToken`] — cooperative cancellation (shared atomic
+//!   flag + deadline) polled by the BFS kernels once per level and by
+//!   the F-Diam driver between stages; the serving layer and the CLI
+//!   timeout are built on it.
 //!
 //! The crate is deliberately std-only: it sits below every other
 //! F-Diam crate in the dependency graph.
 
+pub mod cancel;
 pub mod event;
 pub mod json;
 pub mod jsonl;
@@ -41,6 +46,7 @@ pub mod metrics;
 pub mod observer;
 pub mod progress;
 
+pub use cancel::CancelToken;
 pub use event::{Event, Phase};
 pub use jsonl::JsonlTraceSink;
 pub use metrics::{Counter, DurationHistogram, MetricsObserver, MetricsRegistry};

@@ -1,0 +1,181 @@
+//! Bytes-bounded LRU registry of loaded graphs.
+//!
+//! Requests address graphs by an opaque string key (a file path or a
+//! generator spec); loading — disk I/O or generation — is the
+//! expensive step the cache amortizes. The budget is expressed in
+//! bytes of resident CSR storage ([`CsrGraph::memory_bytes`]), not
+//! entry counts, because graph sizes span five orders of magnitude.
+//!
+//! Locking: the mutex guards only map bookkeeping. Loads run *outside*
+//! the lock, so a slow disk read never blocks other workers' cache
+//! hits; two workers racing on the same cold key may both load it, and
+//! the loser's copy is dropped (last insert wins). That waste is
+//! bounded by the worker count and avoids holding a lock across I/O.
+
+use fdiam_graph::CsrGraph;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+struct Entry {
+    graph: Arc<CsrGraph>,
+    bytes: usize,
+}
+
+struct Inner {
+    entries: HashMap<String, Entry>,
+    /// Keys ordered least- → most-recently used.
+    order: Vec<String>,
+    total_bytes: usize,
+}
+
+pub struct GraphCache {
+    budget_bytes: usize,
+    inner: Mutex<Inner>,
+}
+
+/// Whether a lookup was served from the cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    Hit,
+    Miss,
+}
+
+impl CacheOutcome {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+        }
+    }
+}
+
+impl GraphCache {
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            budget_bytes,
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                order: Vec::new(),
+                total_bytes: 0,
+            }),
+        }
+    }
+
+    /// Returns the graph for `key`, invoking `load` on a miss. The most
+    /// recently inserted entry is never evicted, so a single graph
+    /// larger than the whole budget is still served (and pushed out by
+    /// the next insert).
+    pub fn get_or_load(
+        &self,
+        key: &str,
+        load: impl FnOnce() -> Result<CsrGraph, String>,
+    ) -> Result<(Arc<CsrGraph>, CacheOutcome), String> {
+        {
+            let mut inner = self.inner.lock().unwrap();
+            if let Some(e) = inner.entries.get(key) {
+                let g = Arc::clone(&e.graph);
+                touch(&mut inner.order, key);
+                return Ok((g, CacheOutcome::Hit));
+            }
+        }
+
+        let graph = Arc::new(load()?);
+        let bytes = graph.memory_bytes();
+
+        let mut inner = self.inner.lock().unwrap();
+        // A racing worker may have inserted meanwhile; keep its copy.
+        if let Some(e) = inner.entries.get(key) {
+            let g = Arc::clone(&e.graph);
+            touch(&mut inner.order, key);
+            return Ok((g, CacheOutcome::Miss));
+        }
+        inner.entries.insert(
+            key.to_string(),
+            Entry {
+                graph: Arc::clone(&graph),
+                bytes,
+            },
+        );
+        inner.order.push(key.to_string());
+        inner.total_bytes += bytes;
+        while inner.total_bytes > self.budget_bytes && inner.order.len() > 1 {
+            let victim = inner.order.remove(0);
+            let e = inner.entries.remove(&victim).expect("order/map in sync");
+            inner.total_bytes -= e.bytes;
+        }
+        Ok((graph, CacheOutcome::Miss))
+    }
+
+    /// Resident keys, least- → most-recently used.
+    pub fn keys_lru_order(&self) -> Vec<String> {
+        self.inner.lock().unwrap().order.clone()
+    }
+
+    /// Bytes currently resident.
+    pub fn resident_bytes(&self) -> usize {
+        self.inner.lock().unwrap().total_bytes
+    }
+}
+
+fn touch(order: &mut Vec<String>, key: &str) {
+    if let Some(pos) = order.iter().position(|k| k == key) {
+        let k = order.remove(pos);
+        order.push(k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdiam_graph::generators::grid2d;
+
+    fn sized_graph() -> CsrGraph {
+        grid2d(10, 10)
+    }
+
+    #[test]
+    fn hit_after_miss_and_lru_eviction_order() {
+        let one = sized_graph().memory_bytes();
+        // Room for two graphs, not three.
+        let cache = GraphCache::new(2 * one + one / 2);
+        let load = || Ok(sized_graph());
+
+        assert_eq!(cache.get_or_load("a", load).unwrap().1, CacheOutcome::Miss);
+        assert_eq!(cache.get_or_load("a", load).unwrap().1, CacheOutcome::Hit);
+        assert_eq!(cache.get_or_load("b", load).unwrap().1, CacheOutcome::Miss);
+        // Touch "a" so "b" is the LRU entry when "c" forces eviction.
+        assert_eq!(cache.get_or_load("a", load).unwrap().1, CacheOutcome::Hit);
+        assert_eq!(cache.get_or_load("c", load).unwrap().1, CacheOutcome::Miss);
+        assert_eq!(cache.keys_lru_order(), vec!["a", "c"]);
+        assert_eq!(cache.get_or_load("b", load).unwrap().1, CacheOutcome::Miss);
+        // "b"'s insert evicted the then-LRU "a".
+        assert_eq!(cache.keys_lru_order(), vec!["c", "b"]);
+        assert!(cache.resident_bytes() <= 2 * one + one / 2);
+    }
+
+    #[test]
+    fn single_oversized_graph_is_still_served() {
+        let cache = GraphCache::new(1); // budget smaller than any graph
+        let (g, outcome) = cache.get_or_load("big", || Ok(sized_graph())).unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        assert_eq!(g.num_vertices(), 100);
+        // It stays resident (never evict the newest entry) until the
+        // next insert pushes it out.
+        assert_eq!(cache.keys_lru_order(), vec!["big"]);
+        cache.get_or_load("next", || Ok(sized_graph())).unwrap();
+        assert_eq!(cache.keys_lru_order(), vec!["next"]);
+    }
+
+    #[test]
+    fn load_errors_are_propagated_and_not_cached() {
+        let cache = GraphCache::new(1 << 20);
+        let err = cache
+            .get_or_load("bad", || Err("no such file".to_string()))
+            .unwrap_err();
+        assert_eq!(err, "no such file");
+        assert!(cache.keys_lru_order().is_empty());
+        // A later successful load under the same key works.
+        cache.get_or_load("bad", || Ok(sized_graph())).unwrap();
+        assert_eq!(cache.keys_lru_order(), vec!["bad"]);
+    }
+}

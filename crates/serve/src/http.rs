@@ -1,0 +1,214 @@
+//! A deliberately small HTTP/1.1 subset over [`std::net::TcpStream`]:
+//! just enough to read one request and write one `Connection: close`
+//! response. No keep-alive, no chunked encoding, no TLS — the service
+//! fronts a trusted network segment (or a reverse proxy that speaks
+//! the rest of the protocol), matching the repo's dependency-free
+//! precedent set by `fdiam-obs`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// One parsed request: the head plus a fully buffered body.
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    /// Header names lower-cased; values trimmed.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be served.
+pub enum HttpError {
+    /// Syntactically broken head or body → 400.
+    Malformed(String),
+    /// Declared body larger than the configured cap → 413.
+    BodyTooLarge { limit: usize },
+    /// Transport error (peer vanished, read timeout): nothing to send.
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+            HttpError::BodyTooLarge { limit } => write!(f, "body exceeds {limit} bytes"),
+            HttpError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+/// Reads one request from `stream`. The caller keeps the stream for
+/// writing the response (reads go through an internal buffered clone).
+pub fn read_request(stream: &TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line has no path".into()))?
+        .to_string();
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported protocol version '{version}'"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("bad header line '{line}'")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        if headers.len() > 100 {
+            return Err(HttpError::Malformed("too many headers".into()));
+        }
+    }
+
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        None => 0,
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed(format!("bad content-length '{v}'")))?,
+    };
+    if content_length > max_body {
+        return Err(HttpError::BodyTooLarge { limit: max_body });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete `Connection: close` response. Errors are returned
+/// (not panicked) so a vanished client can't take a worker down.
+pub fn write_response(
+    mut stream: &TcpStream,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n",
+        reason(status),
+        body.len(),
+    );
+    for (k, v) in extra_headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn round_trip(raw: &[u8], max_body: usize) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(raw).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        read_request(&server_side, max_body)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = round_trip(
+            b"POST /v1/diameter HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd",
+            1024,
+        )
+        .unwrap_or_else(|_| panic!("parse failed"));
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/diameter");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn get_without_body() {
+        let req = round_trip(b"GET /healthz HTTP/1.0\r\n\r\n", 1024)
+            .unwrap_or_else(|_| panic!("parse failed"));
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_without_reading_it() {
+        match round_trip(
+            b"POST /v1/diameter HTTP/1.1\r\nContent-Length: 999999\r\n\r\n",
+            1024,
+        ) {
+            Err(HttpError::BodyTooLarge { limit: 1024 }) => {}
+            _ => panic!("expected BodyTooLarge"),
+        }
+    }
+
+    #[test]
+    fn malformed_heads_are_malformed_errors() {
+        for raw in [
+            &b"\r\n\r\n"[..],
+            b"POST\r\n\r\n",
+            b"POST / SPDY/9\r\n\r\n",
+            b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n",
+        ] {
+            match round_trip(raw, 1024) {
+                Err(HttpError::Malformed(_)) => {}
+                _ => panic!("expected Malformed for {:?}", String::from_utf8_lossy(raw)),
+            }
+        }
+    }
+}

@@ -1,0 +1,551 @@
+//! # fdiam-serve
+//!
+//! A dependency-free HTTP/1.1 JSON service answering diameter and
+//! eccentricity queries on demand — the paper's thesis (§1, §5) that
+//! exact diameters are now cheap enough to serve interactively, turned
+//! into a process. Built on `std::net` and the workspace crates only,
+//! matching the dependency-free precedent of `fdiam-obs`.
+//!
+//! ## Endpoints
+//!
+//! | method & path | body | answer |
+//! |---|---|---|
+//! | `POST /v1/diameter` | `{"spec": …}` or `{"path": …}` | exact diameter via F-Diam |
+//! | `POST /v1/eccentricities` | same | radius/diameter/all-ecc via Takes–Kosters |
+//! | `GET /healthz` | — | liveness + configuration |
+//! | `GET /metrics` | — | [`MetricsRegistry`] summary (text) |
+//!
+//! Optional body fields: `timeout_secs` (per-request deadline,
+//! overrides the server default), `serial` (run the sequential
+//! algorithm), `include_values` (eccentricities endpoint: return the
+//! full per-vertex array).
+//!
+//! ## Architecture
+//!
+//! One acceptor thread parses requests and answers `GET`s inline;
+//! compute jobs go through a **bounded admission queue** to a fixed
+//! pool of worker threads. A full queue sheds load immediately with
+//! `429` + `Retry-After` instead of building an invisible backlog.
+//! Each job carries a [`CancelToken`] armed with its deadline *at
+//! admission time* — queue wait counts against the budget. Workers
+//! check the token at dequeue (an already-expired job is answered
+//! `504` without touching the graph) and thread it into the compute
+//! kernels, which poll it at every BFS level barrier, so expiry stops
+//! the actual computation, not just the response. Loaded graphs live
+//! in a bytes-bounded LRU [`GraphCache`]; each worker keeps a pooled
+//! [`BfsScratch`] arena, so a cache hit computes with zero setup
+//! allocation. [`Server::shutdown`] stops accepting, then **drains**:
+//! queued and in-flight jobs complete and every thread is joined — the
+//! same no-detached-threads discipline as
+//! [`run_concurrent_with_timeout`](fdiam_core::run_concurrent_with_timeout).
+
+mod cache;
+mod http;
+
+pub use cache::{CacheOutcome, GraphCache};
+
+use fdiam_bfs::BfsScratch;
+use fdiam_core::FdiamConfig;
+use fdiam_graph::CsrGraph;
+use fdiam_obs::json::{self, JsonObject, JsonValue};
+use fdiam_obs::{CancelToken, MetricsObserver, MetricsRegistry};
+use http::{read_request, write_response, HttpError, Request};
+use std::fmt::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables for [`Server::bind`]. `Default` suits tests and small
+/// deployments; `fdiam-serve --help` documents the CLI mapping.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Compute worker threads (each owns a pooled scratch arena).
+    pub workers: usize,
+    /// Admission queue depth; beyond it requests get `429`.
+    pub queue_depth: usize,
+    /// Byte budget of the graph LRU cache.
+    pub cache_bytes: usize,
+    /// Deadline applied when a request doesn't carry `timeout_secs`.
+    pub default_timeout: Option<Duration>,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// Honor the `sleep_ms` test hook (integration tests use it to
+    /// hold a worker busy deterministically). Off in production.
+    pub allow_test_hooks: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_depth: 16,
+            cache_bytes: 256 << 20,
+            default_timeout: None,
+            max_body_bytes: 1 << 20,
+            allow_test_hooks: false,
+        }
+    }
+}
+
+/// Which compute endpoint a job came through.
+#[derive(Clone, Copy)]
+enum Endpoint {
+    Diameter,
+    Eccentricities,
+}
+
+/// A parsed, admitted compute request.
+struct Job {
+    stream: TcpStream,
+    endpoint: Endpoint,
+    /// Cache key: the `spec:`/`path:`-prefixed graph reference.
+    graph_key: String,
+    serial: bool,
+    include_values: bool,
+    sleep_ms: u64,
+    token: CancelToken,
+}
+
+struct Shared {
+    config: ServeConfig,
+    metrics: Arc<MetricsRegistry>,
+    cache: GraphCache,
+    shutting_down: AtomicBool,
+    started: Instant,
+}
+
+/// A running service. Dropping it without calling [`shutdown`]
+/// (`Server::shutdown`) aborts the process-exit path only; tests and
+/// embedders should shut down explicitly to get the drain guarantee.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// spawns the acceptor and worker threads.
+    pub fn bind(addr: &str, config: ServeConfig) -> std::io::Result<Server> {
+        assert!(config.workers >= 1, "need at least one worker");
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            metrics: Arc::new(MetricsRegistry::new()),
+            cache: GraphCache::new(config.cache_bytes),
+            shutting_down: AtomicBool::new(false),
+            started: Instant::now(),
+            config,
+        });
+
+        let (tx, rx) = mpsc::sync_channel::<Job>(shared.config.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..shared.config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("fdiam-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("fdiam-serve-acceptor".into())
+                .spawn(move || acceptor_loop(&listener, &shared, tx))
+                .expect("spawn acceptor")
+        };
+
+        Ok(Server {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The registry behind `GET /metrics`, for embedders.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.shared.metrics
+    }
+
+    /// Graceful shutdown: stop accepting, let queued and in-flight
+    /// jobs finish, join every thread. Returns once the last response
+    /// has been written.
+    pub fn shutdown(mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of `accept()` with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        // The acceptor dropped the job sender on exit; workers drain
+        // the queue and then see the channel disconnect.
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Blocks until the acceptor exits (it never does unless the
+    /// process is killed) — the run loop of the `fdiam-serve` binary.
+    pub fn serve_forever(mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Shared, tx: SyncSender<Job>) {
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // A stuck peer must not wedge the single acceptor forever.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        handle_connection(stream, shared, &tx);
+    }
+    // Dropping `tx` here lets workers drain the queue and exit.
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared, tx: &SyncSender<Job>) {
+    shared.metrics.counter("serve.requests").inc();
+    let req = match read_request(&stream, shared.config.max_body_bytes) {
+        Ok(r) => r,
+        Err(HttpError::Malformed(msg)) => return respond_error(&stream, shared, 400, &msg),
+        Err(HttpError::BodyTooLarge { limit }) => {
+            return respond_error(&stream, shared, 413, &format!("body exceeds {limit} bytes"))
+        }
+        Err(HttpError::Io(_)) => return, // peer vanished; nothing to say
+    };
+
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => respond_healthz(&stream, shared),
+        ("GET", "/metrics") => {
+            let text = shared.metrics.render_summary();
+            let _ = write_response(
+                &stream,
+                200,
+                &[],
+                "text/plain; charset=utf-8",
+                text.as_bytes(),
+            );
+        }
+        ("POST", "/v1/diameter") => admit(stream, shared, tx, &req, Endpoint::Diameter),
+        ("POST", "/v1/eccentricities") => admit(stream, shared, tx, &req, Endpoint::Eccentricities),
+        ("GET" | "POST", _) => respond_error(&stream, shared, 404, "no such endpoint"),
+        _ => respond_error(&stream, shared, 405, "method not allowed"),
+    }
+}
+
+/// Parses a compute request body and pushes it through the admission
+/// queue, shedding with `429` when full.
+fn admit(stream: TcpStream, shared: &Shared, tx: &SyncSender<Job>, req: &Request, ep: Endpoint) {
+    let job = match parse_job(stream, shared, req, ep) {
+        Ok(job) => job,
+        Err((stream, msg)) => return respond_error(&stream, shared, 400, &msg),
+    };
+    match tx.try_send(job) {
+        Ok(()) => {
+            shared.metrics.counter("serve.jobs_enqueued").inc();
+        }
+        Err(TrySendError::Full(job)) => {
+            shared.metrics.counter("serve.jobs_shed").inc();
+            let _ = write_response(
+                &job.stream,
+                429,
+                &[("retry-after", "1".to_string())],
+                "application/json",
+                JsonObject::new()
+                    .str("error", "admission queue full")
+                    .finish()
+                    .as_bytes(),
+            );
+        }
+        Err(TrySendError::Disconnected(job)) => {
+            respond_error(&job.stream, shared, 503, "server is shutting down")
+        }
+    }
+}
+
+fn parse_job(
+    stream: TcpStream,
+    shared: &Shared,
+    req: &Request,
+    endpoint: Endpoint,
+) -> Result<Job, (TcpStream, String)> {
+    if let Some(ct) = req.header("content-type") {
+        if !ct.to_ascii_lowercase().contains("json") {
+            return Err((stream, format!("unsupported content-type '{ct}'")));
+        }
+    }
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => return Err((stream, "body is not UTF-8".into())),
+    };
+    let v = match json::parse(body) {
+        Ok(v) => v,
+        Err(e) => return Err((stream, format!("bad JSON body: {e}"))),
+    };
+
+    let spec = v.get("spec").and_then(JsonValue::as_str);
+    let path = v.get("path").and_then(JsonValue::as_str);
+    let graph_key = match (spec, path) {
+        (Some(s), None) => format!("spec:{s}"),
+        (None, Some(p)) => format!("path:{p}"),
+        (Some(_), Some(_)) => {
+            return Err((stream, "give either \"spec\" or \"path\", not both".into()))
+        }
+        (None, None) => {
+            return Err((
+                stream,
+                "body needs a graph reference: {\"spec\": …} or {\"path\": …}".into(),
+            ))
+        }
+    };
+
+    let timeout = match v.get("timeout_secs") {
+        None => shared.config.default_timeout,
+        Some(t) => match t.as_f64() {
+            Some(secs) if secs.is_finite() && secs >= 0.0 => Some(Duration::from_secs_f64(secs)),
+            _ => return Err((stream, "timeout_secs must be a finite number ≥ 0".into())),
+        },
+    };
+    // The deadline is armed here, at admission: time spent waiting in
+    // the queue counts against the request's budget.
+    let token = match timeout {
+        Some(d) => CancelToken::with_deadline(d),
+        None => CancelToken::new(),
+    };
+
+    let sleep_ms = match v.get("sleep_ms").and_then(JsonValue::as_u64) {
+        Some(ms) if shared.config.allow_test_hooks => ms,
+        Some(_) => return Err((stream, "sleep_ms requires --test-hooks".into())),
+        None => 0,
+    };
+
+    Ok(Job {
+        stream,
+        endpoint,
+        graph_key,
+        serial: v
+            .get("serial")
+            .and_then(JsonValue::as_bool)
+            .unwrap_or(false),
+        include_values: v
+            .get("include_values")
+            .and_then(JsonValue::as_bool)
+            .unwrap_or(false),
+        sleep_ms,
+        token,
+    })
+}
+
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
+    // Pooled per-worker state: the BFS scratch arena survives across
+    // jobs (cache hits on the same graph recompute allocation-free)
+    // and one metrics observer feeds the shared registry.
+    let mut scratch = BfsScratch::new(0);
+    let observer = MetricsObserver::new(Arc::clone(&shared.metrics));
+    loop {
+        // Hold the receiver lock only for the pop, not the compute.
+        let job = match rx.lock().unwrap().recv() {
+            Ok(job) => job,
+            Err(_) => return, // acceptor gone and queue drained
+        };
+        shared.metrics.counter("serve.jobs_dequeued").inc();
+        let t0 = Instant::now();
+        serve_job(shared, job, &mut scratch, &observer);
+        shared
+            .metrics
+            .histogram("serve.job.duration")
+            .record(t0.elapsed());
+    }
+}
+
+fn serve_job(shared: &Shared, job: Job, scratch: &mut BfsScratch, observer: &MetricsObserver) {
+    // A deadline that expired while the job sat in the queue is
+    // answered without loading or computing anything.
+    if job.token.is_cancelled() {
+        return respond_deadline(shared, &job);
+    }
+
+    // Test hook: a cancellation-aware stall standing in for a long
+    // compute, so integration tests can hold a worker busy for a
+    // deterministic duration.
+    if job.sleep_ms > 0 {
+        let until = Instant::now() + Duration::from_millis(job.sleep_ms);
+        while Instant::now() < until {
+            if job.token.is_cancelled() {
+                return respond_deadline(shared, &job);
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    let load = || match job.graph_key.split_once(':') {
+        Some(("spec", s)) => fdiam_cli::generate_graph(s),
+        Some(("path", p)) => fdiam_cli::read_graph(p),
+        _ => unreachable!("keys are built in parse_job"),
+    };
+    let (graph, outcome) = match shared.cache.get_or_load(&job.graph_key, load) {
+        Ok(found) => found,
+        Err(e) => {
+            shared.metrics.counter("serve.responses_400").inc();
+            let _ = write_response(
+                &job.stream,
+                400,
+                &[],
+                "application/json",
+                JsonObject::new().str("error", &e).finish().as_bytes(),
+            );
+            return;
+        }
+    };
+    match outcome {
+        CacheOutcome::Hit => shared.metrics.counter("serve.cache_hits").inc(),
+        CacheOutcome::Miss => shared.metrics.counter("serve.cache_misses").inc(),
+    }
+
+    let t0 = Instant::now();
+    let body = match job.endpoint {
+        Endpoint::Diameter => compute_diameter(&graph, &job, scratch, observer),
+        Endpoint::Eccentricities => compute_eccentricities(&graph, &job),
+    };
+    match body {
+        Some(obj) => {
+            shared.metrics.counter("serve.responses_ok").inc();
+            let obj = obj
+                .str("cache", outcome.as_str())
+                .f64("elapsed_ms", t0.elapsed().as_secs_f64() * 1e3);
+            let _ = write_response(
+                &job.stream,
+                200,
+                &[],
+                "application/json",
+                obj.finish().as_bytes(),
+            );
+        }
+        None => respond_deadline(shared, &job),
+    }
+}
+
+/// Runs F-Diam under the job's token; `None` means the deadline fired.
+fn compute_diameter(
+    g: &CsrGraph,
+    job: &Job,
+    scratch: &mut BfsScratch,
+    observer: &MetricsObserver,
+) -> Option<JsonObject> {
+    let config = if job.serial {
+        FdiamConfig::serial()
+    } else {
+        FdiamConfig::parallel()
+    };
+    let out =
+        fdiam_core::run_cancellable_with_scratch(g, &config, observer, &job.token, scratch).ok()?;
+    let mut obj = JsonObject::new();
+    obj = match out.result.diameter() {
+        Some(d) => obj.u64("diameter", u64::from(d)),
+        None => obj.raw("diameter", "null"),
+    };
+    obj = obj
+        .u64(
+            "largest_cc_diameter",
+            u64::from(out.result.largest_cc_diameter),
+        )
+        .bool("connected", out.result.connected)
+        .usize("n", g.num_vertices())
+        .usize("m", g.num_undirected_edges())
+        .usize("traversals", out.stats.ecc_computations);
+    if let Some((s, t)) = out.diametral_pair {
+        obj = obj.raw("diametral_pair", &format!("[{s},{t}]"));
+    }
+    Some(obj)
+}
+
+/// Takes–Kosters all-eccentricities under the job's token.
+fn compute_eccentricities(g: &CsrGraph, job: &Job) -> Option<JsonObject> {
+    let r =
+        fdiam_analytics::bounding_ecc::bounding_eccentricities_cancellable(g, &job.token).ok()?;
+    let ecc = &r.eccentricities;
+    let radius = (0..g.num_vertices())
+        .filter(|&v| g.degree(v as fdiam_graph::VertexId) > 0)
+        .map(|v| ecc[v])
+        .min()
+        .unwrap_or(0);
+    let diameter = ecc.iter().copied().max().unwrap_or(0);
+    let mut obj = JsonObject::new()
+        .u64("radius", u64::from(radius))
+        .u64("diameter", u64::from(diameter))
+        .usize("bfs_calls", r.bfs_calls)
+        .usize("n", g.num_vertices())
+        .usize("m", g.num_undirected_edges());
+    if job.include_values {
+        let mut arr = String::with_capacity(ecc.len() * 3 + 2);
+        arr.push('[');
+        for (i, e) in ecc.iter().enumerate() {
+            if i > 0 {
+                arr.push(',');
+            }
+            let _ = write!(arr, "{e}");
+        }
+        arr.push(']');
+        obj = obj.raw("eccentricities", &arr);
+    }
+    Some(obj)
+}
+
+fn respond_deadline(shared: &Shared, job: &Job) {
+    shared.metrics.counter("serve.responses_deadline").inc();
+    let _ = write_response(
+        &job.stream,
+        504,
+        &[],
+        "application/json",
+        JsonObject::new()
+            .str("error", "deadline expired before the computation finished")
+            .finish()
+            .as_bytes(),
+    );
+}
+
+fn respond_error(stream: &TcpStream, shared: &Shared, status: u16, msg: &str) {
+    let name: &'static str = match status {
+        400 | 413 => "serve.responses_400",
+        404 | 405 => "serve.responses_404",
+        _ => "serve.responses_other",
+    };
+    shared.metrics.counter(name).inc();
+    let _ = write_response(
+        stream,
+        status,
+        &[],
+        "application/json",
+        JsonObject::new().str("error", msg).finish().as_bytes(),
+    );
+}
+
+fn respond_healthz(stream: &TcpStream, shared: &Shared) {
+    let body = JsonObject::new()
+        .str("status", "ok")
+        .usize("workers", shared.config.workers)
+        .usize("queue_depth", shared.config.queue_depth)
+        .usize("cache_bytes", shared.config.cache_bytes)
+        .usize("cache_resident_bytes", shared.cache.resident_bytes())
+        .f64("uptime_secs", shared.started.elapsed().as_secs_f64())
+        .finish();
+    let _ = write_response(stream, 200, &[], "application/json", body.as_bytes());
+}

@@ -1,0 +1,96 @@
+//! `fdiam-serve` — the diameter service binary. Flag parsing follows
+//! the `fdiam` CLI conventions: argv errors print usage and exit 2.
+
+use fdiam_serve::{ServeConfig, Server};
+use std::time::Duration;
+
+const USAGE: &str = "\
+USAGE:
+  fdiam-serve [OPTIONS]
+
+OPTIONS:
+  --addr HOST:PORT    bind address            (default 127.0.0.1:7878)
+  --workers N         compute worker threads  (default 2)
+  --queue N           admission queue depth   (default 16)
+  --cache-mb N        graph cache budget, MiB (default 256)
+  --timeout SECS      default per-request deadline (default: none)
+  --test-hooks        honor the sleep_ms test hook (integration tests)
+
+ENDPOINTS:
+  POST /v1/diameter         {\"spec\": \"grid:100x100\"} or {\"path\": \"g.gr\"}
+  POST /v1/eccentricities   same body; add \"include_values\": true for all
+  GET  /healthz             liveness + configuration
+  GET  /metrics             run + serving metrics (text)
+";
+
+fn parse(args: &[String]) -> Result<(String, ServeConfig), String> {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut config = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--workers" => {
+                config.workers = parse_count(&value("--workers")?, "--workers")?;
+                if config.workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
+            "--queue" => config.queue_depth = parse_count(&value("--queue")?, "--queue")?,
+            "--cache-mb" => {
+                config.cache_bytes = parse_count(&value("--cache-mb")?, "--cache-mb")? << 20
+            }
+            "--timeout" => {
+                config.default_timeout = Some(parse_secs(&value("--timeout")?, "--timeout")?)
+            }
+            "--test-hooks" => config.allow_test_hooks = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok((addr, config))
+}
+
+fn parse_count(raw: &str, name: &str) -> Result<usize, String> {
+    raw.parse()
+        .map_err(|_| format!("{name} wants a non-negative integer, got '{raw}'"))
+}
+
+fn parse_secs(raw: &str, name: &str) -> Result<Duration, String> {
+    match raw.parse::<f64>() {
+        Ok(s) if s.is_finite() && s >= 0.0 => Ok(Duration::from_secs_f64(s)),
+        _ => Err(format!(
+            "{name} wants a non-negative number of seconds, got '{raw}'"
+        )),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (addr, config) = match parse(&args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let workers = config.workers;
+    let server = match Server::bind(&addr, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Announce the resolved address (ephemeral ports included) on a
+    // parseable single line before blocking.
+    println!(
+        "fdiam-serve listening on http://{} ({workers} workers)",
+        server.local_addr()
+    );
+    server.serve_forever();
+}

@@ -1,0 +1,389 @@
+//! Socket-level tests of `fdiam-serve`: a real `TcpStream` client
+//! against a real bound server, covering the admission-control and
+//! deadline semantics the ISSUE promises — 504 on expiry, 429 +
+//! `Retry-After` shedding, LRU eviction order, and a graceful
+//! shutdown that drains in-flight jobs.
+
+use fdiam_obs::json::{self, JsonValue};
+use fdiam_serve::{ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+struct Response {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl Response {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn json(&self) -> JsonValue {
+        json::parse(&self.body).unwrap_or_else(|e| panic!("bad JSON body: {e}\n{}", self.body))
+    }
+
+    fn field_u64(&self, key: &str) -> u64 {
+        self.json()
+            .get(key)
+            .and_then(JsonValue::as_u64)
+            .unwrap_or_else(|| panic!("no u64 field '{key}' in {}", self.body))
+    }
+
+    fn field_str(&self, key: &str) -> String {
+        self.json()
+            .get(key)
+            .and_then(JsonValue::as_str)
+            .unwrap_or_else(|| panic!("no string field '{key}' in {}", self.body))
+            .to_string()
+    }
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: t\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &str) -> Response {
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("no header/body split in {raw:?}"));
+    let mut lines = head.lines();
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Response {
+        status,
+        headers,
+        body: body.to_string(),
+    }
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> Response {
+    request(addr, "POST", path, body)
+}
+
+/// Reads the named counter out of `GET /metrics` (rendered as
+/// `name<padding> value`).
+fn metrics_counter(addr: SocketAddr, name: &str) -> u64 {
+    let text = request(addr, "GET", "/metrics", "").body;
+    text.lines()
+        .find(|l| l.starts_with(name))
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Polls `/metrics` until `name` reaches `want` (the acceptor stays
+/// responsive while workers are busy, which is itself part of the
+/// design under test).
+fn wait_for_counter(addr: SocketAddr, name: &str, want: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < deadline {
+        if metrics_counter(addr, name) >= want {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!(
+        "{name} never reached {want} (now {})",
+        metrics_counter(addr, name)
+    );
+}
+
+#[test]
+fn diameter_endpoint_matches_direct_run_and_caches() {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let g = fdiam_cli::generate_graph("grid:30x30").unwrap();
+    let expected = fdiam_core::run(&g, &fdiam_core::FdiamConfig::parallel())
+        .result
+        .diameter()
+        .unwrap();
+
+    let r = post(addr, "/v1/diameter", r#"{"spec": "grid:30x30"}"#);
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert_eq!(r.field_u64("diameter"), u64::from(expected));
+    assert_eq!(r.field_str("cache"), "miss");
+    assert!(r
+        .json()
+        .get("connected")
+        .and_then(JsonValue::as_bool)
+        .unwrap());
+    assert_eq!(r.field_u64("n"), 900);
+
+    // Second hit on the same key is served from the cache; the serial
+    // algorithm agrees with the parallel one.
+    let r = post(
+        addr,
+        "/v1/diameter",
+        r#"{"spec": "grid:30x30", "serial": true}"#,
+    );
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert_eq!(r.field_u64("diameter"), u64::from(expected));
+    assert_eq!(r.field_str("cache"), "hit");
+
+    assert_eq!(metrics_counter(addr, "serve.cache_hits"), 1);
+    assert!(
+        metrics_counter(addr, "bfs.traversals") > 0,
+        "runs feed the registry"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn eccentricities_endpoint_agrees_with_diameter() {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // grid:1x50 is the 50-vertex path: diameter 49, radius ⌈49/2⌉.
+    let body = r#"{"spec": "grid:1x50", "include_values": true}"#;
+    let r = post(addr, "/v1/eccentricities", body);
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert_eq!(r.field_u64("diameter"), 49);
+    assert_eq!(r.field_u64("radius"), 25);
+    let values = match r.json().get("eccentricities").cloned() {
+        Some(JsonValue::Array(vs)) => vs,
+        other => panic!("expected eccentricities array, got {other:?}"),
+    };
+    assert_eq!(values.len(), 50);
+    assert_eq!(values[0].as_u64(), Some(49));
+
+    let d = post(addr, "/v1/diameter", r#"{"spec": "grid:1x50"}"#);
+    assert_eq!(d.field_u64("diameter"), 49);
+    assert_eq!(
+        d.field_str("cache"),
+        "hit",
+        "both endpoints share the cache"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn expired_deadline_is_answered_504_without_computing() {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let t0 = Instant::now();
+    let r = post(
+        addr,
+        "/v1/diameter",
+        r#"{"spec": "grid:200x200", "timeout_secs": 0}"#,
+    );
+    let elapsed = t0.elapsed();
+    assert_eq!(r.status, 504, "{}", r.body);
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "504 must come promptly, took {elapsed:?}"
+    );
+    assert_eq!(metrics_counter(addr, "serve.responses_deadline"), 1);
+    // The graph was never loaded, let alone traversed.
+    assert_eq!(metrics_counter(addr, "serve.cache_misses"), 0);
+    server.shutdown();
+}
+
+#[test]
+fn deadline_expiring_mid_job_is_answered_504() {
+    let config = ServeConfig {
+        allow_test_hooks: true,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr();
+
+    // The job outlives its budget; the worker observes the token
+    // mid-flight and gives up within the polling quantum.
+    let t0 = Instant::now();
+    let r = post(
+        addr,
+        "/v1/diameter",
+        r#"{"spec": "grid:5x5", "timeout_secs": 0.05, "sleep_ms": 5000}"#,
+    );
+    assert_eq!(r.status, 504, "{}", r.body);
+    assert!(t0.elapsed() < Duration::from_secs(2));
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_sheds_with_429_and_retry_after() {
+    let config = ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        allow_test_hooks: true,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr();
+
+    // A occupies the single worker …
+    let a = std::thread::spawn(move || {
+        post(
+            addr,
+            "/v1/diameter",
+            r#"{"spec": "grid:2x2", "sleep_ms": 1500}"#,
+        )
+    });
+    wait_for_counter(addr, "serve.jobs_dequeued", 1);
+    // … B fills the queue of depth 1 …
+    let b = std::thread::spawn(move || {
+        post(
+            addr,
+            "/v1/diameter",
+            r#"{"spec": "grid:2x2", "sleep_ms": 10}"#,
+        )
+    });
+    wait_for_counter(addr, "serve.jobs_enqueued", 2);
+    // … so C is shed immediately with 429 + Retry-After.
+    let t0 = Instant::now();
+    let c = post(addr, "/v1/diameter", r#"{"spec": "grid:2x2"}"#);
+    assert_eq!(c.status, 429, "{}", c.body);
+    assert_eq!(c.header("retry-after"), Some("1"));
+    assert!(
+        t0.elapsed() < Duration::from_secs(1),
+        "shedding is immediate"
+    );
+    assert_eq!(metrics_counter(addr, "serve.jobs_shed"), 1);
+
+    // The admitted jobs still complete normally.
+    assert_eq!(a.join().unwrap().status, 200);
+    assert_eq!(b.join().unwrap().status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_inflight_and_queued_jobs() {
+    let config = ServeConfig {
+        workers: 1,
+        queue_depth: 4,
+        allow_test_hooks: true,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr();
+
+    let a = std::thread::spawn(move || {
+        post(
+            addr,
+            "/v1/diameter",
+            r#"{"spec": "grid:3x3", "sleep_ms": 400}"#,
+        )
+    });
+    wait_for_counter(addr, "serve.jobs_dequeued", 1);
+    let b = std::thread::spawn(move || {
+        post(
+            addr,
+            "/v1/diameter",
+            r#"{"spec": "grid:3x3", "sleep_ms": 50}"#,
+        )
+    });
+    wait_for_counter(addr, "serve.jobs_enqueued", 2);
+
+    // Shutdown drains: both the in-flight A and the queued B get real
+    // answers, and shutdown() only returns after they did.
+    server.shutdown();
+    assert_eq!(a.join().unwrap().status, 200);
+    assert_eq!(b.join().unwrap().status, 200);
+
+    // The listener is gone: new connections fail outright (or are
+    // closed without a byte, depending on how fast the OS reaps).
+    if let Ok(mut s) = TcpStream::connect(addr) {
+        s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let _ = s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+        let mut buf = String::new();
+        assert!(
+            s.read_to_string(&mut buf).is_err() || buf.is_empty(),
+            "server answered after shutdown: {buf:?}"
+        );
+    }
+}
+
+#[test]
+fn lru_cache_evicts_in_recency_order_under_byte_budget() {
+    use fdiam_graph::generators::grid2d;
+    // Three ~equal graphs; budget admits any two but never all three.
+    let sizes = [
+        grid2d(20, 20).memory_bytes(),
+        grid2d(4, 100).memory_bytes(),
+        grid2d(2, 200).memory_bytes(),
+    ];
+    let total: usize = sizes.iter().sum();
+    let budget = total - sizes.iter().min().unwrap() / 2;
+    let config = ServeConfig {
+        cache_bytes: budget,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr();
+
+    let probe = |spec: &str| {
+        let r = post(addr, "/v1/diameter", &format!(r#"{{"spec": "{spec}"}}"#));
+        assert_eq!(r.status, 200, "{}", r.body);
+        r.field_str("cache")
+    };
+
+    let (a, b, c) = ("grid:20x20", "grid:4x100", "grid:2x200");
+    assert_eq!(probe(a), "miss");
+    assert_eq!(probe(a), "hit");
+    assert_eq!(probe(b), "miss"); // cache: [a, b]
+    assert_eq!(probe(a), "hit"); //  cache: [b, a]
+    assert_eq!(probe(c), "miss"); // evicts the LRU entry b → [a, c]
+    assert_eq!(probe(b), "miss"); // evicts a → [c, b]
+    assert_eq!(probe(c), "hit"); //  c survived both insertions
+    server.shutdown();
+}
+
+#[test]
+fn bad_requests_are_400_not_500() {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    for (path, body) in [
+        ("/v1/diameter", "not json at all"),
+        ("/v1/diameter", "{}"),
+        ("/v1/diameter", r#"{"spec": "grid:2x2", "path": "x.gr"}"#),
+        (
+            "/v1/diameter",
+            r#"{"spec": "grid:2x2", "timeout_secs": -1}"#,
+        ),
+        ("/v1/diameter", r#"{"spec": "grid:2x2", "sleep_ms": 5}"#), // hooks off
+        ("/v1/diameter", r#"{"spec": "grid:oops"}"#),
+        ("/v1/eccentricities", r#"{"path": "/no/such/file.gr"}"#),
+    ] {
+        let r = post(addr, path, body);
+        assert_eq!(r.status, 400, "{path} {body} → {} {}", r.status, r.body);
+        assert!(!r.field_str("error").is_empty());
+    }
+
+    assert_eq!(request(addr, "GET", "/nope", "").status, 404);
+    assert_eq!(request(addr, "DELETE", "/healthz", "").status, 405);
+
+    let h = request(addr, "GET", "/healthz", "");
+    assert_eq!(h.status, 200);
+    assert_eq!(h.field_str("status"), "ok");
+    server.shutdown();
+}
