@@ -23,9 +23,16 @@
 //!   words with plain stores.
 
 use crate::bitmap::{FrontierBitmap, CHUNK_WORDS, WORD_BITS};
+use crate::load::WorkerLoad;
 use crate::visited::VisitMarks;
 use fdiam_graph::{CsrGraph, VertexId};
 use rayon::prelude::*;
+use std::time::Instant;
+
+/// Frontier vertices per accounted task: large enough that the two
+/// `Instant::now` calls per task vanish against the edge scans, small
+/// enough that work still spreads across the pool.
+const ACCOUNT_CHUNK: usize = 256;
 
 /// Sequential top-down step: returns the next frontier.
 pub fn expand_top_down_serial(
@@ -129,13 +136,43 @@ pub fn expand_top_down_serial_into(
 /// frontier afterwards with
 /// [`FrontierBitmap::append_sparse_into`](crate::bitmap::FrontierBitmap::append_sparse_into).
 /// Returns `(count, degree_sum)` of the newly claimed frontier.
+///
+/// With `load` set, the expansion runs in `ACCOUNT_CHUNK`-vertex
+/// tasks that credit their edge scans and busy time to the executing
+/// rayon worker; with `None` the original uninstrumented fold runs —
+/// no timing calls, no accounting atomics.
 pub fn expand_top_down_into_bitmap(
     g: &CsrGraph,
     frontier: &[VertexId],
     marks: &VisitMarks,
     epoch: u64,
     next_bm: &FrontierBitmap,
+    load: Option<&WorkerLoad>,
 ) -> (usize, u64) {
+    if let Some(load) = load {
+        return frontier
+            .par_chunks(ACCOUNT_CHUNK)
+            .map(|chunk| {
+                let started = Instant::now();
+                let mut count = 0usize;
+                let mut degree_sum = 0u64;
+                let mut edges = 0u64;
+                for &v in chunk {
+                    let nbrs = g.neighbors(v);
+                    edges += nbrs.len() as u64;
+                    for &n in nbrs {
+                        if marks.try_claim(n, epoch) {
+                            next_bm.set(n);
+                            count += 1;
+                            degree_sum += g.neighbors(n).len() as u64;
+                        }
+                    }
+                }
+                load.record(edges, started);
+                (count, degree_sum)
+            })
+            .reduce(|| (0, 0), |(ca, da), (cb, db)| (ca + cb, da + db));
+    }
     frontier
         .par_iter()
         .fold(
@@ -260,19 +297,33 @@ pub fn sweep_bottom_up_serial(
 }
 
 /// Parallel bottom-up sweep: one rayon task per word-aligned chunk.
-/// Same contract as [`sweep_bottom_up_serial`].
+/// Same contract as [`sweep_bottom_up_serial`]. With `load` set, each
+/// chunk task credits its edge scans and busy time to the executing
+/// rayon worker.
 pub fn sweep_bottom_up_parallel(
     g: &CsrGraph,
     marks: &VisitMarks,
     epoch: u64,
     visited_bm: &FrontierBitmap,
     next_bm: &FrontierBitmap,
+    load: Option<&WorkerLoad>,
 ) -> BottomUpSweep {
     let chunks = visited_bm.words().len().div_ceil(CHUNK_WORDS);
-    (0..chunks)
-        .into_par_iter()
-        .map(|c| sweep_chunk(g, marks, epoch, visited_bm, next_bm, c))
-        .reduce(BottomUpSweep::default, BottomUpSweep::add)
+    match load {
+        Some(load) => (0..chunks)
+            .into_par_iter()
+            .map(|c| {
+                let started = Instant::now();
+                let s = sweep_chunk(g, marks, epoch, visited_bm, next_bm, c);
+                load.record(s.edges_scanned, started);
+                s
+            })
+            .reduce(BottomUpSweep::default, BottomUpSweep::add),
+        None => (0..chunks)
+            .into_par_iter()
+            .map(|c| sweep_chunk(g, marks, epoch, visited_bm, next_bm, c))
+            .reduce(BottomUpSweep::default, BottomUpSweep::add),
+    }
 }
 
 /// [`expand_bottom_up`] that also reports how many edges it examined.
@@ -416,7 +467,7 @@ mod tests {
         }
         let mut bm = FrontierBitmap::new(9);
         bm.clear();
-        let (count, deg) = expand_top_down_into_bitmap(&g, &[3, 4], &m2, e2, &bm);
+        let (count, deg) = expand_top_down_into_bitmap(&g, &[3, 4], &m2, e2, &bm, None);
         let mut sparse = Vec::new();
         bm.append_sparse_into(&mut sparse);
         assert_eq!(sparse, next);
@@ -460,7 +511,7 @@ mod tests {
         visited3.fill_from_marks(&m3, e3);
         let mut stale = FrontierBitmap::new(300);
         stale.fill_from_sparse(&[7, 200, 299]);
-        let p = sweep_bottom_up_parallel(&g, &m3, e3, &visited3, &stale);
+        let p = sweep_bottom_up_parallel(&g, &m3, e3, &visited3, &stale, None);
         let mut sparse_p = Vec::new();
         stale.append_sparse_into(&mut sparse_p);
         assert_eq!(sparse_p, expected, "full-word stores must erase stale bits");

@@ -22,7 +22,7 @@ use crate::frontier::{
 use crate::scratch::{BfsScratch, ScratchParts};
 use crate::BfsSummary;
 use fdiam_graph::{CsrGraph, VertexId};
-use fdiam_obs::{noop, CancelToken, Event, Observer};
+use fdiam_obs::{noop, CancelToken, Event, Observer, SpanId};
 
 /// Default α of [`SwitchHeuristic::Adaptive`]: switch top-down →
 /// bottom-up when the frontier's out-degree sum exceeds `m_u / α`
@@ -197,17 +197,25 @@ pub(crate) fn kernel(
         visited_bm,
         cur_bm,
         next_bm,
+        load,
     } = scratch.parts();
     let rollovers_before = marks.rollovers();
     let epoch = marks.next_epoch();
     let enabled = obs.enabled();
+    // One span per traversal, tagging every per-level event; disabled
+    // observers skip the id allocation entirely.
+    let span = if enabled {
+        SpanId::fresh()
+    } else {
+        SpanId::NONE
+    };
     if enabled {
         if marks.rollovers() != rollovers_before {
             obs.event(&Event::EpochRollover {
                 rollovers: marks.rollovers(),
             });
         }
-        obs.event(&Event::BfsStart { source });
+        obs.event(&Event::BfsStart { source, span });
     }
     let detail = obs.wants_bfs_detail();
     marks.mark(source, epoch);
@@ -238,6 +246,7 @@ pub(crate) fn kernel(
             obs.event(&Event::DirectionSwitch {
                 level: level + 1,
                 bottom_up,
+                span,
             });
         }
         let (next_n, next_m, edges_scanned) = if bottom_up {
@@ -245,7 +254,7 @@ pub(crate) fn kernel(
                 visited_bm.fill_from_marks(marks, epoch);
             }
             let s = if parallel {
-                sweep_bottom_up_parallel(g, marks, epoch, visited_bm, next_bm)
+                sweep_bottom_up_parallel(g, marks, epoch, visited_bm, next_bm, load)
             } else {
                 sweep_bottom_up_serial(g, marks, epoch, visited_bm, next_bm)
             };
@@ -266,7 +275,7 @@ pub(crate) fn kernel(
             let edges = m_f;
             let (count, deg) = if parallel && n_f >= config.serial_cutoff {
                 next_bm.clear();
-                let (count, deg) = expand_top_down_into_bitmap(g, cur, marks, epoch, next_bm);
+                let (count, deg) = expand_top_down_into_bitmap(g, cur, marks, epoch, next_bm, load);
                 next.clear();
                 next_bm.append_sparse_into(next);
                 (count, deg)
@@ -286,6 +295,7 @@ pub(crate) fn kernel(
                 frontier: next_n,
                 edges_scanned,
                 bottom_up,
+                span,
             });
         }
         if next_n == 0 {
@@ -299,6 +309,7 @@ pub(crate) fn kernel(
                     source,
                     eccentricity: level,
                     visited,
+                    span,
                 });
             }
             return Some(BfsSummary {
@@ -476,8 +487,11 @@ mod tests {
                     frontier,
                     edges_scanned,
                     bottom_up,
+                    ..
                 } => format!("level {level} f={frontier} e={edges_scanned} bu={bottom_up}"),
-                Event::DirectionSwitch { level, bottom_up } => {
+                Event::DirectionSwitch {
+                    level, bottom_up, ..
+                } => {
                     format!("switch {level} bu={bottom_up}")
                 }
                 _ => e.name().to_string(),

@@ -30,6 +30,7 @@ pub mod bitmap;
 pub mod distances;
 pub mod frontier;
 pub mod hybrid;
+pub mod load;
 pub mod multisource;
 pub mod scratch;
 pub mod serial;
@@ -41,6 +42,7 @@ pub use hybrid::{
     bfs_eccentricity_hybrid, bfs_eccentricity_hybrid_cancellable, bfs_eccentricity_hybrid_observed,
     BfsConfig, SwitchHeuristic,
 };
+pub use load::{LoadSummary, WorkerLoad};
 pub use scratch::BfsScratch;
 pub use serial::bfs_eccentricity_serial;
 pub use serial_hybrid::{

@@ -11,6 +11,7 @@
 //! the `scratch_alloc` integration test).
 
 use crate::bitmap::FrontierBitmap;
+use crate::load::WorkerLoad;
 use crate::visited::VisitMarks;
 use fdiam_graph::VertexId;
 
@@ -28,6 +29,10 @@ pub struct BfsScratch {
     /// Dense frontier double buffer for bottom-up levels.
     cur_bm: FrontierBitmap,
     next_bm: FrontierBitmap,
+    /// Per-rayon-worker accounting, allocated only when an enabled
+    /// observer asks for it ([`BfsScratch::set_load_accounting`]); the
+    /// noop path keeps this `None` and stays allocation-free.
+    load: Option<WorkerLoad>,
 }
 
 /// Disjoint `&mut` views of every [`BfsScratch`] component, so kernels
@@ -39,6 +44,8 @@ pub struct ScratchParts<'a> {
     pub visited_bm: &'a mut FrontierBitmap,
     pub cur_bm: &'a mut FrontierBitmap,
     pub next_bm: &'a mut FrontierBitmap,
+    /// Shared (atomic) accounting view — `None` when disabled.
+    pub load: Option<&'a WorkerLoad>,
 }
 
 impl BfsScratch {
@@ -53,6 +60,7 @@ impl BfsScratch {
             visited_bm: FrontierBitmap::new(n),
             cur_bm: FrontierBitmap::new(n),
             next_bm: FrontierBitmap::new(n),
+            load: None,
         }
     }
 
@@ -95,8 +103,29 @@ impl BfsScratch {
     /// no worse than the fresh allocation it replaces.
     pub fn ensure(&mut self, n: usize) {
         if self.len() != n {
+            let load = self.load.take();
             *self = Self::new(n);
+            self.load = load;
         }
+    }
+
+    /// Turns per-worker load accounting on (sized for `workers` rayon
+    /// workers, zeroed) or off. The driver enables this only when an
+    /// enabled observer is attached; runs with accounting off take the
+    /// original uninstrumented expansion paths.
+    pub fn set_load_accounting(&mut self, workers: Option<usize>) {
+        match workers {
+            Some(w) => match &self.load {
+                Some(load) if load.workers() == w.max(1) => load.reset(),
+                _ => self.load = Some(WorkerLoad::new(w)),
+            },
+            None => self.load = None,
+        }
+    }
+
+    /// The accounting slots, when enabled.
+    pub fn load(&self) -> Option<&WorkerLoad> {
+        self.load.as_ref()
     }
 
     /// Splits the scratch into disjoint mutable parts for a kernel.
@@ -108,6 +137,7 @@ impl BfsScratch {
             visited_bm: &mut self.visited_bm,
             cur_bm: &mut self.cur_bm,
             next_bm: &mut self.next_bm,
+            load: self.load.as_ref(),
         }
     }
 }

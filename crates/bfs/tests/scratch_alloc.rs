@@ -6,8 +6,11 @@
 //! machine but rayon's task bookkeeping would show up in the counter.
 
 use fdiam_bfs::multisource::partial_bfs_scratch;
-use fdiam_bfs::{bfs_eccentricity_serial_hybrid, BfsConfig, BfsScratch};
+use fdiam_bfs::{
+    bfs_eccentricity_serial_hybrid, bfs_eccentricity_serial_hybrid_observed, BfsConfig, BfsScratch,
+};
 use fdiam_graph::generators::{barabasi_albert, grid2d};
+use fdiam_obs::noop;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -69,6 +72,51 @@ fn eccentricity_loop_allocates_nothing_in_steady_state() {
             "steady-state eccentricity loop allocated {allocs} times on n={n}"
         );
     }
+}
+
+#[test]
+fn noop_observed_path_with_accounting_off_allocates_nothing() {
+    // The observer plumbing must cost nothing when nobody listens: a
+    // disabled observer skips span minting and, with load accounting
+    // off, the kernel takes the original uninstrumented expansion
+    // paths. Same warm-up discipline as the plain-kernel test above.
+    let g = barabasi_albert(1500, 8, 3);
+    let cfg = BfsConfig::default();
+    let mut scratch = BfsScratch::new(g.num_vertices());
+    scratch.set_load_accounting(None);
+    for _ in 0..2 {
+        for v in g.vertices() {
+            bfs_eccentricity_serial_hybrid_observed(&g, v, &mut scratch, &cfg, noop());
+        }
+    }
+    let allocs = allocations(|| {
+        for v in g.vertices() {
+            bfs_eccentricity_serial_hybrid_observed(&g, v, &mut scratch, &cfg, noop());
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "noop-observed steady-state loop allocated {allocs} times"
+    );
+    assert!(scratch.load().is_none(), "accounting stayed off");
+}
+
+#[test]
+fn load_accounting_toggle_reuses_slots_at_same_width() {
+    // Enabling accounting allocates the padded slots once; re-enabling
+    // at the same worker count must zero them in place, and disabling
+    // is free — so a server reusing one scratch across jobs pays the
+    // allocation a single time.
+    let mut scratch = BfsScratch::new(64);
+    scratch.set_load_accounting(Some(4));
+    let allocs = allocations(|| {
+        scratch.set_load_accounting(Some(4));
+        scratch.set_load_accounting(None);
+    });
+    assert_eq!(
+        allocs, 0,
+        "same-width re-enable or disable allocated {allocs} times"
+    );
 }
 
 #[test]

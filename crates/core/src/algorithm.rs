@@ -45,7 +45,7 @@ use fdiam_bfs::{
     BfsScratch, BfsSummary,
 };
 use fdiam_graph::{CsrGraph, VertexId};
-use fdiam_obs::{noop, CancelToken, Event, Observer, Phase, PhaseSpan, Tee};
+use fdiam_obs::{noop, CancelToken, Event, Observer, Phase, PhaseSpan, RunId, SpanId, Tee};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
@@ -70,6 +70,10 @@ impl std::error::Error for Cancelled {}
 pub struct FdiamOutcome {
     pub result: DiameterResult,
     pub stats: FdiamStats,
+    /// The run's correlation id: [`FdiamConfig::run_id`] when supplied,
+    /// otherwise freshly minted. Every event of the run (and thus every
+    /// trace line) carries this id.
+    pub run: RunId,
     /// A pair of vertices realizing the reported diameter: the source
     /// of the BFS that established the final bound and a vertex from
     /// that BFS's last frontier. `None` only for the empty graph.
@@ -236,12 +240,20 @@ fn run_driver(
             &mut owned_scratch
         }
     };
+    // Per-worker load accounting exists for observers; an unobserved
+    // run (and any serial run) keeps the uninstrumented kernels.
+    if observer.enabled() && config.parallel {
+        scratch.set_load_accounting(Some(rayon::current_num_threads()));
+    } else {
+        scratch.set_load_accounting(None);
+    }
+    let run = config.run_id.unwrap_or_else(RunId::fresh);
     let collector = StatsCollector::default();
     let tee = Tee(&collector, observer);
     let t_total = Instant::now();
-    emit_run_start(&tee, g, config);
-    let Some(mut driver) = Driver::prelude(g, config, &tee, cancel, scratch)? else {
-        return Ok(empty_outcome(t_total, &tee));
+    emit_run_start(&tee, g, config, run);
+    let Some(mut driver) = Driver::prelude(g, config, &tee, cancel, scratch, run)? else {
+        return Ok(empty_outcome(t_total, &tee, run));
     };
     match batch {
         None => driver.main_loop()?,
@@ -250,8 +262,9 @@ fn run_driver(
     Ok(driver.finish(t_total, &collector))
 }
 
-fn emit_run_start(obs: &dyn Observer, g: &CsrGraph, config: &FdiamConfig) {
+fn emit_run_start(obs: &dyn Observer, g: &CsrGraph, config: &FdiamConfig, run: RunId) {
     obs.event(&Event::RunStart {
+        run,
         algorithm: if config.parallel {
             "fdiam"
         } else {
@@ -277,6 +290,7 @@ struct Driver<'a> {
     connected: bool,
     order: Vec<VertexId>,
     diametral_pair: (VertexId, VertexId),
+    run: RunId,
 }
 
 impl<'a> Driver<'a> {
@@ -289,6 +303,7 @@ impl<'a> Driver<'a> {
         obs: &'a dyn Observer,
         cancel: Option<&'a CancelToken>,
         scratch: &'a mut BfsScratch,
+        run: RunId,
     ) -> Result<Option<Self>, Cancelled> {
         let n = g.num_vertices();
         if n == 0 {
@@ -389,6 +404,7 @@ impl<'a> Driver<'a> {
             connected,
             order,
             diametral_pair,
+            run,
         }))
     }
 
@@ -586,8 +602,13 @@ fn local_bfs_eccentricity(
     obs: &dyn Observer,
     cancel: Option<&CancelToken>,
 ) -> Option<(u32, VertexId)> {
+    let span = if obs.enabled() {
+        SpanId::fresh()
+    } else {
+        SpanId::NONE
+    };
     if obs.enabled() {
-        obs.event(&Event::BfsStart { source });
+        obs.event(&Event::BfsStart { source, span });
     }
     let detail = obs.wants_bfs_detail();
     let mut visited_marks = vec![false; g.num_vertices()];
@@ -617,6 +638,7 @@ fn local_bfs_eccentricity(
                 frontier: next.len(),
                 edges_scanned,
                 bottom_up: false,
+                span,
             });
         }
         if next.is_empty() {
@@ -625,6 +647,7 @@ fn local_bfs_eccentricity(
                     source,
                     eccentricity: level,
                     visited,
+                    span,
                 });
             }
             // Min-id farthest vertex, matching the deterministic
@@ -637,10 +660,11 @@ fn local_bfs_eccentricity(
     }
 }
 
-fn empty_outcome(t_total: Instant, obs: &dyn Observer) -> FdiamOutcome {
+fn empty_outcome(t_total: Instant, obs: &dyn Observer, run: RunId) -> FdiamOutcome {
     let mut stats = FdiamStats::default();
     stats.timings.total = t_total.elapsed();
     obs.event(&Event::RunEnd {
+        run,
         diameter: 0,
         connected: true,
         nanos: stats.timings.total.as_nanos() as u64,
@@ -651,6 +675,7 @@ fn empty_outcome(t_total: Instant, obs: &dyn Observer) -> FdiamOutcome {
             connected: true,
         },
         stats,
+        run,
         diametral_pair: None,
     }
 }
@@ -671,7 +696,25 @@ impl Driver<'_> {
         stats.removed.degree0 = counts[Stage::Degree0 as usize];
         stats.removed.computed = counts[Stage::Computed as usize];
         stats.timings.total = t_total.elapsed();
+        if let Some(load) = self.scratch.load() {
+            let s = load.summary();
+            self.obs.event(&Event::WorkerLoad {
+                workers: s.workers,
+                total_edges: s.total_edges,
+                max_busy_nanos: s.max_busy_nanos,
+                mean_busy_nanos: s.mean_busy_nanos,
+                imbalance: s.imbalance,
+            });
+        }
+        self.obs.event(&Event::RemovalSummary {
+            winnow: stats.removed.winnow,
+            eliminate: stats.removed.eliminate,
+            chain: stats.removed.chain,
+            degree0: stats.removed.degree0,
+            computed: stats.removed.computed,
+        });
         self.obs.event(&Event::RunEnd {
+            run: self.run,
             diameter: self.bound,
             connected: self.connected,
             nanos: stats.timings.total.as_nanos() as u64,
@@ -683,6 +726,7 @@ impl Driver<'_> {
                 connected: self.connected,
             },
             stats,
+            run: self.run,
             diametral_pair: Some(self.diametral_pair),
         }
     }

@@ -2,6 +2,7 @@
 //! evaluated in the paper's §6.5 (Table 5 / Figure 9).
 
 use fdiam_bfs::BfsConfig;
+use fdiam_obs::RunId;
 
 /// Tunable behaviour of [`crate::diameter_with`].
 #[derive(Clone, Debug)]
@@ -30,6 +31,12 @@ pub struct FdiamConfig {
     /// order. The paper mentions random order (§4.5); id order keeps
     /// runs deterministic, which the test suite relies on.
     pub visit_order_seed: Option<u64>,
+    /// Correlation id stamped on every event of the run (`run_start`,
+    /// `run_end`) and returned in [`crate::FdiamOutcome::run`]. `None`
+    /// (the default) mints a fresh id per run; callers that already
+    /// hold a trace id — e.g. a server admitting a request — pass it
+    /// here so logs, traces, and responses correlate.
+    pub run_id: Option<RunId>,
 }
 
 impl Default for FdiamConfig {
@@ -43,6 +50,7 @@ impl Default for FdiamConfig {
             use_max_degree_start: true,
             full_rewinnow: false,
             visit_order_seed: None,
+            run_id: None,
         }
     }
 }
@@ -93,6 +101,12 @@ impl FdiamConfig {
         self.bfs = BfsConfig::paper_fidelity();
         self
     }
+
+    /// Attach a caller-supplied correlation id to the run.
+    pub fn with_run_id(mut self, run: RunId) -> Self {
+        self.run_id = Some(run);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -118,6 +132,13 @@ mod tests {
                 .use_max_degree_start
         );
         assert!(!FdiamConfig::parallel().without_chain().use_chain);
+    }
+
+    #[test]
+    fn run_id_builder_attaches_id() {
+        assert!(FdiamConfig::default().run_id.is_none());
+        let id = RunId::fresh();
+        assert_eq!(FdiamConfig::default().with_run_id(id).run_id, Some(id));
     }
 
     #[test]

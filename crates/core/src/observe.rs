@@ -51,7 +51,7 @@ impl StatsCollector {
 impl Observer for StatsCollector {
     fn event(&self, e: &Event<'_>) {
         match *e {
-            Event::PhaseEnd { phase, nanos } => {
+            Event::PhaseEnd { phase, nanos, .. } => {
                 let bucket = match phase {
                     Phase::EccBfs => &self.ecc_bfs_nanos,
                     Phase::Winnow => &self.winnow_nanos,
@@ -90,27 +90,33 @@ mod tests {
 
     #[test]
     fn folds_events_into_stats() {
+        use fdiam_obs::SpanId;
         let c = StatsCollector::default();
         c.event(&Event::PhaseEnd {
             phase: Phase::EccBfs,
             nanos: 100,
+            span: SpanId::NONE,
         });
         c.event(&Event::PhaseEnd {
             phase: Phase::EccBfs,
             nanos: 50,
+            span: SpanId::NONE,
         });
         c.event(&Event::PhaseEnd {
             phase: Phase::Winnow,
             nanos: 30,
+            span: SpanId::NONE,
         });
         c.event(&Event::PhaseEnd {
             phase: Phase::TwoSweep,
             nanos: 1_000_000, // envelope span: must not be double-counted
+            span: SpanId::NONE,
         });
         c.event(&Event::BfsEnd {
             source: 0,
             eccentricity: 3,
             visited: 10,
+            span: SpanId::NONE,
         });
         c.event(&Event::WinnowGrown { radius: 1 });
         c.event(&Event::EliminateRun {

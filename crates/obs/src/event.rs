@@ -48,6 +48,8 @@ impl Phase {
     }
 }
 
+use crate::ids::{RunId, SpanId};
+
 /// One observable occurrence inside the F-Diam stack.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Event<'a> {
@@ -59,13 +61,26 @@ pub enum Event<'a> {
         n: usize,
         /// Number of undirected edges.
         m: usize,
+        /// Correlation id of this run (request-scoped when set by the
+        /// serving layer, freshly minted otherwise).
+        run: RunId,
     },
-    /// A phase span opened.
-    PhaseStart { phase: Phase },
+    /// A phase span opened. `parent` is the enclosing phase span on the
+    /// same thread, or [`SpanId::NONE`] for a root span.
+    PhaseStart {
+        phase: Phase,
+        span: SpanId,
+        parent: SpanId,
+    },
     /// A phase span closed after `nanos` wall-clock nanoseconds.
-    PhaseEnd { phase: Phase, nanos: u64 },
-    /// An eccentricity BFS began from `source`.
-    BfsStart { source: u32 },
+    PhaseEnd {
+        phase: Phase,
+        nanos: u64,
+        span: SpanId,
+    },
+    /// An eccentricity BFS began from `source`. The same `span` tags
+    /// every per-level event of this traversal.
+    BfsStart { source: u32, span: SpanId },
     /// One level-synchronous BFS expansion completed. Only emitted when
     /// the observer asks for detail
     /// ([`crate::Observer::wants_bfs_detail`]); the final expansion is
@@ -80,9 +95,15 @@ pub enum Event<'a> {
         edges_scanned: u64,
         /// Whether the expansion ran bottom-up (topology-driven).
         bottom_up: bool,
+        /// Span of the enclosing BFS traversal.
+        span: SpanId,
     },
     /// The BFS switched expansion direction before producing `level`.
-    DirectionSwitch { level: u32, bottom_up: bool },
+    DirectionSwitch {
+        level: u32,
+        bottom_up: bool,
+        span: SpanId,
+    },
     /// The visit-epoch counter wrapped and all marks were reset;
     /// `rollovers` is the total number of wraps so far.
     EpochRollover { rollovers: u64 },
@@ -91,6 +112,7 @@ pub enum Event<'a> {
         source: u32,
         eccentricity: u32,
         visited: usize,
+        span: SpanId,
     },
     /// The diameter lower bound improved from `old` to `new` after
     /// computing `ecc(source) = new` — the per-iteration convergence
@@ -107,11 +129,37 @@ pub enum Event<'a> {
     /// Main-loop progress heartbeat: vertices still active and the
     /// current lower bound.
     Progress { active: usize, bound: u32 },
+    /// Per-worker load accounting for the run's parallel BFS work
+    /// (Figure-style §4.6 scaling telemetry): how the edge-scan work
+    /// and busy time distributed across rayon workers.
+    WorkerLoad {
+        /// Number of worker slots (the rayon pool width).
+        workers: usize,
+        /// Total edges scanned by accounted parallel expansions.
+        total_edges: u64,
+        /// Busiest worker's accumulated busy time.
+        max_busy_nanos: u64,
+        /// Mean busy time across all `workers` slots.
+        mean_busy_nanos: u64,
+        /// Load imbalance `max/mean` (0.0 when no work was accounted).
+        imbalance: f64,
+    },
+    /// End-of-run vertex-removal breakdown (the paper's Figure 9
+    /// shape): how every vertex left the active set.
+    RemovalSummary {
+        winnow: usize,
+        eliminate: usize,
+        chain: usize,
+        degree0: usize,
+        /// Vertices whose eccentricity was computed exactly.
+        computed: usize,
+    },
     /// The run finished.
     RunEnd {
         diameter: u32,
         connected: bool,
         nanos: u64,
+        run: RunId,
     },
 }
 
@@ -132,6 +180,8 @@ impl Event<'_> {
             Event::EliminateRun { .. } => "eliminate",
             Event::ChainsProcessed { .. } => "chains",
             Event::Progress { .. } => "progress",
+            Event::WorkerLoad { .. } => "worker_load",
+            Event::RemovalSummary { .. } => "removal_summary",
             Event::RunEnd { .. } => "run_end",
         }
     }
@@ -151,11 +201,19 @@ mod tests {
 
     #[test]
     fn event_names_stable() {
-        assert_eq!(Event::BfsStart { source: 0 }.name(), "bfs_start");
+        assert_eq!(
+            Event::BfsStart {
+                source: 0,
+                span: SpanId::NONE
+            }
+            .name(),
+            "bfs_start"
+        );
         assert_eq!(
             Event::PhaseEnd {
                 phase: Phase::Winnow,
-                nanos: 1
+                nanos: 1,
+                span: SpanId::NONE
             }
             .name(),
             "phase_end"
@@ -164,10 +222,33 @@ mod tests {
             Event::RunEnd {
                 diameter: 1,
                 connected: true,
-                nanos: 0
+                nanos: 0,
+                run: RunId(1)
             }
             .name(),
             "run_end"
+        );
+        assert_eq!(
+            Event::WorkerLoad {
+                workers: 1,
+                total_edges: 0,
+                max_busy_nanos: 0,
+                mean_busy_nanos: 0,
+                imbalance: 0.0
+            }
+            .name(),
+            "worker_load"
+        );
+        assert_eq!(
+            Event::RemovalSummary {
+                winnow: 0,
+                eliminate: 0,
+                chain: 0,
+                degree0: 0,
+                computed: 0
+            }
+            .name(),
+            "removal_summary"
         );
     }
 }

@@ -1,0 +1,540 @@
+//! Prometheus text exposition (format 0.0.4) for [`MetricsRegistry`],
+//! plus a small in-tree exposition parser/linter used by tests and CI
+//! to validate what `/metrics` serves.
+//!
+//! Mapping from registry names to exposition names: dots become
+//! underscores and everything gets an `fdiam_` prefix; counters gain
+//! the conventional `_total` suffix and duration histograms are
+//! exported in seconds as `<name>_seconds` with explicit cumulative
+//! `le` bucket boundaries derived from the log₂ buckets (the upper
+//! edge of log₂ bucket `i` is `2^(i+1)` ns).
+
+use crate::metrics::{DurationHistogram, MetricsRegistry, BUCKETS};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// The `Content-Type` a Prometheus scraper expects for this format.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Converts a registry metric name (`bfs.edges_scanned`) to a valid
+/// exposition name (`fdiam_bfs_edges_scanned`).
+fn mangle(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 6);
+    out.push_str("fdiam_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn render_histogram(out: &mut String, exposed: &str, h: &DurationHistogram) {
+    let _ = writeln!(out, "# HELP {exposed} F-Diam duration histogram (seconds).");
+    let _ = writeln!(out, "# TYPE {exposed} histogram");
+    let buckets = h.bucket_snapshot();
+    let last_nonempty = buckets.iter().rposition(|&c| c != 0);
+    let mut cumulative = 0u64;
+    if let Some(last) = last_nonempty {
+        // Finite `le` edges up to the highest occupied log₂ bucket; the
+        // rest is carried by +Inf (sparse upper buckets are valid
+        // exposition, and this keeps ~60 empty lines out of every
+        // scrape). Bucket 63 has no finite upper edge, so cap at 62.
+        for (i, &c) in buckets.iter().enumerate().take(last.min(BUCKETS - 2) + 1) {
+            cumulative += c;
+            let le = DurationHistogram::bucket_upper_nanos(i) as f64 / 1e9;
+            let _ = writeln!(
+                out,
+                "{exposed}_bucket{{le=\"{}\"}} {cumulative}",
+                fmt_f64(le)
+            );
+        }
+    }
+    let count = h.count();
+    let _ = writeln!(out, "{exposed}_bucket{{le=\"+Inf\"}} {count}");
+    let _ = writeln!(out, "{exposed}_sum {}", fmt_f64(h.sum_nanos() as f64 / 1e9));
+    let _ = writeln!(out, "{exposed}_count {count}");
+}
+
+impl MetricsRegistry {
+    /// Renders every counter, gauge, info label, and histogram in
+    /// Prometheus text exposition format 0.0.4. Serve it with
+    /// [`PROMETHEUS_CONTENT_TYPE`].
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in self.counter_snapshot() {
+            let exposed = mangle(name) + "_total";
+            let _ = writeln!(out, "# HELP {exposed} F-Diam counter `{name}`.");
+            let _ = writeln!(out, "# TYPE {exposed} counter");
+            let _ = writeln!(out, "{exposed} {value}");
+        }
+        for (name, value) in self.gauge_snapshot() {
+            let exposed = mangle(name);
+            let _ = writeln!(out, "# HELP {exposed} F-Diam gauge `{name}`.");
+            let _ = writeln!(out, "# TYPE {exposed} gauge");
+            let _ = writeln!(out, "{exposed} {}", fmt_f64(value));
+        }
+        for (name, key, value) in self.label_snapshot() {
+            let exposed = mangle(name);
+            let _ = writeln!(out, "# HELP {exposed} F-Diam info label `{name}`.");
+            let _ = writeln!(out, "# TYPE {exposed} gauge");
+            let _ = writeln!(out, "{exposed}{{{key}=\"{}\"}} 1", escape_label(&value));
+        }
+        for (name, h) in self.histogram_snapshot() {
+            render_histogram(&mut out, &(mangle(name) + "_seconds"), &h);
+        }
+        out
+    }
+}
+
+/// What the linter saw in a healthy exposition.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct LintReport {
+    pub samples: usize,
+    pub counters: usize,
+    pub gauges: usize,
+    pub histograms: usize,
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_value(s: &str) -> Option<f64> {
+    match s {
+        "+Inf" | "Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        _ => s.parse().ok(),
+    }
+}
+
+/// One parsed sample line.
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+    line_no: usize,
+}
+
+/// Splits `name{labels} value` (labels optional). Returns `None` on a
+/// malformed line; label escape sequences are decoded.
+fn parse_sample(line: &str, line_no: usize, errors: &mut Vec<String>) -> Option<Sample> {
+    let bad = |errors: &mut Vec<String>, why: &str| {
+        errors.push(format!("line {line_no}: {why}: {line:?}"));
+        None
+    };
+    let (name_part, rest) = match line.find(['{', ' ', '\t']) {
+        Some(i) => (&line[..i], &line[i..]),
+        None => return bad(errors, "sample has no value"),
+    };
+    if !valid_metric_name(name_part) {
+        return bad(errors, "invalid metric name");
+    }
+    let mut labels = Vec::new();
+    let rest = if let Some(body) = rest.strip_prefix('{') {
+        let close = match body.find('}') {
+            Some(i) => i,
+            None => return bad(errors, "unclosed label set"),
+        };
+        let label_str = &body[..close];
+        if !label_str.is_empty() {
+            for part in label_str.split(',') {
+                let (k, v) = match part.split_once('=') {
+                    Some(kv) => kv,
+                    None => return bad(errors, "label without '='"),
+                };
+                if !valid_label_name(k) {
+                    return bad(errors, "invalid label name");
+                }
+                let v = v.trim();
+                if v.len() < 2 || !v.starts_with('"') || !v.ends_with('"') {
+                    return bad(errors, "label value not quoted");
+                }
+                let inner = &v[1..v.len() - 1];
+                let mut decoded = String::new();
+                let mut chars = inner.chars();
+                while let Some(c) = chars.next() {
+                    if c == '\\' {
+                        match chars.next() {
+                            Some('\\') => decoded.push('\\'),
+                            Some('"') => decoded.push('"'),
+                            Some('n') => decoded.push('\n'),
+                            _ => return bad(errors, "bad escape in label value"),
+                        }
+                    } else if c == '"' {
+                        return bad(errors, "unescaped quote in label value");
+                    } else {
+                        decoded.push(c);
+                    }
+                }
+                labels.push((k.to_string(), decoded));
+            }
+        }
+        &body[close + 1..]
+    } else {
+        rest
+    };
+    let value_str = rest.trim();
+    // A timestamp after the value is legal in 0.0.4; we don't emit one,
+    // so only accept a bare value here.
+    let value = match parse_value(value_str) {
+        Some(v) => v,
+        None => return bad(errors, "unparsable sample value"),
+    };
+    Some(Sample {
+        name: name_part.to_string(),
+        labels,
+        value,
+        line_no,
+    })
+}
+
+/// Validates a Prometheus 0.0.4 text exposition: metric/label name
+/// charsets, `TYPE` declared before (and at most once for) each
+/// family's samples, families not interleaved, no duplicate samples,
+/// counters suffixed `_total`, and histogram completeness — cumulative
+/// monotone `le` buckets, a `+Inf` bucket, and `_sum`/`_count` present
+/// with `+Inf == _count`.
+///
+/// Returns the tally of what was seen, or every violation found.
+pub fn lint(text: &str) -> Result<LintReport, Vec<String>> {
+    let mut errors = Vec::new();
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut family_of_sample: Vec<String> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut it = rest.splitn(2, ' ');
+                let name = it.next().unwrap_or("");
+                let ty = it.next().unwrap_or("").trim();
+                if !valid_metric_name(name) {
+                    errors.push(format!("line {line_no}: TYPE for invalid name {name:?}"));
+                    continue;
+                }
+                if !matches!(
+                    ty,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    errors.push(format!("line {line_no}: unknown TYPE {ty:?} for {name}"));
+                    continue;
+                }
+                if types.insert(name.to_string(), ty.to_string()).is_some() {
+                    errors.push(format!("line {line_no}: duplicate TYPE for {name}"));
+                }
+            }
+            // HELP and free comments need no validation beyond UTF-8.
+            continue;
+        }
+        if let Some(s) = parse_sample(line, line_no, &mut errors) {
+            let family = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|suffix| {
+                    let base = s.name.strip_suffix(suffix)?;
+                    (types.get(base).map(String::as_str) == Some("histogram"))
+                        .then(|| base.to_string())
+                })
+                .unwrap_or_else(|| s.name.clone());
+            family_of_sample.push(family);
+            samples.push(s);
+        }
+    }
+
+    // TYPE must precede samples; families must not interleave.
+    let mut seen_families: Vec<String> = Vec::new();
+    for (s, family) in samples.iter().zip(&family_of_sample) {
+        match seen_families.last() {
+            Some(last) if last == family => {}
+            _ => {
+                if seen_families.contains(family) {
+                    errors.push(format!(
+                        "line {}: samples of family {family} are interleaved with another family",
+                        s.line_no
+                    ));
+                } else {
+                    seen_families.push(family.clone());
+                }
+            }
+        }
+        if let Some(ty) = types.get(family) {
+            if ty == "counter" && !s.name.ends_with("_total") {
+                errors.push(format!(
+                    "line {}: counter sample {} lacks the _total suffix",
+                    s.line_no, s.name
+                ));
+            }
+        }
+    }
+
+    // Duplicate sample detection (same name + label set).
+    let mut seen_samples = BTreeSet::new();
+    for s in &samples {
+        let key = format!("{}{:?}", s.name, s.labels);
+        if !seen_samples.insert(key) {
+            errors.push(format!(
+                "line {}: duplicate sample for {} with identical labels",
+                s.line_no, s.name
+            ));
+        }
+    }
+
+    // Histogram completeness per declared histogram family.
+    let mut report = LintReport {
+        samples: samples.len(),
+        ..LintReport::default()
+    };
+    for (name, ty) in &types {
+        let has_any = samples
+            .iter()
+            .zip(&family_of_sample)
+            .any(|(_, f)| f == name);
+        match ty.as_str() {
+            "counter" => report.counters += 1,
+            "gauge" => report.gauges += 1,
+            "histogram" => {
+                report.histograms += 1;
+                if !has_any {
+                    errors.push(format!("histogram {name} declared but has no samples"));
+                    continue;
+                }
+                let mut buckets: Vec<(f64, f64)> = Vec::new();
+                let mut sum = None;
+                let mut count = None;
+                for s in &samples {
+                    if s.name == format!("{name}_bucket") {
+                        match s.labels.iter().find(|(k, _)| k == "le") {
+                            Some((_, le)) => match parse_value(le) {
+                                Some(edge) => buckets.push((edge, s.value)),
+                                None => errors.push(format!(
+                                    "line {}: unparsable le {le:?} on {name}_bucket",
+                                    s.line_no
+                                )),
+                            },
+                            None => errors.push(format!(
+                                "line {}: {name}_bucket sample without an le label",
+                                s.line_no
+                            )),
+                        }
+                    } else if s.name == format!("{name}_sum") {
+                        sum = Some(s.value);
+                    } else if s.name == format!("{name}_count") {
+                        count = Some(s.value);
+                    }
+                }
+                if sum.is_none() {
+                    errors.push(format!("histogram {name} has no _sum sample"));
+                }
+                let count = match count {
+                    Some(c) => c,
+                    None => {
+                        errors.push(format!("histogram {name} has no _count sample"));
+                        continue;
+                    }
+                };
+                let inf = buckets
+                    .iter()
+                    .find(|(edge, _)| edge.is_infinite() && *edge > 0.0);
+                match inf {
+                    Some((_, inf_count)) => {
+                        if *inf_count != count {
+                            errors.push(format!(
+                                "histogram {name}: +Inf bucket ({inf_count}) != _count ({count})"
+                            ));
+                        }
+                    }
+                    None => errors.push(format!("histogram {name} has no le=\"+Inf\" bucket")),
+                }
+                for w in buckets.windows(2) {
+                    if w[0].0 >= w[1].0 {
+                        errors.push(format!(
+                            "histogram {name}: le edges not strictly increasing ({} then {})",
+                            w[0].0, w[1].0
+                        ));
+                    }
+                    if w[0].1 > w[1].1 {
+                        errors.push(format!(
+                            "histogram {name}: bucket counts not cumulative ({} then {})",
+                            w[0].1, w[1].1
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+        let _ = has_any;
+    }
+
+    if errors.is_empty() {
+        Ok(report)
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn rendered_registry_passes_lint() {
+        let r = MetricsRegistry::new();
+        r.counter("bfs.traversals").add(7);
+        r.counter("serve.responses_ok").add(2);
+        r.gauge("serve.queue.depth").set(3.0);
+        r.gauge("bfs.load.imbalance").set(1.25);
+        r.set_label("serve.last_run_info", "run_id", "00ff00ff00ff00ff");
+        let h = r.histogram("run.duration");
+        h.record(Duration::from_millis(5));
+        h.record(Duration::from_micros(10));
+        let text = r.render_prometheus();
+        let report = lint(&text).expect("own exposition must lint clean");
+        assert_eq!(report.counters, 2);
+        assert_eq!(report.gauges, 3, "two gauges + one info label");
+        assert_eq!(report.histograms, 1);
+        assert!(text.contains("fdiam_bfs_traversals_total 7"));
+        assert!(text.contains("fdiam_serve_queue_depth 3"));
+        assert!(text.contains("fdiam_serve_last_run_info{run_id=\"00ff00ff00ff00ff\"} 1"));
+        assert!(text.contains("fdiam_run_duration_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("fdiam_run_duration_seconds_count 2"));
+        assert!(text.contains("# TYPE fdiam_run_duration_seconds histogram"));
+    }
+
+    #[test]
+    fn empty_registry_renders_and_lints_clean() {
+        let r = MetricsRegistry::new();
+        assert_eq!(lint(&r.render_prometheus()), Ok(LintReport::default()));
+    }
+
+    #[test]
+    fn empty_histogram_renders_inf_bucket_only() {
+        let r = MetricsRegistry::new();
+        let _ = r.histogram("run.duration");
+        let text = r.render_prometheus();
+        lint(&text).expect("empty histogram still complete");
+        assert!(text.contains("fdiam_run_duration_seconds_bucket{le=\"+Inf\"} 0"));
+        assert!(text.contains("fdiam_run_duration_seconds_sum 0"));
+    }
+
+    #[test]
+    fn histogram_le_edges_match_log2_buckets() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("run.duration");
+        h.record_nanos(1000); // bucket 9, upper edge 1024 ns
+        let text = r.render_prometheus();
+        lint(&text).unwrap();
+        // The finite edge for bucket 9 is 1024 ns = 1.024e-6 s.
+        assert!(
+            text.contains("fdiam_run_duration_seconds_bucket{le=\"0.000001024\"} 1"),
+            "missing log2 le edge in:\n{text}"
+        );
+    }
+
+    #[test]
+    fn lint_rejects_malformed_expositions() {
+        // Bad metric name.
+        assert!(lint("9bad_name 1\n").is_err());
+        // Missing value.
+        assert!(lint("fdiam_x\n").is_err());
+        // Counter without _total.
+        let bad_counter = "# TYPE fdiam_x counter\nfdiam_x 1\n";
+        assert!(lint(bad_counter).is_err());
+        // Unknown TYPE.
+        assert!(lint("# TYPE fdiam_x sparkline\n").is_err());
+        // Duplicate sample.
+        assert!(lint("fdiam_x 1\nfdiam_x 2\n").is_err());
+        // Interleaved families.
+        assert!(lint("fdiam_a 1\nfdiam_b 1\nfdiam_a{l=\"x\"} 2\n").is_err());
+        // Histogram without +Inf.
+        let bad_histo = "\
+# TYPE fdiam_h histogram
+fdiam_h_bucket{le=\"1\"} 1
+fdiam_h_sum 1
+fdiam_h_count 1
+";
+        assert!(lint(bad_histo).is_err());
+        // Histogram with non-cumulative buckets.
+        let non_cumulative = "\
+# TYPE fdiam_h histogram
+fdiam_h_bucket{le=\"1\"} 2
+fdiam_h_bucket{le=\"2\"} 1
+fdiam_h_bucket{le=\"+Inf\"} 2
+fdiam_h_sum 1
+fdiam_h_count 2
+";
+        assert!(lint(non_cumulative).is_err());
+        // +Inf disagreeing with _count.
+        let inf_mismatch = "\
+# TYPE fdiam_h histogram
+fdiam_h_bucket{le=\"+Inf\"} 3
+fdiam_h_sum 1
+fdiam_h_count 2
+";
+        assert!(lint(inf_mismatch).is_err());
+    }
+
+    #[test]
+    fn lint_accepts_labels_with_escapes() {
+        let text = "fdiam_x{path=\"a\\\\b\\\"c\\nd\"} 1\n";
+        let report = lint(text).unwrap();
+        assert_eq!(report.samples, 1);
+    }
+
+    #[test]
+    fn label_escaping_round_trips_through_lint() {
+        let r = MetricsRegistry::new();
+        r.set_label("serve.odd_info", "v", "quote\" slash\\ nl\n.");
+        let text = r.render_prometheus();
+        lint(&text).expect("escaped label must lint clean");
+    }
+}

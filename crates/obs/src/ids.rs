@@ -1,0 +1,124 @@
+//! Run and span identifiers for event correlation.
+//!
+//! A [`RunId`] names one diameter computation end to end: the serving
+//! layer mints one at request admission, threads it through
+//! `FdiamConfig` into the core driver, and every consumer (access log,
+//! trace sink, metrics labels, response body) renders the same 16-hex
+//! value so a single grep correlates all four. A [`SpanId`] names one
+//! phase span or BFS traversal within a process; span ids are small
+//! process-local counters, unique per process rather than globally.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// splitmix64 finalizer: scatters a counter into a well-mixed word.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn process_seed() -> u64 {
+    static SEED: OnceLock<u64> = OnceLock::new();
+    *SEED.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        mix(nanos ^ ((std::process::id() as u64) << 32))
+    })
+}
+
+/// Identifier of one diameter run, rendered as 16 lowercase hex digits.
+///
+/// Ids from [`RunId::fresh`] are never zero, so `RunId(0)` can serve as
+/// an explicit "unassigned" sentinel where an `Option` is unavailable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RunId(pub u64);
+
+impl RunId {
+    /// Mints a new process-unique (and collision-resistant across
+    /// processes) run id.
+    pub fn fresh() -> Self {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let id = mix(process_seed() ^ n);
+        RunId(if id == 0 { 1 } else { id })
+    }
+
+    /// Parses the 16-hex-digit rendering produced by `Display`.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().map(RunId)
+    }
+}
+
+impl fmt::Display for RunId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Identifier of one phase span or BFS traversal; `SpanId::NONE` (zero)
+/// means "no span" (disabled observer, or a root span's parent).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The absent span (also the parent of root spans).
+    pub const NONE: SpanId = SpanId(0);
+
+    /// Allocates the next process-local span id (never zero).
+    pub fn fresh() -> Self {
+        static COUNTER: AtomicU64 = AtomicU64::new(1);
+        SpanId(COUNTER.fetch_add(1, Ordering::Relaxed))
+    }
+
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_ids_are_unique_and_nonzero() {
+        let a = RunId::fresh();
+        let b = RunId::fresh();
+        assert_ne!(a, b);
+        assert_ne!(a.0, 0);
+        assert_ne!(b.0, 0);
+    }
+
+    #[test]
+    fn run_id_hex_round_trips() {
+        let id = RunId::fresh();
+        let hex = id.to_string();
+        assert_eq!(hex.len(), 16);
+        assert!(hex.bytes().all(|b| b.is_ascii_hexdigit()));
+        assert_eq!(RunId::from_hex(&hex), Some(id));
+        assert_eq!(RunId::from_hex("xyz"), None);
+        assert_eq!(RunId::from_hex(""), None);
+    }
+
+    #[test]
+    fn span_ids_increment_and_none_is_zero() {
+        let a = SpanId::fresh();
+        let b = SpanId::fresh();
+        assert!(a.0 < b.0);
+        assert!(SpanId::NONE.is_none());
+        assert!(!a.is_none());
+    }
+}

@@ -41,43 +41,73 @@ impl JsonlTraceSink<BufWriter<File>> {
 }
 
 /// Encodes one event to a single JSON object (no newline).
+///
+/// Run ids are encoded as 16-hex-digit strings (`"run"`); span ids as
+/// plain numbers (`"span"`, `"parent"`), with 0 meaning "no span".
 pub fn encode_event(e: &Event<'_>, ts_us: u64) -> String {
     let o = JsonObject::new().str("type", e.name()).u64("ts_us", ts_us);
     match *e {
-        Event::RunStart { algorithm, n, m } => o
+        Event::RunStart {
+            algorithm,
+            n,
+            m,
+            run,
+        } => o
             .str("algorithm", algorithm)
             .usize("n", n)
             .usize("m", m)
+            .str("run", &run.to_string())
             .finish(),
-        Event::PhaseStart { phase } => o.str("phase", phase.name()).finish(),
-        Event::PhaseEnd { phase, nanos } => {
-            o.str("phase", phase.name()).u64("nanos", nanos).finish()
+        Event::PhaseStart {
+            phase,
+            span,
+            parent,
+        } => o
+            .str("phase", phase.name())
+            .u64("span", span.0)
+            .u64("parent", parent.0)
+            .finish(),
+        Event::PhaseEnd { phase, nanos, span } => o
+            .str("phase", phase.name())
+            .u64("nanos", nanos)
+            .u64("span", span.0)
+            .finish(),
+        Event::BfsStart { source, span } => {
+            o.u64("source", source as u64).u64("span", span.0).finish()
         }
-        Event::BfsStart { source } => o.u64("source", source as u64).finish(),
         Event::BfsLevel {
             level,
             frontier,
             edges_scanned,
             bottom_up,
+            span,
         } => o
             .u64("level", level as u64)
             .usize("frontier", frontier)
             .u64("edges_scanned", edges_scanned)
             .bool("bottom_up", bottom_up)
+            .u64("span", span.0)
             .finish(),
-        Event::DirectionSwitch { level, bottom_up } => o
+        Event::DirectionSwitch {
+            level,
+            bottom_up,
+            span,
+        } => o
             .u64("level", level as u64)
             .bool("bottom_up", bottom_up)
+            .u64("span", span.0)
             .finish(),
         Event::EpochRollover { rollovers } => o.u64("rollovers", rollovers).finish(),
         Event::BfsEnd {
             source,
             eccentricity,
             visited,
+            span,
         } => o
             .u64("source", source as u64)
             .u64("eccentricity", eccentricity as u64)
             .usize("visited", visited)
+            .u64("span", span.0)
             .finish(),
         Event::BoundUpdate { old, new, source } => o
             .u64("old", old as u64)
@@ -94,14 +124,42 @@ pub fn encode_event(e: &Event<'_>, ts_us: u64) -> String {
             .usize("active", active)
             .u64("bound", bound as u64)
             .finish(),
+        Event::WorkerLoad {
+            workers,
+            total_edges,
+            max_busy_nanos,
+            mean_busy_nanos,
+            imbalance,
+        } => o
+            .usize("workers", workers)
+            .u64("total_edges", total_edges)
+            .u64("max_busy_nanos", max_busy_nanos)
+            .u64("mean_busy_nanos", mean_busy_nanos)
+            .f64("imbalance", imbalance)
+            .finish(),
+        Event::RemovalSummary {
+            winnow,
+            eliminate,
+            chain,
+            degree0,
+            computed,
+        } => o
+            .usize("winnow", winnow)
+            .usize("eliminate", eliminate)
+            .usize("chain", chain)
+            .usize("degree0", degree0)
+            .usize("computed", computed)
+            .finish(),
         Event::RunEnd {
             diameter,
             connected,
             nanos,
+            run,
         } => o
             .u64("diameter", diameter as u64)
             .bool("connected", connected)
             .u64("nanos", nanos)
+            .str("run", &run.to_string())
             .finish(),
     }
 }
@@ -124,6 +182,7 @@ impl<W: Write + Send> Observer for JsonlTraceSink<W> {
 mod tests {
     use super::*;
     use crate::event::Phase;
+    use crate::ids::{RunId, SpanId};
     use crate::json::{parse, JsonValue};
 
     fn trace_of(events: &[Event<'_>]) -> Vec<JsonValue> {
@@ -141,35 +200,46 @@ mod tests {
 
     #[test]
     fn every_event_variant_encodes_to_valid_json() {
+        let run = RunId(0x00ab_cdef_0123_4567);
         let events = [
             Event::RunStart {
                 algorithm: "fdiam",
                 n: 10,
                 m: 9,
+                run,
             },
             Event::PhaseStart {
                 phase: Phase::TwoSweep,
+                span: SpanId(5),
+                parent: SpanId::NONE,
             },
-            Event::BfsStart { source: 7 },
+            Event::BfsStart {
+                source: 7,
+                span: SpanId(6),
+            },
             Event::BfsLevel {
                 level: 1,
                 frontier: 3,
                 edges_scanned: 12,
                 bottom_up: false,
+                span: SpanId(6),
             },
             Event::DirectionSwitch {
                 level: 2,
                 bottom_up: true,
+                span: SpanId(6),
             },
             Event::EpochRollover { rollovers: 1 },
             Event::BfsEnd {
                 source: 7,
                 eccentricity: 4,
                 visited: 10,
+                span: SpanId(6),
             },
             Event::PhaseEnd {
                 phase: Phase::TwoSweep,
                 nanos: 1234,
+                span: SpanId(5),
             },
             Event::BoundUpdate {
                 old: 3,
@@ -186,10 +256,25 @@ mod tests {
                 active: 3,
                 bound: 4,
             },
+            Event::WorkerLoad {
+                workers: 4,
+                total_edges: 100,
+                max_busy_nanos: 40,
+                mean_busy_nanos: 25,
+                imbalance: 1.6,
+            },
+            Event::RemovalSummary {
+                winnow: 3,
+                eliminate: 4,
+                chain: 2,
+                degree0: 0,
+                computed: 1,
+            },
             Event::RunEnd {
                 diameter: 4,
                 connected: true,
                 nanos: 9999,
+                run,
             },
         ];
         let lines = trace_of(&events);
@@ -200,22 +285,41 @@ mod tests {
         }
         // Spot-check field fidelity.
         assert_eq!(lines[0].get("n").unwrap().as_u64(), Some(10));
+        assert_eq!(
+            lines[0].get("run").unwrap().as_str(),
+            Some("00abcdef01234567"),
+            "run ids render as 16 fixed-width hex digits"
+        );
         assert_eq!(lines[1].get("phase").unwrap().as_str(), Some("two_sweep"));
+        assert_eq!(lines[1].get("span").unwrap().as_u64(), Some(5));
+        assert_eq!(lines[1].get("parent").unwrap().as_u64(), Some(0));
         assert_eq!(lines[3].get("edges_scanned").unwrap().as_u64(), Some(12));
+        assert_eq!(lines[3].get("span").unwrap().as_u64(), Some(6));
         assert_eq!(lines[4].get("bottom_up").unwrap().as_bool(), Some(true));
         assert_eq!(lines[7].get("nanos").unwrap().as_u64(), Some(1234));
         assert_eq!(lines[10].get("removed").unwrap().as_u64(), Some(5));
-        assert_eq!(lines[13].get("diameter").unwrap().as_u64(), Some(4));
+        assert_eq!(lines[13].get("imbalance").unwrap().as_f64(), Some(1.6));
+        assert_eq!(lines[14].get("eliminate").unwrap().as_u64(), Some(4));
+        assert_eq!(lines[15].get("diameter").unwrap().as_u64(), Some(4));
+        assert_eq!(
+            lines[15].get("run").unwrap().as_str(),
+            lines[0].get("run").unwrap().as_str(),
+            "run_start and run_end carry the same run id"
+        );
     }
 
     #[test]
     fn timestamps_are_monotonic() {
         let events = [
-            Event::BfsStart { source: 0 },
+            Event::BfsStart {
+                source: 0,
+                span: SpanId::NONE,
+            },
             Event::BfsEnd {
                 source: 0,
                 eccentricity: 1,
                 visited: 2,
+                span: SpanId::NONE,
             },
         ];
         let lines = trace_of(&events);

@@ -19,9 +19,16 @@
 //!   BFS), per-level BFS frontier dynamics, top-down↔bottom-up
 //!   direction switches, epoch rollovers, and diameter lower-bound
 //!   convergence.
-//! * [`MetricsRegistry`] / [`MetricsObserver`] — named atomic counters
-//!   and log₂-bucketed duration histograms, aggregated from the event
-//!   stream (`fdiam diameter --metrics`).
+//! * [`RunId`] / [`SpanId`] — correlation ids: a run id is minted at
+//!   request admission (or by the driver) and appears in the trace,
+//!   the access log, the `/metrics` info label, and the response body;
+//!   span ids link phase spans and per-level BFS events to their
+//!   traversal.
+//! * [`MetricsRegistry`] / [`MetricsObserver`] — named atomic counters,
+//!   last-value [`Gauge`]s, and log₂-bucketed duration histograms,
+//!   aggregated from the event stream (`fdiam diameter --metrics`).
+//!   [`expo`] renders the whole registry in Prometheus 0.0.4 text
+//!   exposition and ships the in-tree linter that validates it.
 //! * [`ProgressSink`] — rate-limited human progress lines on stderr:
 //!   active vertices remaining, current bound, BFS/s.
 //! * [`JsonlTraceSink`] — one structured JSON event per line for
@@ -40,6 +47,8 @@
 
 pub mod cancel;
 pub mod event;
+pub mod expo;
+pub mod ids;
 pub mod json;
 pub mod jsonl;
 pub mod metrics;
@@ -48,7 +57,9 @@ pub mod progress;
 
 pub use cancel::CancelToken;
 pub use event::{Event, Phase};
+pub use expo::PROMETHEUS_CONTENT_TYPE;
+pub use ids::{RunId, SpanId};
 pub use jsonl::JsonlTraceSink;
-pub use metrics::{Counter, DurationHistogram, MetricsObserver, MetricsRegistry};
+pub use metrics::{Counter, DurationHistogram, Gauge, MetricsObserver, MetricsRegistry};
 pub use observer::{noop, Fanout, NoopObserver, Observer, PhaseSpan, Tee};
 pub use progress::ProgressSink;

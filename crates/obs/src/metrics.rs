@@ -26,10 +26,48 @@ impl Counter {
     }
 }
 
+/// A last-value gauge holding an `f64` (stored as raw bits in an
+/// `AtomicU64`). Covers both sampled values (queue depth, cache bytes)
+/// and up/down tracking via [`Gauge::inc`]/[`Gauge::dec`].
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    pub fn inc(&self) {
+        self.add(1.0);
+    }
+
+    pub fn dec(&self) {
+        self.add(-1.0);
+    }
+}
+
 /// Number of log₂ buckets: bucket `i` holds durations in
 /// `[2^i, 2^(i+1))` nanoseconds; bucket 0 also holds sub-nanosecond
 /// values and bucket 63 everything ≥ 2^63 ns.
-const BUCKETS: usize = 64;
+pub(crate) const BUCKETS: usize = 64;
 
 /// A lock-free log₂-bucketed histogram of durations, with exact count,
 /// sum, and max.
@@ -87,6 +125,28 @@ impl DurationHistogram {
         }
     }
 
+    /// Per-bucket counts (bucket `i` holds `[2^i, 2^(i+1))` ns; bucket
+    /// 0 also holds 0 ns, bucket 63 everything ≥ 2^63 ns).
+    pub fn bucket_snapshot(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Exclusive upper edge of bucket `i` in nanoseconds: `2^(i+1)`,
+    /// saturating to `u64::MAX` for the last bucket (which is
+    /// unbounded above).
+    pub fn bucket_upper_nanos(i: usize) -> u64 {
+        if i >= BUCKETS - 1 {
+            u64::MAX
+        } else {
+            1u64 << (i + 1)
+        }
+    }
+
+    /// Raw sum in nanoseconds (exact, unlike the bucketed counts).
+    pub fn sum_nanos(&self) -> u64 {
+        self.sum_nanos.load(Ordering::Relaxed)
+    }
+
     /// Upper edge (in nanoseconds) of the bucket containing quantile
     /// `q` ∈ [0, 1] — a conservative approximation within 2× of the
     /// true value.
@@ -114,7 +174,12 @@ impl DurationHistogram {
 #[derive(Default)]
 pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<&'static str, Arc<DurationHistogram>>>,
+    /// Info-style metrics: rendered as `name{key="value"} 1` with the
+    /// latest value replacing the previous one (cardinality 1). Used to
+    /// expose the most recent run id as a scrapeable label.
+    labels: Mutex<BTreeMap<&'static str, (&'static str, String)>>,
 }
 
 impl MetricsRegistry {
@@ -144,6 +209,26 @@ impl MetricsRegistry {
         )
     }
 
+    /// Returns (creating if absent) the gauge called `name`.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        Arc::clone(
+            self.gauges
+                .lock()
+                .unwrap()
+                .entry(name)
+                .or_insert_with(|| Arc::new(Gauge::default())),
+        )
+    }
+
+    /// Sets (replacing any previous value) an info-style metric
+    /// rendered as `name{key="value"} 1`.
+    pub fn set_label(&self, name: &'static str, key: &'static str, value: &str) {
+        self.labels
+            .lock()
+            .unwrap()
+            .insert(name, (key, value.to_string()));
+    }
+
     /// Counter values, sorted by name.
     pub fn counter_snapshot(&self) -> Vec<(&'static str, u64)> {
         self.counters
@@ -154,10 +239,43 @@ impl MetricsRegistry {
             .collect()
     }
 
+    /// Gauge values, sorted by name.
+    pub fn gauge_snapshot(&self) -> Vec<(&'static str, f64)> {
+        self.gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, g)| (*name, g.get()))
+            .collect()
+    }
+
+    /// Histogram handles, sorted by name.
+    pub fn histogram_snapshot(&self) -> Vec<(&'static str, Arc<DurationHistogram>)> {
+        self.histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, h)| (*name, Arc::clone(h)))
+            .collect()
+    }
+
+    /// Info-label values, sorted by name.
+    pub fn label_snapshot(&self) -> Vec<(&'static str, &'static str, String)> {
+        self.labels
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, (k, v))| (*name, *k, v.clone()))
+            .collect()
+    }
+
     /// Human-readable summary of every metric, one per line.
     pub fn render_summary(&self) -> String {
         let mut out = String::new();
         for (name, value) in self.counter_snapshot() {
+            out.push_str(&format!("{name:<32} {value}\n"));
+        }
+        for (name, value) in self.gauge_snapshot() {
             out.push_str(&format!("{name:<32} {value}\n"));
         }
         let histos = self.histograms.lock().unwrap();
@@ -197,6 +315,12 @@ impl MetricsRegistry {
 /// | `driver.eliminated_vertices` | vertices removed by Eliminate |
 /// | `driver.chains_processed` | degree-1 chains handled |
 ///
+/// Gauges (set from the end-of-run [`Event::WorkerLoad`] summary):
+/// `bfs.load.workers`, `bfs.load.imbalance` (max/mean busy-time ratio),
+/// `bfs.load.max_busy_nanos`, `bfs.load.mean_busy_nanos`; plus the
+/// counter `bfs.load.edges` (edges scanned by accounted parallel
+/// expansions).
+///
 /// Histograms: `phase.<name>.duration` for every [`Phase`] span and
 /// `run.duration` for whole runs.
 pub struct MetricsObserver {
@@ -212,6 +336,11 @@ pub struct MetricsObserver {
     eliminate_calls: Arc<Counter>,
     eliminated: Arc<Counter>,
     chains: Arc<Counter>,
+    load_workers: Arc<Gauge>,
+    load_imbalance: Arc<Gauge>,
+    load_max_busy: Arc<Gauge>,
+    load_mean_busy: Arc<Gauge>,
+    load_edges: Arc<Counter>,
     phase_durations: [Arc<DurationHistogram>; Phase::ALL.len()],
     run_duration: Arc<DurationHistogram>,
 }
@@ -239,6 +368,11 @@ impl MetricsObserver {
             eliminate_calls: registry.counter("driver.eliminate_calls"),
             eliminated: registry.counter("driver.eliminated_vertices"),
             chains: registry.counter("driver.chains_processed"),
+            load_workers: registry.gauge("bfs.load.workers"),
+            load_imbalance: registry.gauge("bfs.load.imbalance"),
+            load_max_busy: registry.gauge("bfs.load.max_busy_nanos"),
+            load_mean_busy: registry.gauge("bfs.load.mean_busy_nanos"),
+            load_edges: registry.counter("bfs.load.edges"),
             run_duration: registry.histogram("run.duration"),
             phase_durations,
             registry,
@@ -274,7 +408,20 @@ impl Observer for MetricsObserver {
                 self.eliminated.add(removed as u64);
             }
             Event::ChainsProcessed { count } => self.chains.add(count as u64),
-            Event::PhaseEnd { phase, nanos } => {
+            Event::WorkerLoad {
+                workers,
+                total_edges,
+                max_busy_nanos,
+                mean_busy_nanos,
+                imbalance,
+            } => {
+                self.load_workers.set(workers as f64);
+                self.load_imbalance.set(imbalance);
+                self.load_max_busy.set(max_busy_nanos as f64);
+                self.load_mean_busy.set(mean_busy_nanos as f64);
+                self.load_edges.add(total_edges);
+            }
+            Event::PhaseEnd { phase, nanos, .. } => {
                 let i = Phase::ALL.iter().position(|&p| p == phase).unwrap();
                 self.phase_durations[i].record_nanos(nanos);
             }
@@ -341,22 +488,26 @@ mod tests {
 
     #[test]
     fn observer_routes_events() {
+        use crate::ids::SpanId;
         let reg = Arc::new(MetricsRegistry::new());
         let obs = MetricsObserver::new(Arc::clone(&reg));
         obs.event(&Event::BfsEnd {
             source: 0,
             eccentricity: 3,
             visited: 10,
+            span: SpanId::NONE,
         });
         obs.event(&Event::BfsLevel {
             level: 1,
             frontier: 5,
             edges_scanned: 12,
             bottom_up: true,
+            span: SpanId::NONE,
         });
         obs.event(&Event::DirectionSwitch {
             level: 2,
             bottom_up: true,
+            span: SpanId::NONE,
         });
         obs.event(&Event::EliminateRun {
             removed: 7,
@@ -365,15 +516,126 @@ mod tests {
         obs.event(&Event::PhaseEnd {
             phase: Phase::Winnow,
             nanos: 1000,
+            span: SpanId::NONE,
+        });
+        obs.event(&Event::WorkerLoad {
+            workers: 4,
+            total_edges: 123,
+            max_busy_nanos: 80,
+            mean_busy_nanos: 40,
+            imbalance: 2.0,
         });
         assert_eq!(reg.counter("bfs.traversals").get(), 1);
         assert_eq!(reg.counter("bfs.edges_scanned").get(), 12);
         assert_eq!(reg.counter("bfs.bottom_up_levels").get(), 1);
         assert_eq!(reg.counter("bfs.direction_switches").get(), 1);
         assert_eq!(reg.counter("driver.eliminated_vertices").get(), 7);
+        assert_eq!(reg.counter("bfs.load.edges").get(), 123);
+        assert_eq!(reg.gauge("bfs.load.imbalance").get(), 2.0);
+        assert_eq!(reg.gauge("bfs.load.workers").get(), 4.0);
         assert_eq!(reg.histogram("phase.winnow.duration").count(), 1);
         let summary = reg.render_summary();
         assert!(summary.contains("bfs.direction_switches"));
+        assert!(summary.contains("bfs.load.imbalance"));
         assert!(summary.contains("phase.winnow.duration"));
+    }
+
+    #[test]
+    fn gauge_set_add_inc_dec() {
+        let g = Gauge::default();
+        assert_eq!(g.get(), 0.0);
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        g.add(1.5);
+        assert_eq!(g.get(), 4.0);
+        g.inc();
+        g.dec();
+        g.dec();
+        assert_eq!(g.get(), 3.0);
+        g.set(-0.0);
+        assert_eq!(g.get(), 0.0);
+    }
+
+    #[test]
+    fn registry_labels_replace_previous_value() {
+        let r = MetricsRegistry::new();
+        r.set_label("serve.last_run_info", "run_id", "aaaa");
+        r.set_label("serve.last_run_info", "run_id", "bbbb");
+        assert_eq!(
+            r.label_snapshot(),
+            vec![("serve.last_run_info", "run_id", "bbbb".to_string())]
+        );
+    }
+
+    /// Satellite: explicit `record_nanos` boundary behavior. Bucket `i`
+    /// holds `[2^i, 2^(i+1))` ns, with 0 folded into bucket 0 and
+    /// everything ≥ 2^63 (including `u64::MAX`) in bucket 63.
+    #[test]
+    fn record_nanos_bucket_boundaries() {
+        let bucket_of = |nanos: u64| -> usize {
+            let h = DurationHistogram::default();
+            h.record_nanos(nanos);
+            let b = h.bucket_snapshot();
+            let i = b.iter().position(|&c| c == 1).unwrap();
+            assert_eq!(b.iter().sum::<u64>(), 1, "exactly one bucket incremented");
+            i
+        };
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        // Exact powers of two open their own bucket...
+        for k in 1..64 {
+            assert_eq!(bucket_of(1u64 << k), k, "2^{k} must land in bucket {k}");
+        }
+        // ...and the value just below each power stays one bucket down.
+        for k in 2..64 {
+            assert_eq!(bucket_of((1u64 << k) - 1), k - 1);
+        }
+        assert_eq!(bucket_of(u64::MAX), 63);
+    }
+
+    /// Satellite: the log₂→`le` conversion used by the Prometheus
+    /// exposition — every recorded value must satisfy
+    /// `value ≤ bucket_upper_nanos(bucket)` and (for nonzero values)
+    /// exceed the previous bucket's edge.
+    #[test]
+    fn bucket_upper_edges_cover_contents() {
+        assert_eq!(DurationHistogram::bucket_upper_nanos(0), 2);
+        assert_eq!(DurationHistogram::bucket_upper_nanos(1), 4);
+        assert_eq!(DurationHistogram::bucket_upper_nanos(62), 1u64 << 63);
+        assert_eq!(DurationHistogram::bucket_upper_nanos(63), u64::MAX);
+        for nanos in [0u64, 1, 2, 3, 1000, 1 << 20, (1 << 40) + 7, u64::MAX] {
+            let h = DurationHistogram::default();
+            h.record_nanos(nanos);
+            let i = h.bucket_snapshot().iter().position(|&c| c == 1).unwrap();
+            assert!(nanos <= DurationHistogram::bucket_upper_nanos(i));
+            if i > 0 {
+                assert!(nanos >= DurationHistogram::bucket_upper_nanos(i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_upper_bound_brackets_true_quantile() {
+        let h = DurationHistogram::default();
+        // 90 fast samples (~1µs) and 10 slow ones (~1ms).
+        for _ in 0..90 {
+            h.record_nanos(1_000);
+        }
+        for _ in 0..10 {
+            h.record_nanos(1_000_000);
+        }
+        // p50 must be bounded by the fast bucket's edge (≤ 2^10 = 1024...
+        // 1000 lands in bucket 9, edge 1024).
+        assert_eq!(h.quantile_upper_bound(0.5), 1024);
+        // p99 must cover the slow samples but stay within 2× of 1ms.
+        let p99 = h.quantile_upper_bound(0.99);
+        assert!((1_000_000..=2_097_152).contains(&p99), "p99 = {p99}");
+        // q = 0 still returns the first nonempty bucket's edge.
+        assert_eq!(h.quantile_upper_bound(0.0), 1024);
+        assert!(h.quantile_upper_bound(1.0) >= 1_000_000);
+        // A histogram holding u64::MAX reports u64::MAX.
+        let h2 = DurationHistogram::default();
+        h2.record_nanos(u64::MAX);
+        assert_eq!(h2.quantile_upper_bound(1.0), u64::MAX);
     }
 }

@@ -1,6 +1,8 @@
 //! The [`Observer`] trait and its combinators.
 
 use crate::event::{Event, Phase};
+use crate::ids::SpanId;
+use std::cell::RefCell;
 use std::time::Instant;
 
 /// A sink for [`Event`]s emitted by the F-Diam stack.
@@ -106,30 +108,77 @@ impl Observer for Fanout {
     }
 }
 
+thread_local! {
+    /// Stack of open phase spans on this thread; the top is the parent
+    /// of the next span entered here. Phase spans are entered and
+    /// dropped on the same thread (LIFO), so a thread-local stack is
+    /// enough to reconstruct nesting without any synchronization.
+    static SPAN_STACK: RefCell<Vec<SpanId>> = const { RefCell::new(Vec::new()) };
+}
+
 /// RAII phase span: emits [`Event::PhaseStart`] on creation and
 /// [`Event::PhaseEnd`] with the elapsed wall-clock nanoseconds on drop.
+///
+/// When the observer is enabled, the span gets a fresh [`SpanId`] and
+/// records the enclosing span on the same thread as its parent; when
+/// disabled, no id is allocated and the thread-local stack is untouched.
 pub struct PhaseSpan<'a> {
     obs: &'a dyn Observer,
     phase: Phase,
+    span: SpanId,
     start: Instant,
 }
 
 impl<'a> PhaseSpan<'a> {
     pub fn enter(obs: &'a dyn Observer, phase: Phase) -> Self {
-        obs.event(&Event::PhaseStart { phase });
+        let (span, parent) = if obs.enabled() {
+            let span = SpanId::fresh();
+            let parent = SPAN_STACK.with(|s| {
+                let mut s = s.borrow_mut();
+                let parent = s.last().copied().unwrap_or(SpanId::NONE);
+                s.push(span);
+                parent
+            });
+            (span, parent)
+        } else {
+            (SpanId::NONE, SpanId::NONE)
+        };
+        obs.event(&Event::PhaseStart {
+            phase,
+            span,
+            parent,
+        });
         Self {
             obs,
             phase,
+            span,
             start: Instant::now(),
         }
+    }
+
+    /// Id of this span ([`SpanId::NONE`] when the observer is disabled).
+    pub fn id(&self) -> SpanId {
+        self.span
     }
 }
 
 impl Drop for PhaseSpan<'_> {
     fn drop(&mut self) {
+        if !self.span.is_none() {
+            SPAN_STACK.with(|s| {
+                let mut s = s.borrow_mut();
+                // Pop our own id; tolerate a foreign top defensively.
+                if s.last() == Some(&self.span) {
+                    s.pop();
+                } else if let Some(pos) = s.iter().rposition(|&x| x == self.span) {
+                    s.truncate(pos);
+                }
+            });
+        }
         self.obs.event(&Event::PhaseEnd {
             phase: self.phase,
             nanos: self.start.elapsed().as_nanos() as u64,
+            span: self.span,
         });
     }
 }
@@ -158,7 +207,10 @@ mod tests {
     fn noop_is_disabled() {
         assert!(!noop().enabled());
         assert!(!noop().wants_bfs_detail());
-        noop().event(&Event::BfsStart { source: 0 }); // must not panic
+        noop().event(&Event::BfsStart {
+            source: 0,
+            span: SpanId::NONE,
+        }); // must not panic
     }
 
     #[test]
@@ -167,7 +219,10 @@ mod tests {
         let b = Recorder::new();
         let t = Tee(&a, &b);
         assert!(t.enabled());
-        t.event(&Event::BfsStart { source: 3 });
+        t.event(&Event::BfsStart {
+            source: 3,
+            span: SpanId::NONE,
+        });
         assert_eq!(*a.0.lock().unwrap(), vec!["bfs_start"]);
         assert_eq!(*b.0.lock().unwrap(), vec!["bfs_start"]);
 
@@ -201,5 +256,53 @@ mod tests {
             *r.0.lock().unwrap(),
             vec!["phase_start", "winnow", "phase_end"]
         );
+    }
+
+    /// Records full phase span events (not just names).
+    struct SpanRecorder(Mutex<Vec<(Phase, SpanId, SpanId)>>);
+
+    impl Observer for SpanRecorder {
+        fn event(&self, e: &Event<'_>) {
+            if let Event::PhaseStart {
+                phase,
+                span,
+                parent,
+            } = *e
+            {
+                self.0.lock().unwrap().push((phase, span, parent));
+            }
+        }
+    }
+
+    #[test]
+    fn nested_spans_record_parent_links() {
+        let r = SpanRecorder(Mutex::new(Vec::new()));
+        {
+            let outer = PhaseSpan::enter(&r, Phase::TwoSweep);
+            assert!(!outer.id().is_none());
+            {
+                let inner = PhaseSpan::enter(&r, Phase::EccBfs);
+                assert_ne!(inner.id(), outer.id());
+            }
+            let sibling = PhaseSpan::enter(&r, Phase::EccBfs);
+            drop(sibling);
+        }
+        // After all spans closed, a fresh root must again have no parent.
+        let root2 = PhaseSpan::enter(&r, Phase::Winnow);
+        drop(root2);
+
+        let spans = r.0.lock().unwrap();
+        assert_eq!(spans.len(), 4);
+        let (_, outer_id, outer_parent) = spans[0];
+        assert_eq!(outer_parent, SpanId::NONE);
+        assert_eq!(spans[1].2, outer_id, "inner span's parent is outer");
+        assert_eq!(spans[2].2, outer_id, "sibling span's parent is outer");
+        assert_eq!(spans[3].2, SpanId::NONE, "post-close span is a root");
+    }
+
+    #[test]
+    fn disabled_span_allocates_no_id() {
+        let s = PhaseSpan::enter(noop(), Phase::Chain);
+        assert!(s.id().is_none());
     }
 }

@@ -144,16 +144,19 @@ mod tests {
 
     #[test]
     fn unthrottled_sink_reports_each_progress_event() {
+        use crate::ids::{RunId, SpanId};
         let sink = ProgressSink::new(Vec::new(), Duration::ZERO);
         sink.event(&Event::RunStart {
             algorithm: "fdiam",
             n: 100,
             m: 200,
+            run: RunId(1),
         });
         sink.event(&Event::BfsEnd {
             source: 0,
             eccentricity: 4,
             visited: 100,
+            span: SpanId::NONE,
         });
         sink.event(&Event::BoundUpdate {
             old: 0,
@@ -168,6 +171,7 @@ mod tests {
             diameter: 5,
             connected: true,
             nanos: 2_000_000_000,
+            run: RunId(1),
         });
         let out = lines(sink);
         assert_eq!(out.len(), 3, "{out:?}"); // progress + final + done
@@ -179,11 +183,13 @@ mod tests {
 
     #[test]
     fn throttling_suppresses_rapid_updates() {
+        use crate::ids::RunId;
         let sink = ProgressSink::new(Vec::new(), Duration::from_secs(3600));
         sink.event(&Event::RunStart {
             algorithm: "fdiam",
             n: 10,
             m: 9,
+            run: RunId(1),
         });
         for i in 0..50 {
             sink.event(&Event::Progress {
@@ -195,6 +201,7 @@ mod tests {
             diameter: 9,
             connected: true,
             nanos: 1,
+            run: RunId(1),
         });
         let out = lines(sink);
         // first progress emits (no last_emit), the rest throttle, the

@@ -13,7 +13,8 @@
 //! | `POST /v1/diameter` | `{"spec": …}` or `{"path": …}` | exact diameter via F-Diam |
 //! | `POST /v1/eccentricities` | same | radius/diameter/all-ecc via Takes–Kosters |
 //! | `GET /healthz` | — | liveness + configuration |
-//! | `GET /metrics` | — | [`MetricsRegistry`] summary (text) |
+//! | `GET /metrics` | — | Prometheus 0.0.4 text exposition |
+//! | `GET /metrics?format=summary` | — | legacy [`MetricsRegistry`] summary (text) |
 //!
 //! Optional body fields: `timeout_secs` (per-request deadline,
 //! overrides the server default), `serial` (run the sequential
@@ -48,15 +49,79 @@ use fdiam_bfs::BfsScratch;
 use fdiam_core::FdiamConfig;
 use fdiam_graph::CsrGraph;
 use fdiam_obs::json::{self, JsonObject, JsonValue};
-use fdiam_obs::{CancelToken, MetricsObserver, MetricsRegistry};
+use fdiam_obs::{CancelToken, MetricsObserver, MetricsRegistry, RunId, PROMETHEUS_CONTENT_TYPE};
 use http::{read_request, write_response, HttpError, Request};
 use std::fmt::Write as _;
+use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Destination of the per-request JSONL access log. Cheap to clone
+/// (handles share the sink); disabled by default so embedded test
+/// servers stay silent — the `fdiam-serve` binary logs to stderr.
+#[derive(Clone, Default)]
+pub struct AccessLog(Option<Arc<Mutex<Box<dyn std::io::Write + Send>>>>);
+
+impl std::fmt::Debug for AccessLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "AccessLog(enabled)"
+        } else {
+            "AccessLog(disabled)"
+        })
+    }
+}
+
+impl AccessLog {
+    /// No access log (the `Default`).
+    pub fn disabled() -> Self {
+        Self(None)
+    }
+
+    /// One JSONL line per request to stderr.
+    pub fn stderr() -> Self {
+        Self::to_writer(Box::new(std::io::stderr()))
+    }
+
+    /// One JSONL line per request to an arbitrary sink.
+    pub fn to_writer(w: Box<dyn std::io::Write + Send>) -> Self {
+        Self(Some(Arc::new(Mutex::new(w))))
+    }
+
+    /// An in-memory sink plus a handle to read it back — for tests
+    /// asserting on access-log contents.
+    pub fn buffer() -> (Self, Arc<Mutex<Vec<u8>>>) {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&buf);
+        (Self::to_writer(Box::new(SharedBuf(sink))), buf)
+    }
+
+    fn write_line(&self, line: &str) {
+        if let Some(w) = &self.0 {
+            let mut w = w.lock().unwrap();
+            let _ = writeln!(w, "{line}");
+            let _ = w.flush();
+        }
+    }
+}
+
+/// `Write` adapter over the shared buffer handed out by
+/// [`AccessLog::buffer`].
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
 
 /// Tunables for [`Server::bind`]. `Default` suits tests and small
 /// deployments; `fdiam-serve --help` documents the CLI mapping.
@@ -75,6 +140,8 @@ pub struct ServeConfig {
     /// Honor the `sleep_ms` test hook (integration tests use it to
     /// hold a worker busy deterministically). Off in production.
     pub allow_test_hooks: bool,
+    /// Per-request JSONL access log sink (disabled by default).
+    pub access_log: AccessLog,
 }
 
 impl Default for ServeConfig {
@@ -86,6 +153,7 @@ impl Default for ServeConfig {
             default_timeout: None,
             max_body_bytes: 1 << 20,
             allow_test_hooks: false,
+            access_log: AccessLog::disabled(),
         }
     }
 }
@@ -95,6 +163,15 @@ impl Default for ServeConfig {
 enum Endpoint {
     Diameter,
     Eccentricities,
+}
+
+impl Endpoint {
+    fn as_str(self) -> &'static str {
+        match self {
+            Endpoint::Diameter => "diameter",
+            Endpoint::Eccentricities => "eccentricities",
+        }
+    }
 }
 
 /// A parsed, admitted compute request.
@@ -107,6 +184,12 @@ struct Job {
     include_values: bool,
     sleep_ms: u64,
     token: CancelToken,
+    /// Trace id minted at admission; the compute run, the access-log
+    /// line, the response body, and the metrics label all carry it.
+    run: RunId,
+    /// When the request was admitted — queue wait is measured from
+    /// here to dequeue.
+    admitted_at: Instant,
 }
 
 struct Shared {
@@ -117,8 +200,8 @@ struct Shared {
     started: Instant,
 }
 
-/// A running service. Dropping it without calling [`shutdown`]
-/// (`Server::shutdown`) aborts the process-exit path only; tests and
+/// A running service. Dropping it without calling
+/// [`Server::shutdown`] aborts the process-exit path only; tests and
 /// embedders should shut down explicitly to get the drain guarantee.
 pub struct Server {
     addr: SocketAddr,
@@ -231,17 +314,25 @@ fn handle_connection(stream: TcpStream, shared: &Shared, tx: &SyncSender<Job>) {
         Err(HttpError::Io(_)) => return, // peer vanished; nothing to say
     };
 
-    match (req.method.as_str(), req.path.as_str()) {
+    // Split the query string off the path so `/metrics?format=summary`
+    // still routes to `/metrics`.
+    let (path, query) = match req.path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (req.path.as_str(), ""),
+    };
+    match (req.method.as_str(), path) {
         ("GET", "/healthz") => respond_healthz(&stream, shared),
         ("GET", "/metrics") => {
-            let text = shared.metrics.render_summary();
-            let _ = write_response(
-                &stream,
-                200,
-                &[],
-                "text/plain; charset=utf-8",
-                text.as_bytes(),
-            );
+            // Prometheus 0.0.4 text exposition by default; the legacy
+            // human-readable summary stays behind `?format=summary`.
+            let summary = query.split('&').any(|kv| kv == "format=summary");
+            let (text, content_type) = if summary {
+                (shared.metrics.render_summary(), "text/plain; charset=utf-8")
+            } else {
+                refresh_cache_gauges(shared);
+                (shared.metrics.render_prometheus(), PROMETHEUS_CONTENT_TYPE)
+            };
+            let _ = write_response(&stream, 200, &[], content_type, text.as_bytes());
         }
         ("POST", "/v1/diameter") => admit(stream, shared, tx, &req, Endpoint::Diameter),
         ("POST", "/v1/eccentricities") => admit(stream, shared, tx, &req, Endpoint::Eccentricities),
@@ -260,9 +351,11 @@ fn admit(stream: TcpStream, shared: &Shared, tx: &SyncSender<Job>, req: &Request
     match tx.try_send(job) {
         Ok(()) => {
             shared.metrics.counter("serve.jobs_enqueued").inc();
+            shared.metrics.gauge("serve.queue.depth").inc();
         }
         Err(TrySendError::Full(job)) => {
             shared.metrics.counter("serve.jobs_shed").inc();
+            log_access(shared, &job, 429, "-", Duration::ZERO, "shed");
             let _ = write_response(
                 &job.stream,
                 429,
@@ -275,9 +368,48 @@ fn admit(stream: TcpStream, shared: &Shared, tx: &SyncSender<Job>, req: &Request
             );
         }
         Err(TrySendError::Disconnected(job)) => {
+            log_access(shared, &job, 503, "-", Duration::ZERO, "shutdown");
             respond_error(&job.stream, shared, 503, "server is shutting down")
         }
     }
+}
+
+/// One structured JSONL line per compute request: the run/trace id,
+/// which endpoint, response status, cache outcome, time spent queued,
+/// total time since admission, and how the deadline resolved.
+fn log_access(
+    shared: &Shared,
+    job: &Job,
+    status: u16,
+    cache: &str,
+    queue_wait: Duration,
+    deadline: &str,
+) {
+    let line = JsonObject::new()
+        .str("type", "access")
+        .str("run_id", &job.run.to_string())
+        .str("endpoint", job.endpoint.as_str())
+        .str("graph", &job.graph_key)
+        .u64("status", u64::from(status))
+        .str("cache", cache)
+        .u64("queue_wait_us", queue_wait.as_micros() as u64)
+        .u64("elapsed_us", job.admitted_at.elapsed().as_micros() as u64)
+        .str("deadline", deadline)
+        .finish();
+    shared.config.access_log.write_line(&line);
+}
+
+/// Point-in-time cache occupancy gauges, refreshed on scrape and after
+/// every load.
+fn refresh_cache_gauges(shared: &Shared) {
+    shared
+        .metrics
+        .gauge("serve.cache.bytes")
+        .set(shared.cache.resident_bytes() as f64);
+    shared
+        .metrics
+        .gauge("serve.cache.entries")
+        .set(shared.cache.keys_lru_order().len() as f64);
 }
 
 fn parse_job(
@@ -350,6 +482,8 @@ fn parse_job(
             .unwrap_or(false),
         sleep_ms,
         token,
+        run: RunId::fresh(),
+        admitted_at: Instant::now(),
     })
 }
 
@@ -366,19 +500,36 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
             Err(_) => return, // acceptor gone and queue drained
         };
         shared.metrics.counter("serve.jobs_dequeued").inc();
+        shared.metrics.gauge("serve.queue.depth").dec();
+        shared.metrics.gauge("serve.workers.busy").inc();
+        shared.metrics.gauge("serve.jobs.in_flight").inc();
+        let queue_wait = job.admitted_at.elapsed();
+        shared
+            .metrics
+            .histogram("serve.queue.wait")
+            .record(queue_wait);
         let t0 = Instant::now();
-        serve_job(shared, job, &mut scratch, &observer);
+        serve_job(shared, job, queue_wait, &mut scratch, &observer);
         shared
             .metrics
             .histogram("serve.job.duration")
             .record(t0.elapsed());
+        shared.metrics.gauge("serve.jobs.in_flight").dec();
+        shared.metrics.gauge("serve.workers.busy").dec();
     }
 }
 
-fn serve_job(shared: &Shared, job: Job, scratch: &mut BfsScratch, observer: &MetricsObserver) {
+fn serve_job(
+    shared: &Shared,
+    job: Job,
+    queue_wait: Duration,
+    scratch: &mut BfsScratch,
+    observer: &MetricsObserver,
+) {
     // A deadline that expired while the job sat in the queue is
     // answered without loading or computing anything.
     if job.token.is_cancelled() {
+        log_access(shared, &job, 504, "-", queue_wait, "expired_in_queue");
         return respond_deadline(shared, &job);
     }
 
@@ -389,6 +540,7 @@ fn serve_job(shared: &Shared, job: Job, scratch: &mut BfsScratch, observer: &Met
         let until = Instant::now() + Duration::from_millis(job.sleep_ms);
         while Instant::now() < until {
             if job.token.is_cancelled() {
+                log_access(shared, &job, 504, "-", queue_wait, "expired_in_compute");
                 return respond_deadline(shared, &job);
             }
             std::thread::sleep(Duration::from_millis(2));
@@ -404,6 +556,7 @@ fn serve_job(shared: &Shared, job: Job, scratch: &mut BfsScratch, observer: &Met
         Ok(found) => found,
         Err(e) => {
             shared.metrics.counter("serve.responses_400").inc();
+            log_access(shared, &job, 400, "-", queue_wait, "ok");
             let _ = write_response(
                 &job.stream,
                 400,
@@ -418,6 +571,7 @@ fn serve_job(shared: &Shared, job: Job, scratch: &mut BfsScratch, observer: &Met
         CacheOutcome::Hit => shared.metrics.counter("serve.cache_hits").inc(),
         CacheOutcome::Miss => shared.metrics.counter("serve.cache_misses").inc(),
     }
+    refresh_cache_gauges(shared);
 
     let t0 = Instant::now();
     let body = match job.endpoint {
@@ -427,7 +581,12 @@ fn serve_job(shared: &Shared, job: Job, scratch: &mut BfsScratch, observer: &Met
     match body {
         Some(obj) => {
             shared.metrics.counter("serve.responses_ok").inc();
+            shared
+                .metrics
+                .set_label("serve.last_run_info", "run_id", &job.run.to_string());
+            log_access(shared, &job, 200, outcome.as_str(), queue_wait, "ok");
             let obj = obj
+                .str("run_id", &job.run.to_string())
                 .str("cache", outcome.as_str())
                 .f64("elapsed_ms", t0.elapsed().as_secs_f64() * 1e3);
             let _ = write_response(
@@ -438,7 +597,17 @@ fn serve_job(shared: &Shared, job: Job, scratch: &mut BfsScratch, observer: &Met
                 obj.finish().as_bytes(),
             );
         }
-        None => respond_deadline(shared, &job),
+        None => {
+            log_access(
+                shared,
+                &job,
+                504,
+                outcome.as_str(),
+                queue_wait,
+                "expired_in_compute",
+            );
+            respond_deadline(shared, &job)
+        }
     }
 }
 
@@ -453,7 +622,8 @@ fn compute_diameter(
         FdiamConfig::serial()
     } else {
         FdiamConfig::parallel()
-    };
+    }
+    .with_run_id(job.run);
     let out =
         fdiam_core::run_cancellable_with_scratch(g, &config, observer, &job.token, scratch).ok()?;
     let mut obj = JsonObject::new();

@@ -1,7 +1,7 @@
 //! `fdiam-serve` — the diameter service binary. Flag parsing follows
 //! the `fdiam` CLI conventions: argv errors print usage and exit 2.
 
-use fdiam_serve::{ServeConfig, Server};
+use fdiam_serve::{AccessLog, ServeConfig, Server};
 use std::time::Duration;
 
 const USAGE: &str = "\
@@ -15,17 +15,21 @@ OPTIONS:
   --cache-mb N        graph cache budget, MiB (default 256)
   --timeout SECS      default per-request deadline (default: none)
   --test-hooks        honor the sleep_ms test hook (integration tests)
+  --quiet             disable the per-request JSONL access log (stderr)
 
 ENDPOINTS:
   POST /v1/diameter         {\"spec\": \"grid:100x100\"} or {\"path\": \"g.gr\"}
   POST /v1/eccentricities   same body; add \"include_values\": true for all
   GET  /healthz             liveness + configuration
-  GET  /metrics             run + serving metrics (text)
+  GET  /metrics             Prometheus metrics (?format=summary for text dump)
 ";
 
 fn parse(args: &[String]) -> Result<(String, ServeConfig), String> {
     let mut addr = "127.0.0.1:7878".to_string();
-    let mut config = ServeConfig::default();
+    let mut config = ServeConfig {
+        access_log: AccessLog::stderr(),
+        ..ServeConfig::default()
+    };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -49,6 +53,7 @@ fn parse(args: &[String]) -> Result<(String, ServeConfig), String> {
                 config.default_timeout = Some(parse_secs(&value("--timeout")?, "--timeout")?)
             }
             "--test-hooks" => config.allow_test_hooks = true,
+            "--quiet" => config.access_log = AccessLog::disabled(),
             other => return Err(format!("unknown flag '{other}'")),
         }
     }

@@ -5,7 +5,7 @@
 //! shutdown that drains in-flight jobs.
 
 use fdiam_obs::json::{self, JsonValue};
-use fdiam_serve::{ServeConfig, Server};
+use fdiam_serve::{AccessLog, ServeConfig, Server};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
@@ -87,10 +87,10 @@ fn post(addr: SocketAddr, path: &str, body: &str) -> Response {
     request(addr, "POST", path, body)
 }
 
-/// Reads the named counter out of `GET /metrics` (rendered as
-/// `name<padding> value`).
+/// Reads the named counter out of the legacy summary rendering at
+/// `GET /metrics?format=summary` (rendered as `name<padding> value`).
 fn metrics_counter(addr: SocketAddr, name: &str) -> u64 {
-    let text = request(addr, "GET", "/metrics", "").body;
+    let text = request(addr, "GET", "/metrics?format=summary", "").body;
     text.lines()
         .find(|l| l.starts_with(name))
         .and_then(|l| l.split_whitespace().last())
@@ -354,6 +354,68 @@ fn lru_cache_evicts_in_recency_order_under_byte_budget() {
     assert_eq!(probe(c), "miss"); // evicts the LRU entry b → [a, c]
     assert_eq!(probe(b), "miss"); // evicts a → [c, b]
     assert_eq!(probe(c), "hit"); //  c survived both insertions
+    server.shutdown();
+}
+
+#[test]
+fn run_id_correlates_response_access_log_and_metrics() {
+    let (access_log, log_buf) = AccessLog::buffer();
+    let config = ServeConfig {
+        access_log,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr();
+
+    let r = post(addr, "/v1/diameter", r#"{"spec": "grid:10x10"}"#);
+    assert_eq!(r.status, 200, "{}", r.body);
+    let run_id = r.field_str("run_id");
+    assert_eq!(run_id.len(), 16, "run id is 16 hex chars: {run_id}");
+    assert!(run_id.chars().all(|c| c.is_ascii_hexdigit()));
+
+    // The access-log line for this request carries the same id …
+    let log = String::from_utf8(log_buf.lock().unwrap().clone()).unwrap();
+    let line = log
+        .lines()
+        .find(|l| l.contains(&run_id))
+        .unwrap_or_else(|| panic!("no access-log line with run {run_id} in {log}"));
+    let entry = json::parse(line).expect("access log line is JSON");
+    assert_eq!(
+        entry.get("run_id").and_then(JsonValue::as_str),
+        Some(&*run_id)
+    );
+    assert_eq!(
+        entry.get("endpoint").and_then(JsonValue::as_str),
+        Some("diameter")
+    );
+    assert_eq!(entry.get("status").and_then(JsonValue::as_u64), Some(200));
+    assert_eq!(entry.get("cache").and_then(JsonValue::as_str), Some("miss"));
+    assert_eq!(
+        entry.get("deadline").and_then(JsonValue::as_str),
+        Some("ok")
+    );
+    assert!(entry
+        .get("queue_wait_us")
+        .and_then(JsonValue::as_u64)
+        .is_some());
+
+    // … and so does the scraped metrics label.
+    let m = request(addr, "GET", "/metrics", "");
+    assert_eq!(m.status, 200);
+    assert_eq!(
+        m.header("content-type"),
+        Some(fdiam_obs::PROMETHEUS_CONTENT_TYPE)
+    );
+    assert!(
+        m.body.contains(&format!(
+            "fdiam_serve_last_run_info{{run_id=\"{run_id}\"}} 1"
+        )),
+        "metrics lack the run-id label:\n{}",
+        m.body
+    );
+    // The whole exposition passes the in-tree linter.
+    let report = fdiam_obs::expo::lint(&m.body).expect("scraped /metrics lints clean");
+    assert!(report.samples > 0);
     server.shutdown();
 }
 

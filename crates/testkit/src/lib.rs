@@ -22,7 +22,7 @@
 //!   a plain `u64 → CsrGraph` fuzzer (shipped as the
 //!   `fuzz-differential` binary CI runs nightly) and proptest
 //!   strategies over the same builders for shrinkable property tests.
-//! * [`families`] — miniature, oracle-sized analogues of the 17
+//! * [`families`](mod@families) — miniature, oracle-sized analogues of the 17
 //!   benchmark-suite generator families.
 //!
 //! This crate is a *dev-dependency* of the crates it verifies (cargo

@@ -1,5 +1,5 @@
 //! Proptest strategies over the structured generators in
-//! [`crate::fuzz`] and [`crate::families`].
+//! [`crate::fuzz`] and [`crate::families`](mod@crate::families).
 //!
 //! Each strategy is a thin map from *parameters* (sizes, seeds, degree
 //! sequences) to a deterministic builder function, so proptest shrinks

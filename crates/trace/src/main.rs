@@ -1,0 +1,82 @@
+//! `fdiam-trace` — analyze F-Diam JSONL traces and lint Prometheus
+//! expositions. Argv conventions follow the `fdiam` CLI: errors print
+//! usage and exit 2; lint violations and parse failures exit 1.
+
+use fdiam_trace::{lint_metrics, Trace};
+use std::io::Read as _;
+
+const USAGE: &str = "\
+USAGE:
+  fdiam-trace report       TRACE.jsonl   stage-runtime + vertex-removal breakdowns
+  fdiam-trace levels       TRACE.jsonl   per-level BFS frontier timelines
+  fdiam-trace folded       TRACE.jsonl   flamegraph folded stacks (pipe to flamegraph.pl)
+  fdiam-trace lint-metrics METRICS.txt   validate a scraped Prometheus /metrics body
+
+A file argument of '-' reads stdin. Record traces with:
+  fdiam diameter --spec grid:500x500 --trace run.jsonl
+";
+
+fn read_input(arg: &str) -> Result<String, String> {
+    if arg == "-" {
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        return Ok(s);
+    }
+    std::fs::read_to_string(arg).map_err(|e| format!("cannot read '{arg}': {e}"))
+}
+
+fn run(cmd: &str, file: &str) -> Result<String, String> {
+    let text = read_input(file)?;
+    match cmd {
+        "report" => Ok(Trace::parse(&text)?.report()),
+        "levels" => Ok(Trace::parse(&text)?.levels()),
+        "folded" => Ok(Trace::parse(&text)?.folded()),
+        "lint-metrics" => match lint_metrics(&text) {
+            Ok(summary) => Ok(summary + "\n"),
+            Err(violations) => Err(violations.join("\n")),
+        },
+        other => unreachable!("main validates the command, got '{other}'"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, file) = match args.as_slice() {
+        [cmd, file] => (cmd.as_str(), file.as_str()),
+        [h] if h == "--help" || h == "-h" || h == "help" => {
+            print!("{USAGE}");
+            return;
+        }
+        _ => {
+            eprint!("error: expected a command and one file\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if !matches!(cmd, "report" | "levels" | "folded" | "lint-metrics") {
+        eprint!("error: unknown command '{cmd}'\n\n{USAGE}");
+        std::process::exit(2);
+    }
+    match run(cmd, file) {
+        // Write without `print!` so a closed pipe (`… | head`) ends
+        // the program quietly instead of panicking.
+        Ok(out) => {
+            use std::io::Write as _;
+            let mut stdout = std::io::stdout().lock();
+            if let Err(e) = stdout
+                .write_all(out.as_bytes())
+                .and_then(|()| stdout.flush())
+            {
+                if e.kind() != std::io::ErrorKind::BrokenPipe {
+                    eprintln!("error: cannot write output: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

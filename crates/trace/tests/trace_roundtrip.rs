@@ -1,0 +1,146 @@
+//! End-to-end: record a JSONL trace from a real F-Diam run, then prove
+//! `fdiam-trace` reproduces the run's stage-time fractions and
+//! vertex-removal breakdown from the trace alone. Because the driver's
+//! own `FdiamStats` is folded from the *same* event stream the sink
+//! records, the reconstruction is exact (same nanos), not approximate.
+
+use fdiam_core::{run_with_observer, FdiamConfig};
+use fdiam_graph::generators::{barabasi_albert, grid2d};
+use fdiam_obs::JsonlTraceSink;
+use fdiam_trace::Trace;
+
+fn record(g: &fdiam_graph::CsrGraph, config: &FdiamConfig) -> (String, fdiam_core::FdiamOutcome) {
+    let sink = JsonlTraceSink::new(Vec::new());
+    let out = run_with_observer(g, config, &sink);
+    let text = String::from_utf8(sink.into_inner()).unwrap();
+    (text, out)
+}
+
+#[test]
+fn report_reproduces_stage_nanos_and_removals_exactly() {
+    let g = barabasi_albert(600, 3, 11);
+    let (text, out) = record(&g, &FdiamConfig::parallel());
+    let trace = Trace::parse(&text).unwrap();
+    assert_eq!(trace.runs.len(), 1);
+    let r = &trace.runs[0];
+
+    // Identity: run id in the trace == run id in the outcome.
+    assert_eq!(r.run_id, out.run.to_string());
+    assert_eq!(r.algorithm, "fdiam");
+    assert_eq!(r.n as usize, g.num_vertices());
+    assert_eq!(r.m as usize, g.num_undirected_edges());
+    assert_eq!(
+        r.diameter.unwrap() as u32,
+        out.result.largest_cc_diameter,
+        "trace and outcome disagree on the diameter"
+    );
+
+    // Stage runtimes: the trace's phase_end sums are the exact nanos
+    // the driver's StatsCollector folded into FdiamStats.
+    let t = &out.stats.timings;
+    for (phase, expect) in [
+        ("ecc_bfs", t.ecc_bfs),
+        ("winnow", t.winnow),
+        ("chain", t.chain),
+        ("eliminate", t.eliminate),
+    ] {
+        assert_eq!(
+            r.phase_nanos.get(phase).copied().unwrap_or(0),
+            expect.as_nanos() as u64,
+            "stage '{phase}' nanos diverge between trace and stats"
+        );
+    }
+    assert_eq!(r.total_nanos, out.stats.timings.total.as_nanos() as u64);
+
+    // Removal breakdown: exact counts, covering every vertex.
+    let rm = r.removals.expect("run emits a removal_summary");
+    assert_eq!(rm.winnow as usize, out.stats.removed.winnow);
+    assert_eq!(rm.eliminate as usize, out.stats.removed.eliminate);
+    assert_eq!(rm.chain as usize, out.stats.removed.chain);
+    assert_eq!(rm.degree0 as usize, out.stats.removed.degree0);
+    assert_eq!(rm.computed as usize, out.stats.removed.computed);
+    assert_eq!(rm.total() as usize, g.num_vertices());
+
+    // The rendered report carries the identity and both tables.
+    let report = trace.report();
+    assert!(report.contains(&out.run.to_string()), "{report}");
+    assert!(report.contains("stage runtime"), "{report}");
+    assert!(report.contains("vertex removals"), "{report}");
+    assert!(report.contains("ecc_bfs"), "{report}");
+    assert!(
+        report.contains(&format!(" {}", rm.computed)),
+        "computed count missing from report:\n{report}"
+    );
+}
+
+#[test]
+fn parallel_run_records_worker_load_for_the_report() {
+    let g = grid2d(40, 40);
+    let (text, _) = record(&g, &FdiamConfig::parallel());
+    let trace = Trace::parse(&text).unwrap();
+    let w = trace.runs[0]
+        .worker_load
+        .expect("observed parallel run emits worker_load");
+    assert!(w.workers >= 1);
+    // The direction-optimized kernels may stay top-down-sequential on
+    // tiny graphs, but the event must still report a coherent shape.
+    assert!(w.imbalance >= 0.0);
+    assert!(trace.report().contains("worker load: workers="));
+}
+
+#[test]
+fn per_level_timelines_cover_every_traversal() {
+    let g = grid2d(12, 12);
+    let (text, out) = record(&g, &FdiamConfig::serial());
+    let trace = Trace::parse(&text).unwrap();
+    let r = &trace.runs[0];
+    assert_eq!(
+        r.traversals.len(),
+        out.stats.ecc_computations,
+        "one bfs_start/bfs_end pair per eccentricity computation"
+    );
+    for t in &r.traversals {
+        assert!(t.eccentricity.is_some(), "span {} never ended", t.span);
+        assert!(
+            !t.levels.is_empty(),
+            "trace sinks want detail, so every traversal has levels"
+        );
+        // Levels arrive in order and frontier sizes sum to visited-1
+        // … only for full traversals; at minimum they are 1..=ecc.
+        let levels: Vec<u64> = t.levels.iter().map(|l| l.level).collect();
+        let mut sorted = levels.clone();
+        sorted.sort_unstable();
+        assert_eq!(levels, sorted, "levels out of order for span {}", t.span);
+    }
+    let text = trace.levels();
+    assert!(text.matches("bfs span=").count() >= out.stats.ecc_computations);
+}
+
+#[test]
+fn folded_stacks_nest_ecc_bfs_under_two_sweep() {
+    let g = grid2d(15, 15);
+    let (text, out) = record(&g, &FdiamConfig::parallel());
+    let folded = Trace::parse(&text).unwrap().folded();
+    assert!(
+        folded
+            .lines()
+            .any(|l| l.starts_with("fdiam;two_sweep;ecc_bfs ")),
+        "2-sweep BFS leaves must nest under the two_sweep span:\n{folded}"
+    );
+    assert!(
+        folded.lines().any(|l| l.starts_with("fdiam;ecc_bfs ")),
+        "main-loop BFS spans are roots under the run:\n{folded}"
+    );
+    // Folded totals re-add to the run's wall clock (µs truncation
+    // loses <1µs per line).
+    let total_us: u64 = folded
+        .lines()
+        .filter_map(|l| l.rsplit_once(' '))
+        .map(|(_, v)| v.parse::<u64>().unwrap())
+        .sum();
+    let wall_us = out.stats.timings.total.as_micros() as u64;
+    assert!(
+        total_us <= wall_us,
+        "folded self-times exceed wall clock: {total_us} > {wall_us}"
+    );
+}
