@@ -20,10 +20,11 @@
 //! (bounds only propagate along finite distances); isolated vertices
 //! have eccentricity 0 by convention.
 
+use crate::observe::{trivial_ub, SweepObs};
 use fdiam_bfs::distances::{bfs_distances_serial, UNREACHABLE};
 use fdiam_core::Cancelled;
 use fdiam_graph::{CsrGraph, VertexId};
-use fdiam_obs::CancelToken;
+use fdiam_obs::{CancelToken, Observer, RunId};
 
 /// Result of the bounding-eccentricities computation.
 #[derive(Clone, Debug)]
@@ -37,7 +38,7 @@ pub struct EccentricityResult {
 
 /// Computes the exact eccentricity of every vertex.
 pub fn bounding_eccentricities(g: &CsrGraph) -> EccentricityResult {
-    driver(g, None).expect("no cancel token")
+    driver(g, None, None).expect("no cancel token").0
 }
 
 /// [`bounding_eccentricities`] polling `cancel` before every BFS
@@ -50,10 +51,34 @@ pub fn bounding_eccentricities_cancellable(
     g: &CsrGraph,
     cancel: &CancelToken,
 ) -> Result<EccentricityResult, Cancelled> {
-    driver(g, Some(cancel))
+    driver(g, Some(cancel), None).map(|(r, _)| r)
 }
 
-fn driver(g: &CsrGraph, cancel: Option<&CancelToken>) -> Result<EccentricityResult, Cancelled> {
+/// [`bounding_eccentricities_cancellable`] publishing the run lifecycle
+/// to `obs`: `run_start`, one certified diameter-bounds snapshot per
+/// sweep (`lb` = loosest proven lower bound over all per-vertex lower
+/// bounds, `ub` = loosest per-vertex upper bound capped at the trivial
+/// `n − 1`), and `run_end` on success. A cancelled run emits no
+/// `run_end`, mirroring the F-Diam driver — registries watching the
+/// stream need an explicit deregister on that path.
+pub fn bounding_eccentricities_observed(
+    g: &CsrGraph,
+    run: RunId,
+    obs: &dyn Observer,
+    cancel: Option<&CancelToken>,
+) -> Result<EccentricityResult, Cancelled> {
+    let watch = SweepObs::start(run, obs, "bounding-ecc", g);
+    let (r, connected) = driver(g, cancel, Some(&watch))?;
+    let diameter = r.eccentricities.iter().copied().max().unwrap_or(0);
+    watch.end("done", r.bfs_calls as u64, diameter, connected);
+    Ok(r)
+}
+
+fn driver(
+    g: &CsrGraph,
+    cancel: Option<&CancelToken>,
+    watch: Option<&SweepObs<'_>>,
+) -> Result<(EccentricityResult, bool), Cancelled> {
     let n = g.num_vertices();
     let mut lower = vec![0u32; n];
     let mut upper = vec![u32::MAX; n];
@@ -61,6 +86,7 @@ fn driver(g: &CsrGraph, cancel: Option<&CancelToken>) -> Result<EccentricityResu
     let mut ecc = vec![0u32; n];
     let mut bfs_calls = 0usize;
     let mut dist = Vec::new();
+    let mut connected = n <= 1;
 
     // Isolated vertices: eccentricity 0, no BFS needed.
     for v in 0..n {
@@ -91,6 +117,9 @@ fn driver(g: &CsrGraph, cancel: Option<&CancelToken>) -> Result<EccentricityResu
 
         let e = bfs_distances_serial(g, v as VertexId, &mut dist);
         bfs_calls += 1;
+        if bfs_calls == 1 {
+            connected = dist.iter().filter(|&&d| d != UNREACHABLE).count() == n;
+        }
         done[v] = true;
         ecc[v] = e;
         lower[v] = e;
@@ -107,12 +136,41 @@ fn driver(g: &CsrGraph, cancel: Option<&CancelToken>) -> Result<EccentricityResu
                 ecc[w] = lower[w];
             }
         }
+
+        if let Some(watch) = watch {
+            // Diameter bounds from the per-vertex intervals: the
+            // diameter is `max ecc`, so `max lower ≤ diameter ≤ max
+            // (resolved ecc | unresolved upper)`. Untouched vertices
+            // still carry the `u32::MAX` sentinel — the trivial `n − 1`
+            // cap keeps the published bound meaningful.
+            let lb = lower.iter().copied().max().unwrap_or(0);
+            let mut ub = lb;
+            let mut remaining = 0usize;
+            for w in 0..n {
+                if done[w] {
+                    ub = ub.max(ecc[w]);
+                } else {
+                    remaining += 1;
+                    ub = ub.max(upper[w]);
+                }
+            }
+            watch.publish(
+                "bounding_ecc",
+                bfs_calls as u64,
+                lb,
+                ub.min(trivial_ub(n)),
+                remaining,
+            );
+        }
     }
 
-    Ok(EccentricityResult {
-        eccentricities: ecc,
-        bfs_calls,
-    })
+    Ok((
+        EccentricityResult {
+            eccentricities: ecc,
+            bfs_calls,
+        },
+        connected,
+    ))
 }
 
 #[cfg(test)]
@@ -216,6 +274,75 @@ mod tests {
             bounding_eccentricities_cancellable(&g, &token).err(),
             Some(Cancelled)
         );
+    }
+
+    #[test]
+    fn observed_variant_matches_and_emits_balanced_lifecycle() {
+        use fdiam_obs::{Event, Observer, RunId};
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct Tap {
+            names: Mutex<Vec<&'static str>>,
+            gaps: Mutex<Vec<u32>>,
+        }
+        impl Observer for Tap {
+            fn event(&self, e: &Event<'_>) {
+                self.names.lock().unwrap().push(e.name());
+                if let Event::BoundsUpdate { snapshot } = e {
+                    self.gaps.lock().unwrap().push(snapshot.gap());
+                }
+            }
+            fn wants_bfs_detail(&self) -> bool {
+                false
+            }
+        }
+
+        for g in [
+            grid2d(6, 7),
+            disjoint_union(&path(6), &cycle(5)),
+            CsrGraph::empty(4),
+        ] {
+            let tap = Tap::default();
+            let plain = bounding_eccentricities(&g);
+            let obs = bounding_eccentricities_observed(&g, RunId::fresh(), &tap, None)
+                .expect("no cancel token");
+            assert_eq!(obs.eccentricities, plain.eccentricities);
+            assert_eq!(obs.bfs_calls, plain.bfs_calls);
+            let names = tap.names.lock().unwrap();
+            assert_eq!(names.first(), Some(&"run_start"));
+            assert_eq!(names.last(), Some(&"run_end"));
+            assert_eq!(
+                names.iter().filter(|n| **n == "bounds_update").count(),
+                plain.bfs_calls + 1, // one per sweep + the final snapshot
+            );
+            assert_eq!(tap.gaps.lock().unwrap().last(), Some(&0));
+        }
+    }
+
+    #[test]
+    fn observed_cancelled_run_emits_no_run_end() {
+        use fdiam_obs::{Event, Observer, RunId};
+        use std::sync::Mutex;
+
+        struct Tap(Mutex<Vec<&'static str>>);
+        impl Observer for Tap {
+            fn event(&self, e: &Event<'_>) {
+                self.0.lock().unwrap().push(e.name());
+            }
+            fn wants_bfs_detail(&self) -> bool {
+                false
+            }
+        }
+
+        let g = grid2d(8, 8);
+        let token = fdiam_obs::CancelToken::with_deadline(std::time::Duration::ZERO);
+        let tap = Tap(Mutex::new(Vec::new()));
+        let r = bounding_eccentricities_observed(&g, RunId::fresh(), &tap, Some(&token));
+        assert_eq!(r.err(), Some(Cancelled));
+        let names = tap.0.lock().unwrap();
+        assert!(names.contains(&"run_start"));
+        assert!(!names.contains(&"run_end"));
     }
 
     #[test]

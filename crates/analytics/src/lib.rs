@@ -20,8 +20,20 @@
 //! convention as the rest of the workspace: per-component
 //! eccentricities (the distance to the farthest *reachable* vertex).
 
+//! Both algorithms also come in `_observed` variants
+//! ([`bounding_ecc::bounding_eccentricities_observed`],
+//! [`sum_sweep::exact_sum_sweep_observed`]) that publish the same run
+//! lifecycle as the F-Diam driver — `run_start`, a certified
+//! diameter-bounds snapshot per sweep, `run_end` — so a
+//! [`fdiam_obs::RunRegistry`] or a JSONL trace renders any of the
+//! codes with the same tooling.
+
 pub mod bounding_ecc;
+mod observe;
 pub mod sum_sweep;
+
+pub use bounding_ecc::bounding_eccentricities_observed;
+pub use sum_sweep::exact_sum_sweep_observed;
 
 use fdiam_graph::{CsrGraph, VertexId};
 

@@ -1,0 +1,75 @@
+//! Shared run-lifecycle plumbing for the observed analytics variants.
+//!
+//! Both [`crate::bounding_ecc`] and [`crate::sum_sweep`] publish the
+//! same shape of telemetry as the F-Diam driver: a `run_start`, one
+//! certified [`BoundsSnapshot`] per BFS sweep, and a `run_end` — so a
+//! [`fdiam_obs::RunRegistry`] (or a JSONL trace) renders any of the
+//! three codes with the same tooling.
+
+use fdiam_graph::CsrGraph;
+use fdiam_obs::{BoundsSnapshot, Event, Observer, RunId};
+use std::time::Instant;
+
+/// Per-run observation context threaded through an analytics driver.
+pub(crate) struct SweepObs<'a> {
+    pub run: RunId,
+    pub obs: &'a dyn Observer,
+    pub started: Instant,
+}
+
+impl<'a> SweepObs<'a> {
+    /// Emits `run_start` and starts the elapsed clock.
+    pub fn start(run: RunId, obs: &'a dyn Observer, algorithm: &'static str, g: &CsrGraph) -> Self {
+        obs.event(&Event::RunStart {
+            algorithm,
+            n: g.num_vertices(),
+            m: g.num_undirected_edges(),
+            run,
+        });
+        SweepObs {
+            run,
+            obs,
+            started: Instant::now(),
+        }
+    }
+
+    /// Publishes one diameter-bounds snapshot.
+    pub fn publish(
+        &self,
+        phase: &'static str,
+        bfs_count: u64,
+        lb: u32,
+        ub: u32,
+        vertices_remaining: usize,
+    ) {
+        self.obs.event(&Event::BoundsUpdate {
+            snapshot: BoundsSnapshot {
+                run: self.run,
+                phase,
+                bfs_count,
+                lb,
+                ub,
+                vertices_remaining,
+                elapsed_nanos: self.started.elapsed().as_nanos() as u64,
+            },
+        });
+    }
+
+    /// Emits the final zero-gap snapshot and `run_end`. Cancelled runs
+    /// never reach this — like the F-Diam driver, they leave no
+    /// `run_end` in the stream.
+    pub fn end(&self, phase: &'static str, bfs_count: u64, diameter: u32, connected: bool) {
+        self.publish(phase, bfs_count, diameter, diameter, 0);
+        self.obs.event(&Event::RunEnd {
+            diameter,
+            connected,
+            nanos: self.started.elapsed().as_nanos() as u64,
+            run: self.run,
+        });
+    }
+}
+
+/// The trivial diameter upper bound `n − 1`, valid for any graph.
+pub(crate) fn trivial_ub(n: usize) -> u32 {
+    (n.saturating_sub(1)).min(u32::MAX as usize) as u32
+}

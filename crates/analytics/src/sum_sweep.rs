@@ -16,8 +16,10 @@
 //! are known, which is what makes it faster than full bounding when
 //! only radius/diameter are wanted.
 
+use crate::observe::{trivial_ub, SweepObs};
 use fdiam_bfs::distances::{bfs_distances_serial, UNREACHABLE};
 use fdiam_graph::{CsrGraph, VertexId};
+use fdiam_obs::{Observer, RunId};
 
 /// Result of an ExactSumSweep run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -45,6 +47,58 @@ const SUM_SWEEP_ITERATIONS: usize = 4;
 ///
 /// Returns `None` for the empty graph.
 pub fn exact_sum_sweep(g: &CsrGraph) -> Option<SumSweepResult> {
+    inner(g, None)
+}
+
+/// [`exact_sum_sweep`] publishing the run lifecycle to `obs`:
+/// `run_start`, one certified diameter-bounds snapshot per sweep
+/// (`lb` = largest resolved eccentricity, `ub` = the certification
+/// criterion `max(lb, max unresolved upper bound)` capped at the
+/// trivial `n − 1`), and `run_end`. The empty graph still emits a
+/// balanced `run_start`/`run_end` pair (diameter 0) around the `None`
+/// return, so registries watching the stream never leak a run.
+pub fn exact_sum_sweep_observed(
+    g: &CsrGraph,
+    run: RunId,
+    obs: &dyn Observer,
+) -> Option<SumSweepResult> {
+    let watch = SweepObs::start(run, obs, "sum-sweep", g);
+    let r = inner(g, Some(&watch));
+    match &r {
+        Some(r) => watch.end("done", r.bfs_calls as u64, r.diameter, r.connected),
+        None => watch.end("done", 0, 0, true),
+    }
+    r
+}
+
+/// Publish the current diameter bounds after one sweep.
+fn publish_state(
+    watch: &SweepObs<'_>,
+    phase: &'static str,
+    bfs_calls: usize,
+    n: usize,
+    ecc: &[Option<u32>],
+    upper: &[u32],
+) {
+    let lb = ecc.iter().flatten().copied().max().unwrap_or(0);
+    let mut ub = lb;
+    let mut remaining = 0usize;
+    for (v, e) in ecc.iter().enumerate() {
+        if e.is_none() {
+            remaining += 1;
+            ub = ub.max(upper[v]);
+        }
+    }
+    watch.publish(
+        phase,
+        bfs_calls as u64,
+        lb,
+        ub.min(trivial_ub(n)),
+        remaining,
+    );
+}
+
+fn inner(g: &CsrGraph, watch: Option<&SweepObs<'_>>) -> Option<SumSweepResult> {
     let n = g.num_vertices();
     if n == 0 {
         return None;
@@ -108,6 +162,9 @@ pub fn exact_sum_sweep(g: &CsrGraph) -> Option<SumSweepResult> {
             &mut dist,
         );
         connected = dist.iter().filter(|&&d| d != UNREACHABLE).count() == n;
+        if let Some(w) = watch {
+            publish_state(w, "sum_sweep", bfs_calls, n, &ecc, &upper);
+        }
     }
     for _ in 1..SUM_SWEEP_ITERATIONS {
         let Some(v) = (0..n)
@@ -125,6 +182,9 @@ pub fn exact_sum_sweep(g: &CsrGraph) -> Option<SumSweepResult> {
             &mut bfs_calls,
             &mut dist,
         );
+        if let Some(w) = watch {
+            publish_state(w, "sum_sweep", bfs_calls, n, &ecc, &upper);
+        }
     }
 
     // --- Exact phase ---
@@ -160,6 +220,9 @@ pub fn exact_sum_sweep(g: &CsrGraph) -> Option<SumSweepResult> {
             &mut bfs_calls,
             &mut dist,
         );
+        if let Some(w) = watch {
+            publish_state(w, "exact", bfs_calls, n, &ecc, &upper);
+        }
     }
 
     // Termination certified: every unresolved vertex has
@@ -249,6 +312,74 @@ mod tests {
     #[test]
     fn empty_graph_is_none() {
         assert!(exact_sum_sweep(&CsrGraph::empty(0)).is_none());
+    }
+
+    #[test]
+    fn observed_variant_matches_and_converges() {
+        use fdiam_obs::{BoundsSnapshot, Event, Observer, RunId};
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct Tap {
+            names: Mutex<Vec<&'static str>>,
+            snaps: Mutex<Vec<BoundsSnapshot>>,
+        }
+        impl Observer for Tap {
+            fn event(&self, e: &Event<'_>) {
+                self.names.lock().unwrap().push(e.name());
+                if let Event::BoundsUpdate { snapshot } = e {
+                    self.snaps.lock().unwrap().push(*snapshot);
+                }
+            }
+            fn wants_bfs_detail(&self) -> bool {
+                false
+            }
+        }
+
+        for g in [
+            grid2d(6, 8),
+            disjoint_union(&path(7), &cycle(6)),
+            barabasi_albert(70, 3, 1),
+        ] {
+            let tap = Tap::default();
+            let plain = exact_sum_sweep(&g).unwrap();
+            let obs = exact_sum_sweep_observed(&g, RunId::fresh(), &tap).unwrap();
+            assert_eq!(obs, plain);
+            let names = tap.names.lock().unwrap();
+            assert_eq!(names.first(), Some(&"run_start"));
+            assert_eq!(names.last(), Some(&"run_end"));
+            let snaps = tap.snaps.lock().unwrap();
+            for pair in snaps.windows(2) {
+                assert!(pair[1].lb >= pair[0].lb, "{pair:?}");
+                assert!(pair[1].ub <= pair[0].ub, "{pair:?}");
+            }
+            let last = snaps.last().unwrap();
+            assert_eq!((last.lb, last.ub), (plain.diameter, plain.diameter));
+            assert_eq!(last.vertices_remaining, 0);
+        }
+    }
+
+    #[test]
+    fn observed_empty_graph_balances_lifecycle() {
+        use fdiam_obs::{Event, Observer, RunId};
+        use std::sync::Mutex;
+
+        struct Tap(Mutex<Vec<&'static str>>);
+        impl Observer for Tap {
+            fn event(&self, e: &Event<'_>) {
+                self.0.lock().unwrap().push(e.name());
+            }
+            fn wants_bfs_detail(&self) -> bool {
+                false
+            }
+        }
+
+        let tap = Tap(Mutex::new(Vec::new()));
+        assert!(exact_sum_sweep_observed(&CsrGraph::empty(0), RunId::fresh(), &tap).is_none());
+        assert_eq!(
+            *tap.0.lock().unwrap(),
+            vec!["run_start", "bounds_update", "run_end"]
+        );
     }
 
     #[test]

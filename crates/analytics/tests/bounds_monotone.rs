@@ -1,0 +1,84 @@
+//! Cross-code property: every diameter code that publishes
+//! [`BoundsSnapshot`]s — F-Diam (serial and parallel), bounding
+//! eccentricities, and ExactSumSweep — must emit a *certified, monotone*
+//! convergence curve on arbitrary graphs:
+//!
+//! * `lb` never decreases, `ub` never increases, `lb ≤ ub` throughout;
+//! * every snapshot brackets the true diameter (`lb ≤ diam ≤ ub`);
+//! * the final snapshot collapses to a zero gap with no vertices
+//!   remaining (termination certifies exactness, connected or not).
+
+use fdiam_analytics::{bounding_eccentricities_observed, exact_sum_sweep_observed};
+use fdiam_baselines::naive;
+use fdiam_core::{run_with_observer, FdiamConfig};
+use fdiam_obs::{BoundsSnapshot, Event, Observer, RunId};
+use fdiam_testkit::strategies::arb_graph;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Collects every published snapshot in arrival order.
+#[derive(Default)]
+struct Tap(Mutex<Vec<BoundsSnapshot>>);
+
+impl Observer for Tap {
+    fn event(&self, e: &Event<'_>) {
+        if let Event::BoundsUpdate { snapshot } = e {
+            self.0.lock().unwrap().push(*snapshot);
+        }
+    }
+    fn wants_bfs_detail(&self) -> bool {
+        false
+    }
+}
+
+// Plain panics: proptest treats them as failures and shrinks normally.
+fn check_curve(snaps: &[BoundsSnapshot], diameter: u32, code: &str) {
+    assert!(!snaps.is_empty(), "{code}: no snapshots published");
+    let mut prev: Option<BoundsSnapshot> = None;
+    for s in snaps {
+        assert!(s.lb <= s.ub, "{code}: lb > ub in {s:?}");
+        assert!(s.lb <= diameter, "{code}: lb exceeds diameter in {s:?}");
+        assert!(s.ub >= diameter, "{code}: ub below diameter in {s:?}");
+        if let Some(p) = prev {
+            assert!(s.lb >= p.lb, "{code}: lb regressed {p:?} -> {s:?}");
+            assert!(s.ub <= p.ub, "{code}: ub loosened {p:?} -> {s:?}");
+            assert!(s.bfs_count >= p.bfs_count, "{code}: bfs_count regressed");
+        }
+        prev = Some(*s);
+    }
+    let last = snaps.last().unwrap();
+    assert_eq!(last.gap(), 0, "{code}: final gap nonzero: {last:?}");
+    assert_eq!(last.lb, diameter, "{code}: final bound wrong");
+    assert_eq!(last.vertices_remaining, 0, "{code}: vertices left");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_codes_publish_certified_monotone_curves(g in arb_graph()) {
+        let diameter = naive::all_eccentricities(&g)
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0);
+
+        let tap = Tap::default();
+        run_with_observer(&g, &FdiamConfig::serial(), &tap);
+        check_curve(&tap.0.lock().unwrap(), diameter, "fdiam-serial");
+
+        let tap = Tap::default();
+        run_with_observer(&g, &FdiamConfig::parallel(), &tap);
+        check_curve(&tap.0.lock().unwrap(), diameter, "fdiam-parallel");
+
+        let tap = Tap::default();
+        bounding_eccentricities_observed(&g, RunId::fresh(), &tap, None)
+            .expect("no cancel token");
+        check_curve(&tap.0.lock().unwrap(), diameter, "bounding-ecc");
+
+        let tap = Tap::default();
+        if exact_sum_sweep_observed(&g, RunId::fresh(), &tap).is_some() {
+            check_curve(&tap.0.lock().unwrap(), diameter, "sum-sweep");
+        }
+    }
+}

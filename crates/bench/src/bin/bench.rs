@@ -1,13 +1,17 @@
 //! The bench-regression CLI: `summarize` folds JSONL run records into a
 //! `BENCH_<rev>.json` summary; `compare` diffs two summaries and exits
-//! nonzero on a regression beyond the tolerance. See
-//! [`fdiam_bench::compare`] for formats and semantics.
+//! nonzero on a regression beyond the tolerance; `trajectory` appends
+//! summaries to the dedup-by-rev perf history
+//! (`results/trajectory.jsonl`). See [`fdiam_bench::compare`] for
+//! formats and semantics.
 //!
 //! ```text
 //! cargo run -p fdiam-bench --release --bin bench -- \
 //!   summarize results/table2_fig6_small.jsonl --out BENCH_$(git rev-parse --short HEAD).json
 //! cargo run -p fdiam-bench --release --bin bench -- \
 //!   compare results/baseline-small.json BENCH_abc1234.json --tolerance 0.25
+//! cargo run -p fdiam-bench --release --bin bench -- \
+//!   trajectory BENCH_abc1234.json --out results/trajectory.jsonl
 //! ```
 
 fn main() {

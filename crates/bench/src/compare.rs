@@ -16,9 +16,16 @@
 //! strict subset of the checked-in baseline.
 //!
 //! [`cli_main`] implements the `bench` binary (`summarize` /
-//! `compare` subcommands) as a testable function returning the process
-//! exit code: 0 = clean, 1 = regression detected, 2 = usage or I/O
-//! error.
+//! `compare` / `trajectory` subcommands) as a testable function
+//! returning the process exit code: 0 = clean, 1 = regression detected,
+//! 2 = usage or I/O error.
+//!
+//! `trajectory` folds any number of `BENCH_<rev>.json` summaries into
+//! an append-only `results/trajectory.jsonl` — one line per revision
+//! with the per-key medians, deduplicated by rev so re-running CI on
+//! the same commit never duplicates a point. The file is the repo's
+//! perf history: plot `median_secs` over `rev` to watch a key's
+//! trajectory across PRs.
 
 use fdiam_obs::json::{parse, JsonObject, JsonValue};
 use std::collections::BTreeMap;
@@ -275,9 +282,56 @@ pub fn compare(baseline: &BenchSummary, current: &BenchSummary, tolerance: f64) 
     CompareReport { tolerance, rows }
 }
 
+/// Extracts the revision from a `BENCH_<rev>.json` path: the file stem
+/// with its `BENCH_` prefix stripped. `None` when the name does not
+/// follow the pattern.
+pub fn rev_from_path(path: &str) -> Option<String> {
+    let stem = std::path::Path::new(path).file_stem()?.to_str()?;
+    let rev = stem.strip_prefix("BENCH_")?;
+    (!rev.is_empty()).then(|| rev.to_string())
+}
+
+/// One `trajectory.jsonl` line for a revision: the rev, the number of
+/// keys, and the per-key medians (`min_secs` rides along as the best
+/// observed time).
+pub fn trajectory_line(rev: &str, summary: &BenchSummary) -> String {
+    let mut medians = JsonObject::new();
+    let mut mins = JsonObject::new();
+    for (key, s) in &summary.entries {
+        medians = medians.f64(key, s.median_secs);
+        mins = mins.f64(key, s.min_secs);
+    }
+    JsonObject::new()
+        .str("rev", rev)
+        .usize("keys", summary.entries.len())
+        .raw("median_secs", &medians.finish())
+        .raw("min_secs", &mins.finish())
+        .finish()
+}
+
+/// The revs already present in a `trajectory.jsonl` body. Malformed
+/// lines are errors: the perf history must fail loudly, not rot.
+pub fn trajectory_revs(text: &str) -> Result<Vec<String>, String> {
+    let mut revs = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = parse(line).map_err(|e| format!("trajectory line {}: {e}", i + 1))?;
+        let rev = v
+            .get("rev")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("trajectory line {}: missing 'rev'", i + 1))?;
+        revs.push(rev.to_string());
+    }
+    Ok(revs)
+}
+
 const USAGE: &str = "usage:
   bench summarize <records.jsonl>... --out <BENCH_rev.json>
   bench compare <baseline.json> <current.json> [--tolerance 0.25]
+  bench trajectory <BENCH_rev.json>... --out <trajectory.jsonl>
 
 exit codes: 0 = clean, 1 = regression detected, 2 = usage/I/O error";
 
@@ -287,11 +341,93 @@ pub fn cli_main(args: &[String]) -> i32 {
     match args.first().map(String::as_str) {
         Some("summarize") => cli_summarize(&args[1..]),
         Some("compare") => cli_compare(&args[1..]),
+        Some("trajectory") => cli_trajectory(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             2
         }
     }
+}
+
+/// `bench trajectory`: append one line per new rev to the perf-history
+/// file. Existing lines are never rewritten; already-recorded revs are
+/// skipped so the operation is idempotent.
+fn cli_trajectory(args: &[String]) -> i32 {
+    let mut inputs = Vec::new();
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out = Some(p.clone()),
+                None => {
+                    eprintln!("--out needs a path\n{USAGE}");
+                    return 2;
+                }
+            },
+            _ => inputs.push(a.clone()),
+        }
+    }
+    let (Some(out), false) = (out, inputs.is_empty()) else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    let existing = match std::fs::read_to_string(&out) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => {
+            eprintln!("error: cannot read {out}: {e}");
+            return 2;
+        }
+    };
+    let mut seen = match trajectory_revs(&existing) {
+        Ok(revs) => revs,
+        Err(e) => {
+            eprintln!("error: {out}: {e}");
+            return 2;
+        }
+    };
+    let mut appended = String::new();
+    let mut added = 0usize;
+    let mut skipped = 0usize;
+    for path in &inputs {
+        let Some(rev) = rev_from_path(path) else {
+            eprintln!("error: '{path}' is not a BENCH_<rev>.json file");
+            return 2;
+        };
+        if seen.contains(&rev) {
+            skipped += 1;
+            continue;
+        }
+        let summary = match std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))
+            .and_then(|text| BenchSummary::from_json(&text).map_err(|e| format!("{path}: {e}")))
+        {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        };
+        appended.push_str(&trajectory_line(&rev, &summary));
+        appended.push('\n');
+        seen.push(rev);
+        added += 1;
+    }
+    if added > 0 {
+        use std::io::Write as _;
+        let write = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&out)
+            .and_then(|mut f| f.write_all(appended.as_bytes()));
+        if let Err(e) = write {
+            eprintln!("error: cannot append to {out}: {e}");
+            return 2;
+        }
+    }
+    println!("{out}: {added} rev(s) appended, {skipped} already recorded");
+    0
 }
 
 fn cli_summarize(args: &[String]) -> i32 {
@@ -566,6 +702,95 @@ mod tests {
             "5 % drift within tolerance must exit zero"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rev_parses_from_bench_file_names() {
+        assert_eq!(rev_from_path("BENCH_abc123.json"), Some("abc123".into()));
+        assert_eq!(
+            rev_from_path("artifacts/BENCH_4a593a2f00.json"),
+            Some("4a593a2f00".into())
+        );
+        assert_eq!(rev_from_path("BENCH_.json"), None);
+        assert_eq!(rev_from_path("baseline-small.json"), None);
+        assert_eq!(rev_from_path("notBENCH_x.json"), None);
+    }
+
+    #[test]
+    fn trajectory_line_roundtrips_revs() {
+        let line = trajectory_line("abc123", &one_key_summary("fdiam/g/small", 0.25));
+        let revs = trajectory_revs(&line).unwrap();
+        assert_eq!(revs, vec!["abc123".to_string()]);
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("keys").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(
+            v.get("median_secs")
+                .and_then(|m| m.get("fdiam/g/small"))
+                .and_then(JsonValue::as_f64),
+            Some(0.25)
+        );
+        assert!(trajectory_revs("not json\n").is_err());
+        assert!(trajectory_revs("{\"keys\":1}\n").is_err(), "missing rev");
+    }
+
+    /// End-to-end: folding the same rev twice appends exactly one line,
+    /// and a second rev lands after the first without rewriting it.
+    #[test]
+    fn cli_trajectory_appends_once_per_rev() {
+        let dir = std::env::temp_dir().join("fdiam_bench_trajectory_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let s = |x: &str| x.to_string();
+        let write_summary = |rev: &str, median: f64| -> String {
+            let path = dir.join(format!("BENCH_{rev}.json"));
+            let summary = one_key_summary("fdiam/g/small", median);
+            std::fs::write(&path, summary.to_json()).unwrap();
+            path.to_string_lossy().into_owned()
+        };
+        let a = write_summary("aaa111", 0.10);
+        let b = write_summary("bbb222", 0.12);
+        let out = dir.join("trajectory.jsonl").to_string_lossy().into_owned();
+
+        assert_eq!(
+            cli_main(&[s("trajectory"), a.clone(), s("--out"), out.clone()]),
+            0
+        );
+        assert_eq!(
+            cli_main(&[s("trajectory"), a.clone(), s("--out"), out.clone()]),
+            0
+        );
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert_eq!(text.lines().count(), 1, "rerun must not duplicate:\n{text}");
+
+        assert_eq!(
+            cli_main(&[s("trajectory"), a, b, s("--out"), out.clone()]),
+            0
+        );
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert_eq!(trajectory_revs(&text).unwrap(), vec!["aaa111", "bbb222"]);
+        assert!(
+            text.lines().next().unwrap().contains("aaa111"),
+            "existing lines are never rewritten:\n{text}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cli_trajectory_rejects_nonconforming_names() {
+        let s = |x: &str| x.to_string();
+        assert_eq!(
+            cli_main(&[
+                s("trajectory"),
+                s("baseline-small.json"),
+                s("--out"),
+                s("/tmp/t.jsonl")
+            ]),
+            2
+        );
+        assert_eq!(
+            cli_main(&[s("trajectory"), s("--out"), s("/tmp/t.jsonl")]),
+            2
+        );
     }
 
     #[test]

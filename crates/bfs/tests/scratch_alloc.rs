@@ -102,6 +102,61 @@ fn noop_observed_path_with_accounting_off_allocates_nothing() {
 }
 
 #[test]
+fn bounds_snapshot_publishing_allocates_nothing() {
+    // The driver publishes a `BoundsSnapshot` after *every* sweep,
+    // unconditionally — so the publish path must be free when nobody
+    // (or only a registry with a pre-registered run slot) listens.
+    // Snapshot construction is `Copy`-only; the registry stores it in a
+    // pre-allocated per-run slot behind a mutex.
+    use fdiam_obs::{BoundsSnapshot, Event, Observer, RunId, RunRegistry};
+
+    let run = RunId::fresh();
+    let snapshot = BoundsSnapshot {
+        run,
+        phase: "main_loop",
+        bfs_count: 17,
+        lb: 12,
+        ub: 24,
+        vertices_remaining: 900,
+        elapsed_nanos: 123_456,
+    };
+
+    // Unobserved: the noop observer drops the event.
+    let allocs = allocations(|| {
+        for i in 0..1000u64 {
+            let mut s = snapshot;
+            s.bfs_count = i;
+            noop().event(&Event::BoundsUpdate { snapshot: s });
+        }
+    });
+    assert_eq!(allocs, 0, "noop publish allocated {allocs} times");
+
+    // Observed by a registry: the latest-snapshot swap reuses the
+    // registered run's slot. (Registration itself allocates; the
+    // per-sweep hot path must not.)
+    let registry = RunRegistry::new();
+    registry.register(run, "fdiam", 1000, 2500);
+    registry.publish(snapshot); // warm-up: Mutex<Option<_>> goes Some
+    let allocs = allocations(|| {
+        for i in 0..1000u64 {
+            let mut s = snapshot;
+            s.bfs_count = i;
+            s.lb += (i % 7) as u32;
+            registry.event(&Event::BoundsUpdate { snapshot: s });
+        }
+    });
+    assert_eq!(allocs, 0, "registry publish allocated {allocs} times");
+    assert_eq!(
+        registry
+            .get(run)
+            .and_then(|i| i.latest)
+            .map(|s| s.bfs_count),
+        Some(999)
+    );
+    registry.deregister(run);
+}
+
+#[test]
 fn load_accounting_toggle_reuses_slots_at_same_width() {
     // Enabling accounting allocates the padded slots once; re-enabling
     // at the same worker count must zero them in place, and disabling

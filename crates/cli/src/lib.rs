@@ -113,6 +113,7 @@ OBSERVABILITY (fdiam / fdiam-serial only):
 FORMATS (by extension): .txt/.el edge list | .gr DIMACS-9 | .mtx MatrixMarket | .fdia binary
 GENERATE SPECS:
   grid:ROWSxCOLS           e.g. grid:512x512
+  torus:ROWSxCOLS          wrap-around grid (F-Diam's slow case)
   ba:N,M[,SEED]            Barabasi-Albert
   rmat:SCALE,EF[,SEED]     RMAT (GTgraph parameters)
   road:N,EXTRA,K[,SEED]    road network (polyline chains)
@@ -371,6 +372,18 @@ pub fn generate_graph(spec: &str) -> Result<CsrGraph, String> {
             let r: usize = int_param(r.trim(), "ROWS")?;
             let c: usize = int_param(c.trim(), "COLS")?;
             Ok(grid2d(r, c))
+        }
+        "torus" => {
+            // F-Diam's slow case: every vertex has the same
+            // eccentricity, so Winnow/Eliminate remove little and the
+            // main loop sweeps ~n/2 vertices — handy as a deliberately
+            // long-running request when watching a run converge.
+            let (r, c) = rest
+                .split_once('x')
+                .ok_or_else(|| format!("bad torus spec '{rest}' (expected ROWSxCOLS)"))?;
+            let r: usize = int_param(r.trim(), "ROWS")?;
+            let c: usize = int_param(c.trim(), "COLS")?;
+            Ok(grid2d_torus(r, c))
         }
         "ba" => {
             arity(2, 3, "N,M[,SEED]")?;
@@ -745,6 +758,14 @@ mod tests {
     #[test]
     fn generate_specs() {
         assert_eq!(generate_graph("grid:4x5").unwrap().num_vertices(), 20);
+        assert_eq!(generate_graph("torus:6x7").unwrap().num_vertices(), 42);
+        // Wrap-around halves the diameter relative to the open grid:
+        // ⌊6/2⌋ + ⌊7/2⌋ for the torus vs 5 + 6 for the grid.
+        assert_eq!(
+            fdiam_core::diameter(&generate_graph("torus:6x7").unwrap()).largest_cc_diameter,
+            6
+        );
+        assert!(generate_graph("torus:6").is_err());
         assert_eq!(generate_graph("ba:100,3").unwrap().num_vertices(), 100);
         assert_eq!(generate_graph("rmat:8,4,7").unwrap().num_vertices(), 256);
         assert!(generate_graph("road:500,0.3,2").unwrap().num_vertices() > 300);

@@ -45,7 +45,9 @@ use fdiam_bfs::{
     BfsScratch, BfsSummary,
 };
 use fdiam_graph::{CsrGraph, VertexId};
-use fdiam_obs::{noop, CancelToken, Event, Observer, Phase, PhaseSpan, RunId, SpanId, Tee};
+use fdiam_obs::{
+    noop, BoundsSnapshot, CancelToken, Event, Observer, Phase, PhaseSpan, RunId, SpanId, Tee,
+};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
@@ -252,7 +254,7 @@ fn run_driver(
     let tee = Tee(&collector, observer);
     let t_total = Instant::now();
     emit_run_start(&tee, g, config, run);
-    let Some(mut driver) = Driver::prelude(g, config, &tee, cancel, scratch, run)? else {
+    let Some(mut driver) = Driver::prelude(g, config, &tee, cancel, scratch, run, t_total)? else {
         return Ok(empty_outcome(t_total, &tee, run));
     };
     match batch {
@@ -260,6 +262,38 @@ fn run_driver(
         Some(b) => driver.main_loop_concurrent(b)?,
     }
     Ok(driver.finish(t_total, &collector))
+}
+
+/// Publish one certified `[lb, ub]` snapshot. Construction is
+/// `Copy`-only — the unobserved path must stay allocation-free (proven
+/// by `crates/bfs/tests/scratch_alloc.rs`).
+#[allow(clippy::too_many_arguments)]
+fn publish_bounds(
+    obs: &dyn Observer,
+    run: RunId,
+    phase: &'static str,
+    bfs_count: u64,
+    lb: u32,
+    ub: u32,
+    vertices_remaining: usize,
+    started: Instant,
+) {
+    obs.event(&Event::BoundsUpdate {
+        snapshot: BoundsSnapshot {
+            run,
+            phase,
+            bfs_count,
+            lb,
+            ub,
+            vertices_remaining,
+            elapsed_nanos: started.elapsed().as_nanos() as u64,
+        },
+    });
+}
+
+/// The trivial diameter upper bound `n − 1`, valid for any graph.
+fn trivial_ub(n: usize) -> u32 {
+    (n.saturating_sub(1)).min(u32::MAX as usize) as u32
 }
 
 fn emit_run_start(obs: &dyn Observer, g: &CsrGraph, config: &FdiamConfig, run: RunId) {
@@ -287,10 +321,20 @@ struct Driver<'a> {
     seeds: Vec<VertexId>,
     winnow: WinnowRegion,
     bound: u32,
+    /// Certified diameter upper bound: `n - 1` until the graph is known
+    /// connected, then tightened to `min(ub, 2·ecc(v))` after every
+    /// eccentricity BFS (the `2·ecc` bound only holds within one
+    /// component). Snapshot consumers read `[bound, ub]`.
+    ub: u32,
     connected: bool,
     order: Vec<VertexId>,
     diametral_pair: (VertexId, VertexId),
     run: RunId,
+    /// Eccentricity BFSes performed so far (2-sweep included); the
+    /// x-axis of the convergence curve.
+    bfs_count: u64,
+    /// The run's `t_total` origin, for `BoundsSnapshot::elapsed_nanos`.
+    started: Instant,
 }
 
 impl<'a> Driver<'a> {
@@ -304,6 +348,7 @@ impl<'a> Driver<'a> {
         cancel: Option<&'a CancelToken>,
         scratch: &'a mut BfsScratch,
         run: RunId,
+        started: Instant,
     ) -> Result<Option<Self>, Cancelled> {
         let n = g.num_vertices();
         if n == 0 {
@@ -333,6 +378,8 @@ impl<'a> Driver<'a> {
 
         // Stage 1: 2-sweep initial bound (§4.1).
         let mut bound = 0u32;
+        let mut ub = trivial_ub(n);
+        let mut bfs_count = 0u64;
         let mut connected = n == 1;
         let mut diametral_pair = (u, u);
         if state.is_active(u) {
@@ -341,6 +388,10 @@ impl<'a> Driver<'a> {
             state.record(u, r1.eccentricity, Stage::Computed);
             connected = r1.visited == n;
             bound = r1.eccentricity;
+            bfs_count += 1;
+            if connected {
+                ub = ub.min(r1.eccentricity.saturating_mul(2));
+            }
             let w = r1.farthest;
             diametral_pair = (u, w);
             if bound > 0 {
@@ -350,9 +401,23 @@ impl<'a> Driver<'a> {
                     source: u,
                 });
             }
+            publish_bounds(
+                obs,
+                run,
+                "two_sweep",
+                bfs_count,
+                bound,
+                ub,
+                state.active_count(),
+                started,
+            );
             if state.is_active(w) {
                 let r2 = ecc_bfs(g, w, &mut *scratch, config, obs, cancel).ok_or(Cancelled)?;
                 state.record(w, r2.eccentricity, Stage::Computed);
+                bfs_count += 1;
+                if connected {
+                    ub = ub.min(r2.eccentricity.saturating_mul(2));
+                }
                 if r2.eccentricity > bound {
                     obs.event(&Event::BoundUpdate {
                         old: bound,
@@ -362,6 +427,16 @@ impl<'a> Driver<'a> {
                     bound = r2.eccentricity;
                     diametral_pair = (w, r2.farthest);
                 }
+                publish_bounds(
+                    obs,
+                    run,
+                    "two_sweep",
+                    bfs_count,
+                    bound,
+                    ub,
+                    state.active_count(),
+                    started,
+                );
             }
         }
 
@@ -401,10 +476,13 @@ impl<'a> Driver<'a> {
             seeds: Vec::new(),
             winnow,
             bound,
+            ub,
             connected,
             order,
             diametral_pair,
             run,
+            bfs_count,
+            started,
         }))
     }
 
@@ -429,6 +507,8 @@ impl<'a> Driver<'a> {
                 self.diametral_pair = (v, r.farthest);
             }
             self.apply_bounds(v, r.eccentricity);
+            self.note_ecc(r.eccentricity);
+            self.publish_snapshot("main_loop");
             self.obs.event(&Event::Progress {
                 active: self.state.active_count(),
                 bound: self.bound,
@@ -481,7 +561,11 @@ impl<'a> Driver<'a> {
                     self.diametral_pair = (v, far);
                 }
                 self.apply_bounds(v, e);
+                self.note_ecc(e);
             }
+            // One snapshot per batch: the fold is sequential, so the
+            // batch boundary is the first point the bounds are settled.
+            self.publish_snapshot("main_loop");
             self.obs.event(&Event::Progress {
                 active: self.state.active_count(),
                 bound: self.bound,
@@ -539,6 +623,31 @@ impl<'a> Driver<'a> {
             });
         }
         // e == bound: the ecc write already removed v.
+    }
+
+    /// Account one finished eccentricity BFS: bump the sweep counter and
+    /// tighten `ub` via `diameter ≤ 2·ecc(v)` (connected graphs only —
+    /// per-component eccentricities say nothing about the other
+    /// components). `ub ≥ bound` is preserved: `2·ecc(v) ≥ diameter ≥
+    /// bound` in a connected graph.
+    fn note_ecc(&mut self, e: u32) {
+        self.bfs_count += 1;
+        if self.connected {
+            self.ub = self.ub.min(e.saturating_mul(2));
+        }
+    }
+
+    fn publish_snapshot(&self, phase: &'static str) {
+        publish_bounds(
+            self.obs,
+            self.run,
+            phase,
+            self.bfs_count,
+            self.bound,
+            self.ub,
+            self.state.active_count(),
+            self.started,
+        );
     }
 }
 
@@ -663,6 +772,7 @@ fn local_bfs_eccentricity(
 fn empty_outcome(t_total: Instant, obs: &dyn Observer, run: RunId) -> FdiamOutcome {
     let mut stats = FdiamStats::default();
     stats.timings.total = t_total.elapsed();
+    publish_bounds(obs, run, "done", 0, 0, 0, 0, t_total);
     obs.event(&Event::RunEnd {
         run,
         diameter: 0,
@@ -713,6 +823,19 @@ impl Driver<'_> {
             degree0: stats.removed.degree0,
             computed: stats.removed.computed,
         });
+        // Final certified snapshot: termination proves `bound` exact,
+        // so the interval collapses regardless of how loose the running
+        // `2·ecc` upper bound was (or `n − 1`, when disconnected).
+        publish_bounds(
+            self.obs,
+            self.run,
+            "done",
+            self.bfs_count,
+            self.bound,
+            self.bound,
+            0,
+            self.started,
+        );
         self.obs.event(&Event::RunEnd {
             run: self.run,
             diameter: self.bound,
@@ -855,6 +978,106 @@ mod tests {
         );
         assert!(r.count("bound_update") >= 1);
         assert!(r.count("progress") >= 1);
+    }
+
+    /// Collects every [`BoundsSnapshot`] in arrival order.
+    struct SnapshotRecorder(Mutex<Vec<BoundsSnapshot>>);
+
+    impl SnapshotRecorder {
+        fn new() -> Self {
+            SnapshotRecorder(Mutex::new(Vec::new()))
+        }
+        fn snapshots(&self) -> Vec<BoundsSnapshot> {
+            self.0.lock().unwrap().clone()
+        }
+    }
+
+    impl Observer for SnapshotRecorder {
+        fn event(&self, e: &Event<'_>) {
+            if let Event::BoundsUpdate { snapshot } = e {
+                self.0.lock().unwrap().push(*snapshot);
+            }
+        }
+        fn wants_bfs_detail(&self) -> bool {
+            false
+        }
+    }
+
+    /// The driver's published snapshot stream must form a certified,
+    /// monotone convergence curve ending in a zero-gap "done" snapshot.
+    fn assert_convergence_curve(snaps: &[BoundsSnapshot], diameter: u32) {
+        assert!(!snaps.is_empty(), "at least the final snapshot");
+        let mut prev: Option<BoundsSnapshot> = None;
+        for s in snaps {
+            assert!(s.lb <= s.ub, "lb {} > ub {} in {:?}", s.lb, s.ub, s);
+            assert!(s.lb <= diameter, "lb exceeds final diameter: {s:?}");
+            assert!(s.ub >= diameter, "ub below final diameter: {s:?}");
+            if let Some(p) = prev {
+                assert!(s.lb >= p.lb, "lower bound regressed: {p:?} -> {s:?}");
+                assert!(s.ub <= p.ub, "upper bound loosened: {p:?} -> {s:?}");
+                assert!(s.bfs_count >= p.bfs_count);
+                assert_eq!(s.run, p.run, "one run, one id");
+            }
+            prev = Some(*s);
+        }
+        let last = snaps.last().unwrap();
+        assert_eq!(last.phase, "done");
+        assert_eq!(last.lb, diameter);
+        assert_eq!(last.ub, diameter);
+        assert_eq!(last.vertices_remaining, 0);
+    }
+
+    #[test]
+    fn bounds_snapshots_converge_serial() {
+        let g = grid2d(12, 9);
+        let r = SnapshotRecorder::new();
+        let out = run_with_observer(&g, &FdiamConfig::serial(), &r);
+        let snaps = r.snapshots();
+        assert_convergence_curve(&snaps, out.result.largest_cc_diameter);
+        // Every snapshot belongs to this run, with a two-sweep prefix.
+        assert!(snaps.iter().all(|s| s.run == out.run));
+        assert_eq!(snaps[0].phase, "two_sweep");
+        assert!(snaps[0].bfs_count >= 1);
+    }
+
+    #[test]
+    fn bounds_snapshots_converge_parallel_and_concurrent() {
+        let g = barabasi_albert(300, 3, 5);
+        let baseline = run(&g, &FdiamConfig::serial());
+        let d = baseline.result.largest_cc_diameter;
+
+        let r = SnapshotRecorder::new();
+        run_with_observer(&g, &FdiamConfig::parallel(), &r);
+        assert_convergence_curve(&r.snapshots(), d);
+
+        let c = SnapshotRecorder::new();
+        run_concurrent_with_observer(&g, &FdiamConfig::serial(), 8, &c);
+        assert_convergence_curve(&c.snapshots(), d);
+    }
+
+    #[test]
+    fn bounds_snapshots_on_disconnected_graph_keep_trivial_ub() {
+        // `2·ecc` is invalid across components: the running ub must stay
+        // at `n − 1` until the final certified snapshot collapses it.
+        let g = disjoint_union(&grid2d(10, 10), &grid2d(3, 3));
+        let n = g.num_vertices() as u32;
+        let r = SnapshotRecorder::new();
+        let out = run_with_observer(&g, &FdiamConfig::serial(), &r);
+        let snaps = r.snapshots();
+        assert_convergence_curve(&snaps, out.result.largest_cc_diameter);
+        for s in &snaps[..snaps.len() - 1] {
+            assert_eq!(s.ub, n - 1, "running ub must stay trivial: {s:?}");
+        }
+    }
+
+    #[test]
+    fn empty_graph_publishes_single_certified_snapshot() {
+        let g = CsrGraph::empty(0);
+        let r = SnapshotRecorder::new();
+        run_with_observer(&g, &FdiamConfig::serial(), &r);
+        let snaps = r.snapshots();
+        assert_eq!(snaps.len(), 1);
+        assert_convergence_curve(&snaps, 0);
     }
 
     #[test]

@@ -49,6 +49,7 @@ impl Phase {
 }
 
 use crate::ids::{RunId, SpanId};
+use crate::registry::BoundsSnapshot;
 
 /// One observable occurrence inside the F-Diam stack.
 #[derive(Clone, Debug, PartialEq)]
@@ -118,6 +119,15 @@ pub enum Event<'a> {
     /// computing `ecc(source) = new` — the per-iteration convergence
     /// signal (cf. the bound-tracking methodology of arXiv:0904.2728).
     BoundUpdate { old: u32, new: u32, source: u32 },
+    /// Certified `[lb, ub]` diameter-bounds snapshot published after
+    /// every eccentricity sweep — the live convergence signal behind
+    /// the run registry and `GET /v1/runs`. Distinct from
+    /// [`Event::BoundUpdate`], which reports only lower-bound
+    /// improvements of the F-Diam main loop.
+    BoundsUpdate {
+        /// The full snapshot (copied verbatim into run registries).
+        snapshot: BoundsSnapshot,
+    },
     /// The winnow ball grew to `radius` (counted as a BFS traversal in
     /// Table 3).
     WinnowGrown { radius: u32 },
@@ -176,6 +186,7 @@ impl Event<'_> {
             Event::EpochRollover { .. } => "epoch_rollover",
             Event::BfsEnd { .. } => "bfs_end",
             Event::BoundUpdate { .. } => "bound_update",
+            Event::BoundsUpdate { .. } => "bounds_update",
             Event::WinnowGrown { .. } => "winnow",
             Event::EliminateRun { .. } => "eliminate",
             Event::ChainsProcessed { .. } => "chains",
@@ -249,6 +260,32 @@ mod tests {
             }
             .name(),
             "removal_summary"
+        );
+        // The per-sweep snapshot event must stay distinguishable from
+        // the lower-bound-only "bound_update".
+        assert_eq!(
+            Event::BoundsUpdate {
+                snapshot: BoundsSnapshot {
+                    run: RunId(1),
+                    phase: "main_loop",
+                    bfs_count: 1,
+                    lb: 1,
+                    ub: 2,
+                    vertices_remaining: 3,
+                    elapsed_nanos: 4,
+                }
+            }
+            .name(),
+            "bounds_update"
+        );
+        assert_eq!(
+            Event::BoundUpdate {
+                old: 0,
+                new: 1,
+                source: 0
+            }
+            .name(),
+            "bound_update"
         );
     }
 }

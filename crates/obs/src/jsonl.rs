@@ -114,6 +114,15 @@ pub fn encode_event(e: &Event<'_>, ts_us: u64) -> String {
             .u64("new", new as u64)
             .u64("source", source as u64)
             .finish(),
+        Event::BoundsUpdate { snapshot } => o
+            .str("run", &snapshot.run.to_string())
+            .str("phase", snapshot.phase)
+            .u64("bfs_count", snapshot.bfs_count)
+            .u64("lb", snapshot.lb as u64)
+            .u64("ub", snapshot.ub as u64)
+            .usize("vertices_remaining", snapshot.vertices_remaining)
+            .u64("elapsed_nanos", snapshot.elapsed_nanos)
+            .finish(),
         Event::WinnowGrown { radius } => o.u64("radius", radius as u64).finish(),
         Event::EliminateRun { removed, extension } => o
             .usize("removed", removed)
@@ -246,6 +255,17 @@ mod tests {
                 new: 4,
                 source: 7,
             },
+            Event::BoundsUpdate {
+                snapshot: crate::registry::BoundsSnapshot {
+                    run,
+                    phase: "main_loop",
+                    bfs_count: 3,
+                    lb: 4,
+                    ub: 8,
+                    vertices_remaining: 6,
+                    elapsed_nanos: 2500,
+                },
+            },
             Event::WinnowGrown { radius: 2 },
             Event::EliminateRun {
                 removed: 5,
@@ -297,12 +317,29 @@ mod tests {
         assert_eq!(lines[3].get("span").unwrap().as_u64(), Some(6));
         assert_eq!(lines[4].get("bottom_up").unwrap().as_bool(), Some(true));
         assert_eq!(lines[7].get("nanos").unwrap().as_u64(), Some(1234));
-        assert_eq!(lines[10].get("removed").unwrap().as_u64(), Some(5));
-        assert_eq!(lines[13].get("imbalance").unwrap().as_f64(), Some(1.6));
-        assert_eq!(lines[14].get("eliminate").unwrap().as_u64(), Some(4));
-        assert_eq!(lines[15].get("diameter").unwrap().as_u64(), Some(4));
         assert_eq!(
-            lines[15].get("run").unwrap().as_str(),
+            lines[9].get("type").unwrap().as_str(),
+            Some("bounds_update")
+        );
+        assert_eq!(
+            lines[9].get("run").unwrap().as_str(),
+            lines[0].get("run").unwrap().as_str(),
+            "bounds snapshots carry the run id of their run"
+        );
+        assert_eq!(lines[9].get("phase").unwrap().as_str(), Some("main_loop"));
+        assert_eq!(lines[9].get("lb").unwrap().as_u64(), Some(4));
+        assert_eq!(lines[9].get("ub").unwrap().as_u64(), Some(8));
+        assert_eq!(lines[9].get("bfs_count").unwrap().as_u64(), Some(3));
+        assert_eq!(
+            lines[9].get("vertices_remaining").unwrap().as_u64(),
+            Some(6)
+        );
+        assert_eq!(lines[11].get("removed").unwrap().as_u64(), Some(5));
+        assert_eq!(lines[14].get("imbalance").unwrap().as_f64(), Some(1.6));
+        assert_eq!(lines[15].get("eliminate").unwrap().as_u64(), Some(4));
+        assert_eq!(lines[16].get("diameter").unwrap().as_u64(), Some(4));
+        assert_eq!(
+            lines[16].get("run").unwrap().as_str(),
             lines[0].get("run").unwrap().as_str(),
             "run_start and run_end carry the same run id"
         );

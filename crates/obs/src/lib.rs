@@ -37,6 +37,10 @@
 //! * [`json`] — a minimal dependency-free JSON encoder/parser used by
 //!   the trace sink, the bench run records, and the tests that validate
 //!   them.
+//! * [`RunRegistry`] / [`BoundsSnapshot`] — live-run introspection:
+//!   the codes publish certified `[lb, ub]` bounds after every sweep,
+//!   and the registry keeps the latest snapshot of every in-flight run
+//!   (the substrate of fdiam-serve's `GET /v1/runs`).
 //! * [`CancelToken`] — cooperative cancellation (shared atomic
 //!   flag + deadline) polled by the BFS kernels once per level and by
 //!   the F-Diam driver between stages; the serving layer and the CLI
@@ -54,6 +58,7 @@ pub mod jsonl;
 pub mod metrics;
 pub mod observer;
 pub mod progress;
+pub mod registry;
 
 pub use cancel::CancelToken;
 pub use event::{Event, Phase};
@@ -63,3 +68,4 @@ pub use jsonl::JsonlTraceSink;
 pub use metrics::{Counter, DurationHistogram, Gauge, MetricsObserver, MetricsRegistry};
 pub use observer::{noop, Fanout, NoopObserver, Observer, PhaseSpan, Tee};
 pub use progress::ProgressSink;
+pub use registry::{BoundsSnapshot, RunInfo, RunRegistry};

@@ -341,6 +341,8 @@ pub struct MetricsObserver {
     load_max_busy: Arc<Gauge>,
     load_mean_busy: Arc<Gauge>,
     load_edges: Arc<Counter>,
+    bounds_gap: Arc<Gauge>,
+    bounds_updates: Arc<Counter>,
     phase_durations: [Arc<DurationHistogram>; Phase::ALL.len()],
     run_duration: Arc<DurationHistogram>,
 }
@@ -373,6 +375,8 @@ impl MetricsObserver {
             load_max_busy: registry.gauge("bfs.load.max_busy_nanos"),
             load_mean_busy: registry.gauge("bfs.load.mean_busy_nanos"),
             load_edges: registry.counter("bfs.load.edges"),
+            bounds_gap: registry.gauge("run.bounds_gap"),
+            bounds_updates: registry.counter("driver.bounds_updates"),
             run_duration: registry.histogram("run.duration"),
             phase_durations,
             registry,
@@ -402,6 +406,10 @@ impl Observer for MetricsObserver {
             Event::DirectionSwitch { .. } => self.switches.inc(),
             Event::EpochRollover { .. } => self.rollovers.inc(),
             Event::BoundUpdate { .. } => self.bound_updates.inc(),
+            Event::BoundsUpdate { snapshot } => {
+                self.bounds_updates.inc();
+                self.bounds_gap.set(snapshot.gap() as f64);
+            }
             Event::WinnowGrown { .. } => self.winnow_calls.inc(),
             Event::EliminateRun { removed, .. } => {
                 self.eliminate_calls.inc();

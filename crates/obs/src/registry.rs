@@ -1,0 +1,285 @@
+//! Live-run introspection: the latest certified diameter bounds of
+//! every in-flight run.
+//!
+//! The diameter codes publish a [`BoundsSnapshot`] after every
+//! eccentricity sweep (as [`Event::BoundsUpdate`]). A [`RunRegistry`]
+//! attached as an [`Observer`] keeps only the *latest* snapshot per
+//! run: it registers a run on `run_start`, swaps the snapshot on every
+//! `bounds_update`, and deregisters on `run_end`. Cancelled runs never
+//! emit `run_end`, so owners of cancellable runs (fdiam-serve's
+//! workers) must call [`RunRegistry::deregister`] on the cancel path.
+//!
+//! Publishing is allocation-free: a snapshot is a `Copy` struct of
+//! integers plus a `&'static str` phase label, and swapping it into a
+//! registered slot only stores through a pre-allocated `Mutex`. The
+//! only allocating operation is registration itself (one map entry and
+//! one `String` for the algorithm name per run).
+
+use crate::event::Event;
+use crate::ids::RunId;
+use crate::observer::Observer;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// The certified `[lb, ub]` diameter-bounds state of a run after one
+/// eccentricity sweep.
+///
+/// Invariants maintained by every publisher (F-Diam serial/parallel,
+/// bounding eccentricities, ExactSumSweep): across successive
+/// snapshots of one run, `lb` is non-decreasing, `ub` is
+/// non-increasing, and `lb <= diameter <= ub` holds throughout (for
+/// the largest-component diameter the codes report). On termination
+/// the final snapshot has `lb == ub == diameter`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BoundsSnapshot {
+    /// Correlation id of the run this snapshot belongs to.
+    pub run: RunId,
+    /// Stable snake_case label of the publishing stage (e.g.
+    /// `"two_sweep"`, `"main_loop"`, `"bounding_ecc"`, `"done"`).
+    pub phase: &'static str,
+    /// Full BFS traversals completed so far in this run.
+    pub bfs_count: u64,
+    /// Certified diameter lower bound (largest eccentricity seen).
+    pub lb: u32,
+    /// Certified diameter upper bound.
+    pub ub: u32,
+    /// Vertices whose eccentricity is still unresolved.
+    pub vertices_remaining: usize,
+    /// Wall-clock nanoseconds since the run started.
+    pub elapsed_nanos: u64,
+}
+
+impl BoundsSnapshot {
+    /// Current bounds gap `ub - lb`; 0 means the answer is certified.
+    pub fn gap(&self) -> u32 {
+        self.ub.saturating_sub(self.lb)
+    }
+}
+
+/// Static facts recorded when a run registers, plus its live snapshot.
+#[derive(Clone, Debug)]
+pub struct RunInfo {
+    /// Correlation id of the run.
+    pub run: RunId,
+    /// Algorithm name from `run_start` (e.g. `"fdiam"`).
+    pub algorithm: String,
+    /// Number of vertices in the input graph.
+    pub n: usize,
+    /// Number of undirected edges in the input graph.
+    pub m: usize,
+    /// Latest published snapshot; `None` until the first sweep lands.
+    pub latest: Option<BoundsSnapshot>,
+}
+
+struct RunSlot {
+    algorithm: String,
+    n: usize,
+    m: usize,
+    latest: Mutex<Option<BoundsSnapshot>>,
+}
+
+/// Concurrent registry of in-flight runs keyed by [`RunId`].
+///
+/// Attach it (via [`Observer`]) alongside the metrics observer; it
+/// follows the run lifecycle automatically except for cancellation,
+/// which requires an explicit [`RunRegistry::deregister`] because a
+/// cancelled run never reaches `run_end`.
+#[derive(Default)]
+pub struct RunRegistry {
+    runs: Mutex<BTreeMap<u64, Arc<RunSlot>>>,
+}
+
+impl RunRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a run. Idempotent: re-registering an id replaces the
+    /// static facts but keeps no stale snapshot (the slot starts
+    /// empty).
+    pub fn register(&self, run: RunId, algorithm: &str, n: usize, m: usize) {
+        let slot = Arc::new(RunSlot {
+            algorithm: algorithm.to_string(),
+            n,
+            m,
+            latest: Mutex::new(None),
+        });
+        self.runs.lock().unwrap().insert(run.0, slot);
+    }
+
+    /// Swaps in the latest snapshot for its run. A snapshot for an
+    /// unregistered run is dropped silently (the CLI publishes without
+    /// a registry attached). Allocation-free for registered runs.
+    pub fn publish(&self, snapshot: BoundsSnapshot) {
+        let slot = self.runs.lock().unwrap().get(&snapshot.run.0).cloned();
+        if let Some(slot) = slot {
+            *slot.latest.lock().unwrap() = Some(snapshot);
+        }
+    }
+
+    /// Removes a run (normal completion or cancellation). Unknown ids
+    /// are a no-op so the cancel path can deregister unconditionally.
+    pub fn deregister(&self, run: RunId) {
+        self.runs.lock().unwrap().remove(&run.0);
+    }
+
+    /// Number of currently registered (in-flight) runs.
+    pub fn in_flight(&self) -> usize {
+        self.runs.lock().unwrap().len()
+    }
+
+    /// The registered run with this id, if still in flight.
+    pub fn get(&self, run: RunId) -> Option<RunInfo> {
+        let slot = self.runs.lock().unwrap().get(&run.0).cloned()?;
+        Some(Self::info(run, &slot))
+    }
+
+    /// All in-flight runs, ordered by run id for stable output.
+    pub fn list(&self) -> Vec<RunInfo> {
+        let slots: Vec<(u64, Arc<RunSlot>)> = self
+            .runs
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(id, slot)| (*id, Arc::clone(slot)))
+            .collect();
+        slots
+            .iter()
+            .map(|(id, slot)| Self::info(RunId(*id), slot))
+            .collect()
+    }
+
+    fn info(run: RunId, slot: &RunSlot) -> RunInfo {
+        RunInfo {
+            run,
+            algorithm: slot.algorithm.clone(),
+            n: slot.n,
+            m: slot.m,
+            latest: *slot.latest.lock().unwrap(),
+        }
+    }
+}
+
+impl Observer for RunRegistry {
+    fn event(&self, e: &Event<'_>) {
+        match *e {
+            Event::RunStart {
+                algorithm,
+                n,
+                m,
+                run,
+                ..
+            } => self.register(run, algorithm, n, m),
+            Event::BoundsUpdate { snapshot } => self.publish(snapshot),
+            Event::RunEnd { run, .. } => self.deregister(run),
+            _ => {}
+        }
+    }
+
+    // The registry only needs run-level lifecycle events.
+    fn wants_bfs_detail(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(run: RunId, lb: u32, ub: u32) -> BoundsSnapshot {
+        BoundsSnapshot {
+            run,
+            phase: "main_loop",
+            bfs_count: 3,
+            lb,
+            ub,
+            vertices_remaining: 7,
+            elapsed_nanos: 1_000,
+        }
+    }
+
+    #[test]
+    fn lifecycle_register_publish_deregister() {
+        let reg = RunRegistry::new();
+        let run = RunId(0xabc);
+        assert_eq!(reg.in_flight(), 0);
+        assert!(reg.get(run).is_none());
+
+        reg.register(run, "fdiam", 100, 200);
+        assert_eq!(reg.in_flight(), 1);
+        let info = reg.get(run).unwrap();
+        assert_eq!(info.algorithm, "fdiam");
+        assert_eq!((info.n, info.m), (100, 200));
+        assert!(info.latest.is_none());
+
+        reg.publish(snap(run, 4, 10));
+        reg.publish(snap(run, 6, 8));
+        let latest = reg.get(run).unwrap().latest.unwrap();
+        assert_eq!((latest.lb, latest.ub), (6, 8));
+        assert_eq!(latest.gap(), 2);
+
+        reg.deregister(run);
+        assert_eq!(reg.in_flight(), 0);
+        assert!(reg.get(run).is_none());
+        // Deregistering again (the unconditional cancel path) is fine.
+        reg.deregister(run);
+    }
+
+    #[test]
+    fn publish_for_unregistered_run_is_dropped() {
+        let reg = RunRegistry::new();
+        reg.publish(snap(RunId(1), 1, 2));
+        assert_eq!(reg.in_flight(), 0);
+        assert!(reg.list().is_empty());
+    }
+
+    #[test]
+    fn observer_follows_run_lifecycle() {
+        let reg = RunRegistry::new();
+        let run = RunId(0x42);
+        reg.event(&Event::RunStart {
+            algorithm: "fdiam",
+            n: 10,
+            m: 9,
+            run,
+        });
+        assert_eq!(reg.in_flight(), 1);
+        reg.event(&Event::BoundsUpdate {
+            snapshot: snap(run, 2, 9),
+        });
+        assert_eq!(reg.get(run).unwrap().latest.unwrap().gap(), 7);
+        reg.event(&Event::RunEnd {
+            diameter: 5,
+            connected: true,
+            nanos: 10,
+            run,
+        });
+        assert_eq!(reg.in_flight(), 0);
+    }
+
+    #[test]
+    fn list_is_ordered_and_isolated_per_run() {
+        let reg = RunRegistry::new();
+        for id in [3u64, 1, 2] {
+            reg.register(RunId(id), "fdiam", 10, 10);
+        }
+        reg.publish(snap(RunId(2), 1, 4));
+        let runs = reg.list();
+        assert_eq!(
+            runs.iter().map(|r| r.run.0).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert!(runs[0].latest.is_none());
+        assert_eq!(runs[1].latest.unwrap().lb, 1);
+        assert!(runs[2].latest.is_none());
+    }
+
+    #[test]
+    fn gap_saturates() {
+        // An inverted pair would be a publisher bug; the gap still
+        // must not wrap around.
+        assert_eq!(snap(RunId(1), 5, 3).gap(), 0);
+        assert_eq!(snap(RunId(1), 3, 3).gap(), 0);
+    }
+}

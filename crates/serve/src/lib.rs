@@ -12,6 +12,8 @@
 //! |---|---|---|
 //! | `POST /v1/diameter` | `{"spec": …}` or `{"path": …}` | exact diameter via F-Diam |
 //! | `POST /v1/eccentricities` | same | radius/diameter/all-ecc via Takes–Kosters |
+//! | `GET /v1/runs` | — | all in-flight compute runs with their latest bounds snapshot |
+//! | `GET /v1/runs/{run_id}` | — | one in-flight run (404 once it finishes) |
 //! | `GET /healthz` | — | liveness + configuration |
 //! | `GET /metrics` | — | Prometheus 0.0.4 text exposition |
 //! | `GET /metrics?format=summary` | — | legacy [`MetricsRegistry`] summary (text) |
@@ -49,7 +51,10 @@ use fdiam_bfs::BfsScratch;
 use fdiam_core::FdiamConfig;
 use fdiam_graph::CsrGraph;
 use fdiam_obs::json::{self, JsonObject, JsonValue};
-use fdiam_obs::{CancelToken, MetricsObserver, MetricsRegistry, RunId, PROMETHEUS_CONTENT_TYPE};
+use fdiam_obs::{
+    CancelToken, MetricsObserver, MetricsRegistry, RunId, RunInfo, RunRegistry, Tee,
+    PROMETHEUS_CONTENT_TYPE,
+};
 use http::{read_request, write_response, HttpError, Request};
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -196,6 +201,9 @@ struct Shared {
     config: ServeConfig,
     metrics: Arc<MetricsRegistry>,
     cache: GraphCache,
+    /// Live view of in-flight compute runs: workers tee their run's
+    /// event stream into it, `GET /v1/runs` reads it.
+    registry: RunRegistry,
     shutting_down: AtomicBool,
     started: Instant,
 }
@@ -220,10 +228,14 @@ impl Server {
         let shared = Arc::new(Shared {
             metrics: Arc::new(MetricsRegistry::new()),
             cache: GraphCache::new(config.cache_bytes),
+            registry: RunRegistry::new(),
             shutting_down: AtomicBool::new(false),
             started: Instant::now(),
             config,
         });
+        // Register the in-flight gauge at bind so `/metrics` exposes it
+        // before (and after) any run exists.
+        shared.metrics.gauge("runs.in_flight").set(0.0);
 
         let (tx, rx) = mpsc::sync_channel::<Job>(shared.config.queue_depth);
         let rx = Arc::new(Mutex::new(rx));
@@ -262,6 +274,11 @@ impl Server {
     /// The registry behind `GET /metrics`, for embedders.
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
         &self.shared.metrics
+    }
+
+    /// The in-flight run registry behind `GET /v1/runs`, for embedders.
+    pub fn runs(&self) -> &RunRegistry {
+        &self.shared.registry
     }
 
     /// Graceful shutdown: stop accepting, let queued and in-flight
@@ -330,9 +347,14 @@ fn handle_connection(stream: TcpStream, shared: &Shared, tx: &SyncSender<Job>) {
                 (shared.metrics.render_summary(), "text/plain; charset=utf-8")
             } else {
                 refresh_cache_gauges(shared);
+                refresh_run_gauges(shared);
                 (shared.metrics.render_prometheus(), PROMETHEUS_CONTENT_TYPE)
             };
             let _ = write_response(&stream, 200, &[], content_type, text.as_bytes());
+        }
+        ("GET", "/v1/runs") => respond_runs_list(&stream, shared),
+        ("GET", p) if p.strip_prefix("/v1/runs/").is_some_and(|id| !id.is_empty()) => {
+            respond_run_detail(&stream, shared, p.strip_prefix("/v1/runs/").unwrap())
         }
         ("POST", "/v1/diameter") => admit(stream, shared, tx, &req, Endpoint::Diameter),
         ("POST", "/v1/eccentricities") => admit(stream, shared, tx, &req, Endpoint::Eccentricities),
@@ -410,6 +432,71 @@ fn refresh_cache_gauges(shared: &Shared) {
         .metrics
         .gauge("serve.cache.entries")
         .set(shared.cache.keys_lru_order().len() as f64);
+}
+
+/// Point-in-time in-flight run count, refreshed on scrape (the
+/// registry is the source of truth — a cancelled run deregisters there,
+/// so the gauge cannot leak the way an inc/dec pair could).
+fn refresh_run_gauges(shared: &Shared) {
+    shared
+        .metrics
+        .gauge("runs.in_flight")
+        .set(shared.registry.in_flight() as f64);
+}
+
+/// Renders one in-flight run for the `/v1/runs` endpoints.
+fn run_info_json(info: &RunInfo) -> String {
+    let mut obj = JsonObject::new()
+        .str("run_id", &info.run.to_string())
+        .str("algorithm", &info.algorithm)
+        .usize("n", info.n)
+        .usize("m", info.m);
+    obj = match &info.latest {
+        None => obj.raw("latest", "null"),
+        Some(s) => obj.raw(
+            "latest",
+            &JsonObject::new()
+                .str("phase", s.phase)
+                .u64("bfs_count", s.bfs_count)
+                .u64("lb", u64::from(s.lb))
+                .u64("ub", u64::from(s.ub))
+                .u64("gap", u64::from(s.gap()))
+                .usize("vertices_remaining", s.vertices_remaining)
+                .u64("elapsed_nanos", s.elapsed_nanos)
+                .finish(),
+        ),
+    };
+    obj.finish()
+}
+
+/// `GET /v1/runs`: every in-flight compute run, ordered by run id.
+fn respond_runs_list(stream: &TcpStream, shared: &Shared) {
+    let runs = shared.registry.list();
+    let mut arr = String::from("[");
+    for (i, info) in runs.iter().enumerate() {
+        if i > 0 {
+            arr.push(',');
+        }
+        arr.push_str(&run_info_json(info));
+    }
+    arr.push(']');
+    let body = JsonObject::new()
+        .usize("in_flight", runs.len())
+        .raw("runs", &arr)
+        .finish();
+    let _ = write_response(stream, 200, &[], "application/json", body.as_bytes());
+}
+
+/// `GET /v1/runs/{run_id}`: one in-flight run; 404 for unknown ids,
+/// finished runs (deregistered), and malformed ids alike.
+fn respond_run_detail(stream: &TcpStream, shared: &Shared, id: &str) {
+    match RunId::from_hex(id).and_then(|run| shared.registry.get(run)) {
+        Some(info) => {
+            let body = run_info_json(&info);
+            let _ = write_response(stream, 200, &[], "application/json", body.as_bytes());
+        }
+        None => respond_error(stream, shared, 404, "no such in-flight run"),
+    }
 }
 
 fn parse_job(
@@ -574,9 +661,13 @@ fn serve_job(
     refresh_cache_gauges(shared);
 
     let t0 = Instant::now();
+    // Tee the run's event stream into the in-flight registry: run_start
+    // registers, every bounds snapshot updates the live view, run_end
+    // deregisters.
+    let tee = Tee(observer, &shared.registry);
     let body = match job.endpoint {
-        Endpoint::Diameter => compute_diameter(&graph, &job, scratch, observer),
-        Endpoint::Eccentricities => compute_eccentricities(&graph, &job),
+        Endpoint::Diameter => compute_diameter(&graph, &job, scratch, &tee),
+        Endpoint::Eccentricities => compute_eccentricities(&graph, &job, &tee),
     };
     match body {
         Some(obj) => {
@@ -616,7 +707,7 @@ fn compute_diameter(
     g: &CsrGraph,
     job: &Job,
     scratch: &mut BfsScratch,
-    observer: &MetricsObserver,
+    observer: &dyn fdiam_obs::Observer,
 ) -> Option<JsonObject> {
     let config = if job.serial {
         FdiamConfig::serial()
@@ -647,9 +738,14 @@ fn compute_diameter(
 }
 
 /// Takes–Kosters all-eccentricities under the job's token.
-fn compute_eccentricities(g: &CsrGraph, job: &Job) -> Option<JsonObject> {
+fn compute_eccentricities(
+    g: &CsrGraph,
+    job: &Job,
+    observer: &dyn fdiam_obs::Observer,
+) -> Option<JsonObject> {
     let r =
-        fdiam_analytics::bounding_ecc::bounding_eccentricities_cancellable(g, &job.token).ok()?;
+        fdiam_analytics::bounding_eccentricities_observed(g, job.run, observer, Some(&job.token))
+            .ok()?;
     let ecc = &r.eccentricities;
     let radius = (0..g.num_vertices())
         .filter(|&v| g.degree(v as fdiam_graph::VertexId) > 0)
@@ -679,6 +775,10 @@ fn compute_eccentricities(g: &CsrGraph, job: &Job) -> Option<JsonObject> {
 }
 
 fn respond_deadline(shared: &Shared, job: &Job) {
+    // A cancelled run emits run_start but never run_end, so the
+    // registry needs the explicit deregister here (no-op for jobs that
+    // expired before the compute registered anything).
+    shared.registry.deregister(job.run);
     shared.metrics.counter("serve.responses_deadline").inc();
     let _ = write_response(
         &job.stream,

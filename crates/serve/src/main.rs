@@ -20,6 +20,8 @@ OPTIONS:
 ENDPOINTS:
   POST /v1/diameter         {\"spec\": \"grid:100x100\"} or {\"path\": \"g.gr\"}
   POST /v1/eccentricities   same body; add \"include_values\": true for all
+  GET  /v1/runs             in-flight runs with their latest bounds snapshot
+  GET  /v1/runs/{run_id}    one in-flight run (404 once it finishes)
   GET  /healthz             liveness + configuration
   GET  /metrics             Prometheus metrics (?format=summary for text dump)
 ";

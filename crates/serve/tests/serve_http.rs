@@ -416,6 +416,159 @@ fn run_id_correlates_response_access_log_and_metrics() {
     // The whole exposition passes the in-tree linter.
     let report = fdiam_obs::expo::lint(&m.body).expect("scraped /metrics lints clean");
     assert!(report.samples > 0);
+
+    // The new run-telemetry gauges are exposed (and lint clean, above):
+    // no run is in flight any more, and the last published snapshot was
+    // the final zero-gap one.
+    assert!(
+        m.body.contains("fdiam_runs_in_flight 0"),
+        "missing fdiam_runs_in_flight:\n{}",
+        m.body
+    );
+    assert!(
+        m.body.contains("fdiam_run_bounds_gap 0"),
+        "missing fdiam_run_bounds_gap:\n{}",
+        m.body
+    );
+
+    // The finished run is gone from the registry: 404, empty list.
+    let d = request(addr, "GET", &format!("/v1/runs/{run_id}"), "");
+    assert_eq!(d.status, 404, "{}", d.body);
+    let l = request(addr, "GET", "/v1/runs", "");
+    assert_eq!(l.status, 200);
+    assert_eq!(l.field_u64("in_flight"), 0);
+    server.shutdown();
+}
+
+#[test]
+fn in_flight_run_is_observable_with_certified_bounds() {
+    // The acceptance walkthrough: while a deliberately slow request
+    // (a torus — F-Diam's worst case — computed serially) is in
+    // flight, `GET /v1/runs` must show it with a live bounds snapshot
+    // satisfying `lb ≤ final diameter ≤ ub`, and the run id must agree
+    // across the runs endpoint, the response body, the access log, and
+    // the metrics label. Once the response lands, the run vanishes.
+    let (access_log, log_buf) = AccessLog::buffer();
+    let config = ServeConfig {
+        workers: 1,
+        access_log,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr();
+
+    // Growing sizes: retry with a slower graph if the run finished
+    // before a poll landed (fast machines, release profile).
+    let mut observed = None;
+    for spec in ["torus:60x60", "torus:90x90", "torus:120x120"] {
+        let body = format!(r#"{{"spec": "{spec}", "serial": true}}"#);
+        let handle = {
+            let body = body.clone();
+            std::thread::spawn(move || post(addr, "/v1/diameter", &body))
+        };
+        // Poll the runs endpoint until a snapshot shows up.
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let mut caught = None;
+        while caught.is_none() && Instant::now() < deadline && !handle.is_finished() {
+            let l = request(addr, "GET", "/v1/runs", "");
+            assert_eq!(l.status, 200, "{}", l.body);
+            if l.field_u64("in_flight") >= 1 && l.body.contains("\"latest\":{") {
+                caught = Some(l);
+            }
+        }
+        let response = handle.join().expect("request thread");
+        assert_eq!(response.status, 200, "{}", response.body);
+        if let Some(list) = caught {
+            observed = Some((list, response));
+            break;
+        }
+    }
+    let (list, response) = observed.expect("never caught a run in flight");
+
+    // The list shows exactly our run (single worker, single client).
+    let run_id = {
+        let needle = "\"run_id\":\"";
+        let at = list.body.find(needle).expect("run_id in list") + needle.len();
+        list.body[at..at + 16].to_string()
+    };
+    assert_eq!(response.field_str("run_id"), run_id, "{}", list.body);
+    assert!(list.body.contains("\"algorithm\":\"fdiam-serial\""));
+
+    // Snapshot bracketed the diameter the response then reported.
+    // (One run in the list, so a raw-body scan for `latest.<key>` is
+    // unambiguous.)
+    let snap_of = |key: &str| -> u64 {
+        let needle = format!("\"{key}\":");
+        let at = list.body.find(&needle).unwrap() + needle.len();
+        list.body[at..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    };
+    let (lb, ub) = (snap_of("lb"), snap_of("ub"));
+    let diameter = response.field_u64("diameter");
+    assert!(lb <= ub, "lb {lb} > ub {ub}");
+    assert!(
+        lb <= diameter && diameter <= ub,
+        "snapshot [{lb}, {ub}] does not bracket diameter {diameter}"
+    );
+
+    // Access log and metrics agree on the id.
+    let log = String::from_utf8(log_buf.lock().unwrap().clone()).unwrap();
+    assert!(
+        log.lines().any(|l| l.contains(&run_id)),
+        "no access-log line with run {run_id} in {log}"
+    );
+    let m = request(addr, "GET", "/metrics", "");
+    assert!(m.body.contains(&format!(
+        "fdiam_serve_last_run_info{{run_id=\"{run_id}\"}} 1"
+    )));
+
+    // The finished run is deregistered.
+    let d = request(addr, "GET", &format!("/v1/runs/{run_id}"), "");
+    assert_eq!(d.status, 404, "{}", d.body);
+    server.shutdown();
+}
+
+#[test]
+fn cancelled_run_leaves_no_registry_entry() {
+    // A deadline that fires mid-compute emits run_start but never
+    // run_end; the worker's explicit deregister must still clear the
+    // registry, and the scrape-time gauge must read 0.
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let r = post(
+        addr,
+        "/v1/diameter",
+        r#"{"spec": "torus:80x80", "serial": true, "timeout_secs": 0.05}"#,
+    );
+    assert_eq!(r.status, 504, "{}", r.body);
+
+    let l = request(addr, "GET", "/v1/runs", "");
+    assert_eq!(l.field_u64("in_flight"), 0, "{}", l.body);
+    let m = request(addr, "GET", "/metrics", "");
+    assert!(
+        m.body.contains("fdiam_runs_in_flight 0"),
+        "gauge leaked:\n{}",
+        m.body
+    );
+    server.shutdown();
+}
+
+#[test]
+fn runs_endpoint_rejects_unknown_and_malformed_ids() {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+    for id in ["0123456789abcdef", "nope", "012345"] {
+        let r = request(addr, "GET", &format!("/v1/runs/{id}"), "");
+        assert_eq!(r.status, 404, "id '{id}' → {}", r.status);
+    }
+    let l = request(addr, "GET", "/v1/runs", "");
+    assert_eq!(l.status, 200);
+    assert_eq!(l.field_u64("in_flight"), 0);
     server.shutdown();
 }
 

@@ -17,6 +17,10 @@
 //!   `flamegraph.pl` / `inferno` consume (`a;b;c <self-µs>`), built
 //!   from the phase spans' parent links; self time excludes child
 //!   spans so the flame widths sum correctly.
+//! * [`Trace::converge`] — the bounds-convergence curve per run: one
+//!   row per `bounds_update` snapshot (BFS count, certified `[lb, ub]`,
+//!   gap, vertices remaining) with an ASCII gap bar, the offline twin
+//!   of `GET /v1/runs` on a live server.
 //! * [`lint_metrics`] — the shared Prometheus exposition linter
 //!   ([`fdiam_obs::expo::lint`]) over a scraped `/metrics` body, for
 //!   CI smoke tests.
@@ -59,6 +63,26 @@ pub struct WorkerLoadLine {
     pub imbalance: f64,
 }
 
+/// One `bounds_update` snapshot row: the certified `[lb, ub]`
+/// interval after a sweep, as published by the driver and the
+/// analytics codes' `_observed` variants.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BoundsRow {
+    pub phase: String,
+    pub bfs_count: u64,
+    pub lb: u64,
+    pub ub: u64,
+    pub vertices_remaining: u64,
+    pub elapsed_nanos: u64,
+}
+
+impl BoundsRow {
+    /// The bounds gap `ub - lb`; zero certifies exactness.
+    pub fn gap(&self) -> u64 {
+        self.ub.saturating_sub(self.lb)
+    }
+}
+
 /// One `bfs_level` row.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LevelRow {
@@ -99,6 +123,8 @@ pub struct RunTrace {
     pub removals: Option<Removals>,
     pub worker_load: Option<WorkerLoadLine>,
     pub traversals: Vec<BfsTraversal>,
+    /// `bounds_update` snapshots in arrival order.
+    pub bounds: Vec<BoundsRow>,
     /// `phase_start`: span id → (phase name, parent span id).
     span_tree: BTreeMap<u64, (String, u64)>,
     /// `phase_end`: (span id, phase name, nanos), in arrival order.
@@ -113,6 +139,13 @@ impl RunTrace {
             .iter()
             .filter_map(|p| self.phase_nanos.get(*p))
             .sum()
+    }
+
+    /// `true` when the run never reached its `run_end` — a cancelled
+    /// run, or a trace cut off mid-write. Reports mark such runs
+    /// `[aborted]` instead of erroring.
+    pub fn aborted(&self) -> bool {
+        self.diameter.is_none()
     }
 }
 
@@ -130,20 +163,32 @@ fn req_u64(v: &JsonValue, key: &str, line_no: usize) -> Result<u64, String> {
 
 impl Trace {
     /// Parses JSONL trace text. Unknown event types are skipped (the
-    /// schema is forward-extensible); malformed JSON is an error.
+    /// schema is forward-extensible); malformed JSON is an error —
+    /// except on the final line, where it means the writer died
+    /// mid-record and the trace is treated as truncated (the open run
+    /// parses as `[aborted]`).
     pub fn parse(text: &str) -> Result<Trace, String> {
         let mut runs: Vec<RunTrace> = Vec::new();
         let mut open = false;
         // Span id → index into the open run's `traversals`.
         let mut bfs_by_span: BTreeMap<u64, usize> = BTreeMap::new();
 
-        for (i, line) in text.lines().enumerate() {
-            let line_no = i + 1;
-            let line = line.trim();
-            if line.is_empty() {
-                continue;
-            }
-            let v = json::parse(line).map_err(|e| format!("line {line_no}: {e}"))?;
+        let lines: Vec<(usize, &str)> = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+        let mut parsed_any = false;
+        for (pos, &(line_no, line)) in lines.iter().enumerate() {
+            let v = match json::parse(line) {
+                Ok(v) => v,
+                // A half-written record is only ever the last line of a
+                // file; earlier malformed lines are corruption.
+                Err(_) if parsed_any && pos + 1 == lines.len() => break,
+                Err(e) => return Err(format!("line {line_no}: {e}")),
+            };
+            parsed_any = true;
             let ty = v
                 .get("type")
                 .and_then(JsonValue::as_str)
@@ -259,6 +304,28 @@ impl Trace {
                         r.traversals[idx].visited = Some(req_u64(&v, "visited", line_no)?);
                     }
                 }
+                "bounds_update" => {
+                    let r = runs.last_mut().expect("open run");
+                    r.bounds.push(BoundsRow {
+                        phase: v
+                            .get("phase")
+                            .and_then(JsonValue::as_str)
+                            .unwrap_or("?")
+                            .to_string(),
+                        bfs_count: req_u64(&v, "bfs_count", line_no)?,
+                        lb: req_u64(&v, "lb", line_no)?,
+                        ub: req_u64(&v, "ub", line_no)?,
+                        vertices_remaining: req_u64(&v, "vertices_remaining", line_no)?,
+                        elapsed_nanos: req_u64(&v, "elapsed_nanos", line_no)?,
+                    });
+                    if r.run_id.is_empty() {
+                        r.run_id = v
+                            .get("run")
+                            .and_then(JsonValue::as_str)
+                            .unwrap_or("")
+                            .to_string();
+                    }
+                }
                 "removal_summary" => {
                     runs.last_mut().expect("open run").removals = Some(Removals {
                         winnow: req_u64(&v, "winnow", line_no)?,
@@ -295,10 +362,13 @@ impl Trace {
     pub fn report(&self) -> String {
         let mut out = String::new();
         for r in &self.runs {
-            let total = r.total_nanos.max(1);
+            // An aborted run never wrote its `run_end`, so total_nanos
+            // is 0; fall back to the attributed leaf time so the
+            // partial fractions stay meaningful.
+            let total = r.total_nanos.max(r.leaf_nanos()).max(1);
             let _ = writeln!(
                 out,
-                "run {}  {}  n={} m={}  diameter={}  connected={}  total {}",
+                "run {}  {}  n={} m={}  diameter={}  connected={}  total {}{}",
                 if r.run_id.is_empty() { "?" } else { &r.run_id },
                 r.algorithm,
                 r.n,
@@ -306,6 +376,11 @@ impl Trace {
                 r.diameter.map_or("?".into(), |d| d.to_string()),
                 r.connected.map_or("?".into(), |c| c.to_string()),
                 fmt_ms(r.total_nanos),
+                if r.aborted() {
+                    "  [aborted: no run_end]"
+                } else {
+                    ""
+                },
             );
             let _ = writeln!(out, "\nstage runtime (paper Fig. 8)");
             let _ = writeln!(out, "  {:<12} {:>12} {:>9}", "stage", "time", "fraction");
@@ -372,11 +447,16 @@ impl Trace {
             for t in &r.traversals {
                 let _ = writeln!(
                     out,
-                    "bfs span={} source={} eccentricity={} visited={}",
+                    "bfs span={} source={} eccentricity={} visited={}{}",
                     t.span,
                     t.source,
                     t.eccentricity.map_or("?".into(), |e| e.to_string()),
                     t.visited.map_or("?".into(), |v| v.to_string()),
+                    if t.eccentricity.is_none() {
+                        "  [aborted]"
+                    } else {
+                        ""
+                    },
                 );
                 if t.levels.is_empty() {
                     let _ = writeln!(out, "  (no per-level detail recorded)");
@@ -462,6 +542,71 @@ impl Trace {
         }
         out
     }
+
+    /// The bounds-convergence curve per run: one row per
+    /// `bounds_update` snapshot with an ASCII bar proportional to the
+    /// gap, the offline twin of polling `GET /v1/runs/{run_id}` on a
+    /// live server. Aborted runs render their partial curve with an
+    /// `[aborted]` marker; a zero final gap restates the exactness
+    /// certificate.
+    pub fn converge(&self) -> String {
+        let mut out = String::new();
+        for r in &self.runs {
+            let _ = writeln!(
+                out,
+                "run {}  {}  n={} m={}{}",
+                if r.run_id.is_empty() { "?" } else { &r.run_id },
+                r.algorithm,
+                r.n,
+                r.m,
+                if r.aborted() {
+                    "  [aborted: no run_end]"
+                } else {
+                    ""
+                },
+            );
+            if r.bounds.is_empty() {
+                let _ = writeln!(out, "  (no bounds_update events recorded)\n");
+                continue;
+            }
+            let max_gap = r.bounds.iter().map(BoundsRow::gap).max().unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "  {:>5}  {:<12} {:>6} {:>6} {:>6} {:>10} {:>12}",
+                "bfs", "phase", "lb", "ub", "gap", "remaining", "elapsed"
+            );
+            for b in &r.bounds {
+                let _ = writeln!(
+                    out,
+                    "  {:>5}  {:<12} {:>6} {:>6} {:>6} {:>10} {:>12}  {}",
+                    b.bfs_count,
+                    b.phase,
+                    b.lb,
+                    b.ub,
+                    b.gap(),
+                    b.vertices_remaining,
+                    fmt_ms(b.elapsed_nanos),
+                    gap_bar(b.gap(), max_gap),
+                );
+            }
+            let last = r.bounds.last().expect("non-empty");
+            if last.gap() == 0 && !r.aborted() {
+                let _ = writeln!(out, "  certified exact after {} BFS sweeps", last.bfs_count);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+/// Up to 32 `#` marks proportional to `gap / max_gap`; any nonzero gap
+/// renders at least one mark so a live run is visibly unconverged.
+fn gap_bar(gap: u64, max_gap: u64) -> String {
+    if gap == 0 || max_gap == 0 {
+        return String::new();
+    }
+    let w = ((gap as f64 / max_gap as f64) * 32.0).ceil() as usize;
+    "#".repeat(w.clamp(1, 32))
 }
 
 fn fmt_ms(nanos: u64) -> String {
@@ -493,11 +638,13 @@ mod tests {
 {"type":"phase_start","ts_us":6,"phase":"ecc_bfs","span":2,"parent":1}
 {"type":"phase_end","ts_us":7,"phase":"ecc_bfs","nanos":600,"span":2}
 {"type":"phase_end","ts_us":8,"phase":"two_sweep","nanos":1000,"span":1}
-{"type":"phase_start","ts_us":9,"phase":"winnow","span":3,"parent":0}
-{"type":"phase_end","ts_us":10,"phase":"winnow","nanos":300,"span":3}
-{"type":"removal_summary","ts_us":11,"winnow":5,"eliminate":2,"chain":1,"degree0":0,"computed":2}
-{"type":"worker_load","ts_us":12,"workers":4,"total_edges":18,"max_busy_nanos":500,"mean_busy_nanos":250,"imbalance":2.0}
-{"type":"run_end","ts_us":13,"diameter":4,"connected":true,"nanos":2000,"run":"00000000000000aa"}
+{"type":"bounds_update","ts_us":9,"run":"00000000000000aa","phase":"two_sweep","bfs_count":2,"lb":3,"ub":8,"vertices_remaining":8,"elapsed_nanos":1500}
+{"type":"phase_start","ts_us":10,"phase":"winnow","span":3,"parent":0}
+{"type":"phase_end","ts_us":11,"phase":"winnow","nanos":300,"span":3}
+{"type":"removal_summary","ts_us":12,"winnow":5,"eliminate":2,"chain":1,"degree0":0,"computed":2}
+{"type":"worker_load","ts_us":13,"workers":4,"total_edges":18,"max_busy_nanos":500,"mean_busy_nanos":250,"imbalance":2.0}
+{"type":"bounds_update","ts_us":14,"run":"00000000000000aa","phase":"done","bfs_count":4,"lb":4,"ub":4,"vertices_remaining":0,"elapsed_nanos":1900}
+{"type":"run_end","ts_us":15,"diameter":4,"connected":true,"nanos":2000,"run":"00000000000000aa"}
 "#;
 
     #[test]
@@ -576,6 +723,76 @@ mod tests {
     fn malformed_json_is_an_error_with_line_number() {
         let e = Trace::parse("{\"type\":\"run_start\"\n").unwrap_err();
         assert!(e.contains("line 1"), "{e}");
+    }
+
+    #[test]
+    fn parses_bounds_rows_in_order() {
+        let t = Trace::parse(SAMPLE).unwrap();
+        let b = &t.runs[0].bounds;
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0].phase, "two_sweep");
+        assert_eq!((b[0].bfs_count, b[0].lb, b[0].ub), (2, 3, 8));
+        assert_eq!(b[0].gap(), 5);
+        assert_eq!(b[0].vertices_remaining, 8);
+        assert_eq!(b[1].phase, "done");
+        assert_eq!(b[1].gap(), 0);
+    }
+
+    #[test]
+    fn converge_renders_curve_and_certificate() {
+        let text = Trace::parse(SAMPLE).unwrap().converge();
+        assert!(text.contains("run 00000000000000aa"), "{text}");
+        // The widest gap (5) gets the full 32-mark bar; the final
+        // zero-gap row gets none.
+        assert!(text.contains(&"#".repeat(32)), "{text}");
+        assert!(
+            text.contains("certified exact after 4 BFS sweeps"),
+            "{text}"
+        );
+        assert!(!text.contains("[aborted"), "{text}");
+    }
+
+    #[test]
+    fn truncated_final_line_reads_as_aborted_run() {
+        // Cut the sample before run_end and leave a half-written
+        // record, as a killed process would.
+        let cut = SAMPLE
+            .split("{\"type\":\"run_end\"")
+            .next()
+            .unwrap()
+            .to_string()
+            + "{\"type\":\"run_end\",\"ts_us\":15,\"diam";
+        let t = Trace::parse(&cut).unwrap();
+        assert_eq!(t.runs.len(), 1);
+        let r = &t.runs[0];
+        assert!(r.aborted());
+        assert_eq!(r.bounds.len(), 2, "bounds rows before the cut survive");
+        let report = t.report();
+        assert!(report.contains("[aborted: no run_end]"), "{report}");
+        // Partial fractions fall back to attributed leaf time, so the
+        // ecc_bfs row shows 600/900 rather than 600/1.
+        assert!(report.contains("66.7%"), "{report}");
+        assert!(t.converge().contains("[aborted: no run_end]"));
+        // levels/folded still produce partial output without erroring.
+        assert!(t.levels().contains("bfs span=7"));
+        assert!(t.folded().contains("fdiam;winnow "));
+    }
+
+    #[test]
+    fn malformed_line_before_the_end_is_still_an_error() {
+        let e = Trace::parse("{\"type\":\"run_start\"\n{\"type\":\"progress\"}\n").unwrap_err();
+        assert!(e.contains("line 1"), "{e}");
+    }
+
+    #[test]
+    fn aborted_bfs_traversal_is_marked_in_levels() {
+        let t =
+            Trace::parse("{\"type\":\"bfs_start\",\"ts_us\":0,\"source\":3,\"span\":9}\n").unwrap();
+        let text = t.levels();
+        assert!(
+            text.contains("bfs span=9 source=3 eccentricity=? visited=?  [aborted]"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@ USAGE:
   fdiam-trace report       TRACE.jsonl   stage-runtime + vertex-removal breakdowns
   fdiam-trace levels       TRACE.jsonl   per-level BFS frontier timelines
   fdiam-trace folded       TRACE.jsonl   flamegraph folded stacks (pipe to flamegraph.pl)
+  fdiam-trace converge     TRACE.jsonl   bounds-convergence curve (gap vs BFS count) per run
   fdiam-trace lint-metrics METRICS.txt   validate a scraped Prometheus /metrics body
 
 A file argument of '-' reads stdin. Record traces with:
@@ -33,6 +34,7 @@ fn run(cmd: &str, file: &str) -> Result<String, String> {
         "report" => Ok(Trace::parse(&text)?.report()),
         "levels" => Ok(Trace::parse(&text)?.levels()),
         "folded" => Ok(Trace::parse(&text)?.folded()),
+        "converge" => Ok(Trace::parse(&text)?.converge()),
         "lint-metrics" => match lint_metrics(&text) {
             Ok(summary) => Ok(summary + "\n"),
             Err(violations) => Err(violations.join("\n")),
@@ -54,7 +56,10 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if !matches!(cmd, "report" | "levels" | "folded" | "lint-metrics") {
+    if !matches!(
+        cmd,
+        "report" | "levels" | "folded" | "converge" | "lint-metrics"
+    ) {
         eprint!("error: unknown command '{cmd}'\n\n{USAGE}");
         std::process::exit(2);
     }

@@ -144,3 +144,62 @@ fn folded_stacks_nest_ecc_bfs_under_two_sweep() {
         "folded self-times exceed wall clock: {total_us} > {wall_us}"
     );
 }
+
+#[test]
+fn converge_reconstructs_the_bounds_curve_from_a_real_run() {
+    let g = barabasi_albert(400, 3, 7);
+    let (text, out) = record(&g, &FdiamConfig::serial());
+    let trace = Trace::parse(&text).unwrap();
+    let r = &trace.runs[0];
+    assert!(!r.aborted());
+
+    let b = &r.bounds;
+    assert!(b.len() >= 3, "2-sweep plus main loop publish snapshots");
+    let d = out.result.largest_cc_diameter as u64;
+    for w in b.windows(2) {
+        assert!(w[0].lb <= w[1].lb, "lb regressed");
+        assert!(w[0].ub >= w[1].ub, "ub regressed");
+        assert!(w[0].bfs_count <= w[1].bfs_count);
+    }
+    for row in b {
+        assert!(row.lb <= d && d <= row.ub, "diameter escapes [lb, ub]");
+    }
+    let last = b.last().unwrap();
+    assert_eq!((last.lb, last.ub), (d, d), "final snapshot certifies");
+    assert_eq!(last.vertices_remaining, 0);
+    assert_eq!(last.phase, "done");
+
+    let curve = trace.converge();
+    assert!(
+        curve.contains(&format!(
+            "certified exact after {} BFS sweeps",
+            last.bfs_count
+        )),
+        "{curve}"
+    );
+    assert!(curve.contains(&out.run.to_string()), "{curve}");
+}
+
+#[test]
+fn truncated_recording_still_renders_partial_reports() {
+    let g = grid2d(20, 20);
+    let (text, _) = record(&g, &FdiamConfig::serial());
+    // Drop the run_end line and cut the new final line in half, as a
+    // process killed mid-write would leave the file.
+    let mut lines: Vec<&str> = text.lines().collect();
+    lines.pop();
+    let kept = lines.len() - 1;
+    let half = &lines[kept][..lines[kept].len() / 2];
+    let truncated = format!("{}\n{half}", lines[..kept].join("\n"));
+
+    let trace = Trace::parse(&truncated).unwrap();
+    let r = &trace.runs[0];
+    assert!(r.aborted(), "no run_end means aborted");
+    assert!(trace.report().contains("[aborted: no run_end]"));
+    assert!(!r.bounds.is_empty(), "partial curve survives");
+    let converge = trace.converge();
+    assert!(converge.contains("[aborted: no run_end]"), "{converge}");
+    // Partial stage table and stacks still render.
+    assert!(trace.report().contains("stage runtime"));
+    assert!(!trace.folded().is_empty());
+}
