@@ -22,6 +22,7 @@
 
 use crate::observe::{trivial_ub, SweepObs};
 use fdiam_bfs::distances::{bfs_distances_serial, UNREACHABLE};
+use fdiam_bfs::{bp64_distances_cancellable, BfsScratch, MAX_LANES};
 use fdiam_core::Cancelled;
 use fdiam_graph::{CsrGraph, VertexId};
 use fdiam_obs::{CancelToken, Observer, RunId};
@@ -72,6 +73,216 @@ pub fn bounding_eccentricities_observed(
     let diameter = r.eccentricities.iter().copied().max().unwrap_or(0);
     watch.end("done", r.bfs_calls as u64, diameter, connected);
     Ok(r)
+}
+
+/// [`bounding_eccentricities`] with the bit-parallel batched engine:
+/// up to `batch` (≤ 64) selected sources share one traversal via
+/// [`bp64_distances`](fdiam_bfs::bp64_distances), so the edge scans of
+/// a whole selection round are amortized. **Opt-in** — the serial
+/// driver's sweep-count behaviour (asserted by this module's tests) is
+/// untouched.
+///
+/// Per round, candidates are drawn by the same alternating
+/// largest-upper / smallest-lower strategy, then their exact
+/// eccentricities are applied *sequentially in selection order* —
+/// every lane counts as one `bfs_calls` unit and tightens bounds
+/// exactly as a serial sweep from that source would, so the result is
+/// identical eccentricities with (typically) fewer edge scans. Late
+/// lanes may target vertices an earlier lane of the same round already
+/// resolved; their sweeps are still applied (sound: bounds only
+/// tighten), which is the batching trade-off `bench ecc_sweeps`
+/// measures.
+pub fn bounding_eccentricities_batched(g: &CsrGraph, batch: usize) -> EccentricityResult {
+    batched_driver(g, batch, None, None)
+        .expect("no cancel token")
+        .0
+}
+
+/// [`bounding_eccentricities_batched`] with cancellation (polled at
+/// level barriers *inside* the shared traversal, finer than the serial
+/// driver's per-sweep check) and optional run-lifecycle observation.
+/// One bounds snapshot is published per *lane* — the per-sweep
+/// publication contract, unchanged by batching.
+pub fn bounding_eccentricities_batched_observed(
+    g: &CsrGraph,
+    batch: usize,
+    run: RunId,
+    obs: &dyn Observer,
+    cancel: Option<&CancelToken>,
+) -> Result<EccentricityResult, Cancelled> {
+    let watch = SweepObs::start(run, obs, "bounding-ecc-bp64", g);
+    let (r, connected) = batched_driver(g, batch, cancel, Some(&watch))?;
+    let diameter = r.eccentricities.iter().copied().max().unwrap_or(0);
+    watch.end("done", r.bfs_calls as u64, diameter, connected);
+    Ok(r)
+}
+
+fn batched_driver(
+    g: &CsrGraph,
+    batch: usize,
+    cancel: Option<&CancelToken>,
+    watch: Option<&SweepObs<'_>>,
+) -> Result<(EccentricityResult, bool), Cancelled> {
+    let n = g.num_vertices();
+    let batch = batch.clamp(1, MAX_LANES);
+    let mut state = BoundsState::new(g);
+    let mut bfs_calls = 0usize;
+    let mut connected = n <= 1;
+    let mut scratch = BfsScratch::new(n);
+    let mut dist = Vec::new();
+    let mut candidates: Vec<VertexId> = Vec::with_capacity(batch);
+    // Per-round "already drawn" marks — a bool per vertex instead of a
+    // `candidates.contains` scan keeps selection at O(n·batch) per
+    // round, which matters on inputs where the intervals converge in a
+    // few sweeps and selection would otherwise dominate the traversal.
+    let mut drawn = vec![false; n];
+
+    let mut pick_upper = true;
+    // Exponential lane ramp: inputs whose intervals collapse in a
+    // handful of sweeps (grids, trees) would waste most of a full
+    // 64-lane round — candidates are drawn before any of the round's
+    // sweeps can tighten a bound. Starting at one lane and doubling
+    // per round costs at most ~2x the serial sweep count on the easy
+    // prefix while reaching full sharing within log2(batch) rounds on
+    // inputs that need hundreds of sweeps.
+    let mut round_batch = 1usize;
+    loop {
+        // Draw up to `round_batch` sources with the serial
+        // alternation, skipping vertices already picked this round.
+        for &v in &candidates {
+            drawn[v as usize] = false;
+        }
+        candidates.clear();
+        while candidates.len() < round_batch {
+            let fresh = |v: &usize| !state.done[*v] && !drawn[*v];
+            let candidate = if pick_upper {
+                (0..n)
+                    .filter(fresh)
+                    .max_by_key(|&v| (state.upper[v], g.degree(v as VertexId)))
+            } else {
+                (0..n)
+                    .filter(fresh)
+                    .min_by_key(|&v| (state.lower[v], std::cmp::Reverse(g.degree(v as VertexId))))
+            };
+            pick_upper = !pick_upper;
+            match candidate {
+                Some(v) => {
+                    drawn[v] = true;
+                    candidates.push(v as VertexId);
+                }
+                None => break,
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        round_batch = (round_batch * 2).min(batch);
+        if cancel.is_some_and(|t| t.is_cancelled()) {
+            return Err(Cancelled);
+        }
+
+        // One shared traversal answers every candidate's sweep.
+        let summary = match cancel {
+            Some(token) => {
+                bp64_distances_cancellable(g, &candidates, &mut scratch, &mut dist, token)
+                    .ok_or(Cancelled)?
+            }
+            None => fdiam_bfs::bp64_distances(g, &candidates, &mut scratch, &mut dist),
+        };
+
+        for (k, &v) in candidates.iter().enumerate() {
+            let e = summary.ecc[k];
+            bfs_calls += 1;
+            if bfs_calls == 1 {
+                let row = &dist[..n];
+                connected = row.iter().filter(|&&d| d != UNREACHABLE).count() == n;
+            }
+            state.apply_sweep(v, e, &dist[k * n..(k + 1) * n]);
+            if let Some(watch) = watch {
+                state.publish(watch, bfs_calls, n);
+            }
+        }
+    }
+
+    Ok((
+        EccentricityResult {
+            eccentricities: state.ecc,
+            bfs_calls,
+        },
+        connected,
+    ))
+}
+
+/// Per-vertex Takes–Kosters interval state shared by the serial and
+/// batched drivers (the update rule must stay byte-identical).
+struct BoundsState {
+    lower: Vec<u32>,
+    upper: Vec<u32>,
+    done: Vec<bool>,
+    ecc: Vec<u32>,
+}
+
+impl BoundsState {
+    fn new(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        let mut s = Self {
+            lower: vec![0; n],
+            upper: vec![u32::MAX; n],
+            done: vec![false; n],
+            ecc: vec![0; n],
+        };
+        // Isolated vertices: eccentricity 0, no BFS needed.
+        for v in 0..n {
+            if g.degree(v as VertexId) == 0 {
+                s.done[v] = true;
+            }
+        }
+        s
+    }
+
+    /// Folds one exact sweep (source `v`, eccentricity `e`, distance
+    /// row `dist`) into the intervals — the paper's two inequalities.
+    fn apply_sweep(&mut self, v: VertexId, e: u32, dist: &[u32]) {
+        let v = v as usize;
+        self.done[v] = true;
+        self.ecc[v] = e;
+        self.lower[v] = e;
+        self.upper[v] = e;
+        for (w, &d) in dist.iter().enumerate() {
+            if d == UNREACHABLE || self.done[w] {
+                continue;
+            }
+            self.lower[w] = self.lower[w].max(e.saturating_sub(d)).max(d);
+            self.upper[w] = self.upper[w].min(e + d);
+            if self.lower[w] == self.upper[w] {
+                self.done[w] = true;
+                self.ecc[w] = self.lower[w];
+            }
+        }
+    }
+
+    /// Publishes the certified diameter bounds derived from the
+    /// intervals (same derivation as the serial driver's inline pass).
+    fn publish(&self, watch: &SweepObs<'_>, bfs_calls: usize, n: usize) {
+        let lb = self.lower.iter().copied().max().unwrap_or(0);
+        let mut ub = lb;
+        let mut remaining = 0usize;
+        for w in 0..n {
+            if self.done[w] {
+                ub = ub.max(self.ecc[w]);
+            } else {
+                remaining += 1;
+                ub = ub.max(self.upper[w]);
+            }
+        }
+        watch.publish(
+            "bounding_ecc",
+            bfs_calls as u64,
+            lb,
+            ub.min(trivial_ub(n)),
+            remaining,
+        );
+    }
 }
 
 fn driver(
@@ -350,5 +561,107 @@ mod tests {
         let r = bounding_eccentricities(&star(50));
         // hub + one leaf determine every other leaf's bounds
         assert!(r.bfs_calls <= 3, "used {} BFS", r.bfs_calls);
+    }
+
+    #[test]
+    fn batched_matches_oracle_across_batch_sizes() {
+        for g in [
+            grid2d(5, 7),
+            star(8),
+            balanced_tree(3, 3),
+            erdos_renyi_gnm(70, 110, 2),
+            barabasi_albert(80, 3, 1),
+            disjoint_union(&path(6), &cycle(5)),
+            with_isolated_vertices(&star(5), 3),
+            CsrGraph::empty(4),
+            CsrGraph::empty(0),
+            path(1),
+        ] {
+            let oracle = naive::all_eccentricities(&g);
+            for batch in [1, 3, 64] {
+                let r = bounding_eccentricities_batched(&g, batch);
+                assert_eq!(r.eccentricities, oracle, "batch={batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_of_one_matches_the_serial_driver_exactly() {
+        // With one lane per round the batched engine degenerates to the
+        // serial selection sequence — same sweeps, same call count.
+        for g in [grid2d(6, 7), barabasi_albert(90, 4, 5), star(20)] {
+            let serial = bounding_eccentricities(&g);
+            let batched = bounding_eccentricities_batched(&g, 1);
+            assert_eq!(batched.eccentricities, serial.eccentricities);
+            assert_eq!(batched.bfs_calls, serial.bfs_calls);
+        }
+    }
+
+    #[test]
+    fn batched_observed_emits_one_snapshot_per_lane_and_monotone_bounds() {
+        use fdiam_obs::{Event, Observer, RunId};
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct Tap {
+            names: Mutex<Vec<&'static str>>,
+            bounds: Mutex<Vec<(u32, u32)>>,
+        }
+        impl Observer for Tap {
+            fn event(&self, e: &Event<'_>) {
+                self.names.lock().unwrap().push(e.name());
+                if let Event::BoundsUpdate { snapshot } = e {
+                    self.bounds.lock().unwrap().push((snapshot.lb, snapshot.ub));
+                }
+            }
+            fn wants_bfs_detail(&self) -> bool {
+                false
+            }
+        }
+
+        let g = erdos_renyi_gnm(90, 140, 11);
+        let tap = Tap::default();
+        let r = bounding_eccentricities_batched_observed(&g, 8, RunId::fresh(), &tap, None)
+            .expect("no cancel token");
+        assert_eq!(r.eccentricities, naive::all_eccentricities(&g));
+        let names = tap.names.lock().unwrap();
+        assert_eq!(names.first(), Some(&"run_start"));
+        assert_eq!(names.last(), Some(&"run_end"));
+        assert_eq!(
+            names.iter().filter(|n| **n == "bounds_update").count(),
+            r.bfs_calls + 1, // one per lane + the final snapshot
+        );
+        let bounds = tap.bounds.lock().unwrap();
+        for pair in bounds.windows(2) {
+            assert!(pair[1].0 >= pair[0].0, "lb regressed: {bounds:?}");
+            assert!(pair[1].1 <= pair[0].1, "ub regressed: {bounds:?}");
+        }
+        assert_eq!(bounds.last().map(|&(lb, ub)| ub - lb), Some(0));
+    }
+
+    #[test]
+    fn batched_expired_token_cancels_without_run_end() {
+        use fdiam_obs::{Event, Observer, RunId};
+        use std::sync::Mutex;
+
+        struct Tap(Mutex<Vec<&'static str>>);
+        impl Observer for Tap {
+            fn event(&self, e: &Event<'_>) {
+                self.0.lock().unwrap().push(e.name());
+            }
+            fn wants_bfs_detail(&self) -> bool {
+                false
+            }
+        }
+
+        let g = grid2d(8, 8);
+        let token = fdiam_obs::CancelToken::with_deadline(std::time::Duration::ZERO);
+        let tap = Tap(Mutex::new(Vec::new()));
+        let r =
+            bounding_eccentricities_batched_observed(&g, 16, RunId::fresh(), &tap, Some(&token));
+        assert_eq!(r.err(), Some(Cancelled));
+        let names = tap.0.lock().unwrap();
+        assert!(names.contains(&"run_start"));
+        assert!(!names.contains(&"run_end"));
     }
 }

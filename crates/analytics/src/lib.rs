@@ -32,8 +32,13 @@ pub mod bounding_ecc;
 mod observe;
 pub mod sum_sweep;
 
-pub use bounding_ecc::bounding_eccentricities_observed;
-pub use sum_sweep::exact_sum_sweep_observed;
+pub use bounding_ecc::{
+    bounding_eccentricities_batched, bounding_eccentricities_batched_observed,
+    bounding_eccentricities_observed,
+};
+pub use sum_sweep::{
+    exact_sum_sweep_batched, exact_sum_sweep_batched_observed, exact_sum_sweep_observed,
+};
 
 use fdiam_graph::{CsrGraph, VertexId};
 

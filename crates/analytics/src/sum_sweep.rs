@@ -18,6 +18,7 @@
 
 use crate::observe::{trivial_ub, SweepObs};
 use fdiam_bfs::distances::{bfs_distances_serial, UNREACHABLE};
+use fdiam_bfs::{bp64_distances, BfsScratch, MAX_LANES};
 use fdiam_graph::{CsrGraph, VertexId};
 use fdiam_obs::{Observer, RunId};
 
@@ -64,6 +65,40 @@ pub fn exact_sum_sweep_observed(
 ) -> Option<SumSweepResult> {
     let watch = SweepObs::start(run, obs, "sum-sweep", g);
     let r = inner(g, Some(&watch));
+    match &r {
+        Some(r) => watch.end("done", r.bfs_calls as u64, r.diameter, r.connected),
+        None => watch.end("done", 0, 0, true),
+    }
+    r
+}
+
+/// [`exact_sum_sweep`] with the bit-parallel batched engine for the
+/// exact phase: up to `batch` (≤ 64) certification targets share one
+/// [`bp64_distances`] traversal per round. **Opt-in** — the serial
+/// entry points keep their published sweep-count behaviour.
+///
+/// The heuristic SumSweep phase stays serial (it is sequentially
+/// adaptive: each sweep's distance sums pick the next source, so there
+/// is nothing to batch). The exact phase draws its round of candidates
+/// with the same alternating diameter/radius strategy and applies the
+/// lanes sequentially in selection order; late lanes may target
+/// vertices an earlier lane already resolved, trading a few extra
+/// logical sweeps for shared edge scans.
+pub fn exact_sum_sweep_batched(g: &CsrGraph, batch: usize) -> Option<SumSweepResult> {
+    inner_batched(g, batch, None)
+}
+
+/// [`exact_sum_sweep_batched`] publishing the run lifecycle — one
+/// bounds snapshot per lane, preserving the per-sweep publication
+/// contract and its monotone convergence.
+pub fn exact_sum_sweep_batched_observed(
+    g: &CsrGraph,
+    batch: usize,
+    run: RunId,
+    obs: &dyn Observer,
+) -> Option<SumSweepResult> {
+    let watch = SweepObs::start(run, obs, "sum-sweep-bp64", g);
+    let r = inner_batched(g, batch, Some(&watch));
     match &r {
         Some(r) => watch.end("done", r.bfs_calls as u64, r.diameter, r.connected),
         None => watch.end("done", 0, 0, true),
@@ -258,6 +293,167 @@ fn inner(g: &CsrGraph, watch: Option<&SweepObs<'_>>) -> Option<SumSweepResult> {
     })
 }
 
+fn inner_batched(
+    g: &CsrGraph,
+    batch: usize,
+    watch: Option<&SweepObs<'_>>,
+) -> Option<SumSweepResult> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return None;
+    }
+    let batch = batch.clamp(1, MAX_LANES);
+    let mut lower = vec![0u32; n];
+    let mut upper = vec![u32::MAX; n];
+    let mut ecc: Vec<Option<u32>> = vec![None; n];
+    let mut sum_dist = vec![0u64; n];
+    let mut bfs_calls = 0usize;
+    let mut dist = Vec::new();
+    let mut connected = n == 1;
+
+    for v in 0..n {
+        if g.degree(v as VertexId) == 0 {
+            ecc[v] = Some(0);
+            upper[v] = 0;
+        }
+    }
+
+    // Folds one exact sweep into the bound state — the identical
+    // update rule to the serial driver's `process`, minus the BFS
+    // itself (the batched exact phase gets distance rows from the
+    // shared traversal).
+    let apply = |v: usize,
+                 e: u32,
+                 dist: &[u32],
+                 lower: &mut [u32],
+                 upper: &mut [u32],
+                 ecc: &mut [Option<u32>],
+                 sum_dist: &mut [u64]| {
+        ecc[v] = Some(e);
+        lower[v] = e;
+        upper[v] = e;
+        for (w, &d) in dist.iter().enumerate() {
+            if d == UNREACHABLE || ecc[w].is_some() {
+                continue;
+            }
+            sum_dist[w] += d as u64;
+            lower[w] = lower[w].max(e.saturating_sub(d)).max(d);
+            upper[w] = upper[w].min(e + d);
+            if lower[w] == upper[w] {
+                ecc[w] = Some(lower[w]);
+            }
+        }
+    };
+
+    // --- Heuristic phase: serial SumSweep (sequentially adaptive) ---
+    let start = g.max_degree_vertex().expect("n > 0") as usize;
+    if ecc[start].is_none() {
+        let e = bfs_distances_serial(g, start as VertexId, &mut dist);
+        bfs_calls += 1;
+        apply(
+            start,
+            e,
+            &dist,
+            &mut lower,
+            &mut upper,
+            &mut ecc,
+            &mut sum_dist,
+        );
+        connected = dist.iter().filter(|&&d| d != UNREACHABLE).count() == n;
+        if let Some(w) = watch {
+            publish_state(w, "sum_sweep", bfs_calls, n, &ecc, &upper);
+        }
+    }
+    for _ in 1..SUM_SWEEP_ITERATIONS {
+        let Some(v) = (0..n)
+            .filter(|&v| ecc[v].is_none())
+            .max_by_key(|&v| sum_dist[v])
+        else {
+            break;
+        };
+        let e = bfs_distances_serial(g, v as VertexId, &mut dist);
+        bfs_calls += 1;
+        apply(v, e, &dist, &mut lower, &mut upper, &mut ecc, &mut sum_dist);
+        if let Some(w) = watch {
+            publish_state(w, "sum_sweep", bfs_calls, n, &ecc, &upper);
+        }
+    }
+
+    // --- Exact phase, batched ---
+    let mut scratch = BfsScratch::new(n);
+    let mut candidates: Vec<VertexId> = Vec::with_capacity(batch);
+    let mut turn_diameter = true;
+    loop {
+        let d_lb = ecc.iter().flatten().copied().max().unwrap_or(0);
+        let r_ub = ecc.iter().flatten().copied().min().unwrap_or(u32::MAX);
+        candidates.clear();
+        while candidates.len() < batch {
+            let free = |v: usize| ecc[v].is_none() && !candidates.contains(&(v as VertexId));
+            let dia = (0..n)
+                .filter(|&v| free(v) && upper[v] > d_lb)
+                .max_by_key(|&v| upper[v]);
+            let rad = (0..n)
+                .filter(|&v| free(v) && lower[v] < r_ub)
+                .min_by_key(|&v| lower[v]);
+            let v = match (turn_diameter, dia, rad) {
+                (true, Some(v), _) | (false, Some(v), None) => v,
+                (false, _, Some(v)) | (true, None, Some(v)) => v,
+                (_, None, None) => break,
+            };
+            turn_diameter = !turn_diameter;
+            candidates.push(v as VertexId);
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        let summary = bp64_distances(g, &candidates, &mut scratch, &mut dist);
+        for (k, &v) in candidates.iter().enumerate() {
+            bfs_calls += 1;
+            apply(
+                v as usize,
+                summary.ecc[k],
+                &dist[k * n..(k + 1) * n],
+                &mut lower,
+                &mut upper,
+                &mut ecc,
+                &mut sum_dist,
+            );
+            if let Some(w) = watch {
+                publish_state(w, "exact", bfs_calls, n, &ecc, &upper);
+            }
+        }
+    }
+
+    let mut diameter = 0u32;
+    let mut radius = u32::MAX;
+    let mut diametral_vertex = 0 as VertexId;
+    let mut central_vertex = 0 as VertexId;
+    for (v, slot) in ecc.iter().enumerate() {
+        if let Some(e) = *slot {
+            if e > diameter {
+                diameter = e;
+                diametral_vertex = v as VertexId;
+            }
+            if e < radius {
+                radius = e;
+                central_vertex = v as VertexId;
+            }
+        }
+    }
+    if radius == u32::MAX {
+        radius = 0;
+    }
+
+    Some(SumSweepResult {
+        diameter,
+        radius,
+        diametral_vertex,
+        central_vertex,
+        bfs_calls,
+        connected,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -380,6 +576,88 @@ mod tests {
             *tap.0.lock().unwrap(),
             vec!["run_start", "bounds_update", "run_end"]
         );
+    }
+
+    #[test]
+    fn batched_matches_oracle_across_batch_sizes() {
+        for g in [
+            grid2d(5, 8),
+            star(9),
+            balanced_tree(2, 4),
+            erdos_renyi_gnm(60, 100, 3),
+            barabasi_albert(70, 3, 2),
+            disjoint_union(&path(7), &cycle(6)),
+            with_isolated_vertices(&complete(4), 2),
+            CsrGraph::empty(3),
+            path(1),
+        ] {
+            let oracle = naive::all_eccentricities(&g);
+            let expect_d = oracle.iter().copied().max().unwrap_or(0);
+            let expect_r = oracle.iter().copied().min().unwrap_or(0);
+            for batch in [1, 4, 64] {
+                let r = exact_sum_sweep_batched(&g, batch).unwrap();
+                assert_eq!(r.diameter, expect_d, "batch={batch}");
+                assert_eq!(r.radius, expect_r, "batch={batch}");
+                assert_eq!(oracle[r.diametral_vertex as usize], expect_d);
+                assert_eq!(oracle[r.central_vertex as usize], expect_r);
+            }
+        }
+        assert!(exact_sum_sweep_batched(&CsrGraph::empty(0), 8).is_none());
+    }
+
+    #[test]
+    fn batch_of_one_matches_the_serial_driver_exactly() {
+        // One lane per round reproduces the serial selection sequence,
+        // sweep for sweep — certificates and call counts included.
+        for g in [
+            grid2d(6, 8),
+            barabasi_albert(80, 3, 4),
+            road_like(80, 0.2, 1),
+        ] {
+            let serial = exact_sum_sweep(&g).unwrap();
+            let batched = exact_sum_sweep_batched(&g, 1).unwrap();
+            assert_eq!(batched, serial);
+        }
+    }
+
+    #[test]
+    fn batched_observed_converges_monotonically() {
+        use fdiam_obs::{BoundsSnapshot, Event, Observer, RunId};
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct Tap {
+            names: Mutex<Vec<&'static str>>,
+            snaps: Mutex<Vec<BoundsSnapshot>>,
+        }
+        impl Observer for Tap {
+            fn event(&self, e: &Event<'_>) {
+                self.names.lock().unwrap().push(e.name());
+                if let Event::BoundsUpdate { snapshot } = e {
+                    self.snaps.lock().unwrap().push(*snapshot);
+                }
+            }
+            fn wants_bfs_detail(&self) -> bool {
+                false
+            }
+        }
+
+        let g = erdos_renyi_gnm(80, 130, 5);
+        let tap = Tap::default();
+        let r = exact_sum_sweep_batched_observed(&g, 8, RunId::fresh(), &tap).unwrap();
+        let names = tap.names.lock().unwrap();
+        assert_eq!(names.first(), Some(&"run_start"));
+        assert_eq!(names.last(), Some(&"run_end"));
+        let snaps = tap.snaps.lock().unwrap();
+        // one snapshot per logical sweep (heuristic + every lane) plus
+        // the final zero-gap snapshot from run_end
+        assert_eq!(snaps.len(), r.bfs_calls + 1);
+        for pair in snaps.windows(2) {
+            assert!(pair[1].lb >= pair[0].lb, "{pair:?}");
+            assert!(pair[1].ub <= pair[0].ub, "{pair:?}");
+        }
+        let last = snaps.last().unwrap();
+        assert_eq!((last.lb, last.ub), (r.diameter, r.diameter));
     }
 
     #[test]

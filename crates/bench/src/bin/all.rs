@@ -7,9 +7,10 @@
 
 use std::process::Command;
 
-const BINARIES: [&str; 7] = [
+const BINARIES: [&str; 8] = [
     "table1",
     "table2_fig6",
+    "ecc_sweeps",
     "table3",
     "table4",
     "fig8",

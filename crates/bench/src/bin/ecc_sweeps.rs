@@ -1,0 +1,151 @@
+//! All-eccentricities sweep shootout: the serial bounding-ecc driver
+//! vs the same driver batching its exact phase through the bit-parallel
+//! 64-source BFS kernel (`bp64`). This is the benchmark behind the
+//! "bit-parallel lanes pay for themselves" claim: both codes compute
+//! the identical exact eccentricity vector; only the traversal engine
+//! differs.
+//!
+//! ```text
+//! SCALE=small FDIAM_RUNS=3 FDIAM_TIMEOUT_SECS=120 \
+//!   cargo run -p fdiam-bench --release --bin ecc_sweeps
+//! ```
+//!
+//! Emits one JSONL run record per code×graph (table `ecc_sweeps`) so
+//! the `bench summarize`/`compare` regression harness picks the keys up
+//! alongside the table2 diameter codes.
+
+use fdiam_analytics::bounding_ecc::bounding_eccentricities;
+use fdiam_analytics::bounding_eccentricities_batched;
+use fdiam_bench::format::{secs, tput, Table};
+use fdiam_bench::record::{RecordWriter, RunRecord};
+use fdiam_bench::runner::{
+    geomean, measure, runs_from_env, throughput, timeout_from_env, Measurement,
+};
+use fdiam_bench::suite::{filtered_suite, Scale};
+use fdiam_bfs::MAX_LANES;
+use std::time::Duration;
+
+/// Machine-readable code names matching `CODES` order.
+const CODE_IDS: [&str; 2] = ["becc-serial", "becc-bp64"];
+
+const CODES: [&str; 2] = ["Bounding-Ecc (ser)", "Bounding-Ecc (bp64)"];
+
+fn main() {
+    let scale = Scale::from_env();
+    let runs = runs_from_env();
+    let budget = timeout_from_env();
+    println!(
+        "Eccentricity sweeps — serial vs {MAX_LANES}-lane bit-parallel at scale {scale:?} \
+         (median of {runs}, {budget:?} budget)\n"
+    );
+
+    let mut time_table = Table::new(vec!["Graphs", CODES[0], CODES[1], "speedup"]);
+    let mut tput_table = Table::new(vec!["Graphs", CODES[0], CODES[1]]);
+    let mut tputs: [Vec<Option<f64>>; 2] = Default::default();
+    let mut speedups = Vec::new();
+    let scale_name = format!("{scale:?}").to_lowercase();
+    let mut records = RecordWriter::for_table("ecc_sweeps", &scale_name);
+
+    for e in filtered_suite() {
+        let g = e.build(scale);
+        let n = g.num_vertices();
+
+        let serial = measure(runs, budget, || bounding_eccentricities(&g));
+        let bp64 = measure(runs, budget, || {
+            bounding_eccentricities_batched(&g, MAX_LANES)
+        });
+
+        // cross-check: the lanes must not change a single eccentricity
+        if let (Some(s), Some(b)) = (serial.result(), bp64.result()) {
+            assert_eq!(
+                s.eccentricities, b.eccentricities,
+                "bp64 eccentricities disagree with serial on {}",
+                e.name
+            );
+        }
+
+        let medians: [Option<Duration>; 2] = [serial.median(), bp64.median()];
+        let speedup = match (medians[0], medians[1]) {
+            (Some(s), Some(b)) if b > Duration::ZERO => Some(s.as_secs_f64() / b.as_secs_f64()),
+            _ => None,
+        };
+        if let Some(x) = speedup {
+            speedups.push(x);
+        }
+        time_table.row(vec![
+            e.name.to_string(),
+            secs(medians[0]),
+            secs(medians[1]),
+            speedup.map_or("—".to_string(), |x| format!("{x:.2}x")),
+        ]);
+        let mut tput_row = vec![e.name.to_string()];
+        for (i, m) in medians.iter().enumerate() {
+            let tp = m.map(|d| throughput(n, d));
+            tput_row.push(tput(tp));
+            tputs[i].push(tp);
+        }
+        tput_table.row(tput_row);
+        let _ = matches!(bp64, Measurement::Done { .. });
+
+        let diameters = [
+            serial.result().map(|r| max_ecc(&r.eccentricities)),
+            bp64.result().map(|r| max_ecc(&r.eccentricities)),
+        ];
+        let calls = [
+            serial.result().map(|r| r.bfs_calls),
+            bp64.result().map(|r| r.bfs_calls),
+        ];
+        for i in 0..CODE_IDS.len() {
+            records.push(RunRecord {
+                table: "ecc_sweeps",
+                code: CODE_IDS[i],
+                graph: e.name.to_string(),
+                paper_name: e.paper_name.to_string(),
+                scale: scale_name.clone(),
+                n,
+                m: g.num_undirected_edges(),
+                runs,
+                median_secs: medians[i].map(|d| d.as_secs_f64()),
+                diameter: diameters[i],
+                stage_fractions: None,
+                counters: calls[i]
+                    .map(|c| vec![("ecc_sweeps", c as u64)])
+                    .unwrap_or_default(),
+            });
+        }
+    }
+
+    println!("Median runtimes in seconds (T/O = over budget):\n");
+    print!("{}", time_table.render());
+    println!("\nThroughput in vertices/second:\n");
+    print!("{}", tput_table.render());
+    match records.flush() {
+        Ok(path) => println!("\nrecords: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write run records: {e}"),
+    }
+
+    println!("\nGeometric-mean throughput:");
+    for (i, code) in CODES.iter().enumerate() {
+        let xs: Vec<f64> = tputs[i].iter().flatten().copied().collect();
+        println!(
+            "  {code:20}: geomean {:.3e} v/s over {} inputs",
+            geomean(&xs),
+            xs.len()
+        );
+    }
+    if !speedups.is_empty() {
+        println!(
+            "  bp64 is {:.2}x faster than serial (geomean over {} common inputs)",
+            geomean(&speedups),
+            speedups.len()
+        );
+    }
+}
+
+/// The diameter implied by an eccentricity vector (largest entry) —
+/// recorded so the regression harness's cross-rev diffs can sanity
+/// check the sweep output, mirroring the diameter field of the
+/// table2 codes.
+fn max_ecc(eccs: &[u32]) -> u32 {
+    eccs.iter().copied().max().unwrap_or(0)
+}

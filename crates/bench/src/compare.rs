@@ -226,6 +226,68 @@ impl CompareReport {
         );
         out
     }
+
+    /// GitHub-flavoured markdown rendering for CI step summaries: one
+    /// row per `code/graph/scale` key with the key split into columns,
+    /// regressions flagged with ❌ so the offending cell stands out in
+    /// a long table.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "### Bench regression check (tolerance {:.0}%)\n",
+            self.tolerance * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "| code | graph | scale | baseline | current | ratio | verdict |"
+        );
+        let _ = writeln!(out, "|---|---|---|---:|---:|---:|---|");
+        for r in &self.rows {
+            // Keys are "code/graph/scale"; anything else lands in the
+            // code column verbatim rather than being dropped.
+            let mut parts = r.key.splitn(3, '/');
+            let code = parts.next().unwrap_or("");
+            let graph = parts.next().unwrap_or("");
+            let scale = parts.next().unwrap_or("");
+            let fmt = |x: Option<f64>| match x {
+                Some(s) => format!("{s:.4}s"),
+                None => "—".to_string(),
+            };
+            let ratio = match r.ratio {
+                Some(x) => format!("{x:.2}x"),
+                None => "—".to_string(),
+            };
+            let verdict = match r.verdict {
+                Verdict::Ok => "ok",
+                Verdict::Improved => "🚀 improved",
+                Verdict::Regression => "❌ **regression**",
+                Verdict::MissingInCurrent => "missing in current",
+                Verdict::NewInCurrent => "new in current",
+            };
+            let _ = writeln!(
+                out,
+                "| {code} | {graph} | {scale} | {} | {} | {ratio} | {verdict} |",
+                fmt(r.baseline_median),
+                fmt(r.current_median),
+            );
+        }
+        let n_reg = self
+            .rows
+            .iter()
+            .filter(|r| r.verdict == Verdict::Regression)
+            .count();
+        let _ = writeln!(
+            out,
+            "\n{}",
+            if n_reg == 0 {
+                "**OK: no regressions**".to_string()
+            } else {
+                format!("**FAIL: {n_reg} regression(s)**")
+            }
+        );
+        out
+    }
 }
 
 /// Diffs `current` against `baseline`: a key regresses when its current
@@ -330,10 +392,11 @@ pub fn trajectory_revs(text: &str) -> Result<Vec<String>, String> {
 
 const USAGE: &str = "usage:
   bench summarize <records.jsonl>... --out <BENCH_rev.json>
-  bench compare <baseline.json> <current.json> [--tolerance 0.25]
+  bench compare <baseline.json> <current.json> [--tolerance 0.25] [--markdown <path>]
   bench trajectory <BENCH_rev.json>... --out <trajectory.jsonl>
+  bench check-trajectory <trajectory.jsonl>
 
-exit codes: 0 = clean, 1 = regression detected, 2 = usage/I/O error";
+exit codes: 0 = clean, 1 = regression / duplicate rev, 2 = usage/I/O error";
 
 /// The `bench` binary as a testable function. `args` excludes the
 /// program name. Returns the process exit code.
@@ -342,11 +405,45 @@ pub fn cli_main(args: &[String]) -> i32 {
         Some("summarize") => cli_summarize(&args[1..]),
         Some("compare") => cli_compare(&args[1..]),
         Some("trajectory") => cli_trajectory(&args[1..]),
+        Some("check-trajectory") => cli_check_trajectory(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             2
         }
     }
+}
+
+/// `bench check-trajectory`: validates the perf-history invariants CI
+/// relies on — every line parses with a `rev`, and no rev appears
+/// twice (a duplicate means the append-only dedup contract broke).
+/// Exit 1 on duplicates, 2 on malformed lines or I/O errors.
+fn cli_check_trajectory(args: &[String]) -> i32 {
+    let [path] = args else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let revs = match trajectory_revs(&text) {
+        Ok(revs) => revs,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return 2;
+        }
+    };
+    let mut seen = std::collections::BTreeSet::new();
+    let dups: Vec<&String> = revs.iter().filter(|r| !seen.insert(r.as_str())).collect();
+    if !dups.is_empty() {
+        eprintln!("error: {path}: duplicate rev(s): {dups:?}");
+        return 1;
+    }
+    println!("{path}: {} rev(s), dedup intact", revs.len());
+    0
 }
 
 /// `bench trajectory`: append one line per new rev to the perf-history
@@ -485,6 +582,7 @@ fn cli_summarize(args: &[String]) -> i32 {
 fn cli_compare(args: &[String]) -> i32 {
     let mut paths = Vec::new();
     let mut tolerance = 0.25f64;
+    let mut markdown = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -492,6 +590,13 @@ fn cli_compare(args: &[String]) -> i32 {
                 Some(Ok(t)) if t >= 0.0 => tolerance = t,
                 _ => {
                     eprintln!("--tolerance needs a non-negative number\n{USAGE}");
+                    return 2;
+                }
+            },
+            "--markdown" => match it.next() {
+                Some(p) => markdown = Some(p.clone()),
+                None => {
+                    eprintln!("--markdown needs a path\n{USAGE}");
                     return 2;
                 }
             },
@@ -515,6 +620,20 @@ fn cli_compare(args: &[String]) -> i32 {
     };
     let report = compare(&baseline, &current, tolerance);
     print!("{}", report.render());
+    if let Some(path) = markdown {
+        // Append rather than truncate: $GITHUB_STEP_SUMMARY accumulates
+        // sections across steps of a job.
+        use std::io::Write as _;
+        let write = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(report.render_markdown().as_bytes()));
+        if let Err(e) = write {
+            eprintln!("error: cannot write markdown to {path}: {e}");
+            return 2;
+        }
+    }
     i32::from(report.has_regression())
 }
 
@@ -701,6 +820,89 @@ mod tests {
             0,
             "5 % drift within tolerance must exit zero"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn markdown_rendering_splits_keys_and_flags_regressions() {
+        let base = one_key_summary("fdiam/grid2d.sym/small", 1.0);
+        let slow = one_key_summary("fdiam/grid2d.sym/small", 1.5);
+        let md = compare(&base, &slow, 0.25).render_markdown();
+        assert!(md.contains("| code | graph | scale |"), "{md}");
+        assert!(
+            md.contains("| fdiam | grid2d.sym | small |"),
+            "key split into columns:\n{md}"
+        );
+        assert!(md.contains("1.50x"), "{md}");
+        assert!(md.contains("**regression**"), "{md}");
+        assert!(md.contains("**FAIL: 1 regression(s)**"), "{md}");
+
+        let clean = compare(&base, &base, 0.25).render_markdown();
+        assert!(clean.contains("**OK: no regressions**"), "{clean}");
+        assert!(!clean.contains("regression(s)"), "{clean}");
+    }
+
+    #[test]
+    fn cli_compare_appends_markdown_to_the_given_path() {
+        let dir = std::env::temp_dir().join("fdiam_bench_markdown_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let s = |x: &str| x.to_string();
+        let write = |name: &str, median: f64| -> String {
+            let path = dir.join(name);
+            std::fs::write(&path, one_key_summary("fdiam/g/small", median).to_json()).unwrap();
+            path.to_string_lossy().into_owned()
+        };
+        let base = write("BENCH_base.json", 0.10);
+        let cur = write("BENCH_cur.json", 0.10);
+        let md = dir.join("summary.md").to_string_lossy().into_owned();
+        std::fs::write(&md, "## earlier step\n").unwrap();
+        assert_eq!(
+            cli_main(&[s("compare"), base, cur, s("--markdown"), md.clone()]),
+            0
+        );
+        let text = std::fs::read_to_string(&md).unwrap();
+        assert!(
+            text.starts_with("## earlier step\n"),
+            "must append, not truncate:\n{text}"
+        );
+        assert!(text.contains("| code | graph | scale |"), "{text}");
+        assert_eq!(
+            cli_main(&[s("compare"), s("a"), s("b"), s("--markdown")]),
+            2
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cli_check_trajectory_validates_dedup_and_shape() {
+        let dir = std::env::temp_dir().join("fdiam_bench_check_trajectory_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let s = |x: &str| x.to_string();
+        let summary = one_key_summary("fdiam/g/small", 0.1);
+        let write = |name: &str, body: &str| -> String {
+            let path = dir.join(name);
+            std::fs::write(&path, body).unwrap();
+            path.to_string_lossy().into_owned()
+        };
+        let line_a = trajectory_line("aaa111", &summary);
+        let line_b = trajectory_line("bbb222", &summary);
+        let good = write("good.jsonl", &format!("{line_a}\n{line_b}\n"));
+        assert_eq!(cli_main(&[s("check-trajectory"), good]), 0);
+        let dup = write("dup.jsonl", &format!("{line_a}\n{line_a}\n"));
+        assert_eq!(
+            cli_main(&[s("check-trajectory"), dup]),
+            1,
+            "duplicate rev must fail the check"
+        );
+        let bad = write("bad.jsonl", "not json\n");
+        assert_eq!(cli_main(&[s("check-trajectory"), bad]), 2);
+        assert_eq!(
+            cli_main(&[s("check-trajectory"), s("/nonexistent/t.jsonl")]),
+            2
+        );
+        assert_eq!(cli_main(&[s("check-trajectory")]), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 

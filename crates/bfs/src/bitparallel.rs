@@ -1,0 +1,366 @@
+//! Bit-parallel multi-source BFS: up to 64 sources per traversal, one
+//! `u64` lane word per vertex (ROADMAP item 4).
+//!
+//! Every code in this repo spends its time in near-identical BFS
+//! sweeps; Magnien–Latapy–Habib observe that on massive sparse graphs
+//! the sweep *count* dominates. Packing 64 sources into one traversal
+//! amortizes the edge scan: bit `k` of a vertex's lane word means
+//! "visited by source `k`", and one pass over a frontier vertex's
+//! neighbor list advances **all** lanes whose frontiers contain it with
+//! a single `OR`. On small-world graphs the per-source frontiers
+//! overlap heavily after two or three levels, so most edges are
+//! scanned once instead of 64 times; on high-diameter grids the lanes
+//! spread across levels and the sharing shrinks — which is exactly the
+//! serial-vs-batched trade-off `bench ecc_sweeps` measures.
+//!
+//! The traversal is level-synchronous over three per-vertex word
+//! arrays living in the [`BfsScratch`] arena (`lane_visited`,
+//! `lane_cur`, `lane_next`) plus the arena's sparse worklists; the
+//! per-level frontier is re-sorted into ascending id order through the
+//! arena's dense [`FrontierBitmap`](crate::bitmap::FrontierBitmap), which
+//! makes the farthest-vertex tie-break (min id at the final level)
+//! deterministic and identical to the serial kernels' `BfsSummary`
+//! convention. Steady-state traversals perform **zero** heap
+//! allocation (asserted in `tests/scratch_alloc.rs`).
+//!
+//! Results are bit-for-bit identical to running
+//! [`bfs_distances_serial`](crate::distances::bfs_distances_serial)
+//! once per source: BFS levels don't depend on visit order.
+
+use crate::distances::UNREACHABLE;
+use crate::scratch::BfsScratch;
+use fdiam_graph::{CsrGraph, VertexId};
+use fdiam_obs::CancelToken;
+
+/// Lane capacity of one traversal: the width of a `u64` word.
+pub const MAX_LANES: usize = 64;
+
+/// Per-source outcome of one bit-parallel traversal. Fixed-size arrays
+/// so the summary lives on the stack; entries `lanes..` are unused.
+#[derive(Clone, Copy, Debug)]
+pub struct LaneBatchSummary {
+    /// Number of sources packed into the traversal (`1..=64`).
+    pub lanes: usize,
+    /// `ecc[k]` = eccentricity of `sources[k]` within its component.
+    pub ecc: [u32; MAX_LANES],
+    /// `farthest[k]` = smallest-id vertex at distance `ecc[k]` from
+    /// `sources[k]` — the same min-id tie-break as
+    /// [`BfsSummary::farthest`](crate::BfsSummary).
+    pub farthest: [VertexId; MAX_LANES],
+    /// `visited[k]` = vertices reached by lane `k` (incl. the source).
+    pub visited: [u32; MAX_LANES],
+}
+
+/// Eccentricities of up to 64 sources in one traversal.
+///
+/// # Panics
+/// Panics when `sources` is empty, longer than 64, contains an
+/// out-of-range id, or `scratch` is not sized for `g`.
+pub fn bp64_eccentricities(
+    g: &CsrGraph,
+    sources: &[VertexId],
+    scratch: &mut BfsScratch,
+) -> LaneBatchSummary {
+    run(g, sources, scratch, None, None).expect("no cancel token")
+}
+
+/// [`bp64_eccentricities`] polling `cancel` at every level barrier —
+/// the same granularity as the single-source hybrid kernels. Returns
+/// `None` when cancelled; the scratch arena is left reusable.
+pub fn bp64_eccentricities_cancellable(
+    g: &CsrGraph,
+    sources: &[VertexId],
+    scratch: &mut BfsScratch,
+    cancel: &CancelToken,
+) -> Option<LaneBatchSummary> {
+    run(g, sources, scratch, None, Some(cancel))
+}
+
+/// Full distance matrix variant: `dist` is resized to
+/// `sources.len() * n` and filled lane-major — row `k`
+/// (`dist[k*n..(k+1)*n]`) is exactly what
+/// [`bfs_distances_serial`](crate::distances::bfs_distances_serial)
+/// writes for `sources[k]`, [`UNREACHABLE`] included. Reusing one
+/// `dist` buffer across batches keeps the loop allocation-free.
+pub fn bp64_distances(
+    g: &CsrGraph,
+    sources: &[VertexId],
+    scratch: &mut BfsScratch,
+    dist: &mut Vec<u32>,
+) -> LaneBatchSummary {
+    run(g, sources, scratch, Some(dist), None).expect("no cancel token")
+}
+
+/// [`bp64_distances`] with level-barrier cancellation. On `None` the
+/// contents of `dist` are unspecified.
+pub fn bp64_distances_cancellable(
+    g: &CsrGraph,
+    sources: &[VertexId],
+    scratch: &mut BfsScratch,
+    dist: &mut Vec<u32>,
+    cancel: &CancelToken,
+) -> Option<LaneBatchSummary> {
+    run(g, sources, scratch, Some(dist), Some(cancel))
+}
+
+fn run(
+    g: &CsrGraph,
+    sources: &[VertexId],
+    scratch: &mut BfsScratch,
+    dist: Option<&mut Vec<u32>>,
+    cancel: Option<&CancelToken>,
+) -> Option<LaneBatchSummary> {
+    let n = g.num_vertices();
+    let lanes = sources.len();
+    assert!(
+        (1..=MAX_LANES).contains(&lanes),
+        "need 1..=64 sources, got {lanes}"
+    );
+    assert_eq!(scratch.len(), n, "scratch not sized for this graph");
+    assert!(
+        sources.iter().all(|&s| (s as usize) < n),
+        "source out of range"
+    );
+
+    let parts = scratch.parts();
+    let (lane_visited, lane_cur, lane_next) = (parts.lane_visited, parts.lane_cur, parts.lane_next);
+    let (cur, next, next_bm) = (parts.cur, parts.next, parts.next_bm);
+    // Lazy growth to the arena's vertex count; `lane_cur`/`lane_next`
+    // are all-zero between traversals (restored below even on the
+    // cancel path), so only the visited words need the O(n) reset.
+    for lane in [&mut *lane_visited, &mut *lane_cur, &mut *lane_next] {
+        if lane.len() != n {
+            lane.clear();
+            lane.resize(n, 0);
+        }
+    }
+    lane_visited.fill(0);
+
+    let mut summary = LaneBatchSummary {
+        lanes,
+        ecc: [0; MAX_LANES],
+        farthest: [0; MAX_LANES],
+        visited: [0; MAX_LANES],
+    };
+    let mut dist = dist;
+    if let Some(d) = dist.as_mut() {
+        d.clear();
+        d.resize(lanes * n, UNREACHABLE);
+    }
+
+    cur.clear();
+    next.clear();
+    for (k, &s) in sources.iter().enumerate() {
+        let bit = 1u64 << k;
+        summary.farthest[k] = s;
+        summary.visited[k] = 1;
+        if let Some(d) = dist.as_deref_mut() {
+            d[k * n + s as usize] = 0;
+        }
+        lane_visited[s as usize] |= bit;
+        if lane_cur[s as usize] == 0 {
+            cur.push(s);
+        }
+        lane_cur[s as usize] |= bit;
+    }
+
+    let mut level = 0u32;
+    loop {
+        level += 1;
+        if cancel.is_some_and(|t| t.is_cancelled()) {
+            // Restore the all-zero invariant so the arena is reusable.
+            for &v in cur.iter() {
+                lane_cur[v as usize] = 0;
+            }
+            cur.clear();
+            return None;
+        }
+
+        // Expand: one neighbor-list scan per frontier vertex advances
+        // every lane present in its word. Consuming a vertex zeroes its
+        // `lane_cur` word, keeping the between-levels invariant.
+        for &v in cur.iter() {
+            let fv = lane_cur[v as usize];
+            for &w in g.neighbors(v) {
+                let new = fv & !lane_visited[w as usize];
+                if new != 0 {
+                    if lane_next[w as usize] == 0 {
+                        next.push(w);
+                    }
+                    lane_next[w as usize] |= new;
+                }
+            }
+            lane_cur[v as usize] = 0;
+        }
+        if next.is_empty() {
+            break;
+        }
+
+        // Re-sort the frontier into ascending id order through the
+        // dense bitmap: word-granular, allocation-free, and it makes
+        // the min-id farthest tie-break fall out of iteration order.
+        next_bm.fill_from_sparse(next);
+        cur.clear();
+        next_bm.append_sparse_into(cur);
+        next.clear();
+
+        // Visit: fold the new lane bits into the visited words, record
+        // per-lane level/counters, and swap the word roles in place.
+        for &w in cur.iter() {
+            let nw = lane_next[w as usize];
+            lane_visited[w as usize] |= nw;
+            lane_cur[w as usize] = nw;
+            lane_next[w as usize] = 0;
+            let mut bits = nw;
+            while bits != 0 {
+                let k = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if summary.ecc[k] != level {
+                    // First (= smallest-id, thanks to the sort) vertex
+                    // lane k reaches at this level.
+                    summary.ecc[k] = level;
+                    summary.farthest[k] = w;
+                }
+                summary.visited[k] += 1;
+                if let Some(d) = dist.as_deref_mut() {
+                    d[k * n + w as usize] = level;
+                }
+            }
+        }
+    }
+
+    Some(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distances::bfs_distances_serial;
+    use fdiam_graph::generators::{barabasi_albert, cycle, grid2d, path, star};
+    use fdiam_graph::transform::{disjoint_union, with_isolated_vertices};
+    use fdiam_graph::CsrGraph;
+
+    fn check_against_serial(g: &CsrGraph, sources: &[VertexId]) {
+        let mut scratch = BfsScratch::new(g.num_vertices());
+        let mut dist = Vec::new();
+        let s = bp64_distances(g, sources, &mut scratch, &mut dist);
+        assert_eq!(s.lanes, sources.len());
+        let n = g.num_vertices();
+        let mut serial = Vec::new();
+        for (k, &src) in sources.iter().enumerate() {
+            let e = bfs_distances_serial(g, src, &mut serial);
+            assert_eq!(s.ecc[k], e, "ecc lane {k} (source {src})");
+            assert_eq!(&dist[k * n..(k + 1) * n], &serial[..], "dist row {k}");
+            let visited = serial.iter().filter(|&&d| d != UNREACHABLE).count();
+            assert_eq!(s.visited[k] as usize, visited, "visited lane {k}");
+            let farthest = serial
+                .iter()
+                .enumerate()
+                .filter(|&(_, &d)| d == e)
+                .map(|(v, _)| v as VertexId)
+                .min()
+                .unwrap();
+            assert_eq!(s.farthest[k], farthest, "farthest lane {k}");
+        }
+        // The ecc-only variant agrees with the distances variant.
+        let e = bp64_eccentricities(g, sources, &mut scratch);
+        assert_eq!(e.ecc[..e.lanes], s.ecc[..s.lanes]);
+        assert_eq!(e.farthest[..e.lanes], s.farthest[..s.lanes]);
+        assert_eq!(e.visited[..e.lanes], s.visited[..s.lanes]);
+    }
+
+    #[test]
+    fn matches_serial_on_shapes() {
+        for g in [
+            path(17),
+            cycle(12),
+            star(30),
+            grid2d(7, 9),
+            disjoint_union(&path(6), &cycle(5)),
+            with_isolated_vertices(&star(5), 4),
+        ] {
+            let n = g.num_vertices() as VertexId;
+            let all: Vec<VertexId> = (0..n).collect();
+            for chunk in all.chunks(MAX_LANES) {
+                check_against_serial(&g, chunk);
+            }
+        }
+    }
+
+    #[test]
+    fn full_64_lane_batches_and_ragged_tail() {
+        let g = barabasi_albert(150, 3, 7); // 150 % 64 = 22: ragged tail
+        let all: Vec<VertexId> = (0..150).collect();
+        let mut sizes = Vec::new();
+        for chunk in all.chunks(MAX_LANES) {
+            sizes.push(chunk.len());
+            check_against_serial(&g, chunk);
+        }
+        assert_eq!(sizes, vec![64, 64, 22]);
+    }
+
+    #[test]
+    fn single_vertex_and_duplicate_sources() {
+        check_against_serial(&path(1), &[0]);
+        // Duplicate sources are distinct lanes with identical results.
+        check_against_serial(&grid2d(4, 4), &[5, 5, 0, 5]);
+    }
+
+    #[test]
+    fn scratch_reuse_across_batches_and_graph_switch() {
+        let g1 = grid2d(6, 6);
+        let g2 = barabasi_albert(80, 4, 1);
+        let mut scratch = BfsScratch::new(g1.num_vertices());
+        bp64_eccentricities(&g1, &[0, 35], &mut scratch);
+        // A second traversal reuses the (now stale) lane words.
+        check_reuse(&g1, &mut scratch);
+        scratch.ensure(g2.num_vertices());
+        check_reuse(&g2, &mut scratch);
+    }
+
+    fn check_reuse(g: &CsrGraph, scratch: &mut BfsScratch) {
+        let s = bp64_eccentricities(g, &[0], scratch);
+        let mut dist = Vec::new();
+        assert_eq!(s.ecc[0], bfs_distances_serial(g, 0, &mut dist));
+    }
+
+    #[test]
+    fn cancellable_with_live_token_matches_plain() {
+        let g = grid2d(8, 8);
+        let token = CancelToken::new();
+        let mut scratch = BfsScratch::new(g.num_vertices());
+        let a = bp64_eccentricities(&g, &[0, 63], &mut scratch);
+        let b = bp64_eccentricities_cancellable(&g, &[0, 63], &mut scratch, &token).unwrap();
+        assert_eq!(a.ecc[..2], b.ecc[..2]);
+        assert_eq!(a.farthest[..2], b.farthest[..2]);
+    }
+
+    #[test]
+    fn expired_token_cancels_and_leaves_scratch_reusable() {
+        let g = grid2d(10, 10);
+        let mut scratch = BfsScratch::new(g.num_vertices());
+        let token = CancelToken::with_deadline(std::time::Duration::ZERO);
+        assert!(bp64_eccentricities_cancellable(&g, &[0, 1, 2], &mut scratch, &token).is_none());
+        let mut dist = Vec::new();
+        let token = CancelToken::new();
+        let s = bp64_distances_cancellable(&g, &[0], &mut scratch, &mut dist, &token).unwrap();
+        assert_eq!(s.ecc[0], 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64 sources")]
+    fn rejects_oversized_batches() {
+        let g = path(70);
+        let mut scratch = BfsScratch::new(70);
+        let sources: Vec<VertexId> = (0..65).collect();
+        bp64_eccentricities(&g, &sources, &mut scratch);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64 sources")]
+    fn rejects_empty_batches() {
+        let g = path(3);
+        let mut scratch = BfsScratch::new(3);
+        bp64_eccentricities(&g, &[], &mut scratch);
+    }
+}

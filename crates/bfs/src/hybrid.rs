@@ -198,6 +198,7 @@ pub(crate) fn kernel(
         cur_bm,
         next_bm,
         load,
+        ..
     } = scratch.parts();
     let rollovers_before = marks.rollovers();
     let epoch = marks.next_epoch();

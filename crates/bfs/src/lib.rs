@@ -27,6 +27,7 @@
 //! operations on the worklists.
 
 pub mod bitmap;
+pub mod bitparallel;
 pub mod distances;
 pub mod frontier;
 pub mod hybrid;
@@ -38,6 +39,10 @@ pub mod serial_hybrid;
 pub mod visited;
 
 pub use bitmap::FrontierBitmap;
+pub use bitparallel::{
+    bp64_distances, bp64_distances_cancellable, bp64_eccentricities,
+    bp64_eccentricities_cancellable, LaneBatchSummary, MAX_LANES,
+};
 pub use hybrid::{
     bfs_eccentricity_hybrid, bfs_eccentricity_hybrid_cancellable, bfs_eccentricity_hybrid_observed,
     BfsConfig, SwitchHeuristic,

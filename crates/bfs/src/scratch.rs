@@ -29,6 +29,15 @@ pub struct BfsScratch {
     /// Dense frontier double buffer for bottom-up levels.
     cur_bm: FrontierBitmap,
     next_bm: FrontierBitmap,
+    /// Per-vertex u64 lane words for the bit-parallel multi-source
+    /// kernel (`crate::bitparallel`): one visited word and a
+    /// current/next frontier double buffer per vertex. Grown lazily on
+    /// the first bit-parallel traversal so single-source workloads pay
+    /// nothing; between traversals `lane_cur`/`lane_next` are all-zero
+    /// (the kernel's invariant) and `lane_visited` is stale.
+    lane_visited: Vec<u64>,
+    lane_cur: Vec<u64>,
+    lane_next: Vec<u64>,
     /// Per-rayon-worker accounting, allocated only when an enabled
     /// observer asks for it ([`BfsScratch::set_load_accounting`]); the
     /// noop path keeps this `None` and stays allocation-free.
@@ -44,6 +53,10 @@ pub struct ScratchParts<'a> {
     pub visited_bm: &'a mut FrontierBitmap,
     pub cur_bm: &'a mut FrontierBitmap,
     pub next_bm: &'a mut FrontierBitmap,
+    /// Bit-parallel lane words (see [`BfsScratch`] field docs).
+    pub lane_visited: &'a mut Vec<u64>,
+    pub lane_cur: &'a mut Vec<u64>,
+    pub lane_next: &'a mut Vec<u64>,
     /// Shared (atomic) accounting view — `None` when disabled.
     pub load: Option<&'a WorkerLoad>,
 }
@@ -60,6 +73,9 @@ impl BfsScratch {
             visited_bm: FrontierBitmap::new(n),
             cur_bm: FrontierBitmap::new(n),
             next_bm: FrontierBitmap::new(n),
+            lane_visited: Vec::new(),
+            lane_cur: Vec::new(),
+            lane_next: Vec::new(),
             load: None,
         }
     }
@@ -137,6 +153,9 @@ impl BfsScratch {
             visited_bm: &mut self.visited_bm,
             cur_bm: &mut self.cur_bm,
             next_bm: &mut self.next_bm,
+            lane_visited: &mut self.lane_visited,
+            lane_cur: &mut self.lane_cur,
+            lane_next: &mut self.lane_next,
             load: self.load.as_ref(),
         }
     }

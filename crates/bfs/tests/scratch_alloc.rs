@@ -7,7 +7,8 @@
 
 use fdiam_bfs::multisource::partial_bfs_scratch;
 use fdiam_bfs::{
-    bfs_eccentricity_serial_hybrid, bfs_eccentricity_serial_hybrid_observed, BfsConfig, BfsScratch,
+    bfs_eccentricity_serial_hybrid, bfs_eccentricity_serial_hybrid_observed, bp64_distances,
+    bp64_eccentricities, BfsConfig, BfsScratch, MAX_LANES,
 };
 use fdiam_graph::generators::{barabasi_albert, grid2d};
 use fdiam_obs::noop;
@@ -172,6 +173,37 @@ fn load_accounting_toggle_reuses_slots_at_same_width() {
         allocs, 0,
         "same-width re-enable or disable allocated {allocs} times"
     );
+}
+
+#[test]
+fn bit_parallel_batches_allocate_nothing_in_steady_state() {
+    // The 64-lane kernel lives on the same arena: the lane word arrays
+    // grow on the first traversal, the frontier worklists reach their
+    // high-water mark under the same two-pass warm-up discipline as the
+    // serial kernel, and the caller-owned distance buffer grows once.
+    // After that, full-width batches over every source are free.
+    for g in [grid2d(25, 25), barabasi_albert(1500, 8, 3)] {
+        let n = g.num_vertices();
+        let sources: Vec<u32> = g.vertices().collect();
+        let mut scratch = BfsScratch::new(n);
+        let mut dist = Vec::new();
+        for _ in 0..2 {
+            for batch in sources.chunks(MAX_LANES) {
+                bp64_eccentricities(&g, batch, &mut scratch);
+                bp64_distances(&g, batch, &mut scratch, &mut dist);
+            }
+        }
+        let allocs = allocations(|| {
+            for batch in sources.chunks(MAX_LANES) {
+                bp64_eccentricities(&g, batch, &mut scratch);
+                bp64_distances(&g, batch, &mut scratch, &mut dist);
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "steady-state bit-parallel loop allocated {allocs} times on n={n}"
+        );
+    }
 }
 
 #[test]

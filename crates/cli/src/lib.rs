@@ -15,8 +15,10 @@
 //! `main.rs` is a thin shim.
 
 use fdiam_graph::io::{binfmt, dimacs, edgelist, mtx};
-use fdiam_graph::CsrGraph;
-use fdiam_obs::{Fanout, JsonlTraceSink, MetricsObserver, MetricsRegistry, Observer, ProgressSink};
+use fdiam_graph::{CsrGraph, Relabeling, VertexOrder};
+use fdiam_obs::{
+    Fanout, JsonlTraceSink, MetricsObserver, MetricsRegistry, Observer, ProgressSink, RemapIds,
+};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -42,9 +44,20 @@ pub enum Command {
         /// cooperatively: the BFS kernels observe the deadline at every
         /// level barrier, so an expired run stops within one level.
         timeout: Option<std::time::Duration>,
+        /// Load-time vertex relabeling pass (`--order`). The kernels
+        /// run on the remapped CSR; every reported id (diametral pair,
+        /// trace events) is translated back to the input's original
+        /// ids.
+        order: VertexOrder,
+        /// Opt-in bit-parallel main loop (`--lanes N`): up to N (≤ 64)
+        /// eccentricities per shared traversal. fdiam/fdiam-serial
+        /// only.
+        lanes: Option<usize>,
     },
     Ecc {
         input: String,
+        /// Load-time vertex relabeling pass (`--order`).
+        order: VertexOrder,
     },
     Info {
         input: String,
@@ -95,8 +108,8 @@ fdiam — fast exact graph diameter (F-Diam, ICPP'25 reproduction)
 USAGE:
   fdiam diameter [--algorithm NAME] [--serial] [--stats] [--threads N]
                  [--progress] [--trace FILE] [--metrics] [--paper-bfs]
-                 [--timeout SECS] INPUT
-  fdiam ecc INPUT                    radius / center / periphery
+                 [--timeout SECS] [--order ORDER] [--lanes N] INPUT
+  fdiam ecc [--order ORDER] INPUT    radius / center / periphery
   fdiam info INPUT                   graph summary (n, m, degrees, components)
   fdiam convert INPUT OUTPUT         convert between formats
   fdiam generate SPEC OUTPUT         write a synthetic graph
@@ -110,6 +123,12 @@ OBSERVABILITY (fdiam / fdiam-serial only):
   --paper-bfs     paper's fixed 10% BFS direction switch (fdiam/fdiam-serial)
   --timeout SECS  abort the run after SECS seconds (exit 1); the
                   FDIAM_TIMEOUT_SECS environment variable sets a default
+LAYOUT / KERNEL:
+  --order ORDER   load-time vertex relabeling: none (default), degree
+                  (hubs first), bfs (discovery order). Cache locality
+                  only — all reported ids stay in the input's space
+  --lanes N       bit-parallel main loop: N (1-64) eccentricities per
+                  shared traversal (fdiam/fdiam-serial only)
 FORMATS (by extension): .txt/.el edge list | .gr DIMACS-9 | .mtx MatrixMarket | .fdia binary
 GENERATE SPECS:
   grid:ROWSxCOLS           e.g. grid:512x512
@@ -138,6 +157,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut metrics = false;
             let mut paper_bfs = false;
             let mut timeout = None;
+            let mut order = VertexOrder::default();
+            let mut lanes = None;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--algorithm" | "-a" => {
@@ -163,6 +184,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             return Err(format!("--trace needs a file path, got '{v}'"));
                         }
                         trace = Some(v.to_string());
+                    }
+                    "--order" => {
+                        let v = it.next().ok_or("--order needs a value")?;
+                        order = VertexOrder::parse(v)?;
+                    }
+                    "--lanes" => {
+                        let v = it.next().ok_or("--lanes needs a value")?;
+                        let n: usize = v.parse().map_err(|e| format!("bad lane count: {e}"))?;
+                        if n == 0 || n > fdiam_bfs::MAX_LANES {
+                            return Err(format!(
+                                "--lanes must be between 1 and {}, got {n}",
+                                fdiam_bfs::MAX_LANES
+                            ));
+                        }
+                        lanes = Some(n);
                     }
                     other if !other.starts_with('-') && input.is_none() => {
                         input = Some(other.to_string())
@@ -192,6 +228,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--timeout is only enforced for the fdiam and fdiam-serial algorithms".into(),
                 );
             }
+            if lanes.is_some()
+                && !matches!(algorithm, Algorithm::FdiamParallel | Algorithm::FdiamSerial)
+            {
+                return Err("--lanes only applies to the fdiam and fdiam-serial algorithms".into());
+            }
             Ok(Command::Diameter {
                 input: input.ok_or("missing INPUT file")?,
                 algorithm,
@@ -202,11 +243,30 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 metrics,
                 paper_bfs,
                 timeout,
+                order,
+                lanes,
             })
         }
-        "ecc" => Ok(Command::Ecc {
-            input: one_positional(&mut it, "INPUT")?,
-        }),
+        "ecc" => {
+            let mut input = None;
+            let mut order = VertexOrder::default();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--order" => {
+                        let v = it.next().ok_or("--order needs a value")?;
+                        order = VertexOrder::parse(v)?;
+                    }
+                    other if !other.starts_with('-') && input.is_none() => {
+                        input = Some(other.to_string())
+                    }
+                    other => return Err(format!("unexpected argument '{other}'")),
+                }
+            }
+            Ok(Command::Ecc {
+                input: input.ok_or("missing INPUT")?,
+                order,
+            })
+        }
         "info" => Ok(Command::Info {
             input: one_positional(&mut it, "INPUT")?,
         }),
@@ -461,10 +521,18 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
             )
             .map_err(w)
         }
-        Command::Ecc { input } => {
-            let g = read_graph(&input)?;
-            let r = fdiam_analytics::bounding_ecc::bounding_eccentricities(&g);
-            let e = &r.eccentricities;
+        Command::Ecc { input, order } => {
+            let loaded = read_graph(&input)?;
+            let relabel = order.apply(&loaded);
+            let g = relabel.as_ref().map_or(&loaded, |m| &m.graph);
+            let r = fdiam_analytics::bounding_ecc::bounding_eccentricities(g);
+            // Back-permute so the per-vertex array is indexed by
+            // original ids — the aggregates below are order-invariant,
+            // but anything id-indexed must leave in the input's space.
+            let e = &match &relabel {
+                Some(m) => m.to_original_indexing(&r.eccentricities),
+                None => r.eccentricities.clone(),
+            };
             let radius = e.iter().min().copied().unwrap_or(0);
             let diam = e.iter().max().copied().unwrap_or(0);
             let center = e.iter().filter(|&&x| x == radius).count();
@@ -491,8 +559,12 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
             metrics,
             paper_bfs,
             timeout,
+            order,
+            lanes,
         } => {
-            let g = read_graph(&input)?;
+            let loaded = read_graph(&input)?;
+            let relabel: Option<Relabeling> = order.apply(&loaded);
+            let g = relabel.as_ref().map_or(&loaded, |m| &m.graph);
             // The env default only applies where a timeout is
             // enforceable (an explicit --timeout with another algorithm
             // is already rejected at parse time).
@@ -511,7 +583,7 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
             }
             let t0 = std::time::Instant::now();
             let mut metrics_registry = None;
-            let (diam, connected, bfs, detail) = match algorithm {
+            let (diam, connected, bfs, detail, pair) = match algorithm {
                 Algorithm::FdiamParallel | Algorithm::FdiamSerial => {
                     let mut cfg = if algorithm == Algorithm::FdiamParallel {
                         fdiam_core::FdiamConfig::parallel()
@@ -520,6 +592,9 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
                     };
                     if paper_bfs {
                         cfg = cfg.with_paper_bfs();
+                    }
+                    if let Some(n) = lanes {
+                        cfg = cfg.with_lane_batch(n);
                     }
                     let mut sinks: Vec<Box<dyn Observer + Send>> = Vec::new();
                     if progress {
@@ -535,19 +610,29 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
                         sinks.push(Box::new(MetricsObserver::new(Arc::clone(&registry))));
                         metrics_registry = Some(registry);
                     }
-                    let o = match timeout {
-                        None if sinks.is_empty() => fdiam_core::diameter_with(&g, &cfg),
-                        None => {
-                            let fanout = Fanout::new(sinks);
-                            fdiam_core::diameter_with_observer(&g, &cfg, &fanout)
+                    // Kernels run on the (possibly relabeled) graph and
+                    // therefore emit internal ids; `RemapIds` translates
+                    // every id-carrying event back to the input's space
+                    // before it reaches a sink.
+                    let unobserved = sinks.is_empty();
+                    let fanout = Fanout::new(sinks);
+                    let remap_storage;
+                    let observer: &dyn Observer = match &relabel {
+                        Some(m) if !unobserved => {
+                            remap_storage = RemapIds::new(&fanout, &m.to_original);
+                            &remap_storage
                         }
+                        _ => &fanout,
+                    };
+                    let o = match timeout {
+                        None if unobserved => fdiam_core::diameter_with(g, &cfg),
+                        None => fdiam_core::diameter_with_observer(g, &cfg, observer),
                         Some(budget) => {
                             let token = fdiam_obs::CancelToken::with_deadline(budget);
-                            let res = if sinks.is_empty() {
-                                fdiam_core::run_cancellable(&g, &cfg, fdiam_obs::noop(), &token)
+                            let res = if unobserved {
+                                fdiam_core::run_cancellable(g, &cfg, fdiam_obs::noop(), &token)
                             } else {
-                                let fanout = Fanout::new(sinks);
-                                fdiam_core::run_cancellable(&g, &cfg, &fanout, &token)
+                                fdiam_core::run_cancellable(g, &cfg, observer, &token)
                             };
                             res.map_err(|_| format!("timed out after {}s", budget.as_secs_f64()))?
                         }
@@ -564,26 +649,33 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
                         o.result.connected,
                         o.stats.bfs_traversals(),
                         detail,
+                        o.diametral_pair,
                     )
                 }
                 Algorithm::Ifub => {
-                    let r = fdiam_baselines::ifub::ifub(&g);
-                    (r.largest_cc_diameter, r.connected, r.bfs_calls, None)
+                    let r = fdiam_baselines::ifub::ifub(g);
+                    (r.largest_cc_diameter, r.connected, r.bfs_calls, None, None)
                 }
                 Algorithm::GraphDiameter => {
-                    let r = fdiam_baselines::graph_diameter::graph_diameter(&g);
-                    (r.largest_cc_diameter, r.connected, r.bfs_calls, None)
+                    let r = fdiam_baselines::graph_diameter::graph_diameter(g);
+                    (r.largest_cc_diameter, r.connected, r.bfs_calls, None, None)
                 }
                 Algorithm::SumSweep => {
-                    let r = fdiam_analytics::sum_sweep::exact_sum_sweep(&g).ok_or("empty graph")?;
+                    let r = fdiam_analytics::sum_sweep::exact_sum_sweep(g).ok_or("empty graph")?;
                     let detail = stats.then(|| format!("radius: {}", r.radius));
-                    (r.diameter, r.connected, r.bfs_calls, detail)
+                    (r.diameter, r.connected, r.bfs_calls, detail, None)
                 }
                 Algorithm::Naive => {
-                    let r = fdiam_baselines::naive::naive_diameter(&g);
-                    (r.largest_cc_diameter, r.connected, r.bfs_calls, None)
+                    let r = fdiam_baselines::naive::naive_diameter(g);
+                    (r.largest_cc_diameter, r.connected, r.bfs_calls, None, None)
                 }
             };
+            // The pair leaves the process in original ids, whatever
+            // internal order the kernels ran under.
+            let pair = pair.map(|(s, t)| match &relabel {
+                Some(m) => (m.original(s), m.original(t)),
+                None => (s, t),
+            });
             let elapsed = t0.elapsed();
             if connected {
                 writeln!(out, "diameter : {diam}").map_err(w)?;
@@ -593,6 +685,9 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
             }
             writeln!(out, "time     : {:.3}s", elapsed.as_secs_f64()).map_err(w)?;
             writeln!(out, "bfs calls: {bfs}").map_err(w)?;
+            if let Some((s, t)) = pair {
+                writeln!(out, "pair     : {s} -- {t}").map_err(w)?;
+            }
             if let Some(d) = detail {
                 writeln!(out, "{d}").map_err(w)?;
             }
@@ -637,6 +732,8 @@ mod tests {
                 metrics: false,
                 paper_bfs: false,
                 timeout: None,
+                order: VertexOrder::None,
+                lanes: None,
             }
         );
         let c = parse_args(&args(&[
@@ -661,6 +758,8 @@ mod tests {
                 metrics: false,
                 paper_bfs: false,
                 timeout: None,
+                order: VertexOrder::None,
+                lanes: None,
             }
         );
         let c = parse_args(&args(&["diameter", "--serial", "g.mtx"])).unwrap();
@@ -706,6 +805,8 @@ mod tests {
                 metrics: true,
                 paper_bfs: false,
                 timeout: None,
+                order: VertexOrder::None,
+                lanes: None,
             }
         );
     }
@@ -915,6 +1016,8 @@ mod tests {
                 metrics: false,
                 paper_bfs: false,
                 timeout: Some(std::time::Duration::ZERO),
+                order: VertexOrder::None,
+                lanes: None,
             },
             &mut Vec::new(),
         )
@@ -948,6 +1051,8 @@ mod tests {
                 metrics: false,
                 paper_bfs: false,
                 timeout: Some(std::time::Duration::from_secs(600)),
+                order: VertexOrder::None,
+                lanes: None,
             },
             &mut out,
         )
@@ -1009,6 +1114,8 @@ mod tests {
                 metrics: false,
                 paper_bfs: false,
                 timeout: None,
+                order: VertexOrder::None,
+                lanes: None,
             },
             &mut out,
         )
@@ -1045,6 +1152,8 @@ mod tests {
                 metrics: true,
                 paper_bfs: false,
                 timeout: None,
+                order: VertexOrder::None,
+                lanes: None,
             },
             &mut out,
         )
@@ -1086,7 +1195,14 @@ mod tests {
         )
         .unwrap();
         let mut out = Vec::new();
-        run(Command::Ecc { input: p }, &mut out).unwrap();
+        run(
+            Command::Ecc {
+                input: p,
+                order: VertexOrder::None,
+            },
+            &mut out,
+        )
+        .unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("radius     : 4"), "{text}");
         assert!(text.contains("diameter   : 8"), "{text}");
@@ -1111,6 +1227,220 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("vertices          : 9"), "{text}");
         assert!(text.contains("components        : 1"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_order_and_lanes_flags() {
+        let c = parse_args(&args(&[
+            "diameter", "--order", "degree", "--lanes", "32", "g.txt",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            c,
+            Command::Diameter {
+                order: VertexOrder::Degree,
+                lanes: Some(32),
+                ..
+            }
+        ));
+        // defaults: no relabeling, published one-BFS loop
+        let c = parse_args(&args(&["diameter", "g.txt"])).unwrap();
+        assert!(matches!(
+            c,
+            Command::Diameter {
+                order: VertexOrder::None,
+                lanes: None,
+                ..
+            }
+        ));
+        let c = parse_args(&args(&["ecc", "--order", "bfs", "g.txt"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Ecc {
+                input: "g.txt".into(),
+                order: VertexOrder::Bfs,
+            }
+        );
+        assert!(parse_args(&args(&["diameter", "--order", "hilbert", "g.txt"])).is_err());
+        assert!(parse_args(&args(&["diameter", "g.txt", "--order"])).is_err());
+        assert!(parse_args(&args(&["ecc", "--order", "hilbert", "g.txt"])).is_err());
+        for bad in ["0", "65", "x"] {
+            let e = parse_args(&args(&["diameter", "--lanes", bad, "g.txt"])).unwrap_err();
+            assert!(e.contains("lane"), "{e}");
+        }
+        // --lanes drives the fdiam main loop only; --order relabels the
+        // input and therefore composes with every algorithm
+        let e =
+            parse_args(&args(&["diameter", "-a", "ifub", "--lanes", "8", "g.txt"])).unwrap_err();
+        assert!(e.contains("--lanes"), "{e}");
+        assert!(parse_args(&args(&[
+            "diameter", "-a", "ifub", "--order", "bfs", "g.txt"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn lane_batched_run_reports_the_same_diameter() {
+        let dir = std::env::temp_dir().join("fdiam_cli_lanes_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let el = dir.join("g.txt").to_string_lossy().into_owned();
+        run(
+            Command::Generate {
+                spec: "grid:12x12".into(),
+                output: el.clone(),
+            },
+            &mut Vec::new(),
+        )
+        .unwrap();
+        for lanes in [None, Some(1), Some(64)] {
+            let mut out = Vec::new();
+            run(
+                Command::Diameter {
+                    input: el.clone(),
+                    algorithm: Algorithm::FdiamSerial,
+                    stats: false,
+                    threads: None,
+                    progress: false,
+                    trace: None,
+                    metrics: false,
+                    paper_bfs: false,
+                    timeout: None,
+                    order: VertexOrder::None,
+                    lanes,
+                },
+                &mut out,
+            )
+            .unwrap();
+            let text = String::from_utf8(out).unwrap();
+            assert!(text.contains("diameter : 22"), "lanes {lanes:?}: {text}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn relabeling_is_invisible_in_output_and_trace() {
+        // Metamorphic: on grid:1x20 (a 20-vertex path) ecc(v) =
+        // max(v, 19 - v) and the only pair at distance 19 is {0, 19}.
+        // Whatever internal order the kernels ran under, every id the
+        // CLI emits — the pair line and every trace event — must
+        // satisfy those original-space identities.
+        let dir = std::env::temp_dir().join("fdiam_cli_order_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let el = dir.join("p.txt").to_string_lossy().into_owned();
+        run(
+            Command::Generate {
+                spec: "grid:1x20".into(),
+                output: el.clone(),
+            },
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let run_one = |order: VertexOrder, trace: Option<String>| -> String {
+            let mut out = Vec::new();
+            run(
+                Command::Diameter {
+                    input: el.clone(),
+                    algorithm: Algorithm::FdiamSerial,
+                    stats: false,
+                    threads: None,
+                    progress: false,
+                    trace,
+                    metrics: false,
+                    paper_bfs: false,
+                    timeout: None,
+                    order,
+                    lanes: None,
+                },
+                &mut out,
+            )
+            .unwrap();
+            String::from_utf8(out).unwrap()
+        };
+        let diameter_line = |text: &str| -> String {
+            text.lines()
+                .find(|l| l.starts_with("diameter"))
+                .unwrap()
+                .to_string()
+        };
+        let base = run_one(VertexOrder::None, None);
+        for order in [VertexOrder::Degree, VertexOrder::Bfs] {
+            let trace = dir
+                .join(format!("t_{}.jsonl", order.as_str()))
+                .to_string_lossy()
+                .into_owned();
+            let text = run_one(order, Some(trace.clone()));
+            assert_eq!(diameter_line(&text), diameter_line(&base), "{text}");
+            let pair = text
+                .lines()
+                .find(|l| l.starts_with("pair"))
+                .unwrap_or_else(|| panic!("no pair line:\n{text}"));
+            let ids: Vec<u32> = pair
+                .split(|c: char| !c.is_ascii_digit())
+                .filter(|s| !s.is_empty())
+                .map(|s| s.parse().unwrap())
+                .collect();
+            let mut ids = ids;
+            ids.sort_unstable();
+            assert_eq!(ids, vec![0, 19], "{order:?}: {pair}");
+
+            let body = std::fs::read_to_string(&trace).unwrap();
+            let mut checked = 0;
+            for line in body.lines() {
+                let v = fdiam_obs::json::parse(line).unwrap();
+                if v.get("type").and_then(|t| t.as_str()) != Some("bfs_end") {
+                    continue;
+                }
+                let src = v.get("source").and_then(|x| x.as_u64()).unwrap() as u32;
+                let ecc = v.get("eccentricity").and_then(|x| x.as_u64()).unwrap() as u32;
+                assert_eq!(ecc, src.max(19 - src), "{order:?}: {line}");
+                checked += 1;
+            }
+            assert!(
+                checked >= 2,
+                "{order:?}: trace had {checked} bfs_end events"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ecc_output_is_order_invariant() {
+        let dir = std::env::temp_dir().join("fdiam_cli_ecc_order_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("g.txt").to_string_lossy().into_owned();
+        run(
+            Command::Generate {
+                spec: "grid:5x9".into(),
+                output: p.clone(),
+            },
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let mut texts = Vec::new();
+        for order in [VertexOrder::None, VertexOrder::Degree, VertexOrder::Bfs] {
+            let mut out = Vec::new();
+            run(
+                Command::Ecc {
+                    input: p.clone(),
+                    order,
+                },
+                &mut out,
+            )
+            .unwrap();
+            let text = String::from_utf8(out).unwrap();
+            // radius/diameter/center/periphery are properties of the
+            // eccentricity multiset, which relabeling permutes but
+            // never changes; only the sweep count may move.
+            texts.push(
+                text.lines()
+                    .filter(|l| !l.starts_with("bfs calls"))
+                    .collect::<Vec<_>>()
+                    .join("\n"),
+            );
+        }
+        assert_eq!(texts[0], texts[1]);
+        assert_eq!(texts[0], texts[2]);
         std::fs::remove_dir_all(&dir).ok();
     }
 

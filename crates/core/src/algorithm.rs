@@ -42,7 +42,7 @@ use crate::winnow::WinnowRegion;
 use fdiam_bfs::{
     bfs_eccentricity_hybrid_cancellable, bfs_eccentricity_hybrid_observed,
     bfs_eccentricity_serial_hybrid_cancellable, bfs_eccentricity_serial_hybrid_observed,
-    BfsScratch, BfsSummary,
+    bp64_eccentricities, bp64_eccentricities_cancellable, BfsScratch, BfsSummary, MAX_LANES,
 };
 use fdiam_graph::{CsrGraph, VertexId};
 use fdiam_obs::{
@@ -257,9 +257,10 @@ fn run_driver(
     let Some(mut driver) = Driver::prelude(g, config, &tee, cancel, scratch, run, t_total)? else {
         return Ok(empty_outcome(t_total, &tee, run));
     };
-    match batch {
-        None => driver.main_loop()?,
-        Some(b) => driver.main_loop_concurrent(b)?,
+    match (batch, config.lane_batch) {
+        (Some(b), _) => driver.main_loop_concurrent(b)?,
+        (None, Some(b)) => driver.main_loop_lanes(b)?,
+        (None, None) => driver.main_loop()?,
     }
     Ok(driver.finish(t_total, &collector))
 }
@@ -565,6 +566,67 @@ impl<'a> Driver<'a> {
             }
             // One snapshot per batch: the fold is sequential, so the
             // batch boundary is the first point the bounds are settled.
+            self.publish_snapshot("main_loop");
+            self.obs.event(&Event::Progress {
+                active: self.state.active_count(),
+                bound: self.bound,
+            });
+        }
+        Ok(())
+    }
+
+    /// Stage 4, bit-parallel ([`FdiamConfig::lane_batch`]): up to
+    /// `batch` remaining vertices share one 64-lane traversal
+    /// ([`bp64_eccentricities`]), then the results fold in sequentially
+    /// — the same batch-boundary semantics as
+    /// [`Driver::main_loop_concurrent`], but the batch shares its edge
+    /// scans instead of re-running them per source. Per-lane
+    /// `BfsStart`/`BfsEnd` events keep the trace and
+    /// `stats.ecc_computations` accounting one-entry-per-source.
+    fn main_loop_lanes(&mut self, batch: usize) -> Result<(), Cancelled> {
+        let batch = batch.clamp(1, MAX_LANES);
+        let order = std::mem::take(&mut self.order);
+        let mut cursor = 0usize;
+        let mut todo: Vec<VertexId> = Vec::with_capacity(batch);
+        while cursor < order.len() {
+            todo.clear();
+            while cursor < order.len() && todo.len() < batch {
+                let v = order[cursor];
+                cursor += 1;
+                if self.state.is_active(v) {
+                    todo.push(v);
+                }
+            }
+            if todo.is_empty() {
+                continue;
+            }
+            let summary = {
+                let _span = PhaseSpan::enter(self.obs, Phase::EccBfs);
+                match self.cancel {
+                    Some(t) => bp64_eccentricities_cancellable(self.g, &todo, self.scratch, t)
+                        .ok_or(Cancelled)?,
+                    None => bp64_eccentricities(self.g, &todo, self.scratch),
+                }
+            };
+            for (k, &v) in todo.iter().enumerate() {
+                let e = summary.ecc[k];
+                if self.obs.enabled() {
+                    let span = SpanId::fresh();
+                    self.obs.event(&Event::BfsStart { source: v, span });
+                    self.obs.event(&Event::BfsEnd {
+                        source: v,
+                        eccentricity: e,
+                        visited: summary.visited[k] as usize,
+                        span,
+                    });
+                }
+                self.state.record(v, e, Stage::Computed);
+                if e > self.bound {
+                    self.diametral_pair = (v, summary.farthest[k]);
+                }
+                self.apply_bounds(v, e);
+                self.note_ecc(e);
+            }
             self.publish_snapshot("main_loop");
             self.obs.event(&Event::Progress {
                 active: self.state.active_count(),
@@ -891,6 +953,66 @@ mod tests {
                 assert_eq!(out.stats.removed.total(), g.num_vertices());
             }
         }
+    }
+
+    #[test]
+    fn lane_batched_matches_sequential() {
+        for g in [
+            path(30),
+            grid2d(6, 7),
+            barabasi_albert(150, 3, 2),
+            road_like(120, 0.1, 3),
+            disjoint_union(&cycle(9), &star(7)),
+        ] {
+            let expect = oracle(&g);
+            for batch in [1, 2, 16, 64] {
+                let cfg = FdiamConfig::serial().with_lane_batch(batch);
+                let out = run(&g, &cfg);
+                assert_eq!(
+                    out.result.largest_cc_diameter,
+                    expect,
+                    "lane batch {batch} on n={}",
+                    g.num_vertices()
+                );
+                assert_eq!(out.stats.removed.total(), g.num_vertices());
+                // The diametral pair certificate stays valid.
+                let (s, t) = out.diametral_pair.unwrap();
+                assert!((s as usize) < g.num_vertices());
+                assert!((t as usize) < g.num_vertices());
+            }
+        }
+    }
+
+    #[test]
+    fn lane_batched_snapshots_converge_and_count_lanes() {
+        let g = grid2d(12, 9);
+        let cfg = FdiamConfig::serial().with_lane_batch(32);
+        let r = SnapshotRecorder::new();
+        let out = run_with_observer(&g, &cfg, &r);
+        assert_convergence_curve(&r.snapshots(), out.result.largest_cc_diameter);
+
+        // Each lane is one logical eccentricity computation in both the
+        // stats and the event stream.
+        let rec = Recorder::new();
+        let out = run_with_observer(&g, &cfg, &rec);
+        assert_eq!(rec.count("bfs_end"), out.stats.ecc_computations);
+        assert_eq!(rec.count("bfs_start"), rec.count("bfs_end"));
+    }
+
+    #[test]
+    fn lane_batched_cancellation() {
+        let g = grid2d(15, 15);
+        let cfg = FdiamConfig::serial().with_lane_batch(16);
+        let live = CancelToken::new();
+        let a = run(&g, &cfg);
+        let b = run_cancellable(&g, &cfg, noop(), &live).expect("live token");
+        assert_eq!(a.result, b.result);
+        assert_eq!(a.stats.ecc_computations, b.stats.ecc_computations);
+        let expired = CancelToken::with_deadline(Duration::ZERO);
+        assert_eq!(
+            run_cancellable(&g, &cfg, noop(), &expired).err(),
+            Some(Cancelled)
+        );
     }
 
     #[test]

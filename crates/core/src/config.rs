@@ -37,6 +37,15 @@ pub struct FdiamConfig {
     /// hold a trace id — e.g. a server admitting a request — pass it
     /// here so logs, traces, and responses correlate.
     pub run_id: Option<RunId>,
+    /// Opt-in bit-parallel main loop: compute the eccentricities of up
+    /// to this many (≤ 64) remaining vertices per *shared* traversal
+    /// via [`fdiam_bfs::bp64_eccentricities`], instead of one BFS per
+    /// vertex. Like [`crate::run_concurrent`], batch-mates can no
+    /// longer benefit from each other's Eliminate — but here the batch
+    /// shares its edge scans, so the redundancy is paid in lane bits,
+    /// not traversals. `None` (the default) keeps the published
+    /// one-BFS-at-a-time loop.
+    pub lane_batch: Option<usize>,
 }
 
 impl Default for FdiamConfig {
@@ -51,6 +60,7 @@ impl Default for FdiamConfig {
             full_rewinnow: false,
             visit_order_seed: None,
             run_id: None,
+            lane_batch: None,
         }
     }
 }
@@ -107,6 +117,13 @@ impl FdiamConfig {
         self.run_id = Some(run);
         self
     }
+
+    /// Opt into the bit-parallel main loop with up to `batch` (≤ 64)
+    /// sources per shared traversal.
+    pub fn with_lane_batch(mut self, batch: usize) -> Self {
+        self.lane_batch = Some(batch);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -132,6 +149,15 @@ mod tests {
                 .use_max_degree_start
         );
         assert!(!FdiamConfig::parallel().without_chain().use_chain);
+    }
+
+    #[test]
+    fn lane_batch_is_off_by_default() {
+        assert!(FdiamConfig::default().lane_batch.is_none());
+        assert_eq!(
+            FdiamConfig::serial().with_lane_batch(64).lane_batch,
+            Some(64)
+        );
     }
 
     #[test]

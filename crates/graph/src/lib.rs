@@ -31,11 +31,13 @@ pub mod components;
 pub mod csr;
 pub mod generators;
 pub mod io;
+pub mod order;
 pub mod transform;
 
 pub use builder::{BuildOptions, EdgeList};
 pub use components::ConnectedComponents;
 pub use csr::{CsrGraph, VertexId};
+pub use order::{Relabeling, VertexOrder};
 
 /// Test-only diameter oracle (largest eccentricity over all
 /// components) by plain BFS from every vertex. Quadratic; fixtures only.

@@ -1,0 +1,288 @@
+//! Load-time vertex relabeling (ROADMAP item 4's second half).
+//!
+//! The bit-parallel and bottom-up BFS kernels scan per-vertex words
+//! (visited lanes, frontier bitmap chunks) in id order, so cache
+//! behaviour depends on how ids correlate with traversal locality:
+//!
+//! * **degree order** — hubs first. Power-law graphs concentrate most
+//!   arcs on a few vertices; packing them into the lowest ids keeps the
+//!   hot lane/bitmap words in the first cache lines a sweep touches.
+//! * **BFS order** — ids follow breadth-first discovery from the
+//!   max-degree vertex. Consecutive ids are then mostly within one BFS
+//!   level of each other, so any level-synchronous frontier occupies a
+//!   contiguous run of words (grids and road networks benefit most).
+//!
+//! A relabeling is a *view* for the compute kernels only: every
+//! user-facing id (farthest vertices, diametral pairs, per-vertex
+//! eccentricity arrays, trace events) must be translated back through
+//! [`Relabeling::to_original`] so callers never observe internal ids.
+
+use crate::csr::{CsrGraph, VertexId};
+use crate::transform::permute;
+
+/// Which load-time relabeling pass to run (`--order` in the CLI,
+/// `"order"` in fdiam-serve request bodies).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum VertexOrder {
+    /// Keep original ids (no pass, no extra memory).
+    #[default]
+    None,
+    /// Degree-descending, ties by ascending original id.
+    Degree,
+    /// Breadth-first discovery order from the max-degree vertex.
+    Bfs,
+}
+
+impl VertexOrder {
+    /// Parses a `--order` value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "none" => Ok(VertexOrder::None),
+            "degree" => Ok(VertexOrder::Degree),
+            "bfs" => Ok(VertexOrder::Bfs),
+            other => Err(format!(
+                "unknown order '{other}' (expected none, degree, bfs)"
+            )),
+        }
+    }
+
+    /// The canonical spelling, matching [`VertexOrder::parse`].
+    pub fn as_str(self) -> &'static str {
+        match self {
+            VertexOrder::None => "none",
+            VertexOrder::Degree => "degree",
+            VertexOrder::Bfs => "bfs",
+        }
+    }
+
+    /// Runs the relabeling pass; `None` for [`VertexOrder::None`] so
+    /// the common case costs neither a copy nor a map.
+    pub fn apply(self, g: &CsrGraph) -> Option<Relabeling> {
+        match self {
+            VertexOrder::None => None,
+            VertexOrder::Degree => Some(relabel(g, degree_order(g))),
+            VertexOrder::Bfs => Some(relabel(g, bfs_order(g))),
+        }
+    }
+}
+
+/// A remapped graph plus both direction maps. Kernels run on
+/// [`Relabeling::graph`]; results are translated back with
+/// [`Relabeling::original`] before anything leaves the process.
+#[derive(Clone, Debug)]
+pub struct Relabeling {
+    /// The graph with vertices renamed: new vertex `i` is original
+    /// vertex `to_original[i]`.
+    pub graph: CsrGraph,
+    /// `new id → original id` (the permutation the pass produced).
+    pub to_original: Vec<VertexId>,
+    /// `original id → new id` (inverse of `to_original`).
+    pub to_new: Vec<VertexId>,
+}
+
+impl Relabeling {
+    /// Translates an internal (relabeled) id back to the original id.
+    #[inline]
+    pub fn original(&self, v: VertexId) -> VertexId {
+        self.to_original[v as usize]
+    }
+
+    /// Reorders a per-internal-vertex array into original-id indexing:
+    /// `out[original id] = values[internal id]`.
+    pub fn to_original_indexing<T: Copy>(&self, values: &[T]) -> Vec<T> {
+        assert_eq!(values.len(), self.to_original.len());
+        let mut out = values.to_vec();
+        for (new, &old) in self.to_original.iter().enumerate() {
+            out[old as usize] = values[new];
+        }
+        out
+    }
+}
+
+/// Builds the relabeled graph and inverse map from a permutation
+/// (`perm[i]` = original id of new vertex `i`).
+fn relabel(g: &CsrGraph, perm: Vec<VertexId>) -> Relabeling {
+    let graph = permute(g, &perm);
+    let mut to_new = vec![0 as VertexId; perm.len()];
+    for (new, &old) in perm.iter().enumerate() {
+        to_new[old as usize] = new as VertexId;
+    }
+    Relabeling {
+        graph,
+        to_original: perm,
+        to_new,
+    }
+}
+
+/// Degree-descending permutation, ties broken by ascending original id
+/// (deterministic across platforms — stable sort on an already-ordered
+/// id range).
+pub fn degree_order(g: &CsrGraph) -> Vec<VertexId> {
+    let mut perm: Vec<VertexId> = g.vertices().collect();
+    perm.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+    perm
+}
+
+/// Breadth-first discovery permutation: levels from the max-degree
+/// vertex, neighbors in CSR (ascending-id) order; every further
+/// component starts at its lowest-id unvisited vertex. Deterministic
+/// and total — isolated vertices appear where their id falls.
+pub fn bfs_order(g: &CsrGraph) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut perm = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    let start_root = |root: VertexId, seen: &mut Vec<bool>, perm: &mut Vec<VertexId>| {
+        if !seen[root as usize] {
+            seen[root as usize] = true;
+            perm.push(root);
+        }
+    };
+    if let Some(hub) = g.max_degree_vertex() {
+        start_root(hub, &mut seen, &mut perm);
+        queue.push_back(hub);
+    }
+    let mut scan = 0 as VertexId;
+    loop {
+        while let Some(v) = queue.pop_front() {
+            for &w in g.neighbors(v) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    perm.push(w);
+                    queue.push_back(w);
+                }
+            }
+        }
+        // Next unvisited vertex roots the next component.
+        while (scan as usize) < n && seen[scan as usize] {
+            scan += 1;
+        }
+        if (scan as usize) >= n {
+            break;
+        }
+        start_root(scan, &mut seen, &mut perm);
+        queue.push_back(scan);
+    }
+    debug_assert_eq!(perm.len(), n);
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{barabasi_albert, grid2d, path, star};
+    use crate::transform::with_isolated_vertices;
+
+    fn is_permutation(perm: &[VertexId], n: usize) -> bool {
+        let mut seen = vec![false; n];
+        perm.len() == n
+            && perm.iter().all(|&v| {
+                let slot = &mut seen[v as usize];
+                !std::mem::replace(slot, true)
+            })
+    }
+
+    #[test]
+    fn parse_roundtrip_and_errors() {
+        for o in [VertexOrder::None, VertexOrder::Degree, VertexOrder::Bfs] {
+            assert_eq!(VertexOrder::parse(o.as_str()), Ok(o));
+        }
+        assert!(VertexOrder::parse("hilbert").is_err());
+    }
+
+    #[test]
+    fn none_is_free() {
+        assert!(VertexOrder::None.apply(&path(5)).is_none());
+    }
+
+    #[test]
+    fn degree_order_puts_hubs_first() {
+        let g = star(10); // 10 vertices: hub 0 plus nine leaves
+        let perm = degree_order(&g);
+        assert!(is_permutation(&perm, g.num_vertices()));
+        assert_eq!(perm[0], 0);
+        // ties (all leaves share degree 1) stay in ascending id order
+        assert_eq!(&perm[1..], &(1..=9).collect::<Vec<_>>()[..]);
+    }
+
+    #[test]
+    fn bfs_order_is_level_contiguous() {
+        let g = grid2d(4, 6);
+        let perm = bfs_order(&g);
+        assert!(is_permutation(&perm, g.num_vertices()));
+        // In the relabeled graph, BFS levels from vertex 0 must be
+        // non-decreasing in id — the defining property of a BFS order.
+        let r = VertexOrder::Bfs.apply(&g).unwrap();
+        let mut level = vec![u32::MAX; g.num_vertices()];
+        level[0] = 0;
+        let mut frontier = vec![0 as VertexId];
+        let mut d = 0;
+        while !frontier.is_empty() {
+            d += 1;
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for &w in r.graph.neighbors(v) {
+                    if level[w as usize] == u32::MAX {
+                        level[w as usize] = d;
+                        next.push(w);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        for pair in level.windows(2) {
+            assert!(pair[0] <= pair[1], "levels not monotone in id: {level:?}");
+        }
+    }
+
+    #[test]
+    fn bfs_order_covers_disconnected_and_isolated() {
+        let g = with_isolated_vertices(&star(4), 3);
+        let perm = bfs_order(&g);
+        assert!(is_permutation(&perm, g.num_vertices()));
+        let d = degree_order(&g);
+        assert!(is_permutation(&d, g.num_vertices()));
+    }
+
+    #[test]
+    fn maps_are_mutual_inverses_and_preserve_structure() {
+        for g in [grid2d(5, 5), barabasi_albert(120, 4, 3), path(1)] {
+            for order in [VertexOrder::Degree, VertexOrder::Bfs] {
+                let r = order.apply(&g).unwrap();
+                assert_eq!(r.graph.num_vertices(), g.num_vertices());
+                assert_eq!(r.graph.num_arcs(), g.num_arcs());
+                for v in g.vertices() {
+                    assert_eq!(r.to_new[r.to_original[v as usize] as usize], v);
+                    // degree is invariant under relabeling
+                    assert_eq!(r.graph.degree(v), g.degree(r.original(v)));
+                }
+                // every relabeled arc maps back to an original arc
+                for (u, v) in r.graph.arcs() {
+                    assert!(g.has_arc(r.original(u), r.original(v)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn to_original_indexing_permutes_values_back() {
+        let g = star(4);
+        let r = VertexOrder::Degree.apply(&g).unwrap();
+        // internal values = internal ids; back-permuted they must equal
+        // each original vertex's internal id.
+        let values: Vec<u32> = (0..g.num_vertices() as u32).collect();
+        let back = r.to_original_indexing(&values);
+        for v in g.vertices() {
+            assert_eq!(back[v as usize], r.to_new[v as usize]);
+        }
+    }
+
+    #[test]
+    fn empty_graph_orders() {
+        let g = CsrGraph::empty(0);
+        assert!(bfs_order(&g).is_empty());
+        assert!(degree_order(&g).is_empty());
+        let r = VertexOrder::Degree.apply(&g).unwrap();
+        assert_eq!(r.graph.num_vertices(), 0);
+    }
+}

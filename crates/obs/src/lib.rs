@@ -59,6 +59,7 @@ pub mod metrics;
 pub mod observer;
 pub mod progress;
 pub mod registry;
+pub mod remap;
 
 pub use cancel::CancelToken;
 pub use event::{Event, Phase};
@@ -69,3 +70,4 @@ pub use metrics::{Counter, DurationHistogram, Gauge, MetricsObserver, MetricsReg
 pub use observer::{noop, Fanout, NoopObserver, Observer, PhaseSpan, Tee};
 pub use progress::ProgressSink;
 pub use registry::{BoundsSnapshot, RunInfo, RunRegistry};
+pub use remap::RemapIds;

@@ -1,0 +1,133 @@
+//! Vertex-id translation for observers of relabeled runs.
+//!
+//! When a graph is relabeled at load time (`fdiam_graph::VertexOrder`),
+//! the compute kernels — and therefore the driver's event stream —
+//! speak *internal* ids. Everything user-facing must stay in original
+//! ids, traces included: a `BfsStart { source }` line that names an
+//! internal id would be unresolvable against the user's input file.
+//! [`RemapIds`] sits between the driver and the real sinks and
+//! rewrites the three event variants that carry a vertex id
+//! ([`Event::BfsStart`], [`Event::BfsEnd`], [`Event::BoundUpdate`]);
+//! every other variant (spans, levels, snapshots, summaries) is
+//! id-free and passes through untouched.
+
+use crate::event::Event;
+use crate::observer::Observer;
+
+/// Observer adapter translating internal vertex ids back to original
+/// ids through `to_original` (`to_original[internal] = original`).
+pub struct RemapIds<'a> {
+    inner: &'a dyn Observer,
+    to_original: &'a [u32],
+}
+
+impl<'a> RemapIds<'a> {
+    pub fn new(inner: &'a dyn Observer, to_original: &'a [u32]) -> Self {
+        Self { inner, to_original }
+    }
+
+    #[inline]
+    fn original(&self, v: u32) -> u32 {
+        // Out-of-range ids pass through unchanged: the driver never
+        // emits one, and dropping an event over it would hide more
+        // than it fixes.
+        self.to_original.get(v as usize).copied().unwrap_or(v)
+    }
+}
+
+impl Observer for RemapIds<'_> {
+    fn event(&self, e: &Event<'_>) {
+        match *e {
+            Event::BfsStart { source, span } => self.inner.event(&Event::BfsStart {
+                source: self.original(source),
+                span,
+            }),
+            Event::BfsEnd {
+                source,
+                eccentricity,
+                visited,
+                span,
+            } => self.inner.event(&Event::BfsEnd {
+                source: self.original(source),
+                eccentricity,
+                visited,
+                span,
+            }),
+            Event::BoundUpdate { old, new, source } => self.inner.event(&Event::BoundUpdate {
+                old,
+                new,
+                source: self.original(source),
+            }),
+            ref other => self.inner.event(other),
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+
+    fn wants_bfs_detail(&self) -> bool {
+        self.inner.wants_bfs_detail()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SpanId;
+    use std::sync::Mutex;
+
+    struct Tap(Mutex<Vec<u32>>);
+    impl Observer for Tap {
+        fn event(&self, e: &Event<'_>) {
+            match *e {
+                Event::BfsStart { source, .. }
+                | Event::BfsEnd { source, .. }
+                | Event::BoundUpdate { source, .. } => self.0.lock().unwrap().push(source),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn rewrites_every_id_carrying_variant() {
+        let tap = Tap(Mutex::new(Vec::new()));
+        let map = [7u32, 5, 3]; // internal 0→7, 1→5, 2→3
+        let remap = RemapIds::new(&tap, &map);
+        remap.event(&Event::BfsStart {
+            source: 0,
+            span: SpanId::NONE,
+        });
+        remap.event(&Event::BfsEnd {
+            source: 1,
+            eccentricity: 4,
+            visited: 3,
+            span: SpanId::NONE,
+        });
+        remap.event(&Event::BoundUpdate {
+            old: 0,
+            new: 4,
+            source: 2,
+        });
+        remap.event(&Event::BoundUpdate {
+            old: 0,
+            new: 4,
+            source: 99, // out of range: passed through
+        });
+        assert_eq!(*tap.0.lock().unwrap(), vec![7, 5, 3, 99]);
+    }
+
+    #[test]
+    fn id_free_events_and_capabilities_pass_through() {
+        let tap = Tap(Mutex::new(Vec::new()));
+        let map = [1u32, 0];
+        let remap = RemapIds::new(&tap, &map);
+        remap.event(&Event::Progress {
+            active: 10,
+            bound: 2,
+        });
+        assert!(tap.0.lock().unwrap().is_empty());
+        assert!(remap.enabled());
+        assert_eq!(remap.wants_bfs_detail(), tap.wants_bfs_detail());
+    }
+}

@@ -12,12 +12,73 @@
 //! the loser's copy is dropped (last insert wins). That waste is
 //! bounded by the worker count and avoids holding a lock across I/O.
 
-use fdiam_graph::CsrGraph;
+use fdiam_graph::{CsrGraph, VertexId, VertexOrder};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
+/// A cached graph as the compute kernels see it: the CSR (possibly
+/// relabeled at load time for cache locality) plus the map back to the
+/// input's original ids. The map is part of the cache value — the same
+/// `spec`/`path` under different `order`s is a different key, and every
+/// id that leaves a worker goes back through [`LoadedGraph::original`].
+#[derive(Debug)]
+pub struct LoadedGraph {
+    pub graph: CsrGraph,
+    /// `internal id → original id`; `None` when no relabeling ran
+    /// (ids are already original).
+    pub to_original: Option<Vec<VertexId>>,
+}
+
+impl LoadedGraph {
+    /// Applies `order` to a freshly loaded graph.
+    pub fn new(graph: CsrGraph, order: VertexOrder) -> Self {
+        match order.apply(&graph) {
+            None => Self {
+                graph,
+                to_original: None,
+            },
+            Some(r) => Self {
+                graph: r.graph,
+                to_original: Some(r.to_original),
+            },
+        }
+    }
+
+    /// Translates an internal id back to the input's space.
+    #[inline]
+    pub fn original(&self, v: VertexId) -> VertexId {
+        match &self.to_original {
+            Some(map) => map[v as usize],
+            None => v,
+        }
+    }
+
+    /// Reorders a per-internal-vertex array into original-id indexing.
+    pub fn original_indexing<T: Copy>(&self, values: &[T]) -> Vec<T> {
+        match &self.to_original {
+            None => values.to_vec(),
+            Some(map) => {
+                let mut out = values.to_vec();
+                for (new, &old) in map.iter().enumerate() {
+                    out[old as usize] = values[new];
+                }
+                out
+            }
+        }
+    }
+
+    /// Resident bytes: the CSR plus the id map riding along with it.
+    pub fn memory_bytes(&self) -> usize {
+        self.graph.memory_bytes()
+            + self
+                .to_original
+                .as_ref()
+                .map_or(0, |m| m.len() * std::mem::size_of::<VertexId>())
+    }
+}
+
 struct Entry {
-    graph: Arc<CsrGraph>,
+    graph: Arc<LoadedGraph>,
     bytes: usize,
 }
 
@@ -68,8 +129,8 @@ impl GraphCache {
     pub fn get_or_load(
         &self,
         key: &str,
-        load: impl FnOnce() -> Result<CsrGraph, String>,
-    ) -> Result<(Arc<CsrGraph>, CacheOutcome), String> {
+        load: impl FnOnce() -> Result<LoadedGraph, String>,
+    ) -> Result<(Arc<LoadedGraph>, CacheOutcome), String> {
         {
             let mut inner = self.inner.lock().unwrap();
             if let Some(e) = inner.entries.get(key) {
@@ -129,8 +190,8 @@ mod tests {
     use super::*;
     use fdiam_graph::generators::grid2d;
 
-    fn sized_graph() -> CsrGraph {
-        grid2d(10, 10)
+    fn sized_graph() -> LoadedGraph {
+        LoadedGraph::new(grid2d(10, 10), VertexOrder::None)
     }
 
     #[test]
@@ -158,12 +219,42 @@ mod tests {
         let cache = GraphCache::new(1); // budget smaller than any graph
         let (g, outcome) = cache.get_or_load("big", || Ok(sized_graph())).unwrap();
         assert_eq!(outcome, CacheOutcome::Miss);
-        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.graph.num_vertices(), 100);
         // It stays resident (never evict the newest entry) until the
         // next insert pushes it out.
         assert_eq!(cache.keys_lru_order(), vec!["big"]);
         cache.get_or_load("next", || Ok(sized_graph())).unwrap();
         assert_eq!(cache.keys_lru_order(), vec!["next"]);
+    }
+
+    #[test]
+    fn loaded_graph_relabels_and_translates_back() {
+        use fdiam_graph::generators::star;
+        let plain = LoadedGraph::new(star(10), VertexOrder::None);
+        assert!(plain.to_original.is_none());
+        assert_eq!(plain.original(7), 7);
+        assert_eq!(plain.original_indexing(&[3u32, 1, 2]), vec![3, 1, 2]);
+
+        let ordered = LoadedGraph::new(star(10), VertexOrder::Degree);
+        let map = ordered.to_original.as_ref().expect("relabeled");
+        assert_eq!(map.len(), 10);
+        for v in 0..10u32 {
+            assert_eq!(
+                ordered.graph.degree(v),
+                star(10).degree(ordered.original(v))
+            );
+        }
+        // the id map's bytes count against the cache budget
+        assert_eq!(
+            ordered.memory_bytes(),
+            ordered.graph.memory_bytes() + 10 * std::mem::size_of::<u32>()
+        );
+        // round-trip: internal values land at their original index
+        let values: Vec<u32> = (0..10).map(|i| 100 + i).collect();
+        let back = ordered.original_indexing(&values);
+        for v in 0..10usize {
+            assert_eq!(back[map[v] as usize], values[v]);
+        }
     }
 
     #[test]

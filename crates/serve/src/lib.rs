@@ -21,7 +21,10 @@
 //! Optional body fields: `timeout_secs` (per-request deadline,
 //! overrides the server default), `serial` (run the sequential
 //! algorithm), `include_values` (eccentricities endpoint: return the
-//! full per-vertex array).
+//! full per-vertex array), `order` (load-time vertex relabeling:
+//! `"none"`, `"degree"`, or `"bfs"` — a cache-locality hint; every id
+//! in the response and the event stream stays in the input's original
+//! space).
 //!
 //! ## Architecture
 //!
@@ -45,14 +48,14 @@
 mod cache;
 mod http;
 
-pub use cache::{CacheOutcome, GraphCache};
+pub use cache::{CacheOutcome, GraphCache, LoadedGraph};
 
 use fdiam_bfs::BfsScratch;
 use fdiam_core::FdiamConfig;
-use fdiam_graph::CsrGraph;
+use fdiam_graph::VertexOrder;
 use fdiam_obs::json::{self, JsonObject, JsonValue};
 use fdiam_obs::{
-    CancelToken, MetricsObserver, MetricsRegistry, RunId, RunInfo, RunRegistry, Tee,
+    CancelToken, MetricsObserver, MetricsRegistry, RemapIds, RunId, RunInfo, RunRegistry, Tee,
     PROMETHEUS_CONTENT_TYPE,
 };
 use http::{read_request, write_response, HttpError, Request};
@@ -183,8 +186,12 @@ impl Endpoint {
 struct Job {
     stream: TcpStream,
     endpoint: Endpoint,
-    /// Cache key: the `spec:`/`path:`-prefixed graph reference.
+    /// Cache key: the `spec:`/`path:`-prefixed graph reference, plus
+    /// an `#order=…` suffix when a relabeling pass is requested (the
+    /// same input under different orders is a different CSR).
     graph_key: String,
+    /// Load-time relabeling pass applied on cache miss.
+    order: VertexOrder,
     serial: bool,
     include_values: bool,
     sleep_ms: u64,
@@ -519,9 +526,22 @@ fn parse_job(
         Err(e) => return Err((stream, format!("bad JSON body: {e}"))),
     };
 
+    let order = match v.get("order") {
+        None => VertexOrder::None,
+        Some(o) => match o.as_str().map(VertexOrder::parse) {
+            Some(Ok(order)) => order,
+            Some(Err(e)) => return Err((stream, e)),
+            None => {
+                return Err((
+                    stream,
+                    "order must be a string: \"none\", \"degree\", or \"bfs\"".into(),
+                ))
+            }
+        },
+    };
     let spec = v.get("spec").and_then(JsonValue::as_str);
     let path = v.get("path").and_then(JsonValue::as_str);
-    let graph_key = match (spec, path) {
+    let mut graph_key = match (spec, path) {
         (Some(s), None) => format!("spec:{s}"),
         (None, Some(p)) => format!("path:{p}"),
         (Some(_), Some(_)) => {
@@ -534,6 +554,10 @@ fn parse_job(
             ))
         }
     };
+    if order != VertexOrder::None {
+        graph_key.push_str("#order=");
+        graph_key.push_str(order.as_str());
+    }
 
     let timeout = match v.get("timeout_secs") {
         None => shared.config.default_timeout,
@@ -559,6 +583,7 @@ fn parse_job(
         stream,
         endpoint,
         graph_key,
+        order,
         serial: v
             .get("serial")
             .and_then(JsonValue::as_bool)
@@ -634,10 +659,20 @@ fn serve_job(
         }
     }
 
-    let load = || match job.graph_key.split_once(':') {
-        Some(("spec", s)) => fdiam_cli::generate_graph(s),
-        Some(("path", p)) => fdiam_cli::read_graph(p),
-        _ => unreachable!("keys are built in parse_job"),
+    // Strip the `#order=…` suffix back off: it addresses the cache,
+    // not the loader. The relabeling pass runs once, on miss, and its
+    // map is cached with the CSR.
+    let base = job
+        .graph_key
+        .split_once("#order=")
+        .map_or(job.graph_key.as_str(), |(b, _)| b);
+    let load = || {
+        let g = match base.split_once(':') {
+            Some(("spec", s)) => fdiam_cli::generate_graph(s),
+            Some(("path", p)) => fdiam_cli::read_graph(p),
+            _ => unreachable!("keys are built in parse_job"),
+        }?;
+        Ok(LoadedGraph::new(g, job.order))
     };
     let (graph, outcome) = match shared.cache.get_or_load(&job.graph_key, load) {
         Ok(found) => found,
@@ -704,11 +739,22 @@ fn serve_job(
 
 /// Runs F-Diam under the job's token; `None` means the deadline fired.
 fn compute_diameter(
-    g: &CsrGraph,
+    lg: &LoadedGraph,
     job: &Job,
     scratch: &mut BfsScratch,
     observer: &dyn fdiam_obs::Observer,
 ) -> Option<JsonObject> {
+    // A relabeled graph's event stream speaks internal ids; translate
+    // before anything reaches the registry, metrics, or a trace.
+    let remap_storage;
+    let observer: &dyn fdiam_obs::Observer = match &lg.to_original {
+        Some(map) => {
+            remap_storage = RemapIds::new(observer, map);
+            &remap_storage
+        }
+        None => observer,
+    };
+    let g = &lg.graph;
     let config = if job.serial {
         FdiamConfig::serial()
     } else {
@@ -732,6 +778,7 @@ fn compute_diameter(
         .usize("m", g.num_undirected_edges())
         .usize("traversals", out.stats.ecc_computations);
     if let Some((s, t)) = out.diametral_pair {
+        let (s, t) = (lg.original(s), lg.original(t));
         obj = obj.raw("diametral_pair", &format!("[{s},{t}]"));
     }
     Some(obj)
@@ -739,17 +786,28 @@ fn compute_diameter(
 
 /// Takes–Kosters all-eccentricities under the job's token.
 fn compute_eccentricities(
-    g: &CsrGraph,
+    lg: &LoadedGraph,
     job: &Job,
     observer: &dyn fdiam_obs::Observer,
 ) -> Option<JsonObject> {
+    let remap_storage;
+    let observer: &dyn fdiam_obs::Observer = match &lg.to_original {
+        Some(map) => {
+            remap_storage = RemapIds::new(observer, map);
+            &remap_storage
+        }
+        None => observer,
+    };
+    let g = &lg.graph;
     let r =
         fdiam_analytics::bounding_eccentricities_observed(g, job.run, observer, Some(&job.token))
             .ok()?;
-    let ecc = &r.eccentricities;
-    let radius = (0..g.num_vertices())
-        .filter(|&v| g.degree(v as fdiam_graph::VertexId) > 0)
-        .map(|v| ecc[v])
+    // Radius/diameter are order-invariant; the per-vertex array is
+    // id-indexed and must leave in the input's original space.
+    let ecc = &lg.original_indexing(&r.eccentricities);
+    let radius = (0..g.num_vertices() as fdiam_graph::VertexId)
+        .filter(|&v| g.degree(v) > 0)
+        .map(|v| ecc[lg.original(v) as usize])
         .min()
         .unwrap_or(0);
     let diameter = ecc.iter().copied().max().unwrap_or(0);

@@ -185,6 +185,65 @@ fn eccentricities_endpoint_agrees_with_diameter() {
 }
 
 #[test]
+fn relabeled_requests_answer_in_original_ids_and_cache_separately() {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // grid:1x20 is the 20-vertex path: ecc(v) = max(v, 19 - v) and the
+    // only diametral pair is {0, 19}. Under "--order degree" the
+    // kernels run on a relabeled CSR, so any leaked internal id would
+    // break those identities.
+    let body = r#"{"spec": "grid:1x20", "order": "degree", "include_values": true}"#;
+    let r = post(addr, "/v1/eccentricities", body);
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert_eq!(r.field_u64("diameter"), 19);
+    let values = match r.json().get("eccentricities").cloned() {
+        Some(JsonValue::Array(vs)) => vs,
+        other => panic!("expected eccentricities array, got {other:?}"),
+    };
+    assert_eq!(values.len(), 20);
+    for (v, e) in values.iter().enumerate() {
+        let v = v as u64;
+        assert_eq!(e.as_u64(), Some(v.max(19 - v)), "vertex {v}");
+    }
+
+    // Same spec + order → same cache entry; the diametral pair comes
+    // back in original ids.
+    let r = post(
+        addr,
+        "/v1/diameter",
+        r#"{"spec": "grid:1x20", "order": "degree"}"#,
+    );
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert_eq!(r.field_str("cache"), "hit");
+    assert_eq!(r.field_u64("diameter"), 19);
+    let mut pair: Vec<u64> = match r.json().get("diametral_pair").cloned() {
+        Some(JsonValue::Array(vs)) => vs.iter().map(|v| v.as_u64().unwrap()).collect(),
+        other => panic!("expected diametral_pair array, got {other:?}"),
+    };
+    pair.sort_unstable();
+    assert_eq!(pair, vec![0, 19]);
+
+    // Same spec, no order → a different CSR, a different cache entry.
+    let r = post(addr, "/v1/diameter", r#"{"spec": "grid:1x20"}"#);
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert_eq!(r.field_str("cache"), "miss");
+    assert_eq!(r.field_u64("diameter"), 19);
+
+    // Unknown orders are rejected up front.
+    let r = post(
+        addr,
+        "/v1/diameter",
+        r#"{"spec": "grid:1x20", "order": "hilbert"}"#,
+    );
+    assert_eq!(r.status, 400, "{}", r.body);
+    let r = post(addr, "/v1/diameter", r#"{"spec": "grid:1x20", "order": 3}"#);
+    assert_eq!(r.status, 400, "{}", r.body);
+
+    server.shutdown();
+}
+
+#[test]
 fn expired_deadline_is_answered_504_without_computing() {
     let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
     let addr = server.local_addr();
