@@ -1,0 +1,938 @@
+//! Directed ExactSumSweep — the directed half of Borassi et al.'s
+//! algorithm (TCS 2015), on top of [`crate::scc`].
+//!
+//! Directed eccentricities come in two flavours: the **forward**
+//! eccentricity `eccF(v) = max_w d(v, w)` and the **backward**
+//! `eccB(v) = max_w d(w, v)`. The diameter is the maximum of either
+//! family and is finite iff the digraph is strongly connected; the
+//! radius is `min eccF` over the vertices that reach everything — the
+//! members of the condensation's unique source SCC
+//! ([`crate::scc::radial_vertices`]).
+//!
+//! Every sweep from a source `s` runs **two** BFS traversals — forward
+//! (distances `d(s, ·)`, over the forward CSR) and backward
+//! (`d(·, s)`, over the transpose) — and yields `eccF(s)` and
+//! `eccB(s)` exactly. With `dF[w] = d(s, w)`, `dB[w] = d(w, s)` the
+//! triangle inequality gives, for every vertex `w`:
+//!
+//! ```text
+//! eccF(w) ≥ max(dB[w], eccF(s) − dF[w])    eccF(w) ≤ dB[w] + eccF(s)
+//! eccB(w) ≥ max(dF[w], eccB(s) − dB[w])    eccB(w) ≤ dF[w] + eccB(s)
+//! ```
+//!
+//! The exact phase alternates diameter turns (sweep the loosest upper
+//! bound, preferring the forward family and falling back to the
+//! backward one) and radius turns (sweep the smallest forward lower
+//! bound over the radial set). The diameter is certified as soon as
+//! **either** family closes — `max eccF = max eccB = diameter`, so
+//! whichever side's open upper bounds first sink to the best resolved
+//! eccentricity finishes the job.
+//!
+//! Non-strongly-connected inputs short-circuit: Tarjan certifies the
+//! diameter as infinite before any BFS runs, and only the radius
+//! machinery proceeds, restricted to the radial set (where both `dF`
+//! and `dB` stay finite — the radial set is one SCC whose members
+//! reach every vertex). When the radial set is empty (two or more
+//! source SCCs) the radius is infinite too and no sweep runs at all.
+
+use crate::observe::{trivial_ub, SweepObs};
+use crate::scc::{radial_vertices, StronglyConnectedComponents};
+use fdiam_bfs::distances::UNREACHABLE;
+use fdiam_bfs::{
+    bfs_distances_directed, bp64_distances_cancellable, bp64_distances_directed, BfsScratch,
+    SweepDirection, MAX_LANES,
+};
+use fdiam_core::Cancelled;
+use fdiam_graph::{DiGraph, VertexId};
+use fdiam_obs::{CancelToken, Observer, RunId};
+
+/// Result of a directed ExactSumSweep run. `None` fields encode ∞:
+/// the diameter is `None` unless the digraph is strongly connected,
+/// the radius is `None` when no vertex reaches every other.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DirSumSweepResult {
+    /// `max d(u, v)` over all ordered pairs; `None` = infinite (the
+    /// digraph is not strongly connected).
+    pub diameter: Option<u32>,
+    /// `min eccF` over the radial set; `None` = infinite (no vertex
+    /// reaches every other).
+    pub radius: Option<u32>,
+    /// An endpoint of a diametral path: the source if its forward
+    /// eccentricity equals the diameter, otherwise the target (its
+    /// backward eccentricity does).
+    pub diametral_vertex: Option<VertexId>,
+    /// A vertex realizing the radius (always in the radial set).
+    pub central_vertex: Option<VertexId>,
+    /// BFS traversals performed (each sweep counts 2: one per side).
+    pub bfs_calls: usize,
+    /// Whether the digraph is strongly connected.
+    pub strongly_connected: bool,
+    /// Number of strongly connected components.
+    pub num_sccs: usize,
+}
+
+/// Heuristic SumSweep iterations before the exact phase — same budget
+/// as the undirected driver.
+const SUM_SWEEP_ITERATIONS: usize = 4;
+
+/// Computes the exact directed diameter and radius.
+///
+/// Returns `None` for the empty graph.
+pub fn directed_sum_sweep(g: &DiGraph) -> Option<DirSumSweepResult> {
+    driver(g, None, None, None).expect("no cancel token")
+}
+
+/// [`directed_sum_sweep`] polling `cancel` before every sweep. Each
+/// sweep is two serial traversals, so a request stops within one
+/// O(n + m) unit of work of its deadline.
+pub fn directed_sum_sweep_cancellable(
+    g: &DiGraph,
+    cancel: &CancelToken,
+) -> Result<Option<DirSumSweepResult>, Cancelled> {
+    driver(g, None, Some(cancel), None)
+}
+
+/// [`directed_sum_sweep`] publishing the run lifecycle to `obs`.
+///
+/// Strongly connected runs converge like the undirected driver: `lb` =
+/// best resolved eccentricity on either side, `ub` = the certification
+/// criterion `min(max open forward upper, max open backward upper)`
+/// capped at the trivial `n − 1`. A non-strongly-connected run
+/// publishes an immediate `scc`-phase snapshot with the sentinel
+/// bounds `(0, 0)` — the diameter is certified infinite the moment
+/// Tarjan finishes — and keeps that sentinel through the radius-only
+/// sweeps, so registries still see monotone convergence and a final
+/// zero-gap snapshot. A cancelled run emits no `run_end`, mirroring
+/// every other driver; the empty graph emits a balanced
+/// `run_start`/`run_end` pair around the `None` return.
+pub fn directed_sum_sweep_observed(
+    g: &DiGraph,
+    run: RunId,
+    obs: &dyn Observer,
+    cancel: Option<&CancelToken>,
+) -> Result<Option<DirSumSweepResult>, Cancelled> {
+    let watch = SweepObs::start_counts(run, obs, "sum-sweep-dir", g.num_vertices(), g.num_arcs());
+    let r = driver(g, None, cancel, Some(&watch))?;
+    end_observed(&watch, &r);
+    Ok(r)
+}
+
+/// [`directed_sum_sweep`] with the bit-parallel batched engine: up to
+/// `batch` (≤ 64) exact-phase candidates share one
+/// [`bp64_distances_directed`] traversal **per side** per round (the
+/// heuristic phase stays serial — it is sequentially adaptive). Lanes
+/// are applied sequentially in selection order, so `batch == 1`
+/// reproduces the serial driver sweep for sweep.
+pub fn directed_sum_sweep_batched(g: &DiGraph, batch: usize) -> Option<DirSumSweepResult> {
+    driver(g, Some(batch), None, None).expect("no cancel token")
+}
+
+/// [`directed_sum_sweep_batched`] with cancellation (polled at level
+/// barriers inside the shared traversals) and run-lifecycle
+/// observation — one bounds snapshot per lane, preserving the
+/// per-sweep publication contract.
+pub fn directed_sum_sweep_batched_observed(
+    g: &DiGraph,
+    batch: usize,
+    run: RunId,
+    obs: &dyn Observer,
+    cancel: Option<&CancelToken>,
+) -> Result<Option<DirSumSweepResult>, Cancelled> {
+    let watch = SweepObs::start_counts(
+        run,
+        obs,
+        "sum-sweep-dir-bp64",
+        g.num_vertices(),
+        g.num_arcs(),
+    );
+    let r = driver(g, Some(batch), cancel, Some(&watch))?;
+    end_observed(&watch, &r);
+    Ok(r)
+}
+
+fn end_observed(watch: &SweepObs<'_>, r: &Option<DirSumSweepResult>) {
+    match r {
+        Some(r) => watch.end(
+            "done",
+            r.bfs_calls as u64,
+            r.diameter.unwrap_or(0),
+            r.strongly_connected,
+        ),
+        None => watch.end("done", 0, 0, false),
+    }
+}
+
+/// Per-vertex bound state for both eccentricity families. On
+/// non-strongly-connected inputs only the forward family over the
+/// radial set is tracked (`in_radial` masks the rest; the backward
+/// family is unused).
+struct DirBounds {
+    low_f: Vec<u32>,
+    upp_f: Vec<u32>,
+    ecc_f: Vec<Option<u32>>,
+    low_b: Vec<u32>,
+    upp_b: Vec<u32>,
+    ecc_b: Vec<Option<u32>>,
+    /// `ΣdF + ΣdB` over finished sweeps, while forward-unresolved —
+    /// the SumSweep periphery-diversity score.
+    sum_dist: Vec<u64>,
+    in_radial: Vec<bool>,
+    sc: bool,
+}
+
+impl DirBounds {
+    fn new(n: usize, sc: bool, in_radial: Vec<bool>) -> Self {
+        DirBounds {
+            low_f: vec![0; n],
+            upp_f: vec![u32::MAX; n],
+            ecc_f: vec![None; n],
+            low_b: vec![0; n],
+            upp_b: vec![u32::MAX; n],
+            ecc_b: vec![None; n],
+            sum_dist: vec![0; n],
+            in_radial,
+            sc,
+        }
+    }
+
+    /// Folds one finished sweep (both sides) into the bound state.
+    fn apply_sweep(
+        &mut self,
+        s: usize,
+        ecc_fwd: u32,
+        ecc_bwd: u32,
+        dist_f: &[u32],
+        dist_b: &[u32],
+    ) {
+        self.ecc_f[s] = Some(ecc_fwd);
+        self.low_f[s] = ecc_fwd;
+        self.upp_f[s] = ecc_fwd;
+        if self.sc {
+            self.ecc_b[s] = Some(ecc_bwd);
+            self.low_b[s] = ecc_bwd;
+            self.upp_b[s] = ecc_bwd;
+        }
+        for w in 0..dist_f.len() {
+            if w == s || (!self.sc && !self.in_radial[w]) {
+                continue;
+            }
+            // Strong connectivity (or shared membership in the radial
+            // SCC plus the source reaching everything) keeps both
+            // distances finite exactly where they are used.
+            let df = dist_f[w];
+            let db = dist_b[w];
+            debug_assert!(df != UNREACHABLE && db != UNREACHABLE);
+            if self.ecc_f[w].is_none() {
+                self.sum_dist[w] += df as u64 + db as u64;
+                self.low_f[w] = self.low_f[w].max(db).max(ecc_fwd.saturating_sub(df));
+                self.upp_f[w] = self.upp_f[w].min(db + ecc_fwd);
+                if self.low_f[w] == self.upp_f[w] {
+                    self.ecc_f[w] = Some(self.low_f[w]);
+                }
+            }
+            if self.sc && self.ecc_b[w].is_none() {
+                self.low_b[w] = self.low_b[w].max(df).max(ecc_bwd.saturating_sub(db));
+                self.upp_b[w] = self.upp_b[w].min(df + ecc_bwd);
+                if self.low_b[w] == self.upp_b[w] {
+                    self.ecc_b[w] = Some(self.low_b[w]);
+                }
+            }
+        }
+    }
+
+    /// Best proven diameter lower bound: the largest resolved
+    /// eccentricity of either family.
+    fn diameter_lb(&self) -> u32 {
+        let f = self.ecc_f.iter().flatten().copied().max().unwrap_or(0);
+        let b = self.ecc_b.iter().flatten().copied().max().unwrap_or(0);
+        f.max(b)
+    }
+
+    /// Best proven radius upper bound: the smallest resolved forward
+    /// eccentricity over the radial set.
+    fn radius_ub(&self) -> u32 {
+        (0..self.ecc_f.len())
+            .filter(|&v| self.in_radial[v])
+            .filter_map(|v| self.ecc_f[v])
+            .min()
+            .unwrap_or(u32::MAX)
+    }
+
+    /// Is the forward (resp. backward) family still diameter-open —
+    /// some unresolved vertex whose upper bound exceeds `d_lb`?
+    fn family_open(&self, d_lb: u32, family: SweepDirection) -> bool {
+        let (ecc, upp) = match family {
+            SweepDirection::Forward => (&self.ecc_f, &self.upp_f),
+            SweepDirection::Backward => (&self.ecc_b, &self.upp_b),
+        };
+        ecc.iter().zip(upp).any(|(e, &u)| e.is_none() && u > d_lb)
+    }
+
+    /// The diameter stays open only while **both** families do.
+    fn diameter_open(&self, d_lb: u32) -> bool {
+        self.sc
+            && self.family_open(d_lb, SweepDirection::Forward)
+            && self.family_open(d_lb, SweepDirection::Backward)
+    }
+
+    /// Diameter-turn candidate: loosest forward upper bound, falling
+    /// back to the backward family when every open forward vertex is
+    /// already drawn this round.
+    fn pick_diameter(&self, d_lb: u32, drawn: &[bool]) -> Option<usize> {
+        let n = self.ecc_f.len();
+        (0..n)
+            .filter(|&v| !drawn[v] && self.ecc_f[v].is_none() && self.upp_f[v] > d_lb)
+            .max_by_key(|&v| self.upp_f[v])
+            .or_else(|| {
+                (0..n)
+                    .filter(|&v| !drawn[v] && self.ecc_b[v].is_none() && self.upp_b[v] > d_lb)
+                    .max_by_key(|&v| self.upp_b[v])
+            })
+    }
+
+    /// Radius-turn candidate: smallest forward lower bound over the
+    /// still-open radial vertices.
+    fn pick_radius(&self, r_ub: u32, drawn: &[bool]) -> Option<usize> {
+        (0..self.ecc_f.len())
+            .filter(|&v| {
+                !drawn[v] && self.in_radial[v] && self.ecc_f[v].is_none() && self.low_f[v] < r_ub
+            })
+            .min_by_key(|&v| self.low_f[v])
+    }
+}
+
+/// Publish the current diameter bounds after one sweep. Strongly
+/// connected: `lb` = best resolved eccentricity, `ub` = the
+/// either-family certification criterion. Otherwise the `(0, 0)` ∞
+/// sentinel with the count of still-open radial vertices.
+fn publish_state(watch: &SweepObs<'_>, phase: &'static str, bfs_calls: usize, st: &DirBounds) {
+    let n = st.ecc_f.len();
+    if !st.sc {
+        let remaining = (0..n)
+            .filter(|&v| st.in_radial[v] && st.ecc_f[v].is_none())
+            .count();
+        watch.publish(phase, bfs_calls as u64, 0, 0, remaining);
+        return;
+    }
+    let d_lb = st.diameter_lb();
+    let (mut ub_f, mut ub_b) = (d_lb, d_lb);
+    let mut remaining = 0usize;
+    for v in 0..n {
+        let open_f = st.ecc_f[v].is_none();
+        let open_b = st.ecc_b[v].is_none();
+        if open_f {
+            ub_f = ub_f.max(st.upp_f[v]);
+        }
+        if open_b {
+            ub_b = ub_b.max(st.upp_b[v]);
+        }
+        if open_f || open_b {
+            remaining += 1;
+        }
+    }
+    watch.publish(
+        phase,
+        bfs_calls as u64,
+        d_lb,
+        ub_f.min(ub_b).min(trivial_ub(n)),
+        remaining,
+    );
+}
+
+/// Shared driver. `batch = None` runs the serial kernels one sweep per
+/// round; `batch = Some(k)` draws up to `k` exact-phase candidates per
+/// round and answers them with two shared bit-parallel traversals.
+fn driver(
+    g: &DiGraph,
+    batch: Option<usize>,
+    cancel: Option<&CancelToken>,
+    watch: Option<&SweepObs<'_>>,
+) -> Result<Option<DirSumSweepResult>, Cancelled> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Ok(None);
+    }
+    let scc = StronglyConnectedComponents::compute(g);
+    let num_sccs = scc.num_components();
+    let sc = scc.is_strongly_connected();
+    let radial = radial_vertices(g, &scc);
+    let mut in_radial = vec![false; n];
+    for &v in &radial {
+        in_radial[v as usize] = true;
+    }
+    let mut st = DirBounds::new(n, sc, in_radial);
+    if !sc {
+        // Tarjan already certified the diameter infinite.
+        if let Some(w) = watch {
+            publish_state(w, "scc", 0, &st);
+        }
+    }
+
+    let mut bfs_calls = 0usize;
+    let mut dist_f = Vec::new();
+    let mut dist_b = Vec::new();
+
+    // One full sweep with the serial kernels: forward + backward BFS.
+    let serial_sweep = |s: VertexId,
+                        st: &mut DirBounds,
+                        bfs_calls: &mut usize,
+                        dist_f: &mut Vec<u32>,
+                        dist_b: &mut Vec<u32>|
+     -> Result<(), Cancelled> {
+        if cancel.is_some_and(|t| t.is_cancelled()) {
+            return Err(Cancelled);
+        }
+        let ef = bfs_distances_directed(g, s, SweepDirection::Forward, dist_f);
+        let eb = bfs_distances_directed(g, s, SweepDirection::Backward, dist_b);
+        *bfs_calls += 2;
+        st.apply_sweep(s as usize, ef, eb, dist_f, dist_b);
+        Ok(())
+    };
+
+    // --- Heuristic phase: SumSweep, always serial (each sweep's
+    // distance sums pick the next source). Starts from the
+    // largest-out-degree radial vertex; skipped entirely when the
+    // radial set is empty (nothing left to certify).
+    let start = radial
+        .iter()
+        .copied()
+        .max_by_key(|&v| (g.out_degree(v), std::cmp::Reverse(v)));
+    if let Some(s0) = start {
+        serial_sweep(s0, &mut st, &mut bfs_calls, &mut dist_f, &mut dist_b)?;
+        if let Some(w) = watch {
+            publish_state(w, "sum_sweep", bfs_calls, &st);
+        }
+        for _ in 1..SUM_SWEEP_ITERATIONS {
+            let Some(v) = (0..n)
+                .filter(|&v| st.in_radial[v] && st.ecc_f[v].is_none())
+                .max_by_key(|&v| st.sum_dist[v])
+            else {
+                break;
+            };
+            serial_sweep(
+                v as VertexId,
+                &mut st,
+                &mut bfs_calls,
+                &mut dist_f,
+                &mut dist_b,
+            )?;
+            if let Some(w) = watch {
+                publish_state(w, "sum_sweep", bfs_calls, &st);
+            }
+        }
+    }
+
+    // --- Exact phase: alternate diameter and radius turns until both
+    // certificates close.
+    let lanes = batch.map(|b| b.clamp(1, MAX_LANES)).unwrap_or(1);
+    let mut scratch = batch.map(|_| BfsScratch::new(n));
+    let mut candidates: Vec<VertexId> = Vec::with_capacity(lanes);
+    let mut drawn = vec![false; n];
+    let mut turn_diameter = true;
+    loop {
+        let d_lb = st.diameter_lb();
+        let r_ub = st.radius_ub();
+        let diameter_open = st.diameter_open(d_lb);
+        for &v in &candidates {
+            drawn[v as usize] = false;
+        }
+        candidates.clear();
+        while candidates.len() < lanes {
+            let dia = if diameter_open {
+                st.pick_diameter(d_lb, &drawn)
+            } else {
+                None
+            };
+            let rad = st.pick_radius(r_ub, &drawn);
+            let v = match (turn_diameter, dia, rad) {
+                (true, Some(v), _) | (false, Some(v), None) => v,
+                (false, _, Some(v)) | (true, None, Some(v)) => v,
+                (_, None, None) => break,
+            };
+            turn_diameter = !turn_diameter;
+            drawn[v] = true;
+            candidates.push(v as VertexId);
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        match scratch.as_mut() {
+            None => {
+                serial_sweep(
+                    candidates[0],
+                    &mut st,
+                    &mut bfs_calls,
+                    &mut dist_f,
+                    &mut dist_b,
+                )?;
+                if let Some(w) = watch {
+                    publish_state(w, "exact", bfs_calls, &st);
+                }
+            }
+            Some(scratch) => {
+                if cancel.is_some_and(|t| t.is_cancelled()) {
+                    return Err(Cancelled);
+                }
+                let (sum_f, sum_b) = match cancel {
+                    Some(token) => (
+                        bp64_distances_cancellable(
+                            g.forward(),
+                            &candidates,
+                            scratch,
+                            &mut dist_f,
+                            token,
+                        )
+                        .ok_or(Cancelled)?,
+                        bp64_distances_cancellable(
+                            g.transpose(),
+                            &candidates,
+                            scratch,
+                            &mut dist_b,
+                            token,
+                        )
+                        .ok_or(Cancelled)?,
+                    ),
+                    None => (
+                        bp64_distances_directed(
+                            g,
+                            &candidates,
+                            SweepDirection::Forward,
+                            scratch,
+                            &mut dist_f,
+                        ),
+                        bp64_distances_directed(
+                            g,
+                            &candidates,
+                            SweepDirection::Backward,
+                            scratch,
+                            &mut dist_b,
+                        ),
+                    ),
+                };
+                for (k, &v) in candidates.iter().enumerate() {
+                    bfs_calls += 2;
+                    st.apply_sweep(
+                        v as usize,
+                        sum_f.ecc[k],
+                        sum_b.ecc[k],
+                        &dist_f[k * n..(k + 1) * n],
+                        &dist_b[k * n..(k + 1) * n],
+                    );
+                    if let Some(w) = watch {
+                        publish_state(w, "exact", bfs_calls, &st);
+                    }
+                }
+            }
+        }
+    }
+
+    // Termination certified: on a strongly connected input one family
+    // has every open upper bound ≤ the best resolved eccentricity, and
+    // every open radial vertex has `low_f ≥ r_ub` — so the resolved
+    // extremes are exact.
+    let mut diameter = 0u32;
+    let mut diametral: Option<VertexId> = None;
+    let mut radius = u32::MAX;
+    let mut central: Option<VertexId> = None;
+    for v in 0..n {
+        if let Some(e) = st.ecc_f[v] {
+            if diametral.is_none() || e > diameter {
+                diameter = e;
+                diametral = Some(v as VertexId);
+            }
+            if st.in_radial[v] && (central.is_none() || e < radius) {
+                radius = e;
+                central = Some(v as VertexId);
+            }
+        }
+        if let Some(e) = st.ecc_b[v] {
+            if diametral.is_none() || e > diameter {
+                diameter = e;
+                diametral = Some(v as VertexId);
+            }
+        }
+    }
+
+    Ok(Some(DirSumSweepResult {
+        diameter: sc.then_some(diameter),
+        radius: central.map(|_| radius),
+        diametral_vertex: if sc { diametral } else { None },
+        central_vertex: central,
+        bfs_calls,
+        strongly_connected: sc,
+        num_sccs,
+    }))
+}
+
+/// Both eccentricity families of every vertex, by 64-lane bit-parallel
+/// BFS over each side of the digraph (`2 · ⌈n / 64⌉` traversals).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DirectedEccentricities {
+    /// `forward[v] = eccF(v)`; `None` = infinite (`v` does not reach
+    /// every vertex).
+    pub forward: Vec<Option<u32>>,
+    /// `backward[v] = eccB(v)`; `None` = infinite (not every vertex
+    /// reaches `v`).
+    pub backward: Vec<Option<u32>>,
+    /// Logical BFS traversals performed (one per vertex per side).
+    pub bfs_calls: usize,
+}
+
+/// Computes every forward and backward eccentricity exactly.
+pub fn directed_eccentricities(g: &DiGraph) -> DirectedEccentricities {
+    let n = g.num_vertices();
+    let mut r = DirectedEccentricities {
+        forward: vec![None; n],
+        backward: vec![None; n],
+        bfs_calls: 0,
+    };
+    if n == 0 {
+        return r;
+    }
+    let mut scratch = BfsScratch::new(n);
+    let mut dist = Vec::new();
+    for direction in [SweepDirection::Forward, SweepDirection::Backward] {
+        let out = match direction {
+            SweepDirection::Forward => &mut r.forward,
+            SweepDirection::Backward => &mut r.backward,
+        };
+        let mut lo = 0usize;
+        while lo < n {
+            let hi = (lo + MAX_LANES).min(n);
+            let sources: Vec<VertexId> = (lo as u32..hi as u32).collect();
+            let summary = bp64_distances_directed(g, &sources, direction, &mut scratch, &mut dist);
+            for (k, &v) in sources.iter().enumerate() {
+                r.bfs_calls += 1;
+                if summary.visited[k] as usize == n {
+                    out[v as usize] = Some(summary.ecc[k]);
+                }
+            }
+            lo = hi;
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdiam_graph::generators;
+    use fdiam_graph::transform::orient;
+    use fdiam_graph::EdgeList;
+    use fdiam_obs::{BoundsSnapshot, Event, Observer, RunId};
+    use std::sync::Mutex;
+
+    fn digraph(n: usize, arcs: &[(u32, u32)]) -> DiGraph {
+        let mut el = EdgeList::new(n);
+        for &(u, v) in arcs {
+            el.push(u, v);
+        }
+        DiGraph::from_edge_list(&el)
+    }
+
+    /// A strongly connected random digraph: a Hamiltonian cycle plus a
+    /// sparsely bidirectional orientation of a random graph.
+    fn sc_fixture(n: usize, seed: u64) -> DiGraph {
+        let base = orient(&generators::erdos_renyi_gnm(n, 2 * n, seed), 20, seed);
+        let mut el = EdgeList::new(n);
+        for u in base.vertices() {
+            for &v in base.out_neighbors(u) {
+                el.push(u, v);
+            }
+        }
+        for v in 0..n as u32 {
+            el.push(v, (v + 1) % n as u32);
+        }
+        DiGraph::from_edge_list(&el)
+    }
+
+    /// Quadratic oracle: per-vertex forward/backward eccentricities
+    /// with `None` = infinite.
+    fn naive(g: &DiGraph) -> (Vec<Option<u32>>, Vec<Option<u32>>) {
+        let n = g.num_vertices();
+        let mut dist = Vec::new();
+        let per_side = |dir: SweepDirection, dist: &mut Vec<u32>| {
+            (0..n as u32)
+                .map(|s| {
+                    let e = bfs_distances_directed(g, s, dir, dist);
+                    dist.iter().all(|&d| d != UNREACHABLE).then_some(e)
+                })
+                .collect::<Vec<_>>()
+        };
+        let fwd = per_side(SweepDirection::Forward, &mut dist);
+        let bwd = per_side(SweepDirection::Backward, &mut dist);
+        (fwd, bwd)
+    }
+
+    fn check(g: &DiGraph) {
+        let (fwd, bwd) = naive(g);
+        let n = g.num_vertices();
+        let expect_d = if n > 0 && fwd.iter().all(|e| e.is_some()) {
+            fwd.iter().flatten().copied().max()
+        } else {
+            None
+        };
+        let expect_r = fwd.iter().flatten().copied().min();
+        let serial = directed_sum_sweep(g).unwrap();
+        assert_eq!(serial.diameter, expect_d, "diameter on n={n}");
+        assert_eq!(serial.radius, expect_r, "radius on n={n}");
+        assert_eq!(serial.strongly_connected, expect_d.is_some());
+        if let (Some(d), Some(v)) = (serial.diameter, serial.diametral_vertex) {
+            let vi = v as usize;
+            assert!(
+                fwd[vi] == Some(d) || bwd[vi] == Some(d),
+                "diametral certificate"
+            );
+        }
+        if let (Some(r), Some(v)) = (serial.radius, serial.central_vertex) {
+            assert_eq!(fwd[v as usize], Some(r), "central certificate");
+        }
+        assert_eq!(serial.radius.is_some(), serial.central_vertex.is_some());
+        for batch in [1, 4, 64] {
+            let b = directed_sum_sweep_batched(g, batch).unwrap();
+            assert_eq!(b.diameter, expect_d, "batch={batch}");
+            assert_eq!(b.radius, expect_r, "batch={batch}");
+        }
+    }
+
+    #[test]
+    fn small_shapes() {
+        // Directed cycle: diameter = radius = n − 1.
+        let c5 = digraph(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let r = directed_sum_sweep(&c5).unwrap();
+        assert_eq!(r.diameter, Some(4));
+        assert_eq!(r.radius, Some(4));
+        check(&c5);
+
+        // Two 2-cycles bridged 1 → 2: not SC, radius from vertex 1.
+        let bridged = digraph(4, &[(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)]);
+        let r = directed_sum_sweep(&bridged).unwrap();
+        assert_eq!(r.diameter, None);
+        assert_eq!(r.radius, Some(2));
+        assert_eq!(r.central_vertex, Some(1));
+        assert_eq!(r.num_sccs, 2);
+        check(&bridged);
+
+        // DAG path: only the head reaches everything.
+        let p = digraph(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let r = directed_sum_sweep(&p).unwrap();
+        assert_eq!((r.diameter, r.radius), (None, Some(4)));
+        assert_eq!(r.central_vertex, Some(0));
+        check(&p);
+
+        // Two sources: both certificates infinite, zero sweeps.
+        let two = digraph(3, &[(0, 2), (1, 2)]);
+        let r = directed_sum_sweep(&two).unwrap();
+        assert_eq!((r.diameter, r.radius), (None, None));
+        assert_eq!(r.bfs_calls, 0);
+        check(&two);
+
+        // Singleton.
+        let r = directed_sum_sweep(&DiGraph::empty(1)).unwrap();
+        assert_eq!((r.diameter, r.radius), (Some(0), Some(0)));
+        check(&DiGraph::empty(1));
+    }
+
+    #[test]
+    fn empty_graph_is_none() {
+        assert!(directed_sum_sweep(&DiGraph::empty(0)).is_none());
+        assert!(directed_sum_sweep_batched(&DiGraph::empty(0), 8).is_none());
+    }
+
+    #[test]
+    fn strongly_connected_random_digraphs() {
+        for seed in 0..4 {
+            let g = sc_fixture(60, seed);
+            assert!(directed_sum_sweep(&g).unwrap().strongly_connected);
+            check(&g);
+        }
+    }
+
+    #[test]
+    fn non_strongly_connected_random_digraphs() {
+        for seed in 0..4 {
+            check(&orient(
+                &generators::erdos_renyi_gnm(70, 140, seed),
+                30,
+                seed,
+            ));
+            check(&orient(&generators::barabasi_albert(60, 2, seed), 50, seed));
+        }
+    }
+
+    #[test]
+    fn bidirectional_orientation_matches_the_undirected_driver() {
+        for seed in 0..3 {
+            let und = generators::barabasi_albert(80, 3, seed);
+            let dir = directed_sum_sweep(&orient(&und, 100, seed)).unwrap();
+            let u = crate::sum_sweep::exact_sum_sweep(&und).unwrap();
+            assert_eq!(dir.diameter, Some(u.diameter));
+            assert_eq!(dir.radius, Some(u.radius));
+        }
+    }
+
+    #[test]
+    fn batch_of_one_matches_the_serial_driver_exactly() {
+        for seed in 0..3 {
+            let g = sc_fixture(80, seed);
+            assert_eq!(
+                directed_sum_sweep_batched(&g, 1).unwrap(),
+                directed_sum_sweep(&g).unwrap()
+            );
+            let h = orient(&generators::erdos_renyi_gnm(80, 160, seed), 25, seed);
+            assert_eq!(
+                directed_sum_sweep_batched(&h, 1).unwrap(),
+                directed_sum_sweep(&h).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn certifies_without_resolving_everything() {
+        let g = sc_fixture(600, 1);
+        let r = directed_sum_sweep(&g).unwrap();
+        assert!(
+            r.bfs_calls < g.num_vertices(),
+            "{} BFS on n = {}",
+            r.bfs_calls,
+            g.num_vertices()
+        );
+    }
+
+    #[derive(Default)]
+    struct Tap {
+        names: Mutex<Vec<&'static str>>,
+        snaps: Mutex<Vec<BoundsSnapshot>>,
+    }
+    impl Observer for Tap {
+        fn event(&self, e: &Event<'_>) {
+            self.names.lock().unwrap().push(e.name());
+            if let Event::BoundsUpdate { snapshot } = e {
+                self.snaps.lock().unwrap().push(*snapshot);
+            }
+        }
+        fn wants_bfs_detail(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn observed_variant_matches_and_converges() {
+        for g in [
+            sc_fixture(70, 2),
+            orient(&generators::erdos_renyi_gnm(60, 120, 5), 30, 5),
+            digraph(3, &[(0, 2), (1, 2)]),
+        ] {
+            let tap = Tap::default();
+            let plain = directed_sum_sweep(&g).unwrap();
+            let obs = directed_sum_sweep_observed(&g, RunId::fresh(), &tap, None)
+                .unwrap()
+                .unwrap();
+            assert_eq!(obs, plain);
+            let names = tap.names.lock().unwrap();
+            assert_eq!(names.first(), Some(&"run_start"));
+            assert_eq!(names.last(), Some(&"run_end"));
+            let snaps = tap.snaps.lock().unwrap();
+            for pair in snaps.windows(2) {
+                assert!(pair[1].lb >= pair[0].lb, "{pair:?}");
+                assert!(pair[1].ub <= pair[0].ub, "{pair:?}");
+                assert!(pair[1].bfs_count >= pair[0].bfs_count, "{pair:?}");
+            }
+            let last = snaps.last().unwrap();
+            let sentinel = plain.diameter.unwrap_or(0);
+            assert_eq!((last.lb, last.ub), (sentinel, sentinel));
+            assert_eq!(last.vertices_remaining, 0);
+        }
+    }
+
+    #[test]
+    fn observed_batched_converges_monotonically() {
+        let g = sc_fixture(80, 6);
+        let tap = Tap::default();
+        let r = directed_sum_sweep_batched_observed(&g, 8, RunId::fresh(), &tap, None)
+            .unwrap()
+            .unwrap();
+        assert_eq!(r, directed_sum_sweep_batched(&g, 8).unwrap());
+        let names = tap.names.lock().unwrap();
+        assert_eq!(names.first(), Some(&"run_start"));
+        assert_eq!(names.last(), Some(&"run_end"));
+        let snaps = tap.snaps.lock().unwrap();
+        // one snapshot per sweep (2 BFS each) plus the final zero-gap
+        // snapshot from run_end
+        assert_eq!(snaps.len(), r.bfs_calls / 2 + 1);
+        for pair in snaps.windows(2) {
+            assert!(pair[1].lb >= pair[0].lb, "{pair:?}");
+            assert!(pair[1].ub <= pair[0].ub, "{pair:?}");
+        }
+    }
+
+    #[test]
+    fn observed_empty_graph_balances_lifecycle() {
+        let tap = Tap::default();
+        assert!(
+            directed_sum_sweep_observed(&DiGraph::empty(0), RunId::fresh(), &tap, None)
+                .unwrap()
+                .is_none()
+        );
+        assert_eq!(
+            *tap.names.lock().unwrap(),
+            vec!["run_start", "bounds_update", "run_end"]
+        );
+    }
+
+    #[test]
+    fn non_sc_observed_publishes_the_infinite_sentinel() {
+        let g = digraph(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let tap = Tap::default();
+        directed_sum_sweep_observed(&g, RunId::fresh(), &tap, None).unwrap();
+        let snaps = tap.snaps.lock().unwrap();
+        assert!(!snaps.is_empty());
+        assert!(snaps.iter().all(|s| s.lb == 0 && s.ub == 0));
+        assert_eq!(snaps.first().unwrap().phase, "scc");
+    }
+
+    #[test]
+    fn cancellable_with_live_token_matches_uncancelled() {
+        let g = sc_fixture(60, 7);
+        let token = CancelToken::new();
+        let a = directed_sum_sweep(&g).unwrap();
+        let b = directed_sum_sweep_cancellable(&g, &token)
+            .expect("live token")
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn expired_token_stops_before_the_first_sweep() {
+        let g = sc_fixture(50, 8);
+        let token = CancelToken::with_deadline(std::time::Duration::ZERO);
+        assert_eq!(
+            directed_sum_sweep_cancellable(&g, &token).err(),
+            Some(Cancelled)
+        );
+        let tap = Tap::default();
+        assert_eq!(
+            directed_sum_sweep_batched_observed(&g, 8, RunId::fresh(), &tap, Some(&token)).err(),
+            Some(Cancelled)
+        );
+        // cancelled runs leave no run_end
+        assert!(!tap.names.lock().unwrap().contains(&"run_end"));
+    }
+
+    #[test]
+    fn directed_eccentricities_match_the_oracle() {
+        for g in [
+            sc_fixture(70, 9),
+            orient(&generators::erdos_renyi_gnm(90, 180, 10), 30, 10),
+            digraph(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]),
+            DiGraph::empty(3),
+            DiGraph::empty(0),
+        ] {
+            let (fwd, bwd) = naive(&g);
+            let r = directed_eccentricities(&g);
+            assert_eq!(r.forward, fwd);
+            assert_eq!(r.backward, bwd);
+            assert_eq!(r.bfs_calls, 2 * g.num_vertices());
+        }
+    }
+}

@@ -12,6 +12,13 @@
 //!   radius-and-diameter tool the F-Diam paper's lineage is usually
 //!   compared against: alternating farthest/closest sweeps that certify
 //!   the diameter *and* the radius.
+//! * [`scc`] — Tarjan strongly connected components and the
+//!   condensation DAG, the reachability substrate of directed mode.
+//! * [`dir_sum_sweep`] — the **directed** ExactSumSweep: forward and
+//!   backward eccentricity bounds from paired forward/transpose BFS
+//!   sweeps, diameter certified when either family closes, radius
+//!   certified over the condensation's unique source SCC. Infinite
+//!   values (non-strongly-connected inputs) are first-class `None`s.
 //! * Convenience wrappers: [`radius`], [`center`], [`periphery`],
 //!   [`eccentricities`].
 //!
@@ -29,13 +36,21 @@
 //! codes with the same tooling.
 
 pub mod bounding_ecc;
+pub mod dir_sum_sweep;
 mod observe;
+pub mod scc;
 pub mod sum_sweep;
 
 pub use bounding_ecc::{
     bounding_eccentricities_batched, bounding_eccentricities_batched_observed,
     bounding_eccentricities_observed,
 };
+pub use dir_sum_sweep::{
+    directed_eccentricities, directed_sum_sweep, directed_sum_sweep_batched,
+    directed_sum_sweep_batched_observed, directed_sum_sweep_cancellable,
+    directed_sum_sweep_observed, DirSumSweepResult, DirectedEccentricities,
+};
+pub use scc::{condensation, radial_vertices, StronglyConnectedComponents};
 pub use sum_sweep::{
     exact_sum_sweep_batched, exact_sum_sweep_batched_observed, exact_sum_sweep_observed,
 };

@@ -20,10 +20,28 @@ pub(crate) struct SweepObs<'a> {
 impl<'a> SweepObs<'a> {
     /// Emits `run_start` and starts the elapsed clock.
     pub fn start(run: RunId, obs: &'a dyn Observer, algorithm: &'static str, g: &CsrGraph) -> Self {
+        Self::start_counts(
+            run,
+            obs,
+            algorithm,
+            g.num_vertices(),
+            g.num_undirected_edges(),
+        )
+    }
+
+    /// [`SweepObs::start`] from raw counts — for directed drivers,
+    /// where `m` is the arc count rather than half the CSR arcs.
+    pub fn start_counts(
+        run: RunId,
+        obs: &'a dyn Observer,
+        algorithm: &'static str,
+        n: usize,
+        m: usize,
+    ) -> Self {
         obs.event(&Event::RunStart {
             algorithm,
-            n: g.num_vertices(),
-            m: g.num_undirected_edges(),
+            n,
+            m,
             run,
         });
         SweepObs {

@@ -1,0 +1,315 @@
+//! Strongly connected components (Tarjan) and the condensation DAG.
+//!
+//! The directed diameter is finite iff the digraph is strongly
+//! connected, and the directed radius is finite iff some vertex reaches
+//! every other — which happens exactly when the condensation (the DAG
+//! of SCCs) has a **unique source** component: in a finite DAG every
+//! node is reachable from some source by walking in-edges backwards, so
+//! a lone source reaches everything, while with two sources neither can
+//! reach the other. [`radial_vertices`] returns that source component's
+//! members; the directed SumSweep restricts its radius certification to
+//! them.
+//!
+//! The API mirrors [`fdiam_graph::ConnectedComponents`]: labels are
+//! compacted to `0..k` by first occurrence in vertex-id order, so the
+//! partition is deterministic and comparable against any reference
+//! implementation after the same normalization.
+
+use fdiam_graph::{DiGraph, EdgeList, VertexId};
+
+/// SCC labelling of a digraph.
+#[derive(Clone, Debug)]
+pub struct StronglyConnectedComponents {
+    /// `comp[v]` = component id of `v`, compacted to `0..k` by first
+    /// occurrence in vertex-id order.
+    comp: Vec<u32>,
+    /// `sizes[c]` = number of vertices in component `c`.
+    sizes: Vec<usize>,
+}
+
+impl StronglyConnectedComponents {
+    /// Tarjan's algorithm, iterative (explicit DFS stack — recursion
+    /// would overflow on path-shaped digraphs long before the paper's
+    /// graph sizes).
+    pub fn compute(g: &DiGraph) -> Self {
+        let n = g.num_vertices();
+        const UNSET: u32 = u32::MAX;
+        let mut index = vec![UNSET; n]; // DFS discovery order
+        let mut lowlink = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new(); // Tarjan's vertex stack
+        let mut comp = vec![UNSET; n];
+        let mut next_index = 0u32;
+        let mut num_raw = 0u32;
+        // Explicit DFS frames: (vertex, next out-neighbor offset).
+        let mut frames: Vec<(u32, usize)> = Vec::new();
+
+        for root in 0..n as u32 {
+            if index[root as usize] != UNSET {
+                continue;
+            }
+            frames.push((root, 0));
+            while let Some(&mut (v, ref mut cursor)) = frames.last_mut() {
+                let vi = v as usize;
+                if *cursor == 0 {
+                    index[vi] = next_index;
+                    lowlink[vi] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[vi] = true;
+                }
+                let nbrs = g.out_neighbors(v);
+                let mut descended = false;
+                while *cursor < nbrs.len() {
+                    let w = nbrs[*cursor] as usize;
+                    *cursor += 1;
+                    if index[w] == UNSET {
+                        frames.push((w as u32, 0));
+                        descended = true;
+                        break;
+                    } else if on_stack[w] {
+                        lowlink[vi] = lowlink[vi].min(index[w]);
+                    }
+                }
+                if descended {
+                    continue;
+                }
+                // v is finished: maybe a root of an SCC, then return.
+                if lowlink[vi] == index[vi] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack") as usize;
+                        on_stack[w] = false;
+                        comp[w] = num_raw;
+                        if w == vi {
+                            break;
+                        }
+                    }
+                    num_raw += 1;
+                }
+                frames.pop();
+                if let Some(&mut (p, _)) = frames.last_mut() {
+                    let pi = p as usize;
+                    lowlink[pi] = lowlink[pi].min(lowlink[vi]);
+                }
+            }
+        }
+
+        // Compact raw (reverse-topological) labels by first occurrence
+        // in vertex-id order — the same normalization ConnectedComponents
+        // uses, making partitions directly comparable.
+        let mut remap: Vec<u32> = vec![UNSET; num_raw as usize];
+        let mut sizes: Vec<usize> = Vec::new();
+        for label in comp.iter_mut() {
+            let slot = &mut remap[*label as usize];
+            if *slot == UNSET {
+                *slot = sizes.len() as u32;
+                sizes.push(0);
+            }
+            *label = *slot;
+            sizes[*label as usize] += 1;
+        }
+        Self { comp, sizes }
+    }
+
+    /// Number of strongly connected components.
+    pub fn num_components(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Component id of vertex `v`.
+    #[inline]
+    pub fn component_of(&self, v: VertexId) -> u32 {
+        self.comp[v as usize]
+    }
+
+    /// Sizes of all components, indexed by component id.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Id of the largest component (ties → lowest id).
+    pub fn largest_component(&self) -> Option<u32> {
+        (0..self.sizes.len() as u32).max_by_key(|&c| (self.sizes[c as usize], std::cmp::Reverse(c)))
+    }
+
+    /// True if the digraph is strongly connected (and non-empty).
+    pub fn is_strongly_connected(&self) -> bool {
+        self.num_components() == 1
+    }
+
+    /// Full labelling slice.
+    pub fn labels(&self) -> &[u32] {
+        &self.comp
+    }
+}
+
+/// The condensation: a DAG over component ids with one arc `c → c'`
+/// for every pair of components joined by at least one original arc
+/// (duplicates collapse in the builder).
+pub fn condensation(g: &DiGraph, scc: &StronglyConnectedComponents) -> DiGraph {
+    let k = scc.num_components();
+    let mut el = EdgeList::with_capacity(k, g.num_arcs());
+    for u in g.vertices() {
+        let cu = scc.component_of(u);
+        for &v in g.out_neighbors(u) {
+            let cv = scc.component_of(v);
+            if cu != cv {
+                el.push(cu, cv);
+            }
+        }
+    }
+    DiGraph::from_edge_list(&el)
+}
+
+/// The vertices whose forward eccentricity can be finite: members of
+/// the condensation's unique source component, or empty when no vertex
+/// reaches every other (≥ 2 sources, or an empty graph).
+pub fn radial_vertices(g: &DiGraph, scc: &StronglyConnectedComponents) -> Vec<VertexId> {
+    let k = scc.num_components();
+    if k == 0 {
+        return Vec::new();
+    }
+    if k == 1 {
+        return g.vertices().collect();
+    }
+    // A component is a source iff no incoming arc crosses into it.
+    let mut has_in = vec![false; k];
+    for u in g.vertices() {
+        let cu = scc.component_of(u);
+        for &v in g.out_neighbors(u) {
+            let cv = scc.component_of(v);
+            if cu != cv {
+                has_in[cv as usize] = true;
+            }
+        }
+    }
+    let mut sources = (0..k as u32).filter(|&c| !has_in[c as usize]);
+    let (Some(src), None) = (sources.next(), sources.next()) else {
+        return Vec::new(); // two or more sources: nobody reaches all
+    };
+    g.vertices()
+        .filter(|&v| scc.component_of(v) == src)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdiam_graph::transform::orient;
+    use fdiam_graph::{generators, EdgeList};
+
+    fn digraph(n: usize, arcs: &[(u32, u32)]) -> DiGraph {
+        let mut el = EdgeList::new(n);
+        for &(u, v) in arcs {
+            el.push(u, v);
+        }
+        DiGraph::from_edge_list(&el)
+    }
+
+    #[test]
+    fn cycle_is_one_component() {
+        let g = digraph(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let scc = StronglyConnectedComponents::compute(&g);
+        assert!(scc.is_strongly_connected());
+        assert_eq!(scc.sizes(), &[4]);
+        assert_eq!(radial_vertices(&g, &scc), vec![0, 1, 2, 3]);
+        let c = condensation(&g, &scc);
+        assert_eq!(c.num_vertices(), 1);
+        assert_eq!(c.num_arcs(), 0);
+    }
+
+    #[test]
+    fn two_cycles_with_a_bridge() {
+        // {0,1} ⇄, {2,3} ⇄, bridge 1 → 2
+        let g = digraph(4, &[(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)]);
+        let scc = StronglyConnectedComponents::compute(&g);
+        assert_eq!(scc.num_components(), 2);
+        assert_eq!(scc.component_of(0), scc.component_of(1));
+        assert_eq!(scc.component_of(2), scc.component_of(3));
+        assert_ne!(scc.component_of(0), scc.component_of(2));
+        // labels compact by first occurrence: vertex 0's comp is 0
+        assert_eq!(scc.component_of(0), 0);
+        let c = condensation(&g, &scc);
+        assert_eq!(c.num_vertices(), 2);
+        assert_eq!(c.num_arcs(), 1);
+        assert!(c.has_arc(0, 1));
+        // the {0,1} component is the unique source
+        assert_eq!(radial_vertices(&g, &scc), vec![0, 1]);
+    }
+
+    #[test]
+    fn dag_path_is_all_singletons() {
+        let g = digraph(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let scc = StronglyConnectedComponents::compute(&g);
+        assert_eq!(scc.num_components(), 5);
+        assert_eq!(radial_vertices(&g, &scc), vec![0]);
+        // the condensation of a DAG is the DAG itself
+        let c = condensation(&g, &scc);
+        assert_eq!(c.num_arcs(), 4);
+    }
+
+    #[test]
+    fn two_sources_means_no_radial_vertices() {
+        // 0 → 2 ← 1
+        let g = digraph(3, &[(0, 2), (1, 2)]);
+        let scc = StronglyConnectedComponents::compute(&g);
+        assert_eq!(scc.num_components(), 3);
+        assert!(radial_vertices(&g, &scc).is_empty());
+    }
+
+    #[test]
+    fn empty_and_trivial_graphs() {
+        let z = DiGraph::empty(0);
+        let scc = StronglyConnectedComponents::compute(&z);
+        assert_eq!(scc.num_components(), 0);
+        assert!(!scc.is_strongly_connected());
+        assert!(radial_vertices(&z, &scc).is_empty());
+
+        let one = DiGraph::empty(1);
+        let scc = StronglyConnectedComponents::compute(&one);
+        assert!(scc.is_strongly_connected());
+        assert_eq!(radial_vertices(&one, &scc), vec![0]);
+
+        let iso = DiGraph::empty(3);
+        let scc = StronglyConnectedComponents::compute(&iso);
+        assert_eq!(scc.num_components(), 3);
+        assert!(radial_vertices(&iso, &scc).is_empty());
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow_the_stack() {
+        // 60k-vertex directed path: recursive Tarjan would blow the
+        // stack; the iterative version must not.
+        let n = 60_000;
+        let mut el = EdgeList::new(n);
+        for v in 0..(n as u32 - 1) {
+            el.push(v, v + 1);
+        }
+        let g = DiGraph::from_edge_list(&el);
+        let scc = StronglyConnectedComponents::compute(&g);
+        assert_eq!(scc.num_components(), n);
+    }
+
+    #[test]
+    fn condensation_is_acyclic() {
+        for seed in 0..4 {
+            let g = orient(&generators::erdos_renyi_gnm(80, 160, seed), 30, seed);
+            let scc = StronglyConnectedComponents::compute(&g);
+            let c = condensation(&g, &scc);
+            // acyclicity: the condensation's SCCs are all singletons
+            let cscc = StronglyConnectedComponents::compute(&c);
+            assert_eq!(cscc.num_components(), c.num_vertices(), "seed {seed}");
+            // labels cover 0..k and sizes sum to n
+            assert_eq!(scc.sizes().iter().sum::<usize>(), g.num_vertices());
+        }
+    }
+
+    #[test]
+    fn fully_bidirectional_orientation_matches_weak_components() {
+        let und = generators::erdos_renyi_gnm(60, 70, 3);
+        let g = orient(&und, 100, 0);
+        let scc = StronglyConnectedComponents::compute(&g);
+        let cc = fdiam_graph::ConnectedComponents::compute(&und);
+        assert_eq!(scc.labels(), cc.labels());
+    }
+}

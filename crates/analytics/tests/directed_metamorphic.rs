@@ -1,0 +1,73 @@
+//! Directed metamorphic suite run from the analytics crate — the
+//! crate that owns Tarjan, the condensation, and the directed
+//! ExactSumSweep — so a regression in any of them fails here, next to
+//! the code, not only in the testkit's own test run.
+//!
+//! The transforms and their analytic predictions live in
+//! `fdiam_testkit::metamorphic` (arc reversal swaps the eccentricity
+//! families, a universal source pins the radius to 1, the symmetric
+//! closure reduces to the undirected oracle, condensing a condensation
+//! is the identity).
+
+use fdiam_graph::transform::orient;
+use fdiam_graph::{generators, DiGraph, EdgeList};
+use fdiam_testkit::assert_metamorphic_directed;
+
+fn dicycle(n: usize) -> DiGraph {
+    let mut el = EdgeList::new(n);
+    for v in 0..n as u32 {
+        el.push(v, (v + 1) % n as u32);
+    }
+    DiGraph::from_edge_list(&el)
+}
+
+#[test]
+fn directed_metamorphic_on_classic_shapes() {
+    for (tag, g) in [
+        ("dicycle12", dicycle(12)),
+        (
+            "sym-grid",
+            DiGraph::from_undirected(&generators::grid2d(5, 6)),
+        ),
+        (
+            "sym-lollipop",
+            DiGraph::from_undirected(&generators::lollipop(5, 6)),
+        ),
+        ("oriented-grid", orient(&generators::grid2d(6, 6), 33, 11)),
+        (
+            "oriented-ba",
+            orient(&generators::barabasi_albert(150, 3, 5), 50, 5),
+        ),
+        ("pure-orientation", orient(&generators::grid2d(5, 5), 0, 3)),
+    ] {
+        assert_metamorphic_directed(tag, &g, 0xF_D1A);
+    }
+}
+
+#[test]
+fn directed_metamorphic_on_degenerate_and_dag_bases() {
+    assert_metamorphic_directed("empty", &DiGraph::empty(0), 3);
+    assert_metamorphic_directed("singleton", &DiGraph::empty(1), 3);
+    assert_metamorphic_directed("isolated5", &DiGraph::empty(5), 3);
+
+    // A pure DAG: infinite diameter, radius from the unique source.
+    let mut el = EdgeList::new(6);
+    for &(u, v) in &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5)] {
+        el.push(u, v);
+    }
+    assert_metamorphic_directed("dag", &DiGraph::from_edge_list(&el), 3);
+
+    // Two sources: both aggregates infinite on the base.
+    let mut el = EdgeList::new(3);
+    el.push(0, 2);
+    el.push(1, 2);
+    assert_metamorphic_directed("two-sources", &DiGraph::from_edge_list(&el), 3);
+}
+
+#[test]
+fn directed_metamorphic_under_seed_variation() {
+    for seed in 0..4u64 {
+        let g = orient(&generators::erdos_renyi_gnm(120, 240, seed), 40, seed);
+        assert_metamorphic_directed(&format!("gnm#{seed}"), &g, seed);
+    }
+}

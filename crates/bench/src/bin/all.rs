@@ -7,10 +7,11 @@
 
 use std::process::Command;
 
-const BINARIES: [&str; 8] = [
+const BINARIES: [&str; 9] = [
     "table1",
     "table2_fig6",
     "ecc_sweeps",
+    "dir_diam",
     "table3",
     "table4",
     "fig8",

@@ -1,0 +1,143 @@
+//! Directed diameter shootout: the serial directed ExactSumSweep vs
+//! the same driver batching its sweeps through the bit-parallel
+//! 64-source BFS kernel, on the directed input suite (two strongly
+//! connected orientations — see [`fdiam_bench::suite::directed_suite`]).
+//! Both codes certify the same exact diameter and radius; only the
+//! traversal engine differs.
+//!
+//! ```text
+//! SCALE=small FDIAM_RUNS=3 FDIAM_TIMEOUT_SECS=120 \
+//!   cargo run -p fdiam-bench --release --bin dir_diam
+//! ```
+//!
+//! Emits one JSONL run record per code×graph (table `dir_diam`) so the
+//! `bench summarize`/`compare` regression harness tracks the directed
+//! keys alongside the undirected ones.
+
+use fdiam_analytics::{directed_sum_sweep, directed_sum_sweep_batched};
+use fdiam_bench::format::{secs, tput, Table};
+use fdiam_bench::record::{RecordWriter, RunRecord};
+use fdiam_bench::runner::{
+    geomean, measure, runs_from_env, throughput, timeout_from_env, Measurement,
+};
+use fdiam_bench::suite::{directed_suite, Scale};
+use fdiam_bfs::MAX_LANES;
+use std::time::Duration;
+
+/// Machine-readable code names matching `CODES` order.
+const CODE_IDS: [&str; 2] = ["sum-sweep-dir", "sum-sweep-dir-bp64"];
+
+const CODES: [&str; 2] = ["SumSweep-dir (ser)", "SumSweep-dir (bp64)"];
+
+fn main() {
+    let scale = Scale::from_env();
+    let runs = runs_from_env();
+    let budget = timeout_from_env();
+    println!(
+        "Directed diameter — serial vs {MAX_LANES}-lane bit-parallel SumSweep at scale \
+         {scale:?} (median of {runs}, {budget:?} budget)\n"
+    );
+
+    let mut time_table = Table::new(vec!["Graphs", CODES[0], CODES[1], "speedup"]);
+    let mut tput_table = Table::new(vec!["Graphs", CODES[0], CODES[1]]);
+    let mut tputs: [Vec<Option<f64>>; 2] = Default::default();
+    let mut speedups = Vec::new();
+    let scale_name = format!("{scale:?}").to_lowercase();
+    let mut records = RecordWriter::for_table("dir_diam", &scale_name);
+
+    for e in directed_suite() {
+        let g = e.build(scale);
+        let n = g.num_vertices();
+
+        let serial = measure(runs, budget, || directed_sum_sweep(&g));
+        let bp64 = measure(runs, budget, || directed_sum_sweep_batched(&g, MAX_LANES));
+
+        // cross-check: the lanes must not change the certified answer
+        if let (Some(Some(s)), Some(Some(b))) = (serial.result(), bp64.result()) {
+            assert_eq!(
+                (s.diameter, s.radius),
+                (b.diameter, b.radius),
+                "bp64 directed aggregates disagree with serial on {}",
+                e.name
+            );
+            assert!(
+                s.strongly_connected,
+                "{} lost strong connectivity — the bench would time the \
+                 Tarjan short-circuit, not the sweeps",
+                e.name
+            );
+        }
+
+        let medians: [Option<Duration>; 2] = [serial.median(), bp64.median()];
+        let speedup = match (medians[0], medians[1]) {
+            (Some(s), Some(b)) if b > Duration::ZERO => Some(s.as_secs_f64() / b.as_secs_f64()),
+            _ => None,
+        };
+        if let Some(x) = speedup {
+            speedups.push(x);
+        }
+        time_table.row(vec![
+            e.name.to_string(),
+            secs(medians[0]),
+            secs(medians[1]),
+            speedup.map_or("—".to_string(), |x| format!("{x:.2}x")),
+        ]);
+        let mut tput_row = vec![e.name.to_string()];
+        for (i, m) in medians.iter().enumerate() {
+            let tp = m.map(|d| throughput(n, d));
+            tput_row.push(tput(tp));
+            tputs[i].push(tp);
+        }
+        tput_table.row(tput_row);
+        let _ = matches!(bp64, Measurement::Done { .. });
+
+        let results = [
+            serial.result().and_then(Option::as_ref),
+            bp64.result().and_then(Option::as_ref),
+        ];
+        for i in 0..CODE_IDS.len() {
+            records.push(RunRecord {
+                table: "dir_diam",
+                code: CODE_IDS[i],
+                graph: e.name.to_string(),
+                paper_name: e.paper_name.to_string(),
+                scale: scale_name.clone(),
+                n,
+                m: g.num_arcs(),
+                runs,
+                median_secs: medians[i].map(|d| d.as_secs_f64()),
+                diameter: results[i].and_then(|r| r.diameter),
+                stage_fractions: None,
+                counters: results[i]
+                    .map(|r| vec![("dir_bfs", r.bfs_calls as u64)])
+                    .unwrap_or_default(),
+            });
+        }
+    }
+
+    println!("Median runtimes in seconds (T/O = over budget):\n");
+    print!("{}", time_table.render());
+    println!("\nThroughput in vertices/second:\n");
+    print!("{}", tput_table.render());
+    match records.flush() {
+        Ok(path) => println!("\nrecords: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write run records: {e}"),
+    }
+
+    println!("\nGeometric-mean throughput:");
+    for (i, code) in CODES.iter().enumerate() {
+        let xs: Vec<f64> = tputs[i].iter().flatten().copied().collect();
+        println!(
+            "  {code:20}: geomean {:.3e} v/s over {} inputs",
+            geomean(&xs),
+            xs.len()
+        );
+    }
+    if !speedups.is_empty() {
+        println!(
+            "  bp64 is {:.2}x faster than serial (geomean over {} common inputs)",
+            geomean(&speedups),
+            speedups.len()
+        );
+    }
+}

@@ -25,6 +25,8 @@
 //! |---------------|-----------------------------------------------|
 //! | `table1`      | Table 1 (input inventory)                     |
 //! | `table2_fig6` | Table 2 + Figure 6 (runtimes / throughput)    |
+//! | `ecc_sweeps`  | all-eccentricities sweeps, serial vs bp64     |
+//! | `dir_diam`    | directed SumSweep on the oriented suite       |
 //! | `fig7`        | Figure 7 (throughput vs thread count)         |
 //! | `table3`      | Table 3 (BFS traversal counts)                |
 //! | `table4`      | Table 4 (% removed per stage)                 |

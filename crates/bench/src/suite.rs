@@ -8,7 +8,8 @@
 //! machines with memory and hours to spare.
 
 use fdiam_graph::generators::*;
-use fdiam_graph::CsrGraph;
+use fdiam_graph::transform::orient;
+use fdiam_graph::{CsrGraph, DiGraph};
 
 /// Input scale, selected by the `SCALE` environment variable.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -294,6 +295,100 @@ pub fn suite() -> Vec<SuiteEntry> {
     ]
 }
 
+/// One directed suite input: a seeded [`orient`] orientation of an
+/// undirected generator, parameterized like [`SuiteEntry`].
+///
+/// Both entries are (empirically, pinned by a suite test) strongly
+/// connected at every scale, so the directed SumSweep runs its full
+/// forward/backward sweep schedule instead of short-circuiting at the
+/// Tarjan certificate — the thing the `dir_diam` benchmark times.
+pub struct DirectedSuiteEntry {
+    /// Short name used in our output tables.
+    pub name: &'static str,
+    /// The real-world directed graph shape this stands in for.
+    pub paper_name: &'static str,
+    /// Topology class.
+    pub class: &'static str,
+    /// Percentage of undirected edges kept bidirectional by [`orient`];
+    /// the rest become single arcs of random direction.
+    pub bidirectional_pct: u32,
+    build: fn(Scale) -> DiGraph,
+}
+
+impl DirectedSuiteEntry {
+    /// Generates the digraph at the given scale.
+    pub fn build(&self, scale: Scale) -> DiGraph {
+        (self.build)(scale)
+    }
+}
+
+/// Orientation seeds, offset from [`SEED`] so the arc coin flips are
+/// independent of every undirected entry.
+const DIR_SEED: u64 = SEED ^ 0xD1_5EED;
+
+/// The rotor orientation of a wrap-around grid: every horizontal edge
+/// points east, every vertical edge south, so each row and each column
+/// is a directed cycle and the digraph is strongly connected *by
+/// construction* at every scale (a random `orient` of the same torus
+/// traps vertices already at medium scale). This is the directed
+/// worst case for eccentricity-bound drivers: the vertex-transitive
+/// symmetry keeps every forward and backward eccentricity equal, so
+/// nothing resolves until the bounds meet.
+fn oriented_torus(rows: usize, cols: usize) -> DiGraph {
+    let n = rows * cols;
+    let mut el = fdiam_graph::EdgeList::new(n);
+    let at = |r: usize, c: usize| (r * cols + c) as u32;
+    for r in 0..rows {
+        for c in 0..cols {
+            el.push(at(r, c), at(r, (c + 1) % cols));
+            el.push(at(r, c), at((r + 1) % rows, c));
+        }
+    }
+    DiGraph::from_edge_list(&el)
+}
+
+/// The directed input suite: two oriented graphs covering the two
+/// regimes the directed driver cares about — a mesh whose wrap-around
+/// symmetry keeps every eccentricity equal (Eliminate never fires, the
+/// directed worst case) and an expander-like random digraph where the
+/// sweeps converge in a handful of rounds.
+///
+/// Deliberately *not* part of [`suite`]: that suite's contract (and
+/// its tests) is symmetric CSR inputs, and `FDIAM_ONLY` filtering is
+/// unnecessary at two entries — `dir_diam` always runs both.
+pub fn directed_suite() -> Vec<DirectedSuiteEntry> {
+    vec![
+        DirectedSuiteEntry {
+            name: "torus.dir",
+            paper_name: "one-way street torus",
+            class: "grid (oriented)",
+            bidirectional_pct: 0,
+            build: |s| match s {
+                Scale::Small => oriented_torus(64, 64),
+                Scale::Medium => oriented_torus(180, 180),
+                Scale::Large => oriented_torus(724, 724),
+            },
+        },
+        DirectedSuiteEntry {
+            name: "gnm.dir",
+            paper_name: "random digraph",
+            class: "Erdős–Rényi (oriented)",
+            bidirectional_pct: 50,
+            build: |s| {
+                let (n, m) = match s {
+                    Scale::Small => (6_000, 60_000),
+                    Scale::Medium => (45_000, 450_000),
+                    Scale::Large => (200_000, 2_000_000),
+                };
+                // average degree 20 ≫ ln n: minimum in-/out-degree
+                // stays positive after orientation and the digraph is
+                // strongly connected with overwhelming probability.
+                orient(&erdos_renyi_gnm(n, m, DIR_SEED + 1), 50, DIR_SEED + 1)
+            },
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,6 +414,34 @@ mod tests {
             assert!(g.validate().is_ok(), "{} invalid", e.name);
             assert!(g.num_vertices() >= 4_000, "{} too small", e.name);
             assert!(g.is_symmetric(), "{} not symmetric", e.name);
+            let g2 = e.build(Scale::Small);
+            assert_eq!(g, g2, "{} not deterministic", e.name);
+        }
+    }
+
+    #[test]
+    fn directed_suite_is_strongly_connected_and_deterministic() {
+        let entries = directed_suite();
+        assert_eq!(entries.len(), 2);
+        for e in entries {
+            let g = e.build(Scale::Small);
+            assert!(g.validate().is_ok(), "{} invalid", e.name);
+            assert!(g.num_vertices() >= 4_000, "{} too small", e.name);
+            assert!(
+                !g.is_symmetric(),
+                "{} degenerated to a symmetric digraph",
+                e.name
+            );
+            // The whole point of the directed bench inputs: the
+            // SumSweep must do real sweep work, not exit at the
+            // Tarjan infinite-diameter certificate.
+            let scc = fdiam_analytics::StronglyConnectedComponents::compute(&g);
+            assert!(
+                scc.is_strongly_connected(),
+                "{} not strongly connected ({} SCCs)",
+                e.name,
+                scc.num_components()
+            );
             let g2 = e.build(Scale::Small);
             assert_eq!(g, g2, "{} not deterministic", e.name);
         }

@@ -1,0 +1,151 @@
+//! Directed variants of the serial and bit-parallel BFS kernels.
+//!
+//! A [`DiGraph`] stores the arc set twice — forward and transposed —
+//! and both sides are plain [`CsrGraph`]s, so the undirected kernels
+//! apply verbatim: a *forward* sweep (distances `d(s, ·)`) scans the
+//! forward CSR and a *backward* sweep (distances `d(·, s)`) scans the
+//! transpose. The transpose is also exactly the bottom-up direction of
+//! a forward traversal ("which of my in-neighbors is on the
+//! frontier?"), which is why the hybrid frontier machinery needs no
+//! directed rewrite — these wrappers only select the side.
+
+use crate::distances::bfs_distances_serial;
+use crate::scratch::BfsScratch;
+use crate::{bp64_distances, LaneBatchSummary};
+use fdiam_graph::{CsrGraph, DiGraph, VertexId};
+
+/// Which distance function a directed sweep computes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepDirection {
+    /// `d(source, ·)` — scan the forward CSR.
+    Forward,
+    /// `d(·, source)` — scan the transposed CSR.
+    Backward,
+}
+
+impl SweepDirection {
+    /// The CSR side a sweep in this direction traverses.
+    #[inline]
+    pub fn csr(self, g: &DiGraph) -> &CsrGraph {
+        match self {
+            SweepDirection::Forward => g.forward(),
+            SweepDirection::Backward => g.transpose(),
+        }
+    }
+
+    /// The opposite direction.
+    #[inline]
+    pub fn reversed(self) -> Self {
+        match self {
+            SweepDirection::Forward => SweepDirection::Backward,
+            SweepDirection::Backward => SweepDirection::Forward,
+        }
+    }
+}
+
+/// Serial directed BFS: fills `dist` with `d(source, v)` (forward) or
+/// `d(v, source)` (backward), [`crate::distances::UNREACHABLE`] where
+/// no such path exists. Returns the largest finite distance — the
+/// eccentricity of `source` restricted to its reachable set.
+pub fn bfs_distances_directed(
+    g: &DiGraph,
+    source: VertexId,
+    direction: SweepDirection,
+    dist: &mut Vec<u32>,
+) -> u32 {
+    bfs_distances_serial(direction.csr(g), source, dist)
+}
+
+/// Directed 64-source bit-parallel BFS: lane-major distance rows with
+/// the same semantics as [`bfs_distances_directed`], one row per
+/// source. See [`bp64_distances`] for the row layout.
+pub fn bp64_distances_directed(
+    g: &DiGraph,
+    sources: &[VertexId],
+    direction: SweepDirection,
+    scratch: &mut BfsScratch,
+    dist: &mut Vec<u32>,
+) -> LaneBatchSummary {
+    bp64_distances(direction.csr(g), sources, scratch, dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distances::UNREACHABLE;
+    use fdiam_graph::EdgeList;
+
+    /// 0 → 1 → 2 → 3 with a shortcut 0 → 2 and a back arc 3 → 0.
+    fn fixture() -> DiGraph {
+        let mut el = EdgeList::new(4);
+        for &(u, v) in &[(0, 1), (1, 2), (2, 3), (0, 2), (3, 0)] {
+            el.push(u, v);
+        }
+        DiGraph::from_edge_list(&el)
+    }
+
+    #[test]
+    fn forward_and_backward_distances() {
+        let g = fixture();
+        let mut dist = Vec::new();
+        let e = bfs_distances_directed(&g, 0, SweepDirection::Forward, &mut dist);
+        assert_eq!(dist, vec![0, 1, 1, 2]);
+        assert_eq!(e, 2);
+        let e = bfs_distances_directed(&g, 0, SweepDirection::Backward, &mut dist);
+        // d(v, 0): 1→2→3→0 so d(1,0)=3, d(2,0)=2, d(3,0)=1
+        assert_eq!(dist, vec![0, 3, 2, 1]);
+        assert_eq!(e, 3);
+    }
+
+    #[test]
+    fn backward_equals_forward_on_transposed_graph() {
+        let g = fixture();
+        let t = g.clone().transposed();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for s in g.vertices() {
+            let ea = bfs_distances_directed(&g, s, SweepDirection::Backward, &mut a);
+            let eb = bfs_distances_directed(&t, s, SweepDirection::Forward, &mut b);
+            assert_eq!(a, b);
+            assert_eq!(ea, eb);
+        }
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_unreachable() {
+        // 0 → 1, 2 isolated
+        let mut el = EdgeList::new(3);
+        el.push(0, 1);
+        let g = DiGraph::from_edge_list(&el);
+        let mut dist = Vec::new();
+        bfs_distances_directed(&g, 0, SweepDirection::Forward, &mut dist);
+        assert_eq!(dist, vec![0, 1, UNREACHABLE]);
+        bfs_distances_directed(&g, 0, SweepDirection::Backward, &mut dist);
+        assert_eq!(dist, vec![0, UNREACHABLE, UNREACHABLE]);
+    }
+
+    #[test]
+    fn bp64_rows_match_serial_rows_both_directions() {
+        let g = DiGraph::from_csr(fdiam_graph::generators::barabasi_albert(120, 3, 5));
+        let sources: Vec<VertexId> = (0..70).step_by(3).collect();
+        let mut scratch = BfsScratch::new(g.num_vertices());
+        let (mut rows, mut serial) = (Vec::new(), Vec::new());
+        for dir in [SweepDirection::Forward, SweepDirection::Backward] {
+            let summary = bp64_distances_directed(&g, &sources, dir, &mut scratch, &mut rows);
+            for (k, &s) in sources.iter().enumerate() {
+                let e = bfs_distances_directed(&g, s, dir, &mut serial);
+                let n = g.num_vertices();
+                assert_eq!(&rows[k * n..(k + 1) * n], &serial[..], "lane {k}");
+                assert_eq!(summary.ecc[k], e);
+            }
+        }
+    }
+
+    #[test]
+    fn direction_selects_the_expected_csr() {
+        let g = fixture();
+        assert_eq!(SweepDirection::Forward.csr(&g), g.forward());
+        assert_eq!(SweepDirection::Backward.csr(&g), g.transpose());
+        assert_eq!(SweepDirection::Forward.reversed(), SweepDirection::Backward);
+        assert_eq!(SweepDirection::Backward.reversed(), SweepDirection::Forward);
+    }
+}

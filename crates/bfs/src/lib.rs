@@ -28,6 +28,7 @@
 
 pub mod bitmap;
 pub mod bitparallel;
+pub mod directed;
 pub mod distances;
 pub mod frontier;
 pub mod hybrid;
@@ -43,6 +44,7 @@ pub use bitparallel::{
     bp64_distances, bp64_distances_cancellable, bp64_eccentricities,
     bp64_eccentricities_cancellable, LaneBatchSummary, MAX_LANES,
 };
+pub use directed::{bfs_distances_directed, bp64_distances_directed, SweepDirection};
 pub use hybrid::{
     bfs_eccentricity_hybrid, bfs_eccentricity_hybrid_cancellable, bfs_eccentricity_hybrid_observed,
     BfsConfig, SwitchHeuristic,

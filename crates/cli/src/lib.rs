@@ -15,7 +15,7 @@
 //! `main.rs` is a thin shim.
 
 use fdiam_graph::io::{binfmt, dimacs, edgelist, mtx};
-use fdiam_graph::{CsrGraph, Relabeling, VertexOrder};
+use fdiam_graph::{CsrGraph, DiGraph, DiRelabeling, Relabeling, VertexOrder};
 use fdiam_obs::{
     Fanout, JsonlTraceSink, MetricsObserver, MetricsRegistry, Observer, ProgressSink, RemapIds,
 };
@@ -51,13 +51,20 @@ pub enum Command {
         order: VertexOrder,
         /// Opt-in bit-parallel main loop (`--lanes N`): up to N (≤ 64)
         /// eccentricities per shared traversal. fdiam/fdiam-serial
-        /// only.
+        /// only (with `--directed`: lanes per shared directed sweep).
         lanes: Option<usize>,
+        /// Directed mode (`--directed`): edge-list arcs stay one-way
+        /// and the diameter/radius are certified by the directed
+        /// SumSweep over the SCC condensation. Forces the sumsweep
+        /// algorithm.
+        directed: bool,
     },
     Ecc {
         input: String,
         /// Load-time vertex relabeling pass (`--order`).
         order: VertexOrder,
+        /// Directed mode: forward/backward eccentricities, `∞`-aware.
+        directed: bool,
     },
     Info {
         input: String,
@@ -108,8 +115,8 @@ fdiam — fast exact graph diameter (F-Diam, ICPP'25 reproduction)
 USAGE:
   fdiam diameter [--algorithm NAME] [--serial] [--stats] [--threads N]
                  [--progress] [--trace FILE] [--metrics] [--paper-bfs]
-                 [--timeout SECS] [--order ORDER] [--lanes N] INPUT
-  fdiam ecc [--order ORDER] INPUT    radius / center / periphery
+                 [--timeout SECS] [--order ORDER] [--lanes N] [--directed] INPUT
+  fdiam ecc [--order ORDER] [--directed] INPUT    radius / center / periphery
   fdiam info INPUT                   graph summary (n, m, degrees, components)
   fdiam convert INPUT OUTPUT         convert between formats
   fdiam generate SPEC OUTPUT         write a synthetic graph
@@ -129,6 +136,13 @@ LAYOUT / KERNEL:
                   only — all reported ids stay in the input's space
   --lanes N       bit-parallel main loop: N (1-64) eccentricities per
                   shared traversal (fdiam/fdiam-serial only)
+DIRECTED MODE:
+  --directed      treat each edge-list `u v` line as a one-way arc
+                  (.gr/.mtx/.fdia load bidirected) and certify the
+                  directed diameter/radius with the directed SumSweep
+                  over the SCC condensation; infinite values are
+                  reported as such. Composes with --order, --lanes,
+                  --timeout, --stats; forces the sumsweep algorithm
 FORMATS (by extension): .txt/.el edge list | .gr DIMACS-9 | .mtx MatrixMarket | .fdia binary
 GENERATE SPECS:
   grid:ROWSxCOLS           e.g. grid:512x512
@@ -159,13 +173,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut timeout = None;
             let mut order = VertexOrder::default();
             let mut lanes = None;
+            let mut directed = false;
+            let mut algo_explicit = false;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--algorithm" | "-a" => {
                         let v = it.next().ok_or("--algorithm needs a value")?;
                         algorithm = Algorithm::parse(v)?;
+                        algo_explicit = true;
                     }
-                    "--serial" => algorithm = Algorithm::FdiamSerial,
+                    "--serial" => {
+                        algorithm = Algorithm::FdiamSerial;
+                        algo_explicit = true;
+                    }
+                    "--directed" => directed = true,
                     "--stats" => stats = true,
                     "--threads" | "-t" => {
                         let v = it.next().ok_or("--threads needs a value")?;
@@ -206,6 +227,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     other => return Err(format!("unexpected argument '{other}'")),
                 }
             }
+            if directed {
+                if algo_explicit && algorithm != Algorithm::SumSweep {
+                    return Err(
+                        "--directed certifies via the directed SumSweep; drop --algorithm/--serial \
+                         or pick '--algorithm sumsweep'"
+                            .into(),
+                    );
+                }
+                algorithm = Algorithm::SumSweep;
+            }
             if (progress || trace.is_some() || metrics)
                 && !matches!(algorithm, Algorithm::FdiamParallel | Algorithm::FdiamSerial)
             {
@@ -222,16 +253,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 );
             }
             if timeout.is_some()
+                && !directed
                 && !matches!(algorithm, Algorithm::FdiamParallel | Algorithm::FdiamSerial)
             {
                 return Err(
-                    "--timeout is only enforced for the fdiam and fdiam-serial algorithms".into(),
+                    "--timeout is only enforced for the fdiam, fdiam-serial, and --directed runs"
+                        .into(),
                 );
             }
             if lanes.is_some()
+                && !directed
                 && !matches!(algorithm, Algorithm::FdiamParallel | Algorithm::FdiamSerial)
             {
-                return Err("--lanes only applies to the fdiam and fdiam-serial algorithms".into());
+                return Err(
+                    "--lanes only applies to the fdiam, fdiam-serial, and --directed runs".into(),
+                );
             }
             Ok(Command::Diameter {
                 input: input.ok_or("missing INPUT file")?,
@@ -245,17 +281,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 timeout,
                 order,
                 lanes,
+                directed,
             })
         }
         "ecc" => {
             let mut input = None;
             let mut order = VertexOrder::default();
+            let mut directed = false;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--order" => {
                         let v = it.next().ok_or("--order needs a value")?;
                         order = VertexOrder::parse(v)?;
                     }
+                    "--directed" => directed = true,
                     other if !other.starts_with('-') && input.is_none() => {
                         input = Some(other.to_string())
                     }
@@ -265,6 +304,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             Ok(Command::Ecc {
                 input: input.ok_or("missing INPUT")?,
                 order,
+                directed,
             })
         }
         "info" => Ok(Command::Info {
@@ -347,6 +387,24 @@ pub fn read_graph(path: &str) -> Result<CsrGraph, String> {
         other => return Err(format!("unknown input extension '.{other}' for {path}")),
     };
     Ok(g)
+}
+
+/// Reads a digraph, inferring the format from the file extension.
+/// Edge-list formats keep each `u v` line as a one-way arc; the
+/// symmetric formats (`.gr`, `.mtx`, `.fdia`) symmetrize at load time
+/// and therefore arrive as bidirected digraphs.
+pub fn read_digraph(path: &str) -> Result<DiGraph, String> {
+    let ext = Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("");
+    match ext {
+        "txt" | "el" | "edges" => {
+            edgelist::read_directed_edge_list_file(path, 0).map_err(|e| e.to_string())
+        }
+        "gr" | "mtx" | "fdia" => Ok(DiGraph::from_undirected(&read_graph(path)?)),
+        other => Err(format!("unknown input extension '.{other}' for {path}")),
+    }
 }
 
 /// Writes a graph, inferring the format from the file extension.
@@ -521,7 +579,14 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
             )
             .map_err(w)
         }
-        Command::Ecc { input, order } => {
+        Command::Ecc {
+            input,
+            order,
+            directed,
+        } => {
+            if directed {
+                return run_directed_ecc(&input, order, out);
+            }
             let loaded = read_graph(&input)?;
             let relabel = order.apply(&loaded);
             let g = relabel.as_ref().map_or(&loaded, |m| &m.graph);
@@ -561,7 +626,17 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
             timeout,
             order,
             lanes,
+            directed,
         } => {
+            if directed {
+                if let Some(t) = threads {
+                    rayon::ThreadPoolBuilder::new()
+                        .num_threads(t)
+                        .build_global()
+                        .map_err(|e| e.to_string())?;
+                }
+                return run_directed_diameter(&input, stats, timeout, order, lanes, out);
+            }
             let loaded = read_graph(&input)?;
             let relabel: Option<Relabeling> = order.apply(&loaded);
             let g = relabel.as_ref().map_or(&loaded, |m| &m.graph);
@@ -702,6 +777,121 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
     }
 }
 
+/// The `diameter --directed` path: load a [`DiGraph`], optionally
+/// relabel, run the directed SumSweep (serial, batched, or
+/// cancellable), and report `∞`-aware results in original ids.
+fn run_directed_diameter(
+    input: &str,
+    stats: bool,
+    timeout: Option<std::time::Duration>,
+    order: VertexOrder,
+    lanes: Option<usize>,
+    out: &mut impl std::io::Write,
+) -> Result<(), String> {
+    let w = |e: std::io::Error| e.to_string();
+    let loaded = read_digraph(input)?;
+    let relabel: Option<DiRelabeling> = order.apply_directed(&loaded);
+    let g = relabel.as_ref().map_or(&loaded, |m| &m.graph);
+    let timeout = match timeout {
+        Some(t) => Some(t),
+        None => timeout_from_env()?,
+    };
+    let t0 = std::time::Instant::now();
+    let r = match timeout {
+        None => match lanes {
+            None => fdiam_analytics::directed_sum_sweep(g),
+            Some(k) => fdiam_analytics::directed_sum_sweep_batched(g, k),
+        },
+        Some(budget) => {
+            let token = fdiam_obs::CancelToken::with_deadline(budget);
+            let res = match lanes {
+                None => fdiam_analytics::directed_sum_sweep_cancellable(g, &token),
+                Some(k) => fdiam_analytics::directed_sum_sweep_batched_observed(
+                    g,
+                    k,
+                    fdiam_obs::RunId::fresh(),
+                    fdiam_obs::noop(),
+                    Some(&token),
+                ),
+            };
+            res.map_err(|_| format!("timed out after {}s", budget.as_secs_f64()))?
+        }
+    };
+    let Some(r) = r else {
+        return Err("empty graph".into());
+    };
+    let original = |v: fdiam_graph::VertexId| relabel.as_ref().map_or(v, |m| m.original(v));
+    match r.diameter {
+        Some(d) => writeln!(out, "diameter : {d}").map_err(w)?,
+        None => writeln!(out, "diameter : infinite (not strongly connected)").map_err(w)?,
+    }
+    match r.radius {
+        Some(rad) => writeln!(out, "radius   : {rad}").map_err(w)?,
+        None => writeln!(out, "radius   : infinite (no vertex reaches all)").map_err(w)?,
+    }
+    writeln!(out, "time     : {:.3}s", t0.elapsed().as_secs_f64()).map_err(w)?;
+    writeln!(out, "bfs calls: {}", r.bfs_calls).map_err(w)?;
+    if let Some(v) = r.diametral_vertex {
+        writeln!(out, "diametral: {}", original(v)).map_err(w)?;
+    }
+    if let Some(v) = r.central_vertex {
+        writeln!(out, "central  : {}", original(v)).map_err(w)?;
+    }
+    if stats {
+        writeln!(out, "sccs     : {}", r.num_sccs).map_err(w)?;
+    }
+    Ok(())
+}
+
+/// The `ecc --directed` path: forward/backward eccentricities of every
+/// vertex via 64-lane batched directed traversals, with unreachable
+/// pairs surfacing as infinite eccentricities.
+fn run_directed_ecc(
+    input: &str,
+    order: VertexOrder,
+    out: &mut impl std::io::Write,
+) -> Result<(), String> {
+    let w = |e: std::io::Error| e.to_string();
+    let loaded = read_digraph(input)?;
+    let relabel = order.apply_directed(&loaded);
+    let g = relabel.as_ref().map_or(&loaded, |m| &m.graph);
+    let r = fdiam_analytics::directed_eccentricities(g);
+    // Back-permute to original-id indexing (the aggregates below are
+    // order-invariant, but the convention matches the undirected path).
+    let (fwd, bwd) = match &relabel {
+        Some(m) => (
+            m.to_original_indexing(&r.forward),
+            m.to_original_indexing(&r.backward),
+        ),
+        None => (r.forward.clone(), r.backward.clone()),
+    };
+    let radius = fwd.iter().flatten().min().copied();
+    let diameter = if !fwd.is_empty() && fwd.iter().all(Option::is_some) {
+        fwd.iter().flatten().max().copied()
+    } else {
+        None
+    };
+    match radius {
+        Some(rad) => writeln!(out, "radius     : {rad}").map_err(w)?,
+        None => writeln!(out, "radius     : infinite (no vertex reaches all)").map_err(w)?,
+    }
+    match diameter {
+        Some(d) => writeln!(out, "diameter   : {d}").map_err(w)?,
+        None => writeln!(out, "diameter   : infinite (not strongly connected)").map_err(w)?,
+    }
+    let reach_all = fwd.iter().filter(|e| e.is_some()).count();
+    let reached_by_all = bwd.iter().filter(|e| e.is_some()).count();
+    writeln!(out, "reach all  : {reach_all} vertices").map_err(w)?;
+    writeln!(out, "reached by all: {reached_by_all} vertices").map_err(w)?;
+    writeln!(
+        out,
+        "bfs calls  : {} (2n = {})",
+        r.bfs_calls,
+        2 * g.num_vertices()
+    )
+    .map_err(w)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -734,6 +924,7 @@ mod tests {
                 timeout: None,
                 order: VertexOrder::None,
                 lanes: None,
+                directed: false,
             }
         );
         let c = parse_args(&args(&[
@@ -760,6 +951,7 @@ mod tests {
                 timeout: None,
                 order: VertexOrder::None,
                 lanes: None,
+                directed: false,
             }
         );
         let c = parse_args(&args(&["diameter", "--serial", "g.mtx"])).unwrap();
@@ -807,6 +999,7 @@ mod tests {
                 timeout: None,
                 order: VertexOrder::None,
                 lanes: None,
+                directed: false,
             }
         );
     }
@@ -1018,6 +1211,7 @@ mod tests {
                 timeout: Some(std::time::Duration::ZERO),
                 order: VertexOrder::None,
                 lanes: None,
+                directed: false,
             },
             &mut Vec::new(),
         )
@@ -1053,6 +1247,7 @@ mod tests {
                 timeout: Some(std::time::Duration::from_secs(600)),
                 order: VertexOrder::None,
                 lanes: None,
+                directed: false,
             },
             &mut out,
         )
@@ -1116,6 +1311,7 @@ mod tests {
                 timeout: None,
                 order: VertexOrder::None,
                 lanes: None,
+                directed: false,
             },
             &mut out,
         )
@@ -1154,6 +1350,7 @@ mod tests {
                 timeout: None,
                 order: VertexOrder::None,
                 lanes: None,
+                directed: false,
             },
             &mut out,
         )
@@ -1199,6 +1396,7 @@ mod tests {
             Command::Ecc {
                 input: p,
                 order: VertexOrder::None,
+                directed: false,
             },
             &mut out,
         )
@@ -1260,6 +1458,7 @@ mod tests {
             Command::Ecc {
                 input: "g.txt".into(),
                 order: VertexOrder::Bfs,
+                directed: false,
             }
         );
         assert!(parse_args(&args(&["diameter", "--order", "hilbert", "g.txt"])).is_err());
@@ -1308,6 +1507,7 @@ mod tests {
                     timeout: None,
                     order: VertexOrder::None,
                     lanes,
+                    directed: false,
                 },
                 &mut out,
             )
@@ -1351,6 +1551,7 @@ mod tests {
                     timeout: None,
                     order,
                     lanes: None,
+                    directed: false,
                 },
                 &mut out,
             )
@@ -1424,6 +1625,7 @@ mod tests {
                 Command::Ecc {
                     input: p.clone(),
                     order,
+                    directed: false,
                 },
                 &mut out,
             )
@@ -1441,6 +1643,194 @@ mod tests {
         }
         assert_eq!(texts[0], texts[1]);
         assert_eq!(texts[0], texts[2]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_directed_flag() {
+        // --directed forces sumsweep…
+        let c = parse_args(&args(&["diameter", "--directed", "g.txt"])).unwrap();
+        assert!(matches!(
+            c,
+            Command::Diameter {
+                algorithm: Algorithm::SumSweep,
+                directed: true,
+                ..
+            }
+        ));
+        // …and tolerates saying so explicitly
+        assert!(parse_args(&args(&[
+            "diameter",
+            "--directed",
+            "-a",
+            "sumsweep",
+            "g.txt"
+        ]))
+        .is_ok());
+        // any other explicit algorithm is a contradiction
+        for explicit in [&["-a", "fdiam"][..], &["--serial"], &["-a", "ifub"]] {
+            let mut a = vec!["diameter".to_string(), "--directed".into()];
+            a.extend(explicit.iter().map(|s| s.to_string()));
+            a.push("g.txt".into());
+            let e = parse_args(&a).unwrap_err();
+            assert!(e.contains("--directed"), "{e}");
+        }
+        // lanes and timeout drive the directed engine; the fdiam-only
+        // observability flags do not
+        assert!(parse_args(&args(&["diameter", "--directed", "--lanes", "8", "g.txt"])).is_ok());
+        assert!(parse_args(&args(&[
+            "diameter",
+            "--directed",
+            "--timeout",
+            "5",
+            "g.txt"
+        ]))
+        .is_ok());
+        assert!(parse_args(&args(&[
+            "diameter",
+            "--directed",
+            "--order",
+            "bfs",
+            "g.txt"
+        ]))
+        .is_ok());
+        assert!(parse_args(&args(&["diameter", "--directed", "--progress", "g.txt"])).is_err());
+        assert!(parse_args(&args(&["diameter", "--directed", "--paper-bfs", "g.txt"])).is_err());
+        let c = parse_args(&args(&["ecc", "--directed", "g.txt"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Ecc {
+                input: "g.txt".into(),
+                order: VertexOrder::None,
+                directed: true,
+            }
+        );
+    }
+
+    fn diameter_directed(input: &str, lanes: Option<usize>, order: VertexOrder) -> String {
+        let mut out = Vec::new();
+        run(
+            Command::Diameter {
+                input: input.into(),
+                algorithm: Algorithm::SumSweep,
+                stats: true,
+                threads: None,
+                progress: false,
+                trace: None,
+                metrics: false,
+                paper_bfs: false,
+                timeout: None,
+                order,
+                lanes,
+                directed: true,
+            },
+            &mut out,
+        )
+        .unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn directed_diameter_end_to_end() {
+        let dir = std::env::temp_dir().join("fdiam_cli_directed_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A directed 5-cycle: every u v line is one arc, so the
+        // diameter is 4 — an undirected read would report 2.
+        let cyc = dir.join("cycle.txt").to_string_lossy().into_owned();
+        std::fs::write(&cyc, "0 1\n1 2\n2 3\n3 4\n4 0\n").unwrap();
+        for lanes in [None, Some(1), Some(64)] {
+            for order in [VertexOrder::None, VertexOrder::Degree, VertexOrder::Bfs] {
+                let text = diameter_directed(&cyc, lanes, order);
+                assert!(text.contains("diameter : 4"), "{lanes:?}/{order:?}: {text}");
+                assert!(text.contains("radius   : 4"), "{text}");
+                assert!(text.contains("sccs     : 1"), "{text}");
+            }
+        }
+        // A directed path: not strongly connected, but vertex 0 still
+        // reaches everything, so the radius stays finite.
+        let path = dir.join("path.txt").to_string_lossy().into_owned();
+        std::fs::write(&path, "0 1\n1 2\n2 3\n").unwrap();
+        let text = diameter_directed(&path, None, VertexOrder::None);
+        assert!(
+            text.contains("diameter : infinite (not strongly connected)"),
+            "{text}"
+        );
+        assert!(text.contains("radius   : 3"), "{text}");
+        assert!(text.contains("central  : 0"), "{text}");
+        assert!(text.contains("sccs     : 4"), "{text}");
+        // Two sources: nobody reaches everything.
+        let two = dir.join("two.txt").to_string_lossy().into_owned();
+        std::fs::write(&two, "0 2\n1 2\n").unwrap();
+        let text = diameter_directed(&two, None, VertexOrder::None);
+        assert!(
+            text.contains("radius   : infinite (no vertex reaches all)"),
+            "{text}"
+        );
+        assert!(text.contains("bfs calls: 0"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn directed_diameter_with_zero_timeout_reports_error() {
+        let dir = std::env::temp_dir().join("fdiam_cli_directed_timeout_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cyc = dir.join("cycle.txt").to_string_lossy().into_owned();
+        std::fs::write(&cyc, "0 1\n1 2\n2 0\n").unwrap();
+        let e = run(
+            Command::Diameter {
+                input: cyc,
+                algorithm: Algorithm::SumSweep,
+                stats: false,
+                threads: None,
+                progress: false,
+                trace: None,
+                metrics: false,
+                paper_bfs: false,
+                timeout: Some(std::time::Duration::ZERO),
+                order: VertexOrder::None,
+                lanes: None,
+                directed: true,
+            },
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(e.contains("timed out"), "{e}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn directed_ecc_output() {
+        let dir = std::env::temp_dir().join("fdiam_cli_directed_ecc_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ecc = |arcs: &str, order: VertexOrder| -> String {
+            let p = dir.join("g.txt").to_string_lossy().into_owned();
+            std::fs::write(&p, arcs).unwrap();
+            let mut out = Vec::new();
+            run(
+                Command::Ecc {
+                    input: p,
+                    order,
+                    directed: true,
+                },
+                &mut out,
+            )
+            .unwrap();
+            String::from_utf8(out).unwrap()
+        };
+        for order in [VertexOrder::None, VertexOrder::Degree, VertexOrder::Bfs] {
+            let text = ecc("0 1\n1 2\n2 3\n3 0\n", order);
+            assert!(text.contains("radius     : 3"), "{order:?}: {text}");
+            assert!(text.contains("diameter   : 3"), "{text}");
+            assert!(text.contains("reach all  : 4"), "{text}");
+        }
+        let text = ecc("0 1\n1 2\n", VertexOrder::None);
+        assert!(text.contains("radius     : 2"), "{text}");
+        assert!(
+            text.contains("diameter   : infinite (not strongly connected)"),
+            "{text}"
+        );
+        assert!(text.contains("reach all  : 1"), "{text}");
+        assert!(text.contains("reached by all: 1"), "{text}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

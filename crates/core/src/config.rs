@@ -1,5 +1,11 @@
 //! Configuration of the F-Diam runner, including the ablation switches
 //! evaluated in the paper's §6.5 (Table 5 / Figure 9).
+//!
+//! The runner (and this config) is undirected-only, like the paper's
+//! algorithm. Directed inputs are handled by the directed ExactSumSweep
+//! in `fdiam-analytics` (`directed_sum_sweep`), which the CLI and the
+//! HTTP service select automatically under `--directed` /
+//! `"directed": true`.
 
 use fdiam_bfs::BfsConfig;
 use fdiam_obs::RunId;

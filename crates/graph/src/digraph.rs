@@ -1,0 +1,348 @@
+//! Directed graphs as a forward + transposed CSR pair.
+//!
+//! The diameter algorithms need both traversal directions of a digraph:
+//! forward BFS for `d(v, ·)` and BFS on the transpose for `d(·, v)`.
+//! [`DiGraph`] therefore stores the arc set twice — once as a forward
+//! [`CsrGraph`] and once transposed — so each direction is a plain CSR
+//! scan and every undirected kernel (serial BFS, the bit-parallel
+//! 64-lane engine, the hybrid bottom-up machinery) runs unchanged on
+//! either side. The transpose *is* the bottom-up direction: a
+//! bottom-up step over the forward graph asks "which in-neighbors are
+//! on the frontier", and the in-neighbor lists are exactly the
+//! transpose's rows.
+//!
+//! Both sides are built through [`crate::builder::EdgeList`] with
+//! `symmetrize: false` (deduplicated, self-loops removed, rows sorted),
+//! so `DiGraph` equality is canonical just like [`CsrGraph`] equality.
+
+use crate::builder::{BuildOptions, EdgeList};
+use crate::csr::{CsrGraph, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// Build options shared by every `DiGraph` construction path: keep the
+/// arcs directed, deduplicate, drop self-loops (they never change any
+/// distance).
+fn directed_options() -> BuildOptions {
+    BuildOptions {
+        symmetrize: false,
+        dedup: true,
+        remove_self_loops: true,
+    }
+}
+
+/// An undirected-kernel-compatible digraph: the forward CSR and its
+/// transpose, kept in lockstep.
+///
+/// Invariants (checked by [`DiGraph::validate`]):
+/// * both sides pass [`CsrGraph::validate`]
+/// * equal vertex counts and equal arc counts
+/// * `u → v` is a forward arc iff `v → u` is a transpose arc
+///
+/// ```
+/// use fdiam_graph::{DiGraph, EdgeList};
+/// let mut el = EdgeList::new(3);
+/// el.push(0, 1);
+/// el.push(1, 2);
+/// let g = DiGraph::from_edge_list(&el);
+/// assert_eq!(g.out_neighbors(1), &[2]);
+/// assert_eq!(g.in_neighbors(1), &[0]);
+/// assert_eq!(g.num_arcs(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiGraph {
+    forward: CsrGraph,
+    transpose: CsrGraph,
+}
+
+impl DiGraph {
+    /// Builds a digraph from an arc list: the forward side directly,
+    /// the transpose from the reversed arcs, both through the same
+    /// dedup/self-loop pipeline.
+    ///
+    /// # Panics
+    /// Panics if the two builds disagree on arc counts — they cannot
+    /// for any input (reversal is a bijection on the deduplicated
+    /// loop-free arc set), so a panic here flags builder corruption.
+    pub fn from_edge_list(el: &EdgeList) -> Self {
+        let forward = el.to_csr_with(directed_options());
+        Self::from_csr(forward)
+    }
+
+    /// Wraps an existing directed CSR, computing its transpose. The
+    /// input must already be deduplicated and self-loop-free (any CSR
+    /// from [`EdgeList::to_csr_with`] with the directed options, or any
+    /// undirected `CsrGraph`, qualifies); duplicates or loops are
+    /// removed, which would break the arc-count invariant and panic.
+    pub fn from_csr(forward: CsrGraph) -> Self {
+        let mut rev = EdgeList::with_capacity(forward.num_vertices(), forward.num_arcs());
+        for (u, v) in forward.arcs() {
+            rev.push(v, u);
+        }
+        let transpose = rev.to_csr_with(directed_options());
+        assert_eq!(
+            forward.num_arcs(),
+            transpose.num_arcs(),
+            "transpose arc count mismatch: input CSR had duplicates or self-loops"
+        );
+        Self { forward, transpose }
+    }
+
+    /// Views an undirected graph as a digraph (every edge becomes an
+    /// arc pair, so forward == transpose). Directed algorithms then
+    /// agree with their undirected counterparts on connected inputs.
+    pub fn from_undirected(g: &CsrGraph) -> Self {
+        debug_assert!(g.is_symmetric(), "from_undirected needs a symmetric CSR");
+        Self {
+            forward: g.clone(),
+            transpose: g.clone(),
+        }
+    }
+
+    /// The empty digraph on `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            forward: CsrGraph::empty(n),
+            transpose: CsrGraph::empty(n),
+        }
+    }
+
+    /// The forward CSR (`out_neighbors` rows).
+    #[inline]
+    pub fn forward(&self) -> &CsrGraph {
+        &self.forward
+    }
+
+    /// The transposed CSR (`in_neighbors` rows).
+    #[inline]
+    pub fn transpose(&self) -> &CsrGraph {
+        &self.transpose
+    }
+
+    /// The reverse digraph (forward and transpose swapped). O(1) moves,
+    /// no rebuild.
+    pub fn transposed(self) -> Self {
+        Self {
+            forward: self.transpose,
+            transpose: self.forward,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.forward.num_vertices()
+    }
+
+    /// Number of directed arcs (each stored twice internally: once per
+    /// side).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.forward.num_arcs()
+    }
+
+    /// Out-neighbors of `v`, sorted ascending.
+    #[inline]
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.forward.neighbors(v)
+    }
+
+    /// In-neighbors of `v`, sorted ascending.
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.transpose.neighbors(v)
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.forward.degree(v)
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.transpose.degree(v)
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.forward.vertices()
+    }
+
+    /// True if the arc `u → v` exists.
+    pub fn has_arc(&self, u: VertexId, v: VertexId) -> bool {
+        self.forward.has_arc(u, v)
+    }
+
+    /// True if every arc also exists reversed — the digraph is an
+    /// undirected graph in disguise (forward == transpose).
+    pub fn is_symmetric(&self) -> bool {
+        self.forward == self.transpose
+    }
+
+    /// Relabels vertices on both sides with the same permutation
+    /// (`perm[i]` = original id of new vertex `i`), keeping the
+    /// forward/transpose pairing intact.
+    ///
+    /// # Panics
+    /// Panics if `perm` is not a permutation of `0..n`.
+    pub fn permute(&self, perm: &[VertexId]) -> Self {
+        let n = self.num_vertices();
+        assert_eq!(perm.len(), n, "perm length must equal n");
+        let mut to_new: Vec<VertexId> = vec![VertexId::MAX; n];
+        for (new, &old) in perm.iter().enumerate() {
+            assert!(
+                to_new[old as usize] == VertexId::MAX,
+                "duplicate vertex {old} in permutation"
+            );
+            to_new[old as usize] = new as VertexId;
+        }
+        let mut el = EdgeList::with_capacity(n, self.num_arcs());
+        for (u, v) in self.forward.arcs() {
+            el.push(to_new[u as usize], to_new[v as usize]);
+        }
+        Self::from_edge_list(&el)
+    }
+
+    /// Checks the structural invariants of the pair.
+    pub fn validate(&self) -> Result<(), String> {
+        self.forward.validate()?;
+        self.transpose.validate()?;
+        if self.forward.num_vertices() != self.transpose.num_vertices() {
+            return Err(format!(
+                "vertex count mismatch: forward {} vs transpose {}",
+                self.forward.num_vertices(),
+                self.transpose.num_vertices()
+            ));
+        }
+        if self.forward.num_arcs() != self.transpose.num_arcs() {
+            return Err(format!(
+                "arc count mismatch: forward {} vs transpose {}",
+                self.forward.num_arcs(),
+                self.transpose.num_arcs()
+            ));
+        }
+        for (u, v) in self.forward.arcs() {
+            if !self.transpose.has_arc(v, u) {
+                return Err(format!("forward arc {u} → {v} missing from transpose"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Estimated heap memory footprint in bytes (both sides).
+    pub fn memory_bytes(&self) -> usize {
+        self.forward.memory_bytes() + self.transpose.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_cycle() -> DiGraph {
+        // 0 → 1 → 2 → 0
+        let mut el = EdgeList::new(3);
+        el.push(0, 1);
+        el.push(1, 2);
+        el.push(2, 0);
+        DiGraph::from_edge_list(&el)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = triangle_cycle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_arcs(), 3);
+        assert_eq!(g.out_neighbors(0), &[1]);
+        assert_eq!(g.in_neighbors(0), &[2]);
+        assert_eq!(g.out_degree(2), 1);
+        assert_eq!(g.in_degree(2), 1);
+        assert!(g.has_arc(0, 1));
+        assert!(!g.has_arc(1, 0));
+        assert!(g.validate().is_ok());
+        assert!(!g.is_symmetric());
+    }
+
+    #[test]
+    fn dedup_and_self_loops() {
+        let mut el = EdgeList::new(3);
+        el.push(0, 1);
+        el.push(0, 1);
+        el.push(1, 1);
+        el.push(1, 2);
+        let g = DiGraph::from_edge_list(&el);
+        assert_eq!(g.num_arcs(), 2);
+        assert_eq!(g.out_neighbors(0), &[1]);
+        assert_eq!(g.in_neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn transpose_round_trip_is_identity() {
+        let g = triangle_cycle();
+        let back = g.clone().transposed().transposed();
+        assert_eq!(back, g);
+        // transposing swaps in/out
+        let t = g.clone().transposed();
+        assert_eq!(t.out_neighbors(0), g.in_neighbors(0));
+        assert_eq!(t.num_arcs(), g.num_arcs());
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn from_csr_matches_edge_list_build() {
+        let mut el = EdgeList::new(5);
+        for &(u, v) in &[(0, 3), (3, 1), (1, 0), (2, 4)] {
+            el.push(u, v);
+        }
+        let a = DiGraph::from_edge_list(&el);
+        let b = DiGraph::from_csr(a.forward().clone());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_undirected_is_symmetric() {
+        let g = EdgeList::from_undirected(4, &[(0, 1), (1, 2), (2, 3)]).to_undirected_csr();
+        let d = DiGraph::from_undirected(&g);
+        assert!(d.is_symmetric());
+        assert!(d.validate().is_ok());
+        assert_eq!(d.num_arcs(), g.num_arcs());
+        assert_eq!(d.out_neighbors(1), d.in_neighbors(1));
+    }
+
+    #[test]
+    fn empty_digraph() {
+        let g = DiGraph::empty(4);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_arcs(), 0);
+        assert!(g.validate().is_ok());
+        assert!(g.is_symmetric());
+        let z = DiGraph::empty(0);
+        assert_eq!(z.num_vertices(), 0);
+    }
+
+    #[test]
+    fn permute_preserves_structure() {
+        let g = triangle_cycle();
+        let p = g.permute(&[2, 0, 1]); // new 0 = old 2, new 1 = old 0, new 2 = old 1
+        assert_eq!(p.num_arcs(), 3);
+        // old arc 2 → 0 becomes new arc 0 → 1
+        assert!(p.has_arc(0, 1));
+        assert!(p.validate().is_ok());
+        // permuting back restores the original
+        assert_eq!(p.permute(&[1, 2, 0]), g);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn permute_rejects_non_permutation() {
+        triangle_cycle().permute(&[0, 0, 1]);
+    }
+
+    #[test]
+    fn serde_round_trip_via_clone_eq() {
+        // Serialize derives compile; equality is canonical.
+        let g = triangle_cycle();
+        assert_eq!(g, g.clone());
+    }
+}

@@ -8,14 +8,12 @@
 use super::{parse_err, GraphIoError};
 use crate::builder::EdgeList;
 use crate::csr::{CsrGraph, VertexId};
+use crate::digraph::DiGraph;
 use std::io::{BufRead, Write};
 
-/// Reads an edge list, producing an undirected graph on
+/// Shared parse loop: one `u v` pair per line into an [`EdgeList`] on
 /// `max(max id + 1, min_vertices)` vertices.
-pub fn read_edge_list<R: BufRead>(
-    reader: R,
-    min_vertices: usize,
-) -> Result<CsrGraph, GraphIoError> {
+fn read_pairs<R: BufRead>(reader: R, min_vertices: usize) -> Result<EdgeList, GraphIoError> {
     let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
     let mut max_id: i64 = -1;
     for (idx, line) in reader.lines().enumerate() {
@@ -43,7 +41,26 @@ pub fn read_edge_list<R: BufRead>(
     for (u, v) in edges {
         el.push(u, v);
     }
-    Ok(el.to_undirected_csr())
+    Ok(el)
+}
+
+/// Reads an edge list, producing an undirected graph on
+/// `max(max id + 1, min_vertices)` vertices.
+pub fn read_edge_list<R: BufRead>(
+    reader: R,
+    min_vertices: usize,
+) -> Result<CsrGraph, GraphIoError> {
+    Ok(read_pairs(reader, min_vertices)?.to_undirected_csr())
+}
+
+/// Reads the same format as [`read_edge_list`] but keeps each `u v`
+/// line as a single directed arc (no symmetrization; duplicates and
+/// self-loops are dropped by the [`DiGraph`] builder).
+pub fn read_directed_edge_list<R: BufRead>(
+    reader: R,
+    min_vertices: usize,
+) -> Result<DiGraph, GraphIoError> {
+    Ok(DiGraph::from_edge_list(&read_pairs(reader, min_vertices)?))
 }
 
 /// Writes the graph as an edge list (each undirected edge once, from
@@ -70,6 +87,15 @@ pub fn read_edge_list_file(
 ) -> Result<CsrGraph, GraphIoError> {
     let f = std::fs::File::open(path)?;
     read_edge_list(std::io::BufReader::new(f), min_vertices)
+}
+
+/// Convenience: [`read_directed_edge_list`] from a file path.
+pub fn read_directed_edge_list_file(
+    path: impl AsRef<std::path::Path>,
+    min_vertices: usize,
+) -> Result<DiGraph, GraphIoError> {
+    let f = std::fs::File::open(path)?;
+    read_directed_edge_list(std::io::BufReader::new(f), min_vertices)
 }
 
 /// Convenience: write to a file path.
@@ -113,6 +139,20 @@ mod tests {
     fn duplicate_and_reverse_edges_collapse() {
         let g = read_edge_list("0 1\n1 0\n0 1\n".as_bytes(), 0).unwrap();
         assert_eq!(g.num_undirected_edges(), 1);
+    }
+
+    #[test]
+    fn directed_reader_keeps_arc_orientation() {
+        let g = read_directed_edge_list("# arcs\n0 1\n1 2\n2 0\n0 1\n1 1\n".as_bytes(), 0).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_arcs(), 3, "duplicate arc and self-loop dropped");
+        assert!(g.has_arc(0, 1));
+        assert!(!g.has_arc(1, 0));
+        assert!(g.has_arc(2, 0));
+        let padded = read_directed_edge_list("0 1\n".as_bytes(), 4).unwrap();
+        assert_eq!(padded.num_vertices(), 4);
+        let err = read_directed_edge_list("0 x\n".as_bytes(), 0).unwrap_err();
+        assert!(matches!(err, GraphIoError::Parse { line: 1, .. }));
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! * [`CsrGraph`] — an undirected, unweighted graph in compressed
 //!   sparse row (CSR) form, the representation used by the paper
 //!   (each undirected edge is stored as two directed arcs).
+//! * [`DiGraph`] — a directed graph as a forward + transposed CSR
+//!   pair, so every undirected BFS kernel runs unchanged on either
+//!   traversal direction (the transpose is the bottom-up direction).
 //! * [`builder`] — edge-list accumulation and O(n + m) CSR
 //!   construction with symmetrization / deduplication options.
 //! * [`generators`] — deterministic synthetic graph generators covering
@@ -29,6 +32,7 @@ pub mod analysis;
 pub mod builder;
 pub mod components;
 pub mod csr;
+pub mod digraph;
 pub mod generators;
 pub mod io;
 pub mod order;
@@ -37,7 +41,8 @@ pub mod transform;
 pub use builder::{BuildOptions, EdgeList};
 pub use components::ConnectedComponents;
 pub use csr::{CsrGraph, VertexId};
-pub use order::{Relabeling, VertexOrder};
+pub use digraph::DiGraph;
+pub use order::{DiRelabeling, Relabeling, VertexOrder};
 
 /// Test-only diameter oracle (largest eccentricity over all
 /// components) by plain BFS from every vertex. Quadratic; fixtures only.

@@ -18,6 +18,7 @@
 //! [`Relabeling::to_original`] so callers never observe internal ids.
 
 use crate::csr::{CsrGraph, VertexId};
+use crate::digraph::DiGraph;
 use crate::transform::permute;
 
 /// Which load-time relabeling pass to run (`--order` in the CLI,
@@ -63,6 +64,61 @@ impl VertexOrder {
             VertexOrder::Degree => Some(relabel(g, degree_order(g))),
             VertexOrder::Bfs => Some(relabel(g, bfs_order(g))),
         }
+    }
+
+    /// Directed counterpart of [`VertexOrder::apply`]: the permutation
+    /// is derived from the **forward** CSR (out-degree order / forward
+    /// BFS discovery) and applied to both sides of the pair, so the
+    /// forward/transpose coupling survives the relabeling.
+    pub fn apply_directed(self, g: &DiGraph) -> Option<DiRelabeling> {
+        let perm = match self {
+            VertexOrder::None => return None,
+            VertexOrder::Degree => degree_order(g.forward()),
+            VertexOrder::Bfs => bfs_order(g.forward()),
+        };
+        let graph = g.permute(&perm);
+        let mut to_new = vec![0 as VertexId; perm.len()];
+        for (new, &old) in perm.iter().enumerate() {
+            to_new[old as usize] = new as VertexId;
+        }
+        Some(DiRelabeling {
+            graph,
+            to_original: perm,
+            to_new,
+        })
+    }
+}
+
+/// A remapped digraph plus both direction maps — the directed analogue
+/// of [`Relabeling`]: kernels run on [`DiRelabeling::graph`], results
+/// are translated back with [`DiRelabeling::original`].
+#[derive(Clone, Debug)]
+pub struct DiRelabeling {
+    /// The digraph with vertices renamed: new vertex `i` is original
+    /// vertex `to_original[i]` on both sides.
+    pub graph: DiGraph,
+    /// `new id → original id`.
+    pub to_original: Vec<VertexId>,
+    /// `original id → new id` (inverse of `to_original`).
+    pub to_new: Vec<VertexId>,
+}
+
+impl DiRelabeling {
+    /// Translates an internal (relabeled) id back to the original id.
+    #[inline]
+    pub fn original(&self, v: VertexId) -> VertexId {
+        self.to_original[v as usize]
+    }
+
+    /// Reorders a per-internal-vertex array into original-id indexing:
+    /// `out[original id] = values[internal id]`.
+    pub fn to_original_indexing<T: Copy>(&self, values: &[T]) -> Vec<T> {
+        assert_eq!(values.len(), self.to_original.len());
+        let mut out = values.to_vec();
+        for (new, &old) in self.to_original.iter().enumerate() {
+            out[old as usize] = values[new];
+        }
+        out
     }
 }
 
@@ -275,6 +331,37 @@ mod tests {
         for v in g.vertices() {
             assert_eq!(back[v as usize], r.to_new[v as usize]);
         }
+    }
+
+    #[test]
+    fn directed_relabeling_preserves_arcs_and_pairing() {
+        let g = crate::transform::orient(&barabasi_albert(80, 3, 2), 40, 9);
+        for order in [VertexOrder::Degree, VertexOrder::Bfs] {
+            let r = order.apply_directed(&g).unwrap();
+            assert!(r.graph.validate().is_ok());
+            assert_eq!(r.graph.num_arcs(), g.num_arcs());
+            for v in g.vertices() {
+                assert_eq!(r.to_new[r.to_original[v as usize] as usize], v);
+                assert_eq!(r.graph.out_degree(v), g.out_degree(r.original(v)));
+                assert_eq!(r.graph.in_degree(v), g.in_degree(r.original(v)));
+            }
+            for (u, v) in r.graph.forward().arcs() {
+                assert!(g.has_arc(r.original(u), r.original(v)));
+            }
+        }
+        assert!(VertexOrder::None.apply_directed(&g).is_none());
+    }
+
+    #[test]
+    fn directed_degree_order_uses_out_degree() {
+        // star oriented outward: hub has out-degree 9, leaves 0
+        let mut el = crate::builder::EdgeList::new(10);
+        for v in 1..10 {
+            el.push(0, v);
+        }
+        let g = crate::digraph::DiGraph::from_edge_list(&el);
+        let r = VertexOrder::Degree.apply_directed(&g).unwrap();
+        assert_eq!(r.to_original[0], 0, "hub first under out-degree order");
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Graph transformations: induced subgraphs, relabeling, isolated-vertex
-//! removal, and disjoint union (used to build disconnected test inputs).
+//! removal, disjoint union (used to build disconnected test inputs), and
+//! deterministic edge orientation (undirected → directed test inputs).
 
 use crate::builder::EdgeList;
 use crate::csr::{CsrGraph, VertexId};
+use crate::digraph::DiGraph;
 
 /// Subgraph induced by `members` (which must contain distinct, valid
 /// ids). Vertex `members[i]` becomes new vertex `i`.
@@ -122,6 +124,49 @@ pub fn with_universal_vertex(g: &CsrGraph) -> CsrGraph {
         el.push(v, hub);
     }
     el.to_undirected_csr()
+}
+
+/// SplitMix64 — the tiny seeded hash behind [`orient`]. Dependency-free
+/// and stable across platforms, so orientations are reproducible
+/// everywhere the generators are.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministically orients an undirected graph into a [`DiGraph`].
+///
+/// Each undirected edge `{u, v}` (taken once, from the lower id)
+/// independently becomes, with a seeded per-edge coin:
+/// * **both** arcs `u → v` and `v → u` with probability
+///   `bidirectional_pct / 100` — bidirectional edges are what gives the
+///   result non-trivial strongly connected components;
+/// * otherwise a **single** arc, direction chosen by a second coin.
+///
+/// `bidirectional_pct = 100` reproduces the undirected graph (the
+/// result [`DiGraph::is_symmetric`]); `0` yields a pure orientation
+/// (acyclic for the id-ordered coin only by chance, not by design).
+/// The same `(graph, pct, seed)` triple always yields the same digraph.
+pub fn orient(g: &CsrGraph, bidirectional_pct: u32, seed: u64) -> DiGraph {
+    assert!(bidirectional_pct <= 100, "percentage must be ≤ 100");
+    let mut el = EdgeList::with_capacity(g.num_vertices(), g.num_arcs());
+    for (u, v) in g.arcs() {
+        if u >= v {
+            continue; // each undirected edge once; self-loops dropped anyway
+        }
+        let h = splitmix64(seed ^ ((u as u64) << 32 | v as u64));
+        if (h % 100) < bidirectional_pct as u64 {
+            el.push(u, v);
+            el.push(v, u);
+        } else if (h >> 32) & 1 == 0 {
+            el.push(u, v);
+        } else {
+            el.push(v, u);
+        }
+    }
+    DiGraph::from_edge_list(&el)
 }
 
 #[cfg(test)]
@@ -248,5 +293,33 @@ mod tests {
         let g = with_universal_vertex(&CsrGraph::empty(0));
         assert_eq!(g.num_vertices(), 1);
         assert_eq!(g.num_arcs(), 0);
+    }
+
+    #[test]
+    fn orient_is_deterministic_and_valid() {
+        let g = crate::generators::erdos_renyi_gnm(60, 120, 7);
+        let a = orient(&g, 30, 42);
+        let b = orient(&g, 30, 42);
+        assert_eq!(a, b);
+        assert!(a.validate().is_ok());
+        // every original edge survives in at least one direction
+        for (u, v) in g.arcs() {
+            if u < v {
+                assert!(a.has_arc(u, v) || a.has_arc(v, u), "lost edge {u}-{v}");
+            }
+        }
+        // different seeds give different orientations on a real graph
+        assert_ne!(a, orient(&g, 30, 43));
+    }
+
+    #[test]
+    fn orient_extremes() {
+        let g = cycle(8);
+        let all_bi = orient(&g, 100, 1);
+        assert!(all_bi.is_symmetric());
+        assert_eq!(all_bi.num_arcs(), g.num_arcs());
+        let none_bi = orient(&g, 0, 1);
+        assert_eq!(none_bi.num_arcs(), g.num_arcs() / 2);
+        assert!(none_bi.validate().is_ok());
     }
 }

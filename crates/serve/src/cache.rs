@@ -12,18 +12,28 @@
 //! the loser's copy is dropped (last insert wins). That waste is
 //! bounded by the worker count and avoids holding a lock across I/O.
 
-use fdiam_graph::{CsrGraph, VertexId, VertexOrder};
+use fdiam_graph::{CsrGraph, DiGraph, VertexId, VertexOrder};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-/// A cached graph as the compute kernels see it: the CSR (possibly
-/// relabeled at load time for cache locality) plus the map back to the
-/// input's original ids. The map is part of the cache value — the same
-/// `spec`/`path` under different `order`s is a different key, and every
-/// id that leaves a worker goes back through [`LoadedGraph::original`].
+/// The adjacency structure a cache entry holds: requests carrying
+/// `"directed": true` load (and are keyed as) a [`DiGraph`], everything
+/// else the symmetric CSR.
+#[derive(Debug)]
+pub enum CachedTopology {
+    Undirected(CsrGraph),
+    Directed(DiGraph),
+}
+
+/// A cached graph as the compute kernels see it: the adjacency
+/// (possibly relabeled at load time for cache locality) plus the map
+/// back to the input's original ids. The map is part of the cache
+/// value — the same `spec`/`path` under different `order`s (or
+/// directedness) is a different key, and every id that leaves a worker
+/// goes back through [`LoadedGraph::original`].
 #[derive(Debug)]
 pub struct LoadedGraph {
-    pub graph: CsrGraph,
+    pub topology: CachedTopology,
     /// `internal id → original id`; `None` when no relabeling ran
     /// (ids are already original).
     pub to_original: Option<Vec<VertexId>>,
@@ -34,13 +44,44 @@ impl LoadedGraph {
     pub fn new(graph: CsrGraph, order: VertexOrder) -> Self {
         match order.apply(&graph) {
             None => Self {
-                graph,
+                topology: CachedTopology::Undirected(graph),
                 to_original: None,
             },
             Some(r) => Self {
-                graph: r.graph,
+                topology: CachedTopology::Undirected(r.graph),
                 to_original: Some(r.to_original),
             },
+        }
+    }
+
+    /// Applies `order` to a freshly loaded digraph.
+    pub fn new_directed(graph: DiGraph, order: VertexOrder) -> Self {
+        match order.apply_directed(&graph) {
+            None => Self {
+                topology: CachedTopology::Directed(graph),
+                to_original: None,
+            },
+            Some(r) => Self {
+                topology: CachedTopology::Directed(r.graph),
+                to_original: Some(r.to_original),
+            },
+        }
+    }
+
+    /// The symmetric CSR. Panics on a directed entry — keys segregate
+    /// the two, so an undirected job never observes a [`DiGraph`].
+    pub fn csr(&self) -> &CsrGraph {
+        match &self.topology {
+            CachedTopology::Undirected(g) => g,
+            CachedTopology::Directed(_) => panic!("directed cache entry asked for a CSR"),
+        }
+    }
+
+    /// The digraph. Panics on an undirected entry (see [`Self::csr`]).
+    pub fn digraph(&self) -> &DiGraph {
+        match &self.topology {
+            CachedTopology::Directed(g) => g,
+            CachedTopology::Undirected(_) => panic!("undirected cache entry asked for a digraph"),
         }
     }
 
@@ -67,9 +108,13 @@ impl LoadedGraph {
         }
     }
 
-    /// Resident bytes: the CSR plus the id map riding along with it.
+    /// Resident bytes: the adjacency plus the id map riding with it.
     pub fn memory_bytes(&self) -> usize {
-        self.graph.memory_bytes()
+        let adjacency = match &self.topology {
+            CachedTopology::Undirected(g) => g.memory_bytes(),
+            CachedTopology::Directed(g) => g.memory_bytes(),
+        };
+        adjacency
             + self
                 .to_original
                 .as_ref()
@@ -219,7 +264,7 @@ mod tests {
         let cache = GraphCache::new(1); // budget smaller than any graph
         let (g, outcome) = cache.get_or_load("big", || Ok(sized_graph())).unwrap();
         assert_eq!(outcome, CacheOutcome::Miss);
-        assert_eq!(g.graph.num_vertices(), 100);
+        assert_eq!(g.csr().num_vertices(), 100);
         // It stays resident (never evict the newest entry) until the
         // next insert pushes it out.
         assert_eq!(cache.keys_lru_order(), vec!["big"]);
@@ -240,20 +285,44 @@ mod tests {
         assert_eq!(map.len(), 10);
         for v in 0..10u32 {
             assert_eq!(
-                ordered.graph.degree(v),
+                ordered.csr().degree(v),
                 star(10).degree(ordered.original(v))
             );
         }
         // the id map's bytes count against the cache budget
         assert_eq!(
             ordered.memory_bytes(),
-            ordered.graph.memory_bytes() + 10 * std::mem::size_of::<u32>()
+            ordered.csr().memory_bytes() + 10 * std::mem::size_of::<u32>()
         );
         // round-trip: internal values land at their original index
         let values: Vec<u32> = (0..10).map(|i| 100 + i).collect();
         let back = ordered.original_indexing(&values);
         for v in 0..10usize {
             assert_eq!(back[map[v] as usize], values[v]);
+        }
+    }
+
+    #[test]
+    fn directed_entries_relabel_and_count_both_sides() {
+        use fdiam_graph::EdgeList;
+        let mut el = EdgeList::new(4);
+        for &(u, v) in &[(0, 1), (1, 2), (2, 3), (3, 0)] {
+            el.push(u, v);
+        }
+        let dg = DiGraph::from_edge_list(&el);
+        let plain = LoadedGraph::new_directed(dg.clone(), VertexOrder::None);
+        assert!(plain.to_original.is_none());
+        assert_eq!(plain.digraph().num_arcs(), 4);
+        // forward + transpose CSR both count against the budget
+        assert_eq!(plain.memory_bytes(), dg.memory_bytes());
+
+        let ordered = LoadedGraph::new_directed(dg.clone(), VertexOrder::Bfs);
+        let g = ordered.digraph();
+        for v in 0..4u32 {
+            assert_eq!(g.out_degree(v), 1);
+            // relabeling preserves arcs up to the id translation
+            let w = g.out_neighbors(v)[0];
+            assert!(dg.has_arc(ordered.original(v), ordered.original(w)));
         }
     }
 

@@ -24,7 +24,11 @@
 //! full per-vertex array), `order` (load-time vertex relabeling:
 //! `"none"`, `"degree"`, or `"bfs"` — a cache-locality hint; every id
 //! in the response and the event stream stays in the input's original
-//! space).
+//! space), `directed` (diameter endpoint: load the input as a digraph
+//! — edge-list `u v` lines stay one-way arcs — and answer with the
+//! directed SumSweep; `diameter`/`radius` are `null` when infinite).
+//! Directed runs publish the same bounds-snapshot lifecycle, so they
+//! are watchable through `GET /v1/runs` like any other run.
 //!
 //! ## Architecture
 //!
@@ -48,7 +52,7 @@
 mod cache;
 mod http;
 
-pub use cache::{CacheOutcome, GraphCache, LoadedGraph};
+pub use cache::{CacheOutcome, CachedTopology, GraphCache, LoadedGraph};
 
 use fdiam_bfs::BfsScratch;
 use fdiam_core::FdiamConfig;
@@ -188,10 +192,15 @@ struct Job {
     endpoint: Endpoint,
     /// Cache key: the `spec:`/`path:`-prefixed graph reference, plus
     /// an `#order=…` suffix when a relabeling pass is requested (the
-    /// same input under different orders is a different CSR).
+    /// same input under different orders is a different CSR) and a
+    /// `#directed` suffix for digraph loads (a different adjacency
+    /// entirely).
     graph_key: String,
     /// Load-time relabeling pass applied on cache miss.
     order: VertexOrder,
+    /// Load the input as a digraph and answer with the directed
+    /// SumSweep (diameter endpoint only).
+    directed: bool,
     serial: bool,
     include_values: bool,
     sleep_ms: u64,
@@ -554,9 +563,22 @@ fn parse_job(
             ))
         }
     };
+    let directed = match v.get("directed") {
+        None => false,
+        Some(d) => match d.as_bool() {
+            Some(b) => b,
+            None => return Err((stream, "directed must be a boolean".into())),
+        },
+    };
+    if directed && matches!(endpoint, Endpoint::Eccentricities) {
+        return Err((stream, "directed is only supported on /v1/diameter".into()));
+    }
     if order != VertexOrder::None {
         graph_key.push_str("#order=");
         graph_key.push_str(order.as_str());
+    }
+    if directed {
+        graph_key.push_str("#directed");
     }
 
     let timeout = match v.get("timeout_secs") {
@@ -584,6 +606,7 @@ fn parse_job(
         endpoint,
         graph_key,
         order,
+        directed,
         serial: v
             .get("serial")
             .and_then(JsonValue::as_bool)
@@ -659,14 +682,28 @@ fn serve_job(
         }
     }
 
-    // Strip the `#order=…` suffix back off: it addresses the cache,
-    // not the loader. The relabeling pass runs once, on miss, and its
-    // map is cached with the CSR.
+    // Strip the `#directed` / `#order=…` suffixes back off (reverse of
+    // how parse_job appended them): they address the cache, not the
+    // loader. The relabeling pass runs once, on miss, and its map is
+    // cached with the adjacency.
     let base = job
         .graph_key
-        .split_once("#order=")
-        .map_or(job.graph_key.as_str(), |(b, _)| b);
+        .strip_suffix("#directed")
+        .unwrap_or(&job.graph_key);
+    let base = base.split_once("#order=").map_or(base, |(b, _)| b);
     let load = || {
+        if job.directed {
+            // Generator specs are undirected by construction and load
+            // bidirected; edge-list paths keep their arc orientation.
+            let g = match base.split_once(':') {
+                Some(("spec", s)) => {
+                    fdiam_graph::DiGraph::from_undirected(&fdiam_cli::generate_graph(s)?)
+                }
+                Some(("path", p)) => fdiam_cli::read_digraph(p)?,
+                _ => unreachable!("keys are built in parse_job"),
+            };
+            return Ok(LoadedGraph::new_directed(g, job.order));
+        }
         let g = match base.split_once(':') {
             Some(("spec", s)) => fdiam_cli::generate_graph(s),
             Some(("path", p)) => fdiam_cli::read_graph(p),
@@ -700,9 +737,10 @@ fn serve_job(
     // registers, every bounds snapshot updates the live view, run_end
     // deregisters.
     let tee = Tee(observer, &shared.registry);
-    let body = match job.endpoint {
-        Endpoint::Diameter => compute_diameter(&graph, &job, scratch, &tee),
-        Endpoint::Eccentricities => compute_eccentricities(&graph, &job, &tee),
+    let body = match (job.endpoint, job.directed) {
+        (Endpoint::Diameter, true) => compute_directed_diameter(&graph, &job, &tee),
+        (Endpoint::Diameter, false) => compute_diameter(&graph, &job, scratch, &tee),
+        (Endpoint::Eccentricities, _) => compute_eccentricities(&graph, &job, &tee),
     };
     match body {
         Some(obj) => {
@@ -754,7 +792,7 @@ fn compute_diameter(
         }
         None => observer,
     };
-    let g = &lg.graph;
+    let g = lg.csr();
     let config = if job.serial {
         FdiamConfig::serial()
     } else {
@@ -784,6 +822,60 @@ fn compute_diameter(
     Some(obj)
 }
 
+/// Directed SumSweep under the job's token; `None` means the deadline
+/// fired. Infinite diameter/radius (not strongly connected / no vertex
+/// reaches all) serialize as JSON `null`.
+fn compute_directed_diameter(
+    lg: &LoadedGraph,
+    job: &Job,
+    observer: &dyn fdiam_obs::Observer,
+) -> Option<JsonObject> {
+    let remap_storage;
+    let observer: &dyn fdiam_obs::Observer = match &lg.to_original {
+        Some(map) => {
+            remap_storage = RemapIds::new(observer, map);
+            &remap_storage
+        }
+        None => observer,
+    };
+    let g = lg.digraph();
+    let r = fdiam_analytics::directed_sum_sweep_observed(g, job.run, observer, Some(&job.token))
+        .ok()?;
+    let mut obj = JsonObject::new()
+        .bool("directed", true)
+        .usize("n", g.num_vertices())
+        .usize("arcs", g.num_arcs());
+    let Some(r) = r else {
+        // The empty graph: nothing to measure, but not a deadline.
+        return Some(
+            obj.raw("diameter", "null")
+                .raw("radius", "null")
+                .bool("strongly_connected", false)
+                .usize("sccs", 0)
+                .usize("traversals", 0),
+        );
+    };
+    obj = match r.diameter {
+        Some(d) => obj.u64("diameter", u64::from(d)),
+        None => obj.raw("diameter", "null"),
+    };
+    obj = match r.radius {
+        Some(rad) => obj.u64("radius", u64::from(rad)),
+        None => obj.raw("radius", "null"),
+    };
+    obj = obj
+        .bool("strongly_connected", r.strongly_connected)
+        .usize("sccs", r.num_sccs)
+        .usize("traversals", r.bfs_calls);
+    if let Some(v) = r.diametral_vertex {
+        obj = obj.u64("diametral_vertex", u64::from(lg.original(v)));
+    }
+    if let Some(v) = r.central_vertex {
+        obj = obj.u64("central_vertex", u64::from(lg.original(v)));
+    }
+    Some(obj)
+}
+
 /// Takes–Kosters all-eccentricities under the job's token.
 fn compute_eccentricities(
     lg: &LoadedGraph,
@@ -798,7 +890,7 @@ fn compute_eccentricities(
         }
         None => observer,
     };
-    let g = &lg.graph;
+    let g = lg.csr();
     let r =
         fdiam_analytics::bounding_eccentricities_observed(g, job.run, observer, Some(&job.token))
             .ok()?;

@@ -632,6 +632,92 @@ fn runs_endpoint_rejects_unknown_and_malformed_ids() {
 }
 
 #[test]
+fn directed_diameter_requests_are_served_and_cached_separately() {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let dir = std::env::temp_dir().join("fdiam_serve_directed_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    // A directed 6-cycle: one-way diameter 5; read undirected it's 3.
+    let cyc = dir.join("cycle.txt");
+    std::fs::write(&cyc, "0 1\n1 2\n2 3\n3 4\n4 5\n5 0\n").unwrap();
+    let cyc = cyc.to_string_lossy().into_owned();
+
+    let body = format!(r#"{{"path": "{cyc}", "directed": true}}"#);
+    let r = post(addr, "/v1/diameter", &body);
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert_eq!(r.field_u64("diameter"), 5);
+    assert_eq!(r.field_u64("radius"), 5);
+    assert_eq!(r.field_u64("sccs"), 1);
+    assert_eq!(r.field_str("cache"), "miss");
+    assert!(r
+        .json()
+        .get("strongly_connected")
+        .and_then(JsonValue::as_bool)
+        .unwrap());
+
+    // Same body again: served from the cache.
+    let r = post(addr, "/v1/diameter", &body);
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert_eq!(r.field_str("cache"), "hit");
+
+    // The undirected read of the same file is a different cache entry
+    // with the symmetrized answer.
+    let und = format!(r#"{{"path": "{cyc}"}}"#);
+    let r = post(addr, "/v1/diameter", &und);
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert_eq!(r.field_str("cache"), "miss");
+    assert_eq!(r.field_u64("diameter"), 3);
+
+    // A DAG: infinite diameter surfaces as null, the radius stays
+    // finite (vertex 0 reaches everything).
+    let dag = dir.join("dag.txt");
+    std::fs::write(&dag, "0 1\n1 2\n2 3\n").unwrap();
+    let dag = dag.to_string_lossy().into_owned();
+    let r = post(
+        addr,
+        "/v1/diameter",
+        &format!(r#"{{"path": "{dag}", "directed": true}}"#),
+    );
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert!(
+        r.body.contains("\"diameter\":null"),
+        "diameter must be null: {}",
+        r.body
+    );
+    assert_eq!(r.field_u64("radius"), 3);
+    assert_eq!(r.field_u64("central_vertex"), 0);
+    assert_eq!(r.field_u64("sccs"), 4);
+
+    // directed composes with order; ids still leave in original space.
+    let r = post(
+        addr,
+        "/v1/diameter",
+        &format!(r#"{{"path": "{dag}", "directed": true, "order": "bfs"}}"#),
+    );
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert_eq!(r.field_str("cache"), "miss");
+    assert_eq!(r.field_u64("central_vertex"), 0);
+
+    // Bad uses are rejected up front.
+    let r = post(
+        addr,
+        "/v1/diameter",
+        r#"{"spec": "grid:2x2", "directed": "yes"}"#,
+    );
+    assert_eq!(r.status, 400, "{}", r.body);
+    let r = post(
+        addr,
+        "/v1/eccentricities",
+        r#"{"spec": "grid:2x2", "directed": true}"#,
+    );
+    assert_eq!(r.status, 400, "{}", r.body);
+
+    std::fs::remove_dir_all(&dir).ok();
+    server.shutdown();
+}
+
+#[test]
 fn bad_requests_are_400_not_500() {
     let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
     let addr = server.local_addr();

@@ -2,20 +2,23 @@
 //! command line (and from CI's nightly cron):
 //!
 //! ```text
-//! fuzz-differential [--iters N] [--seed S]
+//! fuzz-differential [--iters N] [--seed S] [--directed]
 //! ```
 //!
 //! Every case is one `u64` seed; a failure prints the seed and the
 //! full mismatch list, so `fuzz-differential --seed <s> --iters 1`
-//! reproduces it exactly. `FDIAM_FUZZ_ITERS` / `FDIAM_FUZZ_SEED`
-//! override the defaults when flags are absent (flags win).
-//! Exits 1 on any mismatch.
+//! (plus `--directed` if it was a directed case) reproduces it
+//! exactly. `--directed` switches to the directed stream: oriented
+//! digraphs checked against the directed oracle (SCCs, directed
+//! SumSweep, directed kernels). `FDIAM_FUZZ_ITERS` /
+//! `FDIAM_FUZZ_SEED` override the defaults when flags are absent
+//! (flags win). Exits 1 on any mismatch.
 
-use fdiam_testkit::run_fuzz;
+use fdiam_testkit::{run_fuzz, run_fuzz_directed};
 use std::process::ExitCode;
 
 fn usage() -> ! {
-    eprintln!("usage: fuzz-differential [--iters N] [--seed S]");
+    eprintln!("usage: fuzz-differential [--iters N] [--seed S] [--directed]");
     std::process::exit(2);
 }
 
@@ -45,12 +48,14 @@ fn env_u64(name: &str, default: u64) -> u64 {
 fn main() -> ExitCode {
     let mut iters = env_u64("FDIAM_FUZZ_ITERS", 200);
     let mut seed = env_u64("FDIAM_FUZZ_SEED", 0xF_D1A);
+    let mut directed = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--iters" => iters = parse_u64(args.next(), "--iters"),
             "--seed" => seed = parse_u64(args.next(), "--seed"),
+            "--directed" => directed = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("fuzz-differential: unknown argument {other:?}");
@@ -59,18 +64,24 @@ fn main() -> ExitCode {
         }
     }
 
-    println!("fuzz-differential: {iters} case(s) starting at seed {seed}");
-    let report = run_fuzz(seed, iters as usize);
+    let mode = if directed { "directed " } else { "" };
+    println!("fuzz-differential: {iters} {mode}case(s) starting at seed {seed}");
+    let report = if directed {
+        run_fuzz_directed(seed, iters as usize)
+    } else {
+        run_fuzz(seed, iters as usize)
+    };
     if report.ok() {
         println!(
-            "fuzz-differential: OK — {} case(s), zero mismatches across the code matrix",
+            "fuzz-differential: OK — {} {mode}case(s), zero mismatches across the code matrix",
             report.cases
         );
         return ExitCode::SUCCESS;
     }
+    let repro_flag = if directed { " --directed" } else { "" };
     for f in &report.failures {
         eprintln!(
-            "FAIL seed {} ({}): reproduce with `fuzz-differential --seed {} --iters 1`",
+            "FAIL seed {} ({}): reproduce with `fuzz-differential{repro_flag} --seed {} --iters 1`",
             f.seed, f.description, f.seed
         );
         for m in &f.mismatches {

@@ -12,7 +12,8 @@ use fdiam_graph::generators::{
     attach_tendrils, barabasi_albert, grid2d, kronecker_graph500, random_geometric, rmat,
     road_network, RmatProbabilities,
 };
-use fdiam_graph::CsrGraph;
+use fdiam_graph::transform::orient;
+use fdiam_graph::{CsrGraph, DiGraph};
 
 /// Number of generator families — one per bench-suite entry.
 pub const NUM_FAMILIES: usize = 17;
@@ -85,6 +86,26 @@ pub fn families(seed: u64) -> impl Iterator<Item = (&'static str, CsrGraph)> {
     (0..NUM_FAMILIES).map(move |i| (FAMILY_NAMES[i], build_family(i, seed ^ (i as u64) << 8)))
 }
 
+/// Directed variant of family `idx`: the undirected instance run
+/// through [`orient`] with a bidirectionality percentage that rotates
+/// through the interesting regimes — fully symmetric (strongly
+/// connected whenever the base is connected), mostly bidirectional
+/// (one giant SCC plus fringes), mixed, and near-pure orientation
+/// (condensations with many SCCs, often infinite radius). The same
+/// `(idx, seed)` always yields the same digraph.
+pub fn directed_family(idx: usize, seed: u64) -> DiGraph {
+    let pct = DIRECTED_BIDIR_PCTS[idx % DIRECTED_BIDIR_PCTS.len()];
+    orient(&build_family(idx, seed), pct, seed ^ 0xD1_5EED)
+}
+
+/// Bidirectionality percentages [`directed_family`] rotates through.
+pub const DIRECTED_BIDIR_PCTS: [u32; 4] = [100, 67, 33, 5];
+
+/// All 17 directed families with instance seeds derived from `seed`.
+pub fn directed_families(seed: u64) -> impl Iterator<Item = (&'static str, DiGraph)> {
+    (0..NUM_FAMILIES).map(move |i| (FAMILY_NAMES[i], directed_family(i, seed ^ (i as u64) << 8)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,6 +129,34 @@ mod tests {
         // isolated-vertex stressor; make sure shrinking preserved that.
         let g = build_family(10, 0xF_D1A);
         assert!(g.num_isolated_vertices() > 0, "expected isolated vertices");
+    }
+
+    #[test]
+    fn directed_families_cover_both_regimes() {
+        let mut symmetric = 0;
+        let mut multi_scc = 0;
+        for (name, g) in directed_families(0xF_D1A) {
+            assert!(g.num_vertices() > 0, "{name} built an empty digraph");
+            g.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            if g.is_symmetric() {
+                symmetric += 1;
+            }
+            if crate::oracle::kosaraju_scc(&g).iter().max().copied() > Some(0) {
+                multi_scc += 1;
+            }
+        }
+        // The pct rotation must produce both fully symmetric instances
+        // and genuinely directed ones with several SCCs.
+        assert!(symmetric >= 2, "only {symmetric} symmetric instances");
+        assert!(multi_scc >= 2, "only {multi_scc} multi-SCC instances");
+    }
+
+    #[test]
+    fn directed_families_are_deterministic() {
+        let a = directed_family(3, 77);
+        let b = directed_family(3, 77);
+        assert_eq!(a, b);
+        assert_ne!(directed_family(3, 77), directed_family(3, 78));
     }
 
     #[test]

@@ -21,13 +21,13 @@
 //! the O(n·m) oracle.
 
 use crate::families::{build_family, FAMILY_NAMES, NUM_FAMILIES};
-use crate::harness::differential_check;
+use crate::harness::{differential_check, differential_check_directed};
 use fdiam_graph::builder::EdgeList;
 use fdiam_graph::generators::path;
 use fdiam_graph::transform::{
-    disjoint_union, with_isolated_vertices, with_pendant_path, with_universal_vertex,
+    disjoint_union, orient, with_isolated_vertices, with_pendant_path, with_universal_vertex,
 };
-use fdiam_graph::{CsrGraph, VertexId};
+use fdiam_graph::{CsrGraph, DiGraph, VertexId};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -85,6 +85,60 @@ pub fn run_fuzz(start_seed: u64, iters: usize) -> FuzzReport {
         let case = fuzz_case(seed);
         let name = format!("fuzz#{seed} {}", case.description);
         let mismatches = differential_check(&name, &case.graph);
+        report.cases += 1;
+        if !mismatches.is_empty() {
+            report.failures.push(FuzzFailure {
+                seed,
+                description: case.description,
+                mismatches,
+            });
+        }
+    }
+    report
+}
+
+/// One generated digraph plus the recipe that built it. The undirected
+/// seed → graph mapping is pinned by tests, so directed cases derive
+/// from their own salted stream instead of reinterpreting it.
+pub struct DirFuzzCase {
+    pub seed: u64,
+    pub description: String,
+    pub graph: DiGraph,
+}
+
+/// Salt separating the directed fuzz stream from the undirected one —
+/// `fuzz_case(s)` and `fuzz_case_directed(s)` share no randomness.
+const DIRECTED_FUZZ_SALT: u64 = 0xD1_F0_22;
+
+/// Deterministically builds the digraph for `seed`: an undirected base
+/// drawn from the full [`fuzz_case`] distribution, run through
+/// [`orient`] with a fuzzed bidirectionality percentage. Low
+/// percentages produce many-SCC condensations (infinite diameters,
+/// often infinite radii); 100 reproduces the symmetric case.
+pub fn fuzz_case_directed(seed: u64) -> DirFuzzCase {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ DIRECTED_FUZZ_SALT);
+    let base = fuzz_case(rng.gen());
+    let pct = rng.gen_range(0u32..=100);
+    let orient_seed: u64 = rng.gen();
+    DirFuzzCase {
+        seed,
+        description: format!(
+            "orient(pct={pct}, seed={orient_seed}) of {}",
+            base.description
+        ),
+        graph: orient(&base.graph, pct, orient_seed),
+    }
+}
+
+/// Runs `iters` seeds starting at `start_seed` through the directed
+/// differential harness.
+pub fn run_fuzz_directed(start_seed: u64, iters: usize) -> FuzzReport {
+    let mut report = FuzzReport::default();
+    for i in 0..iters {
+        let seed = start_seed.wrapping_add(i as u64);
+        let case = fuzz_case_directed(seed);
+        let name = format!("dirfuzz#{seed} {}", case.description);
+        let mismatches = differential_check_directed(&name, &case.graph);
         report.cases += 1;
         if !mismatches.is_empty() {
             report.failures.push(FuzzFailure {
@@ -260,6 +314,41 @@ mod tests {
         assert!(
             report.ok(),
             "differential failures:\n{:#?}",
+            report.failures
+        );
+    }
+
+    #[test]
+    fn directed_cases_are_deterministic_and_valid() {
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+            let a = fuzz_case_directed(seed);
+            let b = fuzz_case_directed(seed);
+            assert_eq!(a.description, b.description);
+            assert_eq!(a.graph, b.graph);
+            a.graph.validate().expect("valid digraph");
+        }
+    }
+
+    #[test]
+    fn directed_stream_is_independent_of_the_undirected_one() {
+        // Pinned undirected mapping must be untouched by the directed
+        // salt: same seed, different streams.
+        let und = fuzz_case(7).description;
+        let dir = fuzz_case_directed(7).description;
+        assert!(dir.starts_with("orient(pct="));
+        assert!(
+            !dir.ends_with(&und),
+            "directed case reused the undirected stream"
+        );
+    }
+
+    #[test]
+    fn smoke_directed_fuzz_runs_clean() {
+        let report = run_fuzz_directed(0, 15);
+        assert_eq!(report.cases, 15);
+        assert!(
+            report.ok(),
+            "directed differential failures:\n{:#?}",
             report.failures
         );
     }

@@ -9,15 +9,22 @@
 //! [`assert_differential`] is the test-friendly wrapper that fails
 //! with the full list.
 
-use crate::oracle::{bound_violations, reference_distances, reference_farthest, Oracle, UNREACHED};
+use crate::oracle::{
+    bound_violations, reference_distances, reference_distances_directed, reference_farthest,
+    DirectedOracle, Oracle, UNREACHED,
+};
+use fdiam_analytics::{
+    condensation, directed_eccentricities, directed_sum_sweep, directed_sum_sweep_batched,
+    DirSumSweepResult, StronglyConnectedComponents,
+};
 use fdiam_baselines::ifub::{ifub_with, IfubKernel, IfubOptions};
 use fdiam_baselines::naive::naive_diameter;
 use fdiam_bfs::{
-    bfs_eccentricity_hybrid, bfs_eccentricity_serial, bfs_eccentricity_serial_hybrid, BfsConfig,
-    BfsScratch,
+    bfs_distances_directed, bfs_eccentricity_hybrid, bfs_eccentricity_serial,
+    bfs_eccentricity_serial_hybrid, bp64_distances_directed, BfsConfig, BfsScratch, SweepDirection,
 };
 use fdiam_core::{diameter_with, FdiamConfig};
-use fdiam_graph::{CsrGraph, VertexId};
+use fdiam_graph::{CsrGraph, DiGraph, VertexId, VertexOrder};
 
 /// The two direction-switch heuristics every hybrid-kernel code is
 /// exercised under: Beamer α/β (the default) and the paper's fixed
@@ -282,6 +289,294 @@ fn check_bfs_kernels(g: &CsrGraph, oracle: &Oracle, name: &str, out: &mut Vec<St
     }
 }
 
+/// Directed counterpart of [`differential_check`]: the directed
+/// ExactSumSweep (serial and bit-parallel batched, across all vertex
+/// orderings), both directed BFS kernels, the all-pairs directed
+/// eccentricities, and the Tarjan SCC decomposition, every answer
+/// compared against the independent [`DirectedOracle`] (which carries
+/// its own Kosaraju reference). Returns the list of mismatches.
+pub fn differential_check_directed(name: &str, g: &DiGraph) -> Vec<String> {
+    let oracle = DirectedOracle::compute(g);
+    let mut out = Vec::new();
+    check_dir_scc(g, &oracle, name, &mut out);
+    check_dir_sum_sweep(g, &oracle, name, &mut out);
+    check_dir_eccentricities(g, &oracle, name, &mut out);
+    check_dir_kernels(g, &oracle, name, &mut out);
+    out
+}
+
+/// Panics with the full mismatch list if any directed code disagrees
+/// with the directed oracle on `g`.
+pub fn assert_differential_directed(name: &str, g: &DiGraph) {
+    let mismatches = differential_check_directed(name, g);
+    assert!(
+        mismatches.is_empty(),
+        "{} directed differential mismatch(es) on {} (n = {}, arcs = {}):\n{}",
+        mismatches.len(),
+        name,
+        g.num_vertices(),
+        g.num_arcs(),
+        mismatches.join("\n")
+    );
+}
+
+/// Tarjan (under test) against the oracle's Kosaraju: identical label
+/// vectors (both normalize by first occurrence in id order), and the
+/// condensation must be a DAG — every condensation vertex its own SCC.
+fn check_dir_scc(g: &DiGraph, oracle: &DirectedOracle, name: &str, out: &mut Vec<String>) {
+    let scc = StronglyConnectedComponents::compute(g);
+    if scc.labels() != oracle.scc_labels.as_slice() {
+        let first = oracle
+            .scc_labels
+            .iter()
+            .zip(scc.labels())
+            .position(|(a, b)| a != b);
+        out.push(format!(
+            "[{name}] tarjan-scc: labels differ from Kosaraju (first at {first:?})"
+        ));
+        return; // the condensation below would inherit the mismatch
+    }
+    if scc.num_components() != oracle.num_sccs {
+        out.push(format!(
+            "[{name}] tarjan-scc: {} components, Kosaraju found {}",
+            scc.num_components(),
+            oracle.num_sccs
+        ));
+    }
+    let cond = condensation(g, &scc);
+    let identity: Vec<u32> = (0..cond.num_vertices() as u32).collect();
+    if crate::oracle::kosaraju_scc(&cond) != identity {
+        out.push(format!(
+            "[{name}] condensation: not a DAG (a condensation vertex sits in a nontrivial SCC)"
+        ));
+    }
+}
+
+/// The directed ExactSumSweep matrix: serial and bit-parallel batched
+/// (1 and 64 lanes) × every vertex ordering, each answer and each
+/// certificate vertex (translated back to original ids) checked
+/// against the oracle.
+fn check_dir_sum_sweep(g: &DiGraph, oracle: &DirectedOracle, name: &str, out: &mut Vec<String>) {
+    for order in [VertexOrder::None, VertexOrder::Degree, VertexOrder::Bfs] {
+        let rel = order.apply_directed(g);
+        let run_g = rel.as_ref().map_or(g, |r| &r.graph);
+        let back = |v: VertexId| rel.as_ref().map_or(v, |r| r.original(v));
+
+        let mut serial_result = None;
+        for (code, lanes) in [("serial", None), ("bp64x1", Some(1)), ("bp64x64", Some(64))] {
+            let tag = format!("sum-sweep-dir/{code}/order={}", order.as_str());
+            let r = match lanes {
+                None => directed_sum_sweep(run_g),
+                Some(k) => directed_sum_sweep_batched(run_g, k),
+            };
+            let r = match r {
+                None => {
+                    if g.num_vertices() != 0 {
+                        out.push(format!("[{name}] {tag}: None on a non-empty digraph"));
+                    }
+                    continue;
+                }
+                Some(r) => {
+                    if g.num_vertices() == 0 {
+                        out.push(format!("[{name}] {tag}: Some on the empty digraph"));
+                        continue;
+                    }
+                    r
+                }
+            };
+            check_one_dir_result(&r, oracle, name, &tag, back, out);
+            // One lane applied sequentially must reproduce the serial
+            // driver sweep for sweep — bit-identical result struct.
+            match (code, &serial_result) {
+                ("serial", _) => serial_result = Some(r),
+                ("bp64x1", Some(s)) if &r != s => {
+                    out.push(format!(
+                        "[{name}] {tag}: single-lane batch deviates from the serial driver \
+                         ({r:?} vs {s:?})"
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Checks one [`DirSumSweepResult`] — aggregates and certificates —
+/// against the oracle, translating certificate ids with `back`.
+fn check_one_dir_result(
+    r: &DirSumSweepResult,
+    oracle: &DirectedOracle,
+    name: &str,
+    tag: &str,
+    back: impl Fn(VertexId) -> VertexId,
+    out: &mut Vec<String>,
+) {
+    if r.diameter != oracle.diameter
+        || r.radius != oracle.radius
+        || r.strongly_connected != oracle.strongly_connected
+        || r.num_sccs != oracle.num_sccs
+    {
+        out.push(format!(
+            "[{name}] {tag}: got (diam {:?}, radius {:?}, sc {}, sccs {}), \
+             oracle (diam {:?}, radius {:?}, sc {}, sccs {})",
+            r.diameter,
+            r.radius,
+            r.strongly_connected,
+            r.num_sccs,
+            oracle.diameter,
+            oracle.radius,
+            oracle.strongly_connected,
+            oracle.num_sccs
+        ));
+        return; // certificate checks would only echo the mismatch
+    }
+    // Certificate: the diametral vertex must realize the diameter in
+    // one of the two eccentricity families.
+    match (r.diameter, r.diametral_vertex) {
+        (Some(d), Some(v)) => {
+            let v = back(v);
+            let f = oracle.forward[v as usize];
+            let b = oracle.backward[v as usize];
+            if f != Some(d) && b != Some(d) {
+                out.push(format!(
+                    "[{name}] {tag}: diametral vertex {v} has eccF {f:?} / eccB {b:?}, \
+                     neither equals the diameter {d}"
+                ));
+            }
+        }
+        (Some(_), None) => {
+            out.push(format!(
+                "[{name}] {tag}: finite diameter without a diametral vertex"
+            ));
+        }
+        (None, Some(v)) => {
+            out.push(format!(
+                "[{name}] {tag}: infinite diameter yet diametral vertex {v}"
+            ));
+        }
+        (None, None) => {}
+    }
+    // Certificate: the central vertex must be radial and realize the
+    // radius as its forward eccentricity.
+    match (r.radius, r.central_vertex) {
+        (Some(rad), Some(v)) => {
+            let v = back(v);
+            if oracle.forward[v as usize] != Some(rad) {
+                out.push(format!(
+                    "[{name}] {tag}: central vertex {v} has eccF {:?} ≠ radius {rad}",
+                    oracle.forward[v as usize]
+                ));
+            }
+        }
+        (Some(_), None) => {
+            out.push(format!(
+                "[{name}] {tag}: finite radius without a central vertex"
+            ));
+        }
+        (None, Some(v)) => {
+            out.push(format!(
+                "[{name}] {tag}: infinite radius yet central vertex {v}"
+            ));
+        }
+        (None, None) => {}
+    }
+    // Certified-at-Tarjan-time contract: with two or more source SCCs
+    // both answers are infinite before any traversal runs.
+    if r.diameter.is_none() && r.radius.is_none() && r.bfs_calls != 0 {
+        out.push(format!(
+            "[{name}] {tag}: both answers infinite but {} BFS ran (expected zero sweeps)",
+            r.bfs_calls
+        ));
+    }
+}
+
+/// The all-pairs directed eccentricities against the oracle's two
+/// per-vertex families, including the 2n traversal accounting.
+fn check_dir_eccentricities(
+    g: &DiGraph,
+    oracle: &DirectedOracle,
+    name: &str,
+    out: &mut Vec<String>,
+) {
+    let r = directed_eccentricities(g);
+    if r.forward != oracle.forward || r.backward != oracle.backward {
+        let first = (0..g.num_vertices())
+            .find(|&v| r.forward[v] != oracle.forward[v] || r.backward[v] != oracle.backward[v]);
+        out.push(format!(
+            "[{name}] directed-ecc: eccentricity vectors mismatch (first at {first:?})"
+        ));
+    }
+    if r.bfs_calls != 2 * g.num_vertices() {
+        out.push(format!(
+            "[{name}] directed-ecc: {} logical traversals, expected 2n = {}",
+            r.bfs_calls,
+            2 * g.num_vertices()
+        ));
+    }
+}
+
+/// Both directed kernels (serial and 64-lane bit-parallel), both sweep
+/// directions, on the deterministic source sample: full distance rows
+/// must match the textbook reference.
+fn check_dir_kernels(g: &DiGraph, oracle: &DirectedOracle, name: &str, out: &mut Vec<String>) {
+    let n = g.num_vertices();
+    if n == 0 {
+        return;
+    }
+    let sources = sample_sources(n);
+    let mut scratch = BfsScratch::new(n);
+    let (mut dist, mut rows) = (Vec::new(), Vec::new());
+    for direction in [SweepDirection::Forward, SweepDirection::Backward] {
+        let dname = match direction {
+            SweepDirection::Forward => "fwd",
+            SweepDirection::Backward => "bwd",
+        };
+        let refs: Vec<(Vec<u32>, u32)> = sources
+            .iter()
+            .map(|&s| reference_distances_directed(g, s, direction == SweepDirection::Forward))
+            .collect();
+        for (&src, (want_dist, want_ecc)) in sources.iter().zip(&refs) {
+            let ecc = bfs_distances_directed(g, src, direction, &mut dist);
+            if ecc != *want_ecc || &dist != want_dist {
+                out.push(format!(
+                    "[{name}] kernel-dir-serial/{dname} from {src}: ecc {ecc} \
+                     (reference {want_ecc}) or distance row mismatch"
+                ));
+            }
+        }
+        for (chunk_idx, chunk) in sources.chunks(64).enumerate() {
+            let summary = bp64_distances_directed(g, chunk, direction, &mut scratch, &mut rows);
+            for (k, &src) in chunk.iter().enumerate() {
+                let (want_dist, want_ecc) = &refs[chunk_idx * 64 + k];
+                let reached = want_dist.iter().filter(|&&d| d != UNREACHED).count() as u32;
+                if summary.ecc[k] != *want_ecc
+                    || summary.visited[k] != reached
+                    || &rows[k * n..(k + 1) * n] != want_dist.as_slice()
+                {
+                    out.push(format!(
+                        "[{name}] kernel-dir-bp64/{dname} lane {k} from {src}: \
+                         got (ecc {}, visited {}), reference (ecc {want_ecc}, visited {reached})",
+                        summary.ecc[k], summary.visited[k]
+                    ));
+                }
+            }
+        }
+    }
+    // Oracle self-consistency: a finite forward eccentricity means the
+    // source reaches everything, so its restricted ecc must agree.
+    for &src in &sources {
+        if let Some(e) = oracle.forward[src as usize] {
+            let (_, restricted) = reference_distances_directed(g, src, true);
+            if restricted != e {
+                out.push(format!(
+                    "[{name}] oracle-dir: forward ecc {e} of {src} disagrees with \
+                     its reachable-set ecc {restricted}"
+                ));
+            }
+        }
+    }
+}
+
 /// Deterministic source sample: every vertex on small graphs, an even
 /// stride (always including vertex 0 and n−1) on larger ones.
 pub fn sample_sources(n: usize) -> Vec<VertexId> {
@@ -339,6 +634,47 @@ mod tests {
         assert!(!bound_violations(&g, 2).is_empty());
         assert!(!bound_violations(&g, 42).is_empty());
         assert!(bound_violations(&g, 9).is_empty());
+    }
+
+    #[test]
+    fn directed_clean_on_classic_shapes() {
+        use fdiam_graph::transform::orient;
+        use fdiam_graph::EdgeList;
+
+        // A directed cycle, a DAG path, a two-source join, and both a
+        // symmetric and a near-pure orientation of a mesh.
+        let mut el = EdgeList::new(6);
+        for v in 0..6u32 {
+            el.push(v, (v + 1) % 6);
+        }
+        assert_differential_directed("dicycle6", &DiGraph::from_edge_list(&el));
+
+        let mut el = EdgeList::new(5);
+        for v in 0..4u32 {
+            el.push(v, v + 1);
+        }
+        assert_differential_directed("dipath5", &DiGraph::from_edge_list(&el));
+
+        let mut el = EdgeList::new(4);
+        el.push(0, 2);
+        el.push(1, 2);
+        el.push(2, 3);
+        assert_differential_directed("two-sources", &DiGraph::from_edge_list(&el));
+
+        assert_differential_directed("grid-sym", &orient(&grid2d(5, 5), 100, 9));
+        assert_differential_directed("grid-oriented", &orient(&grid2d(5, 5), 10, 9));
+        assert_differential_directed("star-mixed", &orient(&star(9), 50, 3));
+    }
+
+    #[test]
+    fn directed_clean_on_degenerate_inputs() {
+        assert_differential_directed("empty0", &DiGraph::empty(0));
+        assert_differential_directed("empty1", &DiGraph::empty(1));
+        assert_differential_directed("isolated4", &DiGraph::empty(4));
+        assert_differential_directed(
+            "two-cliques",
+            &DiGraph::from_undirected(&disjoint_union(&complete(3), &complete(4))),
+        );
     }
 
     #[test]

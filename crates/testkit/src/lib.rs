@@ -9,21 +9,30 @@
 //! * [`oracle`] — textbook BFS-from-every-vertex eccentricities and
 //!   diameter (no shared code with the optimized kernels), plus
 //!   double-sweep lower / BFS-tree upper bounds as cheap sandwich
-//!   invariants.
+//!   invariants. The directed side mirrors it: a [`DirectedOracle`]
+//!   (forward/backward eccentricity families with `None` = ∞) backed
+//!   by a reference Kosaraju SCC pass, independent of the Tarjan
+//!   implementation under test.
 //! * [`harness`] — the differential matrix: all five codes (F-Diam
 //!   serial + parallel, iFUB, ExactSumSweep + bounding eccentricities,
 //!   naive) × both BFS kernels × both direction-switch heuristics,
 //!   with certificate checks (diametral pairs, central vertices,
-//!   removal accounting, min-id farthest tie-breaks).
+//!   removal accounting, min-id farthest tie-breaks); plus the
+//!   directed matrix — directed SumSweep (serial + bit-parallel) ×
+//!   vertex orderings, directed kernels, and Tarjan-vs-Kosaraju.
 //! * [`metamorphic`] — transforms with analytically predicted diameter
 //!   effects (permutation, edge duplication, isolated vertices,
-//!   disjoint unions, pendant paths, universal vertex).
+//!   disjoint unions, pendant paths, universal vertex); directed
+//!   transforms predict through `None` = ∞ (arc reversal, universal
+//!   source, symmetric closure, condensation idempotence).
 //! * [`fuzz`] + [`strategies`] — seeded structured graph generation:
-//!   a plain `u64 → CsrGraph` fuzzer (shipped as the
-//!   `fuzz-differential` binary CI runs nightly) and proptest
-//!   strategies over the same builders for shrinkable property tests.
+//!   plain `u64 → CsrGraph` / `u64 → DiGraph` fuzzers (shipped as the
+//!   `fuzz-differential` binary CI runs nightly, `--directed` for the
+//!   oriented stream) and proptest strategies over the same builders
+//!   for shrinkable property tests.
 //! * [`families`](mod@families) — miniature, oracle-sized analogues of the 17
-//!   benchmark-suite generator families.
+//!   benchmark-suite generator families, plus seeded orientations of
+//!   each ([`directed_family`]).
 //!
 //! This crate is a *dev-dependency* of the crates it verifies (cargo
 //! permits the cycle: dev-dependencies don't participate in the
@@ -36,11 +45,23 @@ pub mod metamorphic;
 pub mod oracle;
 pub mod strategies;
 
-pub use families::{build_family, families, FAMILY_NAMES, NUM_FAMILIES};
-pub use fuzz::{fuzz_case, run_fuzz, FuzzCase, FuzzFailure, FuzzReport};
-pub use harness::{assert_differential, differential_check};
-pub use metamorphic::{assert_metamorphic, metamorphic_cases, MetamorphicCase};
+pub use families::{
+    build_family, directed_families, directed_family, families, DIRECTED_BIDIR_PCTS, FAMILY_NAMES,
+    NUM_FAMILIES,
+};
+pub use fuzz::{
+    fuzz_case, fuzz_case_directed, run_fuzz, run_fuzz_directed, DirFuzzCase, FuzzCase, FuzzFailure,
+    FuzzReport,
+};
+pub use harness::{
+    assert_differential, assert_differential_directed, differential_check,
+    differential_check_directed,
+};
+pub use metamorphic::{
+    assert_metamorphic, assert_metamorphic_directed, directed_metamorphic_cases, metamorphic_cases,
+    DirectedMetamorphicCase, MetamorphicCase,
+};
 pub use oracle::{
-    bfs_tree_upper_bound, bound_violations, double_sweep_lower_bound, reference_distances,
-    reference_farthest, Oracle,
+    bfs_tree_upper_bound, bound_violations, double_sweep_lower_bound, kosaraju_scc,
+    reference_distances, reference_distances_directed, reference_farthest, DirectedOracle, Oracle,
 };

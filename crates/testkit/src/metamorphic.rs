@@ -20,7 +20,11 @@
 //! `d(x, tail_i) = d(x, v*) + i ≤ D + k` and the pendant path creates
 //! no shortcuts.
 
-use crate::oracle::Oracle;
+use crate::oracle::{DirectedOracle, Oracle};
+use fdiam_analytics::{
+    condensation, directed_eccentricities, directed_sum_sweep, directed_sum_sweep_batched,
+    StronglyConnectedComponents,
+};
 use fdiam_baselines::ifub::ifub;
 use fdiam_baselines::naive::naive_diameter;
 use fdiam_core::FdiamConfig;
@@ -29,7 +33,7 @@ use fdiam_graph::generators::path;
 use fdiam_graph::transform::{
     disjoint_union, permute, with_isolated_vertices, with_pendant_path, with_universal_vertex,
 };
-use fdiam_graph::{CsrGraph, VertexId};
+use fdiam_graph::{CsrGraph, DiGraph, VertexId};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -210,6 +214,186 @@ pub fn assert_metamorphic(tag: &str, base: &CsrGraph, seed: u64) {
     }
 }
 
+/// One transformed digraph with its analytically predicted directed
+/// semantics (`None` aggregates = ∞, `num_sccs: None` = not
+/// predicted for this transform).
+pub struct DirectedMetamorphicCase {
+    pub name: &'static str,
+    pub graph: DiGraph,
+    pub expected_diameter: Option<u32>,
+    pub expected_radius: Option<u32>,
+    pub expected_num_sccs: Option<usize>,
+}
+
+/// Builds the directed metamorphic cases for `base`; `seed` drives the
+/// random permutation. Predictions are derived from the base
+/// [`DirectedOracle`], never from re-running a code under test:
+///
+/// | transform           | predicted effect                                |
+/// |---------------------|--------------------------------------------------|
+/// | vertex permutation  | diameter, radius, SCC count unchanged            |
+/// | arc reversal        | diameter and SCC count unchanged; radius becomes |
+/// |                     | `min eccB`; the two ecc families swap            |
+/// | universal source    | radius exactly 1, diameter ∞ (n ≥ 1);            |
+/// |                     | SCC count grows by exactly 1                     |
+/// | symmetric closure   | matches the **undirected** oracle of the         |
+/// |                     | underlying graph (∞ iff disconnected)            |
+pub fn directed_metamorphic_cases(base: &DiGraph, seed: u64) -> Vec<DirectedMetamorphicCase> {
+    let o = DirectedOracle::compute(base);
+    let n = base.num_vertices();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut cases = Vec::new();
+
+    // 1. Vertex permutation: relabeling cannot change any distance.
+    let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
+    perm.shuffle(&mut rng);
+    cases.push(DirectedMetamorphicCase {
+        name: "permute",
+        graph: base.permute(&perm),
+        expected_diameter: o.diameter,
+        expected_radius: o.radius,
+        expected_num_sccs: Some(o.num_sccs),
+    });
+
+    // 2. Arc reversal: `d_T(u, v) = d(v, u)`, so the diameter (a max
+    // over ordered pairs) and the SCC partition survive while the two
+    // eccentricity families swap — the new radius is the base's
+    // smallest finite *backward* eccentricity.
+    cases.push(DirectedMetamorphicCase {
+        name: "transpose",
+        graph: base.clone().transposed(),
+        expected_diameter: o.diameter,
+        expected_radius: o.backward.iter().flatten().copied().min(),
+        expected_num_sccs: Some(o.num_sccs),
+    });
+
+    // 3. Universal source: a fresh vertex `s` with an arc to every
+    // existing vertex. Only `s` reaches everything (nothing enters
+    // it), at distance exactly 1, so the radius collapses to 1 and the
+    // diameter is infinite; `s` forms its own SCC.
+    let mut el = EdgeList::with_capacity(n + 1, base.num_arcs() + n);
+    for u in base.vertices() {
+        for &v in base.out_neighbors(u) {
+            el.push(u, v);
+        }
+        el.push(n as VertexId, u);
+    }
+    cases.push(DirectedMetamorphicCase {
+        name: "universal-source",
+        graph: DiGraph::from_edge_list(&el),
+        expected_diameter: (n == 0).then_some(0),
+        expected_radius: Some(if n == 0 { 0 } else { 1 }),
+        expected_num_sccs: Some(o.num_sccs + 1),
+    });
+
+    // 4. Symmetric closure: adding the reverse of every arc makes the
+    // digraph equivalent to its underlying undirected graph, so the
+    // directed answers must match the undirected oracle — finite iff
+    // the underlying graph is connected.
+    let mut el = EdgeList::with_capacity(n, 2 * base.num_arcs());
+    for u in base.vertices() {
+        for &v in base.out_neighbors(u) {
+            el.push(u, v);
+            el.push(v, u);
+        }
+    }
+    let underlying = el.to_undirected_csr();
+    let u = Oracle::compute(&underlying);
+    cases.push(DirectedMetamorphicCase {
+        name: "symmetric-closure",
+        // The undirected oracle counts the empty graph as connected,
+        // but zero SCCs is "not strongly connected" — so n > 0 gates
+        // both aggregates.
+        graph: DiGraph::from_undirected(&underlying),
+        expected_diameter: (u.connected && n > 0).then_some(u.largest_cc_diameter),
+        expected_radius: (u.connected && n > 0).then_some(u.radius),
+        expected_num_sccs: None, // = undirected component count, not predicted here
+    });
+
+    cases
+}
+
+/// Runs the directed metamorphic suite on `base`: every predicted
+/// answer must be produced by the directed oracle, the serial directed
+/// SumSweep, and the 64-lane batched one; on top of the per-case
+/// predictions it checks the transpose family swap (via
+/// [`directed_eccentricities`]) and the idempotence of SCC
+/// condensation (condensing an already-condensed digraph changes
+/// nothing — "contracting an SCC preserves the condensation").
+pub fn assert_metamorphic_directed(tag: &str, base: &DiGraph, seed: u64) {
+    for case in directed_metamorphic_cases(base, seed) {
+        let ctx = format!(
+            "{tag}/{} (base n = {}, arcs = {})",
+            case.name,
+            base.num_vertices(),
+            base.num_arcs()
+        );
+        let g = &case.graph;
+
+        let o = DirectedOracle::compute(g);
+        assert_eq!(
+            (o.diameter, o.radius),
+            (case.expected_diameter, case.expected_radius),
+            "{ctx}: directed oracle disagrees with the analytic prediction"
+        );
+        if let Some(k) = case.expected_num_sccs {
+            assert_eq!(o.num_sccs, k, "{ctx}: SCC count prediction missed");
+        }
+
+        if g.num_vertices() > 0 {
+            for (code, r) in [
+                ("sum-sweep-dir", directed_sum_sweep(g)),
+                ("sum-sweep-dir-bp64", directed_sum_sweep_batched(g, 64)),
+            ] {
+                let r = r.expect("non-empty digraph");
+                assert_eq!(
+                    (r.diameter, r.radius),
+                    (case.expected_diameter, case.expected_radius),
+                    "{ctx}: {code} missed the predicted effect"
+                );
+                if let Some(k) = case.expected_num_sccs {
+                    assert_eq!(r.num_sccs, k, "{ctx}: {code} SCC count");
+                }
+            }
+        }
+    }
+
+    // Transpose swaps the two eccentricity families exactly.
+    let fwd = directed_eccentricities(base);
+    let bwd = directed_eccentricities(&base.clone().transposed());
+    assert_eq!(
+        fwd.forward, bwd.backward,
+        "{tag}: transpose must swap eccF → eccB"
+    );
+    assert_eq!(
+        fwd.backward, bwd.forward,
+        "{tag}: transpose must swap eccB → eccF"
+    );
+
+    // Condensation is idempotent: every condensation vertex is its own
+    // SCC (first-occurrence labels are the identity), so condensing
+    // again reproduces the same digraph — and hence the same
+    // condensation diameter.
+    let scc = StronglyConnectedComponents::compute(base);
+    let cond = condensation(base, &scc);
+    let scc2 = StronglyConnectedComponents::compute(&cond);
+    assert_eq!(
+        scc2.num_components(),
+        cond.num_vertices(),
+        "{tag}: condensation is not a DAG"
+    );
+    assert_eq!(
+        condensation(&cond, &scc2),
+        cond,
+        "{tag}: condensing the condensation changed the digraph"
+    );
+    if cond.num_vertices() > 0 {
+        let a = directed_sum_sweep(&cond).expect("non-empty condensation");
+        let b = directed_sum_sweep(&condensation(&cond, &scc2)).expect("non-empty condensation");
+        assert_eq!(a, b, "{tag}: condensation diameter not preserved");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,5 +436,67 @@ mod tests {
         assert_eq!(metamorphic_cases(&path(5), 0).len(), 7);
         // pendant-path is skipped only for the 0-vertex base
         assert_eq!(metamorphic_cases(&CsrGraph::empty(0), 0).len(), 6);
+    }
+
+    fn dicycle(n: usize) -> DiGraph {
+        let mut el = EdgeList::new(n);
+        for v in 0..n as u32 {
+            el.push(v, (v + 1) % n as u32);
+        }
+        DiGraph::from_edge_list(&el)
+    }
+
+    #[test]
+    fn directed_predictions_hold_on_classic_shapes() {
+        use fdiam_graph::transform::orient;
+        for (tag, g) in [
+            ("dicycle8", dicycle(8)),
+            ("sym-grid", DiGraph::from_undirected(&grid2d(4, 4))),
+            ("oriented-grid", orient(&grid2d(4, 5), 33, 0xF_D1A)),
+            ("oriented-lollipop", orient(&lollipop(4, 5), 60, 7)),
+            ("sym-star", DiGraph::from_undirected(&star(6))),
+        ] {
+            assert_metamorphic_directed(tag, &g, 0xF_D1A);
+        }
+    }
+
+    #[test]
+    fn directed_predictions_hold_on_degenerate_bases() {
+        assert_metamorphic_directed("empty", &DiGraph::empty(0), 7);
+        assert_metamorphic_directed("singleton", &DiGraph::empty(1), 7);
+        assert_metamorphic_directed("isolated3", &DiGraph::empty(3), 7);
+        // A DAG base: infinite diameter, finite radius from the source.
+        let mut el = EdgeList::new(4);
+        for v in 0..3u32 {
+            el.push(v, v + 1);
+        }
+        assert_metamorphic_directed("dipath4", &DiGraph::from_edge_list(&el), 7);
+    }
+
+    #[test]
+    fn universal_source_case_pins_radius_to_one() {
+        let cases = directed_metamorphic_cases(&dicycle(5), 0);
+        let c = cases
+            .iter()
+            .find(|c| c.name == "universal-source")
+            .expect("case present");
+        assert_eq!(c.expected_radius, Some(1));
+        assert_eq!(c.expected_diameter, None);
+        assert_eq!(c.expected_num_sccs, Some(2));
+        assert_eq!(c.graph.num_vertices(), 6);
+    }
+
+    #[test]
+    fn transpose_case_predicts_backward_radius() {
+        // 0 → 1 → 2: radius 2 from the source; the transpose's radius
+        // is 2 again but realized at the former sink.
+        let mut el = EdgeList::new(3);
+        el.push(0, 1);
+        el.push(1, 2);
+        let g = DiGraph::from_edge_list(&el);
+        let cases = directed_metamorphic_cases(&g, 0);
+        let c = cases.iter().find(|c| c.name == "transpose").unwrap();
+        assert_eq!(c.expected_radius, Some(2));
+        assert_eq!(c.expected_diameter, None);
     }
 }

@@ -20,7 +20,7 @@
 //!
 //! Every harness run sandwiches the codes' answers between these.
 
-use fdiam_graph::{CsrGraph, VertexId};
+use fdiam_graph::{CsrGraph, DiGraph, VertexId};
 use std::collections::VecDeque;
 
 /// Distance label for vertices not reached by a traversal.
@@ -234,6 +234,205 @@ fn min_id_at_max_distance(dist: &[u32]) -> VertexId {
         .expect("at least the source is reached") as VertexId
 }
 
+/// Exact directed ground truth, computed the slow, obvious way: one
+/// textbook queue BFS per vertex per side (forward over
+/// [`DiGraph::out_neighbors`], backward over
+/// [`DiGraph::in_neighbors`]) plus a reference Kosaraju SCC pass —
+/// no code shared with `fdiam-bfs` or `fdiam-analytics`.
+///
+/// `None` encodes ∞ throughout, matching
+/// `fdiam_analytics::DirSumSweepResult`: the diameter is finite iff
+/// the digraph is strongly connected, a forward eccentricity is finite
+/// iff the vertex reaches everything (i.e. it is radial), a backward
+/// one iff everything reaches it, and the radius is the minimum finite
+/// forward eccentricity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DirectedOracle {
+    /// `forward[v] = eccF(v) = max_w d(v, w)`; `None` when `v` does
+    /// not reach every vertex.
+    pub forward: Vec<Option<u32>>,
+    /// `backward[v] = eccB(v) = max_w d(w, v)`; `None` when some
+    /// vertex does not reach `v`.
+    pub backward: Vec<Option<u32>>,
+    /// `max d(u, v)` over all ordered pairs; `None` = infinite.
+    pub diameter: Option<u32>,
+    /// `min eccF` over the radial vertices; `None` = infinite.
+    pub radius: Option<u32>,
+    /// Whether the digraph is strongly connected (`num_sccs == 1`; the
+    /// empty digraph has zero SCCs and counts as not SC, matching the
+    /// drivers' `None` return).
+    pub strongly_connected: bool,
+    /// Reference Kosaraju component labels, compacted by first
+    /// occurrence in vertex-id order — directly comparable with
+    /// `StronglyConnectedComponents::labels()`.
+    pub scc_labels: Vec<u32>,
+    /// Number of strongly connected components.
+    pub num_sccs: usize,
+}
+
+impl DirectedOracle {
+    /// Two BFS per vertex. O(n·m) — test-sized digraphs only.
+    pub fn compute(g: &DiGraph) -> Self {
+        let n = g.num_vertices();
+        let mut forward = vec![None; n];
+        let mut backward = vec![None; n];
+        let mut dist = vec![UNREACHED; n];
+        for v in 0..n as VertexId {
+            let (e, visited) = dir_bfs_into(g, v, true, &mut dist);
+            if visited == n {
+                forward[v as usize] = Some(e);
+            }
+            let (e, visited) = dir_bfs_into(g, v, false, &mut dist);
+            if visited == n {
+                backward[v as usize] = Some(e);
+            }
+        }
+        let scc_labels = kosaraju_scc(g);
+        let num_sccs = scc_labels
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |m| m as usize + 1);
+        let strongly_connected = num_sccs == 1;
+        // Strong connectivity makes every eccentricity finite, and the
+        // maxima of the two families coincide (both are max d(u, v)).
+        let diameter = strongly_connected
+            .then(|| forward.iter().map(|e| e.expect("SC ⇒ finite")).max())
+            .flatten();
+        let radius = forward.iter().flatten().copied().min();
+        DirectedOracle {
+            forward,
+            backward,
+            diameter,
+            radius,
+            strongly_connected,
+            scc_labels,
+            num_sccs,
+        }
+    }
+
+    /// The radial vertices: exactly those with a finite forward
+    /// eccentricity (they reach every vertex).
+    pub fn radial(&self) -> Vec<VertexId> {
+        (0..self.forward.len() as VertexId)
+            .filter(|&v| self.forward[v as usize].is_some())
+            .collect()
+    }
+}
+
+/// Directed distances from `source` by textbook queue BFS: `d(source,
+/// ·)` when `forward`, `d(·, source)` otherwise. Returns the distance
+/// vector (`UNREACHED` beyond the reachable set) and the eccentricity
+/// of `source` restricted to its reachable set — the same semantics as
+/// `fdiam_bfs::bfs_distances_directed`.
+pub fn reference_distances_directed(
+    g: &DiGraph,
+    source: VertexId,
+    forward: bool,
+) -> (Vec<u32>, u32) {
+    let mut dist = vec![UNREACHED; g.num_vertices()];
+    let (ecc, _) = dir_bfs_into(g, source, forward, &mut dist);
+    (dist, ecc)
+}
+
+/// BFS over one side of the digraph writing distances into `dist`
+/// (resetting it first); returns (eccentricity of `source` within its
+/// reachable set, number of reached vertices).
+fn dir_bfs_into(g: &DiGraph, source: VertexId, forward: bool, dist: &mut [u32]) -> (u32, usize) {
+    dist.fill(UNREACHED);
+    dist[source as usize] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(source);
+    let mut ecc = 0;
+    let mut visited = 1;
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        ecc = d;
+        let nbrs = if forward {
+            g.out_neighbors(v)
+        } else {
+            g.in_neighbors(v)
+        };
+        for &w in nbrs {
+            if dist[w as usize] == UNREACHED {
+                dist[w as usize] = d + 1;
+                visited += 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    (ecc, visited)
+}
+
+/// Reference Kosaraju strongly connected components: iterative DFS
+/// finishing order over the forward arcs, then reverse-order sweeps
+/// over the transpose. Labels are compacted by first occurrence in
+/// vertex-id order, the same normalization as the Tarjan
+/// implementation under test, so the two vectors must be equal — not
+/// merely the same partition.
+pub fn kosaraju_scc(g: &DiGraph) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut finish: Vec<VertexId> = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    let mut stack: Vec<(VertexId, usize)> = Vec::new();
+    for root in 0..n as VertexId {
+        if seen[root as usize] {
+            continue;
+        }
+        seen[root as usize] = true;
+        stack.push((root, 0));
+        while let Some(top) = stack.last_mut() {
+            let (v, i) = *top;
+            let nbrs = g.out_neighbors(v);
+            if i < nbrs.len() {
+                top.1 += 1;
+                let w = nbrs[i];
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    stack.push((w, 0));
+                }
+            } else {
+                stack.pop();
+                finish.push(v);
+            }
+        }
+    }
+
+    const UNSET: u32 = u32::MAX;
+    let mut raw = vec![UNSET; n];
+    let mut label = 0u32;
+    let mut queue = VecDeque::new();
+    for &v in finish.iter().rev() {
+        if raw[v as usize] != UNSET {
+            continue;
+        }
+        raw[v as usize] = label;
+        queue.push_back(v);
+        while let Some(u) = queue.pop_front() {
+            for &w in g.in_neighbors(u) {
+                if raw[w as usize] == UNSET {
+                    raw[w as usize] = label;
+                    queue.push_back(w);
+                }
+            }
+        }
+        label += 1;
+    }
+
+    // Renumber by first occurrence in vertex-id order.
+    let mut remap = vec![UNSET; label as usize];
+    let mut next = 0u32;
+    for l in raw.iter_mut() {
+        let r = *l as usize;
+        if remap[r] == UNSET {
+            remap[r] = next;
+            next += 1;
+        }
+        *l = remap[r];
+    }
+    raw
+}
+
 fn tree_bfs(tree: &[Vec<VertexId>], source: VertexId, dist: &mut [u32]) {
     dist.fill(UNREACHED);
     dist[source as usize] = 0;
@@ -322,6 +521,121 @@ mod tests {
             assert_eq!(double_sweep_lower_bound(&g), o.largest_cc_diameter);
             assert_eq!(bfs_tree_upper_bound(&g), o.largest_cc_diameter);
         }
+    }
+
+    fn digraph(n: usize, arcs: &[(u32, u32)]) -> DiGraph {
+        let mut el = fdiam_graph::EdgeList::new(n);
+        for &(u, v) in arcs {
+            el.push(u, v);
+        }
+        DiGraph::from_edge_list(&el)
+    }
+
+    #[test]
+    fn directed_known_shapes() {
+        // Directed 5-cycle: every ecc is 4, both sides.
+        let c5 = digraph(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let o = DirectedOracle::compute(&c5);
+        assert!(o.strongly_connected);
+        assert_eq!(o.num_sccs, 1);
+        assert_eq!(o.diameter, Some(4));
+        assert_eq!(o.radius, Some(4));
+        assert_eq!(o.forward, vec![Some(4); 5]);
+        assert_eq!(o.backward, vec![Some(4); 5]);
+        assert_eq!(o.radial(), vec![0, 1, 2, 3, 4]);
+
+        // Directed path 0 → 1 → 2 → 3: a DAG — infinite diameter, but
+        // the source reaches everything, so the radius is finite.
+        let p4 = digraph(4, &[(0, 1), (1, 2), (2, 3)]);
+        let o = DirectedOracle::compute(&p4);
+        assert!(!o.strongly_connected);
+        assert_eq!(o.num_sccs, 4);
+        assert_eq!(o.diameter, None);
+        assert_eq!(o.radius, Some(3));
+        assert_eq!(o.forward, vec![Some(3), None, None, None]);
+        assert_eq!(o.backward, vec![None, None, None, Some(3)]);
+        assert_eq!(o.radial(), vec![0]);
+
+        // Two sources 0 → 2 ← 1: nobody reaches everything.
+        let o = DirectedOracle::compute(&digraph(3, &[(0, 2), (1, 2)]));
+        assert_eq!(o.diameter, None);
+        assert_eq!(o.radius, None);
+        assert_eq!(o.num_sccs, 3);
+        assert!(o.radial().is_empty());
+    }
+
+    #[test]
+    fn directed_degenerate_graphs() {
+        let o = DirectedOracle::compute(&DiGraph::empty(0));
+        assert_eq!(o.num_sccs, 0);
+        assert!(!o.strongly_connected);
+        assert_eq!((o.diameter, o.radius), (None, None));
+
+        let o = DirectedOracle::compute(&DiGraph::empty(1));
+        assert!(o.strongly_connected);
+        assert_eq!((o.diameter, o.radius), (Some(0), Some(0)));
+
+        let o = DirectedOracle::compute(&DiGraph::empty(2));
+        assert!(!o.strongly_connected);
+        assert_eq!(o.num_sccs, 2);
+        assert_eq!((o.diameter, o.radius), (None, None));
+    }
+
+    #[test]
+    fn directed_oracle_matches_undirected_on_symmetric_inputs() {
+        for g in [path(7), cycle(9), star(5), grid2d(3, 4)] {
+            let o = Oracle::compute(&g);
+            let d = DirectedOracle::compute(&DiGraph::from_undirected(&g));
+            assert!(d.strongly_connected);
+            assert_eq!(d.diameter, Some(o.largest_cc_diameter));
+            assert_eq!(d.radius, Some(o.radius));
+            let fwd: Vec<u32> = d.forward.iter().map(|e| e.unwrap()).collect();
+            assert_eq!(fwd, o.eccentricities);
+            assert_eq!(d.forward, d.backward);
+        }
+    }
+
+    #[test]
+    fn transpose_swaps_the_two_families() {
+        let g = digraph(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]);
+        let o = DirectedOracle::compute(&g);
+        let t = DirectedOracle::compute(&g.clone().transposed());
+        assert_eq!(o.forward, t.backward);
+        assert_eq!(o.backward, t.forward);
+        assert_eq!(o.diameter, t.diameter);
+        assert_eq!(o.num_sccs, t.num_sccs);
+    }
+
+    #[test]
+    fn reference_directed_distances_both_sides() {
+        // 0 → 1 → 2 → 3, shortcut 0 → 2, back arc 3 → 0.
+        let g = digraph(4, &[(0, 1), (1, 2), (2, 3), (0, 2), (3, 0)]);
+        let (dist, ecc) = reference_distances_directed(&g, 0, true);
+        assert_eq!(dist, vec![0, 1, 1, 2]);
+        assert_eq!(ecc, 2);
+        let (dist, ecc) = reference_distances_directed(&g, 0, false);
+        assert_eq!(dist, vec![0, 3, 2, 1]);
+        assert_eq!(ecc, 3);
+
+        // Eccentricity is within the reachable set only.
+        let g = digraph(3, &[(0, 1)]);
+        let (dist, ecc) = reference_distances_directed(&g, 0, true);
+        assert_eq!(dist, vec![0, 1, UNREACHED]);
+        assert_eq!(ecc, 1);
+    }
+
+    #[test]
+    fn kosaraju_labels_and_normalization() {
+        // Two 2-cycles bridged by one arc, plus a sink: components in
+        // first-occurrence order are {0,1} → 0, {2,3} → 1, {4} → 2.
+        let g = digraph(5, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (3, 4)]);
+        assert_eq!(kosaraju_scc(&g), vec![0, 0, 1, 1, 2]);
+
+        // On a symmetric digraph SCCs are the connected components.
+        let und = DiGraph::from_undirected(&disjoint_union(&path(3), &cycle(3)));
+        assert_eq!(kosaraju_scc(&und), vec![0, 0, 0, 1, 1, 1]);
+
+        assert_eq!(kosaraju_scc(&DiGraph::empty(0)), Vec::<u32>::new());
     }
 
     #[test]

@@ -7,8 +7,11 @@
 //! `(params, seed)` tuple that reproduces outside proptest too.
 
 use crate::families::{build_family, NUM_FAMILIES};
-use crate::fuzz::{configuration_model_from_degrees, edge_soup_graph, fuzz_case};
-use fdiam_graph::CsrGraph;
+use crate::fuzz::{
+    configuration_model_from_degrees, edge_soup_graph, fuzz_case, fuzz_case_directed,
+};
+use fdiam_graph::transform::orient;
+use fdiam_graph::{CsrGraph, DiGraph};
 use proptest::collection::vec;
 use proptest::prelude::any;
 use proptest::strategy::{Just, Strategy};
@@ -37,4 +40,22 @@ pub fn arb_family_graph() -> impl Strategy<Value = CsrGraph> {
 /// instances, and transform stacks), driven by a single seed.
 pub fn arb_graph() -> impl Strategy<Value = CsrGraph> {
     any::<u64>().prop_map(|seed| fuzz_case(seed).graph)
+}
+
+/// Arbitrary digraph: an undirected base from [`arb_graph`]'s
+/// distribution, oriented with a shrinkable bidirectionality
+/// percentage — shrinking walks `pct` toward 0 (pure orientations,
+/// many SCCs) and the base toward small seeds, staying entirely in
+/// parameter space.
+pub fn arb_digraph() -> impl Strategy<Value = DiGraph> {
+    (any::<u64>(), 0u32..=100, any::<u64>()).prop_map(|(base_seed, pct, orient_seed)| {
+        orient(&fuzz_case(base_seed).graph, pct, orient_seed)
+    })
+}
+
+/// The full directed fuzzer distribution ([`fuzz_case_directed`]),
+/// driven by a single seed — exactly what `fuzz-differential
+/// --directed` replays, so a shrunk failure maps to one CLI seed.
+pub fn arb_dir_fuzz_graph() -> impl Strategy<Value = DiGraph> {
+    any::<u64>().prop_map(|seed| fuzz_case_directed(seed).graph)
 }

@@ -3,7 +3,10 @@
 //! generator families (plus seed variation on a rotating subset, so
 //! repeated CI runs don't always see the same instances).
 
-use fdiam_testkit::{assert_differential, build_family, families, FAMILY_NAMES, NUM_FAMILIES};
+use fdiam_testkit::{
+    assert_differential, assert_differential_directed, build_family, directed_families,
+    directed_family, families, FAMILY_NAMES, NUM_FAMILIES,
+};
 
 #[test]
 fn all_17_families_pass_the_full_matrix() {
@@ -25,11 +28,47 @@ fn family_seed_variation() {
 }
 
 #[test]
+fn all_17_directed_families_pass_the_directed_matrix() {
+    // The directed acceptance gate: directed SumSweep diameter and
+    // radius bit-identical to the directed oracle across every family
+    // orientation × {serial, bp64} × {none, degree, bfs} orderings —
+    // including the non-strongly-connected instances the low
+    // bidirectionality percentages produce.
+    for (name, g) in directed_families(0xF_D1A) {
+        assert_differential_directed(name, &g);
+    }
+}
+
+#[test]
+fn directed_family_seed_variation() {
+    // Two extra orientations per family at different seeds; the pct
+    // rotation is per-index, so seeds vary the instance and the arc
+    // coin flips but keep the regime.
+    for (idx, name) in FAMILY_NAMES.iter().enumerate().take(NUM_FAMILIES) {
+        for seed in 1..=2u64 {
+            let g = directed_family(idx, 0x5EED ^ (seed << 16) ^ idx as u64);
+            assert_differential_directed(&format!("{name}#dir{seed}"), &g);
+        }
+    }
+}
+
+#[test]
 fn metamorphic_suite_over_representative_families() {
     // Metamorphic closure over one instance each of a mesh, a
     // power-law graph, a disconnected Kronecker, and a road network.
     for idx in [0usize, 1, 10, 15] {
         let g = fdiam_testkit::build_family(idx, 0xF_D1A);
         fdiam_testkit::assert_metamorphic(FAMILY_NAMES[idx], &g, 0xF_D1A ^ idx as u64);
+    }
+}
+
+#[test]
+fn directed_metamorphic_suite_over_representative_families() {
+    // One orientation each of a mesh (symmetric regime), a power-law
+    // graph, a disconnected Kronecker, and a road network (near-pure
+    // orientation regime).
+    for idx in [0usize, 1, 10, 15] {
+        let g = directed_family(idx, 0xF_D1A);
+        fdiam_testkit::assert_metamorphic_directed(FAMILY_NAMES[idx], &g, 0xF_D1A ^ idx as u64);
     }
 }

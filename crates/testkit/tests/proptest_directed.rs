@@ -1,0 +1,77 @@
+//! Property-based testing of the directed stack. The SCC properties
+//! pit the Tarjan implementation under test against the testkit's
+//! reference Kosaraju on arbitrary oriented digraphs; the structural
+//! properties pin the `DiGraph` transpose round-trip; the differential
+//! property runs the whole directed code matrix. Failing cases shrink
+//! in parameter space and persist in `proptest-regressions/`.
+
+use fdiam_analytics::{condensation, StronglyConnectedComponents};
+use fdiam_testkit::harness::differential_check_directed;
+use fdiam_testkit::kosaraju_scc;
+use fdiam_testkit::strategies::{arb_digraph, arb_dir_fuzz_graph};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Tarjan and the reference Kosaraju normalize labels the same way
+    /// (first occurrence in id order), so the vectors must be *equal*,
+    /// which is strictly stronger than "same partition".
+    #[test]
+    fn tarjan_matches_kosaraju(g in arb_digraph()) {
+        let scc = StronglyConnectedComponents::compute(&g);
+        prop_assert_eq!(scc.labels(), kosaraju_scc(&g).as_slice());
+        let max = scc.labels().iter().max().copied();
+        prop_assert_eq!(
+            scc.num_components(),
+            max.map_or(0, |m| m as usize + 1)
+        );
+    }
+
+    /// The condensation is a DAG: re-running SCC on it finds only
+    /// singletons, and condensing again is the identity.
+    #[test]
+    fn condensation_is_a_dag(g in arb_digraph()) {
+        let scc = StronglyConnectedComponents::compute(&g);
+        let cond = condensation(&g, &scc);
+        let scc2 = StronglyConnectedComponents::compute(&cond);
+        prop_assert_eq!(scc2.num_components(), cond.num_vertices());
+        prop_assert_eq!(condensation(&cond, &scc2), cond);
+    }
+
+    /// Transposing twice is the identity, and a single transpose
+    /// swaps the out-/in-degree sequences arc for arc.
+    #[test]
+    fn transpose_round_trip(g in arb_digraph()) {
+        let t = g.clone().transposed();
+        prop_assert_eq!(g.num_arcs(), t.num_arcs());
+        for v in g.vertices() {
+            prop_assert_eq!(g.out_degree(v), t.in_degree(v));
+            prop_assert_eq!(g.in_degree(v), t.out_degree(v));
+        }
+        prop_assert_eq!(t.transposed(), g);
+    }
+}
+
+proptest! {
+    // The full directed matrix (oracle + SumSweep × orderings ×
+    // batching + kernels) is heavier per case — fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn directed_fuzzer_distribution_is_exact(g in arb_dir_fuzz_graph()) {
+        let mismatches = differential_check_directed("proptest-dir-fuzz", &g);
+        prop_assert!(mismatches.is_empty(), "{}", mismatches.join("\n"));
+    }
+}
+
+/// Plain bounded directed fuzz smoke, mirroring the undirected one:
+/// the seeded directed fuzzer runs under `cargo test` even where
+/// proptest is unavailable; the full budget runs via
+/// `fuzz-differential --directed` in CI.
+#[test]
+fn bounded_directed_fuzz_smoke() {
+    let report = fdiam_testkit::run_fuzz_directed(0xD1, 30);
+    assert_eq!(report.cases, 30);
+    assert!(report.ok(), "failures: {:#?}", report.failures);
+}
