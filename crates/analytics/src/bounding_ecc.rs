@@ -178,14 +178,20 @@ fn batched_driver(
         }
         round_batch = (round_batch * 2).min(batch);
         if cancel.is_some_and(|t| t.is_cancelled()) {
+            cancelled_handoff(watch, &state, bfs_calls);
             return Err(Cancelled);
         }
 
         // One shared traversal answers every candidate's sweep.
         let summary = match cancel {
             Some(token) => {
-                bp64_distances_cancellable(g, &candidates, &mut scratch, &mut dist, token)
-                    .ok_or(Cancelled)?
+                match bp64_distances_cancellable(g, &candidates, &mut scratch, &mut dist, token) {
+                    Some(s) => s,
+                    None => {
+                        cancelled_handoff(watch, &state, bfs_calls);
+                        return Err(Cancelled);
+                    }
+                }
             }
             None => fdiam_bfs::bp64_distances(g, &candidates, &mut scratch, &mut dist),
         };
@@ -264,17 +270,7 @@ impl BoundsState {
     /// Publishes the certified diameter bounds derived from the
     /// intervals (same derivation as the serial driver's inline pass).
     fn publish(&self, watch: &SweepObs<'_>, bfs_calls: usize, n: usize) {
-        let lb = self.lower.iter().copied().max().unwrap_or(0);
-        let mut ub = lb;
-        let mut remaining = 0usize;
-        for w in 0..n {
-            if self.done[w] {
-                ub = ub.max(self.ecc[w]);
-            } else {
-                remaining += 1;
-                ub = ub.max(self.upper[w]);
-            }
-        }
+        let (lb, ub, remaining) = interval_bounds(&self.lower, &self.upper, &self.done, &self.ecc);
         watch.publish(
             "bounding_ecc",
             bfs_calls as u64,
@@ -282,6 +278,42 @@ impl BoundsState {
             ub.min(trivial_ub(n)),
             remaining,
         );
+    }
+}
+
+/// Certified diameter bounds from the per-vertex intervals: the
+/// diameter is `max ecc`, so `max lower ≤ diameter ≤ max (resolved ecc
+/// | unresolved upper)`. Untouched vertices still carry the `u32::MAX`
+/// sentinel — callers cap the returned ub at [`trivial_ub`].
+fn interval_bounds(lower: &[u32], upper: &[u32], done: &[bool], ecc: &[u32]) -> (u32, u32, usize) {
+    let lb = lower.iter().copied().max().unwrap_or(0);
+    let mut ub = lb;
+    let mut remaining = 0usize;
+    for w in 0..done.len() {
+        if done[w] {
+            ub = ub.max(ecc[w]);
+        } else {
+            remaining += 1;
+            ub = ub.max(upper[w]);
+        }
+    }
+    (lb, ub, remaining)
+}
+
+/// Cancellation handoff: re-publish the interval state proven so far
+/// under the "cancelled" phase, so a registry holding the run's latest
+/// snapshot can serve it to an anytime consumer. Nothing is published
+/// before the first completed sweep — an immediately-expired run has
+/// certified nothing worth handing off.
+fn cancelled_handoff(watch: Option<&SweepObs<'_>>, state: &BoundsState, bfs_calls: usize) {
+    if bfs_calls == 0 {
+        return;
+    }
+    if let Some(watch) = watch {
+        let n = state.done.len();
+        let (lb, ub, remaining) =
+            interval_bounds(&state.lower, &state.upper, &state.done, &state.ecc);
+        watch.cancelled(bfs_calls as u64, lb, ub.min(trivial_ub(n)), remaining);
     }
 }
 
@@ -323,6 +355,14 @@ fn driver(
         pick_upper = !pick_upper;
         let Some(v) = candidate else { break };
         if cancel.is_some_and(|t| t.is_cancelled()) {
+            // Same handoff as the batched driver: the interval state
+            // proven so far goes out as a final "cancelled" snapshot.
+            if bfs_calls > 0 {
+                if let Some(watch) = watch {
+                    let (lb, ub, remaining) = interval_bounds(&lower, &upper, &done, &ecc);
+                    watch.cancelled(bfs_calls as u64, lb, ub.min(trivial_ub(n)), remaining);
+                }
+            }
             return Err(Cancelled);
         }
 
@@ -349,22 +389,7 @@ fn driver(
         }
 
         if let Some(watch) = watch {
-            // Diameter bounds from the per-vertex intervals: the
-            // diameter is `max ecc`, so `max lower ≤ diameter ≤ max
-            // (resolved ecc | unresolved upper)`. Untouched vertices
-            // still carry the `u32::MAX` sentinel — the trivial `n − 1`
-            // cap keeps the published bound meaningful.
-            let lb = lower.iter().copied().max().unwrap_or(0);
-            let mut ub = lb;
-            let mut remaining = 0usize;
-            for w in 0..n {
-                if done[w] {
-                    ub = ub.max(ecc[w]);
-                } else {
-                    remaining += 1;
-                    ub = ub.max(upper[w]);
-                }
-            }
+            let (lb, ub, remaining) = interval_bounds(&lower, &upper, &done, &ecc);
             watch.publish(
                 "bounding_ecc",
                 bfs_calls as u64,
@@ -554,6 +579,62 @@ mod tests {
         let names = tap.0.lock().unwrap();
         assert!(names.contains(&"run_start"));
         assert!(!names.contains(&"run_end"));
+    }
+
+    #[test]
+    fn mid_run_cancel_hands_off_a_final_cancelled_snapshot() {
+        use fdiam_obs::{BoundsSnapshot, CancelToken, Event, Observer, RunId};
+        use std::sync::Mutex;
+
+        // Cancel from inside the event stream after the third sweep:
+        // the driver's next cancel check must re-publish the proven
+        // interval state under the "cancelled" phase — the snapshot
+        // fdiam-serve's anytime mode serves — and emit no run_end.
+        struct CancelAfter {
+            token: CancelToken,
+            snaps: Mutex<Vec<BoundsSnapshot>>,
+            saw_run_end: Mutex<bool>,
+        }
+        impl Observer for CancelAfter {
+            fn event(&self, e: &Event<'_>) {
+                if let Event::BoundsUpdate { snapshot } = e {
+                    let mut snaps = self.snaps.lock().unwrap();
+                    snaps.push(*snapshot);
+                    if snaps.len() == 3 {
+                        self.token.cancel();
+                    }
+                }
+                if e.name() == "run_end" {
+                    *self.saw_run_end.lock().unwrap() = true;
+                }
+            }
+            fn wants_bfs_detail(&self) -> bool {
+                false
+            }
+        }
+
+        // Every vertex of a cycle has the same eccentricity, so the
+        // intervals converge slowly — three sweeps are mid-run.
+        let g = cycle(60); // true diameter 30
+        let obs = CancelAfter {
+            token: CancelToken::new(),
+            snaps: Mutex::new(Vec::new()),
+            saw_run_end: Mutex::new(false),
+        };
+        let token = obs.token.clone();
+        let r = bounding_eccentricities_observed(&g, RunId::fresh(), &obs, Some(&token));
+        assert_eq!(r.err(), Some(Cancelled));
+        assert!(!*obs.saw_run_end.lock().unwrap());
+
+        let snaps = obs.snaps.lock().unwrap();
+        let last = snaps.last().unwrap();
+        assert_eq!(last.phase, "cancelled");
+        assert!(last.lb <= 30 && 30 <= last.ub, "bracket lost: {last:?}");
+        assert!(last.lb > 0);
+        // The handoff re-publishes the last proven state verbatim.
+        let prev = snaps[snaps.len() - 2];
+        assert_eq!((last.lb, last.ub), (prev.lb, prev.ub));
+        assert_eq!(last.bfs_count, prev.bfs_count);
     }
 
     #[test]

@@ -380,6 +380,14 @@ fn driver(
                         dist_b: &mut Vec<u32>|
      -> Result<(), Cancelled> {
         if cancel.is_some_and(|t| t.is_cancelled()) {
+            // Cancellation handoff: the bounds proven by completed
+            // sweeps stay certified, so they go out one last time under
+            // the "cancelled" phase before the error surfaces.
+            if *bfs_calls > 0 {
+                if let Some(w) = watch {
+                    publish_state(w, "cancelled", *bfs_calls, st);
+                }
+            }
             return Err(Cancelled);
         }
         let ef = bfs_distances_directed(g, s, SweepDirection::Forward, dist_f);
@@ -470,19 +478,19 @@ fn driver(
                 }
             }
             Some(scratch) => {
-                if cancel.is_some_and(|t| t.is_cancelled()) {
-                    return Err(Cancelled);
-                }
-                let (sum_f, sum_b) = match cancel {
-                    Some(token) => (
-                        bp64_distances_cancellable(
-                            g.forward(),
-                            &candidates,
-                            scratch,
-                            &mut dist_f,
-                            token,
-                        )
-                        .ok_or(Cancelled)?,
+                // Either bit-parallel traversal can observe the token
+                // mid-level; both bail through the same handoff as the
+                // serial sweep — re-publish the proven state, then err.
+                let pair = match cancel {
+                    Some(token) if token.is_cancelled() => None,
+                    Some(token) => bp64_distances_cancellable(
+                        g.forward(),
+                        &candidates,
+                        scratch,
+                        &mut dist_f,
+                        token,
+                    )
+                    .and_then(|f| {
                         bp64_distances_cancellable(
                             g.transpose(),
                             &candidates,
@@ -490,9 +498,9 @@ fn driver(
                             &mut dist_b,
                             token,
                         )
-                        .ok_or(Cancelled)?,
-                    ),
-                    None => (
+                        .map(|b| (f, b))
+                    }),
+                    None => Some((
                         bp64_distances_directed(
                             g,
                             &candidates,
@@ -507,7 +515,15 @@ fn driver(
                             scratch,
                             &mut dist_b,
                         ),
-                    ),
+                    )),
+                };
+                let Some((sum_f, sum_b)) = pair else {
+                    if bfs_calls > 0 {
+                        if let Some(w) = watch {
+                            publish_state(w, "cancelled", bfs_calls, &st);
+                        }
+                    }
+                    return Err(Cancelled);
                 };
                 for (k, &v) in candidates.iter().enumerate() {
                     bfs_calls += 2;
@@ -917,6 +933,55 @@ mod tests {
         );
         // cancelled runs leave no run_end
         assert!(!tap.names.lock().unwrap().contains(&"run_end"));
+    }
+
+    #[test]
+    fn mid_run_cancel_hands_off_a_final_cancelled_snapshot() {
+        use fdiam_obs::{BoundsSnapshot, Event, Observer};
+        use std::sync::Mutex;
+
+        struct CancelAfter {
+            token: CancelToken,
+            snaps: Mutex<Vec<BoundsSnapshot>>,
+            saw_run_end: Mutex<bool>,
+        }
+        impl Observer for CancelAfter {
+            fn event(&self, e: &Event<'_>) {
+                if let Event::BoundsUpdate { snapshot } = e {
+                    let mut snaps = self.snaps.lock().unwrap();
+                    snaps.push(*snapshot);
+                    if snaps.len() == 3 {
+                        self.token.cancel();
+                    }
+                }
+                if e.name() == "run_end" {
+                    *self.saw_run_end.lock().unwrap() = true;
+                }
+            }
+            fn wants_bfs_detail(&self) -> bool {
+                false
+            }
+        }
+
+        let g = sc_fixture(60, 7);
+        let d = directed_sum_sweep(&g).unwrap().diameter.unwrap();
+        let obs = CancelAfter {
+            token: CancelToken::new(),
+            snaps: Mutex::new(Vec::new()),
+            saw_run_end: Mutex::new(false),
+        };
+        let token = obs.token.clone();
+        let r = directed_sum_sweep_observed(&g, RunId::fresh(), &obs, Some(&token));
+        assert_eq!(r.err(), Some(Cancelled));
+        assert!(!*obs.saw_run_end.lock().unwrap());
+
+        let snaps = obs.snaps.lock().unwrap();
+        let last = snaps.last().unwrap();
+        assert_eq!(last.phase, "cancelled");
+        assert!(last.lb <= d && d <= last.ub, "bracket lost: {last:?}");
+        assert!(last.lb > 0);
+        let prev = snaps[snaps.len() - 2];
+        assert_eq!((last.lb, last.ub), (prev.lb, prev.ub));
     }
 
     #[test]

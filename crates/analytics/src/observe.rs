@@ -73,6 +73,15 @@ impl<'a> SweepObs<'a> {
         });
     }
 
+    /// Publishes the final snapshot of a *cancelled* run: the bounds
+    /// proven so far stay certified, so the cancel path re-publishes
+    /// them under the "cancelled" phase for anytime consumers (a
+    /// registry holding the run's latest snapshot) before the
+    /// `Cancelled` error surfaces. No `run_end` follows.
+    pub fn cancelled(&self, bfs_count: u64, lb: u32, ub: u32, vertices_remaining: usize) {
+        self.publish("cancelled", bfs_count, lb, ub, vertices_remaining);
+    }
+
     /// Emits the final zero-gap snapshot and `run_end`. Cancelled runs
     /// never reach this — like the F-Diam driver, they leave no
     /// `run_end` in the stream.

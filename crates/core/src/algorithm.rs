@@ -257,10 +257,19 @@ fn run_driver(
     let Some(mut driver) = Driver::prelude(g, config, &tee, cancel, scratch, run, t_total)? else {
         return Ok(empty_outcome(t_total, &tee, run));
     };
-    match (batch, config.lane_batch) {
-        (Some(b), _) => driver.main_loop_concurrent(b)?,
-        (None, Some(b)) => driver.main_loop_lanes(b)?,
-        (None, None) => driver.main_loop()?,
+    let loop_result = match (batch, config.lane_batch) {
+        (Some(b), _) => driver.main_loop_concurrent(b),
+        (None, Some(b)) => driver.main_loop_lanes(b),
+        (None, None) => driver.main_loop(),
+    };
+    if loop_result.is_err() {
+        // Cancellation handoff: every bound proven so far stays valid,
+        // so a cancelled run's last word is one final "cancelled"
+        // snapshot. Anytime consumers (fdiam-serve's deadline path)
+        // read it out of their registry before reaping the run; no
+        // `run_end` follows.
+        driver.publish_snapshot("cancelled");
+        return Err(Cancelled);
     }
     Ok(driver.finish(t_total, &collector))
 }
@@ -413,7 +422,22 @@ impl<'a> Driver<'a> {
                 started,
             );
             if state.is_active(w) {
-                let r2 = ecc_bfs(g, w, &mut *scratch, config, obs, cancel).ok_or(Cancelled)?;
+                let Some(r2) = ecc_bfs(g, w, &mut *scratch, config, obs, cancel) else {
+                    // The first sweep completed, so `[bound, ub]` is
+                    // already a certified non-trivial interval — hand
+                    // it off before the cancellation surfaces.
+                    publish_bounds(
+                        obs,
+                        run,
+                        "cancelled",
+                        bfs_count,
+                        bound,
+                        ub,
+                        state.active_count(),
+                        started,
+                    );
+                    return Err(Cancelled);
+                };
                 state.record(w, r2.eccentricity, Stage::Computed);
                 bfs_count += 1;
                 if connected {
@@ -1314,6 +1338,64 @@ mod tests {
             completed, 3,
             "the traversal in flight at cancel time must not complete"
         );
+    }
+
+    #[test]
+    fn cancelled_run_hands_off_a_final_certified_snapshot() {
+        // Cancellation must not throw converged bounds away: the last
+        // bounds_update of a cancelled run carries phase "cancelled"
+        // with the interval proven so far — still bracketing the true
+        // diameter and tighter than the trivial `n − 1` — and no
+        // run_end follows. fdiam-serve's anytime mode is built on this.
+        struct CancelAndRecord {
+            token: CancelToken,
+            ends: Mutex<usize>,
+            snaps: Mutex<Vec<BoundsSnapshot>>,
+            run_ends: Mutex<usize>,
+        }
+        impl Observer for CancelAndRecord {
+            fn event(&self, e: &Event<'_>) {
+                if let Event::BoundsUpdate { snapshot } = e {
+                    self.snaps.lock().unwrap().push(*snapshot);
+                }
+                match e.name() {
+                    "bfs_end" => {
+                        let mut n = self.ends.lock().unwrap();
+                        *n += 1;
+                        if *n == 3 {
+                            self.token.cancel();
+                        }
+                    }
+                    "run_end" => *self.run_ends.lock().unwrap() += 1,
+                    _ => {}
+                }
+            }
+        }
+        let g = grid2d_torus(12, 12); // true diameter 12, every ecc 12
+        let obs = CancelAndRecord {
+            token: CancelToken::new(),
+            ends: Mutex::new(0),
+            snaps: Mutex::new(Vec::new()),
+            run_ends: Mutex::new(0),
+        };
+        let token = obs.token.clone();
+        let out = run_cancellable(&g, &FdiamConfig::serial(), &obs, &token);
+        assert_eq!(out.err(), Some(Cancelled));
+        assert_eq!(*obs.run_ends.lock().unwrap(), 0);
+
+        let snaps = obs.snaps.lock().unwrap();
+        let last = snaps.last().expect("three sweeps published snapshots");
+        assert_eq!(last.phase, "cancelled");
+        assert!(last.bfs_count >= 3);
+        assert!(last.lb <= 12 && 12 <= last.ub, "bracket lost: {last:?}");
+        assert!(last.lb > 0, "three sweeps certify a positive lb");
+        let n = g.num_vertices() as u32;
+        assert!(last.ub < n - 1, "ub must beat the trivial bound");
+        // The handoff republishes the proven state, never regresses it.
+        if snaps.len() >= 2 {
+            let prev = snaps[snaps.len() - 2];
+            assert!(last.lb >= prev.lb && last.ub <= prev.ub);
+        }
     }
 
     #[test]

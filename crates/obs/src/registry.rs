@@ -121,7 +121,16 @@ impl RunRegistry {
     /// Removes a run (normal completion or cancellation). Unknown ids
     /// are a no-op so the cancel path can deregister unconditionally.
     pub fn deregister(&self, run: RunId) {
-        self.runs.lock().unwrap().remove(&run.0);
+        self.remove(run);
+    }
+
+    /// Atomically removes a run and returns its final state — the
+    /// fetch-and-deregister that anytime consumers (fdiam-serve's
+    /// deadline path) need: the cancelled run's last certified snapshot
+    /// goes to exactly one caller and the registry is clean afterwards.
+    pub fn remove(&self, run: RunId) -> Option<RunInfo> {
+        let slot = self.runs.lock().unwrap().remove(&run.0)?;
+        Some(Self::info(run, &slot))
     }
 
     /// Number of currently registered (in-flight) runs.
@@ -224,6 +233,22 @@ mod tests {
         assert!(reg.get(run).is_none());
         // Deregistering again (the unconditional cancel path) is fine.
         reg.deregister(run);
+    }
+
+    #[test]
+    fn remove_returns_the_final_state_exactly_once() {
+        let reg = RunRegistry::new();
+        let run = RunId(0x7);
+        reg.register(run, "fdiam", 9, 12);
+        reg.publish(snap(run, 3, 5));
+
+        let info = reg.remove(run).expect("registered run");
+        assert_eq!(info.algorithm, "fdiam");
+        assert_eq!((info.n, info.m), (9, 12));
+        assert_eq!(info.latest.unwrap().gap(), 2);
+        // Gone: the second reaper gets nothing, in_flight is clean.
+        assert!(reg.remove(run).is_none());
+        assert_eq!(reg.in_flight(), 0);
     }
 
     #[test]

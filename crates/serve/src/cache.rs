@@ -1,10 +1,16 @@
 //! Bytes-bounded LRU registry of loaded graphs.
 //!
-//! Requests address graphs by an opaque string key (a file path or a
-//! generator spec); loading — disk I/O or generation — is the
-//! expensive step the cache amortizes. The budget is expressed in
-//! bytes of resident CSR storage ([`CsrGraph::memory_bytes`]), not
-//! entry counts, because graph sizes span five orders of magnitude.
+//! Requests address graphs by a structured [`CacheKey`]: the verbatim
+//! graph reference (a file path or a generator spec — any bytes,
+//! including `#`) plus the load-time parameters that change the
+//! resident adjacency (vertex order, directedness). Loading — disk I/O
+//! or generation — is the expensive step the cache amortizes. The
+//! budget is expressed in bytes of resident CSR storage
+//! ([`CsrGraph::memory_bytes`]), not entry counts, because graph sizes
+//! span five orders of magnitude. Entries can be **pinned** (named
+//! graphs registered via `PUT /v1/graphs/{name}` with `"pin": true`):
+//! pinned entries are exempt from LRU eviction until unpinned or
+//! removed.
 //!
 //! Locking: the mutex guards only map bookkeeping. Loads run *outside*
 //! the lock, so a slow disk read never blocks other workers' cache
@@ -15,6 +21,52 @@
 use fdiam_graph::{CsrGraph, DiGraph, VertexId, VertexOrder};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
+
+/// Structured cache identity of a loaded graph: the reference plus the
+/// load-time parameters that change the resident adjacency.
+///
+/// This replaces the old scheme of appending `#order=…` / `#directed`
+/// suffixes to the reference string, which collided with references
+/// that themselves contain `#` (a perfectly legal path byte): a path
+/// ending in `#directed` would be cached — and *loaded* — as a
+/// directed read of a different file. The structured key cannot
+/// collide because the reference is never parsed back.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// `spec:`/`path:`-prefixed graph reference, verbatim. May contain
+    /// any characters, including `#`.
+    pub reference: String,
+    /// Load-time relabeling pass applied on cache miss.
+    pub order: VertexOrder,
+    /// Load the input as a digraph (a different adjacency entirely).
+    pub directed: bool,
+}
+
+impl CacheKey {
+    pub fn new(reference: impl Into<String>, order: VertexOrder, directed: bool) -> Self {
+        Self {
+            reference: reference.into(),
+            order,
+            directed,
+        }
+    }
+}
+
+/// Human-readable rendering for logs and diagnostics only — never
+/// parsed back into a key, so a `#` (or anything else) in the
+/// reference is harmless.
+impl std::fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.reference)?;
+        if self.order != VertexOrder::None {
+            write!(f, " order={}", self.order.as_str())?;
+        }
+        if self.directed {
+            f.write_str(" directed")?;
+        }
+        Ok(())
+    }
+}
 
 /// The adjacency structure a cache entry holds: requests carrying
 /// `"directed": true` load (and are keyed as) a [`DiGraph`], everything
@@ -125,12 +177,15 @@ impl LoadedGraph {
 struct Entry {
     graph: Arc<LoadedGraph>,
     bytes: usize,
+    /// Pinned entries are exempt from LRU eviction (named graphs
+    /// registered with `"pin": true`).
+    pinned: bool,
 }
 
 struct Inner {
-    entries: HashMap<String, Entry>,
+    entries: HashMap<CacheKey, Entry>,
     /// Keys ordered least- → most-recently used.
-    order: Vec<String>,
+    order: Vec<CacheKey>,
     total_bytes: usize,
 }
 
@@ -173,7 +228,7 @@ impl GraphCache {
     /// the next insert).
     pub fn get_or_load(
         &self,
-        key: &str,
+        key: &CacheKey,
         load: impl FnOnce() -> Result<LoadedGraph, String>,
     ) -> Result<(Arc<LoadedGraph>, CacheOutcome), String> {
         {
@@ -196,25 +251,83 @@ impl GraphCache {
             return Ok((g, CacheOutcome::Miss));
         }
         inner.entries.insert(
-            key.to_string(),
+            key.clone(),
             Entry {
                 graph: Arc::clone(&graph),
                 bytes,
+                pinned: false,
             },
         );
-        inner.order.push(key.to_string());
+        inner.order.push(key.clone());
         inner.total_bytes += bytes;
-        while inner.total_bytes > self.budget_bytes && inner.order.len() > 1 {
-            let victim = inner.order.remove(0);
-            let e = inner.entries.remove(&victim).expect("order/map in sync");
-            inner.total_bytes -= e.bytes;
-        }
+        self.evict(&mut inner);
         Ok((graph, CacheOutcome::Miss))
     }
 
-    /// Resident keys, least- → most-recently used.
+    /// Evicts least-recently-used unpinned entries until the budget is
+    /// met, never touching the newest insert.
+    fn evict(&self, inner: &mut Inner) {
+        let mut idx = 0;
+        while inner.total_bytes > self.budget_bytes && idx + 1 < inner.order.len() {
+            if inner.entries[&inner.order[idx]].pinned {
+                idx += 1;
+                continue;
+            }
+            let victim = inner.order.remove(idx);
+            let e = inner.entries.remove(&victim).expect("order/map in sync");
+            inner.total_bytes -= e.bytes;
+        }
+    }
+
+    /// Marks an entry pinned (exempt from eviction) or unpinned.
+    /// Returns whether the key was resident. Unpinning re-applies the
+    /// byte budget immediately.
+    pub fn pin(&self, key: &CacheKey, pinned: bool) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        let Some(e) = inner.entries.get_mut(key) else {
+            return false;
+        };
+        e.pinned = pinned;
+        if !pinned {
+            self.evict(&mut inner);
+        }
+        true
+    }
+
+    /// Drops an entry regardless of pin state. Returns whether it was
+    /// resident. In-flight jobs holding the `Arc` keep computing; the
+    /// bytes just stop counting against the budget.
+    pub fn remove(&self, key: &CacheKey) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        let Some(e) = inner.entries.remove(key) else {
+            return false;
+        };
+        inner.total_bytes -= e.bytes;
+        if let Some(pos) = inner.order.iter().position(|k| k == key) {
+            inner.order.remove(pos);
+        }
+        true
+    }
+
+    /// Whether `key` is currently resident (no LRU touch).
+    pub fn contains(&self, key: &CacheKey) -> bool {
+        self.inner.lock().unwrap().entries.contains_key(key)
+    }
+
+    /// Resident bytes of one entry, if present (no LRU touch).
+    pub fn entry_bytes(&self, key: &CacheKey) -> Option<usize> {
+        self.inner.lock().unwrap().entries.get(key).map(|e| e.bytes)
+    }
+
+    /// Resident keys rendered for display, least- → most-recently used.
     pub fn keys_lru_order(&self) -> Vec<String> {
-        self.inner.lock().unwrap().order.clone()
+        self.inner
+            .lock()
+            .unwrap()
+            .order
+            .iter()
+            .map(|k| k.to_string())
+            .collect()
     }
 
     /// Bytes currently resident.
@@ -223,7 +336,7 @@ impl GraphCache {
     }
 }
 
-fn touch(order: &mut Vec<String>, key: &str) {
+fn touch(order: &mut Vec<CacheKey>, key: &CacheKey) {
     if let Some(pos) = order.iter().position(|k| k == key) {
         let k = order.remove(pos);
         order.push(k);
@@ -239,21 +352,26 @@ mod tests {
         LoadedGraph::new(grid2d(10, 10), VertexOrder::None)
     }
 
+    fn key(reference: &str) -> CacheKey {
+        CacheKey::new(reference, VertexOrder::None, false)
+    }
+
     #[test]
     fn hit_after_miss_and_lru_eviction_order() {
         let one = sized_graph().memory_bytes();
         // Room for two graphs, not three.
         let cache = GraphCache::new(2 * one + one / 2);
         let load = || Ok(sized_graph());
+        let (a, b, c) = (key("a"), key("b"), key("c"));
 
-        assert_eq!(cache.get_or_load("a", load).unwrap().1, CacheOutcome::Miss);
-        assert_eq!(cache.get_or_load("a", load).unwrap().1, CacheOutcome::Hit);
-        assert_eq!(cache.get_or_load("b", load).unwrap().1, CacheOutcome::Miss);
+        assert_eq!(cache.get_or_load(&a, load).unwrap().1, CacheOutcome::Miss);
+        assert_eq!(cache.get_or_load(&a, load).unwrap().1, CacheOutcome::Hit);
+        assert_eq!(cache.get_or_load(&b, load).unwrap().1, CacheOutcome::Miss);
         // Touch "a" so "b" is the LRU entry when "c" forces eviction.
-        assert_eq!(cache.get_or_load("a", load).unwrap().1, CacheOutcome::Hit);
-        assert_eq!(cache.get_or_load("c", load).unwrap().1, CacheOutcome::Miss);
+        assert_eq!(cache.get_or_load(&a, load).unwrap().1, CacheOutcome::Hit);
+        assert_eq!(cache.get_or_load(&c, load).unwrap().1, CacheOutcome::Miss);
         assert_eq!(cache.keys_lru_order(), vec!["a", "c"]);
-        assert_eq!(cache.get_or_load("b", load).unwrap().1, CacheOutcome::Miss);
+        assert_eq!(cache.get_or_load(&b, load).unwrap().1, CacheOutcome::Miss);
         // "b"'s insert evicted the then-LRU "a".
         assert_eq!(cache.keys_lru_order(), vec!["c", "b"]);
         assert!(cache.resident_bytes() <= 2 * one + one / 2);
@@ -262,14 +380,106 @@ mod tests {
     #[test]
     fn single_oversized_graph_is_still_served() {
         let cache = GraphCache::new(1); // budget smaller than any graph
-        let (g, outcome) = cache.get_or_load("big", || Ok(sized_graph())).unwrap();
+        let big = key("big");
+        let (g, outcome) = cache.get_or_load(&big, || Ok(sized_graph())).unwrap();
         assert_eq!(outcome, CacheOutcome::Miss);
         assert_eq!(g.csr().num_vertices(), 100);
         // It stays resident (never evict the newest entry) until the
         // next insert pushes it out.
         assert_eq!(cache.keys_lru_order(), vec!["big"]);
-        cache.get_or_load("next", || Ok(sized_graph())).unwrap();
+        cache
+            .get_or_load(&key("next"), || Ok(sized_graph()))
+            .unwrap();
         assert_eq!(cache.keys_lru_order(), vec!["next"]);
+    }
+
+    #[test]
+    fn pinned_entries_survive_eviction_until_unpinned() {
+        let one = sized_graph().memory_bytes();
+        // Room for two graphs, not three.
+        let cache = GraphCache::new(2 * one + one / 2);
+        let load = || Ok(sized_graph());
+        let (a, b, c, d) = (key("a"), key("b"), key("c"), key("d"));
+
+        cache.get_or_load(&a, load).unwrap();
+        assert!(cache.pin(&a, true));
+        cache.get_or_load(&b, load).unwrap();
+        // "a" is the LRU entry but pinned: "c"'s insert evicts "b".
+        cache.get_or_load(&c, load).unwrap();
+        assert_eq!(cache.keys_lru_order(), vec!["a", "c"]);
+        // Unpinning alone keeps it (still under budget) ...
+        assert!(cache.pin(&a, false));
+        assert!(cache.contains(&a));
+        // ... but the next insert now evicts it as plain LRU.
+        cache.get_or_load(&d, load).unwrap();
+        assert_eq!(cache.keys_lru_order(), vec!["c", "d"]);
+        // Pinning an absent key reports false.
+        assert!(!cache.pin(&b, true));
+    }
+
+    #[test]
+    fn unpinning_over_budget_evicts_immediately() {
+        let one = sized_graph().memory_bytes();
+        let cache = GraphCache::new(one + one / 2); // room for one graph
+        let load = || Ok(sized_graph());
+        let (a, b) = (key("a"), key("b"));
+
+        cache.get_or_load(&a, load).unwrap();
+        cache.pin(&a, true);
+        // Over budget, but "a" is pinned and "b" is the newest insert.
+        cache.get_or_load(&b, load).unwrap();
+        assert_eq!(cache.keys_lru_order(), vec!["a", "b"]);
+        // Dropping the pin re-applies the budget on the spot.
+        cache.pin(&a, false);
+        assert_eq!(cache.keys_lru_order(), vec!["b"]);
+        assert!(cache.resident_bytes() <= one + one / 2);
+    }
+
+    #[test]
+    fn remove_drops_even_pinned_entries() {
+        let cache = GraphCache::new(1 << 30);
+        let a = key("a");
+        cache.get_or_load(&a, || Ok(sized_graph())).unwrap();
+        cache.pin(&a, true);
+        assert_eq!(cache.entry_bytes(&a), Some(sized_graph().memory_bytes()));
+        assert!(cache.remove(&a));
+        assert!(!cache.contains(&a));
+        assert_eq!(cache.entry_bytes(&a), None);
+        assert_eq!(cache.resident_bytes(), 0);
+        assert!(cache.keys_lru_order().is_empty());
+        assert!(!cache.remove(&a));
+    }
+
+    #[test]
+    fn hash_in_reference_cannot_collide_with_parameters() {
+        // Under the old string-suffix scheme, a reference that ends in
+        // "#directed" was indistinguishable from a directed load of the
+        // prefix. The structured key keeps them distinct.
+        let cache = GraphCache::new(1 << 30);
+        let literal = key("path:/tmp/g#directed");
+        let directed = CacheKey::new("path:/tmp/g", VertexOrder::None, true);
+        assert_ne!(literal, directed);
+
+        let load = || Ok(sized_graph());
+        assert_eq!(
+            cache.get_or_load(&literal, load).unwrap().1,
+            CacheOutcome::Miss
+        );
+        // Same reference under a different order is a different entry.
+        let ordered = CacheKey::new("path:/tmp/g#directed", VertexOrder::Degree, false);
+        assert_eq!(
+            cache.get_or_load(&ordered, load).unwrap().1,
+            CacheOutcome::Miss
+        );
+        assert_eq!(
+            cache.get_or_load(&literal, load).unwrap().1,
+            CacheOutcome::Hit
+        );
+        // Display keeps the reference verbatim; parameters are suffixed
+        // for humans only.
+        assert_eq!(literal.to_string(), "path:/tmp/g#directed");
+        assert_eq!(directed.to_string(), "path:/tmp/g directed");
+        assert_eq!(ordered.to_string(), "path:/tmp/g#directed order=degree");
     }
 
     #[test]
@@ -329,13 +539,14 @@ mod tests {
     #[test]
     fn load_errors_are_propagated_and_not_cached() {
         let cache = GraphCache::new(1 << 20);
+        let bad = key("bad");
         let err = cache
-            .get_or_load("bad", || Err("no such file".to_string()))
+            .get_or_load(&bad, || Err("no such file".to_string()))
             .unwrap_err();
         assert_eq!(err, "no such file");
         assert!(cache.keys_lru_order().is_empty());
         // A later successful load under the same key works.
-        cache.get_or_load("bad", || Ok(sized_graph())).unwrap();
+        cache.get_or_load(&bad, || Ok(sized_graph())).unwrap();
         assert_eq!(cache.keys_lru_order(), vec!["bad"]);
     }
 }

@@ -1,0 +1,202 @@
+//! Named-graph directory behind `PUT/GET/DELETE /v1/graphs/{name}`.
+//!
+//! A production deployment serves a handful of well-known graphs over
+//! and over; making clients re-send a `path`/`spec` (and its load
+//! parameters) on every request is both error-prone — one typo'd
+//! `order` forks the cache — and unmanageable, because nothing ties
+//! "the road network" to a specific resident entry. The directory maps
+//! a short stable **name** to a structured [`CacheKey`], so requests
+//! can say `{"graph": "roads"}` and operators can preload, pin, and
+//! retire graphs as a unit. Per-name request/hit/miss counters give
+//! each graph its own traffic profile without a metrics label
+//! explosion.
+//!
+//! The directory owns only the name→key mapping and its stats; bytes
+//! live in the [`GraphCache`](crate::GraphCache), which is shared with
+//! anonymous (`spec`/`path`) requests — registering a name for a graph
+//! that anonymous traffic already loaded reuses the resident copy.
+
+use crate::cache::CacheKey;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One registered name: the cache key it resolves to, whether the
+/// resident entry should be pinned against LRU eviction, and per-name
+/// traffic counters.
+#[derive(Debug)]
+pub struct NamedGraph {
+    pub name: String,
+    pub key: CacheKey,
+    pinned: AtomicBool,
+    requests: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl NamedGraph {
+    fn new(name: String, key: CacheKey, pinned: bool) -> Self {
+        Self {
+            name,
+            key,
+            pinned: AtomicBool::new(pinned),
+            requests: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    pub fn pinned(&self) -> bool {
+        self.pinned.load(Ordering::Relaxed)
+    }
+
+    pub fn set_pinned(&self, pinned: bool) {
+        self.pinned.store(pinned, Ordering::Relaxed);
+    }
+
+    /// Records one compute request routed through this name.
+    pub fn record(&self, hit: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// `(requests, hits, misses)` so far.
+    pub fn counts(&self) -> (u64, u64, u64) {
+        (
+            self.requests.load(Ordering::Relaxed),
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Valid graph names: 1–64 characters of `[A-Za-z0-9_.-]` — safe in a
+/// URL path segment without any escaping.
+pub fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'.' || b == b'-')
+}
+
+/// The name → graph mapping. `BTreeMap` keeps listings in stable
+/// lexicographic order.
+#[derive(Default)]
+pub struct GraphDirectory {
+    map: Mutex<BTreeMap<String, Arc<NamedGraph>>>,
+}
+
+impl GraphDirectory {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a name. Returns the new entry and the
+    /// replaced one, if any — the caller decides what to do with the
+    /// old key's cache residency.
+    pub fn put(
+        &self,
+        name: &str,
+        key: CacheKey,
+        pinned: bool,
+    ) -> (Arc<NamedGraph>, Option<Arc<NamedGraph>>) {
+        let entry = Arc::new(NamedGraph::new(name.to_string(), key, pinned));
+        let replaced = self
+            .map
+            .lock()
+            .unwrap()
+            .insert(name.to_string(), Arc::clone(&entry));
+        (entry, replaced)
+    }
+
+    pub fn get(&self, name: &str) -> Option<Arc<NamedGraph>> {
+        self.map.lock().unwrap().get(name).cloned()
+    }
+
+    pub fn remove(&self, name: &str) -> Option<Arc<NamedGraph>> {
+        self.map.lock().unwrap().remove(name)
+    }
+
+    /// All entries, lexicographically by name.
+    pub fn list(&self) -> Vec<Arc<NamedGraph>> {
+        self.map.lock().unwrap().values().cloned().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether any registered name resolves to `key` — consulted before
+    /// unpinning/evicting a key another name may still rely on.
+    pub fn references(&self, key: &CacheKey) -> bool {
+        self.map.lock().unwrap().values().any(|g| g.key == *key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdiam_graph::VertexOrder;
+
+    fn key(reference: &str) -> CacheKey {
+        CacheKey::new(reference, VertexOrder::None, false)
+    }
+
+    #[test]
+    fn put_get_replace_remove_lifecycle() {
+        let dir = GraphDirectory::new();
+        assert!(dir.is_empty());
+        let (a, replaced) = dir.put("roads", key("spec:torus:10x10"), true);
+        assert!(replaced.is_none());
+        assert!(a.pinned());
+        assert_eq!(dir.get("roads").unwrap().key, a.key);
+        assert!(dir.references(&key("spec:torus:10x10")));
+        assert!(!dir.references(&key("spec:torus:9x9")));
+
+        // Replacing hands back the old entry.
+        let (b, replaced) = dir.put("roads", key("spec:torus:20x20"), false);
+        assert_eq!(replaced.unwrap().key, a.key);
+        assert!(!b.pinned());
+        assert_eq!(dir.len(), 1);
+        assert!(!dir.references(&a.key));
+
+        assert_eq!(dir.remove("roads").unwrap().key, b.key);
+        assert!(dir.remove("roads").is_none());
+        assert!(dir.is_empty());
+    }
+
+    #[test]
+    fn stats_accumulate_and_listing_is_sorted() {
+        let dir = GraphDirectory::new();
+        dir.put("b", key("spec:path:5"), false);
+        dir.put("a", key("spec:path:6"), false);
+        let g = dir.get("a").unwrap();
+        g.record(false);
+        g.record(true);
+        g.record(true);
+        assert_eq!(g.counts(), (3, 2, 1));
+        let names: Vec<_> = dir.list().iter().map(|g| g.name.clone()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(valid_name("roads"));
+        assert!(valid_name("as-733.v2_final"));
+        assert!(valid_name(&"x".repeat(64)));
+        assert!(!valid_name(""));
+        assert!(!valid_name(&"x".repeat(65)));
+        assert!(!valid_name("has space"));
+        assert!(!valid_name("slash/y"));
+        assert!(!valid_name("percent%20"));
+    }
+}

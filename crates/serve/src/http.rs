@@ -32,6 +32,12 @@ pub enum HttpError {
     Malformed(String),
     /// Declared body larger than the configured cap → 413.
     BodyTooLarge { limit: usize },
+    /// Body-carrying method without a `Content-Length` header → 411.
+    /// Made deterministic rather than guessed-at: without a declared
+    /// length the only alternatives are treating the body as empty
+    /// (silently computing the wrong thing) or reading until EOF
+    /// (hanging on keep-alive clients).
+    LengthRequired,
     /// Transport error (peer vanished, read timeout): nothing to send.
     Io(std::io::Error),
 }
@@ -47,6 +53,9 @@ impl std::fmt::Display for HttpError {
         match self {
             HttpError::Malformed(msg) => write!(f, "malformed request: {msg}"),
             HttpError::BodyTooLarge { limit } => write!(f, "body exceeds {limit} bytes"),
+            HttpError::LengthRequired => {
+                write!(f, "body-carrying request without content-length")
+            }
             HttpError::Io(e) => write!(f, "transport error: {e}"),
         }
     }
@@ -93,6 +102,9 @@ pub fn read_request(stream: &TcpStream, max_body: usize) -> Result<Request, Http
     }
 
     let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        // Body-carrying methods must declare a length up front; GETs
+        // and the like legitimately have none.
+        None if method == "POST" || method == "PUT" => return Err(HttpError::LengthRequired),
         None => 0,
         Some((_, v)) => v
             .parse::<usize>()
@@ -115,9 +127,11 @@ pub fn read_request(stream: &TcpStream, max_body: usize) -> Result<Request, Http
 fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        201 => "Created",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        411 => "Length Required",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
@@ -194,6 +208,31 @@ mod tests {
             Err(HttpError::BodyTooLarge { limit: 1024 }) => {}
             _ => panic!("expected BodyTooLarge"),
         }
+    }
+
+    #[test]
+    fn post_without_content_length_is_length_required() {
+        for raw in [
+            &b"POST /v1/diameter HTTP/1.1\r\nHost: x\r\n\r\n"[..],
+            b"PUT /v1/graphs/g HTTP/1.1\r\nHost: x\r\n\r\n",
+        ] {
+            match round_trip(raw, 1024) {
+                Err(HttpError::LengthRequired) => {}
+                _ => panic!(
+                    "expected LengthRequired for {:?}",
+                    String::from_utf8_lossy(raw)
+                ),
+            }
+        }
+        // An explicit zero length is fine — the client declared it.
+        let req = round_trip(
+            b"POST /v1/diameter HTTP/1.1\r\nContent-Length: 0\r\n\r\n",
+            1024,
+        )
+        .unwrap_or_else(|_| panic!("parse failed"));
+        assert!(req.body.is_empty());
+        // Body-less methods still need no header at all.
+        assert!(round_trip(b"DELETE /v1/graphs/g HTTP/1.1\r\n\r\n", 1024).is_ok());
     }
 
     #[test]

@@ -10,8 +10,13 @@
 //!
 //! | method & path | body | answer |
 //! |---|---|---|
-//! | `POST /v1/diameter` | `{"spec": …}` or `{"path": …}` | exact diameter via F-Diam |
+//! | `POST /v1/diameter` | `{"spec": …}`, `{"path": …}`, or `{"graph": name}` | exact diameter via F-Diam |
 //! | `POST /v1/eccentricities` | same | radius/diameter/all-ecc via Takes–Kosters |
+//! | `POST /v1/batch` | graph reference + `"queries": […]` | many ecc/diameter answers in one pass |
+//! | `PUT /v1/graphs/{name}` | graph reference (+ `pin`, `preload`) | register a named graph |
+//! | `GET /v1/graphs` | — | all named graphs with residency + per-name stats |
+//! | `GET /v1/graphs/{name}` | — | one named graph (404 if unknown) |
+//! | `DELETE /v1/graphs/{name}` | — | unregister (and evict when unreferenced) |
 //! | `GET /v1/runs` | — | all in-flight compute runs with their latest bounds snapshot |
 //! | `GET /v1/runs/{run_id}` | — | one in-flight run (404 once it finishes) |
 //! | `GET /healthz` | — | liveness + configuration |
@@ -26,9 +31,39 @@
 //! in the response and the event stream stays in the input's original
 //! space), `directed` (diameter endpoint: load the input as a digraph
 //! — edge-list `u v` lines stay one-way arcs — and answer with the
-//! directed SumSweep; `diameter`/`radius` are `null` when infinite).
-//! Directed runs publish the same bounds-snapshot lifecycle, so they
-//! are watchable through `GET /v1/runs` like any other run.
+//! directed SumSweep; `diameter`/`radius` are `null` when infinite),
+//! `anytime` (diameter/eccentricities: a deadline expiry answers `200`
+//! with the run's last *certified* `[lb, ub]` bounds instead of `504`
+//! — see below). Directed runs publish the same bounds-snapshot
+//! lifecycle, so they are watchable through `GET /v1/runs` like any
+//! other run.
+//!
+//! ## Serving real traffic
+//!
+//! Three mechanisms turn the single-shot request loop into something
+//! that survives production traffic shapes:
+//!
+//! - **Named graphs** ([`GraphDirectory`]): `PUT /v1/graphs/{name}`
+//!   binds a short name to a graph reference + load parameters,
+//!   optionally preloading it and **pinning** the resident entry
+//!   against LRU eviction. Compute requests then say
+//!   `{"graph": "name"}`.
+//! - **Request coalescing**: identical concurrent computations (same
+//!   cache key × endpoint × parameters) fan in to one run — one worker
+//!   leads, late arrivals park as waiters and receive byte-identical
+//!   responses (sharing the leader's `run_id`) when it finishes. A
+//!   thundering herd on a cold cache costs one BFS campaign, not N.
+//! - **Anytime bounds**: F-Diam's bounds are certified at every BFS, so
+//!   a deadline is a *degradation*, not a failure. With
+//!   `"anytime": true`, expiry returns `200` with the last certified
+//!   `{lb, ub, gap, bfs_count}` snapshot (the run's `"cancelled"`
+//!   handoff) — `504` only when the deadline fired before anything was
+//!   proven.
+//!
+//! `POST /v1/batch` amortizes many small queries (per-source
+//! eccentricities, the diameter) over one graph access and one scratch
+//! arena, packing eccentricity sources 64-at-a-time into bit-parallel
+//! BFS lanes.
 //!
 //! ## Architecture
 //!
@@ -50,23 +85,26 @@
 //! [`run_concurrent_with_timeout`](fdiam_core::run_concurrent_with_timeout).
 
 mod cache;
+mod graphs;
 mod http;
 
-pub use cache::{CacheOutcome, CachedTopology, GraphCache, LoadedGraph};
+pub use cache::{CacheKey, CacheOutcome, CachedTopology, GraphCache, LoadedGraph};
+pub use graphs::{GraphDirectory, NamedGraph};
 
 use fdiam_bfs::BfsScratch;
 use fdiam_core::FdiamConfig;
-use fdiam_graph::VertexOrder;
+use fdiam_graph::{VertexId, VertexOrder};
 use fdiam_obs::json::{self, JsonObject, JsonValue};
 use fdiam_obs::{
     CancelToken, MetricsObserver, MetricsRegistry, RemapIds, RunId, RunInfo, RunRegistry, Tee,
     PROMETHEUS_CONTENT_TYPE,
 };
 use http::{read_request, write_response, HttpError, Request};
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -175,6 +213,7 @@ impl Default for ServeConfig {
 enum Endpoint {
     Diameter,
     Eccentricities,
+    Batch,
 }
 
 impl Endpoint {
@@ -182,44 +221,100 @@ impl Endpoint {
         match self {
             Endpoint::Diameter => "diameter",
             Endpoint::Eccentricities => "eccentricities",
+            Endpoint::Batch => "batch",
         }
     }
+}
+
+/// One sub-query of a `POST /v1/batch` request.
+#[derive(Clone, Copy)]
+enum BatchQuery {
+    /// Eccentricity of one source vertex (original-id space).
+    Ecc { source: VertexId },
+    /// The exact diameter (computed once however many times it is
+    /// asked).
+    Diameter,
 }
 
 /// A parsed, admitted compute request.
 struct Job {
     stream: TcpStream,
     endpoint: Endpoint,
-    /// Cache key: the `spec:`/`path:`-prefixed graph reference, plus
-    /// an `#order=…` suffix when a relabeling pass is requested (the
-    /// same input under different orders is a different CSR) and a
-    /// `#directed` suffix for digraph loads (a different adjacency
-    /// entirely).
-    graph_key: String,
-    /// Load-time relabeling pass applied on cache miss.
-    order: VertexOrder,
-    /// Load the input as a digraph and answer with the directed
-    /// SumSweep (diameter endpoint only).
-    directed: bool,
+    /// Structured cache identity: graph reference + load parameters.
+    key: CacheKey,
+    /// The named-graph entry this request was routed through, when the
+    /// body said `{"graph": name}` — carries per-name stats and the
+    /// pin bit to reinstate on reload.
+    named: Option<Arc<NamedGraph>>,
     serial: bool,
     include_values: bool,
+    /// Deadline expiry answers `200` with the last certified bounds
+    /// snapshot instead of `504`.
+    anytime: bool,
+    /// Sub-queries of a `/v1/batch` request (empty otherwise).
+    queries: Vec<BatchQuery>,
     sleep_ms: u64,
     token: CancelToken,
     /// Trace id minted at admission; the compute run, the access-log
     /// line, the response body, and the metrics label all carry it.
+    /// Coalesced waiters answer with the *leader's* run id instead.
     run: RunId,
     /// When the request was admitted — queue wait is measured from
     /// here to dequeue.
     admitted_at: Instant,
 }
 
+/// Identity of a coalescable computation: two jobs with equal flight
+/// keys provably produce the same response body, so late arrivals can
+/// share the leader's run instead of repeating it. Batch jobs never
+/// coalesce (their query lists vary); `anytime`/`timeout_secs` are
+/// deliberately *not* part of the key — they shape the error path, not
+/// the computation, and [`deliver`] renders deadline responses
+/// per-recipient.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct FlightKey {
+    key: CacheKey,
+    endpoint: &'static str,
+    serial: bool,
+    include_values: bool,
+}
+
+impl FlightKey {
+    /// `None` for jobs that must not coalesce.
+    fn of(job: &Job) -> Option<FlightKey> {
+        match job.endpoint {
+            Endpoint::Batch => None,
+            ep => Some(FlightKey {
+                key: job.key.clone(),
+                endpoint: ep.as_str(),
+                serial: job.serial,
+                include_values: job.include_values,
+            }),
+        }
+    }
+}
+
+/// One in-flight coalesced computation: the requests parked on it
+/// (with their measured queue waits, for their access-log lines). The
+/// leader holds the flight's identity in its own [`Job`].
+struct Flight {
+    waiters: Vec<(Job, Duration)>,
+}
+
 struct Shared {
     config: ServeConfig,
     metrics: Arc<MetricsRegistry>,
     cache: GraphCache,
+    /// Named graphs behind `PUT/GET/DELETE /v1/graphs/{name}`.
+    graphs: GraphDirectory,
+    /// In-flight coalesced computations, keyed by what they compute.
+    inflight: Mutex<HashMap<FlightKey, Flight>>,
     /// Live view of in-flight compute runs: workers tee their run's
     /// event stream into it, `GET /v1/runs` reads it.
     registry: RunRegistry,
+    /// EWMA of job wall time in nanoseconds (zero until the first job
+    /// finishes) — the drain-rate estimate behind `Retry-After`.
+    ewma_job_nanos: AtomicU64,
     shutting_down: AtomicBool,
     started: Instant,
 }
@@ -244,14 +339,19 @@ impl Server {
         let shared = Arc::new(Shared {
             metrics: Arc::new(MetricsRegistry::new()),
             cache: GraphCache::new(config.cache_bytes),
+            graphs: GraphDirectory::new(),
+            inflight: Mutex::new(HashMap::new()),
             registry: RunRegistry::new(),
+            ewma_job_nanos: AtomicU64::new(0),
             shutting_down: AtomicBool::new(false),
             started: Instant::now(),
             config,
         });
-        // Register the in-flight gauge at bind so `/metrics` exposes it
-        // before (and after) any run exists.
+        // Register the point-in-time gauges and the coalescing counter
+        // at bind so `/metrics` exposes them before any traffic.
         shared.metrics.gauge("runs.in_flight").set(0.0);
+        shared.metrics.gauge("registry.graphs").set(0.0);
+        shared.metrics.counter("coalesced_requests").add(0);
 
         let (tx, rx) = mpsc::sync_channel::<Job>(shared.config.queue_depth);
         let rx = Arc::new(Mutex::new(rx));
@@ -295,6 +395,11 @@ impl Server {
     /// The in-flight run registry behind `GET /v1/runs`, for embedders.
     pub fn runs(&self) -> &RunRegistry {
         &self.shared.registry
+    }
+
+    /// The named-graph directory behind `/v1/graphs`, for embedders.
+    pub fn graphs(&self) -> &GraphDirectory {
+        &self.shared.graphs
     }
 
     /// Graceful shutdown: stop accepting, let queued and in-flight
@@ -344,6 +449,14 @@ fn handle_connection(stream: TcpStream, shared: &Shared, tx: &SyncSender<Job>) {
         Err(HttpError::BodyTooLarge { limit }) => {
             return respond_error(&stream, shared, 413, &format!("body exceeds {limit} bytes"))
         }
+        Err(HttpError::LengthRequired) => {
+            return respond_error(
+                &stream,
+                shared,
+                411,
+                "POST/PUT requests must declare Content-Length",
+            )
+        }
         Err(HttpError::Io(_)) => return, // peer vanished; nothing to say
     };
 
@@ -372,8 +485,24 @@ fn handle_connection(stream: TcpStream, shared: &Shared, tx: &SyncSender<Job>) {
         ("GET", p) if p.strip_prefix("/v1/runs/").is_some_and(|id| !id.is_empty()) => {
             respond_run_detail(&stream, shared, p.strip_prefix("/v1/runs/").unwrap())
         }
+        ("GET", "/v1/graphs") => respond_graphs_list(&stream, shared),
+        ("GET", p) if p.strip_prefix("/v1/graphs/").is_some_and(|n| !n.is_empty()) => {
+            respond_graph_detail(&stream, shared, p.strip_prefix("/v1/graphs/").unwrap())
+        }
+        ("PUT", p) if p.strip_prefix("/v1/graphs/").is_some_and(|n| !n.is_empty()) => {
+            respond_graph_put(
+                &stream,
+                shared,
+                p.strip_prefix("/v1/graphs/").unwrap(),
+                &req,
+            )
+        }
+        ("DELETE", p) if p.strip_prefix("/v1/graphs/").is_some_and(|n| !n.is_empty()) => {
+            respond_graph_delete(&stream, shared, p.strip_prefix("/v1/graphs/").unwrap())
+        }
         ("POST", "/v1/diameter") => admit(stream, shared, tx, &req, Endpoint::Diameter),
         ("POST", "/v1/eccentricities") => admit(stream, shared, tx, &req, Endpoint::Eccentricities),
+        ("POST", "/v1/batch") => admit(stream, shared, tx, &req, Endpoint::Batch),
         ("GET" | "POST", _) => respond_error(&stream, shared, 404, "no such endpoint"),
         _ => respond_error(&stream, shared, 405, "method not allowed"),
     }
@@ -393,11 +522,11 @@ fn admit(stream: TcpStream, shared: &Shared, tx: &SyncSender<Job>, req: &Request
         }
         Err(TrySendError::Full(job)) => {
             shared.metrics.counter("serve.jobs_shed").inc();
-            log_access(shared, &job, 429, "-", Duration::ZERO, "shed");
+            log_access(shared, &job, job.run, 429, "-", Duration::ZERO, "shed");
             let _ = write_response(
                 &job.stream,
                 429,
-                &[("retry-after", "1".to_string())],
+                &[("retry-after", retry_after_secs(shared).to_string())],
                 "application/json",
                 JsonObject::new()
                     .str("error", "admission queue full")
@@ -406,18 +535,37 @@ fn admit(stream: TcpStream, shared: &Shared, tx: &SyncSender<Job>, req: &Request
             );
         }
         Err(TrySendError::Disconnected(job)) => {
-            log_access(shared, &job, 503, "-", Duration::ZERO, "shutdown");
+            log_access(shared, &job, job.run, 503, "-", Duration::ZERO, "shutdown");
             respond_error(&job.stream, shared, 503, "server is shutting down")
         }
     }
 }
 
-/// One structured JSONL line per compute request: the run/trace id,
-/// which endpoint, response status, cache outcome, time spent queued,
-/// total time since admission, and how the deadline resolved.
+/// `Retry-After` seconds for a shed request, derived from the observed
+/// drain rate: a full queue of `queue_depth` jobs, each costing the
+/// EWMA job duration, drains across `workers` threads — come back once
+/// a slot has likely opened. Clamped to `[1, 60]`; `1` before any job
+/// has finished (nothing observed yet).
+fn retry_after_secs(shared: &Shared) -> u64 {
+    let ewma = shared.ewma_job_nanos.load(Ordering::Relaxed);
+    if ewma == 0 {
+        return 1;
+    }
+    let backlog_nanos =
+        (shared.config.queue_depth as u64 + 1).saturating_mul(ewma) / shared.config.workers as u64;
+    backlog_nanos.div_ceil(1_000_000_000).clamp(1, 60)
+}
+
+/// One structured JSONL line per compute request: the run/trace id
+/// (the *leader's* for coalesced waiters — matching the body they
+/// received), which endpoint, response status, cache outcome, time
+/// spent queued, total time since admission, and how the deadline
+/// resolved.
+#[allow(clippy::too_many_arguments)]
 fn log_access(
     shared: &Shared,
     job: &Job,
+    run: RunId,
     status: u16,
     cache: &str,
     queue_wait: Duration,
@@ -425,9 +573,9 @@ fn log_access(
 ) {
     let line = JsonObject::new()
         .str("type", "access")
-        .str("run_id", &job.run.to_string())
+        .str("run_id", &run.to_string())
         .str("endpoint", job.endpoint.as_str())
-        .str("graph", &job.graph_key)
+        .str("graph", &job.key.to_string())
         .u64("status", u64::from(status))
         .str("cache", cache)
         .u64("queue_wait_us", queue_wait.as_micros() as u64)
@@ -458,6 +606,10 @@ fn refresh_run_gauges(shared: &Shared) {
         .metrics
         .gauge("runs.in_flight")
         .set(shared.registry.in_flight() as f64);
+    shared
+        .metrics
+        .gauge("registry.graphs")
+        .set(shared.graphs.len() as f64);
 }
 
 /// Renders one in-flight run for the `/v1/runs` endpoints.
@@ -515,6 +667,175 @@ fn respond_run_detail(stream: &TcpStream, shared: &Shared, id: &str) {
     }
 }
 
+/// Renders one named graph with its cache residency and per-name stats.
+fn named_graph_json(shared: &Shared, g: &NamedGraph) -> String {
+    let bytes = shared.cache.entry_bytes(&g.key);
+    let (requests, hits, misses) = g.counts();
+    let mut obj = JsonObject::new()
+        .str("name", &g.name)
+        .str("reference", &g.key.reference)
+        .str("order", g.key.order.as_str())
+        .bool("directed", g.key.directed)
+        .bool("pinned", g.pinned())
+        .bool("resident", bytes.is_some());
+    obj = match bytes {
+        Some(b) => obj.usize("resident_bytes", b),
+        None => obj.raw("resident_bytes", "null"),
+    };
+    obj.u64("requests", requests)
+        .u64("hits", hits)
+        .u64("misses", misses)
+        .finish()
+}
+
+/// `GET /v1/graphs`: every registered name, lexicographic order.
+fn respond_graphs_list(stream: &TcpStream, shared: &Shared) {
+    let graphs = shared.graphs.list();
+    let mut arr = String::from("[");
+    for (i, g) in graphs.iter().enumerate() {
+        if i > 0 {
+            arr.push(',');
+        }
+        arr.push_str(&named_graph_json(shared, g));
+    }
+    arr.push(']');
+    let body = JsonObject::new()
+        .usize("count", graphs.len())
+        .raw("graphs", &arr)
+        .finish();
+    let _ = write_response(stream, 200, &[], "application/json", body.as_bytes());
+}
+
+/// `GET /v1/graphs/{name}`: one registered name or 404.
+fn respond_graph_detail(stream: &TcpStream, shared: &Shared, name: &str) {
+    match shared.graphs.get(name) {
+        Some(g) => {
+            let body = named_graph_json(shared, &g);
+            let _ = write_response(stream, 200, &[], "application/json", body.as_bytes());
+        }
+        None => respond_error(stream, shared, 404, "no such named graph"),
+    }
+}
+
+/// `PUT /v1/graphs/{name}`: register (201) or replace (200) a named
+/// graph. By default the graph is **preloaded** synchronously — the
+/// registration doesn't succeed until the graph actually loads, so a
+/// typo'd path fails here (400) instead of on the first query;
+/// `"preload": false` skips that for lazily-loaded entries.
+/// `"pin": true` exempts the resident entry from LRU eviction.
+/// Registration is a control-plane operation and runs inline on the
+/// acceptor; data-plane requests queue behind the load, which is the
+/// point — they'd only race it to a cold cache.
+fn respond_graph_put(stream: &TcpStream, shared: &Shared, name: &str, req: &Request) {
+    if !graphs::valid_name(name) {
+        return respond_error(
+            stream,
+            shared,
+            400,
+            "graph names are 1-64 chars of [A-Za-z0-9_.-]",
+        );
+    }
+    let v = match std::str::from_utf8(&req.body)
+        .map_err(|_| "body is not UTF-8".to_string())
+        .and_then(|s| json::parse(s).map_err(|e| format!("bad JSON body: {e}")))
+    {
+        Ok(v) => v,
+        Err(e) => return respond_error(stream, shared, 400, &e),
+    };
+    let key = match parse_cache_key(&v) {
+        Ok(Some(key)) => key,
+        Ok(None) => {
+            return respond_error(
+                stream,
+                shared,
+                400,
+                "body needs a graph reference: {\"spec\": …} or {\"path\": …}",
+            )
+        }
+        Err(e) => return respond_error(stream, shared, 400, &e),
+    };
+    let pin = v.get("pin").and_then(JsonValue::as_bool).unwrap_or(false);
+    let preload = v
+        .get("preload")
+        .and_then(JsonValue::as_bool)
+        .unwrap_or(true);
+
+    if preload {
+        if let Err(e) = shared.cache.get_or_load(&key, || load_graph(&key)) {
+            // A reference that doesn't load never enters the directory.
+            return respond_error(stream, shared, 400, &e);
+        }
+    }
+    shared.cache.pin(&key, pin);
+    let (entry, replaced) = shared.graphs.put(name, key, pin);
+    // 201 for a fresh name, 200 for an overwrite.
+    let status = if replaced.is_none() { 201 } else { 200 };
+    // A replaced registration may strand its old key pinned; release
+    // the pin unless some other name still wants it held.
+    if let Some(old) = replaced {
+        if old.key != entry.key && old.pinned() && !shared.graphs.references(&old.key) {
+            shared.cache.pin(&old.key, false);
+        }
+    }
+    refresh_run_gauges(shared);
+    let body = named_graph_json(shared, &entry);
+    let _ = write_response(stream, status, &[], "application/json", body.as_bytes());
+}
+
+/// `DELETE /v1/graphs/{name}`: unregister. The resident cache entry is
+/// unpinned and evicted when no other name references its key —
+/// in-flight jobs holding the `Arc` finish unaffected.
+fn respond_graph_delete(stream: &TcpStream, shared: &Shared, name: &str) {
+    match shared.graphs.remove(name) {
+        Some(g) => {
+            let evicted = if shared.graphs.references(&g.key) {
+                false
+            } else {
+                shared.cache.remove(&g.key)
+            };
+            refresh_run_gauges(shared);
+            refresh_cache_gauges(shared);
+            let body = JsonObject::new()
+                .str("removed", name)
+                .bool("evicted", evicted)
+                .finish();
+            let _ = write_response(stream, 200, &[], "application/json", body.as_bytes());
+        }
+        None => respond_error(stream, shared, 404, "no such named graph"),
+    }
+}
+
+/// Parses the `spec`/`path`/`order`/`directed` fields shared by compute
+/// requests and `PUT /v1/graphs` into a [`CacheKey`]. `Ok(None)` when
+/// no reference is present (the caller decides whether that's an error
+/// — compute requests may say `"graph"` instead).
+fn parse_cache_key(v: &JsonValue) -> Result<Option<CacheKey>, String> {
+    let order = match v.get("order") {
+        None => VertexOrder::None,
+        Some(o) => match o.as_str().map(VertexOrder::parse) {
+            Some(Ok(order)) => order,
+            Some(Err(e)) => return Err(e),
+            None => return Err("order must be a string: \"none\", \"degree\", or \"bfs\"".into()),
+        },
+    };
+    let directed = match v.get("directed") {
+        None => false,
+        Some(d) => match d.as_bool() {
+            Some(b) => b,
+            None => return Err("directed must be a boolean".into()),
+        },
+    };
+    let spec = v.get("spec").and_then(JsonValue::as_str);
+    let path = v.get("path").and_then(JsonValue::as_str);
+    let reference = match (spec, path) {
+        (Some(s), None) => format!("spec:{s}"),
+        (None, Some(p)) => format!("path:{p}"),
+        (Some(_), Some(_)) => return Err("give either \"spec\" or \"path\", not both".into()),
+        (None, None) => return Ok(None),
+    };
+    Ok(Some(CacheKey::new(reference, order, directed)))
+}
+
 fn parse_job(
     stream: TcpStream,
     shared: &Shared,
@@ -535,51 +856,122 @@ fn parse_job(
         Err(e) => return Err((stream, format!("bad JSON body: {e}"))),
     };
 
-    let order = match v.get("order") {
-        None => VertexOrder::None,
-        Some(o) => match o.as_str().map(VertexOrder::parse) {
-            Some(Ok(order)) => order,
-            Some(Err(e)) => return Err((stream, e)),
-            None => {
-                return Err((
-                    stream,
-                    "order must be a string: \"none\", \"degree\", or \"bfs\"".into(),
-                ))
-            }
-        },
+    // Resolve the graph reference: an inline `spec`/`path` (plus
+    // `order`/`directed`), or a registered `graph` name — in which case
+    // the name's load parameters apply unless the request overrides
+    // them.
+    let inline = match parse_cache_key(&v) {
+        Ok(k) => k,
+        Err(e) => return Err((stream, e)),
     };
-    let spec = v.get("spec").and_then(JsonValue::as_str);
-    let path = v.get("path").and_then(JsonValue::as_str);
-    let mut graph_key = match (spec, path) {
-        (Some(s), None) => format!("spec:{s}"),
-        (None, Some(p)) => format!("path:{p}"),
+    let graph_name = v.get("graph").and_then(JsonValue::as_str);
+    let (key, named) = match (graph_name, inline) {
         (Some(_), Some(_)) => {
-            return Err((stream, "give either \"spec\" or \"path\", not both".into()))
+            return Err((
+                stream,
+                "give either \"graph\" or \"spec\"/\"path\", not both".into(),
+            ))
         }
+        (None, Some(key)) => (key, None),
         (None, None) => {
             return Err((
                 stream,
-                "body needs a graph reference: {\"spec\": …} or {\"path\": …}".into(),
+                "body needs a graph reference: {\"spec\": …}, {\"path\": …}, or {\"graph\": name}"
+                    .into(),
             ))
         }
+        (Some(name), None) => {
+            let Some(named) = shared.graphs.get(name) else {
+                return Err((
+                    stream,
+                    format!("no such named graph '{name}' (register with PUT /v1/graphs/{name})"),
+                ));
+            };
+            let mut key = named.key.clone();
+            // Request-level overrides fork the cache key off the
+            // registered defaults.
+            if let Some(o) = v.get("order").and_then(JsonValue::as_str) {
+                match VertexOrder::parse(o) {
+                    Ok(order) => key.order = order,
+                    Err(e) => return Err((stream, e)),
+                }
+            }
+            if let Some(d) = v.get("directed") {
+                match d.as_bool() {
+                    Some(b) => key.directed = b,
+                    None => return Err((stream, "directed must be a boolean".into())),
+                }
+            }
+            (key, Some(named))
+        }
     };
-    let directed = match v.get("directed") {
-        None => false,
-        Some(d) => match d.as_bool() {
-            Some(b) => b,
-            None => return Err((stream, "directed must be a boolean".into())),
-        },
-    };
-    if directed && matches!(endpoint, Endpoint::Eccentricities) {
+    if key.directed && !matches!(endpoint, Endpoint::Diameter) {
         return Err((stream, "directed is only supported on /v1/diameter".into()));
     }
-    if order != VertexOrder::None {
-        graph_key.push_str("#order=");
-        graph_key.push_str(order.as_str());
+
+    let anytime = match v.get("anytime") {
+        None => false,
+        Some(a) => match a.as_bool() {
+            Some(b) => b,
+            None => return Err((stream, "anytime must be a boolean".into())),
+        },
+    };
+    if anytime && matches!(endpoint, Endpoint::Batch) {
+        return Err((
+            stream,
+            "anytime is not supported on /v1/batch (partial batches have no certified bounds)"
+                .into(),
+        ));
     }
-    if directed {
-        graph_key.push_str("#directed");
-    }
+
+    let queries = match (endpoint, v.get("queries")) {
+        (Endpoint::Batch, Some(JsonValue::Array(items))) => {
+            if items.is_empty() {
+                return Err((stream, "queries must be a non-empty array".into()));
+            }
+            if items.len() > 4096 {
+                return Err((stream, "at most 4096 queries per batch".into()));
+            }
+            let mut queries = Vec::with_capacity(items.len());
+            for q in items {
+                match q.get("type").and_then(JsonValue::as_str) {
+                    Some("ecc" | "eccentricity") => {
+                        let Some(source) = q.get("source").and_then(JsonValue::as_u64) else {
+                            return Err((
+                                stream,
+                                "ecc queries need an integer \"source\" vertex".into(),
+                            ));
+                        };
+                        if source > u64::from(u32::MAX) {
+                            return Err((stream, format!("source {source} out of range")));
+                        }
+                        queries.push(BatchQuery::Ecc {
+                            source: source as VertexId,
+                        });
+                    }
+                    Some("diameter") => queries.push(BatchQuery::Diameter),
+                    _ => {
+                        return Err((
+                            stream,
+                            "each query needs \"type\": \"ecc\" or \"diameter\"".into(),
+                        ))
+                    }
+                }
+            }
+            queries
+        }
+        (Endpoint::Batch, _) => {
+            return Err((
+                stream,
+                "batch requests need a \"queries\" array: [{\"type\": \"ecc\", \"source\": v}, {\"type\": \"diameter\"}]"
+                    .into(),
+            ))
+        }
+        (_, Some(_)) => {
+            return Err((stream, "queries is only supported on /v1/batch".into()));
+        }
+        (_, None) => Vec::new(),
+    };
 
     let timeout = match v.get("timeout_secs") {
         None => shared.config.default_timeout,
@@ -604,9 +996,8 @@ fn parse_job(
     Ok(Job {
         stream,
         endpoint,
-        graph_key,
-        order,
-        directed,
+        key,
+        named,
         serial: v
             .get("serial")
             .and_then(JsonValue::as_bool)
@@ -615,6 +1006,8 @@ fn parse_job(
             .get("include_values")
             .and_then(JsonValue::as_bool)
             .unwrap_or(false),
+        anytime,
+        queries,
         sleep_ms,
         token,
         run: RunId::fresh(),
@@ -645,13 +1038,40 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
             .record(queue_wait);
         let t0 = Instant::now();
         serve_job(shared, job, queue_wait, &mut scratch, &observer);
-        shared
-            .metrics
-            .histogram("serve.job.duration")
-            .record(t0.elapsed());
+        let dur = t0.elapsed();
+        shared.metrics.histogram("serve.job.duration").record(dur);
+        // EWMA (α = 1/4) of job wall time — the drain-rate estimate
+        // behind `Retry-After`. Racy read-modify-write is fine: it's an
+        // estimate, and torn updates still land near the mean.
+        let prev = shared.ewma_job_nanos.load(Ordering::Relaxed);
+        let sample = dur.as_nanos() as u64;
+        let next = if prev == 0 {
+            sample
+        } else {
+            prev - prev / 4 + sample / 4
+        };
+        shared.ewma_job_nanos.store(next, Ordering::Relaxed);
         shared.metrics.gauge("serve.jobs.in_flight").dec();
         shared.metrics.gauge("serve.workers.busy").dec();
     }
+}
+
+/// How a leader's computation resolved. Rendered per-recipient by
+/// [`deliver`] — once for the leader, once for every coalesced waiter.
+enum LeaderOutcome {
+    /// Fully rendered 200 body, shared byte-for-byte by all recipients
+    /// (they all describe the same run).
+    Ok { body: String, cache: &'static str },
+    /// Load/validation failure → 400 for everyone who asked for it.
+    Bad { message: String },
+    /// The deadline fired mid-run. `info` is the run's final registry
+    /// state, reaped exactly once via [`RunRegistry::remove`] — its
+    /// latest snapshot is the `"cancelled"` handoff when at least one
+    /// BFS completed, and the anytime path serves it.
+    Deadline {
+        info: Option<RunInfo>,
+        cache: &'static str,
+    },
 }
 
 fn serve_job(
@@ -662,73 +1082,109 @@ fn serve_job(
     observer: &MetricsObserver,
 ) {
     // A deadline that expired while the job sat in the queue is
-    // answered without loading or computing anything.
+    // answered without loading or computing anything — 504 even under
+    // `anytime`, because nothing was certified.
     if job.token.is_cancelled() {
-        log_access(shared, &job, 504, "-", queue_wait, "expired_in_queue");
+        log_access(
+            shared,
+            &job,
+            job.run,
+            504,
+            "-",
+            queue_wait,
+            "expired_in_queue",
+        );
         return respond_deadline(shared, &job);
     }
 
     // Test hook: a cancellation-aware stall standing in for a long
     // compute, so integration tests can hold a worker busy for a
-    // deterministic duration.
+    // deterministic duration. Runs *before* coalescing so identical
+    // sleep jobs still occupy one worker each.
     if job.sleep_ms > 0 {
         let until = Instant::now() + Duration::from_millis(job.sleep_ms);
         while Instant::now() < until {
             if job.token.is_cancelled() {
-                log_access(shared, &job, 504, "-", queue_wait, "expired_in_compute");
+                log_access(
+                    shared,
+                    &job,
+                    job.run,
+                    504,
+                    "-",
+                    queue_wait,
+                    "expired_in_compute",
+                );
                 return respond_deadline(shared, &job);
             }
             std::thread::sleep(Duration::from_millis(2));
         }
     }
 
-    // Strip the `#directed` / `#order=…` suffixes back off (reverse of
-    // how parse_job appended them): they address the cache, not the
-    // loader. The relabeling pass runs once, on miss, and its map is
-    // cached with the adjacency.
-    let base = job
-        .graph_key
-        .strip_suffix("#directed")
-        .unwrap_or(&job.graph_key);
-    let base = base.split_once("#order=").map_or(base, |(b, _)| b);
-    let load = || {
-        if job.directed {
-            // Generator specs are undirected by construction and load
-            // bidirected; edge-list paths keep their arc orientation.
-            let g = match base.split_once(':') {
-                Some(("spec", s)) => {
-                    fdiam_graph::DiGraph::from_undirected(&fdiam_cli::generate_graph(s)?)
-                }
-                Some(("path", p)) => fdiam_cli::read_digraph(p)?,
-                _ => unreachable!("keys are built in parse_job"),
-            };
-            return Ok(LoadedGraph::new_directed(g, job.order));
-        }
-        let g = match base.split_once(':') {
-            Some(("spec", s)) => fdiam_cli::generate_graph(s),
-            Some(("path", p)) => fdiam_cli::read_graph(p),
-            _ => unreachable!("keys are built in parse_job"),
-        }?;
-        Ok(LoadedGraph::new(g, job.order))
-    };
-    let (graph, outcome) = match shared.cache.get_or_load(&job.graph_key, load) {
-        Ok(found) => found,
-        Err(e) => {
-            shared.metrics.counter("serve.responses_400").inc();
-            log_access(shared, &job, 400, "-", queue_wait, "ok");
-            let _ = write_response(
-                &job.stream,
-                400,
-                &[],
-                "application/json",
-                JsonObject::new().str("error", &e).finish().as_bytes(),
-            );
+    // Request coalescing: if an identical computation is already in
+    // flight, park this job on it and free the worker — the leader
+    // writes every parked response when it finishes. Otherwise this
+    // job claims the flight and leads.
+    let flight_key = FlightKey::of(&job);
+    if let Some(fk) = &flight_key {
+        let mut inflight = shared.inflight.lock().unwrap();
+        if let Some(flight) = inflight.get_mut(fk) {
+            shared.metrics.counter("coalesced_requests").inc();
+            flight.waiters.push((job, queue_wait));
             return;
         }
+        inflight.insert(
+            fk.clone(),
+            Flight {
+                waiters: Vec::new(),
+            },
+        );
+    }
+
+    let outcome = lead(shared, &job, scratch, observer);
+
+    // Close the flight *after* the outcome exists: everyone parked by
+    // then shares it; later arrivals start a fresh flight (and, on a
+    // success, hit the now-warm cache).
+    let waiters = match &flight_key {
+        Some(fk) => shared
+            .inflight
+            .lock()
+            .unwrap()
+            .remove(fk)
+            .map(|f| f.waiters)
+            .unwrap_or_default(),
+        None => Vec::new(),
+    };
+    deliver(shared, &outcome, &job, job.run, queue_wait, false);
+    for (waiter, wq) in &waiters {
+        deliver(shared, &outcome, waiter, job.run, *wq, true);
+    }
+}
+
+/// The leader's side of a flight: load (or hit) the graph, run the
+/// computation, and fold the result into a [`LeaderOutcome`] that
+/// [`deliver`] can render for every recipient.
+fn lead(
+    shared: &Shared,
+    job: &Job,
+    scratch: &mut BfsScratch,
+    observer: &MetricsObserver,
+) -> LeaderOutcome {
+    let (graph, outcome) = match shared.cache.get_or_load(&job.key, || load_graph(&job.key)) {
+        Ok(found) => found,
+        Err(e) => return LeaderOutcome::Bad { message: e },
     };
     match outcome {
         CacheOutcome::Hit => shared.metrics.counter("serve.cache_hits").inc(),
         CacheOutcome::Miss => shared.metrics.counter("serve.cache_misses").inc(),
+    }
+    if let Some(named) = &job.named {
+        named.record(outcome == CacheOutcome::Hit);
+        // A pinned named graph that fell out of residency (removed, or
+        // registered with preload: false) reinstates its pin on reload.
+        if outcome == CacheOutcome::Miss && named.pinned() {
+            shared.cache.pin(&job.key, true);
+        }
     }
     refresh_cache_gauges(shared);
 
@@ -737,42 +1193,161 @@ fn serve_job(
     // registers, every bounds snapshot updates the live view, run_end
     // deregisters.
     let tee = Tee(observer, &shared.registry);
-    let body = match (job.endpoint, job.directed) {
-        (Endpoint::Diameter, true) => compute_directed_diameter(&graph, &job, &tee),
-        (Endpoint::Diameter, false) => compute_diameter(&graph, &job, scratch, &tee),
-        (Endpoint::Eccentricities, _) => compute_eccentricities(&graph, &job, &tee),
+    let body = match (job.endpoint, job.key.directed) {
+        (Endpoint::Diameter, true) => compute_directed_diameter(&graph, job, &tee),
+        (Endpoint::Diameter, false) => compute_diameter(&graph, job, scratch, &tee),
+        (Endpoint::Eccentricities, _) => compute_eccentricities(&graph, job, &tee),
+        (Endpoint::Batch, _) => match compute_batch(&graph, job, scratch, &tee) {
+            Ok(body) => body,
+            Err(message) => return LeaderOutcome::Bad { message },
+        },
     };
     match body {
         Some(obj) => {
-            shared.metrics.counter("serve.responses_ok").inc();
             shared
                 .metrics
                 .set_label("serve.last_run_info", "run_id", &job.run.to_string());
-            log_access(shared, &job, 200, outcome.as_str(), queue_wait, "ok");
             let obj = obj
                 .str("run_id", &job.run.to_string())
                 .str("cache", outcome.as_str())
                 .f64("elapsed_ms", t0.elapsed().as_secs_f64() * 1e3);
-            let _ = write_response(
-                &job.stream,
-                200,
-                &[],
-                "application/json",
-                obj.finish().as_bytes(),
-            );
+            LeaderOutcome::Ok {
+                body: obj.finish(),
+                cache: outcome.as_str(),
+            }
         }
         None => {
+            // The run was cancelled: it emitted no run_end, so reap its
+            // final registry state here — atomically, exactly once. The
+            // latest snapshot (phase "cancelled") carries every bound
+            // the truncated run certified.
+            let info = shared.registry.remove(job.run);
+            LeaderOutcome::Deadline {
+                info,
+                cache: outcome.as_str(),
+            }
+        }
+    }
+}
+
+/// Writes one recipient's response for a resolved flight. Success and
+/// 400 bodies are shared verbatim; deadline responses render
+/// per-recipient because `anytime` is a per-request choice.
+fn deliver(
+    shared: &Shared,
+    outcome: &LeaderOutcome,
+    job: &Job,
+    run: RunId,
+    queue_wait: Duration,
+    coalesced: bool,
+) {
+    let cache_label = |leader: &'static str| if coalesced { "coalesced" } else { leader };
+    match outcome {
+        LeaderOutcome::Ok { body, cache } => {
+            shared.metrics.counter("serve.responses_ok").inc();
+            log_access(shared, job, run, 200, cache_label(cache), queue_wait, "ok");
+            let _ = write_response(&job.stream, 200, &[], "application/json", body.as_bytes());
+        }
+        LeaderOutcome::Bad { message } => {
+            shared.metrics.counter("serve.responses_400").inc();
+            log_access(shared, job, run, 400, cache_label("-"), queue_wait, "ok");
+            let _ = write_response(
+                &job.stream,
+                400,
+                &[],
+                "application/json",
+                JsonObject::new().str("error", message).finish().as_bytes(),
+            );
+        }
+        LeaderOutcome::Deadline { info, cache } => {
+            let cache = cache_label(cache);
+            if job.anytime {
+                if let Some(body) = info.as_ref().and_then(|i| anytime_body(i, cache)) {
+                    shared.metrics.counter("serve.responses_anytime").inc();
+                    log_access(shared, job, run, 200, cache, queue_wait, "anytime");
+                    let _ =
+                        write_response(&job.stream, 200, &[], "application/json", body.as_bytes());
+                    return;
+                }
+            }
+            shared.metrics.counter("serve.responses_deadline").inc();
             log_access(
                 shared,
-                &job,
+                job,
+                run,
                 504,
-                outcome.as_str(),
+                cache,
                 queue_wait,
                 "expired_in_compute",
             );
-            respond_deadline(shared, &job)
+            let _ = write_response(
+                &job.stream,
+                504,
+                &[],
+                "application/json",
+                JsonObject::new()
+                    .str("error", "deadline expired before the computation finished")
+                    .finish()
+                    .as_bytes(),
+            );
         }
     }
+}
+
+/// Renders the `200` body of an anytime response from a cancelled
+/// run's final registry state: the last *certified* diameter bounds.
+/// `None` when nothing was certified (no BFS completed before the
+/// deadline) — the caller falls back to `504`.
+fn anytime_body(info: &RunInfo, cache: &str) -> Option<String> {
+    let s = info.latest.as_ref()?;
+    if s.bfs_count == 0 {
+        return None;
+    }
+    Some(
+        JsonObject::new()
+            .bool("anytime", true)
+            .bool("complete", false)
+            .str("status", "deadline_expired")
+            .u64("lb", u64::from(s.lb))
+            .u64("ub", u64::from(s.ub))
+            .u64("gap", u64::from(s.gap()))
+            .u64("bfs_count", s.bfs_count)
+            .str("phase", s.phase)
+            .usize("vertices_remaining", s.vertices_remaining)
+            .str("algorithm", &info.algorithm)
+            .usize("n", info.n)
+            .usize("m", info.m)
+            .f64("run_elapsed_ms", s.elapsed_nanos as f64 / 1e6)
+            .str("run_id", &info.run.to_string())
+            .str("cache", cache)
+            .finish(),
+    )
+}
+
+/// Loads the graph a [`CacheKey`] describes — disk read or generation,
+/// plus the load-time relabeling pass. The reference is taken verbatim
+/// (never parsed for parameters), so any byte — `#` included — is a
+/// legal path character.
+fn load_graph(key: &CacheKey) -> Result<LoadedGraph, String> {
+    let reference = key.reference.as_str();
+    if key.directed {
+        // Generator specs are undirected by construction and load
+        // bidirected; edge-list paths keep their arc orientation.
+        let g = match reference.split_once(':') {
+            Some(("spec", s)) => {
+                fdiam_graph::DiGraph::from_undirected(&fdiam_cli::generate_graph(s)?)
+            }
+            Some(("path", p)) => fdiam_cli::read_digraph(p)?,
+            _ => unreachable!("references are built in parse_cache_key"),
+        };
+        return Ok(LoadedGraph::new_directed(g, key.order));
+    }
+    let g = match reference.split_once(':') {
+        Some(("spec", s)) => fdiam_cli::generate_graph(s),
+        Some(("path", p)) => fdiam_cli::read_graph(p),
+        _ => unreachable!("references are built in parse_cache_key"),
+    }?;
+    Ok(LoadedGraph::new(g, key.order))
 }
 
 /// Runs F-Diam under the job's token; `None` means the deadline fired.
@@ -924,6 +1499,135 @@ fn compute_eccentricities(
     Some(obj)
 }
 
+/// Answers a `/v1/batch` request: the deduplicated eccentricity
+/// sources packed 64-at-a-time through bit-parallel BFS lanes, the
+/// diameter (if asked) computed once and reused, everything over one
+/// resident graph and one scratch arena. `Err` → 400 for invalid
+/// sources; `Ok(None)` → the deadline fired.
+fn compute_batch(
+    lg: &LoadedGraph,
+    job: &Job,
+    scratch: &mut BfsScratch,
+    observer: &dyn fdiam_obs::Observer,
+) -> Result<Option<JsonObject>, String> {
+    let g = lg.csr();
+    let n = g.num_vertices();
+    // The worker's arena is sized for whatever graph it last served;
+    // the bp64 kernel (unlike the F-Diam driver) asserts rather than
+    // resizes.
+    scratch.ensure(n);
+
+    // Sources arrive in the input's original id space; bp64 wants the
+    // internal (possibly relabeled) space. Build the inverse map once.
+    let inverse = lg.to_original.as_ref().map(|map| {
+        let mut inv = vec![0 as VertexId; n];
+        for (internal, &orig) in map.iter().enumerate() {
+            inv[orig as usize] = internal as VertexId;
+        }
+        inv
+    });
+
+    // Deduplicate sources (batches routinely repeat hot vertices);
+    // each unique source costs one bp64 lane.
+    let mut lane_of: HashMap<VertexId, usize> = HashMap::new();
+    let mut lanes: Vec<VertexId> = Vec::new(); // internal ids, lane order
+    let mut wants_diameter = false;
+    for q in &job.queries {
+        match q {
+            BatchQuery::Ecc { source } => {
+                if (*source as usize) >= n {
+                    return Err(format!("source {source} out of range (n = {n})"));
+                }
+                lane_of.entry(*source).or_insert_with(|| {
+                    lanes.push(match &inverse {
+                        Some(inv) => inv[*source as usize],
+                        None => *source,
+                    });
+                    lanes.len() - 1
+                });
+            }
+            BatchQuery::Diameter => wants_diameter = true,
+        }
+    }
+
+    let mut ecc = vec![0u32; lanes.len()];
+    let mut waves = 0usize;
+    for (chunk_idx, chunk) in lanes.chunks(fdiam_bfs::MAX_LANES).enumerate() {
+        let Some(summary) =
+            fdiam_bfs::bp64_eccentricities_cancellable(g, chunk, scratch, &job.token)
+        else {
+            return Ok(None);
+        };
+        waves += 1;
+        for (k, e) in summary.ecc[..chunk.len()].iter().enumerate() {
+            ecc[chunk_idx * fdiam_bfs::MAX_LANES + k] = *e;
+        }
+    }
+
+    let diameter_out = if wants_diameter {
+        let remap_storage;
+        let observer: &dyn fdiam_obs::Observer = match &lg.to_original {
+            Some(map) => {
+                remap_storage = RemapIds::new(observer, map);
+                &remap_storage
+            }
+            None => observer,
+        };
+        let config = if job.serial {
+            FdiamConfig::serial()
+        } else {
+            FdiamConfig::parallel()
+        }
+        .with_run_id(job.run);
+        match fdiam_core::run_cancellable_with_scratch(g, &config, observer, &job.token, scratch) {
+            Ok(out) => Some(out),
+            Err(_) => return Ok(None),
+        }
+    } else {
+        None
+    };
+
+    let mut arr = String::from("[");
+    for (i, q) in job.queries.iter().enumerate() {
+        if i > 0 {
+            arr.push(',');
+        }
+        match q {
+            BatchQuery::Ecc { source } => {
+                arr.push_str(
+                    &JsonObject::new()
+                        .str("type", "ecc")
+                        .u64("source", u64::from(*source))
+                        .u64("eccentricity", u64::from(ecc[lane_of[source]]))
+                        .finish(),
+                );
+            }
+            BatchQuery::Diameter => {
+                let out = diameter_out.as_ref().expect("computed when asked");
+                let mut obj = JsonObject::new().str("type", "diameter");
+                obj = match out.result.diameter() {
+                    Some(d) => obj.u64("diameter", u64::from(d)),
+                    None => obj.raw("diameter", "null"),
+                };
+                arr.push_str(&obj.bool("connected", out.result.connected).finish());
+            }
+        }
+    }
+    arr.push(']');
+
+    let mut obj = JsonObject::new()
+        .raw("results", &arr)
+        .usize("queries", job.queries.len())
+        .usize("unique_sources", lanes.len())
+        .usize("ecc_bfs_waves", waves)
+        .usize("n", n)
+        .usize("m", g.num_undirected_edges());
+    if let Some(out) = &diameter_out {
+        obj = obj.usize("diameter_traversals", out.stats.ecc_computations);
+    }
+    Ok(Some(obj))
+}
+
 fn respond_deadline(shared: &Shared, job: &Job) {
     // A cancelled run emits run_start but never run_end, so the
     // registry needs the explicit deregister here (no-op for jobs that
@@ -965,6 +1669,7 @@ fn respond_healthz(stream: &TcpStream, shared: &Shared) {
         .usize("queue_depth", shared.config.queue_depth)
         .usize("cache_bytes", shared.config.cache_bytes)
         .usize("cache_resident_bytes", shared.cache.resident_bytes())
+        .usize("named_graphs", shared.graphs.len())
         .f64("uptime_secs", shared.started.elapsed().as_secs_f64())
         .finish();
     let _ = write_response(stream, 200, &[], "application/json", body.as_bytes());

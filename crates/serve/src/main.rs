@@ -18,8 +18,16 @@ OPTIONS:
   --quiet             disable the per-request JSONL access log (stderr)
 
 ENDPOINTS:
-  POST /v1/diameter         {\"spec\": \"grid:100x100\"} or {\"path\": \"g.gr\"}
+  POST /v1/diameter         {\"spec\": \"grid:100x100\"}, {\"path\": \"g.gr\"}, or
+                            {\"graph\": \"name\"}; \"anytime\": true returns the
+                            certified [lb, ub] bounds on deadline expiry
   POST /v1/eccentricities   same body; add \"include_values\": true for all
+  POST /v1/batch            graph reference + \"queries\": [{\"type\": \"ecc\",
+                            \"source\": v}, {\"type\": \"diameter\"}, ...]
+  PUT    /v1/graphs/{name}  register a named graph (\"pin\"/\"preload\" options)
+  GET    /v1/graphs         named graphs with residency + per-name stats
+  GET    /v1/graphs/{name}  one named graph
+  DELETE /v1/graphs/{name}  unregister (evicts when no other name uses it)
   GET  /v1/runs             in-flight runs with their latest bounds snapshot
   GET  /v1/runs/{run_id}    one in-flight run (404 once it finishes)
   GET  /healthz             liveness + configuration

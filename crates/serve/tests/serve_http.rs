@@ -4,116 +4,14 @@
 //! `Retry-After` shedding, LRU eviction order, and a graceful
 //! shutdown that drains in-flight jobs.
 
+mod common;
+
+use common::{metrics_counter, post, request, wait_for_counter};
 use fdiam_obs::json::{self, JsonValue};
 use fdiam_serve::{AccessLog, ServeConfig, Server};
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::net::TcpStream;
 use std::time::{Duration, Instant};
-
-struct Response {
-    status: u16,
-    headers: Vec<(String, String)>,
-    body: String,
-}
-
-impl Response {
-    fn header(&self, name: &str) -> Option<&str> {
-        self.headers
-            .iter()
-            .find(|(k, _)| k == name)
-            .map(|(_, v)| v.as_str())
-    }
-
-    fn json(&self) -> JsonValue {
-        json::parse(&self.body).unwrap_or_else(|e| panic!("bad JSON body: {e}\n{}", self.body))
-    }
-
-    fn field_u64(&self, key: &str) -> u64 {
-        self.json()
-            .get(key)
-            .and_then(JsonValue::as_u64)
-            .unwrap_or_else(|| panic!("no u64 field '{key}' in {}", self.body))
-    }
-
-    fn field_str(&self, key: &str) -> String {
-        self.json()
-            .get(key)
-            .and_then(JsonValue::as_str)
-            .unwrap_or_else(|| panic!("no string field '{key}' in {}", self.body))
-            .to_string()
-    }
-}
-
-fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> Response {
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    stream
-        .set_read_timeout(Some(Duration::from_secs(30)))
-        .unwrap();
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nhost: t\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes()).unwrap();
-    stream.write_all(body.as_bytes()).unwrap();
-    let mut raw = String::new();
-    stream.read_to_string(&mut raw).expect("read response");
-    parse_response(&raw)
-}
-
-fn parse_response(raw: &str) -> Response {
-    let (head, body) = raw
-        .split_once("\r\n\r\n")
-        .unwrap_or_else(|| panic!("no header/body split in {raw:?}"));
-    let mut lines = head.lines();
-    let status_line = lines.next().expect("status line");
-    let status: u16 = status_line
-        .split_whitespace()
-        .nth(1)
-        .expect("status code")
-        .parse()
-        .expect("numeric status");
-    let headers = lines
-        .filter_map(|l| l.split_once(':'))
-        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
-        .collect();
-    Response {
-        status,
-        headers,
-        body: body.to_string(),
-    }
-}
-
-fn post(addr: SocketAddr, path: &str, body: &str) -> Response {
-    request(addr, "POST", path, body)
-}
-
-/// Reads the named counter out of the legacy summary rendering at
-/// `GET /metrics?format=summary` (rendered as `name<padding> value`).
-fn metrics_counter(addr: SocketAddr, name: &str) -> u64 {
-    let text = request(addr, "GET", "/metrics?format=summary", "").body;
-    text.lines()
-        .find(|l| l.starts_with(name))
-        .and_then(|l| l.split_whitespace().last())
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0)
-}
-
-/// Polls `/metrics` until `name` reaches `want` (the acceptor stays
-/// responsive while workers are busy, which is itself part of the
-/// design under test).
-fn wait_for_counter(addr: SocketAddr, name: &str, want: u64) {
-    let deadline = Instant::now() + Duration::from_secs(10);
-    while Instant::now() < deadline {
-        if metrics_counter(addr, name) >= want {
-            return;
-        }
-        std::thread::sleep(Duration::from_millis(5));
-    }
-    panic!(
-        "{name} never reached {want} (now {})",
-        metrics_counter(addr, name)
-    );
-}
 
 #[test]
 fn diameter_endpoint_matches_direct_run_and_caches() {
@@ -321,7 +219,14 @@ fn full_queue_sheds_with_429_and_retry_after() {
     let t0 = Instant::now();
     let c = post(addr, "/v1/diameter", r#"{"spec": "grid:2x2"}"#);
     assert_eq!(c.status, 429, "{}", c.body);
-    assert_eq!(c.header("retry-after"), Some("1"));
+    // Retry-After is derived from the observed drain rate: integer
+    // seconds, clamped to [1, 60].
+    let retry_after: u64 = c
+        .header("retry-after")
+        .expect("429 carries Retry-After")
+        .parse()
+        .expect("Retry-After is integer seconds");
+    assert!((1..=60).contains(&retry_after), "got {retry_after}");
     assert!(
         t0.elapsed() < Duration::from_secs(1),
         "shedding is immediate"

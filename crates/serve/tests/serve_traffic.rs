@@ -1,0 +1,466 @@
+//! Integration tests for the "real traffic" serving features: the
+//! named-graph registry, request coalescing, batch queries, anytime
+//! certified bounds, and the structured cache key's handling of
+//! hostile path bytes. Each test boots a real server on an ephemeral
+//! port and speaks HTTP over `TcpStream`.
+
+mod common;
+
+use common::{metrics_counter, post, request, wait_for_counter};
+use fdiam_obs::json::JsonValue;
+use fdiam_serve::{ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// `GET /v1/runs` → the `in_flight` count.
+fn runs_in_flight(addr: std::net::SocketAddr) -> u64 {
+    request(addr, "GET", "/v1/runs", "").field_u64("in_flight")
+}
+
+#[test]
+fn named_graph_registry_lifecycle() {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // Register with preload (the default) + pin: the graph is resident
+    // before the first query ever arrives.
+    let r = request(
+        addr,
+        "PUT",
+        "/v1/graphs/campus",
+        r#"{"spec": "grid:20x30", "pin": true}"#,
+    );
+    assert_eq!(r.status, 201, "{}", r.body);
+    assert_eq!(r.field_str("name"), "campus");
+    assert_eq!(r.field_str("reference"), "spec:grid:20x30");
+    let j = r.json();
+    assert_eq!(j.get("pinned").and_then(JsonValue::as_bool), Some(true));
+    assert_eq!(j.get("resident").and_then(JsonValue::as_bool), Some(true));
+    assert!(r.field_u64("resident_bytes") > 0);
+
+    let list = request(addr, "GET", "/v1/graphs", "");
+    assert_eq!(list.status, 200);
+    assert_eq!(list.field_u64("count"), 1);
+    assert!(list.body.contains("campus"), "{}", list.body);
+
+    // Querying by name hits the preloaded entry — zero cold misses.
+    let d = post(addr, "/v1/diameter", r#"{"graph": "campus"}"#);
+    assert_eq!(d.status, 200, "{}", d.body);
+    assert_eq!(d.field_u64("diameter"), 48); // open 20×30 grid: 19 + 29
+    assert_eq!(d.field_str("cache"), "hit");
+    // The preload happened on the PUT path, not the query path: the
+    // query-path miss counter never moves.
+    assert_eq!(metrics_counter(addr, "serve.cache_misses"), 0);
+    assert_eq!(metrics_counter(addr, "serve.cache_hits"), 1);
+
+    // Per-name stats tracked the routed request.
+    let detail = request(addr, "GET", "/v1/graphs/campus", "");
+    assert_eq!(detail.status, 200);
+    assert_eq!(detail.field_u64("requests"), 1);
+    assert_eq!(detail.field_u64("hits"), 1);
+    assert_eq!(detail.field_u64("misses"), 0);
+
+    // The registry gauge is visible under its mangled Prometheus name.
+    let prom = request(addr, "GET", "/metrics", "").body;
+    let gauge = prom
+        .lines()
+        .find(|l| l.starts_with("fdiam_registry_graphs"))
+        .unwrap_or_else(|| panic!("no fdiam_registry_graphs in\n{prom}"));
+    assert_eq!(
+        gauge.split_whitespace().last().and_then(|v| v.parse().ok()),
+        Some(1.0)
+    );
+    assert!(
+        prom.lines()
+            .any(|l| l.starts_with("fdiam_coalesced_requests_total")),
+        "coalescing counter must be registered even at zero:\n{prom}"
+    );
+
+    // A name and an inline reference in the same request is ambiguous.
+    let r = post(
+        addr,
+        "/v1/diameter",
+        r#"{"graph": "campus", "spec": "grid:2x2"}"#,
+    );
+    assert_eq!(r.status, 400, "{}", r.body);
+    // Unknown names fail fast, before any queueing.
+    let r = post(addr, "/v1/diameter", r#"{"graph": "ghost"}"#);
+    assert_eq!(r.status, 400, "{}", r.body);
+    // Path segments that are not valid names are rejected.
+    let r = request(addr, "PUT", "/v1/graphs/a/b", r#"{"spec": "grid:2x2"}"#);
+    assert_eq!(r.status, 400, "{}", r.body);
+
+    // Re-registering the same name replaces it: 200, not 201.
+    let r = request(
+        addr,
+        "PUT",
+        "/v1/graphs/campus",
+        r#"{"spec": "grid:10x10"}"#,
+    );
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert_eq!(r.field_str("reference"), "spec:grid:10x10");
+    let d = post(addr, "/v1/diameter", r#"{"graph": "campus"}"#);
+    assert_eq!(d.field_u64("diameter"), 18);
+
+    // Deleting evicts the resident bytes (nothing else references them).
+    let r = request(addr, "DELETE", "/v1/graphs/campus", "");
+    assert_eq!(r.status, 200, "{}", r.body);
+    let j = r.json();
+    assert_eq!(j.get("removed").and_then(JsonValue::as_str), Some("campus"));
+    assert_eq!(j.get("evicted").and_then(JsonValue::as_bool), Some(true));
+    assert_eq!(request(addr, "DELETE", "/v1/graphs/campus", "").status, 404);
+    assert_eq!(request(addr, "GET", "/v1/graphs/campus", "").status, 404);
+    assert_eq!(
+        post(addr, "/v1/diameter", r#"{"graph": "campus"}"#).status,
+        400
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn literal_hash_in_path_is_taken_verbatim() {
+    // Regression: the old cache keyed graphs by a string with `#order=`
+    // / `#directed` suffixes, so a file whose *name* contains `#` could
+    // collide with another entry's parameter-suffixed key. The
+    // structured key takes the reference verbatim.
+    let dir = std::env::temp_dir().join(format!("fdiam-traffic-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("chain#directed.el");
+    std::fs::write(&path, "0 1\n1 2\n2 3\n3 4\n4 5\n").unwrap();
+    let path = path.to_str().unwrap().to_string();
+
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // Undirected: the 6-vertex path graph, diameter 5 — only correct if
+    // the path was not truncated at the `#`.
+    let r = post(addr, "/v1/diameter", &format!(r#"{{"path": "{path}"}}"#));
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert_eq!(r.field_u64("diameter"), 5);
+    assert_eq!(r.field_str("cache"), "miss");
+
+    // The same file as a digraph: one-way arcs, not strongly connected,
+    // so the directed diameter is null — and it is a *separate* cache
+    // entry, not a collision with the undirected one.
+    let r = post(
+        addr,
+        "/v1/diameter",
+        &format!(r#"{{"path": "{path}", "directed": true}}"#),
+    );
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert!(matches!(r.json().get("diameter"), Some(JsonValue::Null)));
+    assert_eq!(r.field_str("cache"), "miss");
+
+    // A third key: same file, degree order.
+    let r = post(
+        addr,
+        "/v1/diameter",
+        &format!(r#"{{"path": "{path}", "order": "degree"}}"#),
+    );
+    assert_eq!(r.field_u64("diameter"), 5);
+    assert_eq!(r.field_str("cache"), "miss");
+    assert_eq!(metrics_counter(addr, "serve.cache_misses"), 3);
+
+    // And the original key is still resident.
+    let r = post(addr, "/v1/diameter", &format!(r#"{{"path": "{path}"}}"#));
+    assert_eq!(r.field_str("cache"), "hit");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn coalescing_storm_shares_one_run() {
+    let config = ServeConfig {
+        workers: 2,
+        queue_depth: 16,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr();
+
+    // The leader must still be mid-compute when the followers are
+    // dequeued, so retry on progressively slower (torus = F-Diam's
+    // vertex-transitive worst case) specs until the timing holds.
+    // Sized so a debug-build serial run takes whole seconds — long
+    // enough for the storm to land, short enough for the followers'
+    // client read timeout.
+    for spec in ["torus:48x48", "torus:72x72", "torus:96x96"] {
+        let base_ok = metrics_counter(addr, "serve.responses_ok");
+        let base_dequeued = metrics_counter(addr, "serve.jobs_dequeued");
+        let base_coalesced = metrics_counter(addr, "coalesced_requests");
+        let base_misses = metrics_counter(addr, "serve.cache_misses");
+        let body = format!(r#"{{"spec": "{spec}", "serial": true}}"#);
+
+        let leader = {
+            let body = body.clone();
+            std::thread::spawn(move || post(addr, "/v1/diameter", &body))
+        };
+        // Wait for the leader's run to register (or finish, on a
+        // machine too fast for this spec — then try the next one).
+        let t0 = Instant::now();
+        let observed_in_flight = loop {
+            if runs_in_flight(addr) >= 1 {
+                break true;
+            }
+            if metrics_counter(addr, "serve.responses_ok") > base_ok {
+                break false;
+            }
+            assert!(
+                t0.elapsed() < Duration::from_secs(60),
+                "leader neither registered nor finished"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        };
+
+        let followers: Vec<_> = (0..4)
+            .map(|_| {
+                let body = body.clone();
+                std::thread::spawn(move || post(addr, "/v1/diameter", &body))
+            })
+            .collect();
+        wait_for_counter(addr, "serve.jobs_dequeued", base_dequeued + 5);
+        // Coalesced followers park on the leader's flight: the runs
+        // endpoint never shows more than the single shared run.
+        assert!(runs_in_flight(addr) <= 1);
+
+        let responses: Vec<_> = std::iter::once(leader)
+            .chain(followers)
+            .map(|t| t.join().unwrap())
+            .collect();
+        for r in &responses {
+            assert_eq!(r.status, 200, "{}", r.body);
+        }
+        let run_ids: Vec<_> = responses.iter().map(|r| r.field_str("run_id")).collect();
+        let all_same = run_ids.iter().all(|id| *id == run_ids[0]);
+        if !(observed_in_flight && all_same) {
+            continue; // leader finished before the storm landed; go bigger
+        }
+
+        // One BFS campaign answered all five requests.
+        assert_eq!(
+            metrics_counter(addr, "coalesced_requests") - base_coalesced,
+            4
+        );
+        assert_eq!(metrics_counter(addr, "serve.cache_misses") - base_misses, 1);
+        let g = fdiam_cli::generate_graph(spec.strip_prefix("spec:").unwrap_or(spec))
+            .unwrap_or_else(|_| panic!("bad spec {spec}"));
+        let expected = fdiam_core::run(&g, &fdiam_core::FdiamConfig::serial());
+        for r in &responses {
+            assert_eq!(
+                r.field_u64("diameter"),
+                u64::from(expected.result.diameter().unwrap())
+            );
+            assert_eq!(
+                r.field_u64("traversals") as usize,
+                expected.stats.ecc_computations,
+                "coalesced responses describe the leader's single serial run"
+            );
+        }
+        assert_eq!(runs_in_flight(addr), 0);
+        server.shutdown();
+        return;
+    }
+    panic!("leader finished before followers arrived on every spec size");
+}
+
+/// Runs one anytime request and returns the response, or `None` if the
+/// run completed inside the deadline (machine too fast for this size).
+fn try_anytime(addr: std::net::SocketAddr, body: &str) -> Option<common::Response> {
+    let r = post(addr, "/v1/diameter", body);
+    assert_ne!(
+        r.status, 504,
+        "anytime deadline with zero certified BFS: {}",
+        r.body
+    );
+    assert_eq!(r.status, 200, "{}", r.body);
+    match r.json().get("anytime").and_then(JsonValue::as_bool) {
+        Some(true) => Some(r),
+        _ => None, // completed — the body is a normal diameter answer
+    }
+}
+
+fn assert_anytime_bracket(r: &common::Response, true_diameter: u64, n: u64) {
+    let j = r.json();
+    assert_eq!(j.get("complete").and_then(JsonValue::as_bool), Some(false));
+    assert_eq!(r.field_str("status"), "deadline_expired");
+    assert_eq!(r.field_str("phase"), "cancelled");
+    let (lb, ub) = (r.field_u64("lb"), r.field_u64("ub"));
+    assert!(lb >= 1, "a completed BFS certifies a non-trivial lb");
+    assert!(
+        lb <= true_diameter && true_diameter <= ub,
+        "certified bracket [{lb}, {ub}] must contain the true diameter {true_diameter}"
+    );
+    assert_eq!(r.field_u64("gap"), ub - lb);
+    assert!(r.field_u64("bfs_count") >= 1);
+    assert_eq!(r.field_u64("n"), n);
+    assert_eq!(r.field_str("run_id").len(), 16);
+}
+
+#[test]
+fn anytime_deadline_returns_certified_bounds() {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // Anchor the closed form this test leans on: an S×S torus (S even)
+    // has diameter exactly S.
+    let g = fdiam_cli::generate_graph("torus:30x30").unwrap();
+    assert_eq!(
+        fdiam_core::run(&g, &fdiam_core::FdiamConfig::serial())
+            .result
+            .diameter(),
+        Some(30)
+    );
+
+    for s in [160u64, 220, 280] {
+        let body = format!(
+            r#"{{"spec": "torus:{s}x{s}", "serial": true, "timeout_secs": 0.4, "anytime": true}}"#
+        );
+        let Some(r) = try_anytime(addr, &body) else {
+            continue; // the run beat a 0.4 s deadline; go bigger
+        };
+        assert_anytime_bracket(&r, s, s * s);
+        // The reaped run is gone: anytime responses don't leak registry
+        // entries.
+        assert_eq!(runs_in_flight(addr), 0);
+        server.shutdown();
+        return;
+    }
+    panic!("every torus size finished inside a 0.4 s deadline");
+}
+
+#[test]
+fn anytime_directed_deadline_returns_certified_bounds() {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // A generator spec loads bidirected, so the directed diameter of
+    // torus:SxS equals the undirected one: S.
+    for s in [140u64, 190, 240] {
+        let body = format!(
+            r#"{{"spec": "torus:{s}x{s}", "directed": true, "serial": true, "timeout_secs": 0.5, "anytime": true}}"#
+        );
+        let Some(r) = try_anytime(addr, &body) else {
+            continue;
+        };
+        assert_anytime_bracket(&r, s, s * s);
+        assert_eq!(runs_in_flight(addr), 0);
+        server.shutdown();
+        return;
+    }
+    panic!("every directed torus size finished inside a 0.5 s deadline");
+}
+
+#[test]
+fn batch_amortizes_queries_over_one_graph_access() {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // Reference eccentricities from the serial kernel on the unordered
+    // graph — batch answers must be in original-id space even though
+    // the server computes on a degree-relabeled CSR.
+    let g = fdiam_cli::generate_graph("grid:7x9").unwrap();
+    let mut marks = fdiam_bfs::VisitMarks::new(g.num_vertices());
+    let ecc = |v: u32, marks: &mut fdiam_bfs::VisitMarks| -> u64 {
+        u64::from(fdiam_bfs::bfs_eccentricity_serial(&g, v, marks).eccentricity)
+    };
+    let (e0, e62, e31) = (ecc(0, &mut marks), ecc(62, &mut marks), ecc(31, &mut marks));
+    assert_eq!(e0, 14); // corner of the open 7×9 grid: 6 + 8
+
+    let r = post(
+        addr,
+        "/v1/batch",
+        r#"{"spec": "grid:7x9", "order": "degree", "serial": true, "queries": [
+            {"type": "ecc", "source": 0},
+            {"type": "ecc", "source": 62},
+            {"type": "diameter"},
+            {"type": "ecc", "source": 0},
+            {"type": "ecc", "source": 31}
+        ]}"#,
+    );
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert_eq!(r.field_u64("queries"), 5);
+    assert_eq!(r.field_u64("unique_sources"), 3, "duplicate source deduped");
+    assert_eq!(r.field_u64("ecc_bfs_waves"), 1, "3 lanes fit one bp64 wave");
+    assert!(r.field_u64("diameter_traversals") >= 1);
+
+    let results = match r.json().get("results").cloned() {
+        Some(JsonValue::Array(rs)) => rs,
+        other => panic!("expected results array, got {other:?}"),
+    };
+    assert_eq!(results.len(), 5, "one result per query, in request order");
+    let ecc_of = |r: &JsonValue| {
+        (
+            r.get("source").and_then(JsonValue::as_u64).unwrap(),
+            r.get("eccentricity").and_then(JsonValue::as_u64).unwrap(),
+        )
+    };
+    assert_eq!(ecc_of(&results[0]), (0, e0));
+    assert_eq!(ecc_of(&results[1]), (62, e62));
+    assert_eq!(
+        results[2].get("diameter").and_then(JsonValue::as_u64),
+        Some(14)
+    );
+    assert_eq!(
+        results[2].get("connected").and_then(JsonValue::as_bool),
+        Some(true)
+    );
+    assert_eq!(ecc_of(&results[3]), (0, e0));
+    assert_eq!(ecc_of(&results[4]), (31, e31));
+
+    // All five queries cost exactly one cache load.
+    assert_eq!(metrics_counter(addr, "serve.cache_misses"), 1);
+
+    // Malformed batches are rejected up front.
+    let bad = post(
+        addr,
+        "/v1/batch",
+        r#"{"spec": "grid:7x9", "queries": [{"type": "ecc", "source": 63}]}"#,
+    );
+    assert_eq!(bad.status, 400, "{}", bad.body);
+    let bad = post(addr, "/v1/batch", r#"{"spec": "grid:7x9", "queries": []}"#);
+    assert_eq!(bad.status, 400, "{}", bad.body);
+    let bad = post(
+        addr,
+        "/v1/batch",
+        r#"{"spec": "grid:7x9", "anytime": true, "queries": [{"type": "diameter"}]}"#,
+    );
+    assert_eq!(
+        bad.status, 400,
+        "anytime has no batch semantics: {}",
+        bad.body
+    );
+    let bad = post(
+        addr,
+        "/v1/diameter",
+        r#"{"spec": "grid:7x7", "queries": [{"type": "diameter"}]}"#,
+    );
+    assert_eq!(
+        bad.status, 400,
+        "queries only belong to /v1/batch: {}",
+        bad.body
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn post_without_content_length_is_411_on_the_wire() {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"POST /v1/diameter HTTP/1.1\r\nhost: t\r\n\r\n")
+        .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(
+        raw.starts_with("HTTP/1.1 411"),
+        "length-less POST must draw 411, got {raw:?}"
+    );
+
+    server.shutdown();
+}
