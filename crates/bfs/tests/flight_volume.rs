@@ -1,0 +1,124 @@
+//! Event-volume guard: an always-on [`FlightRecorder`] must not
+//! inflate what the BFS kernels emit.
+//!
+//! The kernels gate per-level detail on `Observer::wants_bfs_detail`,
+//! and the recorder answers `false` — it never *requests* detail, it
+//! only samples (1-in-N traversals) whatever detail another sink
+//! already caused. These tests pin both halves of that contract at the
+//! kernel boundary, because fdiam-serve tees the recorder into every
+//! worker and a regression here would tax every request.
+
+use fdiam_bfs::{bfs_eccentricity_hybrid_observed, BfsConfig, BfsScratch};
+use fdiam_graph::generators::grid2d;
+use fdiam_obs::json::{parse, JsonValue};
+use fdiam_obs::{Event, FlightConfig, FlightRecorder, Observer, Tee};
+
+/// A stand-in for `--trace`/`--progress`: a sink that wants detail.
+struct WantsDetail;
+
+impl Observer for WantsDetail {
+    fn event(&self, _e: &Event<'_>) {}
+
+    fn wants_bfs_detail(&self) -> bool {
+        true
+    }
+}
+
+fn count_types(dump: &str, ty: &str) -> usize {
+    dump.lines()
+        .filter(|l| {
+            parse(l)
+                .ok()
+                .and_then(|v| v.get("type").and_then(JsonValue::as_str).map(String::from))
+                .as_deref()
+                == Some(ty)
+        })
+        .count()
+}
+
+#[test]
+fn recorder_alone_never_requests_per_level_detail() {
+    let g = grid2d(20, 20);
+    let recorder = FlightRecorder::new(FlightConfig {
+        shards: 1,
+        capacity: 4096,
+        detail_sample: 1, // would keep every level event, were any emitted
+    });
+    assert!(!recorder.wants_bfs_detail());
+
+    let mut scratch = BfsScratch::new(g.num_vertices());
+    for source in [0, 7, 199] {
+        bfs_eccentricity_hybrid_observed(
+            &g,
+            source,
+            &mut scratch,
+            &BfsConfig::default(),
+            &recorder,
+        );
+    }
+    let dump = recorder.dump_jsonl();
+    assert_eq!(count_types(&dump, "bfs_start"), 3, "{dump}");
+    assert_eq!(count_types(&dump, "bfs_end"), 3, "{dump}");
+    assert_eq!(
+        count_types(&dump, "bfs_level"),
+        0,
+        "the kernel emitted detail nobody asked for:\n{dump}"
+    );
+}
+
+#[test]
+fn sampling_keeps_detail_for_one_in_n_traversals() {
+    let g = grid2d(20, 20);
+    let recorder = FlightRecorder::new(FlightConfig {
+        shards: 1,
+        capacity: 8192,
+        detail_sample: 4,
+    });
+    // Another sink (a trace file, say) asks for detail; the tee ORs the
+    // flags, so the kernel emits every level — and the recorder keeps
+    // levels for only every 4th traversal.
+    let wants = WantsDetail;
+    let tee = Tee(&wants, &recorder);
+    assert!(tee.wants_bfs_detail());
+
+    const TRAVERSALS: usize = 16;
+    let mut scratch = BfsScratch::new(g.num_vertices());
+    for source in 0..TRAVERSALS as u32 {
+        bfs_eccentricity_hybrid_observed(&g, source, &mut scratch, &BfsConfig::default(), &tee);
+    }
+    let dump = recorder.dump_jsonl();
+    // Lifecycle events are never sampled away.
+    assert_eq!(count_types(&dump, "bfs_start"), TRAVERSALS, "{dump}");
+    assert_eq!(count_types(&dump, "bfs_end"), TRAVERSALS, "{dump}");
+
+    // Levels belong to exactly 1-in-4 traversals: count the distinct
+    // spans that recorded any level.
+    let mut spans_with_detail = std::collections::BTreeSet::new();
+    for line in dump.lines() {
+        let v = parse(line).unwrap();
+        if v.get("type").and_then(JsonValue::as_str) == Some("bfs_level") {
+            spans_with_detail.insert(v.get("span").and_then(JsonValue::as_u64).unwrap());
+        }
+    }
+    assert_eq!(
+        spans_with_detail.len(),
+        TRAVERSALS / 4,
+        "expected 1-in-4 sampled traversals:\n{dump}"
+    );
+
+    // And with detail_sample = 0 the recorder keeps no levels at all,
+    // even though the tee still requests them for the other sink.
+    let none = FlightRecorder::new(FlightConfig {
+        shards: 1,
+        capacity: 8192,
+        detail_sample: 0,
+    });
+    let tee = Tee(&wants, &none);
+    let mut scratch = BfsScratch::new(g.num_vertices());
+    for source in 0..8 {
+        bfs_eccentricity_hybrid_observed(&g, source, &mut scratch, &BfsConfig::default(), &tee);
+    }
+    let dump = none.dump_jsonl();
+    assert_eq!(count_types(&dump, "bfs_start"), 8, "{dump}");
+    assert_eq!(count_types(&dump, "bfs_level"), 0, "{dump}");
+}

@@ -17,7 +17,8 @@
 use fdiam_graph::io::{binfmt, dimacs, edgelist, mtx};
 use fdiam_graph::{CsrGraph, DiGraph, DiRelabeling, Relabeling, VertexOrder};
 use fdiam_obs::{
-    Fanout, JsonlTraceSink, MetricsObserver, MetricsRegistry, Observer, ProgressSink, RemapIds,
+    build_info, register_post_mortem, Event, Fanout, FlightConfig, FlightRecorder, JsonlTraceSink,
+    MetricsObserver, MetricsRegistry, Observer, ProgressSink, RemapIds,
 };
 use std::path::Path;
 use std::sync::Arc;
@@ -58,6 +59,10 @@ pub enum Command {
         /// SumSweep over the SCC condensation. Forces the sumsweep
         /// algorithm.
         directed: bool,
+        /// Tee the run's events into an always-on flight recorder and
+        /// write its ring to this path when the run ends — including
+        /// the timeout path, and (via the panic hook) a crash.
+        flight_dump: Option<String>,
     },
     Ecc {
         input: String,
@@ -78,6 +83,8 @@ pub enum Command {
         output: String,
     },
     Help,
+    /// `fdiam --version`: version + compile-time provenance.
+    Version,
 }
 
 /// Diameter algorithm selector.
@@ -121,12 +128,16 @@ USAGE:
   fdiam convert INPUT OUTPUT         convert between formats
   fdiam generate SPEC OUTPUT         write a synthetic graph
   fdiam help
+  fdiam --version                    version, git rev, rustc, build profile
 
 ALGORITHMS: fdiam (default), fdiam-serial, ifub, graph-diameter, sumsweep, naive
 OBSERVABILITY (fdiam / fdiam-serial only):
   --progress      rate-limited progress lines on stderr
   --trace FILE    structured JSONL event trace (see DESIGN.md §7)
   --metrics       aggregated counters and phase timings after the run
+  --flight-dump FILE  bounded flight-recorder ring of the run's last
+                  events, written at run end (timeouts and panics
+                  included) — analyze with `fdiam-trace flight`
   --paper-bfs     paper's fixed 10% BFS direction switch (fdiam/fdiam-serial)
   --timeout SECS  abort the run after SECS seconds (exit 1); the
                   FDIAM_TIMEOUT_SECS environment variable sets a default
@@ -161,6 +172,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     };
     match cmd.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
+        "version" | "--version" | "-V" => Ok(Command::Version),
         "diameter" => {
             let mut algorithm = Algorithm::FdiamParallel;
             let mut stats = false;
@@ -174,6 +186,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut order = VertexOrder::default();
             let mut lanes = None;
             let mut directed = false;
+            let mut flight_dump = None;
             let mut algo_explicit = false;
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -206,6 +219,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         }
                         trace = Some(v.to_string());
                     }
+                    "--flight-dump" => {
+                        let v = it.next().ok_or("--flight-dump needs a file path")?;
+                        if v.starts_with('-') {
+                            return Err(format!("--flight-dump needs a file path, got '{v}'"));
+                        }
+                        flight_dump = Some(v.to_string());
+                    }
                     "--order" => {
                         let v = it.next().ok_or("--order needs a value")?;
                         order = VertexOrder::parse(v)?;
@@ -237,12 +257,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 }
                 algorithm = Algorithm::SumSweep;
             }
-            if (progress || trace.is_some() || metrics)
+            if (progress || trace.is_some() || metrics || flight_dump.is_some())
                 && !matches!(algorithm, Algorithm::FdiamParallel | Algorithm::FdiamSerial)
             {
                 return Err(
-                    "--progress/--trace/--metrics are only instrumented for the fdiam and \
-                     fdiam-serial algorithms"
+                    "--progress/--trace/--metrics/--flight-dump are only instrumented for the \
+                     fdiam and fdiam-serial algorithms"
                         .into(),
                 );
             }
@@ -282,6 +302,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 order,
                 lanes,
                 directed,
+                flight_dump,
             })
         }
         "ecc" => {
@@ -542,10 +563,35 @@ pub fn generate_graph(spec: &str) -> Result<CsrGraph, String> {
 }
 
 /// Executes a command, writing human-readable output to `out`.
+/// Shares one flight recorder between the sink fan-out (which owns its
+/// boxes) and the end-of-run dump. The recorder never requests
+/// per-level BFS detail itself — it only samples what other sinks
+/// (progress, trace) already cause the kernels to emit.
+struct SharedRecorder(Arc<FlightRecorder>);
+
+impl Observer for SharedRecorder {
+    fn event(&self, e: &Event<'_>) {
+        self.0.event(e);
+    }
+
+    fn wants_bfs_detail(&self) -> bool {
+        self.0.wants_bfs_detail()
+    }
+}
+
 pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
     let w = |e: std::io::Error| e.to_string();
     match cmd {
         Command::Help => write!(out, "{USAGE}").map_err(w),
+        Command::Version => {
+            let bi = build_info();
+            writeln!(
+                out,
+                "fdiam {} (rev {}, {}, {})",
+                bi.version, bi.rev, bi.profile, bi.rustc
+            )
+            .map_err(w)
+        }
         Command::Info { input } => {
             let g = read_graph(&input)?;
             let s = fdiam_graph::analysis::GraphSummary::compute(&g);
@@ -627,6 +673,7 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
             order,
             lanes,
             directed,
+            flight_dump,
         } => {
             if directed {
                 if let Some(t) = threads {
@@ -685,6 +732,16 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
                         sinks.push(Box::new(MetricsObserver::new(Arc::clone(&registry))));
                         metrics_registry = Some(registry);
                     }
+                    let mut flight_recorder = None;
+                    let mut _post_mortem_guard = None;
+                    if let Some(path) = &flight_dump {
+                        let rec = Arc::new(FlightRecorder::new(FlightConfig::default()));
+                        sinks.push(Box::new(SharedRecorder(Arc::clone(&rec))));
+                        // A panic mid-run still leaves the ring on disk.
+                        _post_mortem_guard =
+                            Some(register_post_mortem(&rec, path.clone(), Vec::new));
+                        flight_recorder = Some(rec);
+                    }
                     // Kernels run on the (possibly relabeled) graph and
                     // therefore emit internal ids; `RemapIds` translates
                     // every id-carrying event back to the input's space
@@ -699,9 +756,9 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
                         }
                         _ => &fanout,
                     };
-                    let o = match timeout {
-                        None if unobserved => fdiam_core::diameter_with(g, &cfg),
-                        None => fdiam_core::diameter_with_observer(g, &cfg, observer),
+                    let run_res = match timeout {
+                        None if unobserved => Ok(fdiam_core::diameter_with(g, &cfg)),
+                        None => Ok(fdiam_core::diameter_with_observer(g, &cfg, observer)),
                         Some(budget) => {
                             let token = fdiam_obs::CancelToken::with_deadline(budget);
                             let res = if unobserved {
@@ -709,9 +766,17 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
                             } else {
                                 fdiam_core::run_cancellable(g, &cfg, observer, &token)
                             };
-                            res.map_err(|_| format!("timed out after {}s", budget.as_secs_f64()))?
+                            res.map_err(|_| format!("timed out after {}s", budget.as_secs_f64()))
                         }
                     };
+                    // The dump is written however the run ended — the
+                    // ring of a timed-out run is exactly the forensic
+                    // artifact --flight-dump exists for.
+                    if let (Some(rec), Some(path)) = (&flight_recorder, &flight_dump) {
+                        std::fs::write(path, rec.dump_jsonl())
+                            .map_err(|e| format!("cannot write flight dump '{path}': {e}"))?;
+                    }
+                    let o = run_res?;
                     let detail = stats.then(|| {
                         let p = o.stats.removed.percentages(g.num_vertices());
                         format!(
@@ -925,6 +990,7 @@ mod tests {
                 order: VertexOrder::None,
                 lanes: None,
                 directed: false,
+                flight_dump: None,
             }
         );
         let c = parse_args(&args(&[
@@ -952,6 +1018,7 @@ mod tests {
                 order: VertexOrder::None,
                 lanes: None,
                 directed: false,
+                flight_dump: None,
             }
         );
         let c = parse_args(&args(&["diameter", "--serial", "g.mtx"])).unwrap();
@@ -1000,6 +1067,7 @@ mod tests {
                 order: VertexOrder::None,
                 lanes: None,
                 directed: false,
+                flight_dump: None,
             }
         );
     }
@@ -1212,6 +1280,7 @@ mod tests {
                 order: VertexOrder::None,
                 lanes: None,
                 directed: false,
+                flight_dump: None,
             },
             &mut Vec::new(),
         )
@@ -1248,6 +1317,7 @@ mod tests {
                 order: VertexOrder::None,
                 lanes: None,
                 directed: false,
+                flight_dump: None,
             },
             &mut out,
         )
@@ -1312,6 +1382,7 @@ mod tests {
                 order: VertexOrder::None,
                 lanes: None,
                 directed: false,
+                flight_dump: None,
             },
             &mut out,
         )
@@ -1351,6 +1422,7 @@ mod tests {
                 order: VertexOrder::None,
                 lanes: None,
                 directed: false,
+                flight_dump: None,
             },
             &mut out,
         )
@@ -1376,6 +1448,95 @@ mod tests {
             lines.last().unwrap()
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn diameter_with_flight_dump_writes_analyzable_ring() {
+        let dir = std::env::temp_dir().join("fdiam_cli_flight_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let el = dir.join("g.txt").to_string_lossy().into_owned();
+        let dump = dir.join("ring.jsonl").to_string_lossy().into_owned();
+        run(
+            Command::Generate {
+                spec: "grid:10x10".into(),
+                output: el.clone(),
+            },
+            &mut Vec::new(),
+        )
+        .unwrap();
+
+        let mut out = Vec::new();
+        run(
+            Command::Diameter {
+                input: el,
+                algorithm: Algorithm::FdiamSerial,
+                stats: false,
+                threads: None,
+                progress: false,
+                trace: None,
+                metrics: false,
+                paper_bfs: false,
+                timeout: None,
+                order: VertexOrder::None,
+                lanes: None,
+                directed: false,
+                flight_dump: Some(dump.clone()),
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("diameter : 18"));
+
+        let body = std::fs::read_to_string(&dump).unwrap();
+        assert!(!body.is_empty(), "flight dump must not be empty");
+        // Every line is flight-dump JSONL with seq/shard correlation,
+        // and the run's lifecycle made it into the ring.
+        for line in body.lines() {
+            let v = fdiam_obs::json::parse(line)
+                .unwrap_or_else(|e| panic!("dump line is not valid JSON ({e}): {line}"));
+            assert!(
+                v.get("seq").is_some() || v.get("dropped").is_some(),
+                "{line}"
+            );
+        }
+        assert!(body.contains("\"type\":\"run_start\""), "{body}");
+        assert!(body.contains("\"type\":\"run_end\""), "{body}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flight_dump_flag_parses_and_is_gated_like_trace() {
+        let c = parse_args(&args(&["diameter", "--flight-dump", "ring.jsonl", "g.txt"])).unwrap();
+        match c {
+            Command::Diameter { flight_dump, .. } => {
+                assert_eq!(flight_dump.as_deref(), Some("ring.jsonl"))
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        let e = parse_args(&args(&[
+            "diameter",
+            "--algorithm",
+            "ifub",
+            "--flight-dump",
+            "ring.jsonl",
+            "g.txt",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--flight-dump"), "{e}");
+        let e = parse_args(&args(&["diameter", "--flight-dump", "--stats", "g.txt"])).unwrap_err();
+        assert!(e.contains("file path"), "{e}");
+    }
+
+    #[test]
+    fn version_prints_build_provenance() {
+        assert_eq!(parse_args(&args(&["--version"])).unwrap(), Command::Version);
+        assert_eq!(parse_args(&args(&["-V"])).unwrap(), Command::Version);
+        let mut out = Vec::new();
+        run(Command::Version, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("fdiam "), "{text}");
+        assert!(text.contains("rev "), "{text}");
+        assert!(text.contains("rustc"), "{text}");
     }
 
     #[test]
@@ -1508,6 +1669,7 @@ mod tests {
                     order: VertexOrder::None,
                     lanes,
                     directed: false,
+                    flight_dump: None,
                 },
                 &mut out,
             )
@@ -1552,6 +1714,7 @@ mod tests {
                     order,
                     lanes: None,
                     directed: false,
+                    flight_dump: None,
                 },
                 &mut out,
             )
@@ -1723,6 +1886,7 @@ mod tests {
                 order,
                 lanes,
                 directed: true,
+                flight_dump: None,
             },
             &mut out,
         )
@@ -1790,6 +1954,7 @@ mod tests {
                 order: VertexOrder::None,
                 lanes: None,
                 directed: true,
+                flight_dump: None,
             },
             &mut Vec::new(),
         )

@@ -1,0 +1,34 @@
+//! Captures build provenance (git revision, rustc version, cargo
+//! profile) into compile-time env vars consumed by `build_info.rs`.
+//! Everything degrades to "unknown" outside a git checkout or when the
+//! probes fail — the build itself never does.
+
+use std::process::Command;
+
+fn capture(cmd: &mut Command) -> Option<String> {
+    let out = cmd.output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let s = String::from_utf8(out.stdout).ok()?;
+    let s = s.trim().to_string();
+    (!s.is_empty()).then_some(s)
+}
+
+fn main() {
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".into());
+    let rustc_version =
+        capture(Command::new(&rustc).arg("--version")).unwrap_or_else(|| "unknown".into());
+    println!("cargo:rustc-env=FDIAM_RUSTC_VERSION={rustc_version}");
+
+    let profile = std::env::var("PROFILE").unwrap_or_else(|_| "unknown".into());
+    println!("cargo:rustc-env=FDIAM_BUILD_PROFILE={profile}");
+
+    let rev = capture(Command::new("git").args(["rev-parse", "--short=10", "HEAD"]))
+        .unwrap_or_else(|| "unknown".into());
+    println!("cargo:rustc-env=FDIAM_BUILD_REV={rev}");
+
+    // Re-run when HEAD moves so the baked-in revision stays honest
+    // (harmless when the path is absent: cargo then re-runs freely).
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

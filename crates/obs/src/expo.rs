@@ -96,17 +96,34 @@ impl MetricsRegistry {
             let _ = writeln!(out, "# TYPE {exposed} counter");
             let _ = writeln!(out, "{exposed} {value}");
         }
+        for (name, key, values) in self.labeled_counter_snapshot() {
+            let exposed = mangle(name) + "_total";
+            let _ = writeln!(out, "# HELP {exposed} F-Diam counter `{name}` by {key}.");
+            let _ = writeln!(out, "# TYPE {exposed} counter");
+            for (value, count) in values {
+                let _ = writeln!(
+                    out,
+                    "{exposed}{{{key}=\"{}\"}} {count}",
+                    escape_label(value)
+                );
+            }
+        }
         for (name, value) in self.gauge_snapshot() {
             let exposed = mangle(name);
             let _ = writeln!(out, "# HELP {exposed} F-Diam gauge `{name}`.");
             let _ = writeln!(out, "# TYPE {exposed} gauge");
             let _ = writeln!(out, "{exposed} {}", fmt_f64(value));
         }
-        for (name, key, value) in self.label_snapshot() {
+        for (name, pairs) in self.label_snapshot() {
             let exposed = mangle(name);
             let _ = writeln!(out, "# HELP {exposed} F-Diam info label `{name}`.");
             let _ = writeln!(out, "# TYPE {exposed} gauge");
-            let _ = writeln!(out, "{exposed}{{{key}=\"{}\"}} 1", escape_label(&value));
+            let labels = pairs
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+                .collect::<Vec<_>>()
+                .join(",");
+            let _ = writeln!(out, "{exposed}{{{labels}}} 1");
         }
         for (name, h) in self.histogram_snapshot() {
             render_histogram(&mut out, &(mangle(name) + "_seconds"), &h);
@@ -521,6 +538,31 @@ fdiam_h_sum 1
 fdiam_h_count 2
 ";
         assert!(lint(inf_mismatch).is_err());
+    }
+
+    #[test]
+    fn multi_label_info_and_labeled_counters_lint_clean() {
+        let r = MetricsRegistry::new();
+        r.set_info(
+            "build_info",
+            &[
+                ("rev", "abcdef1234"),
+                ("rustc", "rustc 1.85.0"),
+                ("profile", "release"),
+            ],
+        );
+        r.labeled_counter("flight.captures", "reason", "slow")
+            .add(3);
+        r.labeled_counter("flight.captures", "reason", "deadline")
+            .inc();
+        let text = r.render_prometheus();
+        let report = lint(&text).expect("multi-label exposition must lint clean");
+        assert_eq!(report.counters, 1, "one labeled counter family");
+        assert!(text.contains(
+            "fdiam_build_info{rev=\"abcdef1234\",rustc=\"rustc 1.85.0\",profile=\"release\"} 1"
+        ));
+        assert!(text.contains("fdiam_flight_captures_total{reason=\"slow\"} 3"));
+        assert!(text.contains("fdiam_flight_captures_total{reason=\"deadline\"} 1"));
     }
 
     #[test]

@@ -1,0 +1,1085 @@
+//! The flight recorder: an always-on, bounded, near-zero-cost black box.
+//!
+//! A [`FlightRecorder`] keeps the most recent [`Event`]s in a
+//! fixed-capacity, per-thread-sharded ring buffer with drop-oldest
+//! semantics. It tees alongside any other [`Observer`], so every run is
+//! recorded whether or not anyone asked to watch it; when a request
+//! turns out to have been slow, or a worker panics, the evidence of
+//! what the process was doing is still in memory and can be dumped
+//! after the fact ([`FlightRecorder::dump_jsonl`]) in the same JSONL
+//! schema the trace sink writes, so `fdiam-trace` consumes flight dumps
+//! directly.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Steady-state allocation-free record path.** Events are copied
+//!    into pre-allocated ring slots as a fixed-size owned
+//!    representation (`OwnedEvent`); the only allocations happen at
+//!    construction time (and once per thread for the thread-local shard
+//!    hint). The counting-allocator tests in `tests/flight_storm.rs`
+//!    enforce this.
+//! 2. **Bounded.** Each shard holds exactly `capacity` events; when
+//!    full, the oldest event is overwritten and the shard's `dropped`
+//!    counter advances. Per-shard sequence numbers increase
+//!    monotonically with every recorded event, so a dump reader can
+//!    prove whether its view is complete (`retained + dropped ==
+//!    emitted`) and where the gap is.
+//! 3. **Low contention.** Threads are spread over shards by a
+//!    thread-local hint, so the per-shard mutex is effectively
+//!    uncontended at steady state.
+//!
+//! Per-level BFS detail (`bfs_level`, `direction_switch`) can dominate
+//! the ring by orders of magnitude over lifecycle events; the
+//! `detail_sample` knob records detail for only 1-in-N traversals
+//! (chosen at `bfs_start`) so a ring of modest capacity still holds
+//! whole runs. The recorder never *requests* detail
+//! ([`Observer::wants_bfs_detail`] is `false`): it samples what other
+//! observers caused to be computed, keeping the always-on cost near
+//! zero when nobody is watching.
+//!
+//! The module also owns the process panic hook machinery
+//! ([`register_post_mortem`]): on panic, every registered recorder
+//! dumps its ring plus caller-supplied context (fdiam-serve adds the
+//! in-flight run registry) to a post-mortem file before unwinding.
+
+use crate::event::{Event, Phase};
+use crate::ids::{RunId, SpanId};
+use crate::json::JsonObject;
+use crate::jsonl::encode_event;
+use crate::observer::Observer;
+use crate::registry::BoundsSnapshot;
+use std::cell::Cell;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, Once, Weak};
+use std::time::Instant;
+
+/// Longest algorithm name stored inline in a ring slot; longer names
+/// are truncated at a char boundary (every in-tree name fits).
+const ALGO_CAP: usize = 24;
+
+/// Slots in the sampled-traversal table (power of two). Collisions make
+/// the 1-in-N detail sampling approximate, never unsafe.
+const SPAN_SLOTS: usize = 64;
+
+/// A short string stored inline (no heap) in a ring slot.
+#[derive(Clone, Copy, Debug)]
+struct InlineStr {
+    len: u8,
+    bytes: [u8; ALGO_CAP],
+}
+
+impl InlineStr {
+    fn new(s: &str) -> Self {
+        let mut len = s.len().min(ALGO_CAP);
+        while len > 0 && !s.is_char_boundary(len) {
+            len -= 1;
+        }
+        let mut bytes = [0u8; ALGO_CAP];
+        bytes[..len].copy_from_slice(&s.as_bytes()[..len]);
+        Self {
+            len: len as u8,
+            bytes,
+        }
+    }
+
+    fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.bytes[..self.len as usize]).unwrap_or("")
+    }
+}
+
+/// Fixed-size owned mirror of [`Event`]: what a ring slot stores.
+/// Copying an `Event` into this form never allocates.
+#[derive(Clone, Copy, Debug)]
+enum OwnedEvent {
+    RunStart {
+        algorithm: InlineStr,
+        n: usize,
+        m: usize,
+        run: RunId,
+    },
+    PhaseStart {
+        phase: Phase,
+        span: SpanId,
+        parent: SpanId,
+    },
+    PhaseEnd {
+        phase: Phase,
+        nanos: u64,
+        span: SpanId,
+    },
+    BfsStart {
+        source: u32,
+        span: SpanId,
+    },
+    BfsLevel {
+        level: u32,
+        frontier: usize,
+        edges_scanned: u64,
+        bottom_up: bool,
+        span: SpanId,
+    },
+    DirectionSwitch {
+        level: u32,
+        bottom_up: bool,
+        span: SpanId,
+    },
+    EpochRollover {
+        rollovers: u64,
+    },
+    BfsEnd {
+        source: u32,
+        eccentricity: u32,
+        visited: usize,
+        span: SpanId,
+    },
+    BoundUpdate {
+        old: u32,
+        new: u32,
+        source: u32,
+    },
+    BoundsUpdate {
+        snapshot: BoundsSnapshot,
+    },
+    WinnowGrown {
+        radius: u32,
+    },
+    EliminateRun {
+        removed: usize,
+        extension: bool,
+    },
+    ChainsProcessed {
+        count: usize,
+    },
+    Progress {
+        active: usize,
+        bound: u32,
+    },
+    WorkerLoad {
+        workers: usize,
+        total_edges: u64,
+        max_busy_nanos: u64,
+        mean_busy_nanos: u64,
+        imbalance: f64,
+    },
+    RemovalSummary {
+        winnow: usize,
+        eliminate: usize,
+        chain: usize,
+        degree0: usize,
+        computed: usize,
+    },
+    RunEnd {
+        diameter: u32,
+        connected: bool,
+        nanos: u64,
+        run: RunId,
+    },
+}
+
+impl OwnedEvent {
+    fn capture(e: &Event<'_>) -> Self {
+        match *e {
+            Event::RunStart {
+                algorithm,
+                n,
+                m,
+                run,
+            } => OwnedEvent::RunStart {
+                algorithm: InlineStr::new(algorithm),
+                n,
+                m,
+                run,
+            },
+            Event::PhaseStart {
+                phase,
+                span,
+                parent,
+            } => OwnedEvent::PhaseStart {
+                phase,
+                span,
+                parent,
+            },
+            Event::PhaseEnd { phase, nanos, span } => OwnedEvent::PhaseEnd { phase, nanos, span },
+            Event::BfsStart { source, span } => OwnedEvent::BfsStart { source, span },
+            Event::BfsLevel {
+                level,
+                frontier,
+                edges_scanned,
+                bottom_up,
+                span,
+            } => OwnedEvent::BfsLevel {
+                level,
+                frontier,
+                edges_scanned,
+                bottom_up,
+                span,
+            },
+            Event::DirectionSwitch {
+                level,
+                bottom_up,
+                span,
+            } => OwnedEvent::DirectionSwitch {
+                level,
+                bottom_up,
+                span,
+            },
+            Event::EpochRollover { rollovers } => OwnedEvent::EpochRollover { rollovers },
+            Event::BfsEnd {
+                source,
+                eccentricity,
+                visited,
+                span,
+            } => OwnedEvent::BfsEnd {
+                source,
+                eccentricity,
+                visited,
+                span,
+            },
+            Event::BoundUpdate { old, new, source } => OwnedEvent::BoundUpdate { old, new, source },
+            Event::BoundsUpdate { snapshot } => OwnedEvent::BoundsUpdate { snapshot },
+            Event::WinnowGrown { radius } => OwnedEvent::WinnowGrown { radius },
+            Event::EliminateRun { removed, extension } => {
+                OwnedEvent::EliminateRun { removed, extension }
+            }
+            Event::ChainsProcessed { count } => OwnedEvent::ChainsProcessed { count },
+            Event::Progress { active, bound } => OwnedEvent::Progress { active, bound },
+            Event::WorkerLoad {
+                workers,
+                total_edges,
+                max_busy_nanos,
+                mean_busy_nanos,
+                imbalance,
+            } => OwnedEvent::WorkerLoad {
+                workers,
+                total_edges,
+                max_busy_nanos,
+                mean_busy_nanos,
+                imbalance,
+            },
+            Event::RemovalSummary {
+                winnow,
+                eliminate,
+                chain,
+                degree0,
+                computed,
+            } => OwnedEvent::RemovalSummary {
+                winnow,
+                eliminate,
+                chain,
+                degree0,
+                computed,
+            },
+            Event::RunEnd {
+                diameter,
+                connected,
+                nanos,
+                run,
+            } => OwnedEvent::RunEnd {
+                diameter,
+                connected,
+                nanos,
+                run,
+            },
+        }
+    }
+
+    /// Reborrows as an [`Event`] for encoding (dump path only).
+    fn as_event(&self) -> Event<'_> {
+        match *self {
+            OwnedEvent::RunStart {
+                ref algorithm,
+                n,
+                m,
+                run,
+            } => Event::RunStart {
+                algorithm: algorithm.as_str(),
+                n,
+                m,
+                run,
+            },
+            OwnedEvent::PhaseStart {
+                phase,
+                span,
+                parent,
+            } => Event::PhaseStart {
+                phase,
+                span,
+                parent,
+            },
+            OwnedEvent::PhaseEnd { phase, nanos, span } => Event::PhaseEnd { phase, nanos, span },
+            OwnedEvent::BfsStart { source, span } => Event::BfsStart { source, span },
+            OwnedEvent::BfsLevel {
+                level,
+                frontier,
+                edges_scanned,
+                bottom_up,
+                span,
+            } => Event::BfsLevel {
+                level,
+                frontier,
+                edges_scanned,
+                bottom_up,
+                span,
+            },
+            OwnedEvent::DirectionSwitch {
+                level,
+                bottom_up,
+                span,
+            } => Event::DirectionSwitch {
+                level,
+                bottom_up,
+                span,
+            },
+            OwnedEvent::EpochRollover { rollovers } => Event::EpochRollover { rollovers },
+            OwnedEvent::BfsEnd {
+                source,
+                eccentricity,
+                visited,
+                span,
+            } => Event::BfsEnd {
+                source,
+                eccentricity,
+                visited,
+                span,
+            },
+            OwnedEvent::BoundUpdate { old, new, source } => Event::BoundUpdate { old, new, source },
+            OwnedEvent::BoundsUpdate { snapshot } => Event::BoundsUpdate { snapshot },
+            OwnedEvent::WinnowGrown { radius } => Event::WinnowGrown { radius },
+            OwnedEvent::EliminateRun { removed, extension } => {
+                Event::EliminateRun { removed, extension }
+            }
+            OwnedEvent::ChainsProcessed { count } => Event::ChainsProcessed { count },
+            OwnedEvent::Progress { active, bound } => Event::Progress { active, bound },
+            OwnedEvent::WorkerLoad {
+                workers,
+                total_edges,
+                max_busy_nanos,
+                mean_busy_nanos,
+                imbalance,
+            } => Event::WorkerLoad {
+                workers,
+                total_edges,
+                max_busy_nanos,
+                mean_busy_nanos,
+                imbalance,
+            },
+            OwnedEvent::RemovalSummary {
+                winnow,
+                eliminate,
+                chain,
+                degree0,
+                computed,
+            } => Event::RemovalSummary {
+                winnow,
+                eliminate,
+                chain,
+                degree0,
+                computed,
+            },
+            OwnedEvent::RunEnd {
+                diameter,
+                connected,
+                nanos,
+                run,
+            } => Event::RunEnd {
+                diameter,
+                connected,
+                nanos,
+                run,
+            },
+        }
+    }
+}
+
+/// One recorded ring slot.
+#[derive(Clone, Copy, Debug)]
+struct FlightEvent {
+    /// Per-shard sequence number (1-based, dense within a shard).
+    seq: u64,
+    /// Microseconds since recorder creation.
+    ts_us: u64,
+    data: OwnedEvent,
+}
+
+/// One shard's ring. `head` is the overwrite cursor: 0 until the ring
+/// fills, thereafter the index of the oldest retained event.
+struct Ring {
+    buf: Vec<FlightEvent>,
+    capacity: usize,
+    head: usize,
+    /// Total events ever recorded to this shard (== last assigned seq).
+    emitted: u64,
+    /// Events overwritten (`emitted - retained`).
+    dropped: u64,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            emitted: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, mut ev: FlightEvent) {
+        self.emitted += 1;
+        ev.seq = self.emitted;
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Retained events, oldest first.
+    fn ordered(&self) -> impl Iterator<Item = &FlightEvent> {
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
+    }
+}
+
+/// Sizing and sampling knobs for a [`FlightRecorder`].
+#[derive(Clone, Copy, Debug)]
+pub struct FlightConfig {
+    /// Number of ring shards (rounded up to a power of two, min 1).
+    pub shards: usize,
+    /// Events retained per shard.
+    pub capacity: usize,
+    /// Record per-level BFS detail for 1-in-N traversals: `1` keeps
+    /// every level event, `0` drops them all, `N > 1` samples the
+    /// traversals chosen at `bfs_start`. Lifecycle events are always
+    /// recorded.
+    pub detail_sample: u32,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        Self {
+            shards: 8,
+            capacity: 4096,
+            detail_sample: 16,
+        }
+    }
+}
+
+/// Statistics of one shard, as reported by
+/// [`FlightRecorder::shard_stats`]. The accounting invariant
+/// `emitted == retained + dropped` always holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardStats {
+    pub shard: usize,
+    /// Events ever recorded to this shard (== its highest seq).
+    pub emitted: u64,
+    /// Events currently held in the ring.
+    pub retained: usize,
+    /// Events overwritten by drop-oldest.
+    pub dropped: u64,
+}
+
+thread_local! {
+    /// Process-wide thread index used to spread threads over shards;
+    /// assigned on a thread's first record and reused for its lifetime.
+    static THREAD_HINT: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+static NEXT_THREAD_HINT: AtomicUsize = AtomicUsize::new(0);
+
+/// The always-on bounded event recorder. See the module docs.
+pub struct FlightRecorder {
+    shards: Box<[Mutex<Ring>]>,
+    mask: usize,
+    detail_sample: u32,
+    /// Traversals seen so far (drives the 1-in-N sampling decision).
+    bfs_starts: AtomicU64,
+    /// Span ids of traversals currently sampled for per-level detail.
+    sampled_spans: [AtomicU64; SPAN_SLOTS],
+    start: Instant,
+}
+
+impl FlightRecorder {
+    pub fn new(config: FlightConfig) -> Self {
+        let shards = config.shards.max(1).next_power_of_two();
+        let capacity = config.capacity.max(16);
+        Self {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Ring::new(capacity)))
+                .collect(),
+            mask: shards - 1,
+            detail_sample: config.detail_sample,
+            bfs_starts: AtomicU64::new(0),
+            sampled_spans: std::array::from_fn(|_| AtomicU64::new(0)),
+            start: Instant::now(),
+        }
+    }
+
+    /// Microseconds since recorder creation — the clock of every
+    /// `ts_us` in this recorder's dump. Serving code uses it to bracket
+    /// a request's time window for tail-sampled slices.
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// Number of ring shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn lock_shard(&self, k: usize) -> MutexGuard<'_, Ring> {
+        // A panic can never happen while a ring lock is held (push has
+        // no panicking paths), but the panic-hook dump must not die on
+        // a poisoned mutex either way.
+        match self.shards[k].lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn shard_index(&self) -> usize {
+        THREAD_HINT.with(|c| {
+            let mut hint = c.get();
+            if hint == usize::MAX {
+                hint = NEXT_THREAD_HINT.fetch_add(1, Ordering::Relaxed);
+                c.set(hint);
+            }
+            hint & self.mask
+        })
+    }
+
+    fn span_slot(span: SpanId) -> usize {
+        // splitmix64-style scatter; top bits pick one of SPAN_SLOTS.
+        (span.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58) as usize & (SPAN_SLOTS - 1)
+    }
+
+    fn mark_sampled(&self, span: SpanId) {
+        self.sampled_spans[Self::span_slot(span)].store(span.0, Ordering::Relaxed);
+    }
+
+    fn is_sampled(&self, span: SpanId) -> bool {
+        self.sampled_spans[Self::span_slot(span)].load(Ordering::Relaxed) == span.0
+    }
+
+    fn clear_sampled(&self, span: SpanId) {
+        let _ = self.sampled_spans[Self::span_slot(span)].compare_exchange(
+            span.0,
+            0,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// The event-volume guard: should this event enter the ring?
+    fn admits(&self, e: &Event<'_>) -> bool {
+        match *e {
+            Event::BfsStart { span, .. } => {
+                if self.detail_sample > 1 && !span.is_none() {
+                    let count = self.bfs_starts.fetch_add(1, Ordering::Relaxed);
+                    if count % self.detail_sample as u64 == 0 {
+                        self.mark_sampled(span);
+                    }
+                }
+                true
+            }
+            Event::BfsLevel { span, .. } | Event::DirectionSwitch { span, .. } => {
+                match self.detail_sample {
+                    0 => false,
+                    1 => true,
+                    _ => self.is_sampled(span),
+                }
+            }
+            Event::BfsEnd { span, .. } => {
+                if self.detail_sample > 1 {
+                    self.clear_sampled(span);
+                }
+                true
+            }
+            _ => true,
+        }
+    }
+
+    /// Per-shard accounting, ordered by shard index.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        (0..self.shards.len())
+            .map(|k| {
+                let ring = self.lock_shard(k);
+                ShardStats {
+                    shard: k,
+                    emitted: ring.emitted,
+                    retained: ring.buf.len(),
+                    dropped: ring.dropped,
+                }
+            })
+            .collect()
+    }
+
+    /// Total events overwritten across all shards.
+    pub fn total_dropped(&self) -> u64 {
+        self.shard_stats().iter().map(|s| s.dropped).sum()
+    }
+
+    /// Dumps the merged ring as fdiam-trace-compatible JSONL: one event
+    /// per line in the `encode_event` schema plus `"seq"` and
+    /// `"shard"` fields, globally timestamp-ordered (per-shard seq
+    /// order is preserved). Shards that overwrote events contribute an
+    /// explicit gap marker line
+    /// `{"type":"dropped","shard":k,"dropped":d,"next_seq":s,...}`
+    /// placed before their oldest retained event.
+    pub fn dump_jsonl(&self) -> String {
+        self.dump_window_jsonl(0, u64::MAX)
+    }
+
+    /// Like [`FlightRecorder::dump_jsonl`] but restricted to events
+    /// with `ts_us` in `[from_us, to_us]` — the correlated slice a
+    /// tail sampler persists for one slow request. Events of concurrent
+    /// runs inside the window are included deliberately: a slow run's
+    /// forensics usually need to see its neighbors.
+    pub fn dump_window_jsonl(&self, from_us: u64, to_us: u64) -> String {
+        struct Line {
+            ts: u64,
+            shard: usize,
+            seq: u64,
+            event: bool,
+            text: String,
+        }
+        let mut lines: Vec<Line> = Vec::new();
+        for k in 0..self.shards.len() {
+            let ring = self.lock_shard(k);
+            let mut first_kept: Option<&FlightEvent> = None;
+            for ev in ring.ordered() {
+                if ev.ts_us < from_us || ev.ts_us > to_us {
+                    continue;
+                }
+                first_kept.get_or_insert(ev);
+                let mut text = encode_event(&ev.data.as_event(), ev.ts_us);
+                text.pop();
+                let _ = write!(text, ",\"seq\":{},\"shard\":{k}}}", ev.seq);
+                lines.push(Line {
+                    ts: ev.ts_us,
+                    shard: k,
+                    seq: ev.seq,
+                    event: true,
+                    text,
+                });
+            }
+            if ring.dropped > 0 {
+                if let Some(first) = first_kept {
+                    let text = JsonObject::new()
+                        .str("type", "dropped")
+                        .u64("ts_us", first.ts_us)
+                        .usize("shard", k)
+                        .u64("dropped", ring.dropped)
+                        .u64("next_seq", first.seq)
+                        .finish();
+                    lines.push(Line {
+                        ts: first.ts_us,
+                        shard: k,
+                        seq: first.seq,
+                        event: false,
+                        text,
+                    });
+                }
+            }
+        }
+        // Markers sort before the event they precede (same ts/shard/seq).
+        lines.sort_by_key(|l| (l.ts, l.shard, l.seq, l.event));
+        let mut out = String::new();
+        for l in lines {
+            out.push_str(&l.text);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Observer for FlightRecorder {
+    fn event(&self, e: &Event<'_>) {
+        if !self.admits(e) {
+            return;
+        }
+        let data = OwnedEvent::capture(e);
+        let k = self.shard_index();
+        let mut ring = self.lock_shard(k);
+        // The timestamp is taken under the shard lock so that within a
+        // shard, seq order and ts order always agree — the dump's
+        // global (ts, shard, seq) sort must preserve per-shard seq
+        // order for gap detection to be sound.
+        let ts_us = self.elapsed_us();
+        ring.push(FlightEvent {
+            seq: 0,
+            ts_us,
+            data,
+        });
+    }
+
+    // The recorder never *asks* for per-level detail: it samples what
+    // other observers caused to be computed. This keeps the always-on
+    // cost near zero when nobody is watching a run.
+    fn wants_bfs_detail(&self) -> bool {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------
+// Panic post-mortems.
+// ---------------------------------------------------------------------
+
+struct PostMortemSink {
+    id: u64,
+    recorder: Weak<FlightRecorder>,
+    path: PathBuf,
+    /// Extra JSONL lines written between the header and the ring dump
+    /// (fdiam-serve passes its in-flight run registry snapshot).
+    context: Box<dyn Fn() -> Vec<String> + Send + Sync>,
+}
+
+static POST_MORTEM_SINKS: Mutex<Vec<PostMortemSink>> = Mutex::new(Vec::new());
+
+fn sinks_lock() -> MutexGuard<'static, Vec<PostMortemSink>> {
+    match POST_MORTEM_SINKS.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Deregisters its post-mortem sink on drop.
+pub struct PostMortemGuard {
+    id: u64,
+}
+
+impl Drop for PostMortemGuard {
+    fn drop(&mut self) {
+        sinks_lock().retain(|s| s.id != self.id);
+    }
+}
+
+/// Registers `recorder` for panic post-mortems: if any thread panics
+/// while the returned guard lives, a JSONL post-mortem file is written
+/// to `path` (truncating a previous one) containing a `post_mortem`
+/// header line (panic message, location, thread), the `context` lines,
+/// and the full ring dump — then the previously installed panic hook
+/// runs and unwinding proceeds.
+///
+/// The process-global hook is installed once (chaining whatever hook
+/// was installed before) and serves every registered recorder.
+pub fn register_post_mortem(
+    recorder: &Arc<FlightRecorder>,
+    path: impl Into<PathBuf>,
+    context: impl Fn() -> Vec<String> + Send + Sync + 'static,
+) -> PostMortemGuard {
+    static INSTALL: Once = Once::new();
+    static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let location = info
+                .location()
+                .map(|l| format!("{}:{}", l.file(), l.line()))
+                .unwrap_or_default();
+            let message = if let Some(s) = info.payload().downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = info.payload().downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "<non-string panic payload>".to_string()
+            };
+            // Write every sink's post-mortem before unwinding starts.
+            for sink in sinks_lock().iter() {
+                if let Some(recorder) = sink.recorder.upgrade() {
+                    let _ = write_post_mortem(
+                        &recorder,
+                        &sink.path,
+                        &message,
+                        &location,
+                        &*sink.context,
+                    );
+                }
+            }
+            prev(info);
+        }));
+    });
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    sinks_lock().push(PostMortemSink {
+        id,
+        recorder: Arc::downgrade(recorder),
+        path: path.into(),
+        context: Box::new(context),
+    });
+    PostMortemGuard { id }
+}
+
+/// Writes one post-mortem file: header line, context lines, ring dump.
+/// Public so tests (and operators' tooling) can produce the exact
+/// artifact the panic hook writes.
+pub fn write_post_mortem(
+    recorder: &FlightRecorder,
+    path: &Path,
+    message: &str,
+    location: &str,
+    context: &dyn Fn() -> Vec<String>,
+) -> io::Result<()> {
+    let thread = std::thread::current();
+    let header = JsonObject::new()
+        .str("type", "post_mortem")
+        .u64("ts_us", recorder.elapsed_us())
+        .str("message", message)
+        .str("location", location)
+        .str("thread", thread.name().unwrap_or("<unnamed>"))
+        .finish();
+    let mut f = File::create(path)?;
+    writeln!(f, "{header}")?;
+    for line in context() {
+        writeln!(f, "{line}")?;
+    }
+    f.write_all(recorder.dump_jsonl().as_bytes())?;
+    f.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, JsonValue};
+
+    fn small(capacity: usize, detail_sample: u32) -> FlightRecorder {
+        FlightRecorder::new(FlightConfig {
+            shards: 1,
+            capacity,
+            detail_sample,
+        })
+    }
+
+    fn parse_dump(dump: &str) -> Vec<JsonValue> {
+        dump.lines()
+            .map(|l| parse(l).expect("dump line must be valid JSON"))
+            .collect()
+    }
+
+    fn progress(active: usize) -> Event<'static> {
+        Event::Progress { active, bound: 1 }
+    }
+
+    #[test]
+    fn records_and_dumps_in_order() {
+        let r = small(64, 1);
+        r.event(&Event::RunStart {
+            algorithm: "fdiam",
+            n: 5,
+            m: 4,
+            run: RunId(0xabc),
+        });
+        r.event(&progress(3));
+        r.event(&Event::RunEnd {
+            diameter: 2,
+            connected: true,
+            nanos: 10,
+            run: RunId(0xabc),
+        });
+        let lines = parse_dump(&r.dump_jsonl());
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].get("type").unwrap().as_str(), Some("run_start"));
+        assert_eq!(lines[0].get("algorithm").unwrap().as_str(), Some("fdiam"));
+        assert_eq!(lines[0].get("seq").unwrap().as_u64(), Some(1));
+        assert_eq!(lines[0].get("shard").unwrap().as_u64(), Some(0));
+        assert_eq!(lines[2].get("type").unwrap().as_str(), Some("run_end"));
+        assert_eq!(lines[2].get("seq").unwrap().as_u64(), Some(3));
+        let stats = r.shard_stats();
+        assert_eq!(stats.iter().map(|s| s.emitted).sum::<u64>(), 3);
+        assert_eq!(r.total_dropped(), 0);
+    }
+
+    #[test]
+    fn drop_oldest_keeps_newest_and_emits_gap_marker() {
+        let r = small(16, 1);
+        for i in 0..40 {
+            r.event(&progress(i));
+        }
+        let stats = &r.shard_stats()[0];
+        assert_eq!(stats.emitted, 40);
+        assert_eq!(stats.retained, 16);
+        assert_eq!(stats.dropped, 24);
+        assert_eq!(stats.emitted, stats.retained as u64 + stats.dropped);
+
+        let lines = parse_dump(&r.dump_jsonl());
+        assert_eq!(lines.len(), 17, "16 events + 1 gap marker");
+        assert_eq!(lines[0].get("type").unwrap().as_str(), Some("dropped"));
+        assert_eq!(lines[0].get("dropped").unwrap().as_u64(), Some(24));
+        assert_eq!(lines[0].get("next_seq").unwrap().as_u64(), Some(25));
+        // The retained events are the newest, seq-contiguous.
+        let seqs: Vec<u64> = lines[1..]
+            .iter()
+            .map(|l| l.get("seq").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(seqs, (25..=40).collect::<Vec<u64>>());
+        assert_eq!(lines[16].get("active").unwrap().as_u64(), Some(39));
+    }
+
+    #[test]
+    fn detail_sampling_keeps_one_in_n_traversals() {
+        let r = small(256, 2);
+        for t in 0..4u64 {
+            let span = SpanId(100 + t);
+            r.event(&Event::BfsStart {
+                source: t as u32,
+                span,
+            });
+            for level in 1..=3u32 {
+                r.event(&Event::BfsLevel {
+                    level,
+                    frontier: 5,
+                    edges_scanned: 9,
+                    bottom_up: false,
+                    span,
+                });
+            }
+            r.event(&Event::BfsEnd {
+                source: t as u32,
+                eccentricity: 3,
+                visited: 10,
+                span,
+            });
+        }
+        let lines = parse_dump(&r.dump_jsonl());
+        let count = |ty: &str| {
+            lines
+                .iter()
+                .filter(|l| l.get("type").unwrap().as_str() == Some(ty))
+                .count()
+        };
+        // Every lifecycle event is kept; levels only for traversals 0 and 2.
+        assert_eq!(count("bfs_start"), 4);
+        assert_eq!(count("bfs_end"), 4);
+        assert_eq!(count("bfs_level"), 6);
+        let sampled_spans: std::collections::BTreeSet<u64> = lines
+            .iter()
+            .filter(|l| l.get("type").unwrap().as_str() == Some("bfs_level"))
+            .map(|l| l.get("span").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(sampled_spans, [100u64, 102].into_iter().collect());
+    }
+
+    #[test]
+    fn detail_sample_zero_drops_all_levels() {
+        let r = small(64, 0);
+        r.event(&Event::BfsLevel {
+            level: 1,
+            frontier: 1,
+            edges_scanned: 1,
+            bottom_up: false,
+            span: SpanId(7),
+        });
+        r.event(&Event::DirectionSwitch {
+            level: 1,
+            bottom_up: true,
+            span: SpanId(7),
+        });
+        assert!(r.dump_jsonl().is_empty());
+    }
+
+    #[test]
+    fn window_dump_filters_by_timestamp() {
+        let r = small(64, 1);
+        r.event(&progress(1));
+        r.event(&progress(2));
+        let full = parse_dump(&r.dump_jsonl());
+        assert_eq!(full.len(), 2);
+        // A window past every recorded timestamp is empty; the full
+        // window returns everything.
+        assert!(r.dump_window_jsonl(u64::MAX - 1, u64::MAX).is_empty());
+        assert_eq!(parse_dump(&r.dump_window_jsonl(0, u64::MAX)).len(), 2);
+    }
+
+    #[test]
+    fn long_algorithm_names_truncate_safely() {
+        let r = small(64, 1);
+        let long = "x".repeat(100);
+        r.event(&Event::RunStart {
+            algorithm: &long,
+            n: 1,
+            m: 0,
+            run: RunId(1),
+        });
+        let lines = parse_dump(&r.dump_jsonl());
+        assert_eq!(
+            lines[0].get("algorithm").unwrap().as_str(),
+            Some("x".repeat(ALGO_CAP).as_str())
+        );
+    }
+
+    #[test]
+    fn post_mortem_file_has_header_context_and_ring() {
+        let r = Arc::new(small(64, 1));
+        r.event(&Event::RunStart {
+            algorithm: "fdiam",
+            n: 5,
+            m: 4,
+            run: RunId(0xdead),
+        });
+        let path =
+            std::env::temp_dir().join(format!("fdiam-flight-test-pm-{}.jsonl", std::process::id()));
+        write_post_mortem(&r, &path, "boom", "here.rs:1", &|| {
+            vec![JsonObject::new()
+                .str("type", "in_flight_run")
+                .str("run", "000000000000dead")
+                .finish()]
+        })
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines = parse_dump(&text);
+        assert_eq!(lines[0].get("type").unwrap().as_str(), Some("post_mortem"));
+        assert_eq!(lines[0].get("message").unwrap().as_str(), Some("boom"));
+        assert_eq!(
+            lines[1].get("type").unwrap().as_str(),
+            Some("in_flight_run")
+        );
+        assert_eq!(lines[2].get("type").unwrap().as_str(), Some("run_start"));
+    }
+
+    #[test]
+    fn panic_hook_writes_registered_post_mortem() {
+        let r = Arc::new(small(64, 1));
+        r.event(&Event::RunStart {
+            algorithm: "fdiam",
+            n: 2,
+            m: 1,
+            run: RunId(0xbeef),
+        });
+        let path = std::env::temp_dir().join(format!(
+            "fdiam-flight-test-hook-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let guard = register_post_mortem(&r, &path, Vec::new);
+        let handle = std::thread::Builder::new()
+            .name("flight-panic-test".into())
+            .spawn(|| panic!("induced test panic"))
+            .unwrap();
+        assert!(handle.join().is_err());
+        drop(guard);
+        let text = std::fs::read_to_string(&path).expect("post-mortem written by hook");
+        let _ = std::fs::remove_file(&path);
+        let lines = parse_dump(&text);
+        assert_eq!(lines[0].get("type").unwrap().as_str(), Some("post_mortem"));
+        assert_eq!(
+            lines[0].get("message").unwrap().as_str(),
+            Some("induced test panic")
+        );
+        assert_eq!(
+            lines[0].get("thread").unwrap().as_str(),
+            Some("flight-panic-test")
+        );
+        assert!(text.contains("\"run\":\"000000000000beef\""));
+        // After the guard dropped, a panic no longer rewrites the file.
+        let h2 = std::thread::spawn(|| panic!("second panic"));
+        assert!(h2.join().is_err());
+        assert!(!path.exists());
+    }
+}

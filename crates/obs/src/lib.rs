@@ -41,6 +41,14 @@
 //!   the codes publish certified `[lb, ub]` bounds after every sweep,
 //!   and the registry keeps the latest snapshot of every in-flight run
 //!   (the substrate of fdiam-serve's `GET /v1/runs`).
+//! * [`FlightRecorder`] — the always-on black box: a bounded,
+//!   per-thread-sharded ring of recent events with drop-oldest
+//!   semantics and per-shard sequence numbers, dumpable after the fact
+//!   as fdiam-trace-compatible JSONL; [`register_post_mortem`] hooks it
+//!   into the process panic hook so a crash leaves a forensic file.
+//! * [`build_info()`] — compile-time provenance (git rev, rustc,
+//!   profile) exposed as the `fdiam_build_info` metric and in
+//!   `fdiam --version`.
 //! * [`CancelToken`] — cooperative cancellation (shared atomic
 //!   flag + deadline) polled by the BFS kernels once per level and by
 //!   the F-Diam driver between stages; the serving layer and the CLI
@@ -49,9 +57,11 @@
 //! The crate is deliberately std-only: it sits below every other
 //! F-Diam crate in the dependency graph.
 
+pub mod build_info;
 pub mod cancel;
 pub mod event;
 pub mod expo;
+pub mod flight;
 pub mod ids;
 pub mod json;
 pub mod jsonl;
@@ -61,9 +71,14 @@ pub mod progress;
 pub mod registry;
 pub mod remap;
 
+pub use build_info::{build_info, BuildInfo};
 pub use cancel::CancelToken;
 pub use event::{Event, Phase};
 pub use expo::PROMETHEUS_CONTENT_TYPE;
+pub use flight::{
+    register_post_mortem, write_post_mortem, FlightConfig, FlightRecorder, PostMortemGuard,
+    ShardStats,
+};
 pub use ids::{RunId, SpanId};
 pub use jsonl::JsonlTraceSink;
 pub use metrics::{Counter, DurationHistogram, Gauge, MetricsObserver, MetricsRegistry};

@@ -176,11 +176,24 @@ pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<&'static str, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<&'static str, Arc<DurationHistogram>>>,
-    /// Info-style metrics: rendered as `name{key="value"} 1` with the
-    /// latest value replacing the previous one (cardinality 1). Used to
-    /// expose the most recent run id as a scrapeable label.
-    labels: Mutex<BTreeMap<&'static str, (&'static str, String)>>,
+    /// Info-style metrics: rendered as `name{k1="v1",k2="v2"} 1` with
+    /// the latest value set replacing the previous one (cardinality 1).
+    /// Used to expose the most recent run id and the build provenance
+    /// as scrapeable labels.
+    labels: Mutex<BTreeMap<&'static str, Vec<(&'static str, String)>>>,
+    /// Counter families keyed by one label (e.g. flight captures by
+    /// `reason`). Label values are static, so cardinality is bounded by
+    /// the instrumentation sites.
+    labeled_counters: Mutex<BTreeMap<&'static str, LabeledCounterFamily>>,
 }
+
+struct LabeledCounterFamily {
+    key: &'static str,
+    by_value: BTreeMap<&'static str, Arc<Counter>>,
+}
+
+/// One labeled-counter family's snapshot: `(family, key, [(value, count), …])`.
+pub type LabeledCounterSnapshot = (&'static str, &'static str, Vec<(&'static str, u64)>);
 
 impl MetricsRegistry {
     pub fn new() -> Self {
@@ -223,10 +236,41 @@ impl MetricsRegistry {
     /// Sets (replacing any previous value) an info-style metric
     /// rendered as `name{key="value"} 1`.
     pub fn set_label(&self, name: &'static str, key: &'static str, value: &str) {
-        self.labels
-            .lock()
-            .unwrap()
-            .insert(name, (key, value.to_string()));
+        self.set_info(name, &[(key, value)]);
+    }
+
+    /// Sets (replacing any previous set) a multi-label info metric
+    /// rendered as `name{k1="v1",k2="v2",...} 1` — the conventional
+    /// `*_info` gauge shape (e.g. `build_info{rev,rustc,profile}`).
+    pub fn set_info(&self, name: &'static str, pairs: &[(&'static str, &str)]) {
+        let pairs: Vec<(&'static str, String)> =
+            pairs.iter().map(|(k, v)| (*k, v.to_string())).collect();
+        self.labels.lock().unwrap().insert(name, pairs);
+    }
+
+    /// Returns (creating if absent) the counter of the labeled family
+    /// `name` for `key="value"`, rendered as
+    /// `name{key="value"} n`. The label key is fixed per family; the
+    /// first caller's `key` wins.
+    pub fn labeled_counter(
+        &self,
+        name: &'static str,
+        key: &'static str,
+        value: &'static str,
+    ) -> Arc<Counter> {
+        let mut families = self.labeled_counters.lock().unwrap();
+        let family = families
+            .entry(name)
+            .or_insert_with(|| LabeledCounterFamily {
+                key,
+                by_value: BTreeMap::new(),
+            });
+        Arc::clone(
+            family
+                .by_value
+                .entry(value)
+                .or_insert_with(|| Arc::new(Counter::default())),
+        )
     }
 
     /// Counter values, sorted by name.
@@ -259,13 +303,34 @@ impl MetricsRegistry {
             .collect()
     }
 
-    /// Info-label values, sorted by name.
-    pub fn label_snapshot(&self) -> Vec<(&'static str, &'static str, String)> {
+    /// Info-label values (every key/value pair per name), sorted by name.
+    pub fn label_snapshot(&self) -> Vec<(&'static str, Vec<(&'static str, String)>)> {
         self.labels
             .lock()
             .unwrap()
             .iter()
-            .map(|(name, (k, v))| (*name, *k, v.clone()))
+            .map(|(name, pairs)| (*name, pairs.clone()))
+            .collect()
+    }
+
+    /// Labeled-counter values: `(family, key, [(value, count), ...])`,
+    /// sorted by family name then label value.
+    pub fn labeled_counter_snapshot(&self) -> Vec<LabeledCounterSnapshot> {
+        self.labeled_counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, family)| {
+                (
+                    *name,
+                    family.key,
+                    family
+                        .by_value
+                        .iter()
+                        .map(|(value, c)| (*value, c.get()))
+                        .collect(),
+                )
+            })
             .collect()
     }
 
@@ -274,6 +339,12 @@ impl MetricsRegistry {
         let mut out = String::new();
         for (name, value) in self.counter_snapshot() {
             out.push_str(&format!("{name:<32} {value}\n"));
+        }
+        for (name, key, values) in self.labeled_counter_snapshot() {
+            for (value, count) in values {
+                let labeled = format!("{name}{{{key}={value}}}");
+                out.push_str(&format!("{labeled:<32} {count}\n"));
+            }
         }
         for (name, value) in self.gauge_snapshot() {
             out.push_str(&format!("{name:<32} {value}\n"));
@@ -571,8 +642,53 @@ mod tests {
         r.set_label("serve.last_run_info", "run_id", "bbbb");
         assert_eq!(
             r.label_snapshot(),
-            vec![("serve.last_run_info", "run_id", "bbbb".to_string())]
+            vec![("serve.last_run_info", vec![("run_id", "bbbb".to_string())])]
         );
+    }
+
+    #[test]
+    fn multi_label_info_keeps_pair_order() {
+        let r = MetricsRegistry::new();
+        r.set_info(
+            "build_info",
+            &[("rev", "abc"), ("rustc", "1.85"), ("profile", "release")],
+        );
+        r.set_info(
+            "build_info",
+            &[("rev", "def"), ("rustc", "1.85"), ("profile", "release")],
+        );
+        let snap = r.label_snapshot();
+        assert_eq!(snap.len(), 1);
+        let (name, pairs) = &snap[0];
+        assert_eq!(*name, "build_info");
+        assert_eq!(
+            pairs
+                .iter()
+                .map(|(k, v)| (*k, v.as_str()))
+                .collect::<Vec<_>>(),
+            vec![("rev", "def"), ("rustc", "1.85"), ("profile", "release")]
+        );
+    }
+
+    #[test]
+    fn labeled_counters_track_per_value_counts() {
+        let r = MetricsRegistry::new();
+        r.labeled_counter("flight.captures", "reason", "slow")
+            .add(2);
+        r.labeled_counter("flight.captures", "reason", "deadline")
+            .inc();
+        // Re-fetching the same handle accumulates, never resets.
+        r.labeled_counter("flight.captures", "reason", "slow").inc();
+        assert_eq!(
+            r.labeled_counter_snapshot(),
+            vec![(
+                "flight.captures",
+                "reason",
+                vec![("deadline", 1), ("slow", 3)]
+            )]
+        );
+        let summary = r.render_summary();
+        assert!(summary.contains("flight.captures{reason=slow}"));
     }
 
     /// Satellite: explicit `record_nanos` boundary behavior. Bucket `i`

@@ -1,0 +1,246 @@
+//! Flight-recorder contention and allocation contracts (the black-box
+//! guarantees fdiam-serve relies on):
+//!
+//! * a multi-thread storm produces no duplicate sequence numbers within
+//!   a shard, and every shard's accounting satisfies
+//!   `emitted == retained + dropped`;
+//! * the record path is allocation-free after warmup, measured with the
+//!   same counting global allocator as `fdiam-bfs/tests/scratch_alloc.rs`.
+
+use fdiam_obs::json::{parse, JsonValue};
+use fdiam_obs::registry::BoundsSnapshot;
+use fdiam_obs::{Event, FlightConfig, FlightRecorder, Observer, Phase, RunId, SpanId};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocations(f: impl FnOnce()) -> u64 {
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    f();
+    ALLOC_CALLS.load(Ordering::Relaxed) - before
+}
+
+/// One full lap over the event vocabulary a worker thread emits.
+fn emit_round(r: &FlightRecorder, t: u64, i: u64) {
+    let run = RunId(t + 1);
+    let span = SpanId(t * 1_000_000 + i + 1);
+    r.event(&Event::RunStart {
+        algorithm: "fdiam",
+        n: 100,
+        m: 250,
+        run,
+    });
+    r.event(&Event::BfsStart {
+        source: i as u32,
+        span,
+    });
+    r.event(&Event::BfsLevel {
+        level: 1,
+        frontier: 10,
+        edges_scanned: 25,
+        bottom_up: false,
+        span,
+    });
+    r.event(&Event::BfsEnd {
+        source: i as u32,
+        eccentricity: 4,
+        visited: 100,
+        span,
+    });
+    r.event(&Event::BoundsUpdate {
+        snapshot: BoundsSnapshot {
+            run,
+            phase: "main_loop",
+            bfs_count: i,
+            lb: 3,
+            ub: 9,
+            vertices_remaining: 50,
+            elapsed_nanos: 1_000,
+        },
+    });
+    r.event(&Event::Progress {
+        active: 50,
+        bound: 4,
+    });
+    r.event(&Event::PhaseEnd {
+        phase: Phase::EccBfs,
+        nanos: 500,
+        span,
+    });
+    r.event(&Event::RunEnd {
+        diameter: 9,
+        connected: true,
+        nanos: 5_000,
+        run,
+    });
+}
+
+const EVENTS_PER_ROUND: u64 = 8;
+
+// The allocation counter is process-global and the default harness runs
+// tests on concurrent threads (whose bookkeeping allocates), so the
+// storm and the allocation measurement run inside one #[test] — the
+// only way to guarantee a quiet process during the measured window.
+#[test]
+fn storm_then_allocation_free_record_path() {
+    storm_has_no_seq_duplicates_and_drop_accounting_balances();
+    record_path_is_allocation_free_after_warmup();
+}
+
+fn storm_has_no_seq_duplicates_and_drop_accounting_balances() {
+    const THREADS: u64 = 8;
+    const ROUNDS: u64 = 1_250;
+    let recorder = Arc::new(FlightRecorder::new(FlightConfig {
+        shards: 4,
+        capacity: 512,
+        detail_sample: 1,
+    }));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let r = Arc::clone(&recorder);
+            std::thread::spawn(move || {
+                for i in 0..ROUNDS {
+                    emit_round(&r, t, i);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let stats = recorder.shard_stats();
+    let total_emitted: u64 = stats.iter().map(|s| s.emitted).sum();
+    assert_eq!(
+        total_emitted,
+        THREADS * ROUNDS * EVENTS_PER_ROUND,
+        "every recorded event is counted at exactly one shard"
+    );
+    for s in &stats {
+        assert_eq!(
+            s.emitted,
+            s.retained as u64 + s.dropped,
+            "shard {} drop accounting must balance",
+            s.shard
+        );
+    }
+
+    // The dump's per-shard seqs must be strictly increasing (so gaps
+    // are detectable and nothing is double-reported), and the gap
+    // markers must agree with the shard accounting.
+    let dump = recorder.dump_jsonl();
+    let mut seqs_by_shard: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    let mut marker_drops: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut marker_next: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut event_lines = 0u64;
+    for line in dump.lines() {
+        let v: JsonValue = parse(line).expect("dump lines are valid JSON");
+        let shard = v.get("shard").unwrap().as_u64().unwrap();
+        if v.get("type").unwrap().as_str() == Some("dropped") {
+            marker_drops.insert(shard, v.get("dropped").unwrap().as_u64().unwrap());
+            marker_next.insert(shard, v.get("next_seq").unwrap().as_u64().unwrap());
+        } else {
+            event_lines += 1;
+            seqs_by_shard
+                .entry(shard)
+                .or_default()
+                .push(v.get("seq").unwrap().as_u64().unwrap());
+        }
+    }
+    assert_eq!(
+        event_lines,
+        stats.iter().map(|s| s.retained as u64).sum::<u64>(),
+        "dump contains exactly the retained events"
+    );
+    for (shard, seqs) in &seqs_by_shard {
+        for w in seqs.windows(2) {
+            assert!(
+                w[0] < w[1],
+                "shard {shard} seqs must be strictly increasing, saw {} then {}",
+                w[0],
+                w[1]
+            );
+        }
+        let stat = &stats[*shard as usize];
+        assert_eq!(*seqs.last().unwrap(), stat.emitted, "newest seq == emitted");
+        if stat.dropped > 0 {
+            assert_eq!(marker_drops.get(shard), Some(&stat.dropped));
+            assert_eq!(marker_next.get(shard), Some(&seqs[0]));
+            assert_eq!(seqs[0], stat.dropped + 1, "gap covers exactly the drops");
+        } else {
+            assert!(!marker_drops.contains_key(shard));
+        }
+    }
+}
+
+fn record_path_is_allocation_free_after_warmup() {
+    let recorder = FlightRecorder::new(FlightConfig {
+        shards: 2,
+        capacity: 128,
+        detail_sample: 1,
+    });
+    // Warmup: registers this thread's shard hint and exercises every
+    // variant once; ring slots are pre-allocated at construction.
+    for i in 0..4 {
+        emit_round(&recorder, 0, i);
+    }
+    // Steady state covers both regimes: filling the remaining slots and
+    // drop-oldest overwriting (1000 rounds ≫ capacity).
+    let allocs = allocations(|| {
+        for i in 0..1_000 {
+            emit_round(&recorder, 0, i);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "steady-state flight record path allocated {allocs} times"
+    );
+    assert!(
+        recorder.total_dropped() > 0,
+        "ring wrapped during the measurement"
+    );
+
+    // Sampling mode decides per traversal without allocating either.
+    let sampled = FlightRecorder::new(FlightConfig {
+        shards: 1,
+        capacity: 128,
+        detail_sample: 8,
+    });
+    for i in 0..4 {
+        emit_round(&sampled, 0, i);
+    }
+    let allocs = allocations(|| {
+        for i in 0..1_000 {
+            emit_round(&sampled, 0, i);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "sampled flight record path allocated {allocs} times"
+    );
+}

@@ -19,6 +19,9 @@
 //! | `DELETE /v1/graphs/{name}` | — | unregister (and evict when unreferenced) |
 //! | `GET /v1/runs` | — | all in-flight compute runs with their latest bounds snapshot |
 //! | `GET /v1/runs/{run_id}` | — | one in-flight run (404 once it finishes) |
+//! | `GET /v1/debug/flight` | — | flight-recorder ring dump (fdiam-trace JSONL) |
+//! | `GET /v1/debug/slow` | — | tail-sampled slow/deadline captures in the spool |
+//! | `GET /v1/debug/slow/{name}` | — | one capture's JSONL (404 if evicted) |
 //! | `GET /healthz` | — | liveness + configuration |
 //! | `GET /metrics` | — | Prometheus 0.0.4 text exposition |
 //! | `GET /metrics?format=summary` | — | legacy [`MetricsRegistry`] summary (text) |
@@ -83,20 +86,37 @@
 //! queued and in-flight jobs complete and every thread is joined — the
 //! same no-detached-threads discipline as
 //! [`run_concurrent_with_timeout`](fdiam_core::run_concurrent_with_timeout).
+//!
+//! ## Flight recording and forensics
+//!
+//! Every worker tees its run's event stream into an always-on
+//! [`FlightRecorder`] — a bounded, per-thread-sharded ring of recent
+//! events with drop-oldest semantics. `GET /v1/debug/flight` dumps the
+//! merged ring as fdiam-trace-compatible JSONL (seq-ordered per shard,
+//! with explicit `dropped` gap markers). Requests that die at their
+//! deadline or finish past `--slow-threshold` persist their event
+//! slice to a bounded on-disk spool (`GET /v1/debug/slow`,
+//! `fdiam_flight_captures_total{reason=…}`), and `--post-mortem FILE`
+//! installs a process panic hook that snapshots the ring plus the
+//! in-flight run registry before the unwind proceeds. DESIGN.md §16
+//! walks through reading all three artifacts.
 
 mod cache;
 mod graphs;
 mod http;
+mod spool;
 
 pub use cache::{CacheKey, CacheOutcome, CachedTopology, GraphCache, LoadedGraph};
 pub use graphs::{GraphDirectory, NamedGraph};
+pub use spool::{Spool, SpoolEntry};
 
 use fdiam_bfs::BfsScratch;
 use fdiam_core::FdiamConfig;
 use fdiam_graph::{VertexId, VertexOrder};
 use fdiam_obs::json::{self, JsonObject, JsonValue};
 use fdiam_obs::{
-    CancelToken, MetricsObserver, MetricsRegistry, RemapIds, RunId, RunInfo, RunRegistry, Tee,
+    build_info, register_post_mortem, CancelToken, FlightConfig, FlightRecorder, MetricsObserver,
+    MetricsRegistry, PostMortemGuard, RemapIds, RunId, RunInfo, RunRegistry, Tee,
     PROMETHEUS_CONTENT_TYPE,
 };
 use http::{read_request, write_response, HttpError, Request};
@@ -104,6 +124,7 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
@@ -187,11 +208,27 @@ pub struct ServeConfig {
     pub default_timeout: Option<Duration>,
     /// Largest accepted request body.
     pub max_body_bytes: usize,
-    /// Honor the `sleep_ms` test hook (integration tests use it to
-    /// hold a worker busy deterministically). Off in production.
+    /// Honor the `sleep_ms` and `panic` test hooks (integration tests
+    /// use them to hold a worker busy or kill one deterministically).
+    /// Off in production.
     pub allow_test_hooks: bool,
     /// Per-request JSONL access log sink (disabled by default).
     pub access_log: AccessLog,
+    /// Sizing/sampling of the always-on flight recorder behind
+    /// `GET /v1/debug/flight`.
+    pub flight: FlightConfig,
+    /// Latency (admission to response) above which a finished request's
+    /// flight slice is tail-sampled into the spool. `None` captures
+    /// only deadline/cancel outcomes.
+    pub slow_threshold: Option<Duration>,
+    /// Directory of the bounded on-disk capture spool behind
+    /// `GET /v1/debug/slow`. `None` disables tail sampling entirely.
+    pub spool_dir: Option<PathBuf>,
+    /// Captures retained in the spool (oldest evicted beyond it).
+    pub spool_max_entries: usize,
+    /// Where the process panic hook writes its post-mortem (ring dump
+    /// plus in-flight run snapshot). `None` installs no hook.
+    pub post_mortem_path: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -204,6 +241,11 @@ impl Default for ServeConfig {
             max_body_bytes: 1 << 20,
             allow_test_hooks: false,
             access_log: AccessLog::disabled(),
+            flight: FlightConfig::default(),
+            slow_threshold: None,
+            spool_dir: None,
+            spool_max_entries: 32,
+            post_mortem_path: None,
         }
     }
 }
@@ -254,6 +296,9 @@ struct Job {
     /// Sub-queries of a `/v1/batch` request (empty otherwise).
     queries: Vec<BatchQuery>,
     sleep_ms: u64,
+    /// Test hook: panic in the worker after registering the run, so
+    /// post-mortem coverage can exercise a real dying worker.
+    panic_in_worker: bool,
     token: CancelToken,
     /// Trace id minted at admission; the compute run, the access-log
     /// line, the response body, and the metrics label all carry it.
@@ -312,6 +357,13 @@ struct Shared {
     /// Live view of in-flight compute runs: workers tee their run's
     /// event stream into it, `GET /v1/runs` reads it.
     registry: RunRegistry,
+    /// The always-on black box: every worker tees its run's event
+    /// stream into this bounded ring; `GET /v1/debug/flight` dumps it,
+    /// the tail sampler slices it, the panic hook snapshots it.
+    flight: Arc<FlightRecorder>,
+    /// Bounded on-disk spool of tail-sampled captures (`None` when
+    /// tail sampling is disabled).
+    spool: Option<Spool>,
     /// EWMA of job wall time in nanoseconds (zero until the first job
     /// finishes) — the drain-rate estimate behind `Retry-After`.
     ewma_job_nanos: AtomicU64,
@@ -327,6 +379,9 @@ pub struct Server {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    /// Keeps the process panic hook pointed at this server's flight
+    /// recorder for the server's lifetime (deregisters on drop).
+    _post_mortem: Option<PostMortemGuard>,
 }
 
 impl Server {
@@ -336,12 +391,18 @@ impl Server {
         assert!(config.workers >= 1, "need at least one worker");
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let spool = match config.spool_dir.clone() {
+            Some(dir) => Some(Spool::open(dir, config.spool_max_entries)?),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             metrics: Arc::new(MetricsRegistry::new()),
             cache: GraphCache::new(config.cache_bytes),
             graphs: GraphDirectory::new(),
             inflight: Mutex::new(HashMap::new()),
             registry: RunRegistry::new(),
+            flight: Arc::new(FlightRecorder::new(config.flight)),
+            spool,
             ewma_job_nanos: AtomicU64::new(0),
             shutting_down: AtomicBool::new(false),
             started: Instant::now(),
@@ -352,6 +413,46 @@ impl Server {
         shared.metrics.gauge("runs.in_flight").set(0.0);
         shared.metrics.gauge("registry.graphs").set(0.0);
         shared.metrics.counter("coalesced_requests").add(0);
+        shared
+            .metrics
+            .labeled_counter("flight.captures", "reason", "slow")
+            .add(0);
+        shared
+            .metrics
+            .labeled_counter("flight.captures", "reason", "deadline")
+            .add(0);
+        let bi = build_info();
+        shared.metrics.set_info(
+            "build_info",
+            &[
+                ("rev", bi.rev),
+                ("rustc", bi.rustc),
+                ("profile", bi.profile),
+            ],
+        );
+
+        // Panic hook: if any thread panics, snapshot the ring plus the
+        // in-flight run registry to the post-mortem file before the
+        // unwind proceeds.
+        let post_mortem = shared.config.post_mortem_path.clone().map(|path| {
+            let hook_shared = Arc::clone(&shared);
+            register_post_mortem(&shared.flight, path, move || {
+                hook_shared
+                    .registry
+                    .list()
+                    .iter()
+                    .map(|info| {
+                        JsonObject::new()
+                            .str("type", "in_flight_run")
+                            .str("run_id", &info.run.to_string())
+                            .str("algorithm", &info.algorithm)
+                            .usize("n", info.n)
+                            .usize("m", info.m)
+                            .finish()
+                    })
+                    .collect()
+            })
+        });
 
         let (tx, rx) = mpsc::sync_channel::<Job>(shared.config.queue_depth);
         let rx = Arc::new(Mutex::new(rx));
@@ -379,6 +480,7 @@ impl Server {
             shared,
             acceptor: Some(acceptor),
             workers,
+            _post_mortem: post_mortem,
         })
     }
 
@@ -400,6 +502,11 @@ impl Server {
     /// The named-graph directory behind `/v1/graphs`, for embedders.
     pub fn graphs(&self) -> &GraphDirectory {
         &self.shared.graphs
+    }
+
+    /// The flight recorder behind `GET /v1/debug/flight`, for embedders.
+    pub fn flight(&self) -> &Arc<FlightRecorder> {
+        &self.shared.flight
     }
 
     /// Graceful shutdown: stop accepting, let queued and in-flight
@@ -482,6 +589,22 @@ fn handle_connection(stream: TcpStream, shared: &Shared, tx: &SyncSender<Job>) {
             let _ = write_response(&stream, 200, &[], content_type, text.as_bytes());
         }
         ("GET", "/v1/runs") => respond_runs_list(&stream, shared),
+        ("GET", "/v1/debug/flight") => {
+            let _ = write_response(
+                &stream,
+                200,
+                &[],
+                "application/jsonl",
+                shared.flight.dump_jsonl().as_bytes(),
+            );
+        }
+        ("GET", "/v1/debug/slow") => respond_slow_list(&stream, shared),
+        ("GET", p)
+            if p.strip_prefix("/v1/debug/slow/")
+                .is_some_and(|n| !n.is_empty()) =>
+        {
+            respond_slow_detail(&stream, shared, p.strip_prefix("/v1/debug/slow/").unwrap())
+        }
         ("GET", p) if p.strip_prefix("/v1/runs/").is_some_and(|id| !id.is_empty()) => {
             respond_run_detail(&stream, shared, p.strip_prefix("/v1/runs/").unwrap())
         }
@@ -664,6 +787,51 @@ fn respond_run_detail(stream: &TcpStream, shared: &Shared, id: &str) {
             let _ = write_response(stream, 200, &[], "application/json", body.as_bytes());
         }
         None => respond_error(stream, shared, 404, "no such in-flight run"),
+    }
+}
+
+/// `GET /v1/debug/slow`: every retained tail-sampled capture, newest
+/// first. Always 200 — with tail sampling disabled the listing is
+/// empty and says so.
+fn respond_slow_list(stream: &TcpStream, shared: &Shared) {
+    let (enabled, entries) = match &shared.spool {
+        Some(spool) => (true, spool.list()),
+        None => (false, Vec::new()),
+    };
+    let mut arr = String::from("[");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            arr.push(',');
+        }
+        arr.push_str(
+            &JsonObject::new()
+                .str("name", &e.name)
+                .str("run_id", &e.run_id)
+                .str("endpoint", &e.endpoint)
+                .u64("status", e.status)
+                .str("reason", &e.reason)
+                .u64("elapsed_us", e.elapsed_us)
+                .u64("bytes", e.bytes)
+                .finish(),
+        );
+    }
+    arr.push(']');
+    let body = JsonObject::new()
+        .bool("enabled", enabled)
+        .usize("count", entries.len())
+        .raw("captures", &arr)
+        .finish();
+    let _ = write_response(stream, 200, &[], "application/json", body.as_bytes());
+}
+
+/// `GET /v1/debug/slow/{name}`: one capture's JSONL, ready to pipe into
+/// `fdiam-trace flight`.
+fn respond_slow_detail(stream: &TcpStream, shared: &Shared, name: &str) {
+    match shared.spool.as_ref().and_then(|s| s.read(name)) {
+        Some(text) => {
+            let _ = write_response(stream, 200, &[], "application/jsonl", text.as_bytes());
+        }
+        None => respond_error(stream, shared, 404, "no such capture"),
     }
 }
 
@@ -993,6 +1161,12 @@ fn parse_job(
         None => 0,
     };
 
+    let panic_in_worker = match v.get("panic").and_then(JsonValue::as_bool) {
+        Some(p) if shared.config.allow_test_hooks => p,
+        Some(_) => return Err((stream, "panic requires --test-hooks".into())),
+        None => false,
+    };
+
     Ok(Job {
         stream,
         endpoint,
@@ -1009,6 +1183,7 @@ fn parse_job(
         anytime,
         queries,
         sleep_ms,
+        panic_in_worker,
         token,
         run: RunId::fresh(),
         admitted_at: Instant::now(),
@@ -1081,20 +1256,19 @@ fn serve_job(
     scratch: &mut BfsScratch,
     observer: &MetricsObserver,
 ) {
+    // Everything this request does to the ring happens after this
+    // point in recorder time — the window the tail sampler slices.
+    let flight_from = shared.flight.elapsed_us();
+
     // A deadline that expired while the job sat in the queue is
     // answered without loading or computing anything — 504 even under
     // `anytime`, because nothing was certified.
     if job.token.is_cancelled() {
-        log_access(
-            shared,
-            &job,
-            job.run,
-            504,
-            "-",
-            queue_wait,
-            "expired_in_queue",
-        );
-        return respond_deadline(shared, &job);
+        let wrote = respond_deadline(shared, &job);
+        let outcome = write_outcome(shared, wrote, "expired_in_queue");
+        log_access(shared, &job, job.run, 504, "-", queue_wait, outcome);
+        capture_flight(shared, &job, flight_from, 504, "deadline");
+        return;
     }
 
     // Test hook: a cancellation-aware stall standing in for a long
@@ -1105,19 +1279,22 @@ fn serve_job(
         let until = Instant::now() + Duration::from_millis(job.sleep_ms);
         while Instant::now() < until {
             if job.token.is_cancelled() {
-                log_access(
-                    shared,
-                    &job,
-                    job.run,
-                    504,
-                    "-",
-                    queue_wait,
-                    "expired_in_compute",
-                );
-                return respond_deadline(shared, &job);
+                let wrote = respond_deadline(shared, &job);
+                let outcome = write_outcome(shared, wrote, "expired_in_compute");
+                log_access(shared, &job, job.run, 504, "-", queue_wait, outcome);
+                capture_flight(shared, &job, flight_from, 504, "deadline");
+                return;
             }
             std::thread::sleep(Duration::from_millis(2));
         }
+    }
+
+    // Test hook: a worker that dies mid-run, so post-mortem coverage
+    // can exercise a real dying worker end to end. The run registers
+    // first — the post-mortem must name it as in-flight.
+    if job.panic_in_worker {
+        shared.registry.register(job.run, "panic_test", 0, 0);
+        panic!("induced worker panic (test hook) run={}", job.run);
     }
 
     // Request coalescing: if an identical computation is already in
@@ -1155,9 +1332,47 @@ fn serve_job(
             .unwrap_or_default(),
         None => Vec::new(),
     };
-    deliver(shared, &outcome, &job, job.run, queue_wait, false);
+    let status = deliver(shared, &outcome, &job, job.run, queue_wait, false);
     for (waiter, wq) in &waiters {
         deliver(shared, &outcome, waiter, job.run, *wq, true);
+    }
+
+    // Tail sampling: a run that died at its deadline always spools its
+    // flight slice; a run that finished but blew the latency threshold
+    // spools as "slow".
+    if matches!(outcome, LeaderOutcome::Deadline { .. }) {
+        capture_flight(shared, &job, flight_from, status, "deadline");
+    } else if shared
+        .config
+        .slow_threshold
+        .is_some_and(|t| job.admitted_at.elapsed() > t)
+    {
+        capture_flight(shared, &job, flight_from, status, "slow");
+    }
+}
+
+/// Persists the flight recorder's event slice for one finished request
+/// into the spool (no-op when tail sampling is disabled). The window is
+/// time-based, so events from concurrently running requests ride along
+/// — deliberate: the neighbors are the context a slow run was slow *in*.
+fn capture_flight(shared: &Shared, job: &Job, from_us: u64, status: u16, reason: &'static str) {
+    let Some(spool) = &shared.spool else { return };
+    let slice = shared
+        .flight
+        .dump_window_jsonl(from_us, shared.flight.elapsed_us());
+    match spool.capture(
+        job.run,
+        job.endpoint.as_str(),
+        status,
+        reason,
+        job.admitted_at.elapsed(),
+        &slice,
+    ) {
+        Ok(_) => shared
+            .metrics
+            .labeled_counter("flight.captures", "reason", reason)
+            .inc(),
+        Err(_) => shared.metrics.counter("flight.capture_errors").inc(),
     }
 }
 
@@ -1189,10 +1404,14 @@ fn lead(
     refresh_cache_gauges(shared);
 
     let t0 = Instant::now();
-    // Tee the run's event stream into the in-flight registry: run_start
+    // Tee the run's event stream into the in-flight registry (run_start
     // registers, every bounds snapshot updates the live view, run_end
-    // deregisters.
-    let tee = Tee(observer, &shared.registry);
+    // deregisters) and into the always-on flight recorder. The recorder
+    // never *requests* per-level BFS detail (its `wants_bfs_detail` is
+    // false), so the tee's OR leaves the kernels' event volume exactly
+    // where the metrics observer already put it.
+    let run_tee = Tee(observer, &shared.registry);
+    let tee = Tee(&run_tee, shared.flight.as_ref());
     let body = match (job.endpoint, job.key.directed) {
         (Endpoint::Diameter, true) => compute_directed_diameter(&graph, job, &tee),
         (Endpoint::Diameter, false) => compute_diameter(&graph, job, scratch, &tee),
@@ -1230,9 +1449,13 @@ fn lead(
     }
 }
 
-/// Writes one recipient's response for a resolved flight. Success and
-/// 400 bodies are shared verbatim; deadline responses render
-/// per-recipient because `anytime` is a per-request choice.
+/// Writes one recipient's response for a resolved flight, then logs
+/// the access line — in that order, so a failed mid-body write (peer
+/// reset, broken pipe) is visible as the `write_error` outcome instead
+/// of a line claiming the response was delivered. Success and 400
+/// bodies are shared verbatim; deadline responses render per-recipient
+/// because `anytime` is a per-request choice. Returns the status
+/// written, for the tail sampler.
 fn deliver(
     shared: &Shared,
     outcome: &LeaderOutcome,
@@ -1240,47 +1463,51 @@ fn deliver(
     run: RunId,
     queue_wait: Duration,
     coalesced: bool,
-) {
+) -> u16 {
     let cache_label = |leader: &'static str| if coalesced { "coalesced" } else { leader };
     match outcome {
         LeaderOutcome::Ok { body, cache } => {
             shared.metrics.counter("serve.responses_ok").inc();
-            log_access(shared, job, run, 200, cache_label(cache), queue_wait, "ok");
-            let _ = write_response(&job.stream, 200, &[], "application/json", body.as_bytes());
+            let wrote = write_response(&job.stream, 200, &[], "application/json", body.as_bytes());
+            let outcome = write_outcome(shared, wrote, "ok");
+            log_access(
+                shared,
+                job,
+                run,
+                200,
+                cache_label(cache),
+                queue_wait,
+                outcome,
+            );
+            200
         }
         LeaderOutcome::Bad { message } => {
             shared.metrics.counter("serve.responses_400").inc();
-            log_access(shared, job, run, 400, cache_label("-"), queue_wait, "ok");
-            let _ = write_response(
+            let wrote = write_response(
                 &job.stream,
                 400,
                 &[],
                 "application/json",
                 JsonObject::new().str("error", message).finish().as_bytes(),
             );
+            let outcome = write_outcome(shared, wrote, "ok");
+            log_access(shared, job, run, 400, cache_label("-"), queue_wait, outcome);
+            400
         }
         LeaderOutcome::Deadline { info, cache } => {
             let cache = cache_label(cache);
             if job.anytime {
                 if let Some(body) = info.as_ref().and_then(|i| anytime_body(i, cache)) {
                     shared.metrics.counter("serve.responses_anytime").inc();
-                    log_access(shared, job, run, 200, cache, queue_wait, "anytime");
-                    let _ =
+                    let wrote =
                         write_response(&job.stream, 200, &[], "application/json", body.as_bytes());
-                    return;
+                    let outcome = write_outcome(shared, wrote, "anytime");
+                    log_access(shared, job, run, 200, cache, queue_wait, outcome);
+                    return 200;
                 }
             }
             shared.metrics.counter("serve.responses_deadline").inc();
-            log_access(
-                shared,
-                job,
-                run,
-                504,
-                cache,
-                queue_wait,
-                "expired_in_compute",
-            );
-            let _ = write_response(
+            let wrote = write_response(
                 &job.stream,
                 504,
                 &[],
@@ -1290,6 +1517,22 @@ fn deliver(
                     .finish()
                     .as_bytes(),
             );
+            let outcome = write_outcome(shared, wrote, "expired_in_compute");
+            log_access(shared, job, run, 504, cache, queue_wait, outcome);
+            504
+        }
+    }
+}
+
+/// Folds a response write's result into the access-log outcome: a
+/// failed mid-body write was previously silent (the log line claimed
+/// the nominal outcome), so it gets its own outcome string and counter.
+fn write_outcome(shared: &Shared, wrote: std::io::Result<()>, ok: &'static str) -> &'static str {
+    match wrote {
+        Ok(()) => ok,
+        Err(_) => {
+            shared.metrics.counter("serve.write_errors").inc();
+            "write_error"
         }
     }
 }
@@ -1628,13 +1871,13 @@ fn compute_batch(
     Ok(Some(obj))
 }
 
-fn respond_deadline(shared: &Shared, job: &Job) {
+fn respond_deadline(shared: &Shared, job: &Job) -> std::io::Result<()> {
     // A cancelled run emits run_start but never run_end, so the
     // registry needs the explicit deregister here (no-op for jobs that
     // expired before the compute registered anything).
     shared.registry.deregister(job.run);
     shared.metrics.counter("serve.responses_deadline").inc();
-    let _ = write_response(
+    write_response(
         &job.stream,
         504,
         &[],
@@ -1643,7 +1886,7 @@ fn respond_deadline(shared: &Shared, job: &Job) {
             .str("error", "deadline expired before the computation finished")
             .finish()
             .as_bytes(),
-    );
+    )
 }
 
 fn respond_error(stream: &TcpStream, shared: &Shared, status: u16, msg: &str) {

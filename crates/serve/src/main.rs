@@ -14,7 +14,17 @@ OPTIONS:
   --queue N           admission queue depth   (default 16)
   --cache-mb N        graph cache budget, MiB (default 256)
   --timeout SECS      default per-request deadline (default: none)
-  --test-hooks        honor the sleep_ms test hook (integration tests)
+  --flight-capacity N events retained per flight-recorder shard (default 4096)
+  --flight-shards N   flight-recorder shards, rounded up to a power of
+                      two                      (default 8)
+  --flight-sample N   keep per-level BFS detail for 1-in-N traversals;
+                      0 drops all detail       (default 16)
+  --slow-threshold S  tail-sample requests slower than S seconds into
+                      the capture spool        (default: deadline/cancel only)
+  --spool-dir DIR     enable the capture spool behind GET /v1/debug/slow
+  --spool-max N       captures retained in the spool (default 32)
+  --post-mortem FILE  on panic, dump the flight ring + in-flight runs here
+  --test-hooks        honor the sleep_ms/panic test hooks (integration tests)
   --quiet             disable the per-request JSONL access log (stderr)
 
 ENDPOINTS:
@@ -30,6 +40,9 @@ ENDPOINTS:
   DELETE /v1/graphs/{name}  unregister (evicts when no other name uses it)
   GET  /v1/runs             in-flight runs with their latest bounds snapshot
   GET  /v1/runs/{run_id}    one in-flight run (404 once it finishes)
+  GET  /v1/debug/flight     flight-recorder ring dump (fdiam-trace JSONL)
+  GET  /v1/debug/slow       tail-sampled slow/deadline captures
+  GET  /v1/debug/slow/{f}   one capture's JSONL
   GET  /healthz             liveness + configuration
   GET  /metrics             Prometheus metrics (?format=summary for text dump)
 ";
@@ -62,6 +75,26 @@ fn parse(args: &[String]) -> Result<(String, ServeConfig), String> {
             "--timeout" => {
                 config.default_timeout = Some(parse_secs(&value("--timeout")?, "--timeout")?)
             }
+            "--flight-capacity" => {
+                config.flight.capacity =
+                    parse_count(&value("--flight-capacity")?, "--flight-capacity")?
+            }
+            "--flight-shards" => {
+                config.flight.shards = parse_count(&value("--flight-shards")?, "--flight-shards")?
+            }
+            "--flight-sample" => {
+                config.flight.detail_sample =
+                    parse_count(&value("--flight-sample")?, "--flight-sample")? as u32
+            }
+            "--slow-threshold" => {
+                config.slow_threshold =
+                    Some(parse_secs(&value("--slow-threshold")?, "--slow-threshold")?)
+            }
+            "--spool-dir" => config.spool_dir = Some(value("--spool-dir")?.into()),
+            "--spool-max" => {
+                config.spool_max_entries = parse_count(&value("--spool-max")?, "--spool-max")?
+            }
+            "--post-mortem" => config.post_mortem_path = Some(value("--post-mortem")?.into()),
             "--test-hooks" => config.allow_test_hooks = true,
             "--quiet" => config.access_log = AccessLog::disabled(),
             other => return Err(format!("unknown flag '{other}'")),

@@ -1,0 +1,258 @@
+//! Bounded on-disk spool of tail-sampled flight captures.
+//!
+//! When a request finishes slow (past the configured latency threshold)
+//! or on the deadline path, the worker dumps the flight recorder's
+//! event slice for the request's time window and hands it here. Each
+//! capture is one JSONL file: a `flight_capture` header line with the
+//! request's identity, then the windowed ring dump verbatim — a file
+//! `fdiam-trace flight`/`report` consume directly.
+//!
+//! The spool is bounded by entry count with drop-oldest semantics, the
+//! same discipline as the ring it snapshots: capture files carry a
+//! monotonically increasing sequence number in their name, and writing
+//! a new capture evicts the oldest files beyond the cap. Sequence
+//! numbering resumes across restarts by scanning the directory.
+
+use fdiam_obs::json::{self, JsonObject, JsonValue};
+use fdiam_obs::RunId;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Duration;
+
+const PREFIX: &str = "capture-";
+const SUFFIX: &str = ".jsonl";
+
+/// One spooled capture's identity, parsed back from its header line
+/// for `GET /v1/debug/slow` listings.
+#[derive(Clone, Debug)]
+pub struct SpoolEntry {
+    /// File name within the spool directory (the fetch handle).
+    pub name: String,
+    pub run_id: String,
+    pub endpoint: String,
+    pub status: u64,
+    /// Why the capture was taken: `"slow"` or `"deadline"`.
+    pub reason: String,
+    /// Request latency (admission to response) in microseconds.
+    pub elapsed_us: u64,
+    /// File size on disk.
+    pub bytes: u64,
+}
+
+/// The bounded capture directory. Shared across workers behind one
+/// mutex: captures are rare by construction (they are the tail), so
+/// serializing writes costs nothing and keeps eviction race-free.
+pub struct Spool {
+    dir: PathBuf,
+    max_entries: usize,
+    next_seq: Mutex<u64>,
+}
+
+impl Spool {
+    /// Opens (creating if needed) the spool directory. Sequence
+    /// numbering continues after the highest existing capture.
+    pub fn open(dir: PathBuf, max_entries: usize) -> io::Result<Spool> {
+        fs::create_dir_all(&dir)?;
+        let mut highest = 0u64;
+        for name in list_names(&dir)? {
+            if let Some(seq) = parse_seq(&name) {
+                highest = highest.max(seq);
+            }
+        }
+        Ok(Spool {
+            dir,
+            max_entries: max_entries.max(1),
+            next_seq: Mutex::new(highest + 1),
+        })
+    }
+
+    /// Persists one capture and enforces the entry cap. Returns the
+    /// capture's file name.
+    pub fn capture(
+        &self,
+        run: RunId,
+        endpoint: &str,
+        status: u16,
+        reason: &str,
+        elapsed: Duration,
+        slice: &str,
+    ) -> io::Result<String> {
+        let mut next = self.next_seq.lock().unwrap();
+        let seq = *next;
+        *next += 1;
+        let name = format!("{PREFIX}{seq:06}-{run}{SUFFIX}");
+        let header = JsonObject::new()
+            .str("type", "flight_capture")
+            .str("run_id", &run.to_string())
+            .str("endpoint", endpoint)
+            .u64("status", u64::from(status))
+            .str("reason", reason)
+            .u64("elapsed_us", elapsed.as_micros() as u64)
+            .finish();
+        let mut f = fs::File::create(self.dir.join(&name))?;
+        writeln!(f, "{header}")?;
+        f.write_all(slice.as_bytes())?;
+        f.flush()?;
+
+        // Drop-oldest beyond the cap; the lexicographic name order is
+        // the capture order (zero-padded sequence numbers).
+        let names = list_names(&self.dir)?;
+        if names.len() > self.max_entries {
+            for old in &names[..names.len() - self.max_entries] {
+                let _ = fs::remove_file(self.dir.join(old));
+            }
+        }
+        Ok(name)
+    }
+
+    /// All retained captures, newest first, with their header metadata.
+    pub fn list(&self) -> Vec<SpoolEntry> {
+        let Ok(mut names) = list_names(&self.dir) else {
+            return Vec::new();
+        };
+        names.reverse();
+        names
+            .into_iter()
+            .filter_map(|name| self.entry(&name))
+            .collect()
+    }
+
+    fn entry(&self, name: &str) -> Option<SpoolEntry> {
+        let path = self.dir.join(name);
+        let bytes = fs::metadata(&path).ok()?.len();
+        let text = fs::read_to_string(&path).ok()?;
+        let header = json::parse(text.lines().next()?).ok()?;
+        let get = |key: &str| {
+            header
+                .get(key)
+                .and_then(JsonValue::as_str)
+                .unwrap_or("?")
+                .to_string()
+        };
+        Some(SpoolEntry {
+            name: name.to_string(),
+            run_id: get("run_id"),
+            endpoint: get("endpoint"),
+            status: header
+                .get("status")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0),
+            reason: get("reason"),
+            elapsed_us: header
+                .get("elapsed_us")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0),
+            bytes,
+        })
+    }
+
+    /// Reads one capture back by its listed name. Names that are not
+    /// spool entries (path separators, wrong shape) read as `None`, so
+    /// the HTTP layer cannot be walked out of the directory.
+    pub fn read(&self, name: &str) -> Option<String> {
+        if !name.starts_with(PREFIX)
+            || !name.ends_with(SUFFIX)
+            || name.contains('/')
+            || name.contains('\\')
+            || name.contains("..")
+        {
+            return None;
+        }
+        fs::read_to_string(self.dir.join(name)).ok()
+    }
+}
+
+/// Capture file names in the directory, oldest first.
+fn list_names(dir: &PathBuf) -> io::Result<Vec<String>> {
+    let mut names: Vec<String> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with(PREFIX) && n.ends_with(SUFFIX))
+        .collect();
+    names.sort();
+    Ok(names)
+}
+
+fn parse_seq(name: &str) -> Option<u64> {
+    name.strip_prefix(PREFIX)?.split('-').next()?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_spool(tag: &str, max: usize) -> Spool {
+        let dir =
+            std::env::temp_dir().join(format!("fdiam-spool-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        Spool::open(dir, max).unwrap()
+    }
+
+    #[test]
+    fn capture_roundtrips_header_and_slice() {
+        let spool = temp_spool("roundtrip", 8);
+        let name = spool
+            .capture(
+                RunId(0xab),
+                "diameter",
+                200,
+                "slow",
+                Duration::from_micros(1234),
+                "{\"type\":\"progress\",\"ts_us\":1,\"active\":3,\"bound\":2}\n",
+            )
+            .unwrap();
+        let entries = spool.list();
+        assert_eq!(entries.len(), 1);
+        let e = &entries[0];
+        assert_eq!(e.name, name);
+        assert_eq!(e.run_id, "00000000000000ab");
+        assert_eq!(e.endpoint, "diameter");
+        assert_eq!((e.status, e.elapsed_us), (200, 1234));
+        assert_eq!(e.reason, "slow");
+
+        let text = spool.read(&name).unwrap();
+        let mut lines = text.lines();
+        assert!(lines.next().unwrap().contains("\"flight_capture\""));
+        assert!(lines.next().unwrap().contains("\"progress\""));
+        let _ = fs::remove_dir_all(&spool.dir);
+    }
+
+    #[test]
+    fn bound_evicts_oldest_and_seq_survives_reopen() {
+        let spool = temp_spool("bound", 3);
+        for i in 0..5u64 {
+            spool
+                .capture(RunId(i), "diameter", 504, "deadline", Duration::ZERO, "")
+                .unwrap();
+        }
+        let entries = spool.list();
+        assert_eq!(entries.len(), 3, "cap enforced");
+        // Newest first: runs 4, 3, 2 survive; 0 and 1 were evicted.
+        let runs: Vec<&str> = entries.iter().map(|e| e.run_id.as_str()).collect();
+        assert_eq!(runs[0], "0000000000000004");
+        assert_eq!(runs[2], "0000000000000002");
+
+        let dir = spool.dir.clone();
+        drop(spool);
+        let reopened = Spool::open(dir.clone(), 3).unwrap();
+        let name = reopened
+            .capture(RunId(9), "batch", 200, "slow", Duration::ZERO, "")
+            .unwrap();
+        assert!(
+            parse_seq(&name).unwrap() > 5,
+            "sequence resumes past existing captures, got {name}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_rejects_traversal_shaped_names() {
+        let spool = temp_spool("traversal", 2);
+        assert!(spool.read("../etc/passwd").is_none());
+        assert!(spool.read("capture-000001-x/../y.jsonl").is_none());
+        assert!(spool.read("unrelated.txt").is_none());
+        let _ = fs::remove_dir_all(&spool.dir);
+    }
+}

@@ -1,0 +1,312 @@
+//! Integration tests for the flight-recorder forensics stack: the
+//! always-on ring behind `GET /v1/debug/flight`, tail-sampled captures
+//! behind `GET /v1/debug/slow`, the panic post-mortem hook, the
+//! `write_error` access-log outcome, and the `fdiam_build_info` gauge.
+//! Round-trips go through the real `fdiam-trace` parsers — the dump
+//! format and the analyzers are one contract.
+
+mod common;
+
+use common::{metrics_counter, post, request, wait_for_counter};
+use fdiam_obs::json::{parse, JsonValue};
+use fdiam_serve::{ServeConfig, Server};
+use fdiam_trace::{flight_report, Trace};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Fresh per-test scratch directory under the system temp dir.
+fn temp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("fdiam-flight-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Sends a POST and returns the raw stream without reading a response
+/// — for requests that deliberately never get one (panics, early
+/// hangups).
+fn raw_post(addr: std::net::SocketAddr, path: &str, body: &str) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let req = format!(
+        "POST {path} HTTP/1.1\r\nhost: test\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(req.as_bytes()).unwrap();
+    stream.flush().unwrap();
+    stream
+}
+
+#[test]
+fn flight_dump_round_trips_through_trace_tools() {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let d = post(addr, "/v1/diameter", r#"{"spec": "grid:30x30"}"#);
+    assert_eq!(d.status, 200, "{}", d.body);
+    assert_eq!(d.field_u64("diameter"), 58);
+
+    // The ring was recording without anyone asking: the dump carries
+    // the run's events in fdiam-trace JSONL.
+    let dump = request(addr, "GET", "/v1/debug/flight", "");
+    assert_eq!(dump.status, 200);
+    assert_eq!(
+        dump.header("content-type"),
+        Some("application/jsonl")
+    );
+    assert!(
+        dump.body
+            .lines()
+            .any(|l| l.contains("\"type\":\"bfs_start\"")),
+        "no BFS activity in the ring:\n{}",
+        dump.body
+    );
+
+    // Round-trip 1: the gap-tolerant generic parser accepts the dump.
+    let trace = Trace::parse(&dump.body).unwrap_or_else(|e| panic!("Trace::parse: {e}"));
+    assert!(
+        !trace.runs.is_empty(),
+        "no runs reconstructed from the ring"
+    );
+    let report = trace.report();
+    assert!(report.contains("run "), "{report}");
+
+    // Round-trip 2: the flight analyzer accounts for every shard and
+    // ranks traversals.
+    let forensics = flight_report(&dump.body).unwrap();
+    assert!(forensics.contains("flight dump:"), "{forensics}");
+    assert!(forensics.contains("shard "), "{forensics}");
+    assert!(
+        !forensics.contains("MARKER MISMATCH") && !forensics.contains("unexplained"),
+        "seq accounting broken on a live dump:\n{forensics}"
+    );
+
+    // With no spool configured the slow listing says so instead of 404ing.
+    let slow = request(addr, "GET", "/v1/debug/slow", "");
+    assert_eq!(slow.status, 200);
+    assert_eq!(
+        slow.json().get("enabled").and_then(JsonValue::as_bool),
+        Some(false)
+    );
+    assert_eq!(slow.field_u64("count"), 0);
+    assert_eq!(request(addr, "GET", "/v1/debug/slow/nope", "").status, 404);
+}
+
+#[test]
+fn deadline_and_slow_requests_tail_sample_into_spool() {
+    let dir = temp_dir("spool");
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 1,
+            allow_test_hooks: true,
+            spool_dir: Some(dir.clone()),
+            slow_threshold: Some(Duration::from_millis(1)),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // A run that dies at its deadline spools its flight slice...
+    let r = post(
+        addr,
+        "/v1/diameter",
+        r#"{"spec": "grid:20x20", "timeout_secs": 0.05, "sleep_ms": 400}"#,
+    );
+    assert_eq!(r.status, 504, "{}", r.body);
+
+    // ...and a run that finishes but blows the latency threshold spools
+    // as "slow".
+    let ok = post(
+        addr,
+        "/v1/diameter",
+        r#"{"spec": "grid:20x20", "sleep_ms": 60}"#,
+    );
+    assert_eq!(ok.status, 200, "{}", ok.body);
+
+    let list = request(addr, "GET", "/v1/debug/slow", "");
+    assert_eq!(list.status, 200);
+    assert_eq!(
+        list.json().get("enabled").and_then(JsonValue::as_bool),
+        Some(true)
+    );
+    assert_eq!(list.field_u64("count"), 2, "{}", list.body);
+    let captures = match list.json().get("captures") {
+        Some(JsonValue::Array(items)) => items.clone(),
+        other => panic!("captures: {other:?}"),
+    };
+    // Newest first: the slow 200 capture, then the deadline 504.
+    let reason = |c: &JsonValue| {
+        c.get("reason")
+            .and_then(JsonValue::as_str)
+            .unwrap()
+            .to_string()
+    };
+    let status = |c: &JsonValue| c.get("status").and_then(JsonValue::as_u64).unwrap();
+    assert_eq!(
+        (reason(&captures[0]).as_str(), status(&captures[0])),
+        ("slow", 200)
+    );
+    assert_eq!(
+        (reason(&captures[1]).as_str(), status(&captures[1])),
+        ("deadline", 504)
+    );
+
+    // Each capture fetches by name and renders through the analyzer.
+    for c in &captures {
+        let name = c.get("name").and_then(JsonValue::as_str).unwrap();
+        let body = request(addr, "GET", &format!("/v1/debug/slow/{name}"), "");
+        assert_eq!(body.status, 200, "{name}");
+        let first = parse(body.body.lines().next().unwrap()).unwrap();
+        assert_eq!(
+            first.get("type").and_then(JsonValue::as_str),
+            Some("flight_capture")
+        );
+        let forensics = flight_report(&body.body).unwrap();
+        assert!(forensics.contains("capture: run "), "{forensics}");
+    }
+
+    // The per-reason counter moved once each, under its labeled name.
+    assert_eq!(metrics_counter(addr, "flight.captures{reason=deadline}"), 1);
+    assert_eq!(metrics_counter(addr, "flight.captures{reason=slow}"), 1);
+    let prom = request(addr, "GET", "/metrics", "").body;
+    assert!(
+        prom.contains("fdiam_flight_captures_total{reason=\"deadline\"} 1"),
+        "{prom}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn worker_panic_leaves_a_parseable_post_mortem_naming_the_run() {
+    let dir = temp_dir("panic");
+    let path = dir.join("post-mortem.jsonl");
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            allow_test_hooks: true,
+            post_mortem_path: Some(path.clone()),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // The panicking worker never answers; tolerate the hangup.
+    let mut stream = raw_post(
+        addr,
+        "/v1/diameter",
+        r#"{"spec": "grid:10x10", "panic": true}"#,
+    );
+    let mut sink = Vec::new();
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.read_to_end(&mut sink);
+
+    // The process panic hook writes the post-mortem as the worker dies.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let text = loop {
+        match std::fs::read_to_string(&path) {
+            Ok(t) if t.contains("post_mortem") => break t,
+            _ if Instant::now() > deadline => panic!("no post-mortem at {}", path.display()),
+            _ => std::thread::sleep(Duration::from_millis(10)),
+        }
+    };
+
+    // Header names the panic; the snapshot names the in-flight run the
+    // worker died holding.
+    let header = parse(text.lines().next().unwrap()).unwrap();
+    assert_eq!(
+        header.get("type").and_then(JsonValue::as_str),
+        Some("post_mortem")
+    );
+    let message = header
+        .get("message")
+        .and_then(JsonValue::as_str)
+        .unwrap()
+        .to_string();
+    assert!(message.contains("induced worker panic"), "{message}");
+    let run_id = message.split("run=").nth(1).unwrap().trim().to_string();
+    let in_flight = text
+        .lines()
+        .map(|l| parse(l).unwrap())
+        .find(|v| v.get("type").and_then(JsonValue::as_str) == Some("in_flight_run"))
+        .unwrap_or_else(|| panic!("no in_flight_run line in\n{text}"));
+    assert_eq!(
+        in_flight.get("run_id").and_then(JsonValue::as_str),
+        Some(run_id.as_str()),
+        "{text}"
+    );
+    assert_eq!(
+        in_flight.get("algorithm").and_then(JsonValue::as_str),
+        Some("panic_test")
+    );
+
+    // The whole file renders through the analyzer...
+    let forensics = flight_report(&text).unwrap();
+    assert!(forensics.contains("post-mortem: thread"), "{forensics}");
+    assert!(
+        forensics.contains("in-flight at panic: run "),
+        "{forensics}"
+    );
+    // ...and the generic parser skips the metadata lines without complaint.
+    Trace::parse(&text).unwrap_or_else(|e| panic!("Trace::parse: {e}"));
+
+    // The surviving worker keeps serving.
+    let d = post(addr, "/v1/diameter", r#"{"spec": "grid:10x10"}"#);
+    assert_eq!(d.status, 200, "{}", d.body);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hung_up_client_surfaces_as_write_error_not_silent_success() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 1,
+            allow_test_hooks: true,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // A batch big enough that its response (~180 KiB) cannot fit the
+    // socket send buffer in one write — the mid-body write must observe
+    // the peer reset. The sleep gives the client's FIN time to land
+    // before the server starts writing.
+    let mut body = String::from(r#"{"spec": "grid:30x30", "sleep_ms": 200, "queries": ["#);
+    for i in 0..4096 {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(r#"{{"type": "ecc", "source": {}}}"#, i % 900));
+    }
+    body.push_str("]}");
+    let stream = raw_post(addr, "/v1/batch", &body);
+    drop(stream); // hang up while the worker is still asleep
+
+    wait_for_counter(addr, "serve.write_errors", 1);
+    assert!(request(addr, "GET", "/metrics", "")
+        .body
+        .contains("fdiam_serve_write_errors_total 1"),);
+}
+
+#[test]
+fn build_info_gauge_reports_provenance() {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let prom = request(addr, "GET", "/metrics", "").body;
+    let line = prom
+        .lines()
+        .find(|l| l.starts_with("fdiam_build_info{"))
+        .unwrap_or_else(|| panic!("no fdiam_build_info in\n{prom}"));
+    for label in ["rev=\"", "rustc=\"", "profile=\""] {
+        assert!(line.contains(label), "{line}");
+    }
+    assert!(line.ends_with(" 1"), "{line}");
+}

@@ -24,6 +24,17 @@
 //! * [`lint_metrics`] — the shared Prometheus exposition linter
 //!   ([`fdiam_obs::expo::lint`]) over a scraped `/metrics` body, for
 //!   CI smoke tests.
+//! * [`flight_report`] — forensics over a flight-recorder ring dump
+//!   (`GET /v1/debug/flight`, `fdiam --flight-dump`, tail-sampled
+//!   captures, panic post-mortems): per-shard sequence accounting with
+//!   gap detection, the event mix, and the slowest BFS traversals and
+//!   phase spans in the window.
+//!
+//! Every renderer is **gap-tolerant**: ring dumps carry `dropped`
+//! markers where the recorder overwrote its oldest events, and the
+//! parser accounts for them ([`Trace::gaps`]) instead of erroring —
+//! reports disclose the loss rather than presenting a partial trace as
+//! complete.
 //!
 //! No dependencies beyond `fdiam-obs`: the trace lines are parsed with
 //! the same in-tree JSON module that wrote them.
@@ -149,10 +160,24 @@ impl RunTrace {
     }
 }
 
-/// A parsed trace file: zero or more runs.
+/// One `dropped` gap marker from a flight-recorder ring dump: the
+/// shard overwrote `dropped` events before the oldest it retained
+/// (whose sequence number is `next_seq`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GapMarker {
+    pub shard: u64,
+    pub dropped: u64,
+    pub next_seq: u64,
+}
+
+/// A parsed trace file: zero or more runs, plus any ring-buffer gap
+/// markers the dump carried.
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
     pub runs: Vec<RunTrace>,
+    /// `dropped` markers from a flight-recorder dump (empty for
+    /// ordinary `--trace` files, which never drop).
+    pub gaps: Vec<GapMarker>,
 }
 
 fn req_u64(v: &JsonValue, key: &str, line_no: usize) -> Result<u64, String> {
@@ -169,6 +194,7 @@ impl Trace {
     /// parses as `[aborted]`).
     pub fn parse(text: &str) -> Result<Trace, String> {
         let mut runs: Vec<RunTrace> = Vec::new();
+        let mut gaps: Vec<GapMarker> = Vec::new();
         let mut open = false;
         // Span id → index into the open run's `traversals`.
         let mut bfs_by_span: BTreeMap<u64, usize> = BTreeMap::new();
@@ -194,6 +220,22 @@ impl Trace {
                 .and_then(JsonValue::as_str)
                 .ok_or_else(|| format!("line {line_no}: no 'type' field"))?
                 .to_string();
+
+            // Flight-recorder and serve metadata lines. Gap markers are
+            // accounted for; the rest are skipped — none of them belong
+            // to a run, so they must not open an anonymous one.
+            match ty.as_str() {
+                "dropped" => {
+                    gaps.push(GapMarker {
+                        shard: v.get("shard").and_then(JsonValue::as_u64).unwrap_or(0),
+                        dropped: req_u64(&v, "dropped", line_no)?,
+                        next_seq: v.get("next_seq").and_then(JsonValue::as_u64).unwrap_or(0),
+                    });
+                    continue;
+                }
+                "post_mortem" | "in_flight_run" | "flight_capture" | "access" => continue,
+                _ => {}
+            }
 
             // Events arriving outside any run (truncated or hand-cut
             // traces) open an anonymous run so nothing is lost.
@@ -354,13 +396,36 @@ impl Trace {
                 _ => {}
             }
         }
-        Ok(Trace { runs })
+        Ok(Trace { runs, gaps })
+    }
+
+    /// Total events the flight recorder overwrote before this dump was
+    /// taken (0 for ordinary trace files).
+    pub fn dropped_events(&self) -> u64 {
+        self.gaps.iter().map(|g| g.dropped).sum()
+    }
+
+    /// The disclosure line reports prepend when the trace has ring
+    /// gaps: a partial trace must say so.
+    fn gap_note(&self) -> Option<String> {
+        if self.gaps.is_empty() {
+            return None;
+        }
+        Some(format!(
+            "note: flight recorder dropped {} event(s) across {} shard(s) — partial trace\n",
+            self.dropped_events(),
+            self.gaps.len(),
+        ))
     }
 
     /// Stage-runtime fractions (Figure 8 shape) and vertex-removal
     /// breakdown (Figure 9 / Table 4 shape), one block per run.
     pub fn report(&self) -> String {
         let mut out = String::new();
+        if let Some(note) = self.gap_note() {
+            out.push_str(&note);
+            out.push('\n');
+        }
         for r in &self.runs {
             // An aborted run never wrote its `run_end`, so total_nanos
             // is 0; fall back to the attributed leaf time so the
@@ -443,6 +508,9 @@ impl Trace {
     /// recorded detail.
     pub fn levels(&self) -> String {
         let mut out = String::new();
+        if let Some(note) = self.gap_note() {
+            out.push_str(&note);
+        }
         for r in &self.runs {
             for t in &r.traversals {
                 let _ = writeln!(
@@ -551,6 +619,9 @@ impl Trace {
     /// certificate.
     pub fn converge(&self) -> String {
         let mut out = String::new();
+        if let Some(note) = self.gap_note() {
+            out.push_str(&note);
+        }
         for r in &self.runs {
             let _ = writeln!(
                 out,
@@ -611,6 +682,223 @@ fn gap_bar(gap: u64, max_gap: u64) -> String {
 
 fn fmt_ms(nanos: u64) -> String {
     format!("{:.3} ms", nanos as f64 / 1e6)
+}
+
+/// Forensics over a flight-recorder ring dump: per-shard sequence
+/// accounting (retained range, drops, gap-marker consistency, holes a
+/// marker does not explain), the event mix, and the slowest BFS
+/// traversals and phase spans in the window. Accepts `/v1/debug/flight`
+/// dumps, `--flight-dump` files, tail-sampled spool captures (the
+/// `flight_capture` header is metadata), and panic post-mortems.
+pub fn flight_report(text: &str) -> Result<String, String> {
+    #[derive(Default)]
+    struct Shard {
+        events: u64,
+        min_seq: u64,
+        max_seq: u64,
+        marker: Option<(u64, u64)>, // (dropped, next_seq)
+    }
+    let mut shards: BTreeMap<u64, Shard> = BTreeMap::new();
+    let mut kinds: BTreeMap<String, u64> = BTreeMap::new();
+    // span → (source, start ts_us); closed spans move to `bfs_spans`.
+    let mut bfs_open: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+    let mut bfs_spans: Vec<(u64, u64, u64, u64)> = Vec::new(); // (dur_us, span, source, ecc)
+    let mut phase_spans: Vec<(u64, String)> = Vec::new(); // (nanos, phase)
+    let mut header = String::new();
+
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty())
+        .collect();
+    let mut parsed_any = false;
+    for (pos, &(line_no, line)) in lines.iter().enumerate() {
+        let v = match json::parse(line) {
+            Ok(v) => v,
+            // Same truncation tolerance as `Trace::parse`: a writer
+            // killed mid-record leaves exactly one bad final line.
+            Err(_) if parsed_any && pos + 1 == lines.len() => break,
+            Err(e) => return Err(format!("line {line_no}: {e}")),
+        };
+        parsed_any = true;
+        let ty = v
+            .get("type")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("line {line_no}: no 'type' field"))?
+            .to_string();
+
+        match ty.as_str() {
+            "dropped" => {
+                let shard = v.get("shard").and_then(JsonValue::as_u64).unwrap_or(0);
+                shards.entry(shard).or_default().marker = Some((
+                    req_u64(&v, "dropped", line_no)?,
+                    v.get("next_seq").and_then(JsonValue::as_u64).unwrap_or(0),
+                ));
+                continue;
+            }
+            "flight_capture" => {
+                header = format!(
+                    "capture: run {} {} status={} reason={} elapsed {:.3} ms\n",
+                    v.get("run_id").and_then(JsonValue::as_str).unwrap_or("?"),
+                    v.get("endpoint").and_then(JsonValue::as_str).unwrap_or("?"),
+                    v.get("status").and_then(JsonValue::as_u64).unwrap_or(0),
+                    v.get("reason").and_then(JsonValue::as_str).unwrap_or("?"),
+                    v.get("elapsed_us").and_then(JsonValue::as_u64).unwrap_or(0) as f64 / 1e3,
+                );
+                continue;
+            }
+            "post_mortem" => {
+                header = format!(
+                    "post-mortem: thread '{}' panicked at {}: {}\n",
+                    v.get("thread").and_then(JsonValue::as_str).unwrap_or("?"),
+                    v.get("location").and_then(JsonValue::as_str).unwrap_or("?"),
+                    v.get("message").and_then(JsonValue::as_str).unwrap_or("?"),
+                );
+                continue;
+            }
+            "in_flight_run" => {
+                let _ = writeln!(
+                    header,
+                    "in-flight at panic: run {} {} n={} m={}",
+                    v.get("run_id").and_then(JsonValue::as_str).unwrap_or("?"),
+                    v.get("algorithm")
+                        .and_then(JsonValue::as_str)
+                        .unwrap_or("?"),
+                    v.get("n").and_then(JsonValue::as_u64).unwrap_or(0),
+                    v.get("m").and_then(JsonValue::as_u64).unwrap_or(0),
+                );
+                continue;
+            }
+            _ => {}
+        }
+
+        *kinds.entry(ty.clone()).or_insert(0) += 1;
+        if let (Some(shard), Some(seq)) = (
+            v.get("shard").and_then(JsonValue::as_u64),
+            v.get("seq").and_then(JsonValue::as_u64),
+        ) {
+            let s = shards.entry(shard).or_default();
+            if s.events == 0 {
+                (s.min_seq, s.max_seq) = (seq, seq);
+            } else {
+                s.min_seq = s.min_seq.min(seq);
+                s.max_seq = s.max_seq.max(seq);
+            }
+            s.events += 1;
+        }
+
+        let ts = v.get("ts_us").and_then(JsonValue::as_u64).unwrap_or(0);
+        match ty.as_str() {
+            "bfs_start" => {
+                let span = v.get("span").and_then(JsonValue::as_u64).unwrap_or(0);
+                let source = v.get("source").and_then(JsonValue::as_u64).unwrap_or(0);
+                bfs_open.insert(span, (source, ts));
+            }
+            "bfs_end" => {
+                let span = v.get("span").and_then(JsonValue::as_u64).unwrap_or(0);
+                let ecc = v
+                    .get("eccentricity")
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(0);
+                if let Some((source, t0)) = bfs_open.remove(&span) {
+                    bfs_spans.push((ts.saturating_sub(t0), span, source, ecc));
+                }
+            }
+            "phase_end" => {
+                let phase = v
+                    .get("phase")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("?")
+                    .to_string();
+                phase_spans.push((req_u64(&v, "nanos", line_no)?, phase));
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = header;
+    let total_events: u64 = shards.values().map(|s| s.events).sum();
+    let total_dropped: u64 = shards
+        .values()
+        .filter_map(|s| s.marker.map(|(d, _)| d))
+        .sum();
+    let _ = writeln!(
+        out,
+        "flight dump: {} event(s) retained across {} shard(s), {} dropped",
+        total_events,
+        shards.values().filter(|s| s.events > 0).count(),
+        total_dropped,
+    );
+    for (id, s) in &shards {
+        if s.events == 0 {
+            // Marker without any retained event — everything in the
+            // window was overwritten.
+            if let Some((dropped, next)) = s.marker {
+                let _ = writeln!(
+                    out,
+                    "  shard {id}: 0 events retained, {dropped} dropped (next_seq {next})"
+                );
+            }
+            continue;
+        }
+        // Per-shard seqs are contiguous in a healthy dump: anything the
+        // retained range covers but the dump lacks is an unexplained
+        // hole (a parallel writer bug, or hand-edited input).
+        let span = s.max_seq - s.min_seq + 1;
+        let holes = span.saturating_sub(s.events);
+        let check = match s.marker {
+            Some((_, next)) if next != s.min_seq => format!(
+                "MARKER MISMATCH: next_seq {} but oldest retained seq {}",
+                next, s.min_seq
+            ),
+            _ if holes > 0 => format!("{holes} unexplained missing seq(s)"),
+            Some((dropped, _)) => format!("dropped {dropped}, gap marker agrees"),
+            None => "complete".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "  shard {id}: {} events, seq {}..{} — {check}",
+            s.events, s.min_seq, s.max_seq,
+        );
+    }
+
+    if !kinds.is_empty() {
+        let mix = kinds
+            .iter()
+            .map(|(k, n)| format!("{k}={n}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = writeln!(out, "\nevent mix: {mix}");
+    }
+
+    bfs_spans.sort_by(|a, b| b.cmp(a));
+    if !bfs_spans.is_empty() {
+        let _ = writeln!(out, "\nslowest BFS traversals in the window:");
+        for (dur, span, source, ecc) in bfs_spans.iter().take(5) {
+            let _ = writeln!(
+                out,
+                "  span={span} source={source} eccentricity={ecc}  {:.3} ms",
+                *dur as f64 / 1e3,
+            );
+        }
+        let open = bfs_open.len();
+        if open > 0 {
+            let _ = writeln!(
+                out,
+                "  ({open} traversal(s) without a bfs_end in the window)"
+            );
+        }
+    }
+
+    phase_spans.sort_by(|a, b| b.cmp(a));
+    if !phase_spans.is_empty() {
+        let _ = writeln!(out, "\nslowest phase spans in the window:");
+        for (nanos, phase) in phase_spans.iter().take(5) {
+            let _ = writeln!(out, "  {phase}  {}", fmt_ms(*nanos));
+        }
+    }
+    Ok(out)
 }
 
 /// Runs the in-tree Prometheus exposition linter over a scraped
@@ -791,6 +1079,120 @@ mod tests {
         let text = t.levels();
         assert!(
             text.contains("bfs span=9 source=3 eccentricity=? visited=?  [aborted]"),
+            "{text}"
+        );
+    }
+
+    // A flight-recorder dump: shard 0 wrapped (42 events dropped,
+    // marker before its oldest retained seq 43), shard 1 is complete.
+    const FLIGHT_SAMPLE: &str = r#"
+{"type":"dropped","ts_us":9,"shard":0,"dropped":42,"next_seq":43}
+{"type":"bfs_start","ts_us":10,"source":5,"span":7,"seq":43,"shard":0}
+{"type":"bfs_level","ts_us":11,"level":1,"frontier":3,"edges_scanned":5,"bottom_up":false,"span":7,"seq":44,"shard":0}
+{"type":"bfs_end","ts_us":210,"source":5,"eccentricity":4,"visited":10,"span":7,"seq":45,"shard":0}
+{"type":"bfs_start","ts_us":220,"source":6,"span":8,"seq":1,"shard":1}
+{"type":"bfs_end","ts_us":240,"source":6,"eccentricity":3,"visited":10,"span":8,"seq":2,"shard":1}
+{"type":"phase_end","ts_us":250,"phase":"ecc_bfs","nanos":230000,"span":9,"seq":3,"shard":1}
+"#;
+
+    #[test]
+    fn gap_markers_are_accounted_not_parsed_as_runs() {
+        let t = Trace::parse(FLIGHT_SAMPLE).unwrap();
+        assert_eq!(t.gaps.len(), 1);
+        assert_eq!(
+            t.gaps[0],
+            GapMarker {
+                shard: 0,
+                dropped: 42,
+                next_seq: 43
+            }
+        );
+        assert_eq!(t.dropped_events(), 42);
+        // The marker and the events opened exactly one anonymous run
+        // (the marker itself must not open one).
+        assert_eq!(t.runs.len(), 1);
+        assert_eq!(t.runs[0].traversals.len(), 2);
+        for render in [t.report(), t.levels(), t.converge()] {
+            assert!(
+                render.contains("dropped 42 event(s) across 1 shard(s)"),
+                "{render}"
+            );
+        }
+        // Ordinary traces stay note-free.
+        assert!(!Trace::parse(SAMPLE).unwrap().report().contains("note:"));
+    }
+
+    #[test]
+    fn metadata_lines_do_not_open_anonymous_runs() {
+        let t = Trace::parse(
+            "{\"type\":\"post_mortem\",\"ts_us\":1,\"message\":\"x\",\"location\":\"y\",\"thread\":\"z\"}\n\
+             {\"type\":\"in_flight_run\",\"run_id\":\"0a\",\"algorithm\":\"fdiam\",\"n\":1,\"m\":1}\n\
+             {\"type\":\"flight_capture\",\"run_id\":\"0b\",\"endpoint\":\"diameter\",\"status\":504,\"reason\":\"deadline\",\"elapsed_us\":9}\n\
+             {\"type\":\"access\",\"run_id\":\"0c\",\"status\":200}\n",
+        )
+        .unwrap();
+        assert!(t.runs.is_empty(), "metadata must not fabricate runs");
+    }
+
+    #[test]
+    fn flight_report_accounts_shards_and_ranks_spans() {
+        let text = flight_report(FLIGHT_SAMPLE).unwrap();
+        assert!(
+            text.contains("6 event(s) retained across 2 shard(s), 42 dropped"),
+            "{text}"
+        );
+        assert!(
+            text.contains("shard 0: 3 events, seq 43..45 — dropped 42, gap marker agrees"),
+            "{text}"
+        );
+        assert!(
+            text.contains("shard 1: 3 events, seq 1..3 — complete"),
+            "{text}"
+        );
+        assert!(text.contains("bfs_end=2"), "{text}");
+        // span 7 took 200 µs, span 8 took 20 µs — ranked slowest first.
+        let pos7 = text.find("span=7").unwrap();
+        let pos8 = text.find("span=8").unwrap();
+        assert!(pos7 < pos8, "{text}");
+        assert!(text.contains("0.200 ms"), "{text}");
+        assert!(text.contains("ecc_bfs  0.230 ms"), "{text}");
+    }
+
+    #[test]
+    fn flight_report_flags_marker_mismatch_and_holes() {
+        // Marker says next_seq 5 but the oldest retained seq is 7, and
+        // seq 8 is missing from the retained range.
+        let bad = "{\"type\":\"dropped\",\"ts_us\":0,\"shard\":0,\"dropped\":4,\"next_seq\":5}\n\
+                   {\"type\":\"progress\",\"ts_us\":1,\"active\":3,\"bound\":2,\"seq\":7,\"shard\":0}\n\
+                   {\"type\":\"progress\",\"ts_us\":2,\"active\":2,\"bound\":2,\"seq\":9,\"shard\":0}\n";
+        let text = flight_report(bad).unwrap();
+        assert!(text.contains("MARKER MISMATCH"), "{text}");
+
+        let holey = "{\"type\":\"progress\",\"ts_us\":1,\"active\":3,\"bound\":2,\"seq\":7,\"shard\":0}\n\
+                     {\"type\":\"progress\",\"ts_us\":2,\"active\":2,\"bound\":2,\"seq\":9,\"shard\":0}\n";
+        let text = flight_report(holey).unwrap();
+        assert!(text.contains("1 unexplained missing seq(s)"), "{text}");
+    }
+
+    #[test]
+    fn flight_report_renders_capture_and_post_mortem_headers() {
+        let capture = "{\"type\":\"flight_capture\",\"run_id\":\"0b\",\"endpoint\":\"diameter\",\"status\":504,\"reason\":\"deadline\",\"elapsed_us\":1500}\n\
+                       {\"type\":\"progress\",\"ts_us\":1,\"active\":3,\"bound\":2,\"seq\":1,\"shard\":0}\n";
+        let text = flight_report(capture).unwrap();
+        assert!(
+            text.contains("capture: run 0b diameter status=504 reason=deadline elapsed 1.500 ms"),
+            "{text}"
+        );
+
+        let pm = "{\"type\":\"post_mortem\",\"ts_us\":1,\"message\":\"boom\",\"location\":\"lib.rs:1\",\"thread\":\"w0\"}\n\
+                  {\"type\":\"in_flight_run\",\"run_id\":\"0a\",\"algorithm\":\"panic_test\",\"n\":0,\"m\":0}\n";
+        let text = flight_report(pm).unwrap();
+        assert!(
+            text.contains("post-mortem: thread 'w0' panicked at lib.rs:1: boom"),
+            "{text}"
+        );
+        assert!(
+            text.contains("in-flight at panic: run 0a panic_test n=0 m=0"),
             "{text}"
         );
     }

@@ -2,7 +2,7 @@
 //! expositions. Argv conventions follow the `fdiam` CLI: errors print
 //! usage and exit 2; lint violations and parse failures exit 1.
 
-use fdiam_trace::{lint_metrics, Trace};
+use fdiam_trace::{flight_report, lint_metrics, Trace};
 use std::io::Read as _;
 
 const USAGE: &str = "\
@@ -11,10 +11,15 @@ USAGE:
   fdiam-trace levels       TRACE.jsonl   per-level BFS frontier timelines
   fdiam-trace folded       TRACE.jsonl   flamegraph folded stacks (pipe to flamegraph.pl)
   fdiam-trace converge     TRACE.jsonl   bounds-convergence curve (gap vs BFS count) per run
+  fdiam-trace flight       DUMP.jsonl    flight-recorder forensics: shard/seq/gap accounting,
+                                         slowest traversals and phase spans in the window
   fdiam-trace lint-metrics METRICS.txt   validate a scraped Prometheus /metrics body
 
 A file argument of '-' reads stdin. Record traces with:
   fdiam diameter --spec grid:500x500 --trace run.jsonl
+Dump a flight recorder with:
+  curl -s http://HOST/v1/debug/flight | fdiam-trace flight -
+  fdiam diameter --spec grid:500x500 --flight-dump ring.jsonl
 ";
 
 fn read_input(arg: &str) -> Result<String, String> {
@@ -35,6 +40,7 @@ fn run(cmd: &str, file: &str) -> Result<String, String> {
         "levels" => Ok(Trace::parse(&text)?.levels()),
         "folded" => Ok(Trace::parse(&text)?.folded()),
         "converge" => Ok(Trace::parse(&text)?.converge()),
+        "flight" => flight_report(&text),
         "lint-metrics" => match lint_metrics(&text) {
             Ok(summary) => Ok(summary + "\n"),
             Err(violations) => Err(violations.join("\n")),
@@ -58,7 +64,7 @@ fn main() {
     };
     if !matches!(
         cmd,
-        "report" | "levels" | "folded" | "converge" | "lint-metrics"
+        "report" | "levels" | "folded" | "converge" | "flight" | "lint-metrics"
     ) {
         eprint!("error: unknown command '{cmd}'\n\n{USAGE}");
         std::process::exit(2);
